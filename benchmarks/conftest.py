@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+import pytest
+
+from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
+from repro.core.wm import Swm
+from repro.xserver import XServer
+
+SCREEN = (1152, 900, 8)
+
+
+def fresh_server():
+    return XServer(screens=[SCREEN])
+
+
+def fresh_wm(server, vdesk=None, extra=None, places_path="/tmp/swm-bench.places"):
+    db = load_template("OpenLook+")
+    db.load_string(ROOT_PANEL_TEMPLATE)
+    if vdesk:
+        db.put("swm*virtualDesktop", vdesk)
+    for spec, value in (extra or {}).items():
+        db.put(spec, value)
+    return Swm(server, db, places_path=places_path)
+
+
+def report(title, lines):
+    """Print a table the way the paper's text/figures report it."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture
+def server():
+    return fresh_server()

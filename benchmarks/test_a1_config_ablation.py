@@ -1,0 +1,117 @@
+"""A1 — ablation: X resource database (swm) vs separate init file (twm).
+
+§8: "One of the biggest mistakes made with twm was using a separate
+initialization file rather than the more general X resource database."
+The measurable consequences:
+
+1. per-screen / per-visual / per-client overrides are single entries in
+   swm but are simply inexpressible in .twmrc;
+2. a live WM can be reconfigured by merging resources and f.restart —
+   twm needs its file rewritten and a full restart;
+3. reconfiguration cost.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import Twm, TwmConfig
+from repro.clients import XClock, XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.xserver import XServer
+
+from .conftest import fresh_server, report
+
+
+def test_a1_expressiveness_table():
+    """Which configuration requests each system can express."""
+    requests = {
+        "per-class decoration": (True, True),     # swm, twm(NoTitle only)
+        "per-instance decoration": (True, False),
+        "per-screen colors": (True, False),
+        "mono vs color screens": (True, False),
+        "sticky per class": (True, False),
+        "user-defined objects": (True, False),
+        "new button binding w/o code": (True, True),
+    }
+    lines = [f"{'configuration request':28s} {'swm':>5s} {'twm':>5s}"]
+    for name, (swm_ok, twm_ok) in requests.items():
+        lines.append(f"{name:28s} {'yes' if swm_ok else 'no':>5s} "
+                     f"{'yes' if twm_ok else 'no':>5s}")
+    report("A1: configuration expressiveness (resources vs .twmrc)", lines)
+    swm_count = sum(1 for s, _ in requests.values() if s)
+    twm_count = sum(1 for _, t in requests.values() if t)
+    assert swm_count == len(requests)
+    assert twm_count < swm_count
+
+
+def test_a1_per_screen_override_demo():
+    """Two screens, one resource line each — impossible in .twmrc."""
+    server = XServer(screens=[(1152, 900, 8), (1024, 768, 1)])
+    db = load_template("OpenLook+")
+    db.put("swm.color.screen0*background", "bisque")
+    db.put("swm.monochrome.screen1*background", "white")
+    wm = Swm(server, db)
+    color0 = wm.screens[0].ctx.get_color([], "background")
+    color1 = wm.screens[1].ctx.get_color([], "background")
+    assert color0 == (255, 228, 196)
+    assert color1 == (255, 255, 255)  # mono screen snaps to white
+    # The twm baseline has exactly one config for all screens.
+    twm = Twm(XServer(screens=[(1152, 900, 8), (1024, 768, 1)]), "")
+    assert isinstance(twm.config, TwmConfig)
+
+
+def test_a1_live_reconfigure_swm():
+    """swm: merge a resource, f.restart, decorations change — clients
+    survive untouched."""
+    server = fresh_server()
+    db = load_template("OpenLook+")
+    wm = Swm(server, db)
+    app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+    wm.process_pending()
+    assert wm.managed[app.wid].decoration_name == "openLook"
+    wm.db.put("swm*xterm.xterm.decoration", "shapeit")
+    wm.restart()
+    assert wm.managed[app.wid].decoration_name == "shapeit"
+    assert server.window(app.wid).viewable
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_swm_reconfigure_cost(benchmark):
+    server = fresh_server()
+    db = load_template("OpenLook+")
+    wm = Swm(server, db)
+    apps = [XTerm(server, ["xterm", "-geometry", f"+{60 * i}+50"])
+            for i in range(6)]
+    wm.process_pending()
+    state = {"flip": False}
+
+    def reconfigure():
+        state["flip"] = not state["flip"]
+        deco = "shapeit" if state["flip"] else "openLook"
+        wm.db.put("swm*xterm.xterm.decoration", deco)
+        wm.restart()
+
+    benchmark(reconfigure)
+    assert all(app.wid in wm.managed for app in apps)
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_twm_reconfigure_cost(benchmark):
+    """twm's only path: tear the WM down and start a new one with the
+    edited file."""
+    server = fresh_server()
+    state = {"wm": Twm(server, ""), "flip": False}
+    apps = [XTerm(server, ["xterm", "-geometry", f"+{60 * i}+50"])
+            for i in range(6)]
+    state["wm"].process_pending()
+
+    def reconfigure():
+        state["flip"] = not state["flip"]
+        twmrc = 'NoTitle { "xterm" }\n' if state["flip"] else ""
+        state["wm"].quit()
+        state["wm"] = Twm(server, twmrc)
+
+    benchmark(reconfigure)
+    assert all(app.wid in state["wm"].windows for app in apps)

@@ -1,0 +1,101 @@
+"""A2 — ablation: the SWM_ROOT property fix for popup positioning.
+
+§6.3: clients that position popups against the real root misplace them
+once the desktop pans; swm writes SWM_ROOT on every client so
+cooperating toolkits (OI) position against the Virtual Desktop window.
+We sweep pan offsets and measure popup placement error with and
+without the fix.
+"""
+
+import pytest
+
+from repro.clients import NaiveApp, OIApp
+
+from .conftest import fresh_server, fresh_wm, report
+
+PANS = [(0, 0), (400, 300), (1000, 800), (1700, 1300)]
+WINDOW_AT = (1800, 1400)
+OFFSET = (20, 30)
+
+
+def popup_error(server, wm, app):
+    """Distance between the popup and its intended spot (window+offset),
+    in desktop coordinates."""
+    popup = app.popup_at_offset(*OFFSET)
+    popup_rect = server.window(popup).rect_in_root()
+    window_rect = server.window(app.wid).rect_in_root()
+    error = abs(popup_rect.x - (window_rect.x + OFFSET[0])) + abs(
+        popup_rect.y - (window_rect.y + OFFSET[1])
+    )
+    app.close_popups()
+    return error
+
+
+def run_sweep():
+    rows = []
+    for pan in PANS:
+        server = fresh_server()
+        wm = fresh_wm(server, vdesk="3000x2400")
+        naive = NaiveApp(
+            server,
+            ["naivedemo", "-geometry", f"+{WINDOW_AT[0]}+{WINDOW_AT[1]}"],
+        )
+        oi = OIApp(
+            server, ["oidemo", "-geometry", f"+{WINDOW_AT[0]}+{WINDOW_AT[1]}"]
+        )
+        wm.process_pending()
+        wm.pan_to(0, *pan)
+        rows.append((pan, popup_error(server, wm, naive),
+                     popup_error(server, wm, oi)))
+    return rows
+
+
+def test_a2_popup_error_table():
+    rows = run_sweep()
+    lines = [f"{'pan offset':>14s} {'naive err(px)':>14s} {'SWM_ROOT err(px)':>17s}"]
+    for pan, naive_err, oi_err in rows:
+        lines.append(f"{str(pan):>14s} {naive_err:>14d} {oi_err:>17d}")
+    report("A2: popup placement error, naive vs SWM_ROOT-aware", lines)
+    for pan, naive_err, oi_err in rows:
+        assert oi_err == 0, f"SWM_ROOT client misplaced at pan {pan}"
+    # The naive client is fine only while the window's desktop position
+    # happens to be on-screen; once panned away from (0,0) toward the
+    # window it misplaces badly.
+    errors_when_panned = [n for pan, n, _ in rows if pan != (0, 0)]
+    assert max(errors_when_panned) > 300
+
+
+def test_a2_property_maintained_on_stick():
+    """The property updates whenever the client's root changes."""
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    app = OIApp(server, ["oidemo", "-geometry", "+100+100"])
+    wm.process_pending()
+    managed = wm.managed[app.wid]
+    vroot = wm.screens[0].vdesk.window
+    prop = app.conn.get_property(app.wid, "SWM_ROOT")
+    assert prop.data[0] == vroot
+    wm.stick(managed)
+    assert app.conn.get_property(app.wid, "SWM_ROOT").data[0] == (
+        app.conn.root_window()
+    )
+    # A sticky window's popups now resolve against the real root and
+    # stay correct across pans.
+    wm.pan_to(0, 900, 700)
+    assert popup_error(server, wm, app) == 0
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_popup_placement_latency(benchmark):
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    app = OIApp(server, ["oidemo", "-geometry", "+1800+1400"])
+    wm.process_pending()
+    wm.pan_to(0, 1700, 1300)
+
+    def place_popup():
+        popup = app.popup_at_offset(*OFFSET)
+        app.close_popups()
+        return popup
+
+    benchmark(place_popup)

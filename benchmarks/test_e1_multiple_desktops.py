@@ -1,0 +1,112 @@
+"""E1 — extension experiment: multiple Virtual Desktops.
+
+§6.3 anticipates multiple desktops falling out of the SWM_ROOT design.
+We verify the semantics at scale and measure the headline property of
+the one-big-window architecture: a desktop switch is a *constant number
+of protocol requests* (one unmap + one map + one restack), independent
+of how many windows live on the desktops — a per-window WM would issue
+O(windows) requests.  (Wall-clock still grows in the simulator because
+the server repaints the newly exposed subtree, as a real server would.)
+"""
+
+import pytest
+
+from repro.clients import NaiveApp, XClock
+
+from .conftest import fresh_server, fresh_wm, report
+
+
+def multi_wm(server, desktops=3):
+    return fresh_wm(
+        server,
+        vdesk="3000x2400",
+        extra={"swm*virtualDesktops": str(desktops)},
+    )
+
+
+def populate(server, wm, per_desktop):
+    for desktop in range(len(wm.screens[0].vdesks)):
+        wm.switch_desktop(0, desktop)
+        for index in range(per_desktop):
+            NaiveApp(
+                server,
+                ["naivedemo", "-geometry",
+                 f"+{100 + index * 120}+{100 + desktop * 50}"],
+            )
+        wm.process_pending()
+    wm.switch_desktop(0, 0)
+
+
+def test_e1_isolation_and_sticky_sharing():
+    server = fresh_server()
+    wm = multi_wm(server)
+    populate(server, wm, per_desktop=3)
+    clock = XClock(server, ["xclock", "-geometry", "+5+5"])
+    wm.process_pending()
+    lines = []
+    for desktop in range(3):
+        wm.switch_desktop(0, desktop)
+        visible = sum(
+            1
+            for managed in wm.managed.values()
+            if not managed.is_internal
+            and server.window(managed.client).viewable
+        )
+        lines.append(f"desktop {desktop}: {visible} windows visible "
+                     f"(3 local + 1 sticky clock)")
+        assert visible == 4
+        assert server.window(clock.wid).viewable
+    report("E1: per-desktop isolation with shared sticky windows", lines)
+
+
+def test_e1_event_silence_on_switch():
+    """Switching desktops, like panning, generates no ConfigureNotify
+    for the windows involved — their coordinates never change."""
+    import repro.xserver.events as ev
+
+    server = fresh_server()
+    wm = multi_wm(server)
+    app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+    wm.process_pending()
+    app.conn.events()
+    for _ in range(6):
+        wm.switch_desktop(0, 1)
+        wm.switch_desktop(0, 0)
+    notifies = [e for e in app.conn.events()
+                if isinstance(e, ev.ConfigureNotify)]
+    assert notifies == []
+
+
+def test_e1_switch_is_constant_requests():
+    """Protocol requests per switch do not grow with population."""
+    lines = []
+    counts = {}
+    for per_desktop in (2, 8, 32):
+        server = fresh_server()
+        wm = multi_wm(server, desktops=2)
+        populate(server, wm, per_desktop)
+        before = server.timestamp
+        wm.switch_desktop(0, 1)
+        counts[per_desktop] = server.timestamp - before
+        lines.append(
+            f"{per_desktop:3d} windows/desktop: "
+            f"{counts[per_desktop]} protocol requests per switch"
+        )
+    report("E1: desktop-switch request count vs population", lines)
+    assert counts[2] == counts[8] == counts[32]
+    assert counts[2] <= 6
+
+
+@pytest.mark.benchmark(group="e1")
+@pytest.mark.parametrize("per_desktop", [2, 8, 32])
+def test_e1_switch_cost_vs_population(benchmark, per_desktop):
+    server = fresh_server()
+    wm = multi_wm(server, desktops=2)
+    populate(server, wm, per_desktop)
+    state = {"current": 0}
+
+    def switch():
+        state["current"] ^= 1
+        wm.switch_desktop(0, state["current"])
+
+    benchmark(switch)

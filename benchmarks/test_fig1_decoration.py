@@ -1,0 +1,60 @@
+"""F1 — Figure 1: the OpenLook+ decoration panel.
+
+Regenerates the figure (structure, not pixels) and benchmarks the full
+decorate-on-map path: MapRequest -> panel build -> layout -> reparent.
+"""
+
+import pytest
+
+from repro.clients import XClock
+from repro.figures import figure1_decoration
+
+from .conftest import fresh_server, fresh_wm, report
+
+
+def test_fig1_structure():
+    """The decoration contains exactly the paper's four objects with
+    the paper's placement: pulldown left, name centered, nail right,
+    client below."""
+    server = fresh_server()
+    wm = fresh_wm(server, extra={"swm*xclock.XClock.sticky": "False"})
+    app = XClock(server, ["xclock", "-geometry", "164x164+100+100"])
+    wm.process_pending()
+    managed = wm.managed[app.wid]
+
+    assert managed.decoration_name == "openLook"
+    panel = managed.decoration
+    names = [child.name for child in panel.children]
+    assert names == ["pulldown", "name", "nail", "client"]
+
+    pulldown = panel.child_rect("pulldown")
+    name = panel.child_rect("name")
+    nail = panel.child_rect("nail")
+    client = panel.child_rect("client")
+    frame_w = wm.frame_rect(managed).width
+    assert pulldown.x < name.x < nail.x            # left / center / right
+    assert nail.x2 >= frame_w - 4                  # nail at the right edge
+    assert abs((name.x + name.x2) / 2 - frame_w / 2) <= frame_w * 0.2
+    assert client.y >= pulldown.y2                 # client row below title
+    assert managed.resize_corners                  # resizeCorners: True
+
+    art = figure1_decoration(server, wm, app.wid)
+    report("Figure 1: OpenLook+ decoration (regenerated)", art.splitlines())
+    assert "xclock" in art
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_decorate_latency(benchmark):
+    """Time the manage/decorate path the figure exercises."""
+    server = fresh_server()
+    wm = fresh_wm(server, extra={"swm*xclock.XClock.sticky": "False"})
+
+    def decorate_once():
+        app = XClock(server, ["xclock", "-geometry", "164x164+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.unmanage(managed)
+        app.quit()
+        wm.process_pending()
+
+    benchmark(decorate_once)

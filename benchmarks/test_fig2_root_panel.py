@@ -1,0 +1,69 @@
+"""F2 — Figure 2: the reparented RootPanel.
+
+Regenerates the 4x2 button grid and verifies the panel is treated like
+a client window (reparented); benchmarks root-panel construction.
+"""
+
+import pytest
+
+from repro.figures import figure2_root_panel
+
+from .conftest import fresh_server, fresh_wm, report
+
+GRID = [
+    ["quit", "restart", "iconify", "deiconify"],
+    ["move", "resize", "raise", "lower"],
+]
+
+
+def test_fig2_structure():
+    server = fresh_server()
+    wm = fresh_wm(server, extra={
+        "swm*rootPanels": "RootPanel",
+        "swm*panel.RootPanel.geometry": "+400+400",
+    })
+    sc = wm.screens[0]
+    assert "RootPanel" in sc.root_panels
+    panel = sc.root_panel_objects["RootPanel"]
+
+    # The paper's grid: row 0 = quit..deiconify, row 1 = move..lower.
+    for row_index, row in enumerate(GRID):
+        rects = [panel.child_rect(name) for name in row]
+        ys = {rect.y for rect in rects}
+        assert len(ys) == 1, f"row {row_index} not aligned"
+        xs = [rect.x for rect in rects]
+        assert xs == sorted(xs), f"row {row_index} out of column order"
+    assert panel.child_rect("move").y > panel.child_rect("quit").y
+
+    # Root panels "get reparented, can be iconified, etc."
+    managed = sc.root_panels["RootPanel"]
+    assert managed.frame != managed.client
+    wm.iconify(managed)
+    assert managed.icon is not None
+    wm.deiconify(managed)
+
+    art = figure2_root_panel(server, wm)
+    report("Figure 2: RootPanel (regenerated)", art.splitlines())
+    for name in sum(GRID, []):
+        assert name in art
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_build_latency(benchmark):
+    """Time building + laying out the RootPanel definition."""
+    from repro.core.objects import Panel, object_factory
+    from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
+    from repro.toolkit import AttributeContext
+
+    db = load_template("OpenLook+")
+    db.load_string(ROOT_PANEL_TEMPLATE)
+    ctx = AttributeContext(db, ["swm", "color", "screen0"],
+                           ["Swm", "Color", "Screen"])
+
+    def build_once():
+        panel = Panel(ctx, "RootPanel")
+        panel.build(object_factory(ctx))
+        return panel.compute_layout().size
+
+    size = benchmark(build_once)
+    assert size.width > 0

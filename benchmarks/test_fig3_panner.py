@@ -1,0 +1,77 @@
+"""F3 — Figure 3: the Virtual Desktop panner.
+
+Regenerates the miniature view and exercises both figure behaviours:
+button-1 panning and button-2 miniature window moves; benchmarks the
+miniature recomputation a panner repaint costs.
+"""
+
+import pytest
+
+from repro.clients import NaiveApp
+from repro.figures import figure3_panner
+
+from .conftest import fresh_server, fresh_wm, report
+
+
+def populated(server, count=6):
+    wm = fresh_wm(server, vdesk="3000x2400")
+    for index in range(count):
+        NaiveApp(
+            server,
+            ["naivedemo", "-geometry",
+             f"400x300+{(index % 3) * 900 + 100}+{(index // 3) * 1000 + 100}"],
+        )
+    wm.process_pending()
+    return wm
+
+
+def test_fig3_structure():
+    server = fresh_server()
+    wm = populated(server)
+    panner = wm.screens[0].panner
+    minis = panner.miniature_rects()
+    assert len(minis) == 6  # one miniature per desktop window
+    art = figure3_panner(wm)
+    report("Figure 3: Virtual Desktop panner (regenerated)", art.splitlines())
+    assert "#" in art and ":" in art
+
+
+def test_fig3_button1_pans():
+    server = fresh_server()
+    wm = populated(server)
+    panner = wm.screens[0].panner
+    panner.press(1, 120, 100)
+    assert panner.release(120, 100) == "panned"
+    vdesk = wm.screens[0].vdesk
+    assert (vdesk.pan_x, vdesk.pan_y) != (0, 0)
+
+
+def test_fig3_button2_moves_miniature():
+    server = fresh_server()
+    wm = populated(server, count=1)
+    panner = wm.screens[0].panner
+    mini, managed = panner.miniature_rects()[0]
+    panner.press(2, mini.x, mini.y)
+    assert panner.release(150, 120) == "moved"
+    rect = wm.frame_rect(managed)
+    assert abs(rect.x - 150 * panner.scale) <= panner.scale
+    assert abs(rect.y - 120 * panner.scale) <= panner.scale
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("windows", [4, 16, 64])
+def test_fig3_miniature_update_latency(benchmark, windows):
+    """Panner repaint cost as the desktop fills up."""
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="8000x6000")
+    for index in range(windows):
+        NaiveApp(
+            server,
+            ["naivedemo", "-geometry",
+             f"300x200+{(index % 8) * 950 + 50}+{(index // 8) * 700 + 50}"],
+        )
+    wm.process_pending()
+    panner = wm.screens[0].panner
+
+    result = benchmark(panner.miniature_rects)
+    assert len(result) == windows

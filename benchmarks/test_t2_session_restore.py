@@ -1,0 +1,110 @@
+"""T2 — §7: session save/restore fidelity.
+
+The paper's claim: swm restores "window size, window location, icon
+location, whether or not the icon was on the root window, window sticky
+state, and the normal or iconic state of the window", for clients of
+any toolkit on any host.  We measure restore fidelity (fields matching
+across an X restart) and benchmark save + replay.
+"""
+
+import pytest
+
+from repro import icccm
+from repro.clients import CmdTool, OClock, XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.icccm.hints import ICONIC_STATE
+from repro.session import Host, Launcher, replay_places
+from repro.xserver import XServer
+
+from .conftest import fresh_server, fresh_wm, report
+
+FIELDS = ("size", "position", "state", "sticky", "icon_position")
+
+
+def build_session(server, wm):
+    XTerm(server, ["xterm", "-geometry", "80x24+10+10"])
+    XTerm(server, ["xterm", "-title", "build"], host="compute.example.com")
+    CmdTool(server, ["cmdtool", "-Wp", "600", "50", "-Ws", "400", "300"])
+    OClock(server, ["oclock", "-geom", "100x100"])
+    wm.process_pending()
+    oclock = next(m for m in wm.managed.values() if m.instance == "oclock")
+    wm.resize_managed(oclock, 120, 120)
+    wm.move_client_to(oclock, 1010, 359)
+    build = next(m for m in wm.managed.values() if m.name == "build")
+    wm.iconify(build)
+    wm.conn.move_window(build.icon.window, 321, 800)
+
+
+def snapshot(wm):
+    state = {}
+    for managed in wm.managed.values():
+        if managed.is_internal:
+            continue
+        command = icccm.get_wm_command_string(wm.conn, managed.client)
+        position = wm.client_desktop_position(managed)
+        _, _, width, height, _ = wm.conn.get_geometry(managed.client)
+        icon_position = None
+        if managed.icon is not None:
+            ix, iy, _, _, _ = wm.conn.get_geometry(managed.icon.window)
+            icon_position = (ix, iy)
+        state[command] = {
+            "size": (width, height),
+            "position": tuple(position),
+            "state": managed.state,
+            "sticky": managed.sticky,
+            "icon_position": icon_position,
+        }
+    return state
+
+
+def run_roundtrip():
+    server = fresh_server()
+    db = load_template("OpenLook+")
+    wm = Swm(server, db, places_path="/tmp/t2.places")
+    build_session(server, wm)
+    before = snapshot(wm)
+    script = wm.save_places()
+    server.reset()
+    launcher = Launcher(server)
+    launcher.add_host(Host("compute.example.com"))
+    replay_places(script, launcher)
+    wm2 = Swm(server, db, places_path="/tmp/t2b.places")
+    wm2.process_pending()
+    after = snapshot(wm2)
+    return before, after
+
+
+def test_t2_fidelity_table():
+    before, after = run_roundtrip()
+    assert set(before) == set(after)
+    lines = [f"{'client':44s} " + " ".join(f"{f:>13s}" for f in FIELDS)]
+    total = {field: 0 for field in FIELDS}
+    for command in sorted(before):
+        row = [f"{command[:42]:44s}"]
+        for field in FIELDS:
+            ok = before[command][field] == after[command][field]
+            total[field] += ok
+            row.append(f"{'ok' if ok else 'DIFF':>13s}")
+        lines.append(" ".join(row))
+    lines.append(
+        f"{'restored':44s} "
+        + " ".join(f"{total[f]}/{len(before):>10}" for f in FIELDS)
+    )
+    report("T2: session restore fidelity across an X restart", lines)
+    for field in FIELDS:
+        assert total[field] == len(before), f"{field} not fully restored"
+
+
+def test_t2_toolkit_and_host_independence():
+    """The two §7 problems: non-Xt toolkits and remote hosts."""
+    before, after = run_roundtrip()
+    assert any("cmdtool -Wp" in cmd for cmd in after)       # XView dialect
+    # The remote xterm restarted with its machine property intact is
+    # verified through the snapshot key equality + T2 fidelity rows.
+    assert any("build" in cmd for cmd in after)
+
+
+@pytest.mark.benchmark(group="t2")
+def test_t2_save_replay_latency(benchmark):
+    benchmark(run_roundtrip)

@@ -1,0 +1,111 @@
+"""T3 — §6.3's USPosition vs PPosition placement table.
+
+The paper's worked example: with the desktop panned so the upper-left
+of the display is desktop (1000, 1000), a +100+100 request places the
+window at (100, 100) under USPosition and at (1100, 1100) under
+PPosition.  We sweep pan offsets and regenerate the whole table.
+"""
+
+import pytest
+
+from repro.clients import NaiveApp
+
+from .conftest import fresh_server, fresh_wm, report
+
+PAN_OFFSETS = [(0, 0), (500, 250), (1000, 1000), (1800, 1400)]
+REQUEST = (100, 100)
+
+
+def place(server, wm, user_position):
+    app = NaiveApp(
+        server,
+        ["naivedemo", "-geometry", f"+{REQUEST[0]}+{REQUEST[1]}"],
+        user_positioned=user_position,
+    )
+    wm.process_pending()
+    managed = wm.managed[app.wid]
+    position = tuple(wm.client_desktop_position(managed))
+    return app, managed, position
+
+
+def test_t3_placement_table():
+    lines = [f"{'pan offset':>14s} {'USPosition':>16s} {'PPosition':>16s}"]
+    for pan in PAN_OFFSETS:
+        server = fresh_server()
+        wm = fresh_wm(server, vdesk="3000x2400")
+        wm.pan_to(0, *pan)
+        _, _, us = place(server, wm, user_position=True)
+        _, _, pp = place(server, wm, user_position=False)
+        lines.append(f"{str(pan):>14s} {str(us):>16s} {str(pp):>16s}")
+        assert us == REQUEST  # absolute, even when not visible
+        assert pp == (pan[0] + REQUEST[0], pan[1] + REQUEST[1])  # view-relative
+    report("T3: USPosition vs PPosition on the Virtual Desktop", lines)
+
+
+def test_t3_paper_worked_example():
+    """Desktop at 1000,1000: USPosition +100+100 -> (100,100);
+    PPosition -> (1100,1100)."""
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    wm.pan_to(0, 1000, 1000)
+    _, _, us = place(server, wm, user_position=True)
+    _, _, pp = place(server, wm, user_position=False)
+    assert us == (100, 100)
+    assert pp == (1100, 1100)
+
+
+def test_t3_usposition_pins_to_upper_left_quadrant():
+    """§6.3: multi-window apps using USPosition for default layout are
+    usable only in the upper-left quadrant — their windows never follow
+    the view."""
+    from repro.clients import MultiWindowApp
+
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    wm.pan_to(0, 1500, 1200)  # user works in the lower-right quadrant
+    app = MultiWindowApp(server, ["multiwin", "-geometry", "+50+50"])
+    aux = app.open_secondary(500, 40, user_position=True)
+    wm.process_pending()
+    view = wm.screens[0].vdesk.view_rect()
+    main_pos = wm.client_desktop_position(wm.managed[app.wid])
+    aux_pos = wm.client_desktop_position(wm.managed[aux])
+    # Both windows landed in the upper-left quadrant, outside the view.
+    assert not view.contains(main_pos.x, main_pos.y)
+    assert not view.contains(aux_pos.x, aux_pos.y)
+    assert main_pos.x < 1500 and aux_pos.x < 1500
+
+
+def test_t3_pposition_follows_the_view():
+    """The paper's recommendation: PPosition layouts stay usable
+    anywhere on the desktop."""
+    from repro.clients import MultiWindowApp
+
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    wm.pan_to(0, 1500, 1200)
+    app = MultiWindowApp(
+        server, ["multiwin", "-geometry", "+50+50"], user_positioned=False
+    )
+    aux = app.open_secondary(500, 40, user_position=False)
+    wm.process_pending()
+    view = wm.screens[0].vdesk.view_rect()
+    main_pos = wm.client_desktop_position(wm.managed[app.wid])
+    aux_pos = wm.client_desktop_position(wm.managed[aux])
+    assert view.contains(main_pos.x, main_pos.y)
+    assert view.contains(aux_pos.x, aux_pos.y)
+
+
+@pytest.mark.benchmark(group="t3")
+def test_t3_placement_latency(benchmark):
+    """Placement-decision cost per managed window."""
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="3000x2400")
+    wm.pan_to(0, 1000, 1000)
+
+    def place_once():
+        app, managed, _ = place(server, wm, user_position=True)
+        wm.unmanage(managed)
+        app.quit()
+        wm.process_pending()
+
+    benchmark(place_once)

@@ -1,0 +1,129 @@
+"""T5 — §5: function invocation modes and swmcmd external execution.
+
+Exercises all five f.iconify invocation forms from the paper and
+benchmarks swmcmd command-stream throughput.
+"""
+
+import pytest
+
+from repro.clients import XLoad, XTerm
+from repro.core.swmcmd import swmcmd
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+
+from .conftest import fresh_server, fresh_wm, report
+
+
+def test_t5_all_five_invocation_modes():
+    server = fresh_server()
+    wm = fresh_wm(server)
+    terms = [XTerm(server, ["xterm", "-geometry", f"+{100 + 260 * i}+100"])
+             for i in range(2)]
+    load = XLoad(server, ["xload", "-geometry", "+100+500"])
+    wm.process_pending()
+    lines = []
+
+    # f.iconify(#0x1234) — explicit window id.
+    wm.execute_string(f"f.iconify(#{terms[0].wid:#x})")
+    assert wm.managed[terms[0].wid].state == ICONIC_STATE
+    lines.append("f.iconify(#0x....)   iconified the named window")
+    wm.execute_string(f"f.deiconify(#{terms[0].wid:#x})")
+
+    # f.iconify(XTerm) — class match, all xterms.
+    wm.execute_string("f.iconify(XTerm)")
+    assert all(wm.managed[t.wid].state == ICONIC_STATE for t in terms)
+    assert wm.managed[load.wid].state == NORMAL_STATE
+    lines.append("f.iconify(XTerm)     iconified every xterm, no others")
+    wm.execute_string("f.deiconify(XTerm)")
+
+    # f.iconify(#$) — window under the mouse.
+    rect = wm.frame_rect(wm.managed[load.wid])
+    server.motion(rect.x + 5, rect.y + 25)
+    wm.process_pending()
+    wm.execute_string("f.iconify(#$)")
+    assert wm.managed[load.wid].state == ICONIC_STATE
+    lines.append("f.iconify(#$)        iconified the window under the mouse")
+    wm.deiconify(wm.managed[load.wid])
+
+    # f.iconify — prompts (question mark) for one window.
+    wm.execute_string("f.iconify")
+    assert server.active_grab.cursor == "question_arrow"
+    rect = wm.frame_rect(wm.managed[terms[0].wid])
+    server.motion(rect.x + 5, rect.y + 25)
+    server.button_press(1)
+    server.button_release(1)
+    wm.process_pending()
+    assert wm.managed[terms[0].wid].state == ICONIC_STATE
+    assert wm.selection is None
+    lines.append("f.iconify            prompted once (question-mark cursor)")
+    wm.deiconify(wm.managed[terms[0].wid])
+
+    # f.iconify(multiple) — prompts repeatedly.
+    wm.execute_string("f.iconify(multiple)")
+    for term in terms:
+        rect = wm.frame_rect(wm.managed[term.wid])
+        server.motion(rect.x + 5, rect.y + 25)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+    assert wm.selection is not None
+    server.motion(1100, 880)
+    server.button_press(1)
+    server.button_release(1)
+    wm.process_pending()
+    assert all(wm.managed[t.wid].state == ICONIC_STATE for t in terms)
+    lines.append("f.iconify(multiple)  prompted for each until a root click")
+    report("T5: the five invocation modes (paper section 5)", lines)
+
+
+def test_t5_swmcmd_stream():
+    """Multiple commands accumulate in the property and all execute."""
+    server = fresh_server()
+    wm = fresh_wm(server)
+    term = XTerm(server, ["xterm", "-geometry", "+100+100"])
+    wm.process_pending()
+    swmcmd(server, "f.beep")
+    swmcmd(server, f"f.iconify(#{term.wid:#x})")
+    swmcmd(server, f"f.deiconify(#{term.wid:#x})")
+    wm.process_pending()
+    assert wm.managed[term.wid].state == NORMAL_STATE
+    assert wm.beeps >= 1
+
+
+@pytest.mark.benchmark(group="t5")
+def test_t5_swmcmd_throughput(benchmark):
+    """Commands/second through the property protocol."""
+    server = fresh_server()
+    wm = fresh_wm(server)
+    term = XTerm(server, ["xterm", "-geometry", "+100+100"])
+    wm.process_pending()
+    wid = term.wid
+    state = {"flip": False}
+
+    def one_command():
+        state["flip"] = not state["flip"]
+        name = "iconify" if state["flip"] else "deiconify"
+        swmcmd(server, f"f.{name}(#{wid:#x})")
+        wm.process_pending()
+
+    benchmark(one_command)
+
+
+@pytest.mark.benchmark(group="t5")
+def test_t5_direct_function_dispatch(benchmark):
+    """The same operation without the property round-trip, to separate
+    protocol cost from function cost."""
+    server = fresh_server()
+    wm = fresh_wm(server)
+    term = XTerm(server, ["xterm", "-geometry", "+100+100"])
+    wm.process_pending()
+    managed = wm.managed[term.wid]
+    state = {"flip": False}
+
+    def one_call():
+        state["flip"] = not state["flip"]
+        if state["flip"]:
+            wm.iconify(managed)
+        else:
+            wm.deiconify(managed)
+
+    benchmark(one_call)

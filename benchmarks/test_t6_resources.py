@@ -1,0 +1,104 @@
+"""T6 — §3: resource-database configuration cost.
+
+swm pays an Xrm lookup for every attribute of every object; §8 argues
+the flexibility is worth it.  We measure lookup latency for specific
+(class.instance) vs non-specific resources, per-screen overrides, and
+scaling with database size.
+"""
+
+import pytest
+
+from repro.toolkit import AttributeContext
+from repro.xrm import ResourceDatabase
+
+from .conftest import report
+
+
+def build_db(entries: int) -> ResourceDatabase:
+    db = ResourceDatabase()
+    db.put("swm*background", "gray")
+    db.put("swm*decoration", "openLook")
+    db.put("swm.color.screen1*background", "blue")
+    db.put("swm.monochrome*background", "white")
+    for index in range(entries):
+        db.put(f"swm*button.b{index}.bindings", "<Btn1> : f.raise")
+        db.put(f"swm*class{index}.inst{index}.decoration", f"deco{index}")
+    return db
+
+
+def ctx_for(db, screen=0, mono=False):
+    kind = "monochrome" if mono else "color"
+    return AttributeContext(
+        db,
+        ["swm", kind, f"screen{screen}"],
+        ["Swm", kind.capitalize(), "Screen"],
+        monochrome=mono,
+    )
+
+
+def test_t6_specific_beats_nonspecific():
+    """The §3 example: a specific xclock decoration overrides the
+    generic one, per screen and per visual."""
+    db = build_db(50)
+    db.put("swm.monochrome.screen0.xclock.xclock.decoration", "noTitlePanel")
+    mono = ctx_for(db, screen=0, mono=True).extended(["xclock", "xclock"])
+    color = ctx_for(db, screen=0, mono=False).extended(["xclock", "xclock"])
+    lines = [
+        f"mono screen0 xclock decoration : {mono.get_string([], 'decoration')}",
+        f"color screen0 xclock decoration: {color.get_string([], 'decoration')}",
+        f"screen1 background             : "
+        f"{ctx_for(db, screen=1).get_string([], 'background')}",
+        f"screen0 background             : "
+        f"{ctx_for(db, screen=0).get_string([], 'background')}",
+    ]
+    report("T6: specific vs non-specific resources", lines)
+    assert mono.get_string([], "decoration") == "noTitlePanel"
+    assert color.get_string([], "decoration") == "openLook"
+    assert ctx_for(db, screen=1).get_string([], "background") == "blue"
+    assert ctx_for(db, screen=0).get_string([], "background") == "gray"
+
+
+@pytest.mark.benchmark(group="t6")
+@pytest.mark.parametrize("entries", [10, 100, 1000])
+def test_t6_lookup_latency_vs_db_size(benchmark, entries):
+    """Uncached lookup cost as the database grows (each lookup uses a
+    distinct query so the cache never hits)."""
+    db = build_db(entries)
+    ctx = ctx_for(db)
+    state = {"n": 0}
+
+    def lookup():
+        state["n"] += 1
+        return ctx.lookup(["button", f"b{state['n'] % entries}"], "bindings")
+
+    result = benchmark(lookup)
+    assert result == "<Btn1> : f.raise"
+
+
+@pytest.mark.benchmark(group="t6")
+def test_t6_cached_lookup(benchmark):
+    """The steady-state (cached) cost swm actually pays per event."""
+    db = build_db(1000)
+    ctx = ctx_for(db)
+    ctx.lookup(["button", "b1"], "bindings")  # warm
+
+    result = benchmark(lambda: ctx.lookup(["button", "b1"], "bindings"))
+    assert result == "<Bn1> : f.raise".replace("Bn1", "Btn1")
+
+
+@pytest.mark.benchmark(group="t6")
+def test_t6_specific_lookup_latency(benchmark):
+    """Specific (class.instance) lookups carry two more path levels."""
+    db = build_db(1000)
+    ctx = ctx_for(db).extended(["inst500", "inst500"],
+                               ["class500", "class500"])
+    state = {"n": 0}
+
+    def lookup():
+        # vary the attribute so the cache never hits
+        state["n"] += 1
+        ctx.lookup([], f"attr{state['n']}")
+        return ctx.lookup([], "decoration")
+
+    result = benchmark(lookup)
+    assert result == "deco500"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Policy-free window management (§1, §4): three different look-and-
+feels — OpenLook+, Motif emulation, and a from-scratch custom policy —
+with zero code, only resource database entries.
+
+The custom policy puts the controls *below* the window ("Objects can
+easily be placed to the sides or below the client window", §4.1.1).
+
+Run:  python examples/custom_look_and_feel.py
+"""
+
+from repro import Swm, XServer
+from repro.clients import XTerm
+from repro.core.templates import load_template
+from repro.figures import figure1_decoration
+from repro.xrm import ResourceDatabase
+
+CUSTOM = """
+! A from-scratch look: controls live in a bottom bar.
+Swm*panel.bottombar: \\
+    panel client +0+0 \\
+    button close +0+1 \\
+    button name +C+1 \\
+    button grow -0+1
+Swm*decoration: bottombar
+Swm*iconPanel: Xicon
+Swm*panel.Xicon: button iconimage +C+0 button iconname +C+1
+Swm*button.iconimage.image: xlogo32
+Swm*button.close.label: [x]
+Swm*button.grow.label: [+]
+Swm*button.close.bindings: <Btn1> : f.delete
+Swm*button.grow.bindings: <Btn1> : f.save f.zoom
+Swm*button.name.bindings: <Btn1> : f.raise <Btn2> : f.move
+Swm*font: 8x13
+"""
+
+
+def render_under(template_db: ResourceDatabase, label: str) -> None:
+    server = XServer(screens=[(1152, 900, 8)])
+    wm = Swm(server, template_db, places_path="/tmp/swm.places")
+    app = XTerm(server, ["xterm", "-geometry", "40x12+40+40",
+                         "-title", "demo"])
+    wm.process_pending()
+    managed = wm.managed[app.wid]
+    print(f"=== {label} (decoration panel: {managed.decoration_name!r}) ===")
+    print(figure1_decoration(server, wm, app.wid))
+    print()
+    wm.quit()
+
+
+def main() -> None:
+    render_under(load_template("OpenLook+"), "OpenLook+ emulation")
+    render_under(load_template("Motif"), "OSF/Motif emulation")
+    custom = ResourceDatabase()
+    custom.load_string(CUSTOM)
+    render_under(custom, "Custom bottom-bar policy (no code, just resources)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multiple Virtual Desktops — the extension §6.3 anticipates:
+"this would also allow swm to implement multiple Virtual Desktops".
+
+Three independent 3000x2400 desktops; windows live on one desktop each,
+sticky windows are visible on all of them, and f.gotodesktop /
+f.sendtodesktop move the view and the windows around.  Scrollbars
+(§6's third panning mechanism) are enabled too.
+
+Run:  python examples/multiple_desktops.py
+"""
+
+from repro import Swm, XServer
+from repro.clients import NaiveApp, XClock
+from repro.core.bindings import FunctionCall
+from repro.core.templates import load_template
+
+
+def visible_names(server, wm):
+    return sorted(
+        managed.name
+        for managed in wm.managed.values()
+        if not managed.is_internal
+        and server.window(managed.client).viewable
+    )
+
+
+def main() -> None:
+    server = XServer(screens=[(1152, 900, 8)])
+    db = load_template("OpenLook+")
+    db.put("swm*virtualDesktop", "3000x2400")
+    db.put("swm*virtualDesktops", "3")
+    db.put("swm*scrollbars", "True")
+    wm = Swm(server, db, places_path="/tmp/swm.places")
+
+    # One project per desktop; a sticky clock follows everywhere.
+    mail = NaiveApp(server, ["naivedemo", "-geometry", "500x400+100+100",
+                             "-title", "mailer"])
+    clock = XClock(server, ["xclock", "-geometry", "100x100-10+10"])
+    wm.process_pending()
+
+    wm.execute(FunctionCall("gotodesktop", "1"))
+    editor = NaiveApp(server, ["naivedemo", "-geometry", "700x500+200+150",
+                               "-title", "editor"])
+    wm.process_pending()
+
+    wm.execute(FunctionCall("gotodesktop", "2"))
+    build = NaiveApp(server, ["naivedemo", "-geometry", "600x400+300+200",
+                              "-title", "build-log"])
+    wm.process_pending()
+
+    for index in range(3):
+        wm.execute(FunctionCall("gotodesktop", str(index)))
+        print(f"desktop {index}: visible = {visible_names(server, wm)}")
+
+    # Move the build log next to the editor.
+    managed_build = wm.managed[build.wid]
+    wm.execute(FunctionCall("sendtodesktop", "1"), context=managed_build)
+    wm.execute(FunctionCall("gotodesktop", "1"))
+    print(f"\nafter f.sendtodesktop(1): desktop 1 shows "
+          f"{visible_names(server, wm)}")
+
+    # Scrollbars pan the current desktop (§6's scrollbar mechanism).
+    bars = wm.screens[0].scrollbars
+    origin = server.window(bars.horizontal).position_in_root()
+    server.motion(origin.x + bars.trough_length(False) // 2, origin.y + 5)
+    server.button_press(1)
+    server.button_release(1)
+    wm.process_pending()
+    vdesk = wm.screens[0].vdesk
+    print(f"\nclicked mid-trough on the horizontal scrollbar: "
+          f"pan = ({vdesk.pan_x}, {vdesk.pan_y})")
+    print(f"thumb now at x={bars.thumb(False).x} of "
+          f"{bars.trough_length(False)}")
+
+
+if __name__ == "__main__":
+    main()

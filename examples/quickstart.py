@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a simulated X server, run swm under the OpenLook+
+template, start a few classic clients, and exercise basic window
+management.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Swm, XServer
+from repro.clients import OClock, XClock, XTerm
+from repro.core.bindings import FunctionCall
+from repro.core.templates import load_template
+from repro.figures import figure1_decoration
+
+
+def main() -> None:
+    # An 1152x900 color screen — a Sun-3 era framebuffer.
+    server = XServer(screens=[(1152, 900, 8)])
+
+    # swm is configured entirely through the X resource database (§3).
+    db = load_template("OpenLook+")
+    wm = Swm(server, db, places_path="/tmp/swm.places")
+
+    # Classic clients.  Option parsing, ICCCM properties, and (for
+    # oclock) the SHAPE extension all behave like the real ones.
+    term = XTerm(server, ["xterm", "-geometry", "80x24+30+30", "-title", "shell"])
+    clock = XClock(server, ["xclock", "-geometry", "120x120-10+10"])
+    oclock = OClock(server, ["oclock", "-geometry", "120x120+30+480"])
+    wm.process_pending()
+
+    print("Managed windows:")
+    for managed in wm.managed.values():
+        if managed.is_internal:
+            continue
+        position = wm.client_desktop_position(managed)
+        print(
+            f"  {managed.instance:10s} decoration={managed.decoration_name:12s}"
+            f" at ({position.x},{position.y})"
+            f" sticky={managed.sticky} shaped={managed.shaped}"
+        )
+
+    # Window management through f.* functions (§5).
+    managed_term = wm.managed[term.wid]
+    wm.execute(FunctionCall("moveto", "400 200"), context=managed_term)
+    wm.execute(FunctionCall("iconify"), context=managed_term)
+    print(f"\nAfter f.moveto + f.iconify: xterm state={managed_term.state}"
+          f" (1=Normal, 3=Iconic)")
+    wm.execute(FunctionCall("deiconify"), context=managed_term)
+
+    # The Figure-1 decoration, rendered from the live window tree.
+    print("\nThe xterm's OpenLook+ decoration (paper Figure 1):")
+    print(figure1_decoration(server, wm, term.wid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""swmcmd (§4.3): executing window-manager commands from outside swm —
+"a way to execute window manager commands by typing them into a shell".
+
+Also demonstrates §4.2's dynamic buttons: an external process flips a
+button's image to reflect its status (the paper's suggested use).
+
+Run:  python examples/swmcmd_remote_control.py
+"""
+
+from repro import Swm, XServer, swmcmd
+from repro.clients import XBiff, XTerm
+from repro.core.templates import load_template
+
+
+def main() -> None:
+    server = XServer(screens=[(1152, 900, 8)])
+    db = load_template("OpenLook+")
+    wm = Swm(server, db, places_path="/tmp/swm.places")
+
+    term = XTerm(server, ["xterm", "-geometry", "+100+100"])
+    biff = XBiff(server, ["xbiff", "-geometry", "+600+100"])
+    wm.process_pending()
+
+    # Any process can drive the WM by writing the command property.
+    print("swmcmd f.iconify(#0x%x)  ->" % term.wid, end=" ")
+    swmcmd(server, f"f.iconify(#{term.wid:#x})")
+    wm.process_pending()
+    print("xterm state:", wm.managed[term.wid].state, "(3 = Iconic)")
+
+    print("swmcmd f.deiconify(XTerm) ->", end=" ")
+    swmcmd(server, "f.deiconify(XTerm)")
+    wm.process_pending()
+    print("xterm state:", wm.managed[term.wid].state, "(1 = Normal)")
+
+    # The paper: "changing the shape of a button to indicate the status
+    # of a process" — mail arrives, a titlebar button flips to the full
+    # mailbox bitmap.  (xbiff itself is sticky with a minimal
+    # decoration, so we flip the xterm's nail button.)
+    nail = wm.managed[term.wid].object_named("nail")
+    print("\nnail button image before:", nail.image)
+    swmcmd(server, "f.setimage(nail:mailfull)")
+    wm.process_pending()
+    print("nail button image after :", nail.image)
+
+    # A command with no target prompts with the question-mark cursor,
+    # exactly like `swmcmd f.raise` in the paper.
+    swmcmd(server, "f.raise")
+    wm.process_pending()
+    print("\nAfter bare 'swmcmd f.raise':",
+          f"pointer cursor = {server.active_grab.cursor!r} (prompting)")
+    # The user clicks the xterm to complete the command.
+    rect = wm.frame_rect(wm.managed[term.wid])
+    server.motion(rect.x + 5, rect.y + 25)
+    server.button_press(1)
+    server.button_release(1)
+    wm.process_pending()
+    print("Selection completed; prompt ended:", wm.selection is None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Virtual Desktop (§6): a rooms-style environment.
+
+Four "rooms" live in the quadrants of a 3000x2400 desktop; a sticky
+xclock stays on the glass while the desktop pans, and the panner shows
+the whole layout in miniature (paper Figure 3).
+
+Run:  python examples/virtual_desktop_rooms.py
+"""
+
+from repro import Swm, XServer
+from repro.clients import NaiveApp, XClock, XTerm
+from repro.core.templates import load_template
+from repro.figures import figure3_panner
+
+
+ROOMS = {
+    "mail": (0, 0),
+    "code": (1500, 0),
+    "docs": (0, 1200),
+    "scratch": (1500, 1200),
+}
+
+
+def main() -> None:
+    server = XServer(screens=[(1152, 900, 8)])
+    db = load_template("OpenLook+")
+    db.put("swm*virtualDesktop", "3000x2400")
+    wm = Swm(server, db, places_path="/tmp/swm.places")
+
+    # One window per room, plus a sticky clock (sticky via the
+    # template's `swm*xclock.XClock.sticky: True`).
+    for name, (x, y) in ROOMS.items():
+        NaiveApp(
+            server,
+            ["naivedemo", "-geometry", f"500x400+{x + 200}+{y + 200}",
+             "-title", name],
+        )
+    clock = XClock(server, ["xclock", "-geometry", "100x100-10+10"])
+    wm.process_pending()
+
+    clock_position = clock.root_position()
+    for name, (x, y) in ROOMS.items():
+        wm.pan_to(0, x, y)
+        visible = [
+            managed.name
+            for managed in wm.managed.values()
+            if not managed.is_internal
+            and not managed.sticky
+            and server.window(managed.client)
+            .rect_in_root()
+            .intersects(server.screens[0].rect)
+        ]
+        assert clock.root_position() == clock_position, "sticky clock moved!"
+        print(f"room {name!r:10s}: visible windows = {visible}")
+
+    print("\nSticky clock stayed at", clock_position, "through every pan.")
+
+    wm.pan_to(0, 750, 600)  # a spot between rooms
+    print("\nThe panner (paper Figure 3) — '#' windows, ':' viewport:")
+    print(figure3_panner(wm))
+
+
+if __name__ == "__main__":
+    main()

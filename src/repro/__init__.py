@@ -1,0 +1,40 @@
+"""repro: a full reproduction of "swm: An X Window Manager Shell"
+(Thomas E. LaStrange, 1990).
+
+Quickstart::
+
+    from repro import XServer, Swm, load_template
+    from repro.clients import XClock
+
+    server = XServer(screens=[(1152, 900, 8)])
+    db = load_template("OpenLook+")
+    db.put("swm*virtualDesktop", "3000x2400")
+    wm = Swm(server, db)
+    clock = XClock(server, ["xclock", "-geometry", "120x120+50+60"])
+    wm.process_pending()
+
+Subpackages:
+
+- ``repro.xserver``  — the simulated X server substrate
+- ``repro.xrm``      — the X resource manager
+- ``repro.icccm``    — client/WM conventions (hints, properties)
+- ``repro.toolkit``  — OI-flavoured attribute + layout toolkit
+- ``repro.clients``  — canned X applications (workloads)
+- ``repro.core``     — swm itself (objects, functions, virtual desktop)
+- ``repro.session``  — swmhints / f.places / launcher
+- ``repro.baselines``— twm-like and raw-Xlib comparison WMs
+"""
+
+from .core import Swm, load_template, swmcmd
+from .xserver import ClientConnection, XServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientConnection",
+    "Swm",
+    "XServer",
+    "load_template",
+    "swmcmd",
+    "__version__",
+]

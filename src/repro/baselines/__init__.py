@@ -1,0 +1,12 @@
+"""Baseline window managers for the paper's comparisons.
+
+- :class:`Twm` — the easy-but-inflexible comparator (§1, §8): fixed
+  decoration policy, configured by a separate ``.twmrc`` file.
+- :class:`RawWM` — a window manager written directly on top of Xlib
+  (§8's performance comparator): no toolkit, no reparenting.
+"""
+
+from .rawwm import RawWM
+from .twm import Twm, TwmConfig, TwmrcError
+
+__all__ = ["RawWM", "Twm", "TwmConfig", "TwmrcError"]

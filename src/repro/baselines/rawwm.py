@@ -1,0 +1,111 @@
+"""A minimal raw-Xlib window manager.
+
+§8 of the paper: "swm, like any toolkit based window manager, has
+somewhat slower performance than a window manager written directly on
+top of Xlib or one that is kernel based."  This is that comparator: no
+reparenting, no decoration objects, no resource lookups per operation —
+the smallest WM that still honours MapRequests and does
+move/resize/raise/lower/iconify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import icccm
+from ..icccm.hints import ICONIC_STATE, NORMAL_STATE, WMState
+from ..xserver import events as ev
+from ..xserver.client import ClientConnection
+from ..xserver.errors import BadWindow, XError
+from ..xserver.event_mask import EventMask
+from ..xserver.server import XServer
+
+
+class RawWM:
+    """The no-frills baseline: map requests are granted, configure
+    requests pass straight through, windows are not reparented."""
+
+    def __init__(self, server: XServer, screen: int = 0,
+                 manage_existing: bool = True):
+        self.server = server
+        self.conn = ClientConnection(server, "rawwm")
+        self.screen = screen
+        self.root = self.conn.root_window(screen)
+        self.states: Dict[int, int] = {}
+        self.conn.select_input(
+            self.root,
+            EventMask.SubstructureRedirect | EventMask.SubstructureNotify,
+        )
+        if manage_existing:
+            _, _, children = self.conn.query_tree(self.root)
+            for child in children:
+                try:
+                    window = self.server.window(child)
+                except BadWindow:
+                    continue
+                if window.mapped and not window.override_redirect:
+                    self.states[child] = NORMAL_STATE
+        self.conn.event_handlers.append(lambda _ev: self.process_pending())
+        self.process_pending()
+
+    def process_pending(self) -> int:
+        handled = 0
+        while self.conn.pending():
+            event = self.conn.next_event()
+            try:
+                self._dispatch(event)
+            except XError:
+                pass
+            handled += 1
+        return handled
+
+    def _dispatch(self, event: ev.Event) -> None:
+        if isinstance(event, ev.MapRequest):
+            self.conn.map_window(event.requestor)
+            self.states[event.requestor] = NORMAL_STATE
+            icccm.set_wm_state(
+                self.conn, event.requestor, WMState(NORMAL_STATE)
+            )
+        elif isinstance(event, ev.ConfigureRequest):
+            kwargs = {}
+            if event.value_mask & ev.CWX:
+                kwargs["x"] = event.x
+            if event.value_mask & ev.CWY:
+                kwargs["y"] = event.y
+            if event.value_mask & ev.CWWidth:
+                kwargs["width"] = event.width
+            if event.value_mask & ev.CWHeight:
+                kwargs["height"] = event.height
+            if event.value_mask & ev.CWBorderWidth:
+                kwargs["border_width"] = event.border_width
+            if kwargs:
+                self.conn.configure_window(event.window, **kwargs)
+        elif isinstance(event, ev.DestroyNotify):
+            self.states.pop(event.destroyed_window, None)
+
+    # -- direct operations (no decoration to maintain) ----------------------
+
+    def move_window(self, wid: int, x: int, y: int) -> None:
+        self.conn.move_window(wid, x, y)
+
+    def resize_window(self, wid: int, width: int, height: int) -> None:
+        self.conn.resize_window(wid, width, height)
+
+    def raise_window(self, wid: int) -> None:
+        self.conn.raise_window(wid)
+
+    def lower_window(self, wid: int) -> None:
+        self.conn.lower_window(wid)
+
+    def iconify(self, wid: int) -> None:
+        self.conn.unmap_window(wid)
+        self.states[wid] = ICONIC_STATE
+        icccm.set_wm_state(self.conn, wid, WMState(ICONIC_STATE))
+
+    def deiconify(self, wid: int) -> None:
+        self.conn.map_window(wid)
+        self.states[wid] = NORMAL_STATE
+        icccm.set_wm_state(self.conn, wid, WMState(NORMAL_STATE))
+
+    def quit(self) -> None:
+        self.conn.close()

@@ -1,0 +1,419 @@
+"""A twm-like baseline window manager.
+
+The paper positions swm against twm: "easy to use, but different window
+management policies are next to impossible to implement", configured
+through "a separate initialization file rather than the more general X
+resource database" (§8 calls that twm's biggest mistake).
+
+This baseline reproduces those properties: a *fixed* decoration (title
+bar with a name area, an iconify button and a resize button — always),
+configured by a ``.twmrc``-style file supporting only the knobs twm
+exposes.  There is no virtual desktop, no user-defined objects, no
+per-screen resource overrides — changing the look requires editing the
+init file and restarting.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import icccm
+from ..icccm.hints import ICONIC_STATE, NORMAL_STATE, SizeHints, WMState
+from ..xserver import events as ev
+from ..xserver.client import ClientConnection
+from ..xserver.errors import BadWindow, XError
+from ..xserver.event_mask import EventMask
+from ..xserver.fonts import load_font
+from ..xserver.server import XServer
+
+TITLE_PAD = 4
+BUTTON_SIZE = 16
+
+
+class TwmrcError(ValueError):
+    """A malformed .twmrc line."""
+
+
+@dataclass
+class TwmConfig:
+    """The subset of .twmrc twm-style configuration we model."""
+
+    border_width: int = 2
+    title_font: str = "8x13"
+    no_title: List[str] = field(default_factory=list)
+    icon_font: str = "fixed"
+    colors: Dict[str, str] = field(default_factory=dict)
+    #: (button, context) -> function name, e.g. (1, "title") -> "f.raise"
+    bindings: Dict[Tuple[int, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "TwmConfig":
+        """Parse .twmrc-ish syntax::
+
+            BorderWidth 2
+            TitleFont "8x13"
+            NoTitle { "xclock" "xbiff" }
+            Color { BorderColor "maroon" TitleBackground "gray" }
+            Button1 = : title : f.raise
+            Button3 = : root : f.lower
+        """
+        config = cls()
+        lines = text.splitlines()
+        index = 0
+        while index < len(lines):
+            line = lines[index].strip()
+            index += 1
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("BorderWidth"):
+                config.border_width = int(line.split()[1])
+            elif line.startswith("TitleFont"):
+                config.title_font = shlex.split(line)[1]
+            elif line.startswith("IconFont"):
+                config.icon_font = shlex.split(line)[1]
+            elif line.startswith("NoTitle"):
+                block, index = cls._block(lines, index, line)
+                config.no_title.extend(shlex.split(block))
+            elif line.startswith("Color"):
+                block, index = cls._block(lines, index, line)
+                tokens = shlex.split(block)
+                for key, value in zip(tokens[::2], tokens[1::2]):
+                    config.colors[key] = value
+            elif re.match(r"^Button[1-5]\s*=", line):
+                match = re.match(
+                    r"^Button(?P<n>[1-5])\s*=\s*:\s*(?P<ctx>\w+)\s*:\s*"
+                    r"(?P<fn>f\.\w+)$",
+                    line,
+                )
+                if match is None:
+                    raise TwmrcError(f"bad binding line: {line!r}")
+                config.bindings[
+                    (int(match.group("n")), match.group("ctx"))
+                ] = match.group("fn")
+            else:
+                raise TwmrcError(f"unrecognized .twmrc line: {line!r}")
+        return config
+
+    @staticmethod
+    def _block(lines: List[str], index: int, first: str) -> Tuple[str, int]:
+        """Collect a { ... } block starting on *first* or after it."""
+        chunks = []
+        text = first[first.find("{") + 1:] if "{" in first else ""
+        if "}" in text:
+            return text[: text.find("}")], index
+        chunks.append(text)
+        while index < len(lines):
+            line = lines[index]
+            index += 1
+            if "}" in line:
+                chunks.append(line[: line.find("}")])
+                return " ".join(chunks), index
+            chunks.append(line)
+        raise TwmrcError("unterminated { block")
+
+
+@dataclass
+class TwmWindow:
+    client: int
+    frame: int
+    title_bar: Optional[int]
+    state: int = NORMAL_STATE
+    icon: Optional[int] = None
+    name: str = ""
+    size_hints: SizeHints = field(default_factory=SizeHints)
+
+
+class Twm:
+    """The baseline twm-like window manager."""
+
+    def __init__(
+        self,
+        server: XServer,
+        twmrc: str = "",
+        screen: int = 0,
+        manage_existing: bool = True,
+    ):
+        self.server = server
+        self.config = TwmConfig.parse(twmrc)
+        self.conn = ClientConnection(server, "twm")
+        self.screen = screen
+        self.root = self.conn.root_window(screen)
+        self.windows: Dict[int, TwmWindow] = {}
+        self.frames: Dict[int, TwmWindow] = {}
+        self.icon_slot = 0
+        self.title_font = load_font(self.config.title_font)
+        self.conn.select_input(
+            self.root,
+            EventMask.SubstructureRedirect
+            | EventMask.SubstructureNotify
+            | EventMask.ButtonPress,
+        )
+        if manage_existing:
+            self._adopt()
+        self.conn.event_handlers.append(lambda _ev: self.process_pending())
+        self.process_pending()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _adopt(self) -> None:
+        _, _, children = self.conn.query_tree(self.root)
+        for child in children:
+            try:
+                window = self.server.window(child)
+            except BadWindow:
+                continue
+            if window.owner == self.conn.client_id or window.override_redirect:
+                continue
+            if window.mapped:
+                self.manage(child)
+
+    def process_pending(self) -> int:
+        handled = 0
+        while self.conn.pending():
+            event = self.conn.next_event()
+            try:
+                self._dispatch(event)
+            except XError:
+                pass
+            handled += 1
+        return handled
+
+    def _dispatch(self, event: ev.Event) -> None:
+        if isinstance(event, ev.MapRequest):
+            entry = self.windows.get(event.requestor)
+            if entry is None:
+                self.manage(event.requestor)
+            elif entry.state == ICONIC_STATE:
+                self.deiconify(entry)
+        elif isinstance(event, ev.ConfigureRequest):
+            self._configure_request(event)
+        elif isinstance(event, ev.DestroyNotify):
+            entry = self.windows.get(event.destroyed_window)
+            if entry is not None:
+                self.unmanage(entry, destroyed=True)
+        elif isinstance(event, ev.ButtonPress):
+            self._button_press(event)
+
+    # -- the fixed policy ------------------------------------------------------
+
+    def title_height(self) -> int:
+        return self.title_font.height + 2 * TITLE_PAD
+
+    def wants_title(self, instance: str, class_name: str) -> bool:
+        return (
+            instance not in self.config.no_title
+            and class_name not in self.config.no_title
+        )
+
+    def manage(self, client: int) -> Optional[TwmWindow]:
+        if client in self.windows:
+            return self.windows[client]
+        try:
+            window = self.server.window(client)
+        except BadWindow:
+            return None
+        if window.override_redirect:
+            return None
+        wm_class = icccm.get_wm_class(self.conn, client) or ("", "")
+        name = icccm.get_wm_name(self.conn, client) or wm_class[0]
+        hints = icccm.get_wm_normal_hints(self.conn, client) or SizeHints()
+        x, y, width, height, _ = self.conn.get_geometry(client)
+        titled = self.wants_title(*wm_class)
+        title_h = self.title_height() if titled else 0
+
+        frame = self.conn.create_window(
+            self.root,
+            x,
+            y,
+            width,
+            height + title_h,
+            border_width=self.config.border_width,
+            event_mask=EventMask.SubstructureRedirect
+            | EventMask.SubstructureNotify
+            | EventMask.ButtonPress,
+            background=self.config.colors.get("BorderColor"),
+        )
+        title_bar = None
+        if titled:
+            title_bar = self.conn.create_window(
+                frame,
+                0,
+                0,
+                width,
+                title_h,
+                event_mask=EventMask.ButtonPress,
+                background=self.config.colors.get("TitleBackground"),
+            )
+            self.conn.set_string_property(title_bar, "SWM_LABEL", name)
+            self.conn.map_window(title_bar)
+        self.conn.add_to_save_set(client)
+        if self.server.window(client).mapped:
+            pass  # reparent will unmap/remap internally
+        self.conn.reparent_window(client, frame, 0, title_h)
+        self.conn.select_input(client, EventMask.StructureNotify)
+        self.conn.map_window(client)
+        self.conn.map_window(frame)
+        icccm.set_wm_state(self.conn, client, WMState(NORMAL_STATE))
+
+        entry = TwmWindow(
+            client=client,
+            frame=frame,
+            title_bar=title_bar,
+            name=name,
+            size_hints=hints,
+        )
+        self.windows[client] = entry
+        self.frames[frame] = entry
+        return entry
+
+    def unmanage(self, entry: TwmWindow, destroyed: bool = False) -> None:
+        if not destroyed and self.conn.window_exists(entry.client):
+            origin = self.server.window(entry.client).position_in_root()
+            self.conn.reparent_window(entry.client, self.root, origin.x, origin.y)
+        if self.conn.window_exists(entry.frame):
+            self.conn.destroy_window(entry.frame)
+        if entry.icon is not None and self.conn.window_exists(entry.icon):
+            self.conn.destroy_window(entry.icon)
+        self.windows.pop(entry.client, None)
+        self.frames.pop(entry.frame, None)
+
+    def _configure_request(self, event: ev.ConfigureRequest) -> None:
+        entry = self.windows.get(event.window)
+        if entry is None:
+            kwargs = {}
+            if event.value_mask & ev.CWX:
+                kwargs["x"] = event.x
+            if event.value_mask & ev.CWY:
+                kwargs["y"] = event.y
+            if event.value_mask & ev.CWWidth:
+                kwargs["width"] = event.width
+            if event.value_mask & ev.CWHeight:
+                kwargs["height"] = event.height
+            if kwargs:
+                self.conn.configure_window(event.window, **kwargs)
+            return
+        title_h = self.title_height() if entry.title_bar else 0
+        if event.value_mask & (ev.CWWidth | ev.CWHeight):
+            _, _, width, height, _ = self.conn.get_geometry(entry.client)
+            new_w = event.width if event.value_mask & ev.CWWidth else width
+            new_h = event.height if event.value_mask & ev.CWHeight else height
+            new_w, new_h = entry.size_hints.constrain_size(new_w, new_h)
+            self.conn.resize_window(entry.client, new_w, new_h)
+            self.conn.resize_window(entry.frame, new_w, new_h + title_h)
+            if entry.title_bar:
+                self.conn.resize_window(entry.title_bar, new_w, title_h)
+        if event.value_mask & (ev.CWX | ev.CWY):
+            x, y, _, _, _ = self.conn.get_geometry(entry.frame)
+            new_x = event.x if event.value_mask & ev.CWX else x
+            new_y = event.y if event.value_mask & ev.CWY else y
+            self.conn.move_window(entry.frame, new_x, new_y)
+        self._send_synthetic_configure(entry)
+
+    def _send_synthetic_configure(self, entry: TwmWindow) -> None:
+        origin = self.server.window(entry.client).position_in_root()
+        _, _, width, height, _ = self.conn.get_geometry(entry.client)
+        self.conn.send_event(
+            entry.client,
+            ev.ConfigureNotify(
+                window=entry.client,
+                configured_window=entry.client,
+                x=origin.x,
+                y=origin.y,
+                width=width,
+                height=height,
+            ),
+            EventMask.StructureNotify,
+        )
+
+    def _button_press(self, event: ev.ButtonPress) -> None:
+        entry = self.frames.get(event.window)
+        context = "frame"
+        if entry is None:
+            for candidate in self.windows.values():
+                if candidate.title_bar == event.window:
+                    entry = candidate
+                    context = "title"
+                    break
+        if entry is None and event.window == self.root:
+            context = "root"
+        function = self.config.bindings.get((event.button, context))
+        if function is None:
+            return
+        self.run_function(function, entry)
+
+    # -- the fixed function set --------------------------------------------------
+
+    def run_function(self, name: str, entry: Optional[TwmWindow]) -> None:
+        name = name.replace("f.", "")
+        if name == "raise" and entry:
+            self.conn.raise_window(entry.frame)
+        elif name == "lower" and entry:
+            self.conn.lower_window(entry.frame)
+        elif name == "iconify" and entry:
+            self.iconify(entry)
+        elif name == "deiconify" and entry:
+            self.deiconify(entry)
+
+    def raise_window(self, entry: TwmWindow) -> None:
+        self.conn.raise_window(entry.frame)
+
+    def lower_window(self, entry: TwmWindow) -> None:
+        self.conn.lower_window(entry.frame)
+
+    def move_window(self, entry: TwmWindow, x: int, y: int) -> None:
+        self.conn.move_window(entry.frame, x, y)
+        self._send_synthetic_configure(entry)
+
+    def resize_window(self, entry: TwmWindow, width: int, height: int) -> None:
+        width, height = entry.size_hints.constrain_size(width, height)
+        title_h = self.title_height() if entry.title_bar else 0
+        self.conn.resize_window(entry.client, width, height)
+        self.conn.resize_window(entry.frame, width, height + title_h)
+        if entry.title_bar:
+            self.conn.resize_window(entry.title_bar, width, title_h)
+        self._send_synthetic_configure(entry)
+
+    def iconify(self, entry: TwmWindow) -> None:
+        """The fixed-appearance icon: a small labelled box (this is the
+        'fixed-appearance icon representation' §4.1.5 contrasts icon
+        holders with)."""
+        if entry.state == ICONIC_STATE:
+            return
+        if entry.icon is None:
+            icon_font = load_font(self.config.icon_font)
+            width = max(48, icon_font.text_width(entry.name) + 8)
+            entry.icon = self.conn.create_window(
+                self.root,
+                8 + self.icon_slot * (width + 8),
+                self.server.screens[self.screen].height - 40,
+                width,
+                icon_font.height + 8,
+                border_width=1,
+                event_mask=EventMask.ButtonPress,
+            )
+            self.conn.set_string_property(entry.icon, "SWM_LABEL", entry.name)
+            self.icon_slot += 1
+        self.conn.unmap_window(entry.frame)
+        self.conn.map_window(entry.icon)
+        entry.state = ICONIC_STATE
+        icccm.set_wm_state(
+            self.conn, entry.client, WMState(ICONIC_STATE, entry.icon)
+        )
+
+    def deiconify(self, entry: TwmWindow) -> None:
+        if entry.state != ICONIC_STATE:
+            return
+        if entry.icon is not None:
+            self.conn.unmap_window(entry.icon)
+        self.conn.map_window(entry.frame)
+        self.conn.raise_window(entry.frame)
+        entry.state = NORMAL_STATE
+        icccm.set_wm_state(self.conn, entry.client, WMState(NORMAL_STATE))
+
+    def quit(self) -> None:
+        for entry in list(self.windows.values()):
+            self.unmanage(entry)
+        self.conn.close()

@@ -1,0 +1,49 @@
+"""Canned X client applications used as workloads."""
+
+from .apps import (
+    APP_REGISTRY,
+    CmdTool,
+    MultiWindowApp,
+    NaiveApp,
+    OClock,
+    OIApp,
+    XBiff,
+    XClock,
+    XEyes,
+    XLoad,
+    XLogo,
+    XTerm,
+    launch_command,
+)
+from .base import (
+    CommandLineError,
+    SimApp,
+    WM_CHANGE_STATE,
+    XT_STYLE,
+    XVIEW_STYLE,
+    parse_xt_options,
+    parse_xview_options,
+)
+
+__all__ = [
+    "APP_REGISTRY",
+    "CmdTool",
+    "CommandLineError",
+    "MultiWindowApp",
+    "NaiveApp",
+    "OClock",
+    "OIApp",
+    "SimApp",
+    "WM_CHANGE_STATE",
+    "XBiff",
+    "XClock",
+    "XEyes",
+    "XLoad",
+    "XLogo",
+    "XTerm",
+    "XT_STYLE",
+    "XVIEW_STYLE",
+    "launch_command",
+    "parse_xt_options",
+    "parse_xview_options",
+]

@@ -1,0 +1,325 @@
+"""Simulated X applications.
+
+A :class:`SimApp` is a canned client: it owns a connection, parses its
+command line the way its toolkit would (Xt-style ``-geometry`` vs
+XView-style ``-Wp``/``-Ws`` — §7 of the paper: "there are no standard
+command line options"), creates its top-level window with full ICCCM
+properties, and reacts to WM actions like a real client.
+
+Apps are registered by program name so the session launcher can restart
+them from a literal WM_COMMAND string, which is exactly the property
+swm's session manager relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import icccm
+from ..icccm.hints import (
+    ICONIC_STATE,
+    NORMAL_STATE,
+    P_POSITION,
+    STATE_HINT,
+    US_POSITION,
+    US_SIZE,
+    SizeHints,
+    WMHints,
+)
+from ..xserver import events as ev
+from ..xserver.client import ClientConnection
+from ..xserver.event_mask import EventMask
+from ..xserver.geometry import Geometry, Size, parse_geometry
+from ..xserver.server import XServer
+
+XT_STYLE = "xt"
+XVIEW_STYLE = "xview"
+
+#: The ICCCM message a client sends to ask the WM to iconify it.
+WM_CHANGE_STATE = "WM_CHANGE_STATE"
+
+
+class CommandLineError(ValueError):
+    """Unparseable client command line."""
+
+
+def parse_xt_options(argv: Sequence[str]) -> Dict[str, object]:
+    """Parse Xt Intrinsics standard options (subset)."""
+    options: Dict[str, object] = {}
+    index = 1
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-geometry", "-geom", "-g"):
+            index += 1
+            if index >= len(argv):
+                raise CommandLineError(f"{arg} needs a value")
+            options["geometry"] = parse_geometry(argv[index])
+        elif arg == "-iconic":
+            options["iconic"] = True
+        elif arg in ("-title", "-T"):
+            index += 1
+            options["title"] = argv[index]
+        elif arg == "-name":
+            index += 1
+            options["instance"] = argv[index]
+        elif arg in ("-display", "-d"):
+            index += 1
+            options["display"] = argv[index]
+        elif arg == "-xrm":
+            index += 1
+            options.setdefault("xrm", []).append(argv[index])
+        else:
+            options.setdefault("extra", []).append(arg)
+        index += 1
+    return options
+
+
+def parse_xview_options(argv: Sequence[str]) -> Dict[str, object]:
+    """Parse XView generic options (subset): -Wp X Y, -Ws W H, -WP X Y
+    (icon position), -Wi (iconic), -Wl LABEL."""
+    options: Dict[str, object] = {}
+    index = 1
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "-Wp":
+            options["position"] = (int(argv[index + 1]), int(argv[index + 2]))
+            index += 2
+        elif arg == "-Ws":
+            options["size"] = (int(argv[index + 1]), int(argv[index + 2]))
+            index += 2
+        elif arg == "-WP":
+            options["icon_position"] = (
+                int(argv[index + 1]),
+                int(argv[index + 2]),
+            )
+            index += 2
+        elif arg == "-Wi":
+            options["iconic"] = True
+        elif arg == "-Wl":
+            index += 1
+            options["title"] = argv[index]
+        else:
+            options.setdefault("extra", []).append(arg)
+        index += 1
+    return options
+
+
+class SimApp:
+    """A canned client application."""
+
+    #: Subclasses override these.
+    program = "simapp"
+    class_name = "SimApp"
+    default_size = Size(100, 100)
+    toolkit = XT_STYLE
+    #: OI-toolkit clients honour the SWM_ROOT property when positioning
+    #: popups (§6.3 of the paper); naive clients use the real root.
+    vroot_aware = False
+
+    def __init__(
+        self,
+        server: XServer,
+        argv: Optional[Sequence[str]] = None,
+        host: str = "localhost",
+        screen: int = 0,
+        user_positioned: Optional[bool] = None,
+    ):
+        self.server = server
+        self.argv: List[str] = list(argv) if argv else [self.program]
+        self.host = host
+        self.screen_number = screen
+        self.conn = ClientConnection(server, self.argv[0])
+        self.conn.event_handlers.append(self._track_position)
+        self.conn.event_handlers.append(self._handle_event)
+        self.popups: List[int] = []
+        self.destroyed = False
+        #: Where the client believes it is, relative to its root — kept
+        #: current from ConfigureNotify events, exactly as real toolkits
+        #: "monitor their position on the root window" (§6.3).
+        self.believed_position: Tuple[int, int] = (0, 0)
+
+        if self.toolkit == XVIEW_STYLE:
+            options = parse_xview_options(self.argv)
+            geometry = Geometry()
+            if "size" in options:
+                width, height = options["size"]
+                geometry = Geometry(width=width, height=height)
+            if "position" in options:
+                x, y = options["position"]
+                geometry = Geometry(geometry.width, geometry.height, x, y)
+            options["geometry"] = geometry
+        else:
+            options = parse_xt_options(self.argv)
+        self.options = options
+
+        geometry: Geometry = options.get("geometry") or Geometry()
+        width = geometry.width or self.default_size.width
+        height = geometry.height or self.default_size.height
+        screen_obj = server.screens[screen]
+        if geometry.x is not None:
+            pos = geometry.resolve(Size(screen_obj.width, screen_obj.height),
+                                   Size(width, height))
+            x, y = pos.x, pos.y
+            positioned = True
+        else:
+            x, y = 0, 0
+            positioned = False
+
+        self.wid = self.conn.create_window(
+            self.conn.root_window(screen),
+            x,
+            y,
+            width,
+            height,
+            border_width=1,
+            event_mask=EventMask.StructureNotify | EventMask.PropertyChange,
+        )
+        self.believed_position = (x, y)
+
+        instance = options.get("instance", self.program)
+        icccm.set_wm_class(self.conn, self.wid, instance, self.class_name)
+        icccm.set_wm_name(
+            self.conn, self.wid, options.get("title", self.program)
+        )
+        icccm.set_wm_icon_name(self.conn, self.wid, instance)
+        icccm.set_wm_command(self.conn, self.wid, self.argv)
+        icccm.set_wm_client_machine(self.conn, self.wid, host)
+
+        flags = 0
+        if positioned:
+            # Positions given on the command line are user-specified
+            # (the Xt behaviour since X11R4, §6.3).
+            user = positioned if user_positioned is None else user_positioned
+            flags |= US_POSITION if user else P_POSITION
+        if geometry.width is not None:
+            flags |= US_SIZE
+        hints = SizeHints(flags=flags, x=x, y=y, width=width, height=height)
+        self._extend_size_hints(hints)
+        icccm.set_wm_normal_hints(self.conn, self.wid, hints)
+
+        wm_hints = WMHints(flags=STATE_HINT)
+        wm_hints.initial_state = (
+            ICONIC_STATE if options.get("iconic") else NORMAL_STATE
+        )
+        if "icon_position" in options:
+            from ..icccm.hints import ICON_POSITION_HINT
+
+            wm_hints.flags |= ICON_POSITION_HINT
+            wm_hints.icon_x, wm_hints.icon_y = options["icon_position"]
+        icccm.set_wm_hints(self.conn, self.wid, wm_hints)
+
+        self._decorate_window()
+        self.conn.map_window(self.wid)
+
+    # -- subclass hooks --------------------------------------------------------
+
+    def _extend_size_hints(self, hints: SizeHints) -> None:
+        """Subclasses add min/max/increment constraints."""
+
+    def _decorate_window(self) -> None:
+        """Subclasses shape the window, add children, etc."""
+
+    def _track_position(self, event: ev.Event) -> None:
+        if isinstance(event, ev.ConfigureNotify) and event.window == self.wid:
+            self.believed_position = (event.x, event.y)
+
+    def _handle_event(self, event: ev.Event) -> None:
+        """Reactive behaviour; subclasses extend."""
+
+    # -- client actions ---------------------------------------------------------------
+
+    def request_iconify(self) -> None:
+        """Ask the WM to iconify us (ICCCM WM_CHANGE_STATE message)."""
+        atom = self.conn.intern_atom(WM_CHANGE_STATE)
+        message = ev.ClientMessage(
+            window=self.wid,
+            message_type=atom,
+            data=(ICONIC_STATE,),
+        )
+        self.conn.send_event(
+            self.conn.root_window(self.screen_number),
+            message,
+            EventMask.SubstructureRedirect | EventMask.SubstructureNotify,
+        )
+
+    def set_title(self, title: str) -> None:
+        icccm.set_wm_name(self.conn, self.wid, title)
+
+    def move_resize(self, x: int, y: int, width: int, height: int) -> None:
+        """Issue a ConfigureWindow; under a WM this becomes a
+        ConfigureRequest the WM may honour or not."""
+        self.conn.move_resize_window(self.wid, x, y, width, height)
+
+    def root_position(self) -> Tuple[int, int]:
+        """Where the client window sits relative to the *real* root —
+        the coordinates a naive client sees."""
+        x, y, _ = self.conn.translate_coordinates(
+            self.wid, self.conn.root_window(self.screen_number), 0, 0
+        )
+        return x, y
+
+    def popup_at_offset(self, dx: int, dy: int, width: int = 80, height: int = 60) -> int:
+        """Pop up an override-redirect menu/dialog at an offset from our
+        window, positioning it the way this client's toolkit would.
+
+        A vroot-aware (OI-style) toolkit resolves coordinates against
+        the window named by the SWM_ROOT property and clamps to that
+        window's bounds.  A naive toolkit uses the position it last
+        heard in a ConfigureNotify — desktop coordinates, on a Virtual
+        Desktop — places the popup on the *real* root, and clamps to
+        the physical screen: the §6.3 failure mode.
+        """
+        reference = self._popup_reference_window()
+        screen = self.server.screens[self.screen_number]
+        real_root = self.conn.root_window(self.screen_number)
+        if reference == real_root and not self.vroot_aware:
+            my_x, my_y = self.believed_position
+            x = my_x + dx
+            y = my_y + dy
+            # "Intelligent" placement against the believed screen.
+            x = max(0, min(x, screen.width - width))
+            y = max(0, min(y, screen.height - height))
+        else:
+            my_x, my_y, _ = self.conn.translate_coordinates(
+                self.wid, reference, 0, 0
+            )
+            _, _, ref_w, ref_h, _ = self.conn.get_geometry(reference)
+            x = max(0, min(my_x + dx, ref_w - width))
+            y = max(0, min(my_y + dy, ref_h - height))
+        popup = self.conn.create_window(
+            reference,
+            x,
+            y,
+            width,
+            height,
+            override_redirect=True,
+            border_width=1,
+        )
+        self.conn.map_window(popup)
+        self.popups.append(popup)
+        return popup
+
+    def _popup_reference_window(self) -> int:
+        root = self.conn.root_window(self.screen_number)
+        if not self.vroot_aware:
+            return root
+        prop = self.conn.get_property(self.wid, "SWM_ROOT")
+        if prop is None or prop.format != 32 or not prop.data:
+            return root
+        candidate = prop.data[0]
+        return candidate if self.conn.window_exists(candidate) else root
+
+    def close_popups(self) -> None:
+        for popup in self.popups:
+            if self.conn.window_exists(popup):
+                self.conn.destroy_window(popup)
+        self.popups.clear()
+
+    def quit(self) -> None:
+        """Exit: close the connection; all our windows are destroyed."""
+        if not self.destroyed:
+            self.conn.close()
+            self.destroyed = True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.argv} on {self.host}>"

@@ -1,0 +1,59 @@
+"""swm: the window manager shell (the paper's contribution)."""
+
+from .bindings import (
+    Binding,
+    BindingParseError,
+    FunctionCall,
+    parse_bindings,
+)
+from .functions import FunctionError, Invocation, function_names
+from .managed import ManagedWindow
+from .objects import Button, Menu, Panel, SwmObject, TextObject
+from .panel_spec import ObjectSpec, PanelSpecError, parse_panel_spec
+from .panner import Panner
+from .swmcmd import swmcmd
+from .templates import (
+    DEFAULT_TEMPLATE,
+    MOTIF_TEMPLATE,
+    OPENLOOK_TEMPLATE,
+    ROOT_PANEL_TEMPLATE,
+    TEMPLATES,
+    load_template,
+)
+from .virtual import VirtualDesktop
+from .wm import SWM_ROOT_PROPERTY, Swm
+from .xrdb import database_from_root, xrdb_load, xrdb_merge, xrdb_query
+
+__all__ = [
+    "Binding",
+    "BindingParseError",
+    "Button",
+    "DEFAULT_TEMPLATE",
+    "FunctionCall",
+    "FunctionError",
+    "Invocation",
+    "MOTIF_TEMPLATE",
+    "ManagedWindow",
+    "Menu",
+    "OPENLOOK_TEMPLATE",
+    "ObjectSpec",
+    "Panel",
+    "PanelSpecError",
+    "Panner",
+    "ROOT_PANEL_TEMPLATE",
+    "SWM_ROOT_PROPERTY",
+    "SwmObject",
+    "Swm",
+    "TEMPLATES",
+    "TextObject",
+    "VirtualDesktop",
+    "database_from_root",
+    "function_names",
+    "load_template",
+    "parse_bindings",
+    "parse_panel_spec",
+    "swmcmd",
+    "xrdb_load",
+    "xrdb_merge",
+    "xrdb_query",
+]

@@ -1,0 +1,245 @@
+"""Object bindings: the Xt-translation-flavoured action syntax (§4.2).
+
+A bindings attribute value is a sequence of clauses::
+
+    <Btn1>      : f.raise
+    <Btn2>      : f.save f.zoom
+    Shift<Btn3> : f.iconify(multiple)
+    <Key>Up     : f.warpvertical(-50)
+
+Resource-file line continuations join the clauses onto one line, so the
+parser re-splits on the ``[modifiers]<event>[detail] :`` clause heads.
+Any number of clauses, and any number of functions per clause, are
+allowed (the paper calls this out explicitly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..xserver import events as ev
+
+# Event kinds a binding can name.
+BUTTON_PRESS = "ButtonPress"
+BUTTON_RELEASE = "ButtonRelease"
+BUTTON_MOTION = "ButtonMotion"
+KEY_PRESS = "KeyPress"
+KEY_RELEASE = "KeyRelease"
+ENTER = "Enter"
+LEAVE = "Leave"
+MOTION = "Motion"
+
+_MODIFIER_BITS = {
+    "shift": ev.SHIFT_MASK,
+    "lock": ev.LOCK_MASK,
+    "ctrl": ev.CONTROL_MASK,
+    "control": ev.CONTROL_MASK,
+    "meta": ev.MOD1_MASK,
+    "alt": ev.MOD1_MASK,
+    "mod1": ev.MOD1_MASK,
+    "mod2": ev.MOD2_MASK,
+    "mod3": ev.MOD3_MASK,
+    "mod4": ev.MOD4_MASK,
+    "mod5": ev.MOD5_MASK,
+}
+
+_RELEVANT_MODIFIERS = (
+    ev.SHIFT_MASK
+    | ev.CONTROL_MASK
+    | ev.MOD1_MASK
+    | ev.MOD2_MASK
+    | ev.MOD3_MASK
+    | ev.MOD4_MASK
+    | ev.MOD5_MASK
+)
+
+
+class BindingParseError(ValueError):
+    """A malformed bindings attribute."""
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """One ``f.name`` or ``f.name(argument)`` invocation."""
+
+    name: str
+    argument: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.argument is None:
+            return f"f.{self.name}"
+        return f"f.{self.name}({self.argument})"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One clause: event pattern -> function list."""
+
+    event: str  # one of the kind constants above
+    button: int = 0  # for button events
+    keysym: str = ""  # for key events
+    modifiers: int = 0
+    any_modifier: bool = False
+    functions: Tuple[FunctionCall, ...] = ()
+
+    def matches_button(self, button: int, state: int, release: bool = False) -> bool:
+        kind = BUTTON_RELEASE if release else BUTTON_PRESS
+        if self.event != kind or self.button != button:
+            return False
+        return self._modifiers_match(state)
+
+    def matches_key(self, keysym: str, state: int, release: bool = False) -> bool:
+        kind = KEY_RELEASE if release else KEY_PRESS
+        if self.event != kind:
+            return False
+        if self.keysym and self.keysym != keysym:
+            return False
+        return self._modifiers_match(state)
+
+    def _modifiers_match(self, state: int) -> bool:
+        if self.any_modifier:
+            return True
+        return (state & _RELEVANT_MODIFIERS) == self.modifiers
+
+
+_CLAUSE_HEAD = re.compile(
+    r"(?P<mods>(?:(?:Shift|Lock|Ctrl|Control|Meta|Alt|Mod[1-5]|Any)\s*)*)"
+    r"<(?P<event>[A-Za-z0-9]+)>\s*(?P<detail>[\w]+)?\s*:",
+    re.IGNORECASE,
+)
+
+_FUNCTION_RE = re.compile(
+    r"f\.(?P<name>[A-Za-z_][\w]*)\s*(?:\(\s*(?P<arg>[^()]*?)\s*\))?"
+)
+
+_BUTTON_EVENT_RE = re.compile(r"^[Bb]tn([1-5])(Up|Down|Motion)?$")
+
+
+def _parse_event(event: str, detail: Optional[str]) -> Tuple[str, int, str]:
+    """Return (kind, button, keysym) for an event token."""
+    match = _BUTTON_EVENT_RE.match(event)
+    if match:
+        button = int(match.group(1))
+        suffix = match.group(2)
+        if suffix == "Up":
+            return BUTTON_RELEASE, button, ""
+        if suffix == "Motion":
+            return BUTTON_MOTION, button, ""
+        return BUTTON_PRESS, button, ""
+    lowered = event.lower()
+    if lowered == "key":
+        return KEY_PRESS, 0, detail or ""
+    if lowered in ("keyup", "keyrelease"):
+        return KEY_RELEASE, 0, detail or ""
+    if lowered in ("enter", "enternotify", "enterwindow"):
+        return ENTER, 0, ""
+    if lowered in ("leave", "leavenotify", "leavewindow"):
+        return LEAVE, 0, ""
+    if lowered in ("motion", "ptrmoved"):
+        return MOTION, 0, ""
+    raise BindingParseError(f"unknown event <{event}>")
+
+
+def _parse_modifiers(text: str) -> Tuple[int, bool]:
+    mask = 0
+    any_modifier = False
+    for word in text.split():
+        lowered = word.lower()
+        if lowered == "any":
+            any_modifier = True
+        elif lowered in _MODIFIER_BITS:
+            mask |= _MODIFIER_BITS[lowered]
+        else:
+            raise BindingParseError(f"unknown modifier {word!r}")
+    return mask, any_modifier
+
+
+def _parse_functions(text: str) -> Tuple[FunctionCall, ...]:
+    calls: List[FunctionCall] = []
+    remainder = text
+    for match in _FUNCTION_RE.finditer(text):
+        arg = match.group("arg")
+        calls.append(
+            FunctionCall(match.group("name").lower(),
+                         arg if arg not in (None, "") else None)
+        )
+    if not calls:
+        raise BindingParseError(f"no functions in clause {text!r}")
+    leftovers = _FUNCTION_RE.sub("", text).strip()
+    if leftovers:
+        raise BindingParseError(f"trailing junk in clause: {leftovers!r}")
+    return tuple(calls)
+
+
+def parse_bindings(value: str) -> List[Binding]:
+    """Parse a bindings attribute value into clauses."""
+    # Normalize explicit newlines (from \n escapes) to plain separators;
+    # clause heads re-anchor parsing either way.
+    text = value.replace("\n", " ").strip()
+    if not text:
+        return []
+    heads = list(_CLAUSE_HEAD.finditer(text))
+    if not heads:
+        raise BindingParseError(f"no event clauses in {value!r}")
+    if text[: heads[0].start()].strip():
+        raise BindingParseError(
+            f"junk before first clause: {text[:heads[0].start()]!r}"
+        )
+    bindings: List[Binding] = []
+    for index, head in enumerate(heads):
+        end = heads[index + 1].start() if index + 1 < len(heads) else len(text)
+        body = text[head.end():end].strip()
+        kind, button, keysym = _parse_event(
+            head.group("event"), head.group("detail")
+        )
+        modifiers, any_modifier = _parse_modifiers(head.group("mods") or "")
+        functions = _parse_functions(body)
+        bindings.append(
+            Binding(
+                event=kind,
+                button=button,
+                keysym=keysym,
+                modifiers=modifiers,
+                any_modifier=any_modifier,
+                functions=functions,
+            )
+        )
+    return bindings
+
+
+def bindings_for_button(
+    bindings: Sequence[Binding], button: int, state: int, release: bool = False
+) -> Optional[Binding]:
+    """The first clause matching a button event, or None."""
+    for binding in bindings:
+        if binding.matches_button(button, state, release):
+            return binding
+    return None
+
+
+def bindings_for_key(
+    bindings: Sequence[Binding], keysym: str, state: int, release: bool = False
+) -> Optional[Binding]:
+    for binding in bindings:
+        if binding.matches_key(keysym, state, release):
+            return binding
+    return None
+
+
+def bindings_for_motion(
+    bindings: Sequence[Binding], state: int
+) -> Optional[Binding]:
+    """The first clause matching pointer motion in the given button
+    state: ``<Btn2Motion>`` fires while button 2 is held, bare
+    ``<Motion>`` on any motion."""
+    for binding in bindings:
+        if binding.event == MOTION:
+            if binding._modifiers_match(state):
+                return binding
+        elif binding.event == BUTTON_MOTION:
+            held = state & (ev.BUTTON1_MASK << (binding.button - 1))
+            if held and binding._modifiers_match(state):
+                return binding
+    return None

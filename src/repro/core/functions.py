@@ -1,0 +1,399 @@
+"""Window manager functions (§4.3, §5).
+
+Functions are invoked from object bindings, menus, or swmcmd.  Each
+``f.name`` can execute in several modes (§5)::
+
+    f.iconify            iconify the current window (binding context)
+    f.iconify(multiple)  prompt for windows, one after another
+    f.iconify(blob)      all windows whose class matches "blob"
+    f.iconify(#$)        the window under the mouse
+    f.iconify(#0x1234)   a specific window ID
+
+The registry maps function names to handlers; handlers receive the WM
+and an :class:`Invocation` carrying the resolved target and pointer
+context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .bindings import FunctionCall
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..xserver import events as ev
+    from .managed import ManagedWindow
+    from .wm import Swm
+
+
+class FunctionError(Exception):
+    """A function could not run (unknown name, bad argument...)."""
+
+
+@dataclass
+class Invocation:
+    """One function execution context."""
+
+    call: FunctionCall
+    screen: int = 0
+    managed: Optional["ManagedWindow"] = None
+    pointer: Tuple[int, int] = (0, 0)
+    event: Optional[object] = None
+
+    def int_arg(self, default: int = 0) -> int:
+        if self.call.argument is None:
+            return default
+        try:
+            return int(self.call.argument, 0)
+        except ValueError:
+            raise FunctionError(
+                f"f.{self.call.name} expects an integer, got "
+                f"{self.call.argument!r}"
+            ) from None
+
+    def point_arg(self) -> Tuple[int, int]:
+        arg = self.call.argument or ""
+        parts = arg.replace(",", " ").split()
+        if len(parts) != 2:
+            raise FunctionError(
+                f"f.{self.call.name} expects two integers, got {arg!r}"
+            )
+        try:
+            return int(parts[0], 0), int(parts[1], 0)
+        except ValueError:
+            raise FunctionError(f"bad coordinates {arg!r}") from None
+
+
+@dataclass
+class FunctionSpec:
+    handler: Callable[["Swm", Invocation], None]
+    needs_window: bool = False
+    #: When True (the default for window functions), the call argument
+    #: is a window selector (§5 invocation modes).  Functions like
+    #: f.moveto(x y) take data arguments instead and resolve their
+    #: target from the binding context / selection prompt.
+    window_from_arg: bool = True
+    doc: str = ""
+
+
+FUNCTIONS: Dict[str, FunctionSpec] = {}
+
+
+def register(name: str, needs_window: bool = False, window_from_arg: bool = True):
+    """Decorator adding a handler to the function registry."""
+
+    def wrap(handler):
+        FUNCTIONS[name] = FunctionSpec(
+            handler,
+            needs_window=needs_window,
+            window_from_arg=window_from_arg,
+            doc=handler.__doc__ or "",
+        )
+        return handler
+
+    return wrap
+
+
+def lookup(name: str) -> FunctionSpec:
+    try:
+        return FUNCTIONS[name.lower()]
+    except KeyError:
+        raise FunctionError(f"unknown function f.{name}") from None
+
+
+def function_names() -> List[str]:
+    return sorted(FUNCTIONS)
+
+
+# -- window stack ----------------------------------------------------------------
+
+
+@register("raise", needs_window=True)
+def f_raise(wm: "Swm", inv: Invocation) -> None:
+    """Raise the window to the top of the stack."""
+    wm.raise_managed(inv.managed)
+
+
+@register("lower", needs_window=True)
+def f_lower(wm: "Swm", inv: Invocation) -> None:
+    """Lower the window to the bottom of the stack."""
+    wm.lower_managed(inv.managed)
+
+
+@register("raiselower", needs_window=True)
+def f_raiselower(wm: "Swm", inv: Invocation) -> None:
+    """Raise if obscured, else lower."""
+    wm.raise_lower_managed(inv.managed)
+
+
+@register("circleup")
+def f_circleup(wm: "Swm", inv: Invocation) -> None:
+    """Raise the lowest window (CirculateWindow RaiseLowest)."""
+    wm.circulate(inv.screen, up=True)
+
+
+@register("circledown")
+def f_circledown(wm: "Swm", inv: Invocation) -> None:
+    """Lower the highest window."""
+    wm.circulate(inv.screen, up=False)
+
+
+# -- geometry ----------------------------------------------------------------------
+
+
+@register("move", needs_window=True)
+def f_move(wm: "Swm", inv: Invocation) -> None:
+    """Interactive move: drag an outline until button release."""
+    wm.begin_move(inv.managed, inv.pointer)
+
+
+@register("moveto", needs_window=True, window_from_arg=False)
+def f_moveto(wm: "Swm", inv: Invocation) -> None:
+    """Move the window to explicit desktop coordinates: f.moveto(x y)
+    applies to the window under the pointer / binding context."""
+    x, y = inv.point_arg()
+    wm.move_managed_to(inv.managed, x, y)
+
+
+@register("resize", needs_window=True)
+def f_resize(wm: "Swm", inv: Invocation) -> None:
+    """Interactive resize from the nearest corner."""
+    wm.begin_resize(inv.managed, inv.pointer)
+
+
+@register("resizeto", needs_window=True, window_from_arg=False)
+def f_resizeto(wm: "Swm", inv: Invocation) -> None:
+    """Resize the client to an explicit size: f.resizeto(w h)."""
+    width, height = inv.point_arg()
+    wm.resize_managed(inv.managed, width, height)
+
+
+@register("save", needs_window=True)
+def f_save(wm: "Swm", inv: Invocation) -> None:
+    """Save the window's location and size (for a later f.zoom /
+    f.restore) — the paper's '<Btn2>: f.save f.zoom'."""
+    wm.save_geometry(inv.managed)
+
+
+@register("restore", needs_window=True)
+def f_restore(wm: "Swm", inv: Invocation) -> None:
+    """Restore the geometry saved by f.save."""
+    wm.restore_geometry(inv.managed)
+
+
+@register("zoom", needs_window=True)
+def f_zoom(wm: "Swm", inv: Invocation) -> None:
+    """Expand the window to the full size of the screen; a second zoom
+    restores the saved geometry."""
+    wm.zoom_managed(inv.managed)
+
+
+@register("hzoom", needs_window=True)
+def f_hzoom(wm: "Swm", inv: Invocation) -> None:
+    """Zoom horizontally: full screen width, height unchanged."""
+    wm.zoom_managed(inv.managed, axis="h")
+
+
+@register("vzoom", needs_window=True)
+def f_vzoom(wm: "Swm", inv: Invocation) -> None:
+    """Zoom vertically: full screen height, width unchanged."""
+    wm.zoom_managed(inv.managed, axis="v")
+
+
+# -- state -----------------------------------------------------------------------------
+
+
+@register("iconify", needs_window=True)
+def f_iconify(wm: "Swm", inv: Invocation) -> None:
+    """Iconify the window."""
+    wm.iconify(inv.managed)
+
+
+@register("deiconify", needs_window=True)
+def f_deiconify(wm: "Swm", inv: Invocation) -> None:
+    """Deiconify the window."""
+    wm.deiconify(inv.managed)
+
+
+@register("focus", needs_window=True)
+def f_focus(wm: "Swm", inv: Invocation) -> None:
+    """Give the client the input focus."""
+    wm.focus_managed(inv.managed)
+
+
+@register("delete", needs_window=True)
+def f_delete(wm: "Swm", inv: Invocation) -> None:
+    """Close the client politely (WM_DELETE_WINDOW if supported)."""
+    wm.delete_client(inv.managed)
+
+
+@register("destroy", needs_window=True)
+def f_destroy(wm: "Swm", inv: Invocation) -> None:
+    """Destroy the client window outright."""
+    wm.destroy_client(inv.managed)
+
+
+# -- sticky windows (6.2) -------------------------------------------------------------
+
+
+@register("stick", needs_window=True)
+def f_stick(wm: "Swm", inv: Invocation) -> None:
+    """Stick the window to the glass."""
+    wm.stick(inv.managed)
+
+
+@register("unstick", needs_window=True)
+def f_unstick(wm: "Swm", inv: Invocation) -> None:
+    """Unstick the window back onto the desktop."""
+    wm.unstick(inv.managed)
+
+
+@register("togglestick", needs_window=True)
+def f_togglestick(wm: "Swm", inv: Invocation) -> None:
+    """Toggle stickiness (the nail button)."""
+    if inv.managed.sticky:
+        wm.unstick(inv.managed)
+    else:
+        wm.stick(inv.managed)
+
+
+# -- virtual desktop (6) -----------------------------------------------------------------
+
+
+@register("pan")
+def f_pan(wm: "Swm", inv: Invocation) -> None:
+    """Pan the Virtual Desktop by (dx dy)."""
+    dx, dy = inv.point_arg()
+    wm.pan_by(inv.screen, dx, dy)
+
+
+@register("panto")
+def f_panto(wm: "Swm", inv: Invocation) -> None:
+    """Pan so the viewport's origin is desktop (x y)."""
+    x, y = inv.point_arg()
+    wm.pan_to(inv.screen, x, y)
+
+
+@register("gotodesktop")
+def f_gotodesktop(wm: "Swm", inv: Invocation) -> None:
+    """Switch to Virtual Desktop N (multiple-desktop extension)."""
+    wm.switch_desktop(inv.screen, inv.int_arg())
+
+
+@register("nextdesktop")
+def f_nextdesktop(wm: "Swm", inv: Invocation) -> None:
+    """Switch to the next Virtual Desktop."""
+    sc = wm.screens[inv.screen]
+    if sc.vdesks:
+        wm.switch_desktop(inv.screen, sc.current_desktop + 1)
+
+
+@register("prevdesktop")
+def f_prevdesktop(wm: "Swm", inv: Invocation) -> None:
+    """Switch to the previous Virtual Desktop."""
+    sc = wm.screens[inv.screen]
+    if sc.vdesks:
+        wm.switch_desktop(inv.screen, sc.current_desktop - 1)
+
+
+@register("sendtodesktop", needs_window=True, window_from_arg=False)
+def f_sendtodesktop(wm: "Swm", inv: Invocation) -> None:
+    """Move the window to Virtual Desktop N: f.sendtodesktop(2)."""
+    wm.send_to_desktop(inv.managed, inv.int_arg())
+
+
+@register("warpvertical")
+def f_warpvertical(wm: "Swm", inv: Invocation) -> None:
+    """Warp the pointer vertically by N pixels (negative is up)."""
+    wm.warp_pointer_by(0, inv.int_arg())
+
+
+@register("warphorizontal")
+def f_warphorizontal(wm: "Swm", inv: Invocation) -> None:
+    """Warp the pointer horizontally by N pixels."""
+    wm.warp_pointer_by(inv.int_arg(), 0)
+
+
+@register("warpto", needs_window=True)
+def f_warpto(wm: "Swm", inv: Invocation) -> None:
+    """Warp the pointer to the window (panning to it if needed)."""
+    wm.warp_to_managed(inv.managed)
+
+
+# -- session / lifecycle (7, 8) --------------------------------------------------------------
+
+
+@register("places")
+def f_places(wm: "Swm", inv: Invocation) -> None:
+    """Write the session restart script (the .xinitrc replacement)."""
+    wm.save_places()
+
+
+@register("quit")
+def f_quit(wm: "Swm", inv: Invocation) -> None:
+    """Shut down swm, releasing all clients."""
+    wm.quit()
+
+
+@register("restart")
+def f_restart(wm: "Swm", inv: Invocation) -> None:
+    """Restart swm: re-read resources and re-manage everything."""
+    wm.restart()
+
+
+@register("refresh")
+def f_refresh(wm: "Swm", inv: Invocation) -> None:
+    """Force a full-screen repaint."""
+    wm.refresh(inv.screen)
+
+
+@register("exec")
+def f_exec(wm: "Swm", inv: Invocation) -> None:
+    """Launch a command: f.exec(xterm -geometry 80x24)."""
+    if not inv.call.argument:
+        raise FunctionError("f.exec needs a command")
+    wm.exec_command(inv.call.argument)
+
+
+@register("beep")
+def f_beep(wm: "Swm", inv: Invocation) -> None:
+    """Ring the bell."""
+    wm.beep()
+
+
+@register("nop")
+def f_nop(wm: "Swm", inv: Invocation) -> None:
+    """Do nothing (placeholder binding)."""
+
+
+# -- menus and dynamic objects (4.2, 4.4) -----------------------------------------------------
+
+
+@register("menu")
+def f_menu(wm: "Swm", inv: Invocation) -> None:
+    """Pop up a named menu at the pointer."""
+    if not inv.call.argument:
+        raise FunctionError("f.menu needs a menu name")
+    wm.popup_menu(inv.call.argument, inv.screen, inv.pointer, inv.managed)
+
+
+@register("setimage")
+def f_setimage(wm: "Swm", inv: Invocation) -> None:
+    """Dynamically change a button's image: f.setimage(name:bitmap).
+    This is how decorations reflect client/process state (§4.2)."""
+    arg = inv.call.argument or ""
+    if ":" not in arg:
+        raise FunctionError("f.setimage wants name:bitmap")
+    obj_name, _, bitmap_name = arg.partition(":")
+    wm.set_button_image(obj_name.strip(), bitmap_name.strip(), inv.managed)
+
+
+@register("setlabel")
+def f_setlabel(wm: "Swm", inv: Invocation) -> None:
+    """Dynamically change a button's label: f.setlabel(name:text)."""
+    arg = inv.call.argument or ""
+    if ":" not in arg:
+        raise FunctionError("f.setlabel wants name:text")
+    obj_name, _, text = arg.partition(":")
+    wm.set_button_label(obj_name.strip(), text, inv.managed)

@@ -1,0 +1,196 @@
+"""Icons, icon appearance panels, root icons, and icon holders (§4.1.2–4.1.5).
+
+swm has no concept of what an icon should look like: icon appearance
+panels describe it.  The ``iconname`` button displays WM_ICON_NAME and
+the ``iconimage`` button displays the client's icon pixmap / icon
+window image (falling back to the panel's configured image, classically
+``xlogo32``).
+
+Icon holders are root panels that collect icons — per client class if
+configured — with options to hide when empty or size to fit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..toolkit.attributes import AttributeContext
+from ..xserver.geometry import Point, Size
+from .objects import Button, Panel, TextObject, object_factory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..xserver.client import ClientConnection
+    from .managed import ManagedWindow
+
+
+class Icon:
+    """A realized icon: the appearance panel for one iconified client,
+    or a root icon with no client at all (§4.1.3)."""
+
+    def __init__(
+        self,
+        panel: Panel,
+        window: int,
+        holder: Optional["IconHolder"] = None,
+        managed: Optional["ManagedWindow"] = None,
+    ):
+        self.panel = panel
+        self.window = window
+        self.holder = holder
+        self.managed = managed
+
+    @property
+    def is_root_icon(self) -> bool:
+        return self.managed is None
+
+    def __repr__(self) -> str:
+        owner = self.managed.instance if self.managed else "<root icon>"
+        return f"<Icon window={self.window:#x} for {owner}>"
+
+
+def build_icon_panel(
+    screen_ctx: AttributeContext,
+    panel_name: str,
+    icon_name: str = "",
+    has_client_image: bool = False,
+) -> Panel:
+    """Build an icon appearance panel tree.
+
+    *icon_name* labels the ``iconname`` object; *has_client_image*
+    marks that the client supplied its own icon pixmap/window, which
+    the ``iconimage`` button displays instead of the stock bitmap.
+    """
+    panel = Panel(screen_ctx, panel_name)
+    panel.build(object_factory(screen_ctx))
+    name_obj = panel.find("iconname")
+    if name_obj is not None and icon_name:
+        if isinstance(name_obj, Button):
+            name_obj.set_label(icon_name)
+        elif isinstance(name_obj, TextObject):
+            name_obj.set_text(icon_name)
+    image_obj = panel.find("iconimage")
+    if isinstance(image_obj, Button) and has_client_image:
+        image_obj.set_label(f"<{icon_name or 'icon'}>")
+    return panel
+
+
+class IconHolder:
+    """A special root panel containing icons (§4.1.5).
+
+    Configured entirely through resources::
+
+        swm*holder.terminals.classes: XTerm
+        swm*holder.terminals.geometry: +900+10
+        swm*holder.terminals.columns: 1
+        swm*holder.terminals.hideWhenEmpty: True
+        swm*holder.terminals.sizeToFit: True
+    """
+
+    def __init__(
+        self,
+        conn: "ClientConnection",
+        ctx: AttributeContext,
+        name: str,
+        parent_window: int,
+        slot_size: Size = Size(72, 64),
+    ):
+        self.conn = conn
+        self.ctx = ctx
+        self.name = name
+        self.slot_size = slot_size
+        self.icons: List[Icon] = []
+
+        path = ["holder", self.name]
+        self.classes = (ctx.get_string(path, "classes", "") or "").split()
+        self.columns = max(1, ctx.get_int(path, "columns", 4))
+        self.hide_when_empty = ctx.get_bool(path, "hideWhenEmpty", False)
+        self.size_to_fit = ctx.get_bool(path, "sizeToFit", True)
+        self.scroll_offset = 0
+
+        geometry = ctx.get_string(path, "geometry", "+0+0")
+        from ..xserver.geometry import parse_geometry
+
+        geo = parse_geometry(geometry)
+        x = geo.x or 0
+        y = geo.y or 0
+        width = geo.width or (self.columns * slot_size.width + 4)
+        height = geo.height or (slot_size.height + 4)
+        self.window = conn.create_window(
+            parent_window,
+            x,
+            y,
+            width,
+            height,
+            border_width=1,
+            override_redirect=True,
+            background=ctx.get_string(path, "background"),
+        )
+        if not self.hide_when_empty:
+            conn.map_window(self.window)
+
+    # -- membership -----------------------------------------------------------
+
+    def accepts(self, class_name: str, instance: str) -> bool:
+        """Does this holder collect icons of the given client class?
+        An empty class list means "everything"."""
+        if not self.classes:
+            return True
+        return class_name in self.classes or instance in self.classes
+
+    def slot_position(self, index: int) -> Point:
+        col = index % self.columns
+        row = index // self.columns
+        return Point(
+            2 + col * self.slot_size.width,
+            2 + row * self.slot_size.height - self.scroll_offset,
+        )
+
+    def add(self, icon: Icon) -> Point:
+        """Deposit an icon; returns its position within the holder."""
+        self.icons.append(icon)
+        icon.holder = self
+        position = self.slot_position(len(self.icons) - 1)
+        self._refresh()
+        return position
+
+    def remove(self, icon: Icon) -> None:
+        if icon in self.icons:
+            self.icons.remove(icon)
+            icon.holder = None
+            self._repack()
+            self._refresh()
+
+    def _repack(self) -> None:
+        for index, icon in enumerate(self.icons):
+            position = self.slot_position(index)
+            self.conn.move_window(icon.window, position.x, position.y)
+
+    def _refresh(self) -> None:
+        """Apply hide-when-empty and size-to-fit policies."""
+        if self.hide_when_empty:
+            if self.icons:
+                self.conn.map_window(self.window)
+            else:
+                self.conn.unmap_window(self.window)
+        if self.size_to_fit and self.icons:
+            rows = (len(self.icons) + self.columns - 1) // self.columns
+            cols = min(self.columns, len(self.icons))
+            self.conn.resize_window(
+                self.window,
+                cols * self.slot_size.width + 4,
+                rows * self.slot_size.height + 4,
+            )
+
+    def scroll(self, dy: int) -> None:
+        """Scroll the holder's contents (the non-size-to-fit mode)."""
+        max_offset = max(
+            0,
+            ((len(self.icons) + self.columns - 1) // self.columns)
+            * self.slot_size.height
+            - 1,
+        )
+        self.scroll_offset = max(0, min(self.scroll_offset + dy, max_offset))
+        self._repack()
+
+    def __repr__(self) -> str:
+        return f"<IconHolder {self.name!r} icons={len(self.icons)}>"

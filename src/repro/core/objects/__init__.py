@@ -1,0 +1,54 @@
+"""The four swm object types: panel, button, text, menu."""
+
+from typing import Callable
+
+from ...toolkit.attributes import AttributeContext
+from .base import LABEL_ATOM, OBJECT_EVENT_MASK, SwmObject
+from .button import Button
+from .menu import Menu, MenuItem, MenuParseError, parse_menu_spec
+from .panel import MAX_PANEL_DEPTH, Panel
+from .text import TextObject
+
+OBJECT_TYPES = {
+    "panel": Panel,
+    "button": Button,
+    "text": TextObject,
+    "menu": Menu,
+}
+
+
+def make_object(ctx: AttributeContext, obj_type: str, name: str) -> SwmObject:
+    """Factory for the four object types."""
+    try:
+        cls = OBJECT_TYPES[obj_type]
+    except KeyError:
+        raise ValueError(f"unknown object type {obj_type!r}") from None
+    return cls(ctx, name)
+
+
+def object_factory(ctx: AttributeContext) -> Callable[[str, str], SwmObject]:
+    """A factory closure bound to one attribute context, for
+    Panel.build()."""
+
+    def factory(obj_type: str, name: str) -> SwmObject:
+        return make_object(ctx, obj_type, name)
+
+    return factory
+
+
+__all__ = [
+    "Button",
+    "LABEL_ATOM",
+    "MAX_PANEL_DEPTH",
+    "Menu",
+    "MenuItem",
+    "MenuParseError",
+    "OBJECT_EVENT_MASK",
+    "OBJECT_TYPES",
+    "Panel",
+    "SwmObject",
+    "TextObject",
+    "make_object",
+    "object_factory",
+    "parse_menu_spec",
+]

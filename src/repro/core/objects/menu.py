@@ -1,0 +1,140 @@
+"""The menu object.
+
+The paper names menus as the fourth object type but does not spell out
+their resource syntax; we define one in the same spirit as panel
+definitions (and document it in the README):
+
+    swm*menu.windowops: Raise=f.raise; Lower=f.lower; Iconify=f.iconify(#$)
+
+Each item is ``label = function-list`` and items are separated by
+semicolons.  A menu pops up as an override-redirect window of stacked
+text items; releasing a button over an item executes its functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ...xserver.geometry import Size
+from ..bindings import BindingParseError, FunctionCall, _parse_functions
+from .base import LABEL_ATOM, SwmObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...xserver.client import ClientConnection
+
+
+class MenuParseError(ValueError):
+    """A malformed menu definition."""
+
+
+@dataclass(frozen=True)
+class MenuItem:
+    label: str
+    functions: Tuple[FunctionCall, ...]
+
+
+def parse_menu_spec(value: str) -> List[MenuItem]:
+    items: List[MenuItem] = []
+    for chunk in value.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise MenuParseError(f"menu item missing '=': {chunk!r}")
+        label, _, functions_text = chunk.partition("=")
+        label = label.strip()
+        if not label:
+            raise MenuParseError(f"menu item missing label: {chunk!r}")
+        try:
+            functions = _parse_functions(functions_text.strip())
+        except BindingParseError as exc:
+            raise MenuParseError(str(exc)) from None
+        items.append(MenuItem(label, functions))
+    if not items:
+        raise MenuParseError(f"menu has no items: {value!r}")
+    return items
+
+
+class Menu(SwmObject):
+    type_name = "menu"
+
+    def __init__(self, ctx, name: str):
+        super().__init__(ctx, name)
+        self._items: Optional[List[MenuItem]] = None
+        self.item_windows: List[int] = []  # realized item sub-windows
+        self.popped_up = False
+
+    @property
+    def items(self) -> List[MenuItem]:
+        if self._items is None:
+            raw = self.attr_string("items") or self._definition()
+            if raw is None:
+                raise MenuParseError(f"menu {self.name!r} has no definition")
+            self._items = parse_menu_spec(raw)
+        return self._items
+
+    def _definition(self) -> Optional[str]:
+        class_name = self.name[:1].upper() + self.name[1:]
+        return self.ctx.db.get(
+            self.ctx.prefix_names + ["menu", self.name],
+            self.ctx.prefix_classes + ["Menu", class_name],
+        )
+
+    def natural_size(self) -> Size:
+        font = self.font
+        pad = self.padding
+        width = max(font.text_width(item.label) for item in self.items)
+        item_height = font.height + 2 * pad
+        return Size(width + 2 * pad + 2, item_height * len(self.items) + 2)
+
+    def item_height(self) -> int:
+        return self.font.height + 2 * self.padding
+
+    def popup(self, conn: "ClientConnection", root: int, x: int, y: int) -> int:
+        """Realize the menu as an override-redirect window at (x, y)."""
+        size = self.natural_size()
+        self.window = conn.create_window(
+            root,
+            x,
+            y,
+            size.width,
+            size.height,
+            border_width=1,
+            override_redirect=True,
+            event_mask=0,
+            background=self.attr_string("background"),
+        )
+        height = self.item_height()
+        self.item_windows = []
+        from .base import OBJECT_EVENT_MASK
+
+        for index, item in enumerate(self.items):
+            item_window = conn.create_window(
+                self.window,
+                1,
+                1 + index * height,
+                size.width - 2,
+                height,
+                event_mask=OBJECT_EVENT_MASK,
+            )
+            conn.set_string_property(item_window, LABEL_ATOM, item.label)
+            self.item_windows.append(item_window)
+        conn.map_window(self.window)
+        conn.map_subwindows(self.window)
+        self.popped_up = True
+        return self.window
+
+    def item_at(self, item_window: int) -> Optional[MenuItem]:
+        try:
+            index = self.item_windows.index(item_window)
+        except ValueError:
+            return None
+        return self.items[index]
+
+    def popdown(self, conn: "ClientConnection") -> None:
+        if self.window is not None and conn.window_exists(self.window):
+            conn.destroy_window(self.window)
+        self.window = None
+        self.item_windows = []
+        self.popped_up = False

@@ -1,0 +1,72 @@
+"""Panel definition parsing (§4.1 of the paper).
+
+A panel definition resource value is a flat list of object triples::
+
+    swm*panel.openLook: \\
+        button pulldown +0+0 \\
+        button name      +C+0 \\
+        button nail      -0+0 \\
+        panel  client    +0+1
+
+Each triple is ``object-type object-name position``: the type is one of
+the four swm object types, the name references the subcomponent, and the
+position is a geometry string whose X/Y components map to the column and
+row within the panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..xserver.geometry import CENTER, parse_panel_position
+
+VALID_OBJECT_TYPES = ("panel", "button", "text", "menu")
+
+
+class PanelSpecError(ValueError):
+    """A malformed panel definition."""
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """One object inside a panel definition."""
+
+    type: str
+    name: str
+    col: object  # int or CENTER
+    row: object
+    col_from_right: bool = False
+    row_from_bottom: bool = False
+
+
+def parse_panel_spec(value: str) -> List[ObjectSpec]:
+    """Parse a panel definition value into its object specs."""
+    tokens = value.split()
+    if len(tokens) % 3 != 0:
+        raise PanelSpecError(
+            f"panel definition is not object-type/name/position triples: {value!r}"
+        )
+    specs: List[ObjectSpec] = []
+    seen = set()
+    for index in range(0, len(tokens), 3):
+        obj_type, obj_name, position = tokens[index:index + 3]
+        if obj_type not in VALID_OBJECT_TYPES:
+            raise PanelSpecError(f"unknown object type {obj_type!r}")
+        if obj_name in seen:
+            raise PanelSpecError(f"duplicate object name {obj_name!r}")
+        seen.add(obj_name)
+        try:
+            col, row, col_neg, row_neg = parse_panel_position(position)
+        except ValueError as exc:
+            raise PanelSpecError(str(exc)) from None
+        specs.append(
+            ObjectSpec(obj_type, obj_name, col, row, col_neg, row_neg)
+        )
+    return specs
+
+
+def has_client_slot(specs: List[ObjectSpec]) -> bool:
+    """Decoration panels must contain an interior panel named
+    ``client`` where the client window is placed."""
+    return any(spec.type == "panel" and spec.name == "client" for spec in specs)

@@ -1,0 +1,88 @@
+"""swmcmd: executing window-manager commands from outside (§4.3).
+
+"By writing a special property on the root window, swm interprets its
+contents and executes commands."  The ``swmcmd`` client appends command
+text to the ``SWM_COMMAND`` property; swm watches for PropertyNotify on
+the root, parses the accumulated commands, executes them, and deletes
+the property.
+
+A command needing a window target with none given prompts the user to
+select one (the question-mark pointer) — ``swmcmd f.raise`` from any
+xterm, per the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from ..xserver.client import ClientConnection
+from ..xserver.properties import PROP_MODE_APPEND
+from ..xserver.server import XServer
+from .bindings import FunctionCall
+
+COMMAND_PROPERTY = "SWM_COMMAND"
+
+_COMMAND_RE = re.compile(
+    r"^f\.(?P<name>[A-Za-z_]\w*)\s*(?:\(\s*(?P<arg>[^()]*?)\s*\))?$"
+)
+
+
+class SwmCmdError(ValueError):
+    """A malformed swmcmd command string."""
+
+
+def parse_command(text: str) -> FunctionCall:
+    """Parse one command line ("f.raise", "f.iconify(#0x12)")."""
+    text = text.strip()
+    if not text.startswith("f."):
+        # Allow the leading f. to be omitted, as a convenience.
+        text = "f." + text
+    match = _COMMAND_RE.match(text)
+    if match is None:
+        raise SwmCmdError(f"bad command {text!r}")
+    arg = match.group("arg")
+    return FunctionCall(
+        match.group("name").lower(), arg if arg not in (None, "") else None
+    )
+
+
+def parse_command_stream(text: str) -> List[FunctionCall]:
+    """Parse the accumulated SWM_COMMAND property contents."""
+    calls = []
+    for line in text.split("\n"):
+        line = line.strip().rstrip("\0")
+        if line:
+            calls.append(parse_command(line))
+    return calls
+
+
+def swmcmd(
+    target: Union[XServer, ClientConnection],
+    command: str,
+    screen: int = 0,
+) -> None:
+    """The swmcmd client: append *command* to the root window's command
+    property.  Accepts a server (a throwaway connection is used, like a
+    short-lived process) or an existing connection."""
+    if isinstance(target, XServer):
+        conn = ClientConnection(target, "swmcmd")
+        own = True
+    else:
+        conn = target
+        own = False
+    try:
+        # Validate before writing, as the real client would before
+        # bothering the window manager.
+        parse_command(command)
+        conn.change_property(
+            conn.root_window(screen),
+            COMMAND_PROPERTY,
+            "STRING",
+            8,
+            command.rstrip("\n") + "\n",
+            PROP_MODE_APPEND,
+        )
+    finally:
+        if own:
+            conn.close()

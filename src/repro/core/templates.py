@@ -1,0 +1,185 @@
+"""The template files shipped with swm (§3).
+
+"Several template files are supplied with swm to get the user up and
+running quickly ... Among the template files are emulations for both
+the OPEN LOOK and OSF/Motif window managers."  Each template is a
+resource-text string; load one into the database and optionally
+override pieces of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..xrm.database import ResourceDatabase
+
+#: The OpenLook+ template, including the exact decoration panel from
+#: Figure 1 of the paper and the Xicon panel from §4.1.2.
+OPENLOOK_TEMPLATE = """
+! OpenLook+ template -- the paper's Figure 1 decoration.
+Swm*panel.openLook: \\
+    button pulldown +0+0 \\
+    button name +C+0 \\
+    button nail -0+0 \\
+    panel client +0+1
+Swm*panel.openLook.resizeCorners: True
+
+Swm*decoration: openLook
+Swm*iconPanel: Xicon
+
+! Default icon appearance (4.1.2).
+Swm*panel.Xicon: \\
+    button iconimage +C+0 \\
+    button iconname +C+1
+Swm*button.iconimage.image: xlogo32
+
+! Object appearance.
+Swm*button.pulldown.image: menu12
+Swm*button.nail.image: pushpin
+Swm*background: bisque
+Swm*foreground: black
+Swm*font: 8x13
+
+! Behaviour.
+Swm*button.pulldown.bindings: <Btn1> : f.menu(windowops)
+Swm*button.name.bindings: \\
+    <Btn1> : f.raise \\
+    <Btn2> : f.move \\
+    <Btn3> : f.lower
+Swm*button.nail.bindings: <Btn1> : f.togglestick
+Swm*button.iconimage.bindings: <Btn1> : f.deiconify
+Swm*button.iconname.bindings: <Btn1> : f.deiconify
+Swm*panel.openLook.bindings: \\
+    <Btn1> : f.raise \\
+    <Btn3> : f.resize
+
+Swm*menu.windowops: \\
+    Raise=f.raise; Lower=f.lower; Move=f.move; Resize=f.resize; \\
+    Iconify=f.iconify; Zoom=f.save f.zoom; Stick=f.togglestick; \\
+    Quit=f.quit
+
+! Shaped clients get undecorated shaped frames (5.1).
+Swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit.shape: True
+
+! Sticky clients (6.2).
+Swm*xclock.XClock.sticky: True
+Swm*xbiff.XBiff.sticky: True
+Swm*sticky*decoration: stickyPanel
+Swm*panel.stickyPanel: \\
+    button name +C+0 \\
+    panel client +0+1
+"""
+
+#: A Motif-flavoured emulation: full titlebar button set, no nail.
+MOTIF_TEMPLATE = """
+! Motif (mwm) emulation template.
+Swm*panel.motif: \\
+    button menub +0+0 \\
+    button name +C+0 \\
+    button minimize +1+0 \\
+    button maximize -0+0 \\
+    panel client +0+1
+Swm*decoration: motif
+Swm*iconPanel: motifIcon
+
+Swm*panel.motifIcon: \\
+    button iconimage +C+0 \\
+    text iconname +C+1
+Swm*button.iconimage.image: xlogo32
+
+Swm*button.menub.image: menu12
+Swm*button.minimize.image: iconify8
+Swm*button.maximize.image: zoom8
+Swm*background: slate grey
+Swm*foreground: white
+Swm*font: 8x13bold
+
+Swm*button.menub.bindings: <Btn1> : f.menu(windowmenu)
+Swm*button.name.bindings: \\
+    <Btn1> : f.raise \\
+    <Btn2> : f.move
+Swm*button.minimize.bindings: <Btn1> : f.iconify
+Swm*button.maximize.bindings: <Btn1> : f.save f.zoom
+Swm*button.iconimage.bindings: <Btn1> : f.deiconify
+Swm*text.iconname.bindings: <Btn1> : f.deiconify
+Swm*panel.motif.bindings: \\
+    <Btn1> : f.raise \\
+    Meta<Btn1> : f.move
+
+Swm*menu.windowmenu: \\
+    Restore=f.deiconify; Move=f.move; Size=f.resize; \\
+    Minimize=f.iconify; Maximize=f.save f.zoom; \\
+    Lower=f.lower; Close=f.delete
+
+Swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit.shape: True
+"""
+
+#: The built-in default loaded when no swm resources are specified.
+DEFAULT_TEMPLATE = """
+! Default configuration: a plain titlebar.
+Swm*panel.default: \\
+    button name +C+0 \\
+    panel client +0+1
+Swm*decoration: default
+Swm*iconPanel: defaultIcon
+Swm*panel.defaultIcon: \\
+    button iconimage +C+0 \\
+    button iconname +C+1
+Swm*button.iconimage.image: xlogo32
+Swm*button.name.bindings: \\
+    <Btn1> : f.raise \\
+    <Btn2> : f.move \\
+    <Btn3> : f.iconify
+Swm*button.iconimage.bindings: <Btn1> : f.deiconify
+Swm*button.iconname.bindings: <Btn1> : f.deiconify
+Swm*background: gray
+Swm*foreground: black
+Swm*font: fixed
+"""
+
+#: The root panel from Figure 2 of the paper, loadable on demand.
+ROOT_PANEL_TEMPLATE = """
+Swm*panel.RootPanel: \\
+    button quit +0+0 \\
+    button restart +1+0 \\
+    button iconify +2+0 \\
+    button deiconify +3+0 \\
+    button move +0+1 \\
+    button resize +1+1 \\
+    button raise +2+1 \\
+    button lower +3+1
+Swm*button.quit.bindings: <Btn1> : f.quit
+Swm*button.restart.bindings: <Btn1> : f.restart
+Swm*button.iconify.bindings: <Btn1> : f.iconify(multiple)
+Swm*button.deiconify.bindings: <Btn1> : f.deiconify(multiple)
+Swm*button.move.bindings: <Btn1> : f.move(multiple)
+Swm*button.resize.bindings: <Btn1> : f.resize(multiple)
+Swm*button.raise.bindings: <Btn1> : f.raise(multiple)
+Swm*button.lower.bindings: <Btn1> : f.lower(multiple)
+"""
+
+TEMPLATES: Dict[str, str] = {
+    "OpenLook+": OPENLOOK_TEMPLATE,
+    "Motif": MOTIF_TEMPLATE,
+    "default": DEFAULT_TEMPLATE,
+    "RootPanel": ROOT_PANEL_TEMPLATE,
+}
+
+
+def load_template(name: str, db: ResourceDatabase = None) -> ResourceDatabase:
+    """Load a named template into *db* (or a fresh database).  User
+    resources loaded afterwards override the template, per §3."""
+    if db is None:
+        db = ResourceDatabase()
+    try:
+        text = TEMPLATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown template {name!r}; have {sorted(TEMPLATES)}"
+        ) from None
+    db.load_string(text)
+    return db

@@ -1,0 +1,121 @@
+"""The Virtual Desktop (§6).
+
+The desktop is an X window larger than the screen, child of the real
+root; managed frames live on it and panning just moves the big window.
+Because windows do not move relative to *their* root when the desktop
+pans, they receive no ConfigureNotify events — the exact behaviour (and
+compatibility headache) §6.3 describes.
+
+The desktop's size is limited only by the usable area of an X window,
+32767x32767 pixels (§6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from ..xserver import events as ev
+from ..xserver.event_mask import EventMask
+from ..xserver.geometry import Point, Rect, Size
+from ..xserver.server import MAX_WINDOW_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..xserver.client import ClientConnection
+    from ..xserver.screen import Screen
+
+
+class VirtualDesktop:
+    """One screen's Virtual Desktop window and pan state."""
+
+    def __init__(
+        self,
+        conn: "ClientConnection",
+        screen: "Screen",
+        size: Size,
+        background: Optional[str] = None,
+    ):
+        if size.width > MAX_WINDOW_SIZE or size.height > MAX_WINDOW_SIZE:
+            raise ValueError(
+                f"Virtual Desktop larger than {MAX_WINDOW_SIZE} pixels"
+            )
+        if size.width < screen.width or size.height < screen.height:
+            raise ValueError("Virtual Desktop smaller than the screen")
+        self.conn = conn
+        self.screen = screen
+        self.size = size
+        self.pan_x = 0
+        self.pan_y = 0
+        self.window = conn.create_window(
+            screen.root.id,
+            0,
+            0,
+            size.width,
+            size.height,
+            override_redirect=True,
+            event_mask=EventMask.SubstructureRedirect
+            | EventMask.SubstructureNotify
+            | EventMask.ButtonPress
+            | EventMask.KeyPress,
+            background=background or "gray",
+        )
+        conn.map_window(self.window)
+        conn.lower_window(self.window)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(0, 0, self.size.width, self.size.height)
+
+    def view_rect(self) -> Rect:
+        """The visible viewport, in desktop coordinates."""
+        return Rect(self.pan_x, self.pan_y, self.screen.width, self.screen.height)
+
+    def view_to_desktop(self, x: int, y: int) -> Point:
+        return Point(x + self.pan_x, y + self.pan_y)
+
+    def desktop_to_view(self, x: int, y: int) -> Point:
+        return Point(x - self.pan_x, y - self.pan_y)
+
+    def max_pan(self) -> Tuple[int, int]:
+        return (
+            max(0, self.size.width - self.screen.width),
+            max(0, self.size.height - self.screen.height),
+        )
+
+    # -- panning ----------------------------------------------------------------
+
+    def pan_to(self, x: int, y: int) -> Tuple[int, int]:
+        """Pan so the viewport's upper-left sits at desktop (x, y),
+        clamped to the desktop bounds.  Returns the actual offset."""
+        max_x, max_y = self.max_pan()
+        self.pan_x = max(0, min(x, max_x))
+        self.pan_y = max(0, min(y, max_y))
+        self.conn.move_window(self.window, -self.pan_x, -self.pan_y)
+        return self.pan_x, self.pan_y
+
+    def pan_by(self, dx: int, dy: int) -> Tuple[int, int]:
+        return self.pan_to(self.pan_x + dx, self.pan_y + dy)
+
+    def center_view_on(self, x: int, y: int) -> Tuple[int, int]:
+        """Pan so desktop point (x, y) is centered in the viewport."""
+        return self.pan_to(
+            x - self.screen.width // 2, y - self.screen.height // 2
+        )
+
+    # -- resizing -----------------------------------------------------------------
+
+    def resize(self, width: int, height: int) -> None:
+        """Resize the desktop (the panner's resize drives this, §6.1);
+        re-clamps the pan offset."""
+        width = min(max(width, self.screen.width), MAX_WINDOW_SIZE)
+        height = min(max(height, self.screen.height), MAX_WINDOW_SIZE)
+        self.size = Size(width, height)
+        self.conn.resize_window(self.window, width, height)
+        self.pan_to(self.pan_x, self.pan_y)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualDesktop {self.size.width}x{self.size.height}"
+            f" pan=({self.pan_x},{self.pan_y})>"
+        )

@@ -1,0 +1,1959 @@
+"""swm: the window manager itself.
+
+Ties together the object system (§4), resource-driven configuration
+(§3), window manager functions (§5), the Virtual Desktop with panner
+and sticky windows (§6), and session management hooks (§7).
+
+swm is an ordinary X client: it selects SubstructureRedirect on each
+root, decorates clients by reparenting them into panel hierarchies
+described entirely in the resource database, and dispatches button/key
+events on object windows through each object's bindings attribute.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import icccm
+from ..icccm.hints import (
+    ICONIC_STATE,
+    NORMAL_STATE,
+    WITHDRAWN_STATE,
+    SizeHints,
+    WMHints,
+    WMState,
+)
+from ..toolkit.attributes import AttributeContext
+from ..xserver import events as ev
+from ..xserver.client import ClientConnection
+from ..xserver.errors import BadWindow, XError
+from ..xserver.event_mask import EventMask
+from ..xserver.geometry import Point, Rect, Size, parse_geometry
+from ..xserver.server import XServer
+from ..xserver.xid import NONE
+from ..xrm.database import ResourceDatabase
+from .bindings import (
+    Binding,
+    bindings_for_button,
+    bindings_for_key,
+    bindings_for_motion,
+    )
+from .decorate import (
+    DecorationPlan,
+    build_decoration,
+    client_context,
+    decoration_name,
+    frame_shape_for,
+    icon_panel_name,
+)
+from .functions import FunctionError, Invocation, lookup as lookup_function
+from .icons import Icon, IconHolder, build_icon_panel
+from .managed import ManagedWindow
+from .objects import Button, Menu, Panel, SwmObject, TextObject, object_factory
+from .panner import Panner
+from .swmcmd import COMMAND_PROPERTY, SwmCmdError, parse_command_stream
+from .templates import DEFAULT_TEMPLATE
+from .virtual import VirtualDesktop
+
+#: Property swm writes on every client: the window ID of its effective
+#: root (the Virtual Desktop window, or the real root for sticky
+#: windows).  vroot-aware toolkits position popups against it (§6.3).
+SWM_ROOT_PROPERTY = "SWM_ROOT"
+
+#: Root property carrying swmhints session-restart records (§7).
+RESTART_PROPERTY = "SWM_RESTART_INFO"
+
+WM_CHANGE_STATE = "WM_CHANGE_STATE"
+WM_DELETE_WINDOW = "WM_DELETE_WINDOW"
+WM_PROTOCOLS = "WM_PROTOCOLS"
+
+CASCADE_STEP = 28
+
+logger = logging.getLogger("repro.swm")
+
+
+@dataclass
+class Drag:
+    """An interactive move/resize in progress."""
+
+    kind: str  # "move" or "resize"
+    managed: ManagedWindow
+    start_pointer: Tuple[int, int]
+    start_rect: Rect  # frame rect in its parent's coordinates
+    current: Rect = None  # type: ignore[assignment]
+    in_panner: bool = False
+
+    def __post_init__(self):
+        if self.current is None:
+            self.current = self.start_rect
+
+
+@dataclass
+class Selection:
+    """A pending interactive window selection (question-mark pointer)."""
+
+    call: object  # FunctionCall
+    multiple: bool
+    screen: int
+
+
+class ScreenContext:
+    """Per-screen WM state."""
+
+    def __init__(self, wm: "Swm", number: int):
+        self.wm = wm
+        self.number = number
+        screen = wm.server.screens[number]
+        self.screen = screen
+        kind = "monochrome" if screen.monochrome else "color"
+        self.ctx = AttributeContext(
+            wm.db,
+            ["swm", kind, f"screen{number}"],
+            ["Swm", kind.capitalize(), "Screen"],
+            monochrome=screen.monochrome,
+        )
+        #: Multiple Virtual Desktops (§6.3 suggests them via the
+        #: SWM_ROOT property design); one is current, the rest are
+        #: unmapped.  Sticky windows live on the real root and are
+        #: therefore visible on every desktop.
+        self.vdesks: List[VirtualDesktop] = []
+        self.current_desktop = 0
+        self.panner: Optional[Panner] = None
+        self.scrollbars = None  # Optional[ScrollBars]
+        self.icon_holders: List[IconHolder] = []
+        self.root_panels: Dict[str, ManagedWindow] = {}
+        self.root_panel_objects: Dict[str, Panel] = {}
+        self.root_icons: Dict[str, Icon] = {}
+        self.cascade = 0
+        root_panel_obj = Panel(self.ctx, "root")
+        self.root_bindings: List[Binding] = root_panel_obj.bindings
+
+    @property
+    def root(self) -> int:
+        return self.screen.root.id
+
+    @property
+    def vdesk(self) -> Optional[VirtualDesktop]:
+        """The current Virtual Desktop (None when disabled)."""
+        if not self.vdesks:
+            return None
+        return self.vdesks[self.current_desktop]
+
+    def desktop_parent(self, sticky: bool) -> int:
+        """Where a frame lives: the vroot, or the real root when
+        sticky (or when there is no Virtual Desktop)."""
+        if self.vdesk is not None and not sticky:
+            return self.vdesk.window
+        return self.root
+
+    def effective_root(self, sticky: bool) -> int:
+        """The SWM_ROOT property value for a client."""
+        return self.desktop_parent(sticky)
+
+    def view_offset(self) -> Point:
+        if self.vdesk is None:
+            return Point(0, 0)
+        return Point(self.vdesk.pan_x, self.vdesk.pan_y)
+
+    def next_cascade(self) -> Point:
+        offset = self.view_offset()
+        step = CASCADE_STEP * (self.cascade % 10)
+        self.cascade += 1
+        return Point(offset.x + 32 + step, offset.y + 32 + step)
+
+
+class Swm:
+    """The swm window manager client."""
+
+    def __init__(
+        self,
+        server: XServer,
+        db: Optional[ResourceDatabase] = None,
+        places_path: str = "swm.places",
+        manage_existing: bool = True,
+    ):
+        self.server = server
+        self.places_path = places_path
+        self.conn = ClientConnection(server, "swm")
+        self.db = db.copy() if db is not None else ResourceDatabase()
+        if db is None:
+            # Like any X client, read the RESOURCE_MANAGER property
+            # (what xrdb loads onto the root window).
+            xrdb_text = self.conn.get_string_property(
+                self.conn.root_window(0), "RESOURCE_MANAGER"
+            )
+            if xrdb_text:
+                try:
+                    self.db.load_string(xrdb_text)
+                except Exception:
+                    pass  # a broken user database must not kill the WM
+        if not self._has_swm_resources(self.db):
+            # "If no swm configuration resources have been specified, a
+            # default configuration can be loaded." (§3)
+            self.db.load_string(DEFAULT_TEMPLATE)
+        self.managed: Dict[int, ManagedWindow] = {}
+        self.frames: Dict[int, ManagedWindow] = {}
+        self.object_windows: Dict[int, Tuple[SwmObject, Optional[ManagedWindow], int]] = {}
+        self.icon_windows: Dict[int, Icon] = {}
+        self.corner_windows: Dict[int, ManagedWindow] = {}
+        self.screens: List[ScreenContext] = []
+        self.drag: Optional[Drag] = None
+        self.selection: Optional[Selection] = None
+        self.active_menu: Optional[Tuple[Menu, int, Optional[ManagedWindow]]] = None
+        self.beeps = 0
+        self.running = True
+        self.launched: List[object] = []  # apps started by f.exec
+        self._ignore_unmaps: Dict[int, int] = {}
+        self._processing = False
+        self.restart_table: List[dict] = []
+
+        from ..session.hints import read_restart_property
+
+        for number in range(len(server.screens)):
+            screen_ctx = ScreenContext(self, number)
+            self.screens.append(screen_ctx)
+            self.conn.select_input(
+                screen_ctx.root,
+                EventMask.SubstructureRedirect
+                | EventMask.SubstructureNotify
+                | EventMask.PropertyChange
+                | EventMask.ButtonPress
+                | EventMask.ButtonRelease
+                | EventMask.KeyPress,
+            )
+            self._setup_virtual_desktop(screen_ctx)
+            self._setup_icon_holders(screen_ctx)
+        # Read swmhints restart records before adopting clients (§7).
+        self.restart_table = read_restart_property(self.conn, self.screens[0].root)
+        for screen_ctx in self.screens:
+            self._setup_root_panels(screen_ctx)
+            self._setup_root_icons(screen_ctx)
+            self._setup_panner(screen_ctx)
+            self._setup_scrollbars(screen_ctx)
+        if manage_existing:
+            self._adopt_existing()
+        self.conn.event_handlers.append(self._on_event)
+        self.process_pending()
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _has_swm_resources(db: ResourceDatabase) -> bool:
+        return any(
+            pairs and pairs[0][1] in ("swm", "Swm")
+            for pairs, _ in ((spec, val) for spec, val in db._entries.items())
+        )
+
+    def _setup_virtual_desktop(self, sc: ScreenContext) -> None:
+        spec = sc.ctx.get_string([], "virtualDesktop")
+        if not spec:
+            return
+        geometry = parse_geometry(spec)
+        if geometry.width is None or geometry.height is None:
+            raise ValueError(f"bad virtualDesktop size {spec!r}")
+        count = max(1, sc.ctx.get_int([], "virtualDesktops", 1))
+        for _ in range(count):
+            sc.vdesks.append(
+                VirtualDesktop(
+                    self.conn,
+                    sc.screen,
+                    Size(geometry.width, geometry.height),
+                    background=sc.ctx.get_string([], "desktopBackground"),
+                )
+            )
+        sc.current_desktop = 0
+        # Only the current desktop's window is mapped.
+        for vdesk in sc.vdesks[1:]:
+            self.conn.unmap_window(vdesk.window)
+
+    def _setup_scrollbars(self, sc: ScreenContext) -> None:
+        if sc.vdesk is None or not sc.ctx.get_bool([], "scrollbars", False):
+            return
+        from .scrollbars import ScrollBars
+
+        sc.scrollbars = ScrollBars(self.conn, sc.ctx, sc.vdesk)
+
+    def _setup_panner(self, sc: ScreenContext) -> None:
+        if sc.vdesk is None:
+            return
+        if not sc.ctx.get_bool([], "panner", True):
+            return
+        sc.panner = Panner(
+            self.conn,
+            sc.ctx,
+            sc.vdesk,
+            get_windows=lambda sc=sc: self._panner_windows(sc),
+            move_window=lambda managed, x, y: self.move_managed_to(managed, x, y),
+        )
+        icccm.set_wm_class(self.conn, sc.panner.window, "panner", "Swm")
+        icccm.set_wm_name(self.conn, sc.panner.window, "Virtual Desktop")
+        self.manage(sc.panner.window, internal=True, sticky=True)
+
+    def _setup_icon_holders(self, sc: ScreenContext) -> None:
+        names = (sc.ctx.get_string([], "iconHolders") or "").split()
+        for name in names:
+            sc.icon_holders.append(
+                IconHolder(self.conn, sc.ctx, name, sc.root)
+            )
+
+    def _setup_root_panels(self, sc: ScreenContext) -> None:
+        names = (sc.ctx.get_string([], "rootPanels") or "").split()
+        for name in names:
+            panel = Panel(sc.ctx, name)
+            panel.build(object_factory(sc.ctx))
+            size = panel.compute_layout().size
+            geometry = sc.ctx.get_string(["panel", name], "geometry", "+0+0")
+            geo = parse_geometry(geometry)
+            position = geo.resolve(Size(sc.screen.width, sc.screen.height), size)
+            window = panel.realize_tree(
+                self.conn, sc.root, Rect(position.x, position.y, size.width, size.height)
+            )
+            icccm.set_wm_class(self.conn, window, name, "SwmPanel")
+            icccm.set_wm_name(self.conn, window, name)
+            managed = self.manage(window, internal=True)
+            if managed is not None:
+                sc.root_panels[name] = managed
+                sc.root_panel_objects[name] = panel
+                for obj in panel.iter_tree():
+                    if obj.window is not None:
+                        self.object_windows[obj.window] = (obj, managed, sc.number)
+
+    def _setup_root_icons(self, sc: ScreenContext) -> None:
+        names = (sc.ctx.get_string([], "rootIcons") or "").split()
+        for name in names:
+            panel = build_icon_panel(sc.ctx, name)
+            size = panel.compute_layout().size
+            geometry = sc.ctx.get_string(["panel", name], "geometry", "+0+0")
+            geo = parse_geometry(geometry)
+            position = geo.resolve(Size(sc.screen.width, sc.screen.height), size)
+            window = panel.realize_tree(
+                self.conn,
+                sc.desktop_parent(sticky=False),
+                Rect(position.x, position.y, size.width, size.height),
+            )
+            icon = Icon(panel, window, managed=None)
+            sc.root_icons[name] = icon
+            self.icon_windows[window] = icon
+            for obj in panel.iter_tree():
+                if obj.window is not None:
+                    self.object_windows[obj.window] = (obj, None, sc.number)
+
+    def _adopt_existing(self) -> None:
+        """Manage pre-existing mapped top-level windows."""
+        for sc in self.screens:
+            _, _, children = self.conn.query_tree(sc.root)
+            for child in children:
+                if child in self.frames or child in self.managed:
+                    continue
+                try:
+                    window = self.server.window(child)
+                except BadWindow:
+                    continue
+                if window.owner == self.conn.client_id:
+                    continue
+                attrs = self.conn.get_window_attributes(child)
+                if attrs["override_redirect"] or attrs["map_state"] == 0:
+                    continue
+                self.manage(child)
+
+    # ------------------------------------------------------------------
+    # Event pump
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: ev.Event) -> None:
+        if self._processing:
+            return  # the pump below will drain it in order
+        self.process_pending()
+
+    def process_pending(self) -> int:
+        """Handle all queued events; returns how many were handled."""
+        if self._processing:
+            return 0
+        self._processing = True
+        handled = 0
+        try:
+            while self.conn.pending():
+                event = self.conn.next_event()
+                try:
+                    self._dispatch(event)
+                except XError:
+                    # Windows race away (clients exiting mid-request);
+                    # a WM must survive stale-window errors.
+                    pass
+                handled += 1
+        finally:
+            self._processing = False
+        return handled
+
+    def _dispatch(self, event: ev.Event) -> None:
+        handler = getattr(self, f"_on_{type(event).__name__}", None)
+        if handler is not None:
+            handler(event)
+
+    # ------------------------------------------------------------------
+    # Managing windows
+    # ------------------------------------------------------------------
+
+    def manage(
+        self,
+        client: int,
+        internal: bool = False,
+        sticky: Optional[bool] = None,
+    ) -> Optional[ManagedWindow]:
+        """Bring *client* under management: decorate, reparent, map."""
+        if client in self.managed:
+            return self.managed[client]
+        try:
+            window = self.server.window(client)
+        except BadWindow:
+            return None
+        if window.override_redirect:
+            return None
+        sc = self._screen_of_window(window)
+        if sc is None:
+            return None
+
+        wm_class = icccm.get_wm_class(self.conn, client) or ("", "")
+        instance, class_name = wm_class
+        title = icccm.get_wm_name(self.conn, client) or instance or "untitled"
+        size_hints = icccm.get_wm_normal_hints(self.conn, client) or SizeHints()
+        wm_hints = icccm.get_wm_hints(self.conn, client) or WMHints()
+        shaped = self.server.window_is_shaped(client)
+        transient = icccm.get_wm_transient_for(self.conn, client) is not None
+
+        restart_entry = self._match_restart_entry(client)
+
+        if sticky is None:
+            probe_ctx = client_context(sc.ctx, instance, class_name)
+            sticky = probe_ctx.get_bool([], "sticky", False)
+            if restart_entry is not None and restart_entry.get("sticky") is not None:
+                sticky = bool(restart_entry["sticky"])
+
+        cctx = client_context(sc.ctx, instance, class_name,
+                              sticky=sticky, shaped=shaped,
+                              transient=transient)
+        panel_name = decoration_name(cctx)
+
+        x, y, width, height, border = self.conn.get_geometry(client)
+        if restart_entry is not None and restart_entry.get("geometry"):
+            geo = restart_entry["geometry"]
+            if geo.width is not None:
+                width, height = geo.width, geo.height
+                self.conn.resize_window(client, width, height)
+
+        client_size = Size(width, height)
+        if panel_name:
+            plan = build_decoration(sc.ctx, panel_name, client_size, title)
+        else:
+            plan = self._bare_plan(sc.ctx, client_size)
+
+        desired = self._initial_client_position(
+            sc, size_hints, restart_entry, Point(x, y)
+        )
+        frame_origin = Point(
+            desired.x - plan.client_rect.x, desired.y - plan.client_rect.y
+        )
+
+        parent = sc.desktop_parent(sticky)
+        frame = plan.panel.realize_tree(
+            self.conn,
+            parent,
+            Rect(frame_origin.x, frame_origin.y,
+                 plan.frame_size.width, plan.frame_size.height),
+        )
+
+        # Reparent the client into the interior client slot.  The
+        # reparent of a *mapped* window generates an UnmapNotify we must
+        # not mistake for an ICCCM withdrawal.
+        slot = plan.panel.find("client")
+        slot_window = slot.window if slot is not None else frame
+        if self.server.window(client).mapped:
+            self._ignore_unmaps[client] = self._ignore_unmaps.get(client, 0) + 1
+        if border:
+            self.conn.configure_window(client, border_width=0)
+        # Reparenting moves the client out from under the root's
+        # SubstructureRedirect; select redirect on the slot so client
+        # configure/map requests are still intercepted (as any
+        # reparenting WM must).
+        from .objects.base import OBJECT_EVENT_MASK
+
+        self.conn.select_input(
+            slot_window,
+            OBJECT_EVENT_MASK
+            | EventMask.SubstructureRedirect
+            | EventMask.SubstructureNotify,
+        )
+        self.conn.reparent_window(client, slot_window, 0, 0)
+        if not internal:
+            self.conn.add_to_save_set(client)
+        # Preserve any selection we already hold on our own windows
+        # (the panner selects button events on its client window).
+        existing = self.server.window(client).mask_for(self.conn.client_id)
+        self.conn.select_input(
+            client,
+            existing | EventMask.PropertyChange | EventMask.StructureNotify,
+        )
+
+        managed = ManagedWindow(
+            client=client,
+            frame=frame,
+            screen=sc.number,
+            decoration=plan.panel,
+            client_offset=Point(plan.client_rect.x, plan.client_rect.y),
+            instance=instance,
+            class_name=class_name,
+            name=title,
+            sticky=sticky,
+            shaped=shaped,
+            is_internal=internal,
+            desktop=sc.current_desktop,
+            decoration_name=plan.panel_name,
+            resize_corners=plan.resize_corners,
+            original_border_width=border,
+            size_hints=size_hints,
+            wm_hints=wm_hints,
+        )
+        logger.debug(
+            "manage client=%#x frame=%#x %s.%s decoration=%r sticky=%s",
+            client, frame, class_name, instance, plan.panel_name, sticky,
+        )
+        self.managed[client] = managed
+        self.frames[frame] = managed
+        for obj in plan.panel.iter_tree():
+            if obj.window is not None:
+                self.object_windows[obj.window] = (obj, managed, sc.number)
+
+        shape = frame_shape_for(plan, self.server.shape_query(client))
+        if shape is not None:
+            self.conn.shape_window(frame, shape.mask, shape.x_offset, shape.y_offset)
+
+        if plan.resize_corners:
+            self._add_resize_corners(managed)
+
+        icccm.set_wm_state(self.conn, client, WMState(NORMAL_STATE))
+        self._set_swm_root(managed)
+        self.conn.map_window(client)
+        self.conn.map_window(frame)
+        self.conn.raise_window(frame)
+        self._send_synthetic_configure(managed)
+
+        start_iconic = wm_hints.start_iconic
+        if restart_entry is not None and restart_entry.get("state") is not None:
+            start_iconic = restart_entry["state"] == ICONIC_STATE
+            if restart_entry.get("icon_position") is not None:
+                managed.wm_hints.flags |= icccm.ICON_POSITION_HINT
+                managed.wm_hints.icon_x, managed.wm_hints.icon_y = restart_entry[
+                    "icon_position"
+                ]
+        if start_iconic:
+            self.iconify(managed)
+        if (
+            restart_entry is not None
+            and restart_entry.get("desktop") is not None
+            and sc.vdesks
+        ):
+            self.send_to_desktop(managed, restart_entry["desktop"])
+        self._update_panner(sc)
+        return managed
+
+    #: Edge length of the resize-corner hot zones.
+    CORNER_SIZE = 10
+
+    def _add_resize_corners(self, managed: ManagedWindow) -> None:
+        """resizeCorners: True (§4.1.1 / Figure 1): four corner hot
+        zones on the frame that start an interactive resize."""
+        rect = self.frame_rect(managed)
+        size = self.CORNER_SIZE
+        cursors = {
+            (0, 0): "top_left_corner",
+            (1, 0): "top_right_corner",
+            (0, 1): "bottom_left_corner",
+            (1, 1): "bottom_right_corner",
+        }
+        for (cx, cy), cursor in cursors.items():
+            corner = self.conn.create_window(
+                managed.frame,
+                (rect.width - size) * cx,
+                (rect.height - size) * cy,
+                size,
+                size,
+                event_mask=EventMask.ButtonPress,
+                cursor=cursor,
+            )
+            self.conn.map_window(corner)
+            # Below the decoration objects: corners only catch clicks
+            # in the frame margin, never steal the titlebar buttons.
+            self.conn.lower_window(corner)
+            self.corner_windows[corner] = managed
+
+    def _reposition_corners(self, managed: ManagedWindow) -> None:
+        rect = self.frame_rect(managed)
+        size = self.CORNER_SIZE
+        corners = [wid for wid, owner in self.corner_windows.items()
+                   if owner is managed]
+        for index, corner in enumerate(corners):
+            cx, cy = index % 2, index // 2
+            self.conn.move_window(
+                corner,
+                (rect.width - size) * cx,
+                (rect.height - size) * cy,
+            )
+            self.conn.lower_window(corner)
+
+    def _bare_plan(self, ctx: AttributeContext, client_size: Size) -> DecorationPlan:
+        """No decoration resource: a frame that is nothing but the
+        client slot."""
+        panel = Panel(ctx, "bare")
+        return DecorationPlan(
+            panel=panel,
+            panel_name="",
+            frame_size=client_size,
+            client_rect=Rect(0, 0, client_size.width, client_size.height),
+            resize_corners=False,
+        )
+
+    def _initial_client_position(
+        self,
+        sc: ScreenContext,
+        hints: SizeHints,
+        restart_entry: Optional[dict],
+        current: Point,
+    ) -> Point:
+        """Where the client window lands on the desktop (§6.3):
+        USPosition is absolute, PPosition is viewport-relative,
+        otherwise cascade within the current view."""
+        if restart_entry is not None and restart_entry.get("geometry"):
+            geo = restart_entry["geometry"]
+            if geo.x is not None:
+                return Point(geo.x, geo.y)
+        if hints.user_position:
+            x = hints.x or current.x
+            y = hints.y or current.y
+            return Point(x, y)
+        if hints.program_position:
+            offset = sc.view_offset()
+            x = hints.x or current.x
+            y = hints.y or current.y
+            return Point(offset.x + x, offset.y + y)
+        if current.x or current.y:
+            # A pre-positioned window without hints: treat like PPosition.
+            offset = sc.view_offset()
+            return Point(offset.x + current.x, offset.y + current.y)
+        return sc.next_cascade()
+
+    def _match_restart_entry(self, client: int) -> Optional[dict]:
+        """Find (and consume) a session-restart record whose WM_COMMAND
+        — and, when present, WM_CLIENT_MACHINE — matches (§7)."""
+        command = icccm.get_wm_command_string(self.conn, client)
+        if command is None or not self.restart_table:
+            return None
+        machine = icccm.get_wm_client_machine(self.conn, client)
+        for entry in self.restart_table:
+            if entry["command"] != command:
+                continue
+            wanted = entry.get("machine")
+            if wanted and machine and wanted != machine:
+                continue
+            self.restart_table.remove(entry)
+            return entry
+        return None
+
+    def unmanage(self, managed: ManagedWindow, destroyed: bool = False) -> None:
+        """Release a client: reparent it back to the root, destroy the
+        decoration, drop all bookkeeping."""
+        logger.debug(
+            "unmanage client=%#x %r destroyed=%s",
+            managed.client, managed.instance, destroyed,
+        )
+        sc = self.screens[managed.screen]
+        if managed.icon is not None:
+            self._remove_icon(managed)
+        if not destroyed and self.conn.window_exists(managed.client):
+            origin = self.server.window(managed.client).position_in_root()
+            if self.server.window(managed.client).mapped:
+                self._ignore_unmaps[managed.client] = (
+                    self._ignore_unmaps.get(managed.client, 0) + 1
+                )
+            self.conn.reparent_window(managed.client, sc.root, origin.x, origin.y)
+            if managed.original_border_width:
+                self.conn.configure_window(
+                    managed.client, border_width=managed.original_border_width
+                )
+            icccm.set_wm_state(
+                self.conn, managed.client, WMState(WITHDRAWN_STATE)
+            )
+            if not managed.is_internal:
+                self.conn.remove_from_save_set(managed.client)
+        for obj in managed.decoration.iter_tree():
+            if obj.window is not None:
+                self.object_windows.pop(obj.window, None)
+        for corner in [wid for wid, owner in self.corner_windows.items()
+                       if owner is managed]:
+            self.corner_windows.pop(corner, None)
+        if self.conn.window_exists(managed.frame):
+            self.conn.destroy_window(managed.frame)
+        self.managed.pop(managed.client, None)
+        self.frames.pop(managed.frame, None)
+        self._ignore_unmaps.pop(managed.client, None)
+        self._update_panner(sc)
+
+    def _screen_of_window(self, window) -> Optional[ScreenContext]:
+        root = window.root()
+        for sc in self.screens:
+            if sc.root == root.id:
+                return sc
+        return None
+
+    def find_managed(self, wid: int) -> Optional[ManagedWindow]:
+        """Resolve any window id (client, frame, or decoration object)
+        to its managed window."""
+        if wid in self.managed:
+            return self.managed[wid]
+        if wid in self.frames:
+            return self.frames[wid]
+        entry = self.object_windows.get(wid)
+        if entry is not None:
+            return entry[1]
+        # Walk up the tree: maybe a descendant of a frame.
+        try:
+            window = self.server.window(wid)
+        except BadWindow:
+            return None
+        for ancestor in window.ancestors():
+            if ancestor.id in self.frames:
+                return self.frames[ancestor.id]
+            if ancestor.id in self.managed:
+                return self.managed[ancestor.id]
+        return None
+
+    # ------------------------------------------------------------------
+    # Geometry operations
+    # ------------------------------------------------------------------
+
+    def frame_rect(self, managed: ManagedWindow) -> Rect:
+        x, y, width, height, _ = self.conn.get_geometry(managed.frame)
+        return Rect(x, y, width, height)
+
+    def client_desktop_position(self, managed: ManagedWindow) -> Point:
+        """The client window's position in desktop coordinates (or
+        screen coordinates for sticky windows)."""
+        rect = self.frame_rect(managed)
+        return Point(
+            rect.x + managed.client_offset.x, rect.y + managed.client_offset.y
+        )
+
+    def move_managed_to(self, managed: ManagedWindow, x: int, y: int) -> None:
+        """Move the frame so its origin is at desktop (x, y), then tell
+        the client where it now lives (synthetic ConfigureNotify)."""
+        self.conn.move_window(managed.frame, x, y)
+        self._send_synthetic_configure(managed)
+        self._update_panner(self.screens[managed.screen])
+
+    def move_client_to(self, managed: ManagedWindow, x: int, y: int) -> None:
+        """Move so the *client* origin lands at desktop (x, y)."""
+        self.move_managed_to(
+            managed, x - managed.client_offset.x, y - managed.client_offset.y
+        )
+
+    def resize_managed(
+        self, managed: ManagedWindow, width: int, height: int
+    ) -> None:
+        """Resize the client (honouring its size hints) and rebuild the
+        decoration layout around the new size."""
+        width, height = managed.size_hints.constrain_size(width, height)
+        self.conn.resize_window(managed.client, width, height)
+        self._relayout(managed, Size(width, height))
+        self._send_synthetic_configure(managed)
+        sc = self.screens[managed.screen]
+        if sc.panner is not None and managed.client == sc.panner.window:
+            sc.panner.resized(width, height)
+        self._update_panner(sc)
+
+    def _relayout(self, managed: ManagedWindow, client_size: Size) -> None:
+        """Recompute the decoration layout for a new client size and
+        apply it to the realized object windows."""
+        panel = managed.decoration
+        if not panel.children:
+            self.conn.resize_window(managed.frame, client_size.width,
+                                    client_size.height)
+            return
+        layout = panel.compute_layout({"client": client_size})
+        self.conn.resize_window(
+            managed.frame, layout.size.width, layout.size.height
+        )
+        for child in panel.children:
+            rect = layout.rect(child.name)
+            if child.window is not None:
+                self.conn.move_resize_window(
+                    child.window, rect.x, rect.y, rect.width, rect.height
+                )
+            if child.name == "client":
+                managed.client_offset = Point(rect.x, rect.y)
+        if managed.resize_corners:
+            self._reposition_corners(managed)
+
+    def _send_synthetic_configure(self, managed: ManagedWindow) -> None:
+        """ICCCM: after the WM moves a client, send it a synthetic
+        ConfigureNotify with its position relative to its root — on the
+        Virtual Desktop, desktop coordinates (§6.3)."""
+        position = self.client_desktop_position(managed)
+        _, _, width, height, _ = self.conn.get_geometry(managed.client)
+        event = ev.ConfigureNotify(
+            window=managed.client,
+            configured_window=managed.client,
+            x=position.x,
+            y=position.y,
+            width=width,
+            height=height,
+            border_width=0,
+            override_redirect=False,
+        )
+        self.conn.send_event(managed.client, event, EventMask.StructureNotify)
+
+    # -- stacking -------------------------------------------------------------
+
+    def raise_managed(self, managed: ManagedWindow) -> None:
+        self.conn.raise_window(managed.frame)
+
+    def lower_managed(self, managed: ManagedWindow) -> None:
+        self.conn.lower_window(managed.frame)
+
+    def raise_lower_managed(self, managed: ManagedWindow) -> None:
+        frame = self.server.window(managed.frame)
+        siblings = frame.parent.children
+        index = siblings.index(frame)
+        obscured = any(
+            other.mapped
+            and other.outer_rect().intersects(frame.outer_rect())
+            for other in siblings[index + 1:]
+        )
+        if obscured:
+            self.raise_managed(managed)
+        else:
+            self.lower_managed(managed)
+
+    def circulate(self, screen: int, up: bool) -> None:
+        sc = self.screens[screen]
+        parent = sc.desktop_parent(sticky=False)
+        self.conn.circulate_window(
+            parent, ev.RAISE_LOWEST if up else ev.LOWER_HIGHEST
+        )
+
+    # -- zoom / save ---------------------------------------------------------------
+
+    def save_geometry(self, managed: ManagedWindow) -> None:
+        managed.saved_rect = self.frame_rect(managed)
+
+    def restore_geometry(self, managed: ManagedWindow) -> None:
+        saved = managed.saved_rect
+        if saved is None:
+            return
+        _, _, cw, ch, _ = self.conn.get_geometry(managed.client)
+        self.conn.move_window(managed.frame, saved.x, saved.y)
+        delta_w = saved.width - self.frame_rect(managed).width
+        delta_h = saved.height - self.frame_rect(managed).height
+        self.resize_managed(managed, cw + delta_w, ch + delta_h)
+        self.conn.move_window(managed.frame, saved.x, saved.y)
+        managed.zoomed = False
+        self._send_synthetic_configure(managed)
+
+    def zoom_managed(self, managed: ManagedWindow, axis: str = "both") -> None:
+        """Expand to the full screen (or one axis for f.hzoom /
+        f.vzoom); zooming again restores."""
+        if managed.zoomed:
+            self.restore_geometry(managed)
+            return
+        if managed.saved_rect is None:
+            self.save_geometry(managed)
+        sc = self.screens[managed.screen]
+        offset = sc.view_offset() if not managed.sticky else Point(0, 0)
+        frame = self.frame_rect(managed)
+        client = self._client_size(managed)
+        deco_w = frame.width - client.width
+        deco_h = frame.height - client.height
+        new_w = sc.screen.width - deco_w - 2 if axis in ("both", "h") else client.width
+        new_h = sc.screen.height - deco_h - 2 if axis in ("both", "v") else client.height
+        self.resize_managed(managed, new_w, new_h)
+        new_x = offset.x if axis in ("both", "h") else frame.x
+        new_y = offset.y if axis in ("both", "v") else frame.y
+        self.conn.move_window(managed.frame, new_x, new_y)
+        managed.zoomed = True
+        self._send_synthetic_configure(managed)
+
+    def _client_size(self, managed: ManagedWindow) -> Size:
+        _, _, width, height, _ = self.conn.get_geometry(managed.client)
+        return Size(width, height)
+
+    # ------------------------------------------------------------------
+    # Icons
+    # ------------------------------------------------------------------
+
+    def iconify(self, managed: ManagedWindow) -> None:
+        if managed.state == ICONIC_STATE:
+            return
+        sc = self.screens[managed.screen]
+        if managed.icon is None:
+            managed.icon = self._build_icon(sc, managed)
+        self.conn.unmap_window(managed.frame)
+        self.conn.map_window(managed.icon.window)
+        managed.state = ICONIC_STATE
+        icccm.set_wm_state(
+            self.conn,
+            managed.client,
+            WMState(ICONIC_STATE, icon_window=managed.icon.window),
+        )
+        self._update_panner(sc)
+
+    def deiconify(self, managed: ManagedWindow) -> None:
+        if managed.state != ICONIC_STATE:
+            return
+        sc = self.screens[managed.screen]
+        if managed.icon is not None:
+            self._remove_icon(managed)
+        self.conn.map_window(managed.frame)
+        self.conn.raise_window(managed.frame)
+        managed.state = NORMAL_STATE
+        icccm.set_wm_state(self.conn, managed.client, WMState(NORMAL_STATE))
+        self._update_panner(sc)
+
+    def _build_icon(self, sc: ScreenContext, managed: ManagedWindow) -> Icon:
+        cctx = client_context(
+            sc.ctx, managed.instance, managed.class_name,
+            sticky=managed.sticky, shaped=managed.shaped,
+        )
+        panel_name = icon_panel_name(cctx) or "Xicon"
+        icon_name = (
+            icccm.get_wm_icon_name(self.conn, managed.client)
+            or managed.name
+            or managed.instance
+        )
+        has_image = bool(
+            managed.wm_hints.icon_pixmap or managed.wm_hints.icon_window
+        )
+        panel = build_icon_panel(sc.ctx, panel_name, icon_name, has_image)
+        size = panel.compute_layout().size
+
+        holder = next(
+            (
+                h
+                for h in sc.icon_holders
+                if h.accepts(managed.class_name, managed.instance)
+            ),
+            None,
+        )
+        if holder is not None:
+            parent = holder.window
+            position = holder.slot_position(len(holder.icons))
+        else:
+            parent = sc.desktop_parent(managed.sticky)
+            if managed.wm_hints.has_icon_position:
+                position = Point(managed.wm_hints.icon_x, managed.wm_hints.icon_y)
+            else:
+                offset = sc.view_offset() if not managed.sticky else Point(0, 0)
+                index = sum(
+                    1 for m in self.managed.values() if m.icon is not None
+                )
+                position = Point(
+                    offset.x + 8 + (index * (size.width + 8)) % max(
+                        size.width + 8, sc.screen.width - size.width
+                    ),
+                    offset.y + sc.screen.height - size.height - 8,
+                )
+        window = panel.realize_tree(
+            self.conn, parent, Rect(position.x, position.y, size.width, size.height)
+        )
+        icon = Icon(panel, window, holder=holder, managed=managed)
+        if holder is not None:
+            holder.add(icon)
+        self.icon_windows[window] = icon
+        for obj in panel.iter_tree():
+            if obj.window is not None:
+                self.object_windows[obj.window] = (obj, managed, sc.number)
+        return icon
+
+    def _remove_icon(self, managed: ManagedWindow) -> None:
+        icon = managed.icon
+        if icon is None:
+            return
+        if icon.holder is not None:
+            icon.holder.remove(icon)
+        for obj in icon.panel.iter_tree():
+            if obj.window is not None:
+                self.object_windows.pop(obj.window, None)
+        self.icon_windows.pop(icon.window, None)
+        if self.conn.window_exists(icon.window):
+            self.conn.destroy_window(icon.window)
+        managed.icon = None
+
+    # ------------------------------------------------------------------
+    # Sticky windows (§6.2)
+    # ------------------------------------------------------------------
+
+    def stick(self, managed: ManagedWindow) -> None:
+        if managed.sticky:
+            return
+        sc = self.screens[managed.screen]
+        managed.sticky = True
+        if sc.vdesks:
+            vdesk = sc.vdesks[managed.desktop]
+            rect = self.frame_rect(managed)
+            view = vdesk.desktop_to_view(rect.x, rect.y)
+            self.conn.reparent_window(managed.frame, sc.root, view.x, view.y)
+        self._set_swm_root(managed)
+        self._update_panner(sc)
+
+    def unstick(self, managed: ManagedWindow) -> None:
+        if not managed.sticky:
+            return
+        sc = self.screens[managed.screen]
+        managed.sticky = False
+        if sc.vdesk is not None:
+            managed.desktop = sc.current_desktop
+            rect = self.frame_rect(managed)
+            desk = sc.vdesk.view_to_desktop(rect.x, rect.y)
+            self.conn.reparent_window(
+                managed.frame, sc.vdesk.window, desk.x, desk.y
+            )
+        self._set_swm_root(managed)
+        self._update_panner(sc)
+
+    def _set_swm_root(self, managed: ManagedWindow) -> None:
+        """Maintain the SWM_ROOT property on the client (§6.3): updated
+        whenever the client's effective root changes."""
+        sc = self.screens[managed.screen]
+        if sc.vdesks and not managed.sticky:
+            root = sc.vdesks[managed.desktop].window
+        else:
+            root = sc.root
+        self.conn.change_property(
+            managed.client, SWM_ROOT_PROPERTY, "WINDOW", 32, [root]
+        )
+
+    # ------------------------------------------------------------------
+    # Virtual desktop operations
+    # ------------------------------------------------------------------
+
+    def pan_to(self, screen: int, x: int, y: int) -> None:
+        sc = self.screens[screen]
+        if sc.vdesk is None:
+            return
+        sc.vdesk.pan_to(x, y)
+        self._update_panner(sc)
+
+    def pan_by(self, screen: int, dx: int, dy: int) -> None:
+        sc = self.screens[screen]
+        if sc.vdesk is None:
+            return
+        sc.vdesk.pan_by(dx, dy)
+        self._update_panner(sc)
+
+    # -- multiple desktops (extension; suggested by §6.3) ---------------------
+
+    def switch_desktop(self, screen: int, index: int) -> None:
+        """Make desktop *index* current: unmap the old desktop window,
+        map the new one.  Sticky windows (children of the real root)
+        stay visible throughout."""
+        sc = self.screens[screen]
+        if not sc.vdesks:
+            return
+        index %= len(sc.vdesks)
+        if index == sc.current_desktop:
+            return
+        old = sc.vdesk
+        sc.current_desktop = index
+        new = sc.vdesk
+        self.conn.unmap_window(old.window)
+        self.conn.map_window(new.window)
+        self.conn.lower_window(new.window)
+        if sc.panner is not None:
+            sc.panner.vdesk = new
+        if sc.scrollbars is not None:
+            sc.scrollbars.vdesk = new
+        self._update_panner(sc)
+
+    def send_to_desktop(self, managed: ManagedWindow, index: int) -> None:
+        """Move a window to another desktop, preserving its desktop
+        coordinates."""
+        sc = self.screens[managed.screen]
+        if not sc.vdesks or managed.sticky:
+            return
+        index %= len(sc.vdesks)
+        if index == managed.desktop:
+            return
+        rect = self.frame_rect(managed)
+        self.conn.reparent_window(
+            managed.frame, sc.vdesks[index].window, rect.x, rect.y
+        )
+        managed.desktop = index
+        self.conn.change_property(
+            managed.client,
+            SWM_ROOT_PROPERTY,
+            "WINDOW",
+            32,
+            [sc.vdesks[index].window],
+        )
+        self._update_panner(sc)
+
+    def warp_pointer_by(self, dx: int, dy: int) -> None:
+        self.conn.warp_pointer(NONE, dx, dy)
+
+    def warp_to_managed(self, managed: ManagedWindow) -> None:
+        """Warp the pointer to a window, panning the desktop so it is
+        visible first if necessary."""
+        sc = self.screens[managed.screen]
+        rect = self.frame_rect(managed)
+        if sc.vdesk is not None and not managed.sticky:
+            view = sc.vdesk.view_rect()
+            if not view.contains_rect(rect) and not view.intersects(rect):
+                sc.vdesk.center_view_on(
+                    rect.x + rect.width // 2, rect.y + rect.height // 2
+                )
+                self._update_panner(sc)
+        self.conn.warp_pointer(managed.frame, 4, 4)
+
+    def _panner_windows(self, sc: ScreenContext) -> List[Tuple[Rect, ManagedWindow]]:
+        """Desktop-resident windows for the panner miniature display."""
+        out = []
+        for managed in self.managed.values():
+            if managed.screen != sc.number or managed.sticky:
+                continue
+            if managed.state != NORMAL_STATE:
+                continue
+            if managed.desktop != sc.current_desktop:
+                continue
+            out.append((self.frame_rect(managed), managed))
+        return out
+
+    def _update_panner(self, sc: ScreenContext) -> None:
+        # Miniatures are computed lazily from live geometry; nothing to
+        # push, but hooks (tests, renderers) may override this.
+        pass
+
+    # ------------------------------------------------------------------
+    # Focus / lifecycle per client
+    # ------------------------------------------------------------------
+
+    WM_TAKE_FOCUS = "WM_TAKE_FOCUS"
+
+    def focus_managed(self, managed: ManagedWindow) -> None:
+        """ICCCM focus: clients speaking WM_TAKE_FOCUS get the protocol
+        message (the "globally active" input model); everyone else gets
+        SetInputFocus directly."""
+        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        if self.WM_TAKE_FOCUS in protocols:
+            message = ev.ClientMessage(
+                window=managed.client,
+                message_type=self.conn.intern_atom(WM_PROTOCOLS),
+                data=(self.conn.intern_atom(self.WM_TAKE_FOCUS),
+                      self.server.timestamp),
+            )
+            self.conn.send_event(managed.client, message)
+            return
+        self.conn.set_input_focus(managed.client)
+
+    def delete_client(self, managed: ManagedWindow) -> None:
+        """Close politely via WM_DELETE_WINDOW when the client speaks
+        the protocol; destroy otherwise."""
+        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        if WM_DELETE_WINDOW in protocols:
+            message = ev.ClientMessage(
+                window=managed.client,
+                message_type=self.conn.intern_atom(WM_PROTOCOLS),
+                data=(self.conn.intern_atom(WM_DELETE_WINDOW),),
+            )
+            self.conn.send_event(managed.client, message)
+        else:
+            self.destroy_client(managed)
+
+    def destroy_client(self, managed: ManagedWindow) -> None:
+        self.conn.destroy_window(managed.client)
+
+    # ------------------------------------------------------------------
+    # WM lifecycle
+    # ------------------------------------------------------------------
+
+    def quit(self) -> None:
+        """Shut down: release every client, then disconnect."""
+        logger.info("swm shutting down (%d managed clients)",
+                    sum(1 for m in self.managed.values() if not m.is_internal))
+        self.running = False
+        for managed in list(self.managed.values()):
+            if not managed.is_internal:
+                self.unmanage(managed)
+        self.conn.close()
+
+    def restart(self) -> None:
+        """Re-read configuration and re-manage everything (f.restart)."""
+        logger.info("swm restarting")
+        clients = [
+            m.client for m in self.managed.values() if not m.is_internal
+        ]
+        for managed in list(self.managed.values()):
+            self.unmanage(managed)
+        for sc in self.screens:
+            for holder in sc.icon_holders:
+                if self.conn.window_exists(holder.window):
+                    self.conn.destroy_window(holder.window)
+            for icon in sc.root_icons.values():
+                if self.conn.window_exists(icon.window):
+                    self.conn.destroy_window(icon.window)
+            if sc.panner is not None and self.conn.window_exists(sc.panner.window):
+                self.conn.destroy_window(sc.panner.window)
+            if sc.scrollbars is not None:
+                for bar in (sc.scrollbars.vertical, sc.scrollbars.horizontal):
+                    if self.conn.window_exists(bar):
+                        self.conn.destroy_window(bar)
+            for vdesk in sc.vdesks:
+                if self.conn.window_exists(vdesk.window):
+                    self.conn.destroy_window(vdesk.window)
+        self.object_windows.clear()
+        self.icon_windows.clear()
+        self.corner_windows.clear()
+        self.screens = []
+        for number in range(len(self.server.screens)):
+            sc = ScreenContext(self, number)
+            self.screens.append(sc)
+            self._setup_virtual_desktop(sc)
+            self._setup_icon_holders(sc)
+            self._setup_root_panels(sc)
+            self._setup_root_icons(sc)
+            self._setup_panner(sc)
+            self._setup_scrollbars(sc)
+        for client in clients:
+            if self.conn.window_exists(client):
+                self.manage(client)
+
+    def refresh(self, screen: int) -> None:
+        """Force a repaint by briefly mapping a screen-sized window."""
+        sc = self.screens[screen]
+        cover = self.conn.create_window(
+            sc.root, 0, 0, sc.screen.width, sc.screen.height,
+            override_redirect=True,
+        )
+        self.conn.map_window(cover)
+        self.conn.destroy_window(cover)
+
+    def beep(self) -> None:
+        self.beeps += 1
+
+    def exec_command(self, command: str) -> None:
+        """f.exec: launch a client on the local host."""
+        import shlex
+
+        from ..clients import launch_command
+
+        app = launch_command(self.server, shlex.split(command))
+        self.launched.append(app)
+        self.process_pending()
+
+    def save_places(self) -> str:
+        """f.places: write the restart script (§7)."""
+        from ..session.places import write_places
+
+        return write_places(self, self.places_path)
+
+    # ------------------------------------------------------------------
+    # Menus
+    # ------------------------------------------------------------------
+
+    def popup_menu(
+        self,
+        name: str,
+        screen: int,
+        pointer: Tuple[int, int],
+        context: Optional[ManagedWindow],
+    ) -> None:
+        if self.active_menu is not None:
+            self._close_menu()
+        sc = self.screens[screen]
+        menu = Menu(sc.ctx, name)
+        menu.popup(self.conn, sc.root, pointer[0], pointer[1])
+        self.active_menu = (menu, screen, context)
+
+    def _close_menu(self) -> None:
+        if self.active_menu is None:
+            return
+        menu, _, _ = self.active_menu
+        menu.popdown(self.conn)
+        self.active_menu = None
+
+    # ------------------------------------------------------------------
+    # Function execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        call,
+        screen: int = 0,
+        context: Optional[ManagedWindow] = None,
+        pointer: Optional[Tuple[int, int]] = None,
+        event: Optional[ev.Event] = None,
+    ) -> None:
+        """Run one function call, resolving its invocation mode (§5)."""
+        spec = lookup_function(call.name)
+        if pointer is None:
+            pointer = (self.server.pointer.x, self.server.pointer.y)
+        if not spec.needs_window:
+            spec.handler(self, Invocation(call, screen, context, pointer, event))
+            return
+        argument = call.argument if spec.window_from_arg else None
+        if argument is None:
+            if context is not None:
+                spec.handler(
+                    self, Invocation(call, screen, context, pointer, event)
+                )
+            else:
+                self._begin_selection(call, multiple=False, screen=screen)
+            return
+        if argument == "multiple":
+            self._begin_selection(call, multiple=True, screen=screen)
+            return
+        if argument == "#$":
+            managed = self._managed_under_pointer()
+            if managed is None:
+                self.beep()
+                return
+            spec.handler(self, Invocation(call, screen, managed, pointer, event))
+            return
+        if argument.startswith("#"):
+            try:
+                wid = int(argument[1:], 0)
+            except ValueError:
+                raise FunctionError(f"bad window id {argument!r}") from None
+            managed = self.find_managed(wid)
+            if managed is None:
+                self.beep()
+                return
+            spec.handler(self, Invocation(call, screen, managed, pointer, event))
+            return
+        # Class / instance match: all windows whose class matches.
+        targets = [
+            m
+            for m in list(self.managed.values())
+            if argument in (m.class_name, m.instance)
+        ]
+        if not targets:
+            self.beep()
+            return
+        for managed in targets:
+            spec.handler(self, Invocation(call, screen, managed, pointer, event))
+
+    def execute_string(self, text: str, screen: int = 0) -> None:
+        """Run a command string ('f.raise') as swmcmd would."""
+        from .swmcmd import parse_command
+
+        self.execute(parse_command(text), screen=screen)
+
+    def _managed_under_pointer(self) -> Optional[ManagedWindow]:
+        pointer_window = self.server.pointer.window
+        if pointer_window is None:
+            return None
+        return self.find_managed(pointer_window.id)
+
+    def _begin_selection(self, call, multiple: bool, screen: int) -> None:
+        """Prompt the user to pick window(s): the question-mark pointer."""
+        self.selection = Selection(call=call, multiple=multiple, screen=screen)
+        sc = self.screens[screen]
+        self.conn.grab_pointer(
+            sc.root,
+            EventMask.ButtonPress | EventMask.ButtonRelease,
+            owner_events=False,
+            cursor="question_arrow",
+        )
+
+    def _end_selection(self) -> None:
+        self.selection = None
+        self.conn.ungrab_pointer()
+
+    def _selection_click(self, event: ev.ButtonPress) -> None:
+        selection = self.selection
+        assert selection is not None
+        managed = self._managed_under_pointer()
+        if managed is None:
+            # Clicking the root ends the prompt (also the single-shot
+            # miss case).
+            self._end_selection()
+            self.beep()
+            return
+        spec = lookup_function(selection.call.name)
+        from .bindings import FunctionCall
+
+        bare = FunctionCall(selection.call.name, None)
+        spec.handler(
+            self,
+            Invocation(
+                bare,
+                selection.screen,
+                managed,
+                (event.x_root, event.y_root),
+                event,
+            ),
+        )
+        if not selection.multiple:
+            self._end_selection()
+
+    # ------------------------------------------------------------------
+    # Interactive move / resize
+    # ------------------------------------------------------------------
+
+    def begin_move(
+        self, managed: ManagedWindow, pointer: Tuple[int, int]
+    ) -> None:
+        self.drag = Drag(
+            kind="move",
+            managed=managed,
+            start_pointer=pointer,
+            start_rect=self.frame_rect(managed),
+        )
+        sc = self.screens[managed.screen]
+        self.conn.grab_pointer(
+            sc.root,
+            EventMask.ButtonPress
+            | EventMask.ButtonRelease
+            | EventMask.PointerMotion,
+            cursor="fleur",
+        )
+
+    def begin_resize(
+        self, managed: ManagedWindow, pointer: Tuple[int, int]
+    ) -> None:
+        self.drag = Drag(
+            kind="resize",
+            managed=managed,
+            start_pointer=pointer,
+            start_rect=self.frame_rect(managed),
+        )
+        sc = self.screens[managed.screen]
+        self.conn.grab_pointer(
+            sc.root,
+            EventMask.ButtonPress
+            | EventMask.ButtonRelease
+            | EventMask.PointerMotion,
+            cursor="sizing",
+        )
+
+    def _drag_motion(self, event: ev.MotionNotify) -> None:
+        drag = self.drag
+        if drag is None:
+            return
+        dx = event.x_root - drag.start_pointer[0]
+        dy = event.y_root - drag.start_pointer[1]
+        if drag.kind == "move":
+            drag.current = drag.start_rect.moved_to(
+                drag.start_rect.x + dx, drag.start_rect.y + dy
+            )
+            # Opaque move (swm*opaqueMove: True): drag the window
+            # itself instead of an outline.
+            sc_opaque = self.screens[drag.managed.screen]
+            if sc_opaque.ctx.get_bool([], "opaqueMove", False):
+                self.conn.move_window(
+                    drag.managed.frame, drag.current.x, drag.current.y
+                )
+            # Dragging into the panner continues the move as a
+            # miniature drag (§6.1).
+            sc = self.screens[drag.managed.screen]
+            if sc.panner is not None:
+                panner_managed = self.managed.get(sc.panner.window)
+                if panner_managed is not None:
+                    panner_rect = self.frame_rect(panner_managed)
+                    drag.in_panner = panner_rect.contains(
+                        event.x_root, event.y_root
+                    )
+        else:
+            drag.current = drag.start_rect.resized(
+                max(8, drag.start_rect.width + dx),
+                max(8, drag.start_rect.height + dy),
+            )
+
+    def _drag_release(self, event: ev.ButtonRelease) -> None:
+        drag = self.drag
+        if drag is None:
+            return
+        self.drag = None
+        self.conn.ungrab_pointer()
+        managed = drag.managed
+        sc = self.screens[managed.screen]
+        dx = event.x_root - drag.start_pointer[0]
+        dy = event.y_root - drag.start_pointer[1]
+        if drag.kind == "move":
+            if drag.in_panner and sc.panner is not None:
+                # Dropped onto the panner: place at the miniature's
+                # desktop position.
+                panner_managed = self.managed.get(sc.panner.window)
+                panner_rect = self.frame_rect(panner_managed)
+                local = Point(
+                    event.x_root - panner_rect.x - managed.client_offset.x,
+                    event.y_root - panner_rect.y - managed.client_offset.y,
+                )
+                desk = sc.panner.panner_to_desktop(max(0, local.x), max(0, local.y))
+                self.move_managed_to(managed, desk.x, desk.y)
+            else:
+                target = Point(drag.start_rect.x + dx, drag.start_rect.y + dy)
+                self.move_managed_to(managed, target.x, target.y)
+        else:
+            new_width = drag.start_rect.width + dx
+            new_height = drag.start_rect.height + dy
+            client = self._client_size(managed)
+            deco_w = drag.start_rect.width - client.width
+            deco_h = drag.start_rect.height - client.height
+            self.resize_managed(
+                managed,
+                max(1, new_width - deco_w),
+                max(1, new_height - deco_h),
+            )
+
+    # ------------------------------------------------------------------
+    # Dynamic object changes (§4.2, §4.4)
+    # ------------------------------------------------------------------
+
+    def _find_object(
+        self, name: str, context: Optional[ManagedWindow]
+    ) -> Optional[SwmObject]:
+        if context is not None:
+            obj = context.decoration.find(name)
+            if obj is not None:
+                return obj
+            if context.icon is not None:
+                obj = context.icon.panel.find(name)
+                if obj is not None:
+                    return obj
+        for obj, _, _ in self.object_windows.values():
+            if obj.name == name:
+                return obj
+        return None
+
+    def set_button_image(
+        self, name: str, bitmap_name: str, context: Optional[ManagedWindow] = None
+    ) -> None:
+        obj = self._find_object(name, context)
+        if not isinstance(obj, Button):
+            raise FunctionError(f"no button named {name!r}")
+        obj.set_image(bitmap_name)
+        obj.update_label(self.conn)
+
+    def set_button_label(
+        self, name: str, text: str, context: Optional[ManagedWindow] = None
+    ) -> None:
+        obj = self._find_object(name, context)
+        if not isinstance(obj, (Button, TextObject)):
+            raise FunctionError(f"no button/text named {name!r}")
+        if isinstance(obj, Button):
+            obj.set_label(text)
+        else:
+            obj.set_text(text)
+        obj.update_label(self.conn)
+
+    def set_object_bindings(
+        self, name: str, bindings: str, context: Optional[ManagedWindow] = None
+    ) -> None:
+        obj = self._find_object(name, context)
+        if obj is None:
+            raise FunctionError(f"no object named {name!r}")
+        obj.set_bindings(bindings)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_MapRequest(self, event: ev.MapRequest) -> None:
+        client = event.requestor
+        managed = self.managed.get(client)
+        if managed is None:
+            self.manage(client)
+        elif managed.state == ICONIC_STATE:
+            self.deiconify(managed)
+        else:
+            self.conn.map_window(client)
+            self.conn.map_window(managed.frame)
+
+    def _on_ConfigureRequest(self, event: ev.ConfigureRequest) -> None:
+        client = event.window
+        managed = self.managed.get(client)
+        if managed is None:
+            # Unmanaged window: pass the request through.
+            self.conn.configure_window(
+                client,
+                **self._configure_kwargs(event),
+            )
+            return
+        if event.value_mask & (ev.CWWidth | ev.CWHeight):
+            _, _, width, height, _ = self.conn.get_geometry(client)
+            new_w = event.width if event.value_mask & ev.CWWidth else width
+            new_h = event.height if event.value_mask & ev.CWHeight else height
+            self.resize_managed(managed, new_w, new_h)
+        if event.value_mask & (ev.CWX | ev.CWY):
+            position = self.client_desktop_position(managed)
+            new_x = event.x if event.value_mask & ev.CWX else position.x
+            new_y = event.y if event.value_mask & ev.CWY else position.y
+            self.move_client_to(managed, new_x, new_y)
+        if event.value_mask & ev.CWStackMode and event.sibling == NONE:
+            if event.stack_mode == ev.ABOVE:
+                self.raise_managed(managed)
+            elif event.stack_mode == ev.BELOW:
+                self.lower_managed(managed)
+        self._send_synthetic_configure(managed)
+
+    @staticmethod
+    def _configure_kwargs(event: ev.ConfigureRequest) -> dict:
+        kwargs = {}
+        if event.value_mask & ev.CWX:
+            kwargs["x"] = event.x
+        if event.value_mask & ev.CWY:
+            kwargs["y"] = event.y
+        if event.value_mask & ev.CWWidth:
+            kwargs["width"] = event.width
+        if event.value_mask & ev.CWHeight:
+            kwargs["height"] = event.height
+        if event.value_mask & ev.CWBorderWidth:
+            kwargs["border_width"] = event.border_width
+        if event.value_mask & ev.CWStackMode:
+            kwargs["stack_mode"] = event.stack_mode
+            if event.value_mask & ev.CWSibling:
+                kwargs["sibling"] = event.sibling
+        return kwargs
+
+    def _on_CirculateRequest(self, event: ev.CirculateRequest) -> None:
+        managed = self.managed.get(event.window)
+        if managed is not None:
+            if event.place == ev.PLACE_ON_TOP:
+                self.raise_managed(managed)
+            else:
+                self.lower_managed(managed)
+            return
+        window = event.window
+        if self.conn.window_exists(window):
+            if event.place == ev.PLACE_ON_TOP:
+                self.conn.raise_window(window)
+            else:
+                self.conn.lower_window(window)
+
+    def _on_DestroyNotify(self, event: ev.DestroyNotify) -> None:
+        managed = self.managed.get(event.destroyed_window)
+        if managed is not None:
+            self.unmanage(managed, destroyed=True)
+
+    def _on_UnmapNotify(self, event: ev.UnmapNotify) -> None:
+        client = event.unmapped_window
+        managed = self.managed.get(client)
+        if managed is None:
+            return
+        pending = self._ignore_unmaps.get(client, 0)
+        if pending > 0:
+            self._ignore_unmaps[client] = pending - 1
+            return
+        # ICCCM withdrawal: the client unmapped itself.
+        self.unmanage(managed)
+
+    def _on_PropertyNotify(self, event: ev.PropertyNotify) -> None:
+        atom_name = self.server.atoms.name(event.atom)
+        # swmcmd commands arrive as a root property (§4.3).
+        if atom_name == COMMAND_PROPERTY and event.state == ev.PROPERTY_NEW_VALUE:
+            for sc in self.screens:
+                if sc.root == event.window:
+                    self._handle_swmcmd(sc)
+                    return
+        managed = self.managed.get(event.window)
+        if managed is None:
+            return
+        if atom_name == "WM_NAME":
+            managed.name = (
+                icccm.get_wm_name(self.conn, managed.client) or managed.name
+            )
+            name_obj = managed.decoration.find("name")
+            if isinstance(name_obj, Button):
+                name_obj.set_label(managed.name)
+                name_obj.update_label(self.conn)
+            elif isinstance(name_obj, TextObject):
+                name_obj.set_text(managed.name)
+                name_obj.update_label(self.conn)
+        elif atom_name == "WM_ICON_NAME" and managed.icon is not None:
+            icon_name = icccm.get_wm_icon_name(self.conn, managed.client) or ""
+            obj = managed.icon.panel.find("iconname")
+            if isinstance(obj, Button):
+                obj.set_label(icon_name)
+                obj.update_label(self.conn)
+            elif isinstance(obj, TextObject):
+                obj.set_text(icon_name)
+                obj.update_label(self.conn)
+        elif atom_name == "WM_NORMAL_HINTS":
+            managed.size_hints = (
+                icccm.get_wm_normal_hints(self.conn, managed.client)
+                or managed.size_hints
+            )
+        elif atom_name == "WM_HINTS":
+            managed.wm_hints = (
+                icccm.get_wm_hints(self.conn, managed.client)
+                or managed.wm_hints
+            )
+
+    def _handle_swmcmd(self, sc: ScreenContext) -> None:
+        text = self.conn.get_string_property(sc.root, COMMAND_PROPERTY)
+        if not text:
+            return
+        self.conn.delete_property(sc.root, COMMAND_PROPERTY)
+        try:
+            calls = parse_command_stream(text)
+        except SwmCmdError as exc:
+            logger.warning("swmcmd: rejected command text: %s", exc)
+            self.beep()
+            return
+        for call in calls:
+            try:
+                self.execute(call, screen=sc.number)
+            except FunctionError as exc:
+                logger.warning("swmcmd: %s", exc)
+                self.beep()
+
+    def _on_ClientMessage(self, event: ev.ClientMessage) -> None:
+        atom_name = self.server.atoms.name(event.message_type)
+        if atom_name == WM_CHANGE_STATE:
+            managed = self.managed.get(event.window)
+            if managed is None:
+                # The message arrives on the root per ICCCM; the window
+                # is in data or the event window names the client.
+                managed = self.find_managed(event.window)
+            if managed is not None and event.data and event.data[0] == ICONIC_STATE:
+                self.iconify(managed)
+
+    def _on_ShapeNotify(self, event: ev.ShapeNotify) -> None:
+        managed = self.managed.get(event.window)
+        if managed is None:
+            return
+        managed.shaped = event.shaped
+        if not managed.decoration.children:
+            return
+        plan = DecorationPlan(
+            panel=managed.decoration,
+            panel_name=managed.decoration_name,
+            frame_size=Size(*self.frame_rect(managed).size),
+            client_rect=Rect(
+                managed.client_offset.x,
+                managed.client_offset.y,
+                self._client_size(managed).width,
+                self._client_size(managed).height,
+            ),
+            resize_corners=managed.resize_corners,
+        )
+        shape = frame_shape_for(plan, self.server.shape_query(managed.client))
+        if shape is not None:
+            self.conn.shape_window(
+                managed.frame, shape.mask, shape.x_offset, shape.y_offset
+            )
+
+    def _on_ButtonPress(self, event: ev.ButtonPress) -> None:
+        if self.selection is not None:
+            self._selection_click(event)
+            return
+        if self.active_menu is not None:
+            menu, screen, context = self.active_menu
+            item = menu.item_at(event.window)
+            self._close_menu()
+            if item is not None:
+                for call in item.functions:
+                    self.execute(
+                        call,
+                        screen=screen,
+                        context=context,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+                return
+            # fall through: a press outside just closed the menu
+        # Scrollbar troughs pan on click (§6).
+        for sc in self.screens:
+            if sc.scrollbars is not None and sc.scrollbars.owns(event.window):
+                sc.scrollbars.click(event.window, event.x, event.y)
+                self._update_panner(sc)
+                return
+        # Resize corners start an interactive resize directly.
+        corner_owner = self.corner_windows.get(event.window)
+        if corner_owner is not None:
+            self.begin_resize(corner_owner, (event.x_root, event.y_root))
+            return
+        # The panner handles its own clicks.
+        panner_hit = self._panner_for_window(event.window)
+        if panner_hit is not None:
+            panner, sc = panner_hit
+            local = self._panner_local(panner, event)
+            panner.press(event.button, local.x, local.y)
+            return
+        entry = self.object_windows.get(event.window)
+        if entry is not None:
+            obj, managed, screen = entry
+            binding = self._binding_for_object(
+                obj, event.button, event.state, release=False
+            )
+            if binding is not None:
+                for call in binding.functions:
+                    self.execute(
+                        call,
+                        screen=screen,
+                        context=managed,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+                return
+        # Root / desktop background bindings.
+        sc = self._screen_for_root_event(event.window)
+        if sc is not None:
+            binding = bindings_for_button(
+                sc.root_bindings, event.button, event.state
+            )
+            if binding is not None:
+                for call in binding.functions:
+                    self.execute(
+                        call,
+                        screen=sc.number,
+                        context=None,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+
+    def _on_ButtonRelease(self, event: ev.ButtonRelease) -> None:
+        if self.drag is not None:
+            self._drag_release(event)
+            return
+        panner_hit = self._panner_for_window(event.window)
+        if panner_hit is None and self._any_panner_drag() is not None:
+            panner = self._any_panner_drag()
+            local = self._panner_local_root(panner, event.x_root, event.y_root)
+            panner.release(local.x, local.y)
+            return
+        if panner_hit is not None:
+            panner, sc = panner_hit
+            if panner.drag is not None:
+                local = self._panner_local(panner, event)
+                panner.release(local.x, local.y)
+
+    def _on_MotionNotify(self, event: ev.MotionNotify) -> None:
+        if self.drag is not None:
+            self._drag_motion(event)
+            return
+        panner = self._any_panner_drag()
+        if panner is not None:
+            local = self._panner_local_root(panner, event.x_root, event.y_root)
+            panner.motion(local.x, local.y)
+            return
+        # <BtnNMotion> / <Motion> bindings on objects (drag-to-move).
+        entry = self.object_windows.get(event.window)
+        if entry is not None:
+            obj, managed, screen = entry
+            binding = bindings_for_motion(obj.bindings, event.state)
+            if binding is not None:
+                for call in binding.functions:
+                    self.execute(
+                        call,
+                        screen=screen,
+                        context=managed,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+
+    def _on_EnterNotify(self, event: ev.EnterNotify) -> None:
+        self._crossing_binding(event, "Enter")
+
+    def _on_LeaveNotify(self, event: ev.LeaveNotify) -> None:
+        self._crossing_binding(event, "Leave")
+
+    def _crossing_binding(self, event, kind: str) -> None:
+        """Objects can bind <Enter>/<Leave> (e.g. focus-follows-mouse:
+        swm*panel.<deco>.bindings: <Enter> : f.focus)."""
+        entry = self.object_windows.get(event.window)
+        if entry is None:
+            return
+        obj, managed, screen = entry
+        for binding in obj.bindings:
+            if binding.event == kind:
+                for call in binding.functions:
+                    self.execute(
+                        call,
+                        screen=screen,
+                        context=managed,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+                return
+
+    def _on_KeyPress(self, event: ev.KeyPress) -> None:
+        entry = self.object_windows.get(event.window)
+        if entry is not None:
+            obj, managed, screen = entry
+            binding = bindings_for_key(obj.bindings, event.keysym, event.state)
+            if binding is None:
+                binding = self._parent_key_binding(obj, event)
+            if binding is not None:
+                for call in binding.functions:
+                    self.execute(
+                        call,
+                        screen=screen,
+                        context=managed,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+                return
+        sc = self._screen_for_root_event(event.window)
+        if sc is not None:
+            binding = bindings_for_key(sc.root_bindings, event.keysym, event.state)
+            if binding is not None:
+                for call in binding.functions:
+                    self.execute(call, screen=sc.number, event=event,
+                                 pointer=(event.x_root, event.y_root))
+
+    # -- event helper plumbing -------------------------------------------------
+
+    def _binding_for_object(
+        self, obj: SwmObject, button: int, state: int, release: bool
+    ) -> Optional[Binding]:
+        current: Optional[SwmObject] = obj
+        while current is not None:
+            binding = bindings_for_button(
+                current.bindings, button, state, release
+            )
+            if binding is not None:
+                return binding
+            current = current.parent
+        return None
+
+    def _parent_key_binding(self, obj: SwmObject, event: ev.KeyPress):
+        current = obj.parent
+        while current is not None:
+            binding = bindings_for_key(current.bindings, event.keysym, event.state)
+            if binding is not None:
+                return binding
+            current = current.parent
+        return None
+
+    def _screen_for_root_event(self, window: int) -> Optional[ScreenContext]:
+        for sc in self.screens:
+            if window == sc.root:
+                return sc
+            if sc.vdesk is not None and window == sc.vdesk.window:
+                return sc
+        return None
+
+    def _panner_for_window(
+        self, window: int
+    ) -> Optional[Tuple[Panner, ScreenContext]]:
+        for sc in self.screens:
+            if sc.panner is not None and window == sc.panner.window:
+                return sc.panner, sc
+        return None
+
+    def _any_panner_drag(self) -> Optional[Panner]:
+        for sc in self.screens:
+            if sc.panner is not None and sc.panner.drag is not None:
+                return sc.panner
+        return None
+
+    def _panner_local(self, panner: Panner, event) -> Point:
+        return Point(event.x, event.y)
+
+    def _panner_local_root(self, panner: Panner, x_root: int, y_root: int) -> Point:
+        x, y, _ = self.conn.translate_coordinates(
+            panner.vdesk.screen.root.id, panner.window, x_root, y_root
+        )
+        return Point(x, y)

@@ -1,0 +1,79 @@
+"""xrdb: loading resources onto the root window.
+
+Real X clients (swm included) read their resources from the
+``RESOURCE_MANAGER`` property on screen 0's root, which the ``xrdb``
+utility maintains from the user's ``.Xresources``.  These helpers
+emulate ``xrdb -load`` / ``-merge`` / ``-query``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..xrm.database import ResourceDatabase
+from ..xrm.parse import parse_lines
+from ..xserver.client import ClientConnection
+from ..xserver.properties import PROP_MODE_APPEND
+from ..xserver.server import XServer
+
+RESOURCE_MANAGER = "RESOURCE_MANAGER"
+
+
+def _connection(target: Union[XServer, ClientConnection]):
+    if isinstance(target, XServer):
+        return ClientConnection(target, "xrdb"), True
+    return target, False
+
+
+def xrdb_load(target: Union[XServer, ClientConnection], text: str) -> int:
+    """xrdb -load: replace the root resources.  Returns the number of
+    entries; raises on unparseable text (as xrdb rejects bad input)."""
+    entries = sum(1 for _ in parse_lines(text))
+    conn, own = _connection(target)
+    try:
+        conn.set_string_property(conn.root_window(0), RESOURCE_MANAGER, text)
+    finally:
+        if own:
+            conn.close()
+    return entries
+
+
+def xrdb_merge(target: Union[XServer, ClientConnection], text: str) -> int:
+    """xrdb -merge: append resources to the root property."""
+    entries = sum(1 for _ in parse_lines(text))
+    conn, own = _connection(target)
+    try:
+        conn.change_property(
+            conn.root_window(0),
+            RESOURCE_MANAGER,
+            "STRING",
+            8,
+            "\n" + text,
+            PROP_MODE_APPEND,
+        )
+    finally:
+        if own:
+            conn.close()
+    return entries
+
+
+def xrdb_query(target: Union[XServer, ClientConnection]) -> str:
+    """xrdb -query: the current contents of the root property."""
+    conn, own = _connection(target)
+    try:
+        return conn.get_string_property(
+            conn.root_window(0), RESOURCE_MANAGER
+        ) or ""
+    finally:
+        if own:
+            conn.close()
+
+
+def database_from_root(target: Union[XServer, ClientConnection]) -> ResourceDatabase:
+    """Build a ResourceDatabase from the root property, as a starting
+    client would."""
+    db = ResourceDatabase()
+    text = xrdb_query(target)
+    if text:
+        db.load_string(text)
+    return db

@@ -1,0 +1,86 @@
+"""Regenerating the paper's figures.
+
+The original figures are screen photographs; we regenerate their
+*structure* from the same panel definitions, as deterministic char-cell
+renderings:
+
+- Figure 1: an OpenLook+-decorated client window,
+- Figure 2: the reparented RootPanel (quit/restart/... button grid),
+- Figure 3: the Virtual Desktop panner with miniatures + viewport.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core.wm import Swm
+from .xserver import XServer
+from .xserver.geometry import Rect
+from .xserver.render import Canvas, render_window
+
+
+#: Char-cell granularity for the decoration figures: fine enough that
+#: every titlebar button is visible.
+FIGURE_CELL = (4, 8)
+
+
+def figure1_decoration(server: XServer, wm: Swm, client: int) -> str:
+    """Render a managed client's decoration panel (Figure 1)."""
+    managed = wm.managed[client]
+    frame = server.window(managed.frame)
+    return render_window(
+        frame,
+        server.atoms,
+        cell_w=FIGURE_CELL[0],
+        cell_h=FIGURE_CELL[1],
+        clip=frame.rect_in_root(),
+    )
+
+
+def figure2_root_panel(server: XServer, wm: Swm, name: str = "RootPanel") -> str:
+    """Render a root panel (Figure 2) — reparented like a client, so we
+    render its whole frame."""
+    managed = wm.screens[0].root_panels[name]
+    frame = server.window(managed.frame)
+    return render_window(
+        frame,
+        server.atoms,
+        cell_w=FIGURE_CELL[0],
+        cell_h=FIGURE_CELL[1],
+        clip=frame.rect_in_root(),
+    )
+
+
+def figure3_panner(wm: Swm, screen: int = 0) -> str:
+    """Render the panner (Figure 3): miniature windows as ``#`` boxes
+    with the viewport outline drawn in ``:``."""
+    sc = wm.screens[screen]
+    panner = sc.panner
+    if panner is None:
+        raise ValueError("no panner on this screen")
+    size = panner.panner_size()
+    # One canvas cell per 2x4 panner pixels keeps the aspect readable.
+    cell_w, cell_h = 2, 4
+    canvas = Canvas(
+        max(1, size.width // cell_w), max(1, size.height // cell_h)
+    )
+
+    def draw(rect: Rect, border: Optional[str], fill: Optional[str]) -> None:
+        col0 = rect.x // cell_w
+        row0 = rect.y // cell_h
+        cols = max(1, rect.width // cell_w)
+        rows = max(1, rect.height // cell_h)
+        if fill:
+            canvas.fill_rect(col0, row0, cols, rows, fill)
+        if border is None:
+            canvas.frame(col0, row0, cols, rows)
+        else:
+            canvas.hline(col0, row0, cols, border)
+            canvas.hline(col0, row0 + rows - 1, cols, border)
+            canvas.vline(col0, row0, rows, border)
+            canvas.vline(col0 + cols - 1, row0, rows, border)
+
+    draw(panner.viewport_outline(), ":", None)
+    for mini, managed in panner.miniature_rects():
+        draw(mini, None, "#")
+    return canvas.to_string()

@@ -1,0 +1,223 @@
+"""ICCCM hint structures: WM_NORMAL_HINTS, WM_HINTS, WM_STATE.
+
+These are the properties through which clients negotiate with the
+window manager.  The USPosition/PPosition distinction in
+WM_NORMAL_HINTS is load-bearing for the Virtual Desktop (§6.3 of the
+paper): user-specified positions are absolute desktop coordinates,
+program-specified positions are relative to the visible viewport.
+
+Encoding matches the X11 wire layout (format-32 integer arrays) so the
+hints survive a trip through the property machinery like real ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+# WM_NORMAL_HINTS (XSizeHints) flag bits.
+US_POSITION = 1 << 0
+US_SIZE = 1 << 1
+P_POSITION = 1 << 2
+P_SIZE = 1 << 3
+P_MIN_SIZE = 1 << 4
+P_MAX_SIZE = 1 << 5
+P_RESIZE_INC = 1 << 6
+P_ASPECT = 1 << 7
+P_BASE_SIZE = 1 << 8
+P_WIN_GRAVITY = 1 << 9
+
+# WM_HINTS (XWMHints) flag bits.
+INPUT_HINT = 1 << 0
+STATE_HINT = 1 << 1
+ICON_PIXMAP_HINT = 1 << 2
+ICON_WINDOW_HINT = 1 << 3
+ICON_POSITION_HINT = 1 << 4
+ICON_MASK_HINT = 1 << 5
+WINDOW_GROUP_HINT = 1 << 6
+
+# WM_STATE / initial_state values.
+WITHDRAWN_STATE = 0
+NORMAL_STATE = 1
+ICONIC_STATE = 3
+
+STATE_NAMES = {
+    WITHDRAWN_STATE: "WithdrawnState",
+    NORMAL_STATE: "NormalState",
+    ICONIC_STATE: "IconicState",
+}
+STATE_BY_NAME = {name: value for value, name in STATE_NAMES.items()}
+
+
+@dataclass
+class SizeHints:
+    """WM_NORMAL_HINTS."""
+
+    flags: int = 0
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+    min_width: int = 0
+    min_height: int = 0
+    max_width: int = 0
+    max_height: int = 0
+    width_inc: int = 0
+    height_inc: int = 0
+    min_aspect: Tuple[int, int] = (0, 0)
+    max_aspect: Tuple[int, int] = (0, 0)
+    base_width: int = 0
+    base_height: int = 0
+    win_gravity: int = 1
+
+    @property
+    def user_position(self) -> bool:
+        return bool(self.flags & US_POSITION)
+
+    @property
+    def program_position(self) -> bool:
+        return bool(self.flags & P_POSITION)
+
+    @property
+    def user_size(self) -> bool:
+        return bool(self.flags & US_SIZE)
+
+    def encode(self) -> List[int]:
+        """The 18-CARD32 XSizeHints wire layout."""
+        return [
+            self.flags,
+            self.x,
+            self.y,
+            self.width,
+            self.height,
+            self.min_width,
+            self.min_height,
+            self.max_width,
+            self.max_height,
+            self.width_inc,
+            self.height_inc,
+            self.min_aspect[0],
+            self.min_aspect[1],
+            self.max_aspect[0],
+            self.max_aspect[1],
+            self.base_width,
+            self.base_height,
+            self.win_gravity,
+        ]
+
+    @classmethod
+    def decode(cls, data: Sequence[int]) -> "SizeHints":
+        if len(data) < 18:
+            data = list(data) + [0] * (18 - len(data))
+        return cls(
+            flags=data[0],
+            x=data[1],
+            y=data[2],
+            width=data[3],
+            height=data[4],
+            min_width=data[5],
+            min_height=data[6],
+            max_width=data[7],
+            max_height=data[8],
+            width_inc=data[9],
+            height_inc=data[10],
+            min_aspect=(data[11], data[12]),
+            max_aspect=(data[13], data[14]),
+            base_width=data[15],
+            base_height=data[16],
+            win_gravity=data[17] if len(data) > 17 else 1,
+        )
+
+    def constrain_size(self, width: int, height: int) -> Tuple[int, int]:
+        """Apply min/max/increment constraints to a requested size, the
+        way a WM resize honours the hints."""
+        if self.flags & P_MIN_SIZE:
+            width = max(width, self.min_width)
+            height = max(height, self.min_height)
+        if self.flags & P_MAX_SIZE:
+            if self.max_width:
+                width = min(width, self.max_width)
+            if self.max_height:
+                height = min(height, self.max_height)
+        if self.flags & P_RESIZE_INC:
+            base_w = self.base_width if self.flags & P_BASE_SIZE else self.min_width
+            base_h = self.base_height if self.flags & P_BASE_SIZE else self.min_height
+            if self.width_inc:
+                width = base_w + ((width - base_w) // self.width_inc) * self.width_inc
+            if self.height_inc:
+                height = base_h + ((height - base_h) // self.height_inc) * self.height_inc
+        return max(1, width), max(1, height)
+
+
+@dataclass
+class WMHints:
+    """WM_HINTS."""
+
+    flags: int = 0
+    input: bool = True
+    initial_state: int = NORMAL_STATE
+    icon_pixmap: int = 0
+    icon_window: int = 0
+    icon_x: int = 0
+    icon_y: int = 0
+    icon_mask: int = 0
+    window_group: int = 0
+
+    @property
+    def has_icon_position(self) -> bool:
+        return bool(self.flags & ICON_POSITION_HINT)
+
+    @property
+    def start_iconic(self) -> bool:
+        return bool(self.flags & STATE_HINT) and self.initial_state == ICONIC_STATE
+
+    def encode(self) -> List[int]:
+        """The 9-CARD32 XWMHints wire layout."""
+        return [
+            self.flags,
+            1 if self.input else 0,
+            self.initial_state,
+            self.icon_pixmap,
+            self.icon_window,
+            self.icon_x,
+            self.icon_y,
+            self.icon_mask,
+            self.window_group,
+        ]
+
+    @classmethod
+    def decode(cls, data: Sequence[int]) -> "WMHints":
+        if len(data) < 9:
+            data = list(data) + [0] * (9 - len(data))
+        return cls(
+            flags=data[0],
+            input=bool(data[1]),
+            initial_state=data[2],
+            icon_pixmap=data[3],
+            icon_window=data[4],
+            icon_x=data[5],
+            icon_y=data[6],
+            icon_mask=data[7],
+            window_group=data[8],
+        )
+
+
+@dataclass
+class WMState:
+    """WM_STATE — set by the window manager, read by clients."""
+
+    state: int = WITHDRAWN_STATE
+    icon_window: int = 0
+
+    def encode(self) -> List[int]:
+        return [self.state, self.icon_window]
+
+    @classmethod
+    def decode(cls, data: Sequence[int]) -> "WMState":
+        if len(data) < 2:
+            data = list(data) + [0] * (2 - len(data))
+        return cls(state=data[0], icon_window=data[1])
+
+    @property
+    def name(self) -> str:
+        return STATE_NAMES.get(self.state, f"UnknownState({self.state})")

@@ -1,0 +1,45 @@
+"""Session management: swmhints, f.places, and the launcher (§7)."""
+
+from .hints import (
+    RESTART_PROPERTY,
+    RestartHints,
+    SwmHintsError,
+    clear_restart_property,
+    read_restart_property,
+    swmhints,
+)
+from .launcher import (
+    DEFAULT_REMOTE_START,
+    Host,
+    LaunchError,
+    Launcher,
+    render_remote_start,
+)
+from .places import (
+    PlacesEntry,
+    collect_entries,
+    format_places,
+    parse_places,
+    replay_places,
+    write_places,
+)
+
+__all__ = [
+    "DEFAULT_REMOTE_START",
+    "Host",
+    "LaunchError",
+    "Launcher",
+    "PlacesEntry",
+    "RESTART_PROPERTY",
+    "RestartHints",
+    "SwmHintsError",
+    "clear_restart_property",
+    "collect_entries",
+    "format_places",
+    "parse_places",
+    "read_restart_property",
+    "render_remote_start",
+    "replay_places",
+    "swmhints",
+    "write_places",
+]

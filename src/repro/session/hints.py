@@ -1,0 +1,183 @@
+"""swmhints: the session-restart hint protocol (§7).
+
+Session management is two-step: an ``swmhints`` invocation provides swm
+with hints about a client's previous state, then swm interprets those
+hints when the client window is reparented.  All hint records are
+appended to a property on the root window (``SWM_RESTART_INFO``); on
+startup swm reads them into an internal table and matches entries
+against each new client's WM_COMMAND (and, when given,
+WM_CLIENT_MACHINE).
+
+An swmhints invocation looks exactly like the paper's example::
+
+    swmhints -geometry 120x120+1010+359 -icongeometry +0+0 \\
+             -state NormalState -cmd "oclock -geom 100x100"
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..icccm.hints import STATE_BY_NAME, STATE_NAMES
+from ..xserver.client import ClientConnection
+from ..xserver.geometry import Geometry, parse_geometry
+from ..xserver.properties import PROP_MODE_APPEND
+from ..xserver.server import XServer
+
+RESTART_PROPERTY = "SWM_RESTART_INFO"
+
+
+class SwmHintsError(ValueError):
+    """Bad swmhints invocation."""
+
+
+@dataclass
+class RestartHints:
+    """One client's saved state."""
+
+    command: str
+    geometry: Optional[Geometry] = None
+    icon_geometry: Optional[Geometry] = None
+    state: Optional[int] = None
+    sticky: Optional[bool] = None
+    machine: Optional[str] = None
+    #: Virtual Desktop index (multiple-desktop extension).
+    desktop: Optional[int] = None
+
+    def to_argv(self) -> List[str]:
+        """The swmhints command line reproducing this record."""
+        argv = ["swmhints"]
+        if self.geometry is not None:
+            argv += ["-geometry", str(self.geometry)]
+        if self.icon_geometry is not None:
+            argv += ["-icongeometry", str(self.icon_geometry)]
+        if self.state is not None:
+            argv += ["-state", STATE_NAMES[self.state]]
+        if self.sticky:
+            argv.append("-sticky")
+        if self.machine:
+            argv += ["-machine", self.machine]
+        if self.desktop is not None:
+            argv += ["-desktop", str(self.desktop)]
+        argv += ["-cmd", self.command]
+        return argv
+
+    def to_line(self) -> str:
+        return " ".join(shlex.quote(arg) for arg in self.to_argv())
+
+    @classmethod
+    def from_argv(cls, argv: List[str]) -> "RestartHints":
+        """Parse an swmhints command line (argv[0] may be 'swmhints')."""
+        args = list(argv)
+        if args and args[0].endswith("swmhints"):
+            args = args[1:]
+        hints = cls(command="")
+        index = 0
+        while index < len(args):
+            flag = args[index]
+            if flag == "-geometry":
+                index += 1
+                hints.geometry = parse_geometry(args[index])
+            elif flag == "-icongeometry":
+                index += 1
+                hints.icon_geometry = parse_geometry(args[index])
+            elif flag == "-state":
+                index += 1
+                name = args[index]
+                if name not in STATE_BY_NAME:
+                    raise SwmHintsError(f"unknown state {name!r}")
+                hints.state = STATE_BY_NAME[name]
+            elif flag == "-sticky":
+                hints.sticky = True
+            elif flag == "-machine":
+                index += 1
+                hints.machine = args[index]
+            elif flag == "-desktop":
+                index += 1
+                hints.desktop = int(args[index])
+            elif flag == "-cmd":
+                index += 1
+                hints.command = args[index]
+            else:
+                raise SwmHintsError(f"unknown swmhints option {flag!r}")
+            index += 1
+        if not hints.command:
+            raise SwmHintsError("swmhints requires -cmd")
+        return hints
+
+    @classmethod
+    def from_line(cls, line: str) -> "RestartHints":
+        return cls.from_argv(shlex.split(line))
+
+    @property
+    def icon_position(self) -> Optional[Tuple[int, int]]:
+        if self.icon_geometry is None or self.icon_geometry.x is None:
+            return None
+        return self.icon_geometry.x, self.icon_geometry.y
+
+
+def swmhints(
+    target: Union[XServer, ClientConnection],
+    argv_or_line: Union[str, List[str]],
+    screen: int = 0,
+) -> RestartHints:
+    """Run the swmhints program: parse the options and append the
+    record to the root window's restart property."""
+    if isinstance(argv_or_line, str):
+        hints = RestartHints.from_line(argv_or_line)
+    else:
+        hints = RestartHints.from_argv(argv_or_line)
+    if isinstance(target, XServer):
+        conn = ClientConnection(target, "swmhints")
+        own = True
+    else:
+        conn = target
+        own = False
+    try:
+        conn.change_property(
+            conn.root_window(screen),
+            RESTART_PROPERTY,
+            "STRING",
+            8,
+            hints.to_line() + "\n",
+            PROP_MODE_APPEND,
+        )
+    finally:
+        if own:
+            conn.close()
+    return hints
+
+
+def read_restart_property(conn: ClientConnection, root: int) -> List[dict]:
+    """Read the accumulated swmhints records into the table swm keeps
+    (§7), as dicts consumed by ``Swm._match_restart_entry``."""
+    text = conn.get_string_property(root, RESTART_PROPERTY)
+    if not text:
+        return []
+    table = []
+    for line in text.splitlines():
+        line = line.strip().rstrip("\0")
+        if not line:
+            continue
+        try:
+            hints = RestartHints.from_line(line)
+        except (SwmHintsError, ValueError):
+            continue
+        table.append(
+            {
+                "command": hints.command,
+                "machine": hints.machine,
+                "geometry": hints.geometry,
+                "icon_position": hints.icon_position,
+                "state": hints.state,
+                "sticky": hints.sticky,
+                "desktop": hints.desktop,
+            }
+        )
+    return table
+
+
+def clear_restart_property(conn: ClientConnection, root: int) -> None:
+    conn.delete_property(root, RESTART_PROPERTY)

@@ -1,0 +1,150 @@
+"""Launching clients, locally and on remote hosts (§7.1).
+
+The paper: restarting a remote client from just WM_COMMAND +
+WM_CLIENT_MACHINE fails when the remote shell's environment lacks
+DISPLAY/PATH ("if the shell being used only reads an initialization
+file for login shells...").  swm therefore exposes a customizable
+remote-start string.
+
+We model a network of :class:`Host` objects: each has an environment
+and an installed-command check.  ``rsh host "command"`` only succeeds
+when DISPLAY reaches the client — either from the host's non-login-
+shell environment or set inline by the remote-start template.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..clients import SimApp, launch_command
+from ..xserver.server import XServer
+
+#: The default remote-start template; %h = host, %d = display,
+#: %c = command.  It sets DISPLAY inline so remote restarts work even
+#: on hosts whose rsh environment is bare.
+DEFAULT_REMOTE_START = 'rsh %h "env DISPLAY=%d %c"'
+
+
+class LaunchError(RuntimeError):
+    """A client could not be started."""
+
+
+@dataclass
+class Host:
+    """One machine clients may run on."""
+
+    name: str
+    #: Environment an rsh (non-login) shell sees on this host.
+    rsh_env: Dict[str, str] = field(default_factory=dict)
+    #: Programs on the default rsh PATH; None means "everything
+    #: installed" (path taken from rsh_env/PATH presence).
+    installed: Optional[List[str]] = None
+
+    def has_command(self, program: str) -> bool:
+        if self.installed is None:
+            return True
+        return program in self.installed
+
+
+class Launcher:
+    """Simulated process launcher over a set of hosts."""
+
+    def __init__(
+        self,
+        server: XServer,
+        local_host: str = "localhost",
+        display: str = "localhost:0.0",
+        hosts: Optional[Sequence[Host]] = None,
+    ):
+        self.server = server
+        self.local_host = local_host
+        self.display = display
+        self.hosts: Dict[str, Host] = {
+            local_host: Host(local_host, rsh_env={"DISPLAY": display})
+        }
+        for host in hosts or ():
+            self.hosts[host.name] = host
+        self.started: List[SimApp] = []
+
+    def add_host(self, host: Host) -> None:
+        self.hosts[host.name] = host
+
+    # -- local ------------------------------------------------------------------
+
+    def run_local(self, command: str) -> SimApp:
+        argv = shlex.split(command)
+        if not argv:
+            raise LaunchError("empty command")
+        app = launch_command(self.server, argv, host=self.local_host)
+        self.started.append(app)
+        return app
+
+    # -- remote -------------------------------------------------------------------
+
+    _RSH_RE = re.compile(r"^rsh\s+(?P<host>\S+)\s+(?P<rest>.+)$")
+
+    def run_rsh(self, line: str) -> SimApp:
+        """Execute an ``rsh host "command"`` line."""
+        match = self._RSH_RE.match(line.strip())
+        if match is None:
+            raise LaunchError(f"not an rsh line: {line!r}")
+        host_name = match.group("host")
+        remote_command = match.group("rest").strip()
+        # Strip one level of shell quoting around the remote command.
+        parts = shlex.split(remote_command)
+        remote_command = " ".join(parts) if len(parts) > 1 else (
+            parts[0] if parts else ""
+        )
+        host = self.hosts.get(host_name)
+        if host is None:
+            raise LaunchError(f"unknown host {host_name!r}")
+        env = dict(host.rsh_env)
+        argv = shlex.split(remote_command)
+        # Inline env settings: env DISPLAY=... cmd, or VAR=... cmd.
+        while argv:
+            if argv[0] == "env":
+                argv = argv[1:]
+                continue
+            assign = re.match(r"^(\w+)=(.*)$", argv[0])
+            if assign:
+                env[assign.group(1)] = assign.group(2)
+                argv = argv[1:]
+                continue
+            break
+        if not argv:
+            raise LaunchError(f"no command in rsh line: {line!r}")
+        if "DISPLAY" not in env:
+            raise LaunchError(
+                f"DISPLAY not set in rsh environment on {host_name}; "
+                "the client cannot find the X server"
+            )
+        program = argv[0].rsplit("/", 1)[-1]
+        if not host.has_command(program):
+            raise LaunchError(f"{program}: not found on {host_name}")
+        app = launch_command(self.server, argv, host=host_name)
+        self.started.append(app)
+        return app
+
+    def run_line(self, line: str) -> SimApp:
+        """Run one script line: an rsh invocation or a local command
+        (with or without a trailing '&')."""
+        line = line.strip()
+        if line.endswith("&"):
+            line = line[:-1].strip()
+        if line.startswith("rsh "):
+            return self.run_rsh(line)
+        return self.run_local(line)
+
+
+def render_remote_start(
+    template: str, host: str, display: str, command: str
+) -> str:
+    """Substitute the remote-start template (%h, %d, %c)."""
+    return (
+        template.replace("%h", host)
+        .replace("%d", display)
+        .replace("%c", command)
+    )

@@ -1,0 +1,149 @@
+"""A user-simulation driver for scripting interactions.
+
+:class:`Robot` plays the user against a running server + swm: it finds
+decoration objects by name, clicks buttons, drags titlebars, picks menu
+items, and answers selection prompts — the plumbing every interactive
+test needs, packaged once.
+
+    robot = Robot(server, wm)
+    robot.click_object(managed, "name")           # raise via binding
+    robot.drag_object(managed, "name", 50, 30, button=2)
+    robot.pick_menu_item("Iconify")
+    robot.answer_prompt(managed)                  # question-mark prompt
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .xserver.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core.managed import ManagedWindow
+    from .core.wm import Swm
+    from .xserver.server import XServer
+
+
+class RobotError(RuntimeError):
+    """The requested interaction is impossible (object missing...)."""
+
+
+class Robot:
+    """Drives pointer/keyboard input against a WM under test."""
+
+    def __init__(self, server: "XServer", wm: "Swm"):
+        self.server = server
+        self.wm = wm
+
+    # -- locating things ---------------------------------------------------
+
+    def object_origin(self, managed: "ManagedWindow", name: str) -> Point:
+        """Root coordinates of a decoration (or icon) object."""
+        obj = managed.object_named(name)
+        if obj is None and managed.icon is not None:
+            obj = managed.icon.panel.find(name)
+        if obj is None or obj.window is None:
+            raise RobotError(f"no realized object {name!r} on {managed!r}")
+        return self.server.window(obj.window).position_in_root()
+
+    # -- primitive gestures ---------------------------------------------------
+
+    def move_pointer(self, x: int, y: int) -> None:
+        self.server.motion(x, y)
+        self.wm.process_pending()
+
+    def click(self, x: int, y: int, button: int = 1) -> None:
+        self.server.motion(x, y)
+        self.server.button_press(button)
+        self.server.button_release(button)
+        self.wm.process_pending()
+
+    def drag(
+        self,
+        start: Tuple[int, int],
+        end: Tuple[int, int],
+        button: int = 1,
+        steps: int = 3,
+    ) -> None:
+        """Press at *start*, move through interpolated points, release
+        at *end*."""
+        self.server.motion(*start)
+        self.server.button_press(button)
+        self.wm.process_pending()
+        for step in range(1, steps + 1):
+            x = start[0] + (end[0] - start[0]) * step // steps
+            y = start[1] + (end[1] - start[1]) * step // steps
+            self.server.motion(x, y)
+            self.wm.process_pending()
+        self.server.button_release(button)
+        self.wm.process_pending()
+
+    def type_key(self, keysym: str) -> None:
+        self.server.key_press(keysym)
+        self.server.key_release(keysym)
+        self.wm.process_pending()
+
+    # -- object-level gestures ----------------------------------------------------
+
+    def click_object(
+        self, managed: "ManagedWindow", name: str, button: int = 1
+    ) -> None:
+        """Click a named decoration/icon object."""
+        origin = self.object_origin(managed, name)
+        self.click(origin.x + 2, origin.y + 2, button)
+
+    def drag_object(
+        self,
+        managed: "ManagedWindow",
+        name: str,
+        dx: int,
+        dy: int,
+        button: int = 1,
+    ) -> None:
+        """Press on a named object and drag by (dx, dy)."""
+        origin = self.object_origin(managed, name)
+        start = (origin.x + 2, origin.y + 2)
+        self.drag(start, (start[0] + dx, start[1] + dy), button)
+
+    def click_frame(self, managed: "ManagedWindow", button: int = 1) -> None:
+        """Click the frame margin (the decoration panel itself)."""
+        rect = self.wm.frame_rect(managed)
+        self.click(rect.x + 1, rect.y + rect.height // 2, button)
+
+    # -- WM dialogs --------------------------------------------------------------------
+
+    def pick_menu_item(self, label: str) -> None:
+        """Click an item in the currently open menu."""
+        if self.wm.active_menu is None:
+            raise RobotError("no menu is open")
+        menu, _, _ = self.wm.active_menu
+        labels = [item.label for item in menu.items]
+        try:
+            index = labels.index(label)
+        except ValueError:
+            raise RobotError(
+                f"menu has no item {label!r} (has {labels})"
+            ) from None
+        item_window = menu.item_windows[index]
+        origin = self.server.window(item_window).position_in_root()
+        self.click(origin.x + 2, origin.y + 2)
+
+    def answer_prompt(self, managed: Optional["ManagedWindow"]) -> None:
+        """Complete a selection prompt by clicking the given window
+        (or the root, ending the prompt, when None)."""
+        if self.wm.selection is None:
+            raise RobotError("no selection prompt is active")
+        if managed is None:
+            screen = self.server.screens[0]
+            self.click(screen.width - 2, screen.height - 2)
+            return
+        rect = self.wm.frame_rect(managed)
+        self.click(rect.x + 2, rect.y + rect.height // 2)
+
+    def in_panner_click(self, x: int, y: int, button: int = 1) -> None:
+        """Click at panner-local coordinates."""
+        panner = self.wm.screens[0].panner
+        if panner is None:
+            raise RobotError("no panner on screen 0")
+        origin = self.server.window(panner.window).position_in_root()
+        self.click(origin.x + x, origin.y + y, button)

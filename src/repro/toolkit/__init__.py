@@ -1,0 +1,18 @@
+"""An OI-flavoured toolkit layer: generic attributes + panel layout.
+
+The paper's swm is built on Solbourne's OI C++ toolkit; what swm
+actually relies on is (a) a uniform attribute interface over all object
+types and (b) row/column layout of objects in panels.  This package
+provides exactly those two mechanisms.
+"""
+
+from .attributes import AttributeContext, convert_bool
+from .layout import LayoutItem, LayoutResult, layout_panel
+
+__all__ = [
+    "AttributeContext",
+    "LayoutItem",
+    "LayoutResult",
+    "convert_bool",
+    "layout_panel",
+]

@@ -1,0 +1,156 @@
+"""Attribute resolution: the OI-style generic attribute interface.
+
+Every swm object, "once created, can be treated as a generic base class
+object when dealing with attribute settings" (§2).  An
+:class:`AttributeContext` encapsulates where attributes come from — the
+resource database plus the per-screen / per-client prefix — and the
+type conversions (color, font, bitmap, cursor, bool, int).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..xrm.database import ResourceDatabase
+from ..xserver import bitmap as bitmaps
+from ..xserver.colors import RGB, parse_color, to_monochrome
+from ..xserver.cursorfont import is_cursor_name
+from ..xserver.errors import BadColor, BadName
+from ..xserver.fonts import Font, load_font
+
+_TRUE_WORDS = {"true", "on", "yes", "1"}
+_FALSE_WORDS = {"false", "off", "no", "0"}
+
+
+def _class_of(component: str) -> str:
+    """The conventional class string for an instance component."""
+    if not component:
+        return component
+    return component[0].upper() + component[1:]
+
+
+class AttributeContext:
+    """Resource lookups under a fixed prefix.
+
+    *prefix_names* / *prefix_classes* carry the window-manager name and
+    the screen qualifiers — e.g. ``['swm', 'color', 'screen0']`` /
+    ``['Swm', 'Color', 'Screen']`` — per §3 of the paper.
+    """
+
+    def __init__(
+        self,
+        db: ResourceDatabase,
+        prefix_names: Sequence[str],
+        prefix_classes: Sequence[str],
+        monochrome: bool = False,
+    ):
+        if len(prefix_names) != len(prefix_classes):
+            raise ValueError("prefix name/class lists differ in length")
+        self.db = db
+        self.prefix_names = list(prefix_names)
+        self.prefix_classes = list(prefix_classes)
+        self.monochrome = monochrome
+
+    def extended(
+        self, names: Sequence[str], classes: Optional[Sequence[str]] = None
+    ) -> "AttributeContext":
+        """A child context with more path components (e.g. the
+        ``sticky`` / ``shaped`` markers, or a client's class.instance)."""
+        if classes is None:
+            classes = [_class_of(name) for name in names]
+        return AttributeContext(
+            self.db,
+            self.prefix_names + list(names),
+            self.prefix_classes + list(classes),
+            self.monochrome,
+        )
+
+    # -- raw lookup ----------------------------------------------------------
+
+    def lookup(
+        self,
+        path_names: Sequence[str],
+        attribute: str,
+        path_classes: Optional[Sequence[str]] = None,
+    ) -> Optional[str]:
+        """Query ``<prefix>.<path>.<attribute>``."""
+        if path_classes is None:
+            path_classes = [_class_of(name) for name in path_names]
+        names = self.prefix_names + list(path_names) + [attribute]
+        classes = self.prefix_classes + list(path_classes) + [_class_of(attribute)]
+        return self.db.get(names, classes)
+
+    # -- typed lookups ----------------------------------------------------------
+
+    def get_string(
+        self, path: Sequence[str], attribute: str, default: Optional[str] = None
+    ) -> Optional[str]:
+        value = self.lookup(path, attribute)
+        return value if value is not None else default
+
+    def get_bool(
+        self, path: Sequence[str], attribute: str, default: bool = False
+    ) -> bool:
+        value = self.lookup(path, attribute)
+        if value is None:
+            return default
+        return convert_bool(value, default)
+
+    def get_int(
+        self, path: Sequence[str], attribute: str, default: int = 0
+    ) -> int:
+        value = self.lookup(path, attribute)
+        if value is None:
+            return default
+        try:
+            return int(value, 0)
+        except ValueError:
+            return default
+
+    def get_color(
+        self, path: Sequence[str], attribute: str, default: str = "white"
+    ) -> RGB:
+        value = self.lookup(path, attribute) or default
+        try:
+            rgb = parse_color(value)
+        except BadColor:
+            rgb = parse_color(default)
+        if self.monochrome:
+            rgb = to_monochrome(rgb)
+        return rgb
+
+    def get_font(
+        self, path: Sequence[str], attribute: str = "font", default: str = "fixed"
+    ) -> Font:
+        value = self.lookup(path, attribute) or default
+        try:
+            return load_font(value)
+        except BadName:
+            return load_font(default)
+
+    def get_bitmap(
+        self, path: Sequence[str], attribute: str, default: Optional[str] = None
+    ):
+        value = self.lookup(path, attribute) or default
+        if value is None:
+            return None
+        try:
+            return bitmaps.lookup_bitmap(value)
+        except KeyError:
+            return None
+
+    def get_cursor(
+        self, path: Sequence[str], attribute: str = "cursor",
+        default: str = "left_ptr",
+    ) -> str:
+        value = self.lookup(path, attribute) or default
+        return value if is_cursor_name(value) else default
+
+
+def convert_bool(value: str, default: bool = False) -> bool:
+    word = value.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    return default

@@ -1,0 +1,151 @@
+"""Row/column panel layout.
+
+swm panels arrange objects in rows (§4.1): the X component of an
+object's position string is its *column*, the Y component its *row*.
+``+C`` centers the object within the row, and a negative column
+(``-0``) packs from the right edge — the OpenLook+ ``nail`` button sits
+at ``-0+0``.
+
+The engine is two-pass: rows are packed from natural item sizes to find
+the panel's content size, then centered/right-aligned items are resolved
+against the final width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..xserver.geometry import CENTER, Rect, Size
+
+
+@dataclass
+class LayoutItem:
+    """One object to place: a name, its natural size, and its position
+    spec (already parsed by :func:`parse_panel_position`)."""
+
+    name: str
+    width: int
+    height: int
+    col: object  # int or CENTER
+    row: object  # int or CENTER
+    col_from_right: bool = False
+    row_from_bottom: bool = False
+
+
+@dataclass
+class LayoutResult:
+    """Placements in panel coordinates plus the panel's content size."""
+
+    rects: Dict[str, Rect]
+    size: Size
+
+    def rect(self, name: str) -> Rect:
+        return self.rects[name]
+
+
+def layout_panel(
+    items: Sequence[LayoutItem],
+    hgap: int = 2,
+    vgap: int = 2,
+    padding: int = 2,
+    min_width: int = 0,
+    min_height: int = 0,
+) -> LayoutResult:
+    """Lay out *items* into rows.
+
+    Items are grouped by row index (bottom-anchored rows are placed
+    after normal ones, counted from the last row).  Within a row:
+    left-packed items go first in column order, right-packed items pack
+    against the right edge, and centered items are centered as a group.
+    """
+    if not items:
+        return LayoutResult({}, Size(max(min_width, 1), max(min_height, 1)))
+
+    normal_rows: Dict[int, List[LayoutItem]] = {}
+    bottom_rows: Dict[int, List[LayoutItem]] = {}
+    vcentered: List[LayoutItem] = []
+    for item in items:
+        if item.row is CENTER:
+            vcentered.append(item)
+        elif item.row_from_bottom:
+            bottom_rows.setdefault(item.row, []).append(item)
+        else:
+            normal_rows.setdefault(item.row, []).append(item)
+
+    # Row order: normal rows by index, then bottom rows by reverse index
+    # (row -0 is the very last).
+    ordered: List[List[LayoutItem]] = [
+        normal_rows[index] for index in sorted(normal_rows)
+    ]
+    ordered.extend(bottom_rows[index] for index in sorted(bottom_rows, reverse=True))
+
+    def row_partitions(row: List[LayoutItem]):
+        left = sorted(
+            (i for i in row if i.col is not CENTER and not i.col_from_right),
+            key=lambda i: i.col,
+        )
+        right = sorted(
+            (i for i in row if i.col is not CENTER and i.col_from_right),
+            key=lambda i: i.col,
+        )
+        center = [i for i in row if i.col is CENTER]
+        return left, center, right
+
+    def row_min_width(row: List[LayoutItem]) -> int:
+        left, center, right = row_partitions(row)
+        width = 0
+        for group in (left, center, right):
+            for item in group:
+                width += item.width + hgap
+        return width - hgap if width else 0
+
+    content_width = max(row_min_width(row) for row in ordered) if ordered else 0
+    content_width = max(content_width, min_width - 2 * padding,
+                        max((i.width for i in vcentered), default=0))
+
+    rects: Dict[str, Rect] = {}
+    y = padding
+    for row in ordered:
+        left, center, right = row_partitions(row)
+        row_height = max(item.height for item in row)
+        x = padding
+        for item in left:
+            rects[item.name] = Rect(
+                x, y + (row_height - item.height) // 2, item.width, item.height
+            )
+            x += item.width + hgap
+        x = padding + content_width
+        for item in right:
+            x -= item.width
+            rects[item.name] = Rect(
+                x, y + (row_height - item.height) // 2, item.width, item.height
+            )
+            x -= hgap
+        if center:
+            group_width = sum(i.width for i in center) + hgap * (len(center) - 1)
+            x = padding + (content_width - group_width) // 2
+            for item in center:
+                rects[item.name] = Rect(
+                    x, y + (row_height - item.height) // 2, item.width, item.height
+                )
+                x += item.width + hgap
+        y += row_height + vgap
+    content_height = y - vgap + padding if ordered else padding * 2
+    content_height = max(content_height, min_height,
+                         max((i.height for i in vcentered), default=0))
+
+    for item in vcentered:
+        col_x = padding
+        if item.col is CENTER:
+            col_x = (content_width + 2 * padding - item.width) // 2
+        elif item.col_from_right:
+            col_x = padding + content_width - item.width - item.col
+        else:
+            col_x = padding + item.col
+        rects[item.name] = Rect(
+            col_x, (content_height - item.height) // 2, item.width, item.height
+        )
+
+    total = Size(content_width + 2 * padding, content_height)
+    return LayoutResult(rects, total)

@@ -1,0 +1,11 @@
+"""X resource manager: database, matching, and .Xresources parsing."""
+
+from .database import ResourceDatabase
+from .parse import ResourceParseError, parse_lines, split_specifier
+
+__all__ = [
+    "ResourceDatabase",
+    "ResourceParseError",
+    "parse_lines",
+    "split_specifier",
+]

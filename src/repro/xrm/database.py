@@ -1,0 +1,206 @@
+"""The X resource database and the Xrm matching algorithm.
+
+swm's entire configuration lives here (§3 of the paper: "one of the
+biggest mistakes made with twm was using a separate initialization file
+rather than the more general X resource database").  A query supplies a
+full name list and class list (``swm.color.screen0.xclock.xclock.decoration``
+against ``Swm.Color.Screen0.XClock.XClock.Decoration``); entries may use
+tight (``.``) or loose (``*``) bindings and ``?`` single-level
+wildcards.
+
+Matching precedence follows the XrmGetResource rules, evaluated level by
+level, left to right:
+
+1. an entry that *specifies* the level (by name, class, or ``?``) beats
+   one that skips it via a loose binding;
+2. a name match beats a class match beats ``?``;
+3. a tight binding beats a loose binding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .parse import parse_lines, split_specifier
+
+Binding = str  # '.' or '*'
+Pair = Tuple[Binding, str]
+
+#: Per-level match quality, ordered for lexicographic comparison:
+#: (specified, kind, tight) with kind 3=name 2=class 1=?.
+_SKIPPED = (0, 0, 0)
+
+
+class ResourceDatabase:
+    """An Xrm-style resource database."""
+
+    def __init__(self):
+        self._entries: Dict[Tuple[Pair, ...], str] = {}
+        self._generation = 0
+        self._cache: Dict[Tuple, Optional[Tuple[str, Tuple[Pair, ...]]]] = {}
+
+    # -- population ---------------------------------------------------------
+
+    def put(self, specifier: str, value: str) -> None:
+        """Insert one entry; an identical specifier overwrites (as
+        XrmPutResource does)."""
+        pairs = tuple(split_specifier(specifier))
+        self._entries[pairs] = str(value)
+        self._generation += 1
+        self._cache.clear()
+
+    def load_string(self, text: str) -> int:
+        """Merge resource text (xrdb -merge); returns entries loaded."""
+        count = 0
+        for pairs, value in parse_lines(text):
+            self._entries[tuple(pairs)] = value
+            count += 1
+        self._generation += 1
+        self._cache.clear()
+        return count
+
+    def load_file(self, path) -> int:
+        with open(path, "r", encoding="latin-1") as handle:
+            return self.load_string(handle.read())
+
+    def merge(self, other: "ResourceDatabase") -> None:
+        """Overlay *other* on this database (other wins on conflicts)."""
+        self._entries.update(other._entries)
+        self._generation += 1
+        self._cache.clear()
+
+    def copy(self) -> "ResourceDatabase":
+        clone = ResourceDatabase()
+        clone._entries = dict(self._entries)
+        return clone
+
+    def remove(self, specifier: str) -> bool:
+        pairs = tuple(split_specifier(specifier))
+        removed = self._entries.pop(pairs, None) is not None
+        if removed:
+            self._generation += 1
+            self._cache.clear()
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[Tuple[str, str]]:
+        """All entries as (specifier-string, value), for xrdb -query."""
+        out = []
+        for pairs, value in self._entries.items():
+            spec = ""
+            for index, (binding, comp) in enumerate(pairs):
+                if index == 0:
+                    spec += ("*" if binding == "*" else "") + comp
+                else:
+                    spec += ("*" if binding == "*" else ".") + comp
+            out.append((spec, value))
+        return out
+
+    def to_string(self) -> str:
+        return "\n".join(f"{spec}: {value}" for spec, value in self.entries())
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(
+        self,
+        names: Sequence[str],
+        classes: Sequence[str],
+    ) -> Optional[str]:
+        """XrmGetResource: the value of the best-matching entry, or None."""
+        result = self.get_with_specifier(names, classes)
+        return result[0] if result else None
+
+    def get_with_specifier(
+        self,
+        names: Sequence[str],
+        classes: Sequence[str],
+    ) -> Optional[Tuple[str, Tuple[Pair, ...]]]:
+        """Like :meth:`get` but also returns the winning entry's pairs."""
+        if len(names) != len(classes):
+            raise ValueError("name and class lists differ in length")
+        key = (tuple(names), tuple(classes))
+        if key in self._cache:
+            return self._cache[key]
+        result = self._lookup(tuple(names), tuple(classes))
+        if len(self._cache) > 8192:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def _lookup(
+        self, names: Tuple[str, ...], classes: Tuple[str, ...]
+    ) -> Optional[Tuple[str, Tuple[Pair, ...]]]:
+        best_score: Optional[Tuple] = None
+        best: Optional[Tuple[str, Tuple[Pair, ...]]] = None
+        for pairs, value in self._entries.items():
+            score = _match_score(pairs, names, classes)
+            if score is None:
+                continue
+            if best_score is None or score > best_score:
+                best_score = score
+                best = (value, pairs)
+        return best
+
+    def get_string(self, name: str, class_name: str) -> Optional[str]:
+        """Convenience lookup from dotted full-name/full-class strings."""
+        return self.get(name.split("."), class_name.split("."))
+
+
+def _match_score(
+    entry: Tuple[Pair, ...],
+    names: Sequence[str],
+    classes: Sequence[str],
+) -> Optional[Tuple]:
+    """Best per-level score vector for *entry* against the query, or
+    None when it cannot match.
+
+    An entry component consumes exactly one query level; a loose
+    binding before a component lets any number of levels be skipped
+    first.  All entry components and all query levels must be consumed,
+    and the final component must match the final level (the attribute
+    itself can never be wildcarded away by '*').
+    """
+    levels = len(names)
+    memo: Dict[Tuple[int, int], Optional[Tuple]] = {}
+
+    def level_score(pair: Pair, level: int) -> Optional[Tuple[int, int, int]]:
+        binding, component = pair
+        tight = 1 if binding == "." else 0
+        if component == names[level]:
+            return (1, 3, tight)
+        if component == classes[level]:
+            return (1, 2, tight)
+        if component == "?":
+            return (1, 1, tight)
+        return None
+
+    def best(entry_pos: int, level: int) -> Optional[Tuple]:
+        if level == levels:
+            return () if entry_pos == len(entry) else None
+        if entry_pos == len(entry):
+            return None
+        key = (entry_pos, level)
+        if key in memo:
+            return memo[key]
+        candidates = []
+        pair = entry[entry_pos]
+        score = level_score(pair, level)
+        if score is not None:
+            rest = best(entry_pos + 1, level + 1)
+            if rest is not None:
+                candidates.append((score,) + rest)
+        if pair[0] == "*":
+            # Loose binding: this query level may be skipped entirely.
+            rest = best(entry_pos, level + 1)
+            if rest is not None:
+                candidates.append((_SKIPPED,) + rest)
+        result = max(candidates) if candidates else None
+        memo[key] = result
+        return result
+
+    # A tight binding on the first component anchors it to the first
+    # query level; a loose one lets it float. Both are handled by best()
+    # because skipping is attached to the *entry* component's binding.
+    return best(0, 0)

@@ -1,0 +1,129 @@
+"""Resource file parsing (.Xresources / xrdb syntax).
+
+Handles comment lines (``!``), blank lines, ``name: value`` entries,
+backslash line continuation (swm panel definitions lean on it heavily),
+and the standard value escapes (``\\n``, ``\\t``, ``\\\\``, leading
+``\\<space>``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+
+class ResourceParseError(ValueError):
+    """A malformed resource line, with its line number."""
+
+    def __init__(self, lineno: int, line: str, reason: str):
+        self.lineno = lineno
+        self.line = line
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+
+
+def _logical_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """Join backslash-continued lines; yields (first-lineno, line)."""
+    pending = ""
+    pending_start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if pending:
+            line = pending + raw
+            start = pending_start
+        else:
+            line = raw
+            start = lineno
+        if line.endswith("\\"):
+            pending = line[:-1]
+            pending_start = start
+            continue
+        pending = ""
+        yield start, line
+    if pending:
+        yield pending_start, pending
+
+
+_VALUE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "\\": "\\",
+    " ": " ",
+}
+
+
+def _unescape_value(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            escape = value[index + 1]
+            if escape in _VALUE_ESCAPES:
+                out.append(_VALUE_ESCAPES[escape])
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+_COMPONENT_RE = re.compile(r"^[A-Za-z0-9_\-]+$|^\?$")
+
+
+def split_specifier(specifier: str) -> List[Tuple[str, str]]:
+    """Split a resource specifier into (binding, component) pairs.
+
+    ``swm*panel.openLook`` ->
+    ``[('.', 'swm'), ('*', 'panel'), ('.', 'openLook')]``.
+    A leading ``*`` produces a loose binding on the first component; a
+    leading ``.`` (or none) a tight one.  Consecutive ``*`` collapse.
+    """
+    specifier = specifier.strip()
+    if not specifier:
+        raise ValueError("empty resource specifier")
+    pairs: List[Tuple[str, str]] = []
+    binding = "."
+    component = ""
+    for char in specifier:
+        if char in ".*":
+            if component:
+                pairs.append((binding, component))
+                component = ""
+                binding = "."
+            if char == "*":
+                binding = "*"
+        else:
+            component += char
+    if component:
+        pairs.append((binding, component))
+    if not pairs:
+        raise ValueError(f"no components in specifier {specifier!r}")
+    for _, comp in pairs:
+        if not _COMPONENT_RE.match(comp):
+            raise ValueError(f"bad component {comp!r} in {specifier!r}")
+    return pairs
+
+
+def parse_lines(text: str) -> Iterator[Tuple[List[Tuple[str, str]], str]]:
+    """Parse resource text, yielding (specifier-pairs, value)."""
+    for lineno, line in _logical_lines(text):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("!"):
+            continue
+        if stripped.startswith("#"):
+            # Preprocessor directives (#include etc.) are not supported
+            # by the simulated xrdb; skip them rather than misparse.
+            continue
+        colon = line.find(":")
+        if colon < 0:
+            raise ResourceParseError(lineno, line, "missing ':'")
+        specifier = line[:colon].strip()
+        value = line[colon + 1:]
+        # One leading space/tab after the colon is a separator.
+        if value.startswith((" ", "\t")):
+            value = value[1:]
+        value = value.strip()
+        try:
+            pairs = split_specifier(specifier)
+        except ValueError as exc:
+            raise ResourceParseError(lineno, line, str(exc)) from None
+        yield pairs, _unescape_value(value)

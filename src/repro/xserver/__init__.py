@@ -1,0 +1,55 @@
+"""A simulated X11 server: the substrate for the swm reproduction.
+
+Public surface::
+
+    server = XServer(screens=[(1152, 900, 8)])
+    conn = ClientConnection(server, "xclock")
+    wid = conn.create_window(conn.root_window(), 10, 10, 100, 100)
+    conn.map_window(wid)
+"""
+
+from .atoms import AtomTable
+from .bitmap import Bitmap, lookup_bitmap, register_bitmap
+from .client import ClientConnection
+from .errors import (
+    BadAccess,
+    BadAtom,
+    BadMatch,
+    BadValue,
+    BadWindow,
+    XError,
+)
+from .event_mask import EventMask
+from .geometry import Geometry, Point, Rect, Size, parse_geometry
+from .screen import Screen
+from .server import MAX_WINDOW_SIZE, XServer
+from .shape import ShapeRegion
+from .window import Window
+from .xid import NONE, POINTER_ROOT
+
+__all__ = [
+    "AtomTable",
+    "Bitmap",
+    "BadAccess",
+    "BadAtom",
+    "BadMatch",
+    "BadValue",
+    "BadWindow",
+    "ClientConnection",
+    "EventMask",
+    "Geometry",
+    "MAX_WINDOW_SIZE",
+    "NONE",
+    "POINTER_ROOT",
+    "Point",
+    "Rect",
+    "Screen",
+    "ShapeRegion",
+    "Size",
+    "Window",
+    "XError",
+    "XServer",
+    "lookup_bitmap",
+    "parse_geometry",
+    "register_bitmap",
+]

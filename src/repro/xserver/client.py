@@ -1,0 +1,355 @@
+"""Client connections: the simulated Xlib.
+
+A :class:`ClientConnection` is what an application (or the window
+manager — swm is just a client, §1) holds.  It mints XIDs from its
+server-assigned range, issues requests under its own client id so
+redirect semantics apply, and drains its private event queue with
+``next_event`` / ``pending``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from . import events as ev
+from .bitmap import Bitmap
+from .errors import BadWindow
+from .event_mask import EventMask
+from .properties import PROP_MODE_REPLACE, Property
+from .server import (
+    EventSink,
+    FOCUS_POINTER_ROOT,
+    SAVE_SET_DELETE,
+    SAVE_SET_INSERT,
+    XServer,
+)
+from .window import INPUT_OUTPUT
+from .xid import NONE
+
+
+class ClientConnection(EventSink):
+    """One client's connection to the simulated server."""
+
+    def __init__(self, server: XServer, name: str = "client"):
+        self.server = server
+        self.name = name
+        self.client_id, self._xids = server.register_client(self)
+        self._queue: Deque[ev.Event] = deque()
+        self.closed = False
+        #: Optional callbacks fired on queue_event, for clients that
+        #: behave reactively (the canned clients use this).
+        self.event_handlers: List[Callable[[ev.Event], None]] = []
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (client exit / kill)."""
+        if not self.closed:
+            self.server.close_client(self.client_id)
+            self.closed = True
+
+    def __repr__(self) -> str:
+        return f"<ClientConnection {self.name!r} id={self.client_id}>"
+
+    # -- event queue ---------------------------------------------------------
+
+    def queue_event(self, event: ev.Event) -> None:
+        self._queue.append(event)
+        for handler in list(self.event_handlers):
+            handler(event)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def next_event(self) -> ev.Event:
+        if not self._queue:
+            raise IndexError("no pending events")
+        return self._queue.popleft()
+
+    def events(self) -> List[ev.Event]:
+        """Drain and return all pending events."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    def flush_events(self, of_type=None) -> List[ev.Event]:
+        """Drain pending events, optionally keeping only one type."""
+        drained = self.events()
+        if of_type is None:
+            return drained
+        return [event for event in drained if isinstance(event, of_type)]
+
+    # -- atoms -----------------------------------------------------------------
+
+    def intern_atom(self, name: str, only_if_exists: bool = False) -> Optional[int]:
+        return self.server.atoms.intern(name, only_if_exists)
+
+    def get_atom_name(self, atom: int) -> str:
+        return self.server.atoms.name(atom)
+
+    # -- screens ------------------------------------------------------------------
+
+    @property
+    def screen_count(self) -> int:
+        return len(self.server.screens)
+
+    def root_window(self, screen: int = 0) -> int:
+        return self.server.root_of_screen(screen).id
+
+    def screen(self, number: int = 0):
+        return self.server.screens[number]
+
+    # -- window requests -------------------------------------------------------------
+
+    def create_window(
+        self,
+        parent: int,
+        x: int,
+        y: int,
+        width: int,
+        height: int,
+        border_width: int = 0,
+        win_class: int = INPUT_OUTPUT,
+        override_redirect: bool = False,
+        event_mask: EventMask = EventMask.NoEvent,
+        background: Optional[str] = None,
+        cursor: Optional[str] = None,
+    ) -> int:
+        wid = self._xids.allocate()
+        self.server.create_window(
+            self.client_id,
+            wid,
+            parent,
+            x,
+            y,
+            width,
+            height,
+            border_width=border_width,
+            win_class=win_class,
+            override_redirect=override_redirect,
+            event_mask=event_mask,
+            background=background,
+            cursor=cursor,
+        )
+        return wid
+
+    def destroy_window(self, wid: int) -> None:
+        self.server.destroy_window(self.client_id, wid)
+
+    def destroy_subwindows(self, wid: int) -> None:
+        self.server.destroy_subwindows(self.client_id, wid)
+
+    def map_window(self, wid: int) -> bool:
+        return self.server.map_window(self.client_id, wid)
+
+    def map_subwindows(self, wid: int) -> None:
+        self.server.map_subwindows(self.client_id, wid)
+
+    def unmap_window(self, wid: int) -> None:
+        self.server.unmap_window(self.client_id, wid)
+
+    def reparent_window(self, wid: int, parent: int, x: int, y: int) -> None:
+        self.server.reparent_window(self.client_id, wid, parent, x, y)
+
+    def configure_window(self, wid: int, **kwargs) -> bool:
+        """ConfigureWindow with keyword arguments (x, y, width, height,
+        border_width, sibling, stack_mode); the value mask is derived
+        from which keywords are present."""
+        mask = 0
+        values = dict(x=0, y=0, width=0, height=0, border_width=0,
+                      sibling=NONE, stack_mode=ev.ABOVE)
+        bits = {
+            "x": ev.CWX,
+            "y": ev.CWY,
+            "width": ev.CWWidth,
+            "height": ev.CWHeight,
+            "border_width": ev.CWBorderWidth,
+            "sibling": ev.CWSibling,
+            "stack_mode": ev.CWStackMode,
+        }
+        for key, value in kwargs.items():
+            if key not in bits:
+                raise TypeError(f"unknown configure argument {key!r}")
+            mask |= bits[key]
+            values[key] = value
+        return self.server.configure_window(
+            self.client_id, wid, mask, **values
+        )
+
+    def move_window(self, wid: int, x: int, y: int) -> bool:
+        return self.configure_window(wid, x=x, y=y)
+
+    def resize_window(self, wid: int, width: int, height: int) -> bool:
+        return self.configure_window(wid, width=width, height=height)
+
+    def move_resize_window(
+        self, wid: int, x: int, y: int, width: int, height: int
+    ) -> bool:
+        return self.configure_window(wid, x=x, y=y, width=width, height=height)
+
+    def raise_window(self, wid: int) -> bool:
+        return self.configure_window(wid, stack_mode=ev.ABOVE)
+
+    def lower_window(self, wid: int) -> bool:
+        return self.configure_window(wid, stack_mode=ev.BELOW)
+
+    def circulate_window(self, wid: int, direction: int) -> None:
+        self.server.circulate_window(self.client_id, wid, direction)
+
+    def select_input(self, wid: int, mask: EventMask) -> None:
+        self.server.change_window_attributes(
+            self.client_id, wid, event_mask=mask
+        )
+
+    def change_window_attributes(self, wid: int, **kwargs) -> None:
+        self.server.change_window_attributes(self.client_id, wid, **kwargs)
+
+    # -- properties ------------------------------------------------------------------
+
+    def change_property(
+        self,
+        wid: int,
+        atom,
+        type_atom,
+        fmt: int,
+        data,
+        mode: int = PROP_MODE_REPLACE,
+    ) -> None:
+        atom = self._resolve_atom(atom)
+        type_atom = self._resolve_atom(type_atom)
+        self.server.change_property(
+            self.client_id, wid, atom, type_atom, fmt, data, mode
+        )
+
+    def get_property(self, wid: int, atom) -> Optional[Property]:
+        return self.server.get_property(
+            self.client_id, wid, self._resolve_atom(atom)
+        )
+
+    def delete_property(self, wid: int, atom) -> None:
+        self.server.delete_property(self.client_id, wid, self._resolve_atom(atom))
+
+    def list_properties(self, wid: int) -> List[int]:
+        return self.server.list_properties(self.client_id, wid)
+
+    def set_string_property(self, wid: int, atom, value: str, type_atom="STRING") -> None:
+        self.change_property(wid, atom, type_atom, 8, value)
+
+    def get_string_property(self, wid: int, atom) -> Optional[str]:
+        prop = self.get_property(wid, atom)
+        if prop is None or prop.format != 8:
+            return None
+        return prop.as_string().rstrip("\0")
+
+    def _resolve_atom(self, atom) -> int:
+        if isinstance(atom, str):
+            return self.server.atoms.intern(atom)
+        return atom
+
+    # -- send event --------------------------------------------------------------------
+
+    def send_event(
+        self,
+        destination: int,
+        event: ev.Event,
+        event_mask: EventMask = EventMask.NoEvent,
+        propagate: bool = False,
+    ) -> None:
+        self.server.send_event(
+            self.client_id, destination, event, event_mask, propagate
+        )
+
+    # -- queries --------------------------------------------------------------------------
+
+    def query_tree(self, wid: int) -> Tuple[int, int, List[int]]:
+        return self.server.query_tree(wid)
+
+    def get_geometry(self, wid: int) -> Tuple[int, int, int, int, int]:
+        return self.server.get_geometry(wid)
+
+    def get_window_attributes(self, wid: int) -> dict:
+        return self.server.get_window_attributes(wid)
+
+    def translate_coordinates(
+        self, src: int, dst: int, x: int, y: int
+    ) -> Tuple[int, int, int]:
+        return self.server.translate_coordinates(src, dst, x, y)
+
+    def query_pointer(self, wid: int) -> dict:
+        return self.server.query_pointer(wid)
+
+    def window_exists(self, wid: int) -> bool:
+        try:
+            self.server.window(wid)
+            return True
+        except BadWindow:
+            return False
+
+    # -- focus / save set --------------------------------------------------------------------
+
+    def set_input_focus(self, focus: int, revert_to: int = FOCUS_POINTER_ROOT) -> None:
+        self.server.set_input_focus(self.client_id, focus, revert_to)
+
+    def get_input_focus(self) -> Tuple[int, int]:
+        return self.server.get_input_focus()
+
+    def add_to_save_set(self, wid: int) -> None:
+        self.server.change_save_set(self.client_id, wid, SAVE_SET_INSERT)
+
+    def remove_from_save_set(self, wid: int) -> None:
+        self.server.change_save_set(self.client_id, wid, SAVE_SET_DELETE)
+
+    # -- grabs -----------------------------------------------------------------------------------
+
+    def grab_pointer(
+        self,
+        wid: int,
+        event_mask: EventMask,
+        owner_events: bool = False,
+        cursor: Optional[str] = None,
+    ) -> int:
+        return self.server.grab_pointer(
+            self.client_id, wid, event_mask, owner_events, cursor
+        )
+
+    def ungrab_pointer(self) -> None:
+        self.server.ungrab_pointer(self.client_id)
+
+    def grab_button(
+        self,
+        wid: int,
+        button: int,
+        modifiers: int,
+        event_mask: EventMask,
+        owner_events: bool = False,
+        cursor: Optional[str] = None,
+    ) -> None:
+        self.server.grab_button(
+            self.client_id, wid, button, modifiers, event_mask, owner_events, cursor
+        )
+
+    def ungrab_button(self, wid: int, button: int, modifiers: int) -> None:
+        self.server.ungrab_button(self.client_id, wid, button, modifiers)
+
+    def grab_key(
+        self, wid: int, keysym: str, modifiers: int, owner_events: bool = False
+    ) -> None:
+        self.server.grab_key(
+            self.client_id, wid, keysym, modifiers, owner_events
+        )
+
+    def warp_pointer(self, dst: int, x: int, y: int) -> None:
+        self.server.warp_pointer(self.client_id, dst, x, y)
+
+    # -- SHAPE ------------------------------------------------------------------------------------
+
+    def shape_window(
+        self, wid: int, mask: Optional[Bitmap], x_offset: int = 0, y_offset: int = 0
+    ) -> None:
+        self.server.shape_set_mask(
+            self.client_id, wid, mask, x_offset=x_offset, y_offset=y_offset
+        )
+
+    def window_is_shaped(self, wid: int) -> bool:
+        return self.server.window_is_shaped(wid)

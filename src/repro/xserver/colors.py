@@ -1,0 +1,141 @@
+"""Color name resolution (a miniature rgb.txt + #rgb parsing).
+
+swm resources name colors the X way ("slate grey", "#rrggbb"); the
+simulator resolves them to RGB triples, and a monochrome screen maps
+everything to black/white the way a 1-bit StaticGray visual would.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from .errors import BadColor
+
+RGB = Tuple[int, int, int]
+
+#: A compact rgb.txt: the colors the stock templates and examples use.
+NAMED_COLORS: Dict[str, RGB] = {
+    "black": (0, 0, 0),
+    "white": (255, 255, 255),
+    "red": (255, 0, 0),
+    "green": (0, 255, 0),
+    "blue": (0, 0, 255),
+    "yellow": (255, 255, 0),
+    "cyan": (0, 255, 255),
+    "magenta": (255, 0, 255),
+    "gray": (190, 190, 190),
+    "grey": (190, 190, 190),
+    "dark gray": (169, 169, 169),
+    "dark grey": (169, 169, 169),
+    "light gray": (211, 211, 211),
+    "light grey": (211, 211, 211),
+    "slate gray": (112, 128, 144),
+    "slate grey": (112, 128, 144),
+    "dark slate gray": (47, 79, 79),
+    "dark slate grey": (47, 79, 79),
+    "steel blue": (70, 130, 180),
+    "light steel blue": (176, 196, 222),
+    "navy": (0, 0, 128),
+    "sky blue": (135, 206, 235),
+    "cadet blue": (95, 158, 160),
+    "cornflower blue": (100, 149, 237),
+    "midnight blue": (25, 25, 112),
+    "firebrick": (178, 34, 34),
+    "maroon": (176, 48, 96),
+    "salmon": (250, 128, 114),
+    "orange": (255, 165, 0),
+    "gold": (255, 215, 0),
+    "wheat": (245, 222, 179),
+    "tan": (210, 180, 140),
+    "bisque": (255, 228, 196),
+    "forest green": (34, 139, 34),
+    "sea green": (46, 139, 87),
+    "spring green": (0, 255, 127),
+    "olive drab": (107, 142, 35),
+    "khaki": (240, 230, 140),
+    "turquoise": (64, 224, 208),
+    "aquamarine": (127, 255, 212),
+    "violet": (238, 130, 238),
+    "plum": (221, 160, 221),
+    "orchid": (218, 112, 214),
+    "thistle": (216, 191, 216),
+    "sienna": (160, 82, 45),
+    "peru": (205, 133, 63),
+    "chocolate": (210, 105, 30),
+    "lavender": (230, 230, 250),
+    "ivory": (255, 255, 240),
+    "snow": (255, 250, 250),
+    "honeydew": (240, 255, 240),
+    "azure": (240, 255, 255),
+    "beige": (245, 245, 220),
+    "linen": (250, 240, 230),
+    "coral": (255, 127, 80),
+    "tomato": (255, 99, 71),
+    "hot pink": (255, 105, 180),
+    "deep pink": (255, 20, 147),
+    "pink": (255, 192, 203),
+    "purple": (160, 32, 240),
+    "indian red": (205, 92, 92),
+    "rosy brown": (188, 143, 143),
+    "goldenrod": (218, 165, 32),
+    "dark goldenrod": (184, 134, 11),
+    "dark green": (0, 100, 0),
+    "dark olive green": (85, 107, 47),
+    "lime green": (50, 205, 50),
+    "yellow green": (154, 205, 50),
+    "lawn green": (124, 252, 0),
+    "medium blue": (0, 0, 205),
+    "royal blue": (65, 105, 225),
+    "dodger blue": (30, 144, 255),
+    "deep sky blue": (0, 191, 255),
+    "light blue": (173, 216, 230),
+    "powder blue": (176, 224, 230),
+    "dark slate blue": (72, 61, 139),
+    "medium slate blue": (123, 104, 238),
+    "light slate blue": (132, 112, 255),
+}
+
+#: Space-free aliases ("slategrey" for "slate grey"), as rgb.txt carries.
+_COMPACT_COLORS: Dict[str, RGB] = {
+    name.replace(" ", ""): rgb for name, rgb in NAMED_COLORS.items()
+}
+
+_HEX_RE = re.compile(r"^#([0-9a-fA-F]+)$")
+
+
+def parse_color(spec: str) -> RGB:
+    """Resolve an X color spec: a name, or #rgb / #rrggbb / #rrrrggggbbbb."""
+    spec = spec.strip()
+    match = _HEX_RE.match(spec)
+    if match:
+        digits = match.group(1)
+        if len(digits) % 3 != 0 or not digits:
+            raise BadColor(spec, "bad hex color length")
+        step = len(digits) // 3
+        channels = []
+        for index in range(3):
+            chunk = digits[index * step:(index + 1) * step]
+            value = int(chunk, 16)
+            # Scale to 8 bits the way X scales 4/12/16-bit channels.
+            max_value = (1 << (4 * step)) - 1
+            channels.append(round(value * 255 / max_value))
+        return tuple(channels)  # type: ignore[return-value]
+    name = re.sub(r"\s+", " ", spec.lower())
+    if name in NAMED_COLORS:
+        return NAMED_COLORS[name]
+    compact = name.replace(" ", "")
+    if compact in _COMPACT_COLORS:
+        return _COMPACT_COLORS[compact]
+    raise BadColor(spec, "unknown color name")
+
+
+def luminance(rgb: RGB) -> float:
+    """Rec. 601 luma, 0..255."""
+    r, g, b = rgb
+    return 0.299 * r + 0.587 * g + 0.114 * b
+
+
+def to_monochrome(rgb: RGB) -> RGB:
+    """How a 1-bit screen renders this color: black or white."""
+    return (255, 255, 255) if luminance(rgb) >= 128 else (0, 0, 0)

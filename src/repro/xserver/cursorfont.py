@@ -1,0 +1,62 @@
+"""Cursor-font glyph names (X11/cursorfont.h subset).
+
+swm object attributes include a per-object cursor; the simulator tracks
+cursors by glyph name and validates against the standard cursor font.
+The question-mark cursor is load-bearing: swm shows it when prompting
+the user to pick a window (f.iconify(multiple), swmcmd f.raise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .errors import BadValue
+
+#: glyph name -> cursor-font glyph number (even values, per the header).
+CURSOR_GLYPHS: Dict[str, int] = {
+    "X_cursor": 0,
+    "arrow": 2,
+    "based_arrow_down": 4,
+    "based_arrow_up": 6,
+    "bottom_left_corner": 12,
+    "bottom_right_corner": 14,
+    "bottom_side": 16,
+    "circle": 24,
+    "clock": 26,
+    "cross": 30,
+    "crosshair": 34,
+    "dot": 38,
+    "dotbox": 40,
+    "double_arrow": 42,
+    "fleur": 52,
+    "hand1": 58,
+    "hand2": 60,
+    "left_ptr": 68,
+    "left_side": 70,
+    "pirate": 88,
+    "plus": 90,
+    "question_arrow": 92,
+    "right_ptr": 94,
+    "right_side": 96,
+    "sb_h_double_arrow": 108,
+    "sb_v_double_arrow": 116,
+    "sizing": 120,
+    "target": 128,
+    "top_left_corner": 134,
+    "top_right_corner": 136,
+    "top_side": 138,
+    "watch": 150,
+    "xterm": 152,
+}
+
+
+def cursor_glyph(name: str) -> int:
+    """Look up a glyph number; BadValue for unknown names."""
+    try:
+        return CURSOR_GLYPHS[name]
+    except KeyError:
+        raise BadValue(name, "unknown cursor glyph") from None
+
+
+def is_cursor_name(name: str) -> bool:
+    return name in CURSOR_GLYPHS

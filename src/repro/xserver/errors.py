@@ -1,0 +1,133 @@
+"""X protocol errors.
+
+The simulated server raises these exceptions where a real X server would
+send an error reply.  The numeric codes match the X11 core protocol so
+that code written against the simulator reads like code written against
+Xlib.
+"""
+
+from __future__ import annotations
+
+
+class XError(Exception):
+    """Base class for all X protocol errors."""
+
+    code = 0
+    name = "Generic"
+
+    def __init__(self, resource=None, message: str = ""):
+        self.resource = resource
+        detail = message or self.name
+        if resource is not None:
+            detail = f"{detail}: {resource!r}"
+        super().__init__(detail)
+
+
+class BadRequest(XError):
+    code = 1
+    name = "BadRequest"
+
+
+class BadValue(XError):
+    code = 2
+    name = "BadValue"
+
+
+class BadWindow(XError):
+    code = 3
+    name = "BadWindow"
+
+
+class BadPixmap(XError):
+    code = 4
+    name = "BadPixmap"
+
+
+class BadAtom(XError):
+    code = 5
+    name = "BadAtom"
+
+
+class BadCursor(XError):
+    code = 6
+    name = "BadCursor"
+
+
+class BadFont(XError):
+    code = 7
+    name = "BadFont"
+
+
+class BadMatch(XError):
+    code = 8
+    name = "BadMatch"
+
+
+class BadDrawable(XError):
+    code = 9
+    name = "BadDrawable"
+
+
+class BadAccess(XError):
+    code = 10
+    name = "BadAccess"
+
+
+class BadAlloc(XError):
+    code = 11
+    name = "BadAlloc"
+
+
+class BadColor(XError):
+    code = 12
+    name = "BadColor"
+
+
+class BadGC(XError):
+    code = 13
+    name = "BadGC"
+
+
+class BadIDChoice(XError):
+    code = 14
+    name = "BadIDChoice"
+
+
+class BadName(XError):
+    code = 15
+    name = "BadName"
+
+
+class BadLength(XError):
+    code = 16
+    name = "BadLength"
+
+
+class BadImplementation(XError):
+    code = 17
+    name = "BadImplementation"
+
+
+#: Error code -> exception class, as a real server would index them.
+ERROR_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        BadRequest,
+        BadValue,
+        BadWindow,
+        BadPixmap,
+        BadAtom,
+        BadCursor,
+        BadFont,
+        BadMatch,
+        BadDrawable,
+        BadAccess,
+        BadAlloc,
+        BadColor,
+        BadGC,
+        BadIDChoice,
+        BadName,
+        BadLength,
+        BadImplementation,
+    )
+}

@@ -1,0 +1,309 @@
+"""X event structures.
+
+Events are plain dataclasses; every event carries ``window`` (the window
+the event was delivered with respect to) and a server timestamp.  Field
+names follow Xlib's event structs so that window-manager code reads
+naturally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .event_mask import EventMask
+
+# -- detail / state constants ------------------------------------------------
+
+# NotifyDetail for Enter/Leave/Focus events.
+NOTIFY_ANCESTOR = 0
+NOTIFY_VIRTUAL = 1
+NOTIFY_INFERIOR = 2
+NOTIFY_NONLINEAR = 3
+NOTIFY_NONLINEAR_VIRTUAL = 4
+
+# Crossing modes.
+NOTIFY_NORMAL = 0
+NOTIFY_GRAB = 1
+NOTIFY_UNGRAB = 2
+
+# PropertyNotify state.
+PROPERTY_NEW_VALUE = 0
+PROPERTY_DELETE = 1
+
+# Visibility states.
+VISIBILITY_UNOBSCURED = 0
+VISIBILITY_PARTIALLY_OBSCURED = 1
+VISIBILITY_FULLY_OBSCURED = 2
+
+# ConfigureRequest/ConfigureWindow value-mask bits (X11 CW* constants).
+CWX = 1 << 0
+CWY = 1 << 1
+CWWidth = 1 << 2
+CWHeight = 1 << 3
+CWBorderWidth = 1 << 4
+CWSibling = 1 << 5
+CWStackMode = 1 << 6
+
+# Stack modes.
+ABOVE = 0
+BELOW = 1
+TOP_IF = 2
+BOTTOM_IF = 3
+OPPOSITE = 4
+
+# Circulate directions / places.
+RAISE_LOWEST = 0
+LOWER_HIGHEST = 1
+PLACE_ON_TOP = 0
+PLACE_ON_BOTTOM = 1
+
+# Modifier/button state bits (as in event.state).
+SHIFT_MASK = 1 << 0
+LOCK_MASK = 1 << 1
+CONTROL_MASK = 1 << 2
+MOD1_MASK = 1 << 3
+MOD2_MASK = 1 << 4
+MOD3_MASK = 1 << 5
+MOD4_MASK = 1 << 6
+MOD5_MASK = 1 << 7
+BUTTON1_MASK = 1 << 8
+BUTTON2_MASK = 1 << 9
+BUTTON3_MASK = 1 << 10
+BUTTON4_MASK = 1 << 11
+BUTTON5_MASK = 1 << 12
+
+_serial = itertools.count(1)
+
+
+@dataclass
+class Event:
+    """Base event.  ``window`` is the window the event is reported
+    relative to; ``send_event`` marks synthetic SendEvent events."""
+
+    window: int
+    serial: int = field(default=0, kw_only=True)
+    time: int = field(default=0, kw_only=True)
+    send_event: bool = field(default=False, kw_only=True)
+
+    def __post_init__(self):
+        if self.serial == 0:
+            self.serial = next(_serial)
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+
+# -- structure events ---------------------------------------------------------
+
+
+@dataclass
+class CreateNotify(Event):
+    parent: int = 0
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+    border_width: int = 0
+    override_redirect: bool = False
+
+
+@dataclass
+class DestroyNotify(Event):
+    destroyed_window: int = 0
+
+
+@dataclass
+class UnmapNotify(Event):
+    unmapped_window: int = 0
+    from_configure: bool = False
+
+
+@dataclass
+class MapNotify(Event):
+    mapped_window: int = 0
+    override_redirect: bool = False
+
+
+@dataclass
+class MapRequest(Event):
+    parent: int = 0
+    requestor: int = 0  # client id issuing the MapWindow
+
+
+@dataclass
+class ReparentNotify(Event):
+    reparented_window: int = 0
+    parent: int = 0
+    x: int = 0
+    y: int = 0
+    override_redirect: bool = False
+
+
+@dataclass
+class ConfigureNotify(Event):
+    configured_window: int = 0
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+    border_width: int = 0
+    above_sibling: int = 0
+    override_redirect: bool = False
+
+
+@dataclass
+class ConfigureRequest(Event):
+    parent: int = 0
+    value_mask: int = 0
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+    border_width: int = 0
+    sibling: int = 0
+    stack_mode: int = ABOVE
+
+
+@dataclass
+class GravityNotify(Event):
+    moved_window: int = 0
+    x: int = 0
+    y: int = 0
+
+
+@dataclass
+class CirculateNotify(Event):
+    circulated_window: int = 0
+    place: int = PLACE_ON_TOP
+
+
+@dataclass
+class CirculateRequest(Event):
+    parent: int = 0
+    place: int = PLACE_ON_TOP
+
+
+# -- property / message events -------------------------------------------------
+
+
+@dataclass
+class PropertyNotify(Event):
+    atom: int = 0
+    state: int = PROPERTY_NEW_VALUE
+
+
+@dataclass
+class ClientMessage(Event):
+    message_type: int = 0
+    format: int = 32
+    data: Sequence[int] = field(default_factory=tuple)
+
+
+@dataclass
+class Expose(Event):
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+    count: int = 0
+
+
+@dataclass
+class VisibilityNotify(Event):
+    state: int = VISIBILITY_UNOBSCURED
+
+
+# -- input events ---------------------------------------------------------------
+
+
+@dataclass
+class _PointerEvent(Event):
+    root: int = 0
+    subwindow: int = 0
+    x: int = 0          # relative to `window`
+    y: int = 0
+    x_root: int = 0
+    y_root: int = 0
+    state: int = 0      # modifier + button mask
+
+
+@dataclass
+class ButtonPress(_PointerEvent):
+    button: int = 1
+
+
+@dataclass
+class ButtonRelease(_PointerEvent):
+    button: int = 1
+
+
+@dataclass
+class MotionNotify(_PointerEvent):
+    is_hint: bool = False
+
+
+@dataclass
+class KeyPress(_PointerEvent):
+    keysym: str = ""
+
+
+@dataclass
+class KeyRelease(_PointerEvent):
+    keysym: str = ""
+
+
+@dataclass
+class EnterNotify(_PointerEvent):
+    mode: int = NOTIFY_NORMAL
+    detail: int = NOTIFY_ANCESTOR
+
+
+@dataclass
+class LeaveNotify(_PointerEvent):
+    mode: int = NOTIFY_NORMAL
+    detail: int = NOTIFY_ANCESTOR
+
+
+@dataclass
+class FocusIn(Event):
+    mode: int = NOTIFY_NORMAL
+    detail: int = NOTIFY_ANCESTOR
+
+
+@dataclass
+class FocusOut(Event):
+    mode: int = NOTIFY_NORMAL
+    detail: int = NOTIFY_ANCESTOR
+
+
+# -- extension events -------------------------------------------------------------
+
+
+@dataclass
+class ShapeNotify(Event):
+    kind: int = 0
+    shaped: bool = False
+    x: int = 0
+    y: int = 0
+    width: int = 0
+    height: int = 0
+
+
+#: The event-mask bit under which each event type is selected, for the
+#: generic delivery path.  Input events are special-cased by the server.
+DELIVERY_MASK = {
+    PropertyNotify: EventMask.PropertyChange,
+    Expose: EventMask.Exposure,
+    VisibilityNotify: EventMask.VisibilityChange,
+    FocusIn: EventMask.FocusChange,
+    FocusOut: EventMask.FocusChange,
+    KeyPress: EventMask.KeyPress,
+    KeyRelease: EventMask.KeyRelease,
+    ButtonPress: EventMask.ButtonPress,
+    ButtonRelease: EventMask.ButtonRelease,
+    EnterNotify: EventMask.EnterWindow,
+    LeaveNotify: EventMask.LeaveWindow,
+}

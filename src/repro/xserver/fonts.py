@@ -1,0 +1,86 @@
+"""Font metrics.
+
+Rendering is char-cell based, so a font is its cell size plus an XLFD
+name.  Enough of the XLFD grammar is parsed that resource-specified
+fonts like ``-*-helvetica-bold-r-*-*-12-*`` resolve to sensible metrics
+and the layout engine can size name/title buttons from real strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .errors import BadName
+
+
+@dataclass(frozen=True)
+class Font:
+    """A loaded font: fixed cell metrics."""
+
+    name: str
+    char_width: int
+    ascent: int
+    descent: int
+
+    @property
+    def height(self) -> int:
+        return self.ascent + self.descent
+
+    def text_width(self, text: str) -> int:
+        return self.char_width * len(text)
+
+    def text_extents(self, text: str) -> Tuple[int, int]:
+        """(width, height) of the text's bounding box."""
+        return self.text_width(text), self.height
+
+
+#: Core fonts every X installation has.
+_BUILTIN: Dict[str, Font] = {
+    "fixed": Font("fixed", char_width=6, ascent=10, descent=2),
+    "cursor": Font("cursor", char_width=16, ascent=14, descent=2),
+    "6x10": Font("6x10", char_width=6, ascent=8, descent=2),
+    "6x13": Font("6x13", char_width=6, ascent=11, descent=2),
+    "8x13": Font("8x13", char_width=8, ascent=11, descent=2),
+    "8x13bold": Font("8x13bold", char_width=8, ascent=11, descent=2),
+    "9x15": Font("9x15", char_width=9, ascent=12, descent=3),
+    "10x20": Font("10x20", char_width=10, ascent=16, descent=4),
+    "variable": Font("variable", char_width=7, ascent=11, descent=3),
+}
+
+_XLFD_RE = re.compile(
+    r"^-(?P<foundry>[^-]*)-(?P<family>[^-]*)-(?P<weight>[^-]*)-(?P<slant>[^-]*)"
+    r"-(?P<setwidth>[^-]*)-(?P<addstyle>[^-]*)-(?P<pixels>[^-]*)-(?P<points>[^-]*)"
+)
+
+_NXN_RE = re.compile(r"^(\d+)x(\d+)(bold)?$")
+
+
+def load_font(name: str) -> Font:
+    """Open a font by name: builtin alias, NxM, or XLFD pattern."""
+    key = name.strip().lower()
+    if key in _BUILTIN:
+        return _BUILTIN[key]
+    match = _NXN_RE.match(key)
+    if match:
+        width = int(match.group(1))
+        height = int(match.group(2))
+        descent = max(1, height // 5)
+        return Font(name, width, height - descent, descent)
+    match = _XLFD_RE.match(name)
+    if match:
+        pixels = match.group("pixels")
+        points = match.group("points")
+        if pixels.isdigit() and int(pixels) > 0:
+            height = int(pixels)
+        elif points.isdigit() and int(points) > 0:
+            # Point size is in decipoints; assume ~100dpi sim screen.
+            height = max(6, round(int(points) / 10 * 100 / 72))
+        else:
+            height = 13  # wildcard size
+        descent = max(1, height // 5)
+        weight = match.group("weight")
+        char_width = max(4, round(height * (0.55 if weight != "bold" else 0.6)))
+        return Font(name, char_width, height - descent, descent)
+    raise BadName(name, "unknown font")

@@ -1,0 +1,266 @@
+"""Geometry primitives and X geometry-string parsing.
+
+X geometry strings look like ``120x120+1010+359`` or ``=80x24-0+5``; a
+component may be omitted (``+0+0`` means position only).  Negative
+offsets are measured from the right/bottom edge, and the sign must be
+preserved even for ``-0`` (which differs from ``+0``), so offsets carry
+an explicit *negative* flag.
+
+swm panel definitions extend the X component with a ``C`` column/row
+coordinate meaning "center within the row"; that extension is parsed
+here too (:func:`parse_panel_position`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+# Flag bits returned by parse_geometry, matching Xlib's XParseGeometry.
+NO_VALUE = 0x0000
+X_VALUE = 0x0001
+Y_VALUE = 0x0002
+WIDTH_VALUE = 0x0004
+HEIGHT_VALUE = 0x0008
+X_NEGATIVE = 0x0010
+Y_NEGATIVE = 0x0020
+ALL_VALUES = X_VALUE | Y_VALUE | WIDTH_VALUE | HEIGHT_VALUE
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __iter__(self):
+        return iter((self.x, self.y))
+
+
+@dataclass(frozen=True)
+class Size:
+    width: int
+    height: int
+
+    def __post_init__(self):
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"negative size {self.width}x{self.height}")
+
+    def __iter__(self):
+        return iter((self.width, self.height))
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: position of the upper-left corner + size."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    @property
+    def x2(self) -> int:
+        """One past the right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> int:
+        """One past the bottom edge."""
+        return self.y + self.height
+
+    @property
+    def origin(self) -> Point:
+        return Point(self.x, self.y)
+
+    @property
+    def size(self) -> Size:
+        return Size(self.width, self.height)
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.x2 and self.y <= y < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        return Rect(x, y, min(self.x2, other.x2) - x, min(self.y2, other.y2) - y)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The bounding box of both rectangles."""
+        if self.width == 0 and self.height == 0:
+            return other
+        if other.width == 0 and other.height == 0:
+            return self
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        return Rect(x, y, max(self.x2, other.x2) - x, max(self.y2, other.y2) - y)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return replace(self, x=self.x + dx, y=self.y + dy)
+
+    def moved_to(self, x: int, y: int) -> "Rect":
+        return replace(self, x=x, y=y)
+
+    def resized(self, width: int, height: int) -> "Rect":
+        return replace(self, width=width, height=height)
+
+    def clamped_within(self, outer: "Rect") -> "Rect":
+        """Translate so this rect lies within *outer* as far as possible."""
+        x = min(max(self.x, outer.x), max(outer.x, outer.x2 - self.width))
+        y = min(max(self.y, outer.y), max(outer.y, outer.y2 - self.height))
+        return self.moved_to(x, y)
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """A parsed X geometry string.
+
+    Fields are None when the component was absent; ``x_negative`` /
+    ``y_negative`` record the sign so that ``-0`` round-trips.
+    """
+
+    width: Optional[int] = None
+    height: Optional[int] = None
+    x: Optional[int] = None
+    y: Optional[int] = None
+    x_negative: bool = False
+    y_negative: bool = False
+
+    @property
+    def flags(self) -> int:
+        flags = NO_VALUE
+        if self.width is not None:
+            flags |= WIDTH_VALUE
+        if self.height is not None:
+            flags |= HEIGHT_VALUE
+        if self.x is not None:
+            flags |= X_VALUE
+            if self.x_negative:
+                flags |= X_NEGATIVE
+        if self.y is not None:
+            flags |= Y_VALUE
+            if self.y_negative:
+                flags |= Y_NEGATIVE
+        return flags
+
+    def resolve(self, outer: Size, inner: Size = Size(0, 0)) -> Point:
+        """Resolve the offsets against an enclosing area.
+
+        Negative offsets place the *inner* size that many pixels in from
+        the right/bottom edge of *outer*, exactly as Xlib geometry
+        resolution does for top-level windows.
+        """
+        x = self.x or 0
+        y = self.y or 0
+        if self.x_negative:
+            x = outer.width - inner.width - x
+        if self.y_negative:
+            y = outer.height - inner.height - y
+        return Point(x, y)
+
+    def __str__(self) -> str:
+        out = ""
+        if self.width is not None and self.height is not None:
+            out += f"{self.width}x{self.height}"
+        if self.x is not None and self.y is not None:
+            xs = f"-{self.x}" if self.x_negative else f"+{self.x}"
+            ys = f"-{self.y}" if self.y_negative else f"+{self.y}"
+            out += xs + ys
+        return out
+
+
+_GEOMETRY_RE = re.compile(
+    r"""^=?                             # optional leading '='
+        (?:(?P<w>\d+)[xX](?P<h>\d+))?   # WIDTHxHEIGHT
+        (?:(?P<xs>[+-])(?P<x>\d+)       # +X or -X
+           (?P<ys>[+-])(?P<y>\d+))?     # +Y or -Y
+        $""",
+    re.VERBOSE,
+)
+
+
+def parse_geometry(spec: str) -> Geometry:
+    """Parse an X geometry string (``[=][WxH][{+-}X{+-}Y]``).
+
+    Raises ValueError on malformed input.  An empty spec parses to an
+    all-None geometry, as XParseGeometry returns no flags.
+    """
+    match = _GEOMETRY_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(f"bad geometry string {spec!r}")
+    parts = match.groupdict()
+    width = int(parts["w"]) if parts["w"] is not None else None
+    height = int(parts["h"]) if parts["h"] is not None else None
+    x = y = None
+    x_neg = y_neg = False
+    if parts["x"] is not None:
+        x = int(parts["x"])
+        y = int(parts["y"])
+        x_neg = parts["xs"] == "-"
+        y_neg = parts["ys"] == "-"
+    return Geometry(width, height, x, y, x_neg, y_neg)
+
+
+#: Marker object for a centered panel coordinate ("+C").
+CENTER = "center"
+
+_PANEL_POS_RE = re.compile(
+    r"^(?P<xs>[+-])(?P<x>\d+|[Cc])(?P<ys>[+-])(?P<y>\d+|[Cc])$"
+)
+
+
+def parse_panel_position(spec: str) -> Tuple[object, object, bool, bool]:
+    """Parse an swm panel position such as ``+0+1``, ``+C+0`` or ``-0+0``.
+
+    Returns ``(col, row, col_from_right, row_from_bottom)`` where col/row
+    are ints or :data:`CENTER`.  The X component maps to the column and
+    the Y component to the row within the panel, per the paper (§4.1).
+    """
+    match = _PANEL_POS_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(f"bad panel position {spec!r}")
+    parts = match.groupdict()
+
+    def component(value: str):
+        if value in ("C", "c"):
+            return CENTER
+        return int(value)
+
+    col = component(parts["x"])
+    row = component(parts["y"])
+    col_neg = parts["xs"] == "-"
+    row_neg = parts["ys"] == "-"
+    if col is CENTER and col_neg:
+        raise ValueError(f"'-C' column makes no sense in {spec!r}")
+    if row is CENTER and row_neg:
+        raise ValueError(f"'-C' row makes no sense in {spec!r}")
+    return col, row, col_neg, row_neg

@@ -1,0 +1,206 @@
+"""Pointer, keyboard, and grab state.
+
+The server owns one core pointer and keyboard.  Grabs follow the X11
+model: passive button grabs (GrabButton) arm on matching presses and
+become active grabs that steal subsequent pointer events until the
+button is released or the grab is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .event_mask import EventMask
+from .events import (
+    BUTTON1_MASK,
+    CONTROL_MASK,
+    LOCK_MASK,
+    MOD1_MASK,
+    MOD2_MASK,
+    MOD4_MASK,
+    SHIFT_MASK,
+)
+from .window import Window
+
+#: "Any" wildcards for passive grabs.
+ANY_MODIFIER = 1 << 15
+ANY_BUTTON = 0
+ANY_KEY = "AnyKey"
+
+#: keysym -> the modifier bit it drives, for the modifier mapping.
+MODIFIER_KEYSYMS = {
+    "Shift_L": SHIFT_MASK,
+    "Shift_R": SHIFT_MASK,
+    "Caps_Lock": LOCK_MASK,
+    "Control_L": CONTROL_MASK,
+    "Control_R": CONTROL_MASK,
+    "Alt_L": MOD1_MASK,
+    "Alt_R": MOD1_MASK,
+    "Meta_L": MOD1_MASK,
+    "Meta_R": MOD1_MASK,
+    "Num_Lock": MOD2_MASK,
+    "Super_L": MOD4_MASK,
+    "Super_R": MOD4_MASK,
+    "Hyper_L": MOD4_MASK,
+}
+
+
+def button_mask(button: int) -> int:
+    """The state-mask bit for a pointer button (Button1..Button5)."""
+    if not 1 <= button <= 5:
+        raise ValueError(f"bad button {button}")
+    return BUTTON1_MASK << (button - 1)
+
+
+@dataclass
+class PointerState:
+    """Position and button state of the core pointer."""
+
+    screen: int = 0
+    x: int = 0
+    y: int = 0
+    buttons: Set[int] = field(default_factory=set)
+    #: The deepest viewable window currently under the pointer.
+    window: Optional[Window] = None
+
+    def state_mask(self, modifiers: int = 0) -> int:
+        mask = modifiers
+        for button in self.buttons:
+            mask |= button_mask(button)
+        return mask
+
+
+@dataclass
+class KeyboardState:
+    """Pressed keys and the modifier mask they imply."""
+
+    down: Set[str] = field(default_factory=set)
+
+    def modifier_mask(self) -> int:
+        mask = 0
+        for keysym in self.down:
+            mask |= MODIFIER_KEYSYMS.get(keysym, 0)
+        return mask
+
+
+@dataclass
+class PassiveGrab:
+    """One GrabButton registration."""
+
+    client: int
+    window: Window
+    button: int  # ANY_BUTTON matches all
+    modifiers: int  # ANY_MODIFIER matches all
+    event_mask: EventMask
+    owner_events: bool
+    cursor: Optional[str] = None
+
+    def matches(self, button: int, modifiers: int) -> bool:
+        if self.button not in (ANY_BUTTON, button):
+            return False
+        if self.modifiers == ANY_MODIFIER:
+            return True
+        return self.modifiers == modifiers
+
+
+@dataclass
+class PassiveKeyGrab:
+    """One GrabKey registration."""
+
+    client: int
+    window: Window
+    keysym: str  # ANY_KEY matches all
+    modifiers: int
+    owner_events: bool
+
+    def matches(self, keysym: str, modifiers: int) -> bool:
+        if self.keysym not in (ANY_KEY, keysym):
+            return False
+        if self.modifiers == ANY_MODIFIER:
+            return True
+        return self.modifiers == modifiers
+
+
+@dataclass
+class ActiveGrab:
+    """An in-progress pointer grab (active or activated-passive)."""
+
+    client: int
+    window: Window
+    event_mask: EventMask
+    owner_events: bool
+    cursor: Optional[str] = None
+    #: Button whose release ends an activated passive grab (None for
+    #: explicit GrabPointer grabs, which end only on UngrabPointer).
+    trigger_button: Optional[int] = None
+
+
+class GrabTable:
+    """All passive grabs, keyed by window id."""
+
+    def __init__(self):
+        self._button_grabs: Dict[int, list] = {}
+        self._key_grabs: Dict[int, list] = {}
+
+    def add_button(self, grab: PassiveGrab) -> None:
+        grabs = self._button_grabs.setdefault(grab.window.id, [])
+        # Re-grabbing the same button/modifiers replaces the old grab.
+        grabs[:] = [
+            g
+            for g in grabs
+            if not (g.button == grab.button and g.modifiers == grab.modifiers)
+        ]
+        grabs.append(grab)
+
+    def remove_button(
+        self, window_id: int, button: int, modifiers: int
+    ) -> None:
+        grabs = self._button_grabs.get(window_id, [])
+        grabs[:] = [
+            g
+            for g in grabs
+            if not (
+                (button == ANY_BUTTON or g.button == button)
+                and (modifiers == ANY_MODIFIER or g.modifiers == modifiers)
+            )
+        ]
+
+    def add_key(self, grab: PassiveKeyGrab) -> None:
+        grabs = self._key_grabs.setdefault(grab.window.id, [])
+        grabs[:] = [
+            g
+            for g in grabs
+            if not (g.keysym == grab.keysym and g.modifiers == grab.modifiers)
+        ]
+        grabs.append(grab)
+
+    def find_button_grab(
+        self, chain, button: int, modifiers: int
+    ) -> Optional[PassiveGrab]:
+        """First matching grab walking *chain* root-first, as X activates
+        passive grabs on the closest-to-root window first."""
+        for window in chain:
+            for grab in self._button_grabs.get(window.id, []):
+                if grab.matches(button, modifiers):
+                    return grab
+        return None
+
+    def find_key_grab(
+        self, chain, keysym: str, modifiers: int
+    ) -> Optional[PassiveKeyGrab]:
+        for window in chain:
+            for grab in self._key_grabs.get(window.id, []):
+                if grab.matches(keysym, modifiers):
+                    return grab
+        return None
+
+    def drop_window(self, window_id: int) -> None:
+        self._button_grabs.pop(window_id, None)
+        self._key_grabs.pop(window_id, None)
+
+    def drop_client(self, client_id: int) -> None:
+        for grabs in self._button_grabs.values():
+            grabs[:] = [g for g in grabs if g.client != client_id]
+        for grabs in self._key_grabs.values():
+            grabs[:] = [g for g in grabs if g.client != client_id]

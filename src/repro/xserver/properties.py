@@ -1,0 +1,127 @@
+"""Window property storage.
+
+Each window carries a set of named properties, and each property has a
+type atom, a format (8/16/32 bits per item) and a sequence of items.
+ChangeProperty supports the three X modes (Replace/Prepend/Append), with
+the ICCCM-mandated BadMatch when appending with a mismatched type or
+format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .errors import BadMatch, BadValue
+
+PROP_MODE_REPLACE = 0
+PROP_MODE_PREPEND = 1
+PROP_MODE_APPEND = 2
+
+VALID_FORMATS = (8, 16, 32)
+
+
+@dataclass
+class Property:
+    """One window property: type, format and data items.
+
+    For format 8 the data is stored as ``bytes``; for 16/32 as a list of
+    ints.  This mirrors how Xlib presents property data to clients.
+    """
+
+    type: int
+    format: int
+    data: object  # bytes for format 8, List[int] otherwise
+
+    def __post_init__(self):
+        if self.format not in VALID_FORMATS:
+            raise BadValue(self.format, "bad property format")
+        if self.format == 8:
+            if isinstance(self.data, str):
+                self.data = self.data.encode("latin-1")
+            elif not isinstance(self.data, (bytes, bytearray)):
+                self.data = bytes(self.data)
+            self.data = bytes(self.data)
+        else:
+            self.data = [int(item) for item in self.data]
+            limit = 1 << self.format
+            for item in self.data:
+                if not -(limit // 2) <= item < limit:
+                    raise BadValue(item, f"does not fit format {self.format}")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def as_string(self) -> str:
+        """Decode a format-8 property as latin-1 text."""
+        if self.format != 8:
+            raise BadMatch(self.format, "property is not format 8")
+        return bytes(self.data).decode("latin-1")
+
+    def as_strings(self) -> List[str]:
+        """Decode a format-8 property as a NUL-separated string list.
+
+        This is the encoding used by WM_CLASS and WM_COMMAND.  A
+        trailing NUL terminates the final element and does not produce
+        an empty trailing string.
+        """
+        raw = self.as_string()
+        if raw.endswith("\0"):
+            raw = raw[:-1]
+        if not raw:
+            return []
+        return raw.split("\0")
+
+
+class PropertyMap:
+    """The property dictionary of one window, keyed by atom."""
+
+    def __init__(self):
+        self._props: Dict[int, Property] = {}
+
+    def change(
+        self,
+        atom: int,
+        type_atom: int,
+        fmt: int,
+        data,
+        mode: int = PROP_MODE_REPLACE,
+    ) -> Property:
+        """ChangeProperty semantics; returns the resulting property."""
+        new = Property(type_atom, fmt, data)
+        if mode == PROP_MODE_REPLACE:
+            self._props[atom] = new
+            return new
+        if mode not in (PROP_MODE_PREPEND, PROP_MODE_APPEND):
+            raise BadValue(mode, "bad ChangeProperty mode")
+        existing = self._props.get(atom)
+        if existing is None:
+            # Prepend/append to a missing property behaves like replace.
+            self._props[atom] = new
+            return new
+        if existing.type != type_atom or existing.format != fmt:
+            raise BadMatch(atom, "append/prepend with mismatched type/format")
+        if mode == PROP_MODE_APPEND:
+            merged = existing.data + new.data
+        else:
+            merged = new.data + existing.data
+        result = Property(type_atom, fmt, merged)
+        self._props[atom] = result
+        return result
+
+    def get(self, atom: int) -> Optional[Property]:
+        return self._props.get(atom)
+
+    def delete(self, atom: int) -> bool:
+        """DeleteProperty; True if the property existed."""
+        return self._props.pop(atom, None) is not None
+
+    def list_atoms(self) -> List[int]:
+        """ListProperties."""
+        return list(self._props.keys())
+
+    def __contains__(self, atom: int) -> bool:
+        return atom in self._props
+
+    def __len__(self) -> int:
+        return len(self._props)

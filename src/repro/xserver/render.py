@@ -1,0 +1,159 @@
+"""Char-cell rasterizer.
+
+The paper's figures are screen photographs of panel structure.  We
+regenerate them by rasterizing the simulated window tree into a grid of
+characters: borders, backgrounds, SHAPE cut-outs, and text labels (a
+window's ``SWM_LABEL`` property, which swm objects maintain, falling
+back to ``WM_NAME``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .geometry import Rect
+from .window import Window
+
+#: Pixels per character cell.  1 cell ~ one 8x16 glyph of a terminal.
+CELL_W = 8
+CELL_H = 16
+
+LABEL_ATOM_NAME = "SWM_LABEL"
+
+
+class Canvas:
+    """A grid of characters with simple drawing primitives."""
+
+    def __init__(self, cols: int, rows: int, fill: str = " "):
+        self.cols = cols
+        self.rows = rows
+        self.grid: List[List[str]] = [
+            [fill] * cols for _ in range(rows)
+        ]
+
+    def put(self, col: int, row: int, char: str) -> None:
+        if 0 <= col < self.cols and 0 <= row < self.rows:
+            self.grid[row][col] = char
+
+    def text(self, col: int, row: int, text: str) -> None:
+        for offset, char in enumerate(text):
+            self.put(col + offset, row, char)
+
+    def hline(self, col: int, row: int, length: int, char: str = "-") -> None:
+        for offset in range(length):
+            self.put(col + offset, row, char)
+
+    def vline(self, col: int, row: int, length: int, char: str = "|") -> None:
+        for offset in range(length):
+            self.put(col, row + offset, char)
+
+    def frame(self, col: int, row: int, width: int, height: int) -> None:
+        """Draw a box outline using +-| characters."""
+        if width < 1 or height < 1:
+            return
+        self.hline(col, row, width)
+        self.hline(col, row + height - 1, width)
+        self.vline(col, row, height)
+        self.vline(col + width - 1, row, height)
+        for corner_col, corner_row in (
+            (col, row),
+            (col + width - 1, row),
+            (col, row + height - 1),
+            (col + width - 1, row + height - 1),
+        ):
+            self.put(corner_col, corner_row, "+")
+
+    def fill_rect(
+        self, col: int, row: int, width: int, height: int, char: str = " "
+    ) -> None:
+        for r in range(row, row + height):
+            for c in range(col, col + width):
+                self.put(c, r, char)
+
+    def to_string(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self.grid)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def _window_label(window: Window, atoms) -> Optional[str]:
+    label_atom = atoms.intern(LABEL_ATOM_NAME, only_if_exists=True)
+    if label_atom is not None:
+        prop = window.properties.get(label_atom)
+        if prop is not None and prop.format == 8:
+            return prop.as_string().rstrip("\0")
+    name_atom = atoms.intern("WM_NAME", only_if_exists=True)
+    if name_atom is not None:
+        prop = window.properties.get(name_atom)
+        if prop is not None and prop.format == 8:
+            return prop.as_string().rstrip("\0")
+    return None
+
+
+def render_window(
+    window: Window,
+    atoms,
+    cell_w: int = CELL_W,
+    cell_h: int = CELL_H,
+    clip: Optional[Rect] = None,
+    frame_labeled: bool = True,
+) -> str:
+    """Rasterize *window* and its mapped descendants.
+
+    *clip* restricts the output to a rectangle in root coordinates
+    (defaults to the window's own extent); the canvas is sized to the
+    clip region.  With *frame_labeled* (default), windows that carry a
+    label are outlined even when borderless, so decoration objects are
+    visible in the rendering.
+    """
+    if clip is None:
+        clip = window.rect_in_root()
+    cols = max(1, (clip.width + cell_w - 1) // cell_w)
+    rows = max(1, (clip.height + cell_h - 1) // cell_h)
+    canvas = Canvas(cols, rows)
+
+    def to_cell(x: int, y: int):
+        return (x - clip.x) // cell_w, (y - clip.y) // cell_h
+
+    def paint(win: Window, is_top: bool) -> None:
+        if not win.mapped and not is_top:
+            return
+        rect = win.rect_in_root()
+        visible = rect.intersection(clip)
+        if visible is None:
+            return
+        col0, row0 = to_cell(rect.x, rect.y)
+        col1, row1 = to_cell(rect.x + rect.width - 1, rect.y + rect.height - 1)
+        width = col1 - col0 + 1
+        height = row1 - row0 + 1
+        label = _window_label(win, atoms)
+        if win.shape is not None:
+            # Draw only cells whose center falls inside the shape.
+            for row in range(row0, row0 + height):
+                for col in range(col0, col0 + width):
+                    px = clip.x + col * cell_w + cell_w // 2 - rect.x
+                    py = clip.y + row * cell_h + cell_h // 2 - rect.y
+                    if win.shape.contains(px, py):
+                        canvas.put(col, row, "@")
+        else:
+            canvas.fill_rect(col0, row0, width, height, " ")
+            framed = (
+                win.border_width > 0
+                or win.parent is None
+                or is_top
+                or (frame_labeled and label)
+            )
+            if framed:
+                canvas.frame(col0, row0, width, height)
+        if label:
+            text_row = row0 + height // 2
+            if width > 2:
+                canvas.text(col0 + 1, text_row, label[: width - 2])
+            else:
+                canvas.text(col0, text_row, label[:width])
+        for child in win.children:
+            paint(child, False)
+
+    paint(window, True)
+    return canvas.to_string()

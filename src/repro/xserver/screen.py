@@ -1,0 +1,48 @@
+"""Screens.
+
+swm manages multiple screens on a multi-screen server (§3): resources
+are looked up per screen number and per mono/color, so a screen knows
+its number, pixel size and visual depth.
+"""
+
+from __future__ import annotations
+
+
+from .geometry import Rect, Size
+from .window import Window
+
+
+class Screen:
+    """One screen of the simulated server."""
+
+    def __init__(
+        self,
+        number: int,
+        size: Size,
+        root: Window,
+        depth: int = 8,
+    ):
+        self.number = number
+        self.size = size
+        self.root = root
+        self.depth = depth
+
+    @property
+    def monochrome(self) -> bool:
+        return self.depth == 1
+
+    @property
+    def width(self) -> int:
+        return self.size.width
+
+    @property
+    def height(self) -> int:
+        return self.size.height
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(0, 0, self.size.width, self.size.height)
+
+    def __repr__(self) -> str:
+        kind = "mono" if self.monochrome else "color"
+        return f"<Screen {self.number} {self.width}x{self.height} {kind}>"

@@ -1,0 +1,112 @@
+"""The SHAPE extension.
+
+Non-rectangular windows (§5.1 of the paper) are modelled with a
+:class:`ShapeRegion` attached to a window: a bitmap-backed region in
+window coordinates plus the protocol's combine operations (Set, Union,
+Intersect, Subtract, Invert).  ShapeNotify events fire on change so the
+WM can re-shape decorations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .bitmap import Bitmap
+from .errors import BadValue
+
+# Shape kinds.
+SHAPE_BOUNDING = 0
+SHAPE_CLIP = 1
+
+# Shape operations (protocol values).
+SHAPE_SET = 0
+SHAPE_UNION = 1
+SHAPE_INTERSECT = 2
+SHAPE_SUBTRACT = 3
+SHAPE_INVERT = 4
+
+
+class ShapeRegion:
+    """A window's bounding shape, in window-local coordinates."""
+
+    def __init__(self, mask: Bitmap, x_offset: int = 0, y_offset: int = 0):
+        self.mask = mask
+        self.x_offset = x_offset
+        self.y_offset = y_offset
+
+    @classmethod
+    def from_rects(cls, width: int, height: int, rects: List[Tuple[int, int, int, int]]) -> "ShapeRegion":
+        """Build a region covering the given (x, y, w, h) rectangles."""
+        mask = Bitmap.solid(width, height, False)
+        for (rx, ry, rw, rh) in rects:
+            for y in range(max(0, ry), min(height, ry + rh)):
+                for x in range(max(0, rx), min(width, rx + rw)):
+                    mask.set(x, y, True)
+        return cls(mask)
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.mask.get(x - self.x_offset, y - self.y_offset)
+
+    def extents(self) -> Optional[Tuple[int, int, int, int]]:
+        """Bounding box (x, y, w, h) of the set bits, or None if empty."""
+        min_x = min_y = None
+        max_x = max_y = None
+        for y, row in enumerate(self.mask.rows):
+            for x, bit in enumerate(row):
+                if not bit:
+                    continue
+                if min_x is None or x < min_x:
+                    min_x = x
+                if max_x is None or x > max_x:
+                    max_x = x
+                if min_y is None:
+                    min_y = y
+                max_y = y
+        if min_x is None:
+            return None
+        return (
+            min_x + self.x_offset,
+            min_y + self.y_offset,
+            max_x - min_x + 1,
+            max_y - min_y + 1,
+        )
+
+    def area(self) -> int:
+        return self.mask.count_set()
+
+    def combine(self, other: "ShapeRegion", op: int) -> "ShapeRegion":
+        """Apply a SHAPE combine op; returns a new region sized to cover
+        both operands."""
+        if op == SHAPE_SET:
+            return ShapeRegion(
+                Bitmap(other.mask.width, other.mask.height, other.mask.rows),
+                other.x_offset,
+                other.y_offset,
+            )
+        width = max(
+            self.mask.width + self.x_offset, other.mask.width + other.x_offset
+        )
+        height = max(
+            self.mask.height + self.y_offset, other.mask.height + other.y_offset
+        )
+        rows = []
+        for y in range(height):
+            row = []
+            for x in range(width):
+                a = self.contains(x, y)
+                b = other.contains(x, y)
+                if op == SHAPE_UNION:
+                    row.append(a or b)
+                elif op == SHAPE_INTERSECT:
+                    row.append(a and b)
+                elif op == SHAPE_SUBTRACT:
+                    row.append(a and not b)
+                elif op == SHAPE_INVERT:
+                    row.append(b and not a)
+                else:
+                    raise BadValue(op, "bad shape operation")
+            rows.append(row)
+        return ShapeRegion(Bitmap(width, height, rows))
+
+    def __repr__(self) -> str:
+        return f"<ShapeRegion {self.mask.width}x{self.mask.height} area={self.area()}>"

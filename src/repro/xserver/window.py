@@ -1,0 +1,285 @@
+"""The server-side window object and window tree.
+
+Windows form a tree rooted at each screen's root window.  Children are
+kept bottom-to-top, as in the X protocol's stacking order.  Each client
+selects its own event mask on each window; masks live here, delivery
+logic lives in the server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from .errors import BadMatch, BadValue
+from .event_mask import EventMask
+from .geometry import Point, Rect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .shape import ShapeRegion
+
+# Window classes.
+COPY_FROM_PARENT = 0
+INPUT_OUTPUT = 1
+INPUT_ONLY = 2
+
+# Map states, as returned by GetWindowAttributes.
+IS_UNMAPPED = 0
+IS_UNVIEWABLE = 1
+IS_VIEWABLE = 2
+
+# Window gravity values (subset; the WM cares about NorthWest + Unmap).
+UNMAP_GRAVITY = 0
+NORTHWEST_GRAVITY = 1
+STATIC_GRAVITY = 10
+
+
+class Window:
+    """One window in the simulated server.
+
+    The WM never touches these directly; clients operate through
+    :class:`~repro.xserver.client.ClientConnection`, which mediates all
+    mutation through the server so redirect/notify semantics hold.
+    """
+
+    def __init__(
+        self,
+        wid: int,
+        parent: Optional["Window"],
+        rect: Rect,
+        border_width: int = 0,
+        win_class: int = INPUT_OUTPUT,
+        override_redirect: bool = False,
+        owner: Optional[int] = None,
+    ):
+        self.id = wid
+        self.parent = parent
+        self.rect = rect
+        self.border_width = border_width
+        self.win_class = win_class
+        self.override_redirect = override_redirect
+        self.win_gravity = NORTHWEST_GRAVITY
+        self.owner = owner  # client id that created the window
+        self.mapped = False
+        self.destroyed = False
+        self.children: List[Window] = []  # bottom-to-top
+        from .properties import PropertyMap  # local import to avoid cycle
+
+        self.properties = PropertyMap()
+        self.event_masks: Dict[int, EventMask] = {}
+        self.do_not_propagate_mask = EventMask.NoEvent
+        self.background: Optional[str] = None
+        self.cursor: Optional[str] = None
+        self.shape: Optional["ShapeRegion"] = None
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- identity & tree -------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<Window {self.id:#x} {self.rect} mapped={self.mapped}>"
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def root(self) -> "Window":
+        win = self
+        while win.parent is not None:
+            win = win.parent
+        return win
+
+    def ancestors(self) -> Iterator["Window"]:
+        """The chain of ancestors, nearest first (excluding self)."""
+        win = self.parent
+        while win is not None:
+            yield win
+            win = win.parent
+
+    def is_ancestor_of(self, other: "Window") -> bool:
+        return any(anc is self for anc in other.ancestors())
+
+    def descendants(self) -> Iterator["Window"]:
+        """All windows below this one, depth-first, bottom-up stacking."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def x(self) -> int:
+        return self.rect.x
+
+    @property
+    def y(self) -> int:
+        return self.rect.y
+
+    @property
+    def width(self) -> int:
+        return self.rect.width
+
+    @property
+    def height(self) -> int:
+        return self.rect.height
+
+    def position_in_root(self) -> Point:
+        """The window's origin in root coordinates (inside the border)."""
+        x, y = self.rect.x, self.rect.y
+        for anc in self.ancestors():
+            x += anc.rect.x + anc.border_width
+            y += anc.rect.y + anc.border_width
+        return Point(x, y)
+
+    def rect_in_root(self) -> Rect:
+        origin = self.position_in_root()
+        return Rect(origin.x, origin.y, self.rect.width, self.rect.height)
+
+    def outer_rect(self) -> Rect:
+        """The window rect including its border, in parent coordinates."""
+        bw = self.border_width
+        return Rect(
+            self.rect.x,
+            self.rect.y,
+            self.rect.width + 2 * bw,
+            self.rect.height + 2 * bw,
+        )
+
+    def contains_point_in_root(self, x: int, y: int) -> bool:
+        """Hit test in root coordinates, honouring the SHAPE region."""
+        origin = self.position_in_root()
+        local_x, local_y = x - origin.x, y - origin.y
+        if not (0 <= local_x < self.width and 0 <= local_y < self.height):
+            return False
+        if self.shape is not None:
+            return self.shape.contains(local_x, local_y)
+        return True
+
+    # -- map state ---------------------------------------------------------
+
+    @property
+    def viewable(self) -> bool:
+        """Mapped, with every ancestor mapped too."""
+        if not self.mapped:
+            return False
+        return all(anc.mapped for anc in self.ancestors())
+
+    @property
+    def map_state(self) -> int:
+        if not self.mapped:
+            return IS_UNMAPPED
+        return IS_VIEWABLE if self.viewable else IS_UNVIEWABLE
+
+    # -- event masks ---------------------------------------------------------
+
+    def select_input(self, client_id: int, mask: EventMask) -> None:
+        if mask == EventMask.NoEvent:
+            self.event_masks.pop(client_id, None)
+        else:
+            self.event_masks[client_id] = mask
+
+    def mask_for(self, client_id: int) -> EventMask:
+        return self.event_masks.get(client_id, EventMask.NoEvent)
+
+    def all_masks(self) -> EventMask:
+        """Union of every client's selection on this window."""
+        combined = EventMask.NoEvent
+        for mask in self.event_masks.values():
+            combined |= mask
+        return combined
+
+    def clients_selecting(self, mask: EventMask) -> List[int]:
+        return [cid for cid, sel in self.event_masks.items() if sel & mask]
+
+    def redirect_client(self) -> Optional[int]:
+        """The client holding SubstructureRedirect on this window."""
+        holders = self.clients_selecting(EventMask.SubstructureRedirect)
+        return holders[0] if holders else None
+
+    # -- stacking -------------------------------------------------------------
+
+    def sibling_index(self) -> int:
+        if self.parent is None:
+            raise BadMatch(self.id, "root window has no siblings")
+        return self.parent.children.index(self)
+
+    def restack(self, mode: int, sibling: Optional["Window"] = None) -> None:
+        """Apply an X StackMode relative to an optional sibling.
+
+        Modes: Above(0) Below(1) TopIf(2) BottomIf(3) Opposite(4); the
+        conditional modes use occlusion, which we approximate with
+        geometric overlap between mapped siblings.
+        """
+        from .events import ABOVE, BELOW, BOTTOM_IF, OPPOSITE, TOP_IF
+
+        parent = self.parent
+        if parent is None:
+            raise BadMatch(self.id, "cannot restack a root window")
+        if sibling is not None and sibling.parent is not parent:
+            raise BadMatch(sibling.id, "sibling has a different parent")
+        siblings = parent.children
+
+        def occluded_by_sibling() -> bool:
+            my_index = siblings.index(self)
+            mine = self.outer_rect()
+            candidates = (
+                [sibling]
+                if sibling is not None
+                else siblings[my_index + 1:]
+            )
+            return any(
+                other is not self
+                and other.mapped
+                and other.outer_rect().intersects(mine)
+                and siblings.index(other) > my_index
+                for other in candidates
+            )
+
+        def occludes_sibling() -> bool:
+            my_index = siblings.index(self)
+            mine = self.outer_rect()
+            candidates = (
+                [sibling] if sibling is not None else siblings[:my_index]
+            )
+            return any(
+                other is not self
+                and other.mapped
+                and other.outer_rect().intersects(mine)
+                and siblings.index(other) < my_index
+                for other in candidates
+            )
+
+        if mode == ABOVE:
+            siblings.remove(self)
+            if sibling is None:
+                siblings.append(self)
+            else:
+                siblings.insert(siblings.index(sibling) + 1, self)
+        elif mode == BELOW:
+            siblings.remove(self)
+            if sibling is None:
+                siblings.insert(0, self)
+            else:
+                siblings.insert(siblings.index(sibling), self)
+        elif mode == TOP_IF:
+            if occluded_by_sibling():
+                self.restack(ABOVE, None)
+        elif mode == BOTTOM_IF:
+            if occludes_sibling():
+                self.restack(BELOW, None)
+        elif mode == OPPOSITE:
+            if occluded_by_sibling():
+                self.restack(ABOVE, None)
+            elif occludes_sibling():
+                self.restack(BELOW, None)
+        else:
+            raise BadValue(mode, "bad stack mode")
+
+    def sibling_above(self) -> Optional["Window"]:
+        """The sibling immediately above, or None if topmost."""
+        index = self.sibling_index()
+        siblings = self.parent.children
+        return siblings[index + 1] if index + 1 < len(siblings) else None
+
+    def sibling_below(self) -> Optional["Window"]:
+        index = self.sibling_index()
+        return self.parent.children[index - 1] if index > 0 else None

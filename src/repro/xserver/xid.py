@@ -1,0 +1,68 @@
+"""XID (X resource identifier) allocation.
+
+A real X server hands each client a base and mask from which the client
+mints its own resource IDs.  The simulator keeps the same structure: the
+server owns an :class:`XIDAllocator`, and every client connection gets an
+:class:`XIDRange` carved out of the 29-bit resource ID space.
+"""
+
+from __future__ import annotations
+
+from .errors import BadIDChoice
+
+#: Number of ID bits a client may use below its base (X11 uses a
+#: server-chosen contiguous mask; 20 bits gives ~1M ids per client).
+CLIENT_ID_BITS = 20
+CLIENT_ID_MASK = (1 << CLIENT_ID_BITS) - 1
+
+#: XID value meaning "no resource" (matches X11's None).
+NONE = 0
+
+#: Pseudo-window id used by SetInputFocus / events (X11's PointerRoot).
+POINTER_ROOT = 1
+
+
+class XIDRange:
+    """A client's slice of the XID space."""
+
+    def __init__(self, base: int):
+        if base & CLIENT_ID_MASK:
+            raise ValueError(f"client base {base:#x} not aligned")
+        self.base = base
+        self._next = base
+        self._limit = base + CLIENT_ID_MASK
+
+    def allocate(self) -> int:
+        """Mint a fresh XID for this client."""
+        if self._next > self._limit:
+            raise BadIDChoice(message="client XID range exhausted")
+        xid = self._next
+        self._next += 1
+        return xid
+
+    def owns(self, xid: int) -> bool:
+        """True if *xid* lies in this client's range."""
+        return self.base <= xid <= self._limit
+
+
+class XIDAllocator:
+    """Server-side allocator handing out per-client ID ranges.
+
+    The server itself also mints IDs (root windows, the virtual desktop
+    frame windows created on behalf of the WM, ...) from range 0... but
+    skipping the reserved ``NONE``/``POINTER_ROOT`` values.
+    """
+
+    def __init__(self):
+        self._next_base = 0
+        self.server_range = self.new_range()
+        # Skip the reserved low values in the server's own range.
+        self.server_range._next = 0x100
+
+    def new_range(self) -> XIDRange:
+        rng = XIDRange(self._next_base)
+        self._next_base += 1 << CLIENT_ID_BITS
+        return rng
+
+    def allocate_server_id(self) -> int:
+        return self.server_range.allocate()

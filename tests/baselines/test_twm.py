@@ -1,0 +1,161 @@
+"""The twm-like baseline."""
+
+import pytest
+
+from repro import icccm
+from repro.baselines import Twm, TwmConfig, TwmrcError
+from repro.clients import XClock, XTerm
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+from repro.xserver import XServer
+
+TWMRC = """
+# comment
+BorderWidth 3
+TitleFont "8x13"
+NoTitle { "xclock" "xbiff" }
+Color { BorderColor "maroon" TitleBackground "gray" }
+Button1 = : title : f.raise
+Button3 = : title : f.iconify
+"""
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+class TestTwmrcParsing:
+    def test_full_config(self):
+        config = TwmConfig.parse(TWMRC)
+        assert config.border_width == 3
+        assert config.title_font == "8x13"
+        assert config.no_title == ["xclock", "xbiff"]
+        assert config.colors["BorderColor"] == "maroon"
+        assert config.bindings[(1, "title")] == "f.raise"
+        assert config.bindings[(3, "title")] == "f.iconify"
+
+    def test_multiline_block(self):
+        config = TwmConfig.parse('NoTitle {\n "a"\n "b"\n}\n')
+        assert config.no_title == ["a", "b"]
+
+    def test_bad_line(self):
+        with pytest.raises(TwmrcError):
+            TwmConfig.parse("FlyingToasters on\n")
+
+    def test_bad_binding(self):
+        with pytest.raises(TwmrcError):
+            TwmConfig.parse("Button1 = whatever\n")
+
+    def test_unterminated_block(self):
+        with pytest.raises(TwmrcError):
+            TwmConfig.parse('NoTitle { "a"\n')
+
+    def test_defaults(self):
+        config = TwmConfig.parse("")
+        assert config.border_width == 2
+
+
+class TestTwmManagement:
+    def test_manage_with_title(self, server):
+        twm = Twm(server, TWMRC)
+        app = XTerm(server, ["xterm"])
+        twm.process_pending()
+        entry = twm.windows[app.wid]
+        assert entry.title_bar is not None
+        assert server.window(app.wid).viewable
+
+    def test_no_title_list(self, server):
+        """The one policy knob twm has: titles on or off per class."""
+        twm = Twm(server, TWMRC)
+        clock = XClock(server, ["xclock"])
+        twm.process_pending()
+        entry = twm.windows[clock.wid]
+        assert entry.title_bar is None
+
+    def test_title_binding_dispatch(self, server):
+        twm = Twm(server, TWMRC)
+        a = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        twm.process_pending()
+        entry = twm.windows[a.wid]
+        origin = server.window(entry.title_bar).position_in_root()
+        server.motion(origin.x + 4, origin.y + 4)
+        server.button_press(3)
+        server.button_release(3)
+        twm.process_pending()
+        assert entry.state == ICONIC_STATE
+
+    def test_fixed_icon_representation(self, server):
+        twm = Twm(server, TWMRC)
+        app = XTerm(server, ["xterm"])
+        twm.process_pending()
+        entry = twm.windows[app.wid]
+        twm.iconify(entry)
+        assert entry.icon is not None
+        assert server.window(entry.icon).mapped
+        twm.deiconify(entry)
+        assert not server.window(entry.icon).mapped
+        assert entry.state == NORMAL_STATE
+
+    def test_configure_request_resizes_frame(self, server):
+        twm = Twm(server, TWMRC)
+        app = XTerm(server, ["xterm"])
+        twm.process_pending()
+        app.conn.resize_window(app.wid, 6 * 90 + 16, 13 * 30 + 16)
+        twm.process_pending()
+        entry = twm.windows[app.wid]
+        _, _, fw, fh, _ = twm.conn.get_geometry(entry.frame)
+        _, _, cw, ch, _ = twm.conn.get_geometry(app.wid)
+        assert fw == cw
+        assert fh == ch + twm.title_height()
+
+    def test_quit_releases(self, server):
+        twm = Twm(server, TWMRC)
+        app = XTerm(server, ["xterm"])
+        twm.process_pending()
+        twm.quit()
+        _, parent, _ = app.conn.query_tree(app.wid)
+        assert parent == app.conn.root_window()
+
+    def test_no_per_screen_config(self, server):
+        """Structural contrast with swm: one global config object, no
+        per-screen/per-client resource machinery."""
+        twm = Twm(server, TWMRC)
+        assert not hasattr(twm, "screens")
+        assert isinstance(twm.config, TwmConfig)
+
+
+class TestRawWM:
+    def test_map_request_granted(self, server):
+        from repro.baselines import RawWM
+
+        raw = RawWM(server)
+        app = XTerm(server, ["xterm"])
+        raw.process_pending()
+        assert server.window(app.wid).mapped
+        # No reparenting: still a child of the root.
+        _, parent, _ = app.conn.query_tree(app.wid)
+        assert parent == app.conn.root_window()
+
+    def test_configure_passthrough(self, server):
+        from repro.baselines import RawWM
+
+        raw = RawWM(server)
+        app = XTerm(server, ["xterm"])
+        raw.process_pending()
+        app.conn.move_resize_window(app.wid, 5, 6, 622, 433)
+        raw.process_pending()
+        x, y, width, height, _ = app.conn.get_geometry(app.wid)
+        # Passthrough: no size-hint rounding at all.
+        assert (x, y, width, height) == (5, 6, 622, 433)
+
+    def test_iconify_is_bare_unmap(self, server):
+        from repro.baselines import RawWM
+
+        raw = RawWM(server)
+        app = XTerm(server, ["xterm"])
+        raw.process_pending()
+        raw.iconify(app.wid)
+        assert not server.window(app.wid).mapped
+        assert icccm.get_wm_state(app.conn, app.wid).state == ICONIC_STATE
+        raw.deiconify(app.wid)
+        assert server.window(app.wid).mapped

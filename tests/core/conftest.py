@@ -1,0 +1,34 @@
+"""Shared fixtures: a server + swm under the OpenLook+ template."""
+
+import pytest
+
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def db():
+    return load_template("OpenLook+")
+
+
+@pytest.fixture
+def wm(server, db, tmp_path):
+    return Swm(server, db, places_path=str(tmp_path / "swm.places"))
+
+
+@pytest.fixture
+def vdesk_db(db):
+    db.put("swm*virtualDesktop", "3000x2400")
+    return db
+
+
+@pytest.fixture
+def vwm(server, vdesk_db, tmp_path):
+    """swm with a 3000x2400 Virtual Desktop."""
+    return Swm(server, vdesk_db, places_path=str(tmp_path / "swm.places"))

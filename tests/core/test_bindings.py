@@ -1,0 +1,179 @@
+"""Bindings parsing and matching (§4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.xserver.events as ev
+from repro.core.bindings import (
+    BUTTON_PRESS,
+    BUTTON_RELEASE,
+    Binding,
+    BindingParseError,
+    FunctionCall,
+    KEY_PRESS,
+    bindings_for_button,
+    bindings_for_key,
+    parse_bindings,
+)
+
+
+class TestParseBindings:
+    def test_paper_example(self):
+        """The exact example from §4.2 of the paper (joined by resource
+        line continuation)."""
+        clauses = parse_bindings(
+            "<Btn1> : f.raise "
+            "<Btn2> : f.save f.zoom "
+            "<Key>Up : f.warpvertical(-50)"
+        )
+        assert len(clauses) == 3
+        assert clauses[0].event == BUTTON_PRESS and clauses[0].button == 1
+        assert clauses[0].functions == (FunctionCall("raise"),)
+        assert clauses[1].functions == (
+            FunctionCall("save"),
+            FunctionCall("zoom"),
+        )
+        assert clauses[2].event == KEY_PRESS and clauses[2].keysym == "Up"
+        assert clauses[2].functions == (FunctionCall("warpvertical", "-50"),)
+
+    def test_modifiers(self):
+        clauses = parse_bindings("Shift Ctrl<Btn3> : f.lower")
+        assert clauses[0].modifiers == ev.SHIFT_MASK | ev.CONTROL_MASK
+
+    def test_meta_is_mod1(self):
+        clauses = parse_bindings("Meta<Btn1> : f.move")
+        assert clauses[0].modifiers == ev.MOD1_MASK
+
+    def test_any_modifier(self):
+        clauses = parse_bindings("Any<Btn1> : f.raise")
+        assert clauses[0].any_modifier
+
+    def test_button_release(self):
+        clauses = parse_bindings("<Btn1Up> : f.raise")
+        assert clauses[0].event == BUTTON_RELEASE
+
+    def test_invocation_modes_parse(self):
+        """All five modes from §5."""
+        clauses = parse_bindings(
+            "<Btn1> : f.iconify "
+            "<Btn2> : f.iconify(multiple) "
+            "<Btn3> : f.iconify(blob) "
+            "<Btn4> : f.iconify(#$) "
+            "<Btn5> : f.iconify(#0x1234)"
+        )
+        args = [c.functions[0].argument for c in clauses]
+        assert args == [None, "multiple", "blob", "#$", "#0x1234"]
+
+    def test_multiple_functions_per_binding(self):
+        clauses = parse_bindings("<Btn1> : f.raise f.focus f.warpvertical(10)")
+        assert len(clauses[0].functions) == 3
+
+    def test_newline_separated(self):
+        clauses = parse_bindings("<Btn1> : f.raise\n<Btn2> : f.lower")
+        assert len(clauses) == 2
+
+    def test_empty_is_empty(self):
+        assert parse_bindings("") == []
+
+    def test_no_clauses_rejected(self):
+        with pytest.raises(BindingParseError):
+            parse_bindings("f.raise")
+
+    def test_unknown_event(self):
+        with pytest.raises(BindingParseError):
+            parse_bindings("<Wheel9> : f.raise")
+
+    def test_clause_without_functions(self):
+        with pytest.raises(BindingParseError):
+            parse_bindings("<Btn1> :")
+
+    def test_junk_between_functions(self):
+        with pytest.raises(BindingParseError):
+            parse_bindings("<Btn1> : f.raise banana")
+
+    def test_enter_leave_motion_events(self):
+        clauses = parse_bindings(
+            "<Enter> : f.focus <Leave> : f.nop <Motion> : f.nop"
+        )
+        assert [c.event for c in clauses] == ["Enter", "Leave", "Motion"]
+
+    def test_function_name_case_folded(self):
+        clauses = parse_bindings("<Btn1> : f.Raise")
+        assert clauses[0].functions[0].name == "raise"
+
+    def test_key_without_detail_matches_any(self):
+        clauses = parse_bindings("<Key> : f.beep")
+        assert clauses[0].keysym == ""
+        assert clauses[0].matches_key("x", 0)
+        assert clauses[0].matches_key("F1", 0)
+
+
+class TestMatching:
+    def test_button_match(self):
+        clauses = parse_bindings("<Btn1> : f.raise <Btn2> : f.lower")
+        hit = bindings_for_button(clauses, 2, 0)
+        assert hit.functions[0].name == "lower"
+
+    def test_no_match(self):
+        clauses = parse_bindings("<Btn1> : f.raise")
+        assert bindings_for_button(clauses, 3, 0) is None
+
+    def test_exact_modifier_matching(self):
+        clauses = parse_bindings(
+            "Shift<Btn1> : f.lower <Btn1> : f.raise"
+        )
+        assert bindings_for_button(clauses, 1, ev.SHIFT_MASK).functions[0].name == "lower"
+        assert bindings_for_button(clauses, 1, 0).functions[0].name == "raise"
+
+    def test_modifier_mismatch(self):
+        clauses = parse_bindings("<Btn1> : f.raise")
+        # Plain binding does not fire with Control held.
+        assert bindings_for_button(clauses, 1, ev.CONTROL_MASK) is None
+
+    def test_button_state_bits_ignored(self):
+        """Button state bits (Button1Mask...) don't affect matching —
+        only keyboard modifiers do."""
+        clauses = parse_bindings("<Btn1> : f.raise")
+        assert bindings_for_button(clauses, 1, ev.BUTTON2_MASK) is not None
+
+    def test_any_matches_everything(self):
+        clauses = parse_bindings("Any<Btn1> : f.raise")
+        assert bindings_for_button(clauses, 1, ev.SHIFT_MASK | ev.MOD1_MASK)
+
+    def test_key_matching(self):
+        clauses = parse_bindings("<Key>Up : f.warpvertical(-50)")
+        assert bindings_for_key(clauses, "Up", 0) is not None
+        assert bindings_for_key(clauses, "Down", 0) is None
+
+    def test_release_distinct_from_press(self):
+        clauses = parse_bindings("<Btn1Up> : f.raise")
+        assert bindings_for_button(clauses, 1, 0, release=True) is not None
+        assert bindings_for_button(clauses, 1, 0, release=False) is None
+
+    def test_first_match_wins(self):
+        clauses = parse_bindings("<Btn1> : f.raise <Btn1> : f.lower")
+        assert bindings_for_button(clauses, 1, 0).functions[0].name == "raise"
+
+
+_FUNCS = st.sampled_from(["raise", "lower", "move", "iconify", "zoom"])
+_BUTTONS = st.integers(1, 5)
+
+
+class TestRoundTrip:
+    @given(
+        clauses=st.lists(
+            st.tuples(_BUTTONS, st.lists(_FUNCS, min_size=1, max_size=3)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_parse_roundtrip(self, clauses):
+        text = " ".join(
+            f"<Btn{button}> : " + " ".join(f"f.{fn}" for fn in funcs)
+            for button, funcs in clauses
+        )
+        parsed = parse_bindings(text)
+        assert len(parsed) == len(clauses)
+        for parsed_clause, (button, funcs) in zip(parsed, clauses):
+            assert parsed_clause.button == button
+            assert [f.name for f in parsed_clause.functions] == funcs

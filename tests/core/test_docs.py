@@ -1,0 +1,67 @@
+"""Documentation cross-checks: the docs must track the code."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.core.functions import FUNCTIONS
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs"
+
+
+class TestFunctionDoc:
+    def test_every_function_documented(self):
+        text = (DOCS / "FUNCTIONS.md").read_text()
+        for name in FUNCTIONS:
+            assert f"`f.{name}`" in text, f"f.{name} missing from FUNCTIONS.md"
+
+    def test_no_phantom_functions_documented(self):
+        text = (DOCS / "FUNCTIONS.md").read_text()
+        documented = set(re.findall(r"^\| `f\.(\w+)`", text, re.MULTILINE))
+        assert documented == set(FUNCTIONS)
+
+
+class TestResourceDoc:
+    def test_key_resources_documented(self):
+        text = (DOCS / "RESOURCES.md").read_text()
+        for resource in (
+            "virtualDesktop",
+            "virtualDesktops",
+            "panner",
+            "scrollbars",
+            "rootPanels",
+            "rootIcons",
+            "iconHolders",
+            "remoteStart",
+            "decoration",
+            "iconPanel",
+            "sticky",
+            "resizeCorners",
+            "bindings",
+            "hideWhenEmpty",
+            "sizeToFit",
+        ):
+            assert resource in text, f"{resource} missing from RESOURCES.md"
+
+    def test_templates_use_only_documented_object_attrs(self):
+        """Every object attribute the stock templates set appears in
+        RESOURCES.md."""
+        from repro.core.templates import TEMPLATES
+
+        text = (DOCS / "RESOURCES.md").read_text()
+        attr_re = re.compile(
+            r"^Swm\*(?:button|text|menu|panel)\.[\w+]+\.(\w+):",
+            re.MULTILINE,
+        )
+        for template in TEMPLATES.values():
+            for attr in attr_re.findall(template):
+                assert attr in text, f"template attr {attr!r} undocumented"
+
+
+class TestReadme:
+    def test_readme_modules_exist(self):
+        root = DOCS.parent
+        readme = (root / "README.md").read_text()
+        for example in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (root / example).exists(), f"{example} referenced but missing"

@@ -1,0 +1,90 @@
+"""Interactive drag state: the outline the user sees, and circulate
+request handling."""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.clients import XTerm
+
+
+class TestMoveOutline:
+    def test_outline_tracks_pointer(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        start = wm.frame_rect(managed)
+        wm.begin_move(managed, (150, 150))
+        server.motion(180, 170)
+        wm.process_pending()
+        outline = wm.drag.current
+        assert (outline.x, outline.y) == (start.x + 30, start.y + 20)
+        # The frame itself has NOT moved yet (outline drag, not opaque).
+        assert wm.frame_rect(managed) == start
+        server.motion(250, 260)
+        wm.process_pending()
+        outline = wm.drag.current
+        assert (outline.x, outline.y) == (start.x + 100, start.y + 110)
+        server.button_release(1)
+        wm.process_pending()
+        moved = wm.frame_rect(managed)
+        assert (moved.x, moved.y) == (start.x + 100, start.y + 110)
+
+    def test_resize_outline_grows(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        start = wm.frame_rect(managed)
+        wm.begin_resize(managed, (start.x2, start.y2))
+        server.motion(start.x2 + 24, start.y2 + 26)
+        wm.process_pending()
+        outline = wm.drag.current
+        assert outline.width == start.width + 24
+        assert outline.height == start.height + 26
+        server.button_release(1)
+        wm.process_pending()
+
+    def test_resize_never_collapses(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+300+300"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        start = wm.frame_rect(managed)
+        wm.begin_resize(managed, (start.x2, start.y2))
+        server.motion(start.x, start.y)  # drag far past the origin
+        wm.process_pending()
+        assert wm.drag.current.width >= 8
+        assert wm.drag.current.height >= 8
+        server.button_release(1)
+        wm.process_pending()
+        _, _, width, height, _ = app.conn.get_geometry(app.wid)
+        assert width >= 1 and height >= 1
+
+    def test_grab_cursor_during_move(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        wm.begin_move(wm.managed[app.wid], (150, 150))
+        assert server.active_grab.cursor == "fleur"
+        server.button_release(1)
+        wm.process_pending()
+        assert server.active_grab is None
+
+    def test_grab_cursor_during_resize(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        wm.begin_resize(wm.managed[app.wid], (150, 150))
+        assert server.active_grab.cursor == "sizing"
+        server.button_release(1)
+        wm.process_pending()
+
+
+class TestCirculateRequest:
+    def test_client_circulate_redirected_and_applied(self, server, wm):
+        a = XTerm(server, ["xterm", "-geometry", "+10+10"])
+        b = XTerm(server, ["xterm", "-geometry", "+20+20"])
+        wm.process_pending()
+        ma, mb = wm.managed[a.wid], wm.managed[b.wid]
+        parent = server.window(ma.frame).parent
+        # Circulating the frames' parent raises the lowest frame.
+        bottom = parent.children[0]
+        a.conn.circulate_window(parent.id, ev.RAISE_LOWEST)
+        wm.process_pending()
+        assert parent.children[-1] is bottom

@@ -1,0 +1,261 @@
+"""Extension features: multiple Virtual Desktops, scrollbars, resize
+corners, Enter/Leave bindings, and the RESOURCE_MANAGER property."""
+
+import pytest
+
+from repro.clients import NaiveApp, XClock, XTerm
+from repro.core.bindings import FunctionCall
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+
+
+@pytest.fixture
+def multi_db(db):
+    db.put("swm*virtualDesktop", "3000x2400")
+    db.put("swm*virtualDesktops", "3")
+    return db
+
+
+@pytest.fixture
+def mwm(server, multi_db, tmp_path):
+    return Swm(server, multi_db, places_path=str(tmp_path / "places"))
+
+
+class TestMultipleDesktops:
+    """§6.3: 'this would also allow swm to implement multiple Virtual
+    Desktops' — implemented as an extension."""
+
+    def test_three_desktops_created(self, server, mwm):
+        sc = mwm.screens[0]
+        assert len(sc.vdesks) == 3
+        assert server.window(sc.vdesks[0].window).mapped
+        assert not server.window(sc.vdesks[1].window).mapped
+        assert not server.window(sc.vdesks[2].window).mapped
+
+    def test_switch_desktop_swaps_visibility(self, server, mwm):
+        sc = mwm.screens[0]
+        mwm.switch_desktop(0, 1)
+        assert sc.current_desktop == 1
+        assert not server.window(sc.vdesks[0].window).mapped
+        assert server.window(sc.vdesks[1].window).mapped
+
+    def test_windows_stay_on_their_desktop(self, server, mwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        assert managed.desktop == 0
+        assert server.window(app.wid).viewable
+        mwm.switch_desktop(0, 1)
+        # The window is on desktop 0, which is unmapped -> not viewable.
+        assert not server.window(app.wid).viewable
+        mwm.switch_desktop(0, 0)
+        assert server.window(app.wid).viewable
+
+    def test_new_windows_land_on_current_desktop(self, server, mwm):
+        mwm.switch_desktop(0, 2)
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        mwm.process_pending()
+        assert mwm.managed[app.wid].desktop == 2
+        assert server.window(app.wid).viewable
+
+    def test_sticky_windows_on_every_desktop(self, server, mwm):
+        clock = XClock(server, ["xclock", "-geometry", "+10+10"])
+        mwm.process_pending()
+        assert mwm.managed[clock.wid].sticky
+        for index in range(3):
+            mwm.switch_desktop(0, index)
+            assert server.window(clock.wid).viewable
+
+    def test_send_to_desktop(self, server, mwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        mwm.send_to_desktop(managed, 2)
+        assert managed.desktop == 2
+        assert not server.window(app.wid).viewable
+        mwm.switch_desktop(0, 2)
+        assert server.window(app.wid).viewable
+        # Desktop coordinates preserved across the move.
+        assert tuple(mwm.client_desktop_position(managed)) == (100, 100)
+
+    def test_swm_root_tracks_desktop(self, server, mwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        sc = mwm.screens[0]
+        prop = app.conn.get_property(app.wid, "SWM_ROOT")
+        assert prop.data[0] == sc.vdesks[0].window
+        mwm.send_to_desktop(managed, 1)
+        prop = app.conn.get_property(app.wid, "SWM_ROOT")
+        assert prop.data[0] == sc.vdesks[1].window
+
+    def test_desktop_functions(self, server, mwm):
+        sc = mwm.screens[0]
+        mwm.execute(FunctionCall("nextdesktop"))
+        assert sc.current_desktop == 1
+        mwm.execute(FunctionCall("prevdesktop"))
+        assert sc.current_desktop == 0
+        mwm.execute(FunctionCall("gotodesktop", "2"))
+        assert sc.current_desktop == 2
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+5+5"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        mwm.execute(FunctionCall("sendtodesktop", "0"), context=managed)
+        assert managed.desktop == 0
+
+    def test_switch_wraps_modulo(self, server, mwm):
+        sc = mwm.screens[0]
+        mwm.execute(FunctionCall("gotodesktop", "5"))
+        assert sc.current_desktop == 5 % 3
+
+    def test_panner_follows_current_desktop(self, server, mwm):
+        sc = mwm.screens[0]
+        a = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        mwm.process_pending()
+        assert len(sc.panner.miniature_rects()) == 1
+        mwm.switch_desktop(0, 1)
+        assert sc.panner.miniature_rects() == []
+        b = NaiveApp(server, ["naivedemo", "-geometry", "+200+200"])
+        mwm.process_pending()
+        assert len(sc.panner.miniature_rects()) == 1
+
+    def test_independent_pan_offsets(self, server, mwm):
+        sc = mwm.screens[0]
+        mwm.pan_to(0, 500, 400)
+        mwm.switch_desktop(0, 1)
+        assert (sc.vdesk.pan_x, sc.vdesk.pan_y) == (0, 0)
+        mwm.switch_desktop(0, 0)
+        assert (sc.vdesk.pan_x, sc.vdesk.pan_y) == (500, 400)
+
+
+class TestScrollbars:
+    @pytest.fixture
+    def swm_with_bars(self, server, db, tmp_path):
+        db.put("swm*virtualDesktop", "3000x2400")
+        db.put("swm*scrollbars", "True")
+        return Swm(server, db, places_path=str(tmp_path / "places"))
+
+    def test_bars_created(self, server, swm_with_bars):
+        bars = swm_with_bars.screens[0].scrollbars
+        assert bars is not None
+        assert server.window(bars.vertical).mapped
+        assert server.window(bars.horizontal).mapped
+
+    def test_no_bars_by_default(self, server, vwm):
+        assert vwm.screens[0].scrollbars is None
+
+    def test_click_pans_vertically(self, server, swm_with_bars):
+        wm = swm_with_bars
+        bars = wm.screens[0].scrollbars
+        origin = server.window(bars.vertical).position_in_root()
+        # Click near the bottom of the trough.
+        server.motion(origin.x + 5, origin.y + bars.trough_length(True) - 10)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+        vdesk = wm.screens[0].vdesk
+        assert vdesk.pan_y > 0
+
+    def test_click_pans_horizontally(self, server, swm_with_bars):
+        wm = swm_with_bars
+        bars = wm.screens[0].scrollbars
+        origin = server.window(bars.horizontal).position_in_root()
+        server.motion(origin.x + bars.trough_length(False) - 10, origin.y + 5)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+        assert wm.screens[0].vdesk.pan_x > 0
+
+    def test_thumb_reflects_view(self, server, swm_with_bars):
+        wm = swm_with_bars
+        bars = wm.screens[0].scrollbars
+        assert bars.thumb(True).y == 0
+        wm.pan_to(0, 0, 1200)
+        thumb = bars.thumb(True)
+        trough = bars.trough_length(True)
+        assert abs(thumb.y - trough * 1200 // 2400) <= 1
+
+    def test_thumb_extent_proportional(self, server, swm_with_bars):
+        bars = swm_with_bars.screens[0].scrollbars
+        thumb = bars.thumb(False)
+        trough = bars.trough_length(False)
+        assert abs(thumb.width - trough * 1152 // 3000) <= 1
+
+
+class TestResizeCorners:
+    def test_corners_created_for_openlook(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        assert managed.resize_corners
+        corners = [wid for wid, owner in wm.corner_windows.items()
+                   if owner is managed]
+        assert len(corners) == 4
+
+    def test_corner_click_starts_resize(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        rect = wm.frame_rect(managed)
+        # The very corner pixel is outside every decoration object.
+        server.motion(rect.x, rect.y + rect.height - 1)
+        server.button_press(1)
+        wm.process_pending()
+        assert wm.drag is not None and wm.drag.kind == "resize"
+        server.button_release(1)
+        wm.process_pending()
+
+    def test_corners_do_not_cover_buttons(self, server, wm):
+        """The pulldown button still gets its clicks (corners stack
+        below the objects)."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        button = managed.object_named("pulldown")
+        origin = server.window(button.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+        assert wm.active_menu is not None  # the menu opened, no resize
+        assert wm.drag is None
+
+    def test_no_corners_without_resource(self, server, db, tmp_path):
+        db.put("swm*panel.openLook.resizeCorners", "False")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        assert not wm.managed[app.wid].resize_corners
+        assert wm.corner_windows == {}
+
+
+class TestCrossingBindings:
+    def test_enter_binding_focus_follows_mouse(self, server, db, tmp_path):
+        db.put("swm*panel.openLook.bindings",
+               "<Btn1> : f.raise <Enter> : f.focus")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        rect = wm.frame_rect(managed)
+        server.motion(900, 800)
+        wm.process_pending()
+        server.motion(rect.x + 1, rect.y + rect.height // 2)
+        wm.process_pending()
+        focus, _ = app.conn.get_input_focus()
+        assert focus == app.wid
+
+    def test_leave_binding(self, server, db, tmp_path):
+        db.put("swm*button.nail.bindings", "<Leave> : f.beep")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        nail = managed.object_named("nail")
+        origin = server.window(nail.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        before = wm.beeps
+        server.motion(900, 800)
+        wm.process_pending()
+        assert wm.beeps == before + 1

@@ -1,0 +1,114 @@
+"""ICCCM compliance details: transients, focus models, state
+transitions."""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro import icccm
+from repro.clients import MultiWindowApp, XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+
+
+class TestTransientDecoration:
+    def test_transient_marker_in_resource_path(self, server, db, tmp_path):
+        """swm*transient*decoration works exactly like the sticky and
+        shaped markers."""
+        db.put("swm*transient*decoration", "none")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = MultiWindowApp(server, ["multiwin", "-geometry", "+50+50"])
+        aux = app.open_secondary(400, 100)
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "openLook"
+        assert wm.managed[aux].decoration_name == ""
+
+    def test_transient_without_resource_gets_normal_decoration(
+        self, server, wm
+    ):
+        app = MultiWindowApp(server, ["multiwin", "-geometry", "+50+50"])
+        aux = app.open_secondary(400, 100)
+        wm.process_pending()
+        assert wm.managed[aux].decoration_name == "openLook"
+
+    def test_transient_specific_beats_marker(self, server, db, tmp_path):
+        db.put("swm*transient*decoration", "none")
+        db.put("swm*transient*multiwin-aux.multiwin-aux.decoration",
+               "shapeit")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = MultiWindowApp(server, ["multiwin"])
+        aux = app.open_secondary(400, 100)
+        wm.process_pending()
+        assert wm.managed[aux].decoration_name == "shapeit"
+
+
+class TestFocusModels:
+    def test_take_focus_protocol_message(self, server, wm):
+        """A WM_TAKE_FOCUS client gets the ClientMessage, not a raw
+        SetInputFocus."""
+        app = XTerm(server, ["xterm"])
+        icccm.set_wm_protocols(app.conn, app.wid, ["WM_TAKE_FOCUS"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        app.conn.events()
+        focus_before, _ = app.conn.get_input_focus()
+        wm.focus_managed(managed)
+        messages = [
+            e for e in app.conn.events() if isinstance(e, ev.ClientMessage)
+        ]
+        assert messages
+        names = [app.conn.get_atom_name(m.data[0]) for m in messages]
+        assert "WM_TAKE_FOCUS" in names
+        focus_after, _ = app.conn.get_input_focus()
+        assert focus_after == focus_before  # the client decides
+
+    def test_passive_focus_set_directly(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.focus_managed(wm.managed[app.wid])
+        focus, _ = app.conn.get_input_focus()
+        assert focus == app.wid
+
+
+class TestStateTransitions:
+    def test_withdraw_then_remap_fresh_state(self, server, wm):
+        """ICCCM: withdrawn windows renegotiate from scratch."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        first_frame = wm.managed[app.wid].frame
+        app.conn.unmap_window(app.wid)
+        wm.process_pending()
+        state = icccm.get_wm_state(app.conn, app.wid)
+        assert state.state == icccm.WITHDRAWN_STATE
+        app.conn.map_window(app.wid)
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        assert managed.frame != first_frame
+        assert icccm.get_wm_state(app.conn, app.wid).state == (
+            icccm.NORMAL_STATE
+        )
+
+    def test_iconify_keeps_client_mapped_inside_frame(self, server, wm):
+        """swm unmaps the *frame*; the client window itself stays
+        mapped (it is simply unviewable), so no withdrawal is seen."""
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.iconify(managed)
+        client = server.window(app.wid)
+        assert client.mapped
+        assert not client.viewable
+
+    def test_hints_change_applies_to_next_resize(self, server, wm):
+        from repro.icccm.hints import P_MIN_SIZE, SizeHints
+
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        icccm.set_wm_normal_hints(
+            app.conn, app.wid,
+            SizeHints(flags=P_MIN_SIZE, min_width=400, min_height=300),
+        )
+        wm.process_pending()
+        wm.resize_managed(managed, 100, 100)
+        _, _, width, height, _ = app.conn.get_geometry(app.wid)
+        assert (width, height) == (400, 300)

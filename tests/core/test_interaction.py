@@ -1,0 +1,309 @@
+"""Bindings dispatch, menus, swmcmd, and interactive move/resize."""
+
+import pytest
+
+from repro.clients import XClock, XTerm
+from repro.core.swmcmd import SwmCmdError, parse_command, parse_command_stream, swmcmd
+from repro.icccm.hints import ICONIC_STATE
+
+
+def object_origin(server, managed, name):
+    obj = managed.object_named(name)
+    return server.window(obj.window).position_in_root()
+
+
+def click_at(server, x, y, button=1):
+    server.motion(x, y)
+    server.button_press(button)
+    server.button_release(button)
+
+
+class TestBindingsDispatch:
+    def test_name_button_raise_binding(self, server, wm):
+        """Template: <Btn1> on the name button raises."""
+        a = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        b = XTerm(server, ["xterm", "-geometry", "+80+80"])
+        wm.process_pending()
+        ma = wm.managed[a.wid]
+        origin = object_origin(server, ma, "name")
+        click_at(server, origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        frame = server.window(ma.frame)
+        assert frame.parent.children[-1] is frame
+
+    def test_nail_button_toggles_sticky(self, server, vwm):
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        origin = object_origin(server, managed, "nail")
+        click_at(server, origin.x + 2, origin.y + 2)
+        vwm.process_pending()
+        assert managed.sticky
+
+    def test_panel_binding_fallback(self, server, wm):
+        """A click on the decoration panel itself (not a button) uses
+        the panel's own bindings."""
+        a = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        b = XTerm(server, ["xterm", "-geometry", "+300+50"])
+        wm.process_pending()
+        ma = wm.managed[a.wid]
+        wm.lower_managed(ma)
+        frame_rect = wm.frame_rect(ma)
+        # Mid-left margin of the frame: panel area — not a button, and
+        # away from the resize-corner hot zones.
+        click_at(server, frame_rect.x + 1, frame_rect.y + frame_rect.height // 2)
+        wm.process_pending()
+        frame = server.window(ma.frame)
+        assert frame.parent.children[-1] is frame
+
+    def test_key_binding_on_object(self, server, wm, db):
+        app = XTerm(server, ["xterm", "-geometry", "+50+300"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        origin = object_origin(server, managed, "name")
+        server.motion(origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        # The OpenLook template has no key bindings; add one dynamically.
+        managed.object_named("name").set_bindings(
+            "<Btn1> : f.raise <Key>Up : f.warpvertical(-50)"
+        )
+        pointer_y = server.pointer.y
+        server.key_press("Up")
+        server.key_release("Up")
+        wm.process_pending()
+        assert server.pointer.y == pointer_y - 50
+
+    def test_root_bindings(self, server, db):
+        from repro.core.wm import Swm
+
+        db.put("swm*panel.root.bindings", "<Btn3> : f.beep")
+        wm = Swm(server, db)
+        before = wm.beeps
+        click_at(server, 600, 600, button=3)
+        wm.process_pending()
+        assert wm.beeps == before + 1
+
+    def test_unbound_click_is_ignored(self, server, wm):
+        XTerm(server, ["xterm", "-geometry", "+50+50"])
+        wm.process_pending()
+        click_at(server, 1000, 850, button=5)
+        wm.process_pending()  # no exception, nothing happens
+
+
+class TestMenus:
+    def test_pulldown_opens_menu(self, server, wm):
+        """Template: pulldown button pops the windowops menu."""
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        origin = object_origin(server, managed, "pulldown")
+        click_at(server, origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        assert wm.active_menu is not None
+        menu, _, context = wm.active_menu
+        assert context is managed
+        assert len(menu.item_windows) == 8
+
+    def test_menu_item_executes_with_context(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        origin = object_origin(server, managed, "pulldown")
+        click_at(server, origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        menu, _, _ = wm.active_menu
+        # Click the "Iconify" item (index 4 in the template's menu).
+        labels = [item.label for item in menu.items]
+        index = labels.index("Iconify")
+        item_window = menu.item_windows[index]
+        item_origin = server.window(item_window).position_in_root()
+        click_at(server, item_origin.x + 2, item_origin.y + 2)
+        wm.process_pending()
+        assert managed.state == ICONIC_STATE
+        assert wm.active_menu is None
+
+    def test_click_outside_closes_menu(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        origin = object_origin(server, managed, "pulldown")
+        click_at(server, origin.x + 2, origin.y + 2)
+        wm.process_pending()
+        assert wm.active_menu is not None
+        click_at(server, 1100, 880)
+        wm.process_pending()
+        assert wm.active_menu is None
+
+    def test_fmenu_function_directly(self, server, wm):
+        from repro.core.bindings import FunctionCall
+
+        wm.execute(FunctionCall("menu", "windowops"), pointer=(300, 300))
+        assert wm.active_menu is not None
+        menu, _, _ = wm.active_menu
+        x, y, _, _, _ = wm.conn.get_geometry(menu.window)
+        assert (x, y) == (300, 300)
+
+
+class TestSwmCmd:
+    def test_parse_command(self):
+        call = parse_command("f.raise")
+        assert call.name == "raise" and call.argument is None
+
+    def test_parse_with_argument(self):
+        call = parse_command("f.iconify(#0x1234)")
+        assert call.argument == "#0x1234"
+
+    def test_parse_without_prefix(self):
+        assert parse_command("raise").name == "raise"
+
+    def test_parse_bad(self):
+        with pytest.raises(SwmCmdError):
+            parse_command("not a command!")
+
+    def test_parse_stream(self):
+        calls = parse_command_stream("f.raise\nf.lower\n\n")
+        assert [c.name for c in calls] == ["raise", "lower"]
+
+    def test_swmcmd_executes_windowless_function(self, server, wm):
+        before = wm.beeps
+        swmcmd(server, "f.beep")
+        wm.process_pending()
+        assert wm.beeps == before + 1
+
+    def test_swmcmd_with_window_id(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        swmcmd(server, f"f.iconify(#{app.wid:#x})")
+        wm.process_pending()
+        assert wm.managed[app.wid].state == ICONIC_STATE
+
+    def test_swmcmd_prompts_for_window(self, server, wm):
+        """The paper: 'swmcmd f.raise' changes the pointer to a
+        question mark prompting for a window."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.lower_managed(managed)
+        swmcmd(server, "f.iconify")
+        wm.process_pending()
+        assert wm.selection is not None
+        assert server.active_grab.cursor == "question_arrow"
+        rect = wm.frame_rect(managed)
+        click_at(server, rect.x + 4, rect.y + 25)
+        wm.process_pending()
+        assert managed.state == ICONIC_STATE
+
+    def test_swmcmd_property_deleted_after_execution(self, server, wm):
+        swmcmd(server, "f.beep")
+        wm.process_pending()
+        value = wm.conn.get_string_property(
+            wm.conn.root_window(), "SWM_COMMAND"
+        )
+        assert not value
+
+    def test_swmcmd_multiple_commands_accumulate(self, server, wm):
+        """Commands append to the property; swm runs them all."""
+        from repro.xserver import ClientConnection
+        from repro.xserver.properties import PROP_MODE_APPEND
+
+        # Write two commands before the WM drains (handler runs per
+        # notify, but appends are cumulative if it were busy).
+        before = wm.beeps
+        swmcmd(server, "f.beep")
+        swmcmd(server, "f.beep")
+        wm.process_pending()
+        assert wm.beeps == before + 2
+
+    def test_swmcmd_bad_function_beeps(self, server, wm):
+        before = wm.beeps
+        swmcmd(server, "f.noSuchFunction")
+        wm.process_pending()
+        assert wm.beeps == before + 1
+
+    def test_setimage_via_swmcmd(self, server, wm):
+        """'This interface could also be used for things such as
+        changing the shape of a button to indicate the status of a
+        process.'"""
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        swmcmd(server, "f.setimage(nail:mailfull)")
+        wm.process_pending()
+        assert managed.object_named("nail").image.width == 16
+
+
+class TestInteractiveMoveResize:
+    def test_interactive_move(self, server, wm):
+        """f.move via the name button: press, drag, release."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        before = wm.frame_rect(managed)
+        origin = object_origin(server, managed, "name")
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(2)  # template: <Btn2> on name = f.move
+        wm.process_pending()
+        assert wm.drag is not None and wm.drag.kind == "move"
+        server.motion(origin.x + 202, origin.y + 102)
+        server.button_release(2)
+        wm.process_pending()
+        after = wm.frame_rect(managed)
+        assert (after.x, after.y) == (before.x + 200, before.y + 100)
+
+    def test_move_sends_synthetic_configure(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        app.conn.events()
+        origin = object_origin(server, managed, "name")
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(2)
+        server.motion(origin.x + 52, origin.y + 52)
+        server.button_release(2)
+        wm.process_pending()
+        import repro.xserver.events as ev
+
+        notifies = [
+            e for e in app.conn.events()
+            if isinstance(e, ev.ConfigureNotify) and e.send_event
+        ]
+        assert notifies
+        # The client knows its new believed position.
+        assert app.believed_position == (150, 150)
+
+    def test_interactive_resize(self, server, wm):
+        """Template: <Btn3> on the decoration panel = f.resize; the
+        press inside the client area propagates up to the panel."""
+        from repro.clients import XLoad
+
+        app = XLoad(server, ["xload", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        rect = wm.frame_rect(managed)
+        # Press in the panel area (bottom-right, inside the frame).
+        press_x = rect.x + rect.width - 3
+        press_y = rect.y + rect.height - 3
+        server.motion(press_x, press_y)
+        server.button_press(3)
+        wm.process_pending()
+        assert wm.drag is not None and wm.drag.kind == "resize"
+        server.motion(press_x + 60, press_y + 40)
+        server.button_release(3)
+        wm.process_pending()
+        after = wm.frame_rect(managed)
+        assert after.width == rect.width + 60
+        assert after.height == rect.height + 40
+
+    def test_resize_respects_hints_during_drag(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        rect = wm.frame_rect(managed)
+        server.motion(rect.x + rect.width - 3, rect.y + rect.height - 3)
+        server.button_press(3)
+        server.motion(rect.x + rect.width + 37, rect.y + rect.height + 23)
+        server.button_release(3)
+        wm.process_pending()
+        _, _, width, height, _ = app.conn.get_geometry(app.wid)
+        assert (width - 16) % 6 == 0
+        assert (height - 16) % 13 == 0

@@ -1,0 +1,71 @@
+"""<BtnNMotion> / <Motion> bindings: drag-to-move and hover actions."""
+
+import pytest
+
+from repro.clients import XTerm
+from repro.core.bindings import bindings_for_motion, parse_bindings
+import repro.xserver.events as ev
+
+
+class TestMotionMatching:
+    def test_button_motion_requires_button_held(self):
+        clauses = parse_bindings("<Btn2Motion> : f.move")
+        assert bindings_for_motion(clauses, ev.BUTTON2_MASK) is not None
+        assert bindings_for_motion(clauses, 0) is None
+        assert bindings_for_motion(clauses, ev.BUTTON1_MASK) is None
+
+    def test_plain_motion_always_matches(self):
+        clauses = parse_bindings("<Motion> : f.beep")
+        assert bindings_for_motion(clauses, 0) is not None
+        assert bindings_for_motion(clauses, ev.BUTTON1_MASK) is not None
+
+    def test_modifier_constrained_motion(self):
+        clauses = parse_bindings("Shift<Btn1Motion> : f.move")
+        held = ev.BUTTON1_MASK | ev.SHIFT_MASK
+        assert bindings_for_motion(clauses, held) is not None
+        assert bindings_for_motion(clauses, ev.BUTTON1_MASK) is None
+
+
+class TestDragToMove:
+    def test_btn_motion_starts_move(self, server, db, tmp_path):
+        """The classic 'drag the titlebar to move' idiom as one
+        resource line."""
+        from repro.core.wm import Swm
+
+        db.put("swm*button.name.bindings",
+               "<Btn1> : f.raise <Btn1Motion> : f.move")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        start = wm.frame_rect(managed)
+        name_obj = managed.object_named("name")
+        origin = server.window(name_obj.window).position_in_root()
+        server.motion(origin.x + 4, origin.y + 4)
+        server.button_press(1)
+        wm.process_pending()
+        assert wm.drag is None  # press alone just raises
+        server.motion(origin.x + 10, origin.y + 8)  # drag begins
+        wm.process_pending()
+        assert wm.drag is not None and wm.drag.kind == "move"
+        server.motion(origin.x + 64, origin.y + 44)
+        server.button_release(1)
+        wm.process_pending()
+        after = wm.frame_rect(managed)
+        # The move started at the first motion (origin+10, +8) and
+        # ended at (origin+64, +44): a 54x36 displacement.
+        assert (after.x - start.x, after.y - start.y) == (54, 36)
+
+    def test_motion_without_binding_is_ignored(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        name_obj = managed.object_named("name")
+        origin = server.window(name_obj.window).position_in_root()
+        server.motion(origin.x + 4, origin.y + 4)
+        server.button_press(4)
+        server.motion(origin.x + 10, origin.y + 8)
+        wm.process_pending()
+        assert wm.drag is None
+        server.button_release(4)
+        wm.process_pending()

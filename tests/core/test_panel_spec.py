@@ -1,0 +1,83 @@
+"""Panel definition parsing."""
+
+import pytest
+
+from repro.core.panel_spec import (
+    ObjectSpec,
+    PanelSpecError,
+    has_client_slot,
+    parse_panel_spec,
+)
+from repro.xserver.geometry import CENTER
+
+
+class TestParsePanelSpec:
+    def test_openlook_definition(self):
+        """The exact Figure 1 panel definition from the paper."""
+        specs = parse_panel_spec(
+            "button pulldown +0+0 "
+            "button name +C+0 "
+            "button nail -0+0 "
+            "panel client +0+1"
+        )
+        assert [s.name for s in specs] == ["pulldown", "name", "nail", "client"]
+        name = specs[1]
+        assert name.col is CENTER and name.row == 0
+        nail = specs[2]
+        assert nail.col == 0 and nail.col_from_right
+        client = specs[3]
+        assert client.type == "panel" and client.row == 1
+
+    def test_root_panel_definition(self):
+        """The Figure 2 RootPanel: a 4x2 button grid."""
+        specs = parse_panel_spec(
+            "button quit +0+0 button restart +1+0 "
+            "button iconify +2+0 button deiconify +3+0 "
+            "button move +0+1 button resize +1+1 "
+            "button raise +2+1 button lower +3+1"
+        )
+        assert len(specs) == 8
+        rows = {s.row for s in specs}
+        assert rows == {0, 1}
+        assert all(s.type == "button" for s in specs)
+
+    def test_xicon_definition(self):
+        specs = parse_panel_spec(
+            "button iconimage +C+0 button iconname +C+1"
+        )
+        assert all(s.col is CENTER for s in specs)
+
+    def test_not_triples(self):
+        with pytest.raises(PanelSpecError):
+            parse_panel_spec("button foo")
+
+    def test_unknown_type(self):
+        with pytest.raises(PanelSpecError):
+            parse_panel_spec("widget foo +0+0")
+
+    def test_duplicate_names(self):
+        with pytest.raises(PanelSpecError):
+            parse_panel_spec("button a +0+0 button a +1+0")
+
+    def test_bad_position(self):
+        with pytest.raises(PanelSpecError):
+            parse_panel_spec("button a nowhere")
+
+    def test_menu_and_text_types(self):
+        specs = parse_panel_spec("text label +0+0 menu actions +1+0")
+        assert specs[0].type == "text"
+        assert specs[1].type == "menu"
+
+
+class TestClientSlot:
+    def test_decoration_has_client(self):
+        specs = parse_panel_spec("button name +C+0 panel client +0+1")
+        assert has_client_slot(specs)
+
+    def test_button_named_client_does_not_count(self):
+        specs = parse_panel_spec("button client +0+0")
+        assert not has_client_slot(specs)
+
+    def test_no_client(self):
+        specs = parse_panel_spec("button a +0+0")
+        assert not has_client_slot(specs)

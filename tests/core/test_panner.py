@@ -1,0 +1,198 @@
+"""The Virtual Desktop panner (§6.1, Figure 3)."""
+
+import pytest
+
+from repro.clients import NaiveApp, XTerm
+
+
+@pytest.fixture
+def panner(vwm):
+    return vwm.screens[0].panner
+
+
+class TestPannerBasics:
+    def test_panner_created_with_vdesk(self, server, vwm, panner):
+        assert panner is not None
+        assert server.window(panner.window).viewable
+
+    def test_no_panner_without_vdesk(self, server, wm):
+        assert wm.screens[0].panner is None
+
+    def test_panner_disabled_by_resource(self, server, vdesk_db, tmp_path):
+        from repro.core.wm import Swm
+
+        vdesk_db.put("swm*panner", "False")
+        wm = Swm(server, vdesk_db)
+        assert wm.screens[0].panner is None
+        assert wm.screens[0].vdesk is not None
+
+    def test_panner_is_managed_and_sticky(self, server, vwm, panner):
+        managed = vwm.managed[panner.window]
+        assert managed.sticky
+        assert managed.is_internal
+
+    def test_panner_size_follows_scale(self, server, vwm, panner):
+        assert panner.panner_size().width == 3000 // panner.scale
+        assert panner.panner_size().height == 2400 // panner.scale
+
+    def test_coordinate_mapping_roundtrip(self, panner):
+        desk = panner.panner_to_desktop(10, 20)
+        assert tuple(desk) == (10 * panner.scale, 20 * panner.scale)
+        mini = panner.desktop_to_panner(desk.x, desk.y)
+        assert tuple(mini) == (10, 20)
+
+
+class TestMiniatures:
+    def test_miniature_for_each_desktop_window(self, server, vwm, panner):
+        apps = [
+            NaiveApp(server, ["naivedemo", "-geometry", f"+{200 * i}+100"])
+            for i in range(1, 4)
+        ]
+        vwm.process_pending()
+        minis = panner.miniature_rects()
+        assert len(minis) == 3
+
+    def test_sticky_windows_not_in_miniatures(self, server, vwm, panner):
+        from repro.clients import XClock
+
+        XClock(server, ["xclock"])  # sticky per template
+        vwm.process_pending()
+        assert panner.miniature_rects() == []
+
+    def test_iconified_windows_not_in_miniatures(self, server, vwm, panner):
+        app = XTerm(server, ["xterm"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        assert len(panner.miniature_rects()) == 1
+        vwm.iconify(managed)
+        assert panner.miniature_rects() == []
+
+    def test_miniature_positions_scale(self, server, vwm, panner):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+1600+800"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        mini, hit = panner.miniature_rects()[0]
+        frame = vwm.frame_rect(managed)
+        assert mini.x == frame.x // panner.scale
+        assert mini.y == frame.y // panner.scale
+        assert hit is managed
+
+    def test_viewport_outline(self, server, vwm, panner):
+        vwm.pan_to(0, 800, 640)
+        outline = panner.viewport_outline()
+        assert outline.x == 800 // panner.scale
+        assert outline.y == 640 // panner.scale
+        assert outline.width == 1152 // panner.scale
+
+    def test_miniature_at_hit_test(self, server, vwm, panner):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+1600+800"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        mini, _ = panner.miniature_rects()[0]
+        assert panner.miniature_at(mini.x + 1, mini.y + 1) is managed
+        assert panner.miniature_at(0, 0) is None
+
+
+class TestPannerInteraction:
+    def test_button1_pans(self, server, vwm, panner):
+        """Figure 3: button 1 moves the viewport outline."""
+        drag = panner.press(1, 100, 80)
+        assert drag is not None and drag.kind == "viewport"
+        result = panner.release(100, 80)
+        assert result == "panned"
+        vdesk = vwm.screens[0].vdesk
+        # View centered on desktop (1600, 1280).
+        assert vdesk.pan_x == 100 * panner.scale - 1152 // 2
+        assert vdesk.pan_y == 80 * panner.scale - 900 // 2
+
+    def test_button2_moves_window(self, server, vwm, panner):
+        """Button 2 on a miniature starts a window move; dropping in
+        the panner repositions anywhere on the desktop."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+160+80"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        mini, _ = panner.miniature_rects()[0]
+        drag = panner.press(2, mini.x, mini.y)
+        assert drag is not None and drag.kind == "window"
+        result = panner.release(100, 100)
+        assert result == "moved"
+        rect = vwm.frame_rect(managed)
+        # The drop preserves the grab point within the miniature, so
+        # the frame lands within one panner pixel of the target.
+        assert abs(rect.x - 100 * panner.scale) <= panner.scale
+        assert abs(rect.y - 100 * panner.scale) <= panner.scale
+
+    def test_button2_on_empty_area_does_nothing(self, server, vwm, panner):
+        assert panner.press(2, 5, 5) is None
+
+    def test_drag_out_of_panner_fine_tunes(self, server, vwm, panner):
+        """Moving the pointer out of the panner during the move shows a
+        full-size outline for fine placement in the current view."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+160+80"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        vwm.pan_to(0, 500, 400)
+        mini, _ = panner.miniature_rects()[0]
+        panner.press(2, mini.x, mini.y)
+        panner.motion(-400, -300)  # way outside the panner
+        assert panner.drag.outside
+        result = panner.release(-400, -300)
+        assert result == "moved-outside"
+        # The window landed at view position (panner origin - 400, ...)
+        # converted to desktop coordinates.
+        origin = panner._panner_screen_origin()
+        rect = vwm.frame_rect(managed)
+        assert rect.x == 500 + origin.x - 400
+        assert rect.y == 400 + origin.y - 300
+
+    def test_release_without_press(self, panner):
+        assert panner.release(10, 10) is None
+
+    def test_resizing_panner_resizes_desktop(self, server, vwm, panner):
+        """§6.1: 'The act of resizing the panner object causes the
+        underlying Virtual Desktop window to resize.'"""
+        vdesk = vwm.screens[0].vdesk
+        panner.resized(250, 200)
+        assert vdesk.size.width == 250 * panner.scale
+        assert vdesk.size.height == 200 * panner.scale
+
+    def test_resize_through_wm_resize_managed(self, server, vwm, panner):
+        """Resizing the panner *window* through normal WM machinery
+        drives the desktop resize."""
+        managed = vwm.managed[panner.window]
+        vdesk = vwm.screens[0].vdesk
+        vwm.resize_managed(managed, 150, 120)
+        assert vdesk.size.width == 150 * panner.scale
+        assert vdesk.size.height == 120 * panner.scale
+
+
+class TestPannerEvents:
+    def test_click_in_panner_window_pans(self, server, vwm, panner):
+        """End-to-end: real pointer events on the panner window."""
+        managed = vwm.managed[panner.window]
+        origin = server.window(panner.window).position_in_root()
+        server.motion(origin.x + 100, origin.y + 80)
+        server.button_press(1)
+        server.button_release(1)
+        vwm.process_pending()
+        vdesk = vwm.screens[0].vdesk
+        assert (vdesk.pan_x, vdesk.pan_y) != (0, 0)
+
+    def test_move_drag_dropped_into_panner(self, server, vwm, panner):
+        """A move started on the client window can be dropped into the
+        panner, moving the window to any portion of the desktop."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+300+200"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        vwm.begin_move(managed, (310, 210))
+        panner_origin = server.window(panner.window).position_in_root()
+        # Drag the pointer into the panner at miniature coords (50, 50).
+        server.motion(panner_origin.x + 50, panner_origin.y + 50)
+        vwm.process_pending()
+        assert vwm.drag is not None and vwm.drag.in_panner
+        server.button_release(1)
+        vwm.process_pending()
+        rect = vwm.frame_rect(managed)
+        # Dropped around desktop (50*scale, 50*scale).
+        assert abs(rect.x - 50 * panner.scale) <= panner.scale
+        assert abs(rect.y - 50 * panner.scale) <= panner.scale

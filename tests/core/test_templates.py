@@ -1,0 +1,171 @@
+"""The shipped template files (§3): OpenLook+, Motif, default."""
+
+import pytest
+
+from repro.clients import OClock, XTerm
+from repro.core.templates import (
+    DEFAULT_TEMPLATE,
+    MOTIF_TEMPLATE,
+    OPENLOOK_TEMPLATE,
+    TEMPLATES,
+    load_template,
+)
+from repro.core.wm import Swm
+from repro.figures import figure1_decoration
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+class TestTemplateLoading:
+    def test_all_templates_parse(self):
+        for name in TEMPLATES:
+            db = load_template(name)
+            assert len(db) > 0
+
+    def test_unknown_template(self):
+        with pytest.raises(KeyError):
+            load_template("CDE")
+
+    def test_load_into_existing_db(self):
+        db = load_template("OpenLook+")
+        load_template("RootPanel", db)
+        assert db.get(
+            ["swm", "panel", "RootPanel"], ["Swm", "Panel", "RootPanel"]
+        ) is not None
+
+    def test_user_overrides_template(self):
+        """§3: 'include and then override defaults in a standard
+        template file'."""
+        db = load_template("OpenLook+")
+        db.put("swm*decoration", "myOwn")
+        assert db.get(
+            ["swm", "x", "decoration"], ["Swm", "X", "Decoration"]
+        ) == "myOwn"
+
+
+class TestMotifTemplate:
+    @pytest.fixture
+    def mwm(self, server, tmp_path):
+        return Swm(server, load_template("Motif"),
+                   places_path=str(tmp_path / "p"))
+
+    def test_motif_decoration_structure(self, server, mwm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        assert managed.decoration_name == "motif"
+        for name in ("menub", "name", "minimize", "maximize", "client"):
+            assert managed.object_named(name) is not None
+
+    def test_motif_minimize_button(self, server, mwm):
+        from repro.icccm.hints import ICONIC_STATE
+
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        button = managed.object_named("minimize")
+        origin = server.window(button.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(1)
+        server.button_release(1)
+        mwm.process_pending()
+        assert managed.state == ICONIC_STATE
+
+    def test_motif_maximize_button(self, server, mwm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        button = managed.object_named("maximize")
+        origin = server.window(button.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(1)
+        server.button_release(1)
+        mwm.process_pending()
+        assert managed.zoomed
+        assert wm_frame_covers_screen(server, mwm, managed)
+
+    def test_motif_window_menu(self, server, mwm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        button = managed.object_named("menub")
+        origin = server.window(button.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(1)
+        server.button_release(1)
+        mwm.process_pending()
+        assert mwm.active_menu is not None
+        menu, _, _ = mwm.active_menu
+        labels = [item.label for item in menu.items]
+        assert labels == ["Restore", "Move", "Size", "Minimize",
+                          "Maximize", "Lower", "Close"]
+
+    def test_motif_shaped_clients_still_shapeit(self, server, mwm):
+        app = OClock(server, ["oclock"])
+        mwm.process_pending()
+        assert mwm.managed[app.wid].decoration_name == "shapeit"
+
+    def test_motif_icon_uses_text_object(self, server, mwm):
+        app = XTerm(server, ["xterm"])
+        mwm.process_pending()
+        managed = mwm.managed[app.wid]
+        mwm.iconify(managed)
+        from repro.core.objects import TextObject
+
+        assert isinstance(managed.icon.panel.find("iconname"), TextObject)
+
+    def test_motif_figure_renders(self, server, mwm):
+        app = XTerm(server, ["xterm", "-geometry", "40x12+40+40",
+                             "-title", "mwm-demo"])
+        mwm.process_pending()
+        art = figure1_decoration(server, mwm, app.wid)
+        assert "mwm-demo" in art
+
+
+def wm_frame_covers_screen(server, wm, managed):
+    rect = wm.frame_rect(managed)
+    screen = server.screens[0]
+    return rect.width >= screen.width - 10 and rect.height >= screen.height - 10
+
+
+class TestDefaultTemplate:
+    def test_minimal_titlebar(self, server, tmp_path):
+        wm = Swm(server, load_template("default"),
+                 places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        assert managed.decoration_name == "default"
+        assert managed.object_named("name") is not None
+        assert managed.object_named("pulldown") is None
+
+    def test_default_lacks_shaped_decoration(self, server, tmp_path):
+        """The default template has no swm*shaped*decoration, so a
+        shaped client falls back to the generic decoration."""
+        wm = Swm(server, load_template("default"),
+                 places_path=str(tmp_path / "p"))
+        app = OClock(server, ["oclock"])
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "default"
+
+
+class TestTemplateEquivalence:
+    def test_same_client_three_looks(self, server):
+        """The policy-free pitch: one client, three decorations, zero
+        code."""
+        decorations = {}
+        for name in ("OpenLook+", "Motif", "default"):
+            srv = XServer(screens=[(1152, 900, 8)])
+            wm = Swm(srv, load_template(name), places_path="/tmp/t.places")
+            app = XTerm(srv, ["xterm", "-geometry", "+50+50"])
+            wm.process_pending()
+            decorations[name] = wm.managed[app.wid].decoration_name
+        assert decorations == {
+            "OpenLook+": "openLook",
+            "Motif": "motif",
+            "default": "default",
+        }

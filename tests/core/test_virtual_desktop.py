@@ -1,0 +1,259 @@
+"""The Virtual Desktop: panning, sticky windows, placement semantics (§6)."""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.clients import NaiveApp, OIApp, XClock, XTerm
+from repro.core.bindings import FunctionCall
+from repro.core.virtual import VirtualDesktop
+from repro.core.wm import SWM_ROOT_PROPERTY
+from repro.xserver import MAX_WINDOW_SIZE, ClientConnection, XServer
+from repro.xserver.geometry import Size
+
+
+class TestVirtualDesktopWindow:
+    def test_vroot_created(self, server, vwm):
+        vdesk = vwm.screens[0].vdesk
+        assert vdesk is not None
+        assert vdesk.size == Size(3000, 2400)
+        window = server.window(vdesk.window)
+        assert window.mapped
+        assert window.parent is server.screens[0].root
+
+    def test_desktop_size_limit(self, server):
+        conn = ClientConnection(server)
+        with pytest.raises(ValueError):
+            VirtualDesktop(conn, server.screens[0], Size(MAX_WINDOW_SIZE + 1, 100))
+
+    def test_desktop_at_max_size(self, server):
+        """§6.1: the desktop is limited only by the 32767x32767 window
+        size cap."""
+        conn = ClientConnection(server)
+        vdesk = VirtualDesktop(
+            conn, server.screens[0], Size(MAX_WINDOW_SIZE, MAX_WINDOW_SIZE)
+        )
+        assert vdesk.size.width == 32767
+
+    def test_desktop_smaller_than_screen_rejected(self, server):
+        conn = ClientConnection(server)
+        with pytest.raises(ValueError):
+            VirtualDesktop(conn, server.screens[0], Size(100, 100))
+
+    def test_pan_clamping(self, server, vwm):
+        vdesk = vwm.screens[0].vdesk
+        vdesk.pan_to(99999, 99999)
+        assert vdesk.pan_x == 3000 - 1152
+        assert vdesk.pan_y == 2400 - 900
+        vdesk.pan_to(-50, -50)
+        assert (vdesk.pan_x, vdesk.pan_y) == (0, 0)
+
+    def test_pan_moves_vroot(self, server, vwm):
+        vdesk = vwm.screens[0].vdesk
+        vdesk.pan_to(300, 200)
+        x, y, _, _, _ = vwm.conn.get_geometry(vdesk.window)
+        assert (x, y) == (-300, -200)
+
+    def test_resize_reclamps_pan(self, server, vwm):
+        vdesk = vwm.screens[0].vdesk
+        vdesk.pan_to(1848, 1500)
+        vdesk.resize(1500, 1000)
+        assert vdesk.pan_x <= 1500 - 1152
+        assert vdesk.pan_y <= 1000 - 900
+
+
+class TestPanningSemantics:
+    def test_window_on_desktop_does_not_move_on_pan(self, server, vwm):
+        """§6.3: a window at desktop 100,100 stays at 100,100 relative
+        to its root when the desktop pans; only its real-root position
+        changes."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        assert tuple(vwm.client_desktop_position(managed)) == (100, 100)
+        real_before = app.root_position()
+        vwm.pan_to(0, 25, 25)
+        assert tuple(vwm.client_desktop_position(managed)) == (100, 100)
+        real_after = app.root_position()
+        assert real_after == (real_before[0] - 25, real_before[1] - 25)
+
+    def test_pan_generates_no_configure_notify(self, server, vwm):
+        """§6.3: 'The window gets no ConfigureNotify events, real or
+        synthetic, because it hasn't moved with respect to its root.'"""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        vwm.process_pending()
+        app.conn.events()
+        for offset in range(0, 500, 50):
+            vwm.pan_to(0, offset, offset)
+        notifies = [e for e in app.conn.events() if isinstance(e, ev.ConfigureNotify)]
+        assert notifies == []
+
+    def test_fpan_function(self, server, vwm):
+        vwm.execute(FunctionCall("pan", "100 50"))
+        vdesk = vwm.screens[0].vdesk
+        assert (vdesk.pan_x, vdesk.pan_y) == (100, 50)
+        vwm.execute(FunctionCall("panto", "0 0"))
+        assert (vdesk.pan_x, vdesk.pan_y) == (0, 0)
+
+    def test_window_placed_offscreen_is_reachable_by_panning(self, server, vwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "200x200+2000+1500"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        # Not visible in the initial view.
+        assert not server.window(app.wid).rect_in_root().intersects(
+            server.screens[0].rect
+        )
+        vwm.pan_to(0, 1900, 1400)
+        assert server.window(app.wid).rect_in_root().intersects(
+            server.screens[0].rect
+        )
+
+    def test_warpto_pans_to_window(self, server, vwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+2500+2000"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        vwm.execute(FunctionCall("warpto"), context=managed)
+        vdesk = vwm.screens[0].vdesk
+        assert vdesk.pan_x > 0 and vdesk.pan_y > 0
+        # The pointer is over the frame now.
+        assert vwm.find_managed(server.pointer.window.id) is managed
+
+
+class TestPositionHints:
+    """§6.3's worked example: desktop panned to 1000,1000."""
+
+    def pan(self, vwm):
+        vwm.pan_to(0, 1000, 1000)
+
+    def test_usposition_is_absolute(self, server, vwm):
+        self.pan(vwm)
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        assert tuple(vwm.client_desktop_position(managed)) == (100, 100)
+
+    def test_pposition_is_view_relative(self, server, vwm):
+        self.pan(vwm)
+        app = NaiveApp(
+            server, ["naivedemo", "-geometry", "+100+100"], user_positioned=False
+        )
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        assert tuple(vwm.client_desktop_position(managed)) == (1100, 1100)
+
+    def test_no_hints_cascades_in_view(self, server, vwm):
+        self.pan(vwm)
+        app = NaiveApp(server, ["naivedemo"])
+        vwm.process_pending()
+        position = vwm.client_desktop_position(vwm.managed[app.wid])
+        view = vwm.screens[0].vdesk.view_rect()
+        assert view.contains(position.x, position.y)
+
+
+class TestStickyWindows:
+    def test_sticky_from_resources(self, server, vwm):
+        """swm*xclock.XClock.sticky: True in the template."""
+        app = XClock(server, ["xclock"])
+        vwm.process_pending()
+        assert vwm.managed[app.wid].sticky
+
+    def test_sticky_window_parent_is_real_root(self, server, vwm):
+        app = XClock(server, ["xclock"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        frame = server.window(managed.frame)
+        assert frame.parent is server.screens[0].root
+
+    def test_sticky_window_does_not_move_on_pan(self, server, vwm):
+        """§6.2: sticky windows appear stuck to the glass."""
+        app = XClock(server, ["xclock", "-geometry", "+30+40"])
+        vwm.process_pending()
+        before = app.root_position()
+        vwm.pan_to(0, 700, 600)
+        assert app.root_position() == before
+
+    def test_non_sticky_window_moves_on_pan(self, server, vwm):
+        app = XTerm(server, ["xterm", "-geometry", "+30+40"])
+        vwm.process_pending()
+        before = app.root_position()
+        vwm.pan_to(0, 700, 600)
+        after = app.root_position()
+        assert after != before
+
+    def test_stick_unstick_cycle(self, server, vwm):
+        app = XTerm(server, ["xterm", "-geometry", "+200+150"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        vwm.pan_to(0, 100, 100)
+        screen_before = app.root_position()
+        vwm.execute(FunctionCall("togglestick"), context=managed)
+        assert managed.sticky
+        # Sticking preserves the on-screen position.
+        assert app.root_position() == screen_before
+        vwm.pan_to(0, 400, 400)
+        assert app.root_position() == screen_before  # stuck to the glass
+        vwm.execute(FunctionCall("togglestick"), context=managed)
+        assert not managed.sticky
+        assert app.root_position() == screen_before  # still where it was
+        vwm.pan_to(0, 500, 500)
+        assert app.root_position() != screen_before  # pans again
+
+    def test_sticky_decoration_differs(self, server, vwm):
+        """§6.2: 'decorations can be dependent on whether or not the
+        client window is sticky' (swm*sticky*decoration)."""
+        clock = XClock(server, ["xclock"])
+        term = XTerm(server, ["xterm"])
+        vwm.process_pending()
+        assert vwm.managed[clock.wid].decoration_name == "stickyPanel"
+        assert vwm.managed[term.wid].decoration_name == "openLook"
+
+    def test_swm_root_property_tracks_stickiness(self, server, vwm):
+        """§6.3: the SWM_ROOT property is updated whenever the client's
+        root changes (stick/unstick)."""
+        app = XTerm(server, ["xterm"])
+        vwm.process_pending()
+        managed = vwm.managed[app.wid]
+        vdesk = vwm.screens[0].vdesk
+        prop = app.conn.get_property(app.wid, SWM_ROOT_PROPERTY)
+        assert prop.data[0] == vdesk.window
+        vwm.stick(managed)
+        prop = app.conn.get_property(app.wid, SWM_ROOT_PROPERTY)
+        assert prop.data[0] == app.conn.root_window()
+        vwm.unstick(managed)
+        prop = app.conn.get_property(app.wid, SWM_ROOT_PROPERTY)
+        assert prop.data[0] == vdesk.window
+
+
+class TestPopupPositioning:
+    """The A2 ablation scenario: §6.3's popup-placement problem and the
+    SWM_ROOT fix."""
+
+    def test_naive_client_misplaces_popup_after_pan(self, server, vwm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+1500+1200"])
+        vwm.process_pending()
+        vwm.pan_to(0, 1400, 1100)  # window now visible at ~(100,100)
+        popup = app.popup_at_offset(20, 20)
+        # The naive client positioned against the real root: the popup
+        # is NOT adjacent to the window on the desktop.
+        popup_rect = server.window(popup).rect_in_root()
+        window_rect = server.window(app.wid).rect_in_root()
+        assert abs(popup_rect.x - (window_rect.x + 20)) > 500
+
+    def test_oi_client_places_popup_correctly(self, server, vwm):
+        """The OI toolkit reads SWM_ROOT and positions popups against
+        the Virtual Desktop window."""
+        app = OIApp(server, ["oidemo", "-geometry", "+1500+1200"])
+        vwm.process_pending()
+        vwm.pan_to(0, 1400, 1100)
+        popup = app.popup_at_offset(20, 20)
+        popup_rect = server.window(popup).rect_in_root()
+        window_rect = server.window(app.wid).rect_in_root()
+        assert popup_rect.x == window_rect.x + 20
+        assert popup_rect.y == window_rect.y + 20
+
+    def test_without_vdesk_both_behave(self, server, wm):
+        app = NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        wm.process_pending()
+        popup = app.popup_at_offset(10, 10)
+        popup_rect = server.window(popup).rect_in_root()
+        window_rect = server.window(app.wid).rect_in_root()
+        assert popup_rect.x == window_rect.x + 10

@@ -1,0 +1,339 @@
+"""Window manager functions and their invocation modes (§5)."""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.clients import XClock, XTerm
+from repro.core.bindings import FunctionCall
+from repro.core.functions import FunctionError
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+
+
+def managed_of(wm, app):
+    wm.process_pending()
+    return wm.managed[app.wid]
+
+
+def frame_index(server, managed):
+    frame = server.window(managed.frame)
+    return frame.parent.children.index(frame)
+
+
+class TestStackingFunctions:
+    def test_raise_and_lower(self, server, wm):
+        a = XTerm(server, ["xterm", "-geometry", "+10+10"])
+        b = XTerm(server, ["xterm", "-geometry", "+20+20"])
+        ma = managed_of(wm, a)
+        mb = wm.managed[b.wid]
+        wm.execute_string(f"f.raise(#{ma.client:#x})")
+        assert frame_index(server, ma) > frame_index(server, mb)
+        wm.execute(FunctionCall("lower"), context=ma)
+        assert frame_index(server, ma) < frame_index(server, mb)
+
+    def test_raiselower_toggles(self, server, wm):
+        a = XTerm(server, ["xterm", "-geometry", "+10+10"])
+        b = XTerm(server, ["xterm", "-geometry", "+20+20"])
+        ma = managed_of(wm, a)
+        wm.execute(FunctionCall("raiselower"), context=ma)
+        assert frame_index(server, ma) == 1
+        wm.execute(FunctionCall("raiselower"), context=ma)
+        assert frame_index(server, ma) == 0
+
+    def test_circleup(self, server, wm):
+        a = XTerm(server, ["xterm", "-geometry", "+10+10"])
+        b = XTerm(server, ["xterm", "-geometry", "+20+20"])
+        ma = managed_of(wm, a)
+        before = frame_index(server, ma)
+        wm.execute(FunctionCall("circleup"))
+        wm.process_pending()
+        assert frame_index(server, ma) > before
+
+
+class TestGeometryFunctions:
+    def test_moveto(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+10+10"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("moveto", "400 300"), context=managed)
+        rect = wm.frame_rect(managed)
+        assert (rect.x, rect.y) == (400, 300)
+
+    def test_resizeto(self, server, wm):
+        app = XClock(server, ["xclock"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("resizeto", "200 220"), context=managed)
+        _, _, width, height, _ = app.conn.get_geometry(app.wid)
+        assert (width, height) == (200, 220)
+
+    def test_save_zoom_restore_cycle(self, server, wm):
+        """The paper's '<Btn2> : f.save f.zoom'."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        original = wm.frame_rect(managed)
+        wm.execute(FunctionCall("save"), context=managed)
+        wm.execute(FunctionCall("zoom"), context=managed)
+        zoomed = wm.frame_rect(managed)
+        assert zoomed.width > original.width
+        assert managed.zoomed
+        # Zoom again restores.
+        wm.execute(FunctionCall("zoom"), context=managed)
+        restored = wm.frame_rect(managed)
+        assert (restored.x, restored.y) == (original.x, original.y)
+        assert abs(restored.width - original.width) <= 2
+        assert not managed.zoomed
+
+    def test_zoom_fills_screen(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("zoom"), context=managed)
+        rect = wm.frame_rect(managed)
+        assert rect.width >= server.screens[0].width - 10
+
+    def test_restore_without_save_is_noop(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        managed = managed_of(wm, app)
+        before = wm.frame_rect(managed)
+        wm.execute(FunctionCall("restore"), context=managed)
+        assert wm.frame_rect(managed) == before
+
+    def test_moveto_bad_args(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        with pytest.raises(FunctionError):
+            wm.execute(FunctionCall("moveto", "banana"), context=managed)
+
+
+class TestStateFunctions:
+    def test_iconify_deiconify(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("iconify"), context=managed)
+        assert managed.state == ICONIC_STATE
+        assert not server.window(managed.frame).mapped
+        assert server.window(managed.icon.window).mapped
+        wm.execute(FunctionCall("deiconify"), context=managed)
+        assert managed.state == NORMAL_STATE
+        assert server.window(managed.frame).mapped
+
+    def test_focus(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("focus"), context=managed)
+        focus, _ = app.conn.get_input_focus()
+        assert focus == app.wid
+
+    def test_destroy(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("destroy"), context=managed)
+        wm.process_pending()
+        assert app.wid not in wm.managed
+        assert not app.conn.window_exists(app.wid)
+
+    def test_delete_without_protocol_destroys(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("delete"), context=managed)
+        wm.process_pending()
+        assert not app.conn.window_exists(app.wid)
+
+    def test_delete_with_protocol_sends_message(self, server, wm):
+        from repro import icccm
+
+        app = XTerm(server, ["xterm"])
+        icccm.set_wm_protocols(app.conn, app.wid, ["WM_DELETE_WINDOW"])
+        managed = managed_of(wm, app)
+        app.conn.events()
+        wm.execute(FunctionCall("delete"), context=managed)
+        messages = [e for e in app.conn.events() if isinstance(e, ev.ClientMessage)]
+        assert messages
+        assert app.conn.window_exists(app.wid)  # client decides
+
+
+class TestInvocationModes:
+    def test_class_mode_hits_all_matching(self, server, wm):
+        """f.iconify(XTerm) iconifies every xterm (§5)."""
+        terms = [XTerm(server, ["xterm"]) for _ in range(3)]
+        clock = XClock(server, ["xclock"])
+        wm.process_pending()
+        wm.execute(FunctionCall("iconify", "XTerm"))
+        for term in terms:
+            assert wm.managed[term.wid].state == ICONIC_STATE
+        assert wm.managed[clock.wid].state == NORMAL_STATE
+
+    def test_instance_mode(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.execute(FunctionCall("iconify", "xterm"))
+        assert wm.managed[app.wid].state == ICONIC_STATE
+
+    def test_window_id_mode(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("iconify", f"#{app.wid:#x}"))
+        assert managed.state == ICONIC_STATE
+
+    def test_pointer_mode(self, server, wm):
+        """f.raise(#$): the window under the mouse."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        rect = wm.frame_rect(managed)
+        server.motion(rect.x + 10, rect.y + 30)
+        wm.process_pending()
+        wm.execute(FunctionCall("iconify", "#$"))
+        assert managed.state == ICONIC_STATE
+
+    def test_pointer_mode_misses(self, server, wm):
+        XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        server.motion(900, 850)  # over the root
+        wm.process_pending()
+        before = wm.beeps
+        wm.execute(FunctionCall("iconify", "#$"))
+        assert wm.beeps == before + 1
+
+    def test_unknown_class_beeps(self, server, wm):
+        before = wm.beeps
+        wm.execute(FunctionCall("iconify", "NoSuchClass"))
+        assert wm.beeps == before + 1
+
+    def test_selection_mode_single(self, server, wm):
+        """No argument and no context: prompt for a window."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("iconify"))  # no context -> prompt
+        assert wm.selection is not None
+        assert server.active_grab is not None
+        rect = wm.frame_rect(managed)
+        server.motion(rect.x + 5, rect.y + 25)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+        assert managed.state == ICONIC_STATE
+        assert wm.selection is None
+        assert server.active_grab is None
+
+    def test_selection_mode_multiple(self, server, wm):
+        """f.iconify(multiple): prompt repeatedly until a root click."""
+        apps = [
+            XTerm(server, ["xterm", "-geometry", f"+{100 + i * 250}+100"])
+            for i in range(2)
+        ]
+        wm.process_pending()
+        wm.execute(FunctionCall("iconify", "multiple"))
+        for app in apps:
+            managed = wm.managed[app.wid]
+            rect = wm.frame_rect(managed)
+            server.motion(rect.x + 5, rect.y + 25)
+            server.button_press(1)
+            server.button_release(1)
+            wm.process_pending()
+            assert managed.state == ICONIC_STATE
+            assert wm.selection is not None  # still prompting
+        # Click on the root: prompt ends.
+        server.motion(1000, 800)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+        assert wm.selection is None
+
+    def test_selection_uses_question_cursor(self, server, wm):
+        wm.execute(FunctionCall("iconify"))
+        assert server.active_grab.cursor == "question_arrow"
+        # Cancel.
+        server.motion(1100, 880)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()
+
+    def test_bad_window_id(self, server, wm):
+        with pytest.raises(FunctionError):
+            wm.execute(FunctionCall("iconify", "#zzz"))
+
+    def test_unknown_function(self, server, wm):
+        with pytest.raises(FunctionError):
+            wm.execute(FunctionCall("frobnicate"))
+
+
+class TestMiscFunctions:
+    def test_warpvertical(self, server, wm):
+        server.motion(500, 500)
+        wm.execute(FunctionCall("warpvertical", "-50"))
+        assert server.pointer.y == 450
+
+    def test_warphorizontal(self, server, wm):
+        server.motion(500, 500)
+        wm.execute(FunctionCall("warphorizontal", "30"))
+        assert server.pointer.x == 530
+
+    def test_exec_launches_client(self, server, wm):
+        wm.execute(FunctionCall("exec", "xclock -geometry 100x100+5+5"))
+        wm.process_pending()
+        launched = wm.launched[-1]
+        assert launched.wid in wm.managed
+
+    def test_exec_needs_command(self, server, wm):
+        with pytest.raises(FunctionError):
+            wm.execute(FunctionCall("exec"))
+
+    def test_beep(self, server, wm):
+        before = wm.beeps
+        wm.execute(FunctionCall("beep"))
+        assert wm.beeps == before + 1
+
+    def test_nop(self, server, wm):
+        wm.execute(FunctionCall("nop"))
+
+    def test_setimage_changes_button(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("setimage", "nail:xlogo16"), context=managed)
+        nail = managed.object_named("nail")
+        assert nail.image.width == 16
+
+    def test_setlabel_changes_button(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        managed = managed_of(wm, app)
+        wm.execute(FunctionCall("setlabel", "name:BUSY"), context=managed)
+        assert managed.object_named("name").display_label() == "BUSY"
+
+    def test_setimage_unknown_object(self, server, wm):
+        with pytest.raises(FunctionError):
+            wm.execute(FunctionCall("setimage", "ghost:xlogo16"))
+
+    def test_function_docs_present(self):
+        from repro.core.functions import FUNCTIONS
+
+        for name, spec in FUNCTIONS.items():
+            assert spec.doc, f"f.{name} lacks a docstring"
+
+
+class TestAxisZoom:
+    def test_hzoom_full_width_only(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        before = wm.frame_rect(managed)
+        wm.execute(FunctionCall("hzoom"), context=managed)
+        after = wm.frame_rect(managed)
+        assert after.width >= server.screens[0].width - 10
+        assert after.height == before.height
+        assert after.y == before.y
+
+    def test_vzoom_full_height_only(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        before = wm.frame_rect(managed)
+        wm.execute(FunctionCall("vzoom"), context=managed)
+        after = wm.frame_rect(managed)
+        assert after.height >= server.screens[0].height - 30
+        assert abs(after.width - before.width) <= 6  # hint rounding
+        assert after.x == before.x
+
+    def test_axis_zoom_restores(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        managed = managed_of(wm, app)
+        before = wm.frame_rect(managed)
+        wm.execute(FunctionCall("hzoom"), context=managed)
+        wm.execute(FunctionCall("hzoom"), context=managed)  # toggles back
+        after = wm.frame_rect(managed)
+        assert (after.x, after.y) == (before.x, before.y)
+        assert abs(after.width - before.width) <= 6

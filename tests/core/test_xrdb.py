@@ -1,0 +1,86 @@
+"""xrdb emulation and swm's RESOURCE_MANAGER startup path."""
+
+import pytest
+
+from repro.clients import XTerm
+from repro.core.templates import OPENLOOK_TEMPLATE
+from repro.core.wm import Swm
+from repro.core.xrdb import (
+    database_from_root,
+    xrdb_load,
+    xrdb_merge,
+    xrdb_query,
+)
+from repro.xrm import ResourceParseError
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+class TestXrdb:
+    def test_load_and_query(self, server):
+        assert xrdb_load(server, "swm*background: gray\n") == 1
+        assert "swm*background" in xrdb_query(server)
+
+    def test_load_replaces(self, server):
+        xrdb_load(server, "swm*a: 1\n")
+        xrdb_load(server, "swm*b: 2\n")
+        text = xrdb_query(server)
+        assert "swm*a" not in text and "swm*b" in text
+
+    def test_merge_appends(self, server):
+        xrdb_load(server, "swm*a: 1\n")
+        xrdb_merge(server, "swm*b: 2\n")
+        db = database_from_root(server)
+        assert db.get(["swm", "a"], ["Swm", "A"]) == "1"
+        assert db.get(["swm", "b"], ["Swm", "B"]) == "2"
+
+    def test_bad_text_rejected(self, server):
+        with pytest.raises(ResourceParseError):
+            xrdb_load(server, "this is not a resource\n")
+
+    def test_empty_query(self, server):
+        assert xrdb_query(server) == ""
+
+
+class TestSwmStartupFromRoot:
+    def test_swm_reads_resource_manager_property(self, server):
+        """The paper's configuration story end-to-end: the user runs
+        xrdb with a template + overrides; swm picks it all up with no
+        separate configuration file."""
+        xrdb_load(server, OPENLOOK_TEMPLATE)
+        xrdb_merge(server, "swm*xterm.xterm.decoration: shapeit\n")
+        wm = Swm(server)  # no db passed: reads the root property
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "shapeit"
+
+    def test_explicit_db_ignores_root_property(self, server):
+        from repro.core.templates import load_template
+
+        xrdb_load(server, "swm*decoration: shapeit\n")
+        wm = Swm(server, load_template("OpenLook+"))
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "openLook"
+
+    def test_no_resources_loads_default(self, server):
+        wm = Swm(server)
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "default"
+
+    def test_broken_root_property_falls_back(self, server):
+        from repro.xserver import ClientConnection
+
+        conn = ClientConnection(server)
+        conn.set_string_property(
+            conn.root_window(), "RESOURCE_MANAGER", "garbage without colon\n"
+        )
+        wm = Swm(server)  # must not raise
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        assert wm.managed[app.wid].decoration_name == "default"

@@ -1,0 +1,113 @@
+"""ICCCM hint encode/decode and constraint logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.icccm import (
+    ICONIC_STATE,
+    NORMAL_STATE,
+    P_POSITION,
+    SizeHints,
+    US_POSITION,
+    WITHDRAWN_STATE,
+    WMHints,
+    WMState,
+)
+from repro.icccm.hints import (
+    ICON_POSITION_HINT,
+    P_BASE_SIZE,
+    P_MAX_SIZE,
+    P_MIN_SIZE,
+    P_RESIZE_INC,
+    STATE_HINT,
+)
+
+
+class TestSizeHints:
+    def test_roundtrip(self):
+        hints = SizeHints(
+            flags=US_POSITION | P_MIN_SIZE,
+            x=100,
+            y=200,
+            min_width=10,
+            min_height=20,
+        )
+        assert SizeHints.decode(hints.encode()) == hints
+
+    def test_position_flags(self):
+        assert SizeHints(flags=US_POSITION).user_position
+        assert not SizeHints(flags=US_POSITION).program_position
+        assert SizeHints(flags=P_POSITION).program_position
+
+    def test_decode_short_data(self):
+        hints = SizeHints.decode([US_POSITION, 5, 6])
+        assert hints.x == 5 and hints.y == 6
+
+    def test_constrain_min(self):
+        hints = SizeHints(flags=P_MIN_SIZE, min_width=50, min_height=40)
+        assert hints.constrain_size(10, 10) == (50, 40)
+
+    def test_constrain_max(self):
+        hints = SizeHints(flags=P_MAX_SIZE, max_width=100, max_height=90)
+        assert hints.constrain_size(500, 500) == (100, 90)
+
+    def test_constrain_increments(self):
+        # xterm-style: base 8x8, increments 6x13.
+        hints = SizeHints(
+            flags=P_RESIZE_INC | P_BASE_SIZE,
+            base_width=8,
+            base_height=8,
+            width_inc=6,
+            height_inc=13,
+        )
+        width, height = hints.constrain_size(100, 100)
+        assert (width - 8) % 6 == 0
+        assert (height - 8) % 13 == 0
+        assert width <= 100 and height <= 100
+
+    def test_constrain_no_flags_identity(self):
+        assert SizeHints().constrain_size(123, 456) == (123, 456)
+
+    @given(st.integers(1, 2000), st.integers(1, 2000))
+    def test_constrain_always_positive(self, w, h):
+        hints = SizeHints(
+            flags=P_MIN_SIZE | P_RESIZE_INC,
+            min_width=5,
+            min_height=5,
+            width_inc=7,
+            height_inc=7,
+        )
+        cw, ch = hints.constrain_size(w, h)
+        assert cw >= 1 and ch >= 1
+
+
+class TestWMHints:
+    def test_roundtrip(self):
+        hints = WMHints(
+            flags=STATE_HINT | ICON_POSITION_HINT,
+            initial_state=ICONIC_STATE,
+            icon_x=10,
+            icon_y=20,
+        )
+        assert WMHints.decode(hints.encode()) == hints
+
+    def test_start_iconic(self):
+        assert WMHints(flags=STATE_HINT, initial_state=ICONIC_STATE).start_iconic
+        assert not WMHints(flags=STATE_HINT, initial_state=NORMAL_STATE).start_iconic
+        assert not WMHints(initial_state=ICONIC_STATE).start_iconic
+
+    def test_icon_position(self):
+        assert WMHints(flags=ICON_POSITION_HINT).has_icon_position
+        assert not WMHints().has_icon_position
+
+
+class TestWMState:
+    def test_roundtrip(self):
+        state = WMState(state=ICONIC_STATE, icon_window=42)
+        assert WMState.decode(state.encode()) == state
+
+    def test_names(self):
+        assert WMState(NORMAL_STATE).name == "NormalState"
+        assert WMState(ICONIC_STATE).name == "IconicState"
+        assert WMState(WITHDRAWN_STATE).name == "WithdrawnState"
+        assert "Unknown" in WMState(99).name

@@ -1,0 +1,103 @@
+"""ICCCM property accessors over the simulated server."""
+
+import pytest
+
+from repro import icccm
+from repro.icccm import SizeHints, WMHints, WMState
+from repro.icccm.hints import ICONIC_STATE, US_POSITION
+from repro.xserver import ClientConnection, XServer
+
+
+@pytest.fixture
+def env():
+    server = XServer(screens=[(1000, 800, 8)])
+    conn = ClientConnection(server, "app")
+    wid = conn.create_window(conn.root_window(), 0, 0, 100, 100)
+    return server, conn, wid
+
+
+class TestStringProperties:
+    def test_wm_name(self, env):
+        _, conn, wid = env
+        icccm.set_wm_name(conn, wid, "xclock")
+        assert icccm.get_wm_name(conn, wid) == "xclock"
+
+    def test_wm_icon_name(self, env):
+        _, conn, wid = env
+        icccm.set_wm_icon_name(conn, wid, "clock")
+        assert icccm.get_wm_icon_name(conn, wid) == "clock"
+
+    def test_wm_class(self, env):
+        _, conn, wid = env
+        icccm.set_wm_class(conn, wid, "xclock", "XClock")
+        assert icccm.get_wm_class(conn, wid) == ("xclock", "XClock")
+
+    def test_wm_class_missing(self, env):
+        _, conn, wid = env
+        assert icccm.get_wm_class(conn, wid) is None
+
+    def test_wm_client_machine(self, env):
+        _, conn, wid = env
+        icccm.set_wm_client_machine(conn, wid, "expo.lcs.mit.edu")
+        assert icccm.get_wm_client_machine(conn, wid) == "expo.lcs.mit.edu"
+
+
+class TestWMCommand:
+    def test_argv_roundtrip(self, env):
+        _, conn, wid = env
+        argv = ["oclock", "-geom", "100x100"]
+        icccm.set_wm_command(conn, wid, argv)
+        assert icccm.get_wm_command(conn, wid) == argv
+
+    def test_command_string_quotes(self, env):
+        _, conn, wid = env
+        icccm.set_wm_command(conn, wid, ["xterm", "-title", "my shell"])
+        cmd = icccm.get_wm_command_string(conn, wid)
+        assert cmd == "xterm -title 'my shell'"
+
+    def test_missing_command(self, env):
+        _, conn, wid = env
+        assert icccm.get_wm_command(conn, wid) is None
+        assert icccm.get_wm_command_string(conn, wid) is None
+
+
+class TestStructuredHints:
+    def test_normal_hints_roundtrip(self, env):
+        _, conn, wid = env
+        hints = SizeHints(flags=US_POSITION, x=1010, y=359, width=120, height=120)
+        icccm.set_wm_normal_hints(conn, wid, hints)
+        assert icccm.get_wm_normal_hints(conn, wid) == hints
+
+    def test_wm_hints_roundtrip(self, env):
+        _, conn, wid = env
+        hints = WMHints(flags=2, initial_state=ICONIC_STATE)
+        icccm.set_wm_hints(conn, wid, hints)
+        assert icccm.get_wm_hints(conn, wid) == hints
+
+    def test_wm_state(self, env):
+        _, conn, wid = env
+        icccm.set_wm_state(conn, wid, WMState(state=ICONIC_STATE, icon_window=7))
+        state = icccm.get_wm_state(conn, wid)
+        assert state.state == ICONIC_STATE and state.icon_window == 7
+
+    def test_transient_for(self, env):
+        _, conn, wid = env
+        leader = conn.create_window(conn.root_window(), 0, 0, 10, 10)
+        icccm.set_wm_transient_for(conn, wid, leader)
+        assert icccm.get_wm_transient_for(conn, wid) == leader
+
+    def test_protocols(self, env):
+        _, conn, wid = env
+        icccm.set_wm_protocols(conn, wid, ["WM_DELETE_WINDOW", "WM_TAKE_FOCUS"])
+        assert icccm.get_wm_protocols(conn, wid) == [
+            "WM_DELETE_WINDOW",
+            "WM_TAKE_FOCUS",
+        ]
+
+    def test_missing_hints_are_none(self, env):
+        _, conn, wid = env
+        assert icccm.get_wm_normal_hints(conn, wid) is None
+        assert icccm.get_wm_hints(conn, wid) is None
+        assert icccm.get_wm_state(conn, wid) is None
+        assert icccm.get_wm_transient_for(conn, wid) is None
+        assert icccm.get_wm_protocols(conn, wid) == []

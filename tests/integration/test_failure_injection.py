@@ -1,0 +1,193 @@
+"""Failure injection: clients racing, dying, and misbehaving.
+
+A window manager lives in a hostile world — clients exit between the
+MapRequest and the reparent, destroy windows the WM is about to
+configure, and write garbage properties.  swm must survive all of it.
+"""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.clients import XClock, XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.xserver import BadWindow, ClientConnection, EventMask, XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def wm(server, tmp_path):
+    db = load_template("OpenLook+")
+    return Swm(server, db, places_path=str(tmp_path / "places"),
+               manage_existing=True)
+
+
+class TestClientRaces:
+    def test_client_dies_before_manage(self, server, tmp_path):
+        """The window is destroyed after the MapRequest is queued but
+        before swm handles it."""
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        wm.conn.event_handlers.clear()  # hold events: manual pump
+        app = XTerm(server, ["xterm"])
+        app.quit()  # dies with the MapRequest still queued
+        wm.process_pending()  # must not raise
+        assert app.wid not in wm.managed
+
+    def test_client_dies_during_session(self, server, wm):
+        apps = [XTerm(server, ["xterm"]) for _ in range(3)]
+        wm.process_pending()
+        apps[1].quit()
+        wm.process_pending()
+        assert apps[1].wid not in wm.managed
+        assert apps[0].wid in wm.managed
+        assert apps[2].wid in wm.managed
+
+    def test_iconified_client_dies(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.iconify(managed)
+        icon_window = managed.icon.window
+        app.quit()
+        wm.process_pending()
+        assert app.wid not in wm.managed
+        assert not wm.conn.window_exists(icon_window)
+        assert icon_window not in wm.icon_windows
+
+    def test_client_dies_mid_selection(self, server, wm):
+        """The prompt target disappears before the user clicks."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        rect = wm.frame_rect(wm.managed[app.wid])
+        wm.execute_string("f.iconify")  # selection prompt active
+        app.quit()
+        wm.process_pending()
+        server.motion(rect.x + 5, rect.y + 25)
+        server.button_press(1)
+        server.button_release(1)
+        wm.process_pending()  # must not raise
+        assert wm.selection is None
+
+    def test_client_dies_mid_drag(self, server, wm):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.begin_move(managed, (150, 150))
+        app.quit()
+        wm.process_pending()
+        server.motion(400, 400)
+        server.button_release(1)
+        wm.process_pending()  # drag release against a dead window
+        assert app.wid not in wm.managed
+
+    def test_configure_request_for_dead_window(self, server, wm):
+        """A ConfigureRequest referencing a window that died before the
+        WM handled it."""
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.conn.event_handlers.clear()
+        app.conn.resize_window(app.wid, 700, 500)  # queued at wm
+        app.quit()
+        wm.process_pending()  # must not raise
+        assert app.wid not in wm.managed
+
+
+class TestMisbehavingClients:
+    def test_garbage_swm_command(self, server, wm):
+        before = wm.beeps
+        conn = ClientConnection(server)
+        conn.set_string_property(
+            conn.root_window(), "SWM_COMMAND", "!!! not a command !!!\n"
+        )
+        wm.process_pending()
+        assert wm.beeps == before + 1  # rejected with a beep, no crash
+
+    def test_bogus_wm_hints_data(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        # Malformed short WM_HINTS.
+        app.conn.change_property(app.wid, "WM_HINTS", "WM_HINTS", 32, [1])
+        wm.process_pending()
+        assert app.wid in wm.managed
+
+    def test_client_with_no_properties_at_all(self, server, wm):
+        """A bare window with no ICCCM properties still gets managed."""
+        conn = ClientConnection(server, "rude")
+        wid = conn.create_window(conn.root_window(), 10, 10, 100, 100)
+        conn.map_window(wid)
+        wm.process_pending()
+        assert wid in wm.managed
+        assert server.window(wid).viewable
+
+    def test_very_long_wm_name(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        app.conn.set_string_property(app.wid, "WM_NAME", "x" * 500)
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        assert managed.name == "x" * 500
+
+    def test_rapid_map_unmap_cycles(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        for _ in range(5):
+            app.conn.unmap_window(app.wid)
+            wm.process_pending()
+            assert app.wid not in wm.managed  # withdrawn
+            app.conn.map_window(app.wid)
+            wm.process_pending()
+            assert app.wid in wm.managed  # re-managed
+
+    def test_override_redirect_toggle(self, server, wm):
+        """A window that flips to override-redirect before mapping is
+        left alone."""
+        conn = ClientConnection(server, "popup-app")
+        wid = conn.create_window(conn.root_window(), 10, 10, 50, 50)
+        conn.change_window_attributes(wid, override_redirect=True)
+        conn.map_window(wid)
+        wm.process_pending()
+        assert wid not in wm.managed
+
+
+class TestMultiScreen:
+    def test_wm_manages_both_screens(self, tmp_path):
+        server = XServer(screens=[(1152, 900, 8), (1024, 768, 1)])
+        db = load_template("OpenLook+")
+        db.put("swm.color.screen0*virtualDesktop", "3000x2400")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        assert len(wm.screens) == 2
+        # Screen 0 has the desktop; mono screen 1 does not.
+        assert wm.screens[0].vdesk is not None
+        assert wm.screens[1].vdesk is None
+        a = XTerm(server, ["xterm"], screen=0)
+        b = XClock(server, ["xclock"], screen=1)
+        wm.process_pending()
+        assert wm.managed[a.wid].screen == 0
+        assert wm.managed[b.wid].screen == 1
+        # Frames live on their own screens.
+        frame_a = server.window(wm.managed[a.wid].frame)
+        frame_b = server.window(wm.managed[b.wid].frame)
+        assert frame_a.root() is server.screens[0].root
+        assert frame_b.root() is server.screens[1].root
+
+    def test_mono_screen_colors_snap(self, tmp_path):
+        server = XServer(screens=[(1152, 900, 8), (1024, 768, 1)])
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        color = wm.screens[0].ctx.get_color([], "background")
+        mono = wm.screens[1].ctx.get_color([], "background")
+        assert color == (255, 228, 196)  # bisque
+        assert mono in ((0, 0, 0), (255, 255, 255))
+
+    def test_pan_is_per_screen(self, tmp_path):
+        server = XServer(screens=[(1152, 900, 8), (1024, 768, 8)])
+        db = load_template("OpenLook+")
+        db.put("swm*virtualDesktop", "3000x2400")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        wm.pan_to(0, 500, 400)
+        assert wm.screens[0].vdesk.pan_x == 500
+        assert wm.screens[1].vdesk.pan_x == 0

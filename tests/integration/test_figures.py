@@ -1,0 +1,146 @@
+"""Figure regeneration (F1/F2/F3) and end-to-end scenarios."""
+
+import pytest
+
+from repro.clients import NaiveApp, OClock, XClock, XTerm
+from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
+from repro.core.wm import Swm
+from repro.figures import (
+    figure1_decoration,
+    figure2_root_panel,
+    figure3_panner,
+)
+from repro.xserver import XServer
+from repro.xserver.render import render_window
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def full_wm(server):
+    db = load_template("OpenLook+")
+    db.load_string(ROOT_PANEL_TEMPLATE)
+    db.put("swm*rootPanels", "RootPanel")
+    db.put("swm*panel.RootPanel.geometry", "+400+400")
+    db.put("swm*virtualDesktop", "3000x2400")
+    return Swm(server, db)
+
+
+class TestFigure1:
+    def test_decoration_structure(self, server, full_wm):
+        """Figure 1: pulldown, centered name, nail, client below."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+80+60"])
+        full_wm.process_pending()
+        art = figure1_decoration(server, full_wm, app.wid)
+        assert "naivedemo" in art  # the name button shows WM_NAME
+        lines = art.splitlines()
+        assert lines[0].startswith("+")  # framed
+        # The title row sits above the client area.
+        title_row = next(i for i, l in enumerate(lines) if "naivedemo" in l)
+        assert title_row <= 2
+
+    def test_shaped_client_renders_round(self, server, full_wm):
+        app = OClock(server, ["oclock", "-geometry", "+500+100"])
+        full_wm.process_pending()
+        managed = full_wm.managed[app.wid]
+        frame = server.window(managed.frame)
+        art = render_window(frame, server.atoms, cell_w=4, cell_h=8,
+                            clip=frame.rect_in_root())
+        # Shaped cells are drawn as '@' and the corners are cut.
+        assert "@" in art
+        first = art.splitlines()[0]
+        assert not first.strip().startswith("@") or first.index("@") > 0
+
+
+class TestFigure2:
+    def test_root_panel_grid(self, server, full_wm):
+        art = figure2_root_panel(server, full_wm)
+        for label in ("quit", "restart", "iconify", "deiconify",
+                      "move", "resize", "raise", "lower"):
+            assert label in art
+        lines = art.splitlines()
+        quit_row = next(i for i, l in enumerate(lines) if "quit" in l)
+        move_row = next(i for i, l in enumerate(lines) if "move" in l)
+        assert move_row > quit_row  # two rows, as in the paper
+
+    def test_root_panel_is_reparented(self, server, full_wm):
+        """Figure 2's caption: 'a reparented root panel'."""
+        managed = full_wm.screens[0].root_panels["RootPanel"]
+        assert managed.frame != managed.client
+
+    def test_root_panel_buttons_work(self, server, full_wm):
+        """The iconify(multiple) button prompts for windows."""
+        app = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        full_wm.process_pending()
+        panel = full_wm.screens[0].root_panel_objects["RootPanel"]
+        button = panel.find("iconify")
+        origin = server.window(button.window).position_in_root()
+        server.motion(origin.x + 2, origin.y + 2)
+        server.button_press(1)
+        server.button_release(1)
+        full_wm.process_pending()
+        assert full_wm.selection is not None
+        # Select the xterm.
+        rect = full_wm.frame_rect(full_wm.managed[app.wid])
+        server.motion(rect.x + 5, rect.y + 25)
+        server.button_press(1)
+        server.button_release(1)
+        full_wm.process_pending()
+        from repro.icccm.hints import ICONIC_STATE
+
+        assert full_wm.managed[app.wid].state == ICONIC_STATE
+
+
+class TestFigure3:
+    def test_panner_shows_miniatures_and_viewport(self, server, full_wm):
+        NaiveApp(server, ["naivedemo", "-geometry", "400x300+1800+1200"])
+        full_wm.process_pending()
+        full_wm.pan_to(0, 300, 200)
+        art = figure3_panner(full_wm)
+        assert "#" in art  # a miniature window
+        assert ":" in art  # the viewport outline
+
+    def test_viewport_moves_with_pan(self, server, full_wm):
+        art_origin = figure3_panner(full_wm)
+        full_wm.pan_to(0, 1000, 800)
+        art_panned = figure3_panner(full_wm)
+        assert art_origin != art_panned
+
+    def test_no_panner_raises(self, server):
+        db = load_template("OpenLook+")
+        wm = Swm(server, db)
+        with pytest.raises(ValueError):
+            figure3_panner(wm)
+
+
+class TestRoomsScenario:
+    """§6: 'it is very easy to implement a rooms like environment by
+    grouping windows into various quadrants of the desktop.'"""
+
+    def test_quadrant_rooms(self, server, full_wm):
+        rooms = {
+            "mail": (0, 0),
+            "code": (1500, 0),
+            "docs": (0, 1200),
+            "misc": (1500, 1200),
+        }
+        apps = {}
+        for name, (x, y) in rooms.items():
+            apps[name] = NaiveApp(
+                server,
+                ["naivedemo", "-geometry", f"300x200+{x + 100}+{y + 100}"],
+            )
+        full_wm.process_pending()
+        # Visit each room: exactly one app visible per quadrant.
+        for name, (x, y) in rooms.items():
+            full_wm.pan_to(0, x, y)
+            screen_rect = server.screens[0].rect
+            visible = [
+                other
+                for other, app in apps.items()
+                if server.window(app.wid).rect_in_root().intersects(screen_rect)
+            ]
+            assert visible == [name]

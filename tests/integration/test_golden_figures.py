@@ -1,0 +1,69 @@
+"""Golden-file tests: figure renderings are fully deterministic.
+
+If a rendering change is intentional, regenerate the goldens with the
+snippet in tests/data/README (or this module's `build_scene`).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.clients import NaiveApp
+from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
+from repro.core.wm import Swm
+from repro.figures import (
+    figure1_decoration,
+    figure2_root_panel,
+    figure3_panner,
+)
+from repro.xserver import XServer
+
+DATA = pathlib.Path(__file__).resolve().parents[1] / "data"
+
+
+def build_scene():
+    server = XServer(screens=[(1152, 900, 8)])
+    db = load_template("OpenLook+")
+    db.load_string(ROOT_PANEL_TEMPLATE)
+    db.put("swm*rootPanels", "RootPanel")
+    db.put("swm*panel.RootPanel.geometry", "+400+400")
+    db.put("swm*virtualDesktop", "3000x2400")
+    wm = Swm(server, db, places_path="/tmp/golden.places")
+    app = NaiveApp(server, ["naivedemo", "-geometry", "300x200+80+60"])
+    NaiveApp(server, ["naivedemo", "-geometry", "400x300+1800+1200"])
+    wm.process_pending()
+    wm.pan_to(0, 300, 200)
+    return server, wm, app
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene()
+
+
+class TestGoldenFigures:
+    def test_figure1_stable(self, scene):
+        server, wm, app = scene
+        assert figure1_decoration(server, wm, app.wid) == (
+            (DATA / "figure1.txt").read_text()
+        )
+
+    def test_figure2_stable(self, scene):
+        server, wm, _ = scene
+        assert figure2_root_panel(server, wm) == (
+            (DATA / "figure2.txt").read_text()
+        )
+
+    def test_figure3_stable(self, scene):
+        _, wm, _ = scene
+        assert figure3_panner(wm) == (DATA / "figure3.txt").read_text()
+
+    def test_rebuild_is_deterministic(self):
+        """Two independent builds of the same scene render identically
+        (no hidden global state, no ordering dependence)."""
+        server_a, wm_a, app_a = build_scene()
+        server_b, wm_b, app_b = build_scene()
+        assert figure1_decoration(server_a, wm_a, app_a.wid) == (
+            figure1_decoration(server_b, wm_b, app_b.wid)
+        )
+        assert figure3_panner(wm_a) == figure3_panner(wm_b)

@@ -1,0 +1,115 @@
+"""The Robot user-simulation driver, exercised end-to-end."""
+
+import pytest
+
+from repro.clients import XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.icccm.hints import ICONIC_STATE
+from repro.testing import Robot, RobotError
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def wm(server, tmp_path):
+    db = load_template("OpenLook+")
+    db.put("swm*virtualDesktop", "3000x2400")
+    return Swm(server, db, places_path=str(tmp_path / "p"))
+
+
+@pytest.fixture
+def robot(server, wm):
+    return Robot(server, wm)
+
+
+class TestRobotGestures:
+    def test_click_name_raises(self, server, wm, robot):
+        a = XTerm(server, ["xterm", "-geometry", "+50+50"])
+        b = XTerm(server, ["xterm", "-geometry", "+80+80"])
+        wm.process_pending()
+        ma = wm.managed[a.wid]
+        wm.lower_managed(ma)
+        robot.click_object(ma, "name")
+        frame = server.window(ma.frame)
+        assert frame.parent.children[-1] is frame
+
+    def test_drag_name_moves_window(self, server, wm, robot):
+        """Button 2 on the name button is f.move in the template; the
+        robot drags through interpolated motion."""
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        before = wm.frame_rect(managed)
+        robot.drag_object(managed, "name", 90, 60, button=2)
+        after = wm.frame_rect(managed)
+        assert (after.x - before.x, after.y - before.y) == (90, 60)
+
+    def test_menu_flow(self, server, wm, robot):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        robot.click_object(managed, "pulldown")
+        robot.pick_menu_item("Iconify")
+        assert managed.state == ICONIC_STATE
+
+    def test_menu_missing_item(self, server, wm, robot):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        robot.click_object(wm.managed[app.wid], "pulldown")
+        with pytest.raises(RobotError):
+            robot.pick_menu_item("Defenestrate")
+
+    def test_prompt_flow(self, server, wm, robot):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.execute_string("f.iconify")
+        robot.answer_prompt(managed)
+        assert managed.state == ICONIC_STATE
+
+    def test_prompt_cancel(self, server, wm, robot):
+        XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        wm.execute_string("f.iconify")
+        robot.answer_prompt(None)
+        assert wm.selection is None
+
+    def test_prompt_errors_when_inactive(self, server, wm, robot):
+        with pytest.raises(RobotError):
+            robot.answer_prompt(None)
+
+    def test_icon_object_lookup(self, server, wm, robot):
+        app = XTerm(server, ["xterm", "-geometry", "+100+100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.iconify(managed)
+        robot.click_object(managed, "iconimage")  # f.deiconify binding
+        assert managed.state != ICONIC_STATE
+
+    def test_missing_object(self, server, wm, robot):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        with pytest.raises(RobotError):
+            robot.click_object(wm.managed[app.wid], "frobulator")
+
+    def test_panner_click_pans(self, server, wm, robot):
+        robot.in_panner_click(100, 80)
+        vdesk = wm.screens[0].vdesk
+        assert (vdesk.pan_x, vdesk.pan_y) != (0, 0)
+
+    def test_key_typing(self, server, wm, robot):
+        app = XTerm(server, ["xterm", "-geometry", "+100+300"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        managed.object_named("name").set_bindings(
+            "<Key>F1 : f.iconify"
+        )
+        origin = robot.object_origin(managed, "name")
+        robot.move_pointer(origin.x + 2, origin.y + 2)
+        robot.type_key("F1")
+        assert managed.state == ICONIC_STATE

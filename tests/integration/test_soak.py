@@ -1,0 +1,100 @@
+"""A long deterministic soak: hundreds of mixed operations against a
+fully-featured swm, ending with a session roundtrip."""
+
+import random
+
+import pytest
+
+from repro.clients import APP_REGISTRY, launch_command
+from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
+from repro.core.wm import Swm
+from repro.icccm.hints import NORMAL_STATE
+from repro.session import Launcher, replay_places
+from repro.xserver import XServer
+
+PROGRAMS = ["xterm", "xclock", "xload", "xlogo", "oclock", "cmdtool"]
+
+
+def full_wm(server, places):
+    db = load_template("OpenLook+")
+    db.load_string(ROOT_PANEL_TEMPLATE)
+    db.put("swm*rootPanels", "RootPanel")
+    db.put("swm*panel.RootPanel.geometry", "+700+700")
+    db.put("swm*virtualDesktop", "3000x2400")
+    db.put("swm*virtualDesktops", "2")
+    db.put("swm*scrollbars", "True")
+    db.put("swm*iconHolders", "stash")
+    db.put("swm*holder.stash.classes", "XTerm")
+    db.put("swm*holder.stash.geometry", "+900+10")
+    return Swm(server, db, places_path=places)
+
+
+def test_soak_500_operations(tmp_path):
+    rng = random.Random(1990)
+    server = XServer(screens=[(1152, 900, 8)])
+    wm = full_wm(server, str(tmp_path / "places"))
+    apps = []
+
+    for step in range(500):
+        live = [a for a in apps if a.wid in wm.managed]
+        roll = rng.random()
+        if roll < 0.15 and len(live) < 12:
+            program = rng.choice(PROGRAMS)
+            argv = [program]
+            if program != "cmdtool" and rng.random() < 0.7:
+                argv += ["-geometry",
+                         f"+{rng.randint(0, 900)}+{rng.randint(0, 700)}"]
+            apps.append(launch_command(server, argv))
+            wm.process_pending()
+        elif not live:
+            continue
+        else:
+            managed = wm.managed[rng.choice(live).wid]
+            action = rng.randint(0, 9)
+            if action == 0:
+                wm.iconify(managed)
+            elif action == 1:
+                wm.deiconify(managed)
+            elif action == 2:
+                wm.move_managed_to(
+                    managed, rng.randint(0, 2500), rng.randint(0, 2000)
+                )
+            elif action == 3:
+                wm.resize_managed(
+                    managed, rng.randint(40, 700), rng.randint(40, 500)
+                )
+            elif action == 4:
+                wm.raise_managed(managed)
+            elif action == 5 and managed.state == NORMAL_STATE:
+                (wm.unstick if managed.sticky else wm.stick)(managed)
+            elif action == 6:
+                wm.pan_to(0, rng.randint(0, 1848), rng.randint(0, 1500))
+            elif action == 7:
+                wm.switch_desktop(0, rng.randint(0, 1))
+            elif action == 8 and not managed.sticky:
+                wm.send_to_desktop(managed, rng.randint(0, 1))
+            elif action == 9 and rng.random() < 0.3:
+                for app in live:
+                    if app.wid == managed.client:
+                        app.quit()
+                        break
+            wm.process_pending()
+
+    # Everything still consistent.
+    for client, managed in wm.managed.items():
+        assert server.window(client).id == client
+        assert wm.frames[managed.frame] is managed
+
+    # The whole mess survives a session roundtrip.
+    script = wm.save_places()
+    saved = sum(
+        1 for m in wm.managed.values()
+        if not m.is_internal
+    )
+    server.reset()
+    launcher = Launcher(server)
+    replay_places(script, launcher)
+    wm2 = full_wm(server, str(tmp_path / "places2"))
+    wm2.process_pending()
+    restored = sum(1 for m in wm2.managed.values() if not m.is_internal)
+    assert restored == saved

@@ -1,0 +1,149 @@
+"""Randomized WM workloads: swm's bookkeeping must stay consistent
+under arbitrary sequences of client and user actions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import icccm
+from repro.clients import NaiveApp, XTerm
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+from repro.xserver import XServer
+
+OPS = st.sampled_from(
+    ["launch", "iconify", "deiconify", "move", "resize", "raise",
+     "stick", "unstick", "pan", "switch", "send", "quit_client"]
+)
+
+
+def check_wm_invariants(server, wm):
+    sc = wm.screens[0]
+    for client, managed in wm.managed.items():
+        assert wm.frames[managed.frame] is managed
+        client_window = server.window(client)
+        frame_window = server.window(managed.frame)
+        # The client sits inside its frame.
+        assert frame_window.is_ancestor_of(client_window)
+        # The frame's parent matches stickiness/desktop.
+        parent = frame_window.parent
+        if managed.sticky or not sc.vdesks:
+            assert parent is server.screens[0].root
+        else:
+            assert parent.id == sc.vdesks[managed.desktop].window
+        # WM_STATE agrees with our bookkeeping.
+        state = icccm.get_wm_state(wm.conn, client)
+        assert state is not None
+        assert state.state == managed.state
+        # Iconic windows: frame unmapped, icon mapped; normal windows:
+        # frame mapped.
+        if managed.state == ICONIC_STATE:
+            assert not frame_window.mapped
+            assert managed.icon is not None
+        else:
+            assert frame_window.mapped
+            assert managed.icon is None
+    # No stale object windows.
+    for wid, (obj, managed, screen) in wm.object_windows.items():
+        assert wm.conn.window_exists(wid)
+
+
+class TestRandomWMWorkloads:
+    @given(
+        ops=st.lists(st.tuples(OPS, st.integers(0, 7), st.integers(0, 7)),
+                     max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_ops(self, ops):
+        server = XServer(screens=[(1152, 900, 8)])
+        db = load_template("OpenLook+")
+        db.put("swm*virtualDesktop", "3000x2400")
+        db.put("swm*virtualDesktops", "2")
+        wm = Swm(server, db, places_path="/tmp/inv.places")
+        apps = []
+
+        def alive():
+            return [app for app in apps if app.wid in wm.managed]
+
+        for op, a, b in ops:
+            live = alive()
+            target = wm.managed[live[a % len(live)].wid] if live else None
+            if op == "launch":
+                apps.append(
+                    NaiveApp(server, ["naivedemo", "-geometry",
+                                      f"+{a * 97}+{b * 83}"])
+                )
+            elif target is None:
+                pass
+            elif op == "iconify":
+                wm.iconify(target)
+            elif op == "deiconify":
+                wm.deiconify(target)
+            elif op == "move":
+                wm.move_managed_to(target, a * 131, b * 117)
+            elif op == "resize":
+                wm.resize_managed(target, 50 + a * 23, 40 + b * 31)
+            elif op == "raise":
+                wm.raise_managed(target)
+            elif op == "stick":
+                if target.state == NORMAL_STATE:
+                    wm.stick(target)
+            elif op == "unstick":
+                if target.state == NORMAL_STATE:
+                    wm.unstick(target)
+            elif op == "pan":
+                wm.pan_to(0, a * 200, b * 160)
+            elif op == "switch":
+                wm.switch_desktop(0, a % 2)
+            elif op == "send":
+                if not target.sticky:
+                    wm.send_to_desktop(target, b % 2)
+            elif op == "quit_client":
+                live[a % len(live)].quit()
+            wm.process_pending()
+            check_wm_invariants(server, wm)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_session_roundtrip_after_random_layout(self, seed):
+        """f.places -> reset -> replay restores any randomly-arranged
+        layout, not just the hand-picked ones."""
+        import random
+
+        from repro.session import Launcher, replay_places
+
+        rng = random.Random(seed)
+        server = XServer(screens=[(1152, 900, 8)])
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path="/tmp/rr.places")
+        count = rng.randint(1, 4)
+        for index in range(count):
+            XTerm(server, ["xterm", "-title", f"t{index}", "-geometry",
+                           f"+{rng.randint(0, 800)}+{rng.randint(0, 600)}"])
+        wm.process_pending()
+        for managed in list(wm.managed.values()):
+            if managed.is_internal:
+                continue
+            if rng.random() < 0.4:
+                wm.move_client_to(
+                    managed, rng.randint(0, 900), rng.randint(0, 700)
+                )
+            if rng.random() < 0.3:
+                wm.iconify(managed)
+
+        def snapshot(current_wm):
+            out = {}
+            for managed in current_wm.managed.values():
+                if managed.is_internal:
+                    continue
+                position = current_wm.client_desktop_position(managed)
+                out[managed.name] = (tuple(position), managed.state)
+            return out
+
+        before = snapshot(wm)
+        script = wm.save_places()
+        server.reset()
+        replay_places(script, Launcher(server))
+        wm2 = Swm(server, db, places_path="/tmp/rr2.places")
+        wm2.process_pending()
+        assert snapshot(wm2) == before

@@ -1,0 +1,65 @@
+"""Session management × multiple desktops: layouts restore to the
+right desktop (extension of §7 over the E1 extension)."""
+
+import pytest
+
+from repro.clients import NaiveApp
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.session import Launcher, RestartHints, replay_places
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def db():
+    db = load_template("OpenLook+")
+    db.put("swm*virtualDesktop", "3000x2400")
+    db.put("swm*virtualDesktops", "3")
+    return db
+
+
+class TestDesktopHints:
+    def test_desktop_option_roundtrip(self):
+        hints = RestartHints(command="xterm", desktop=2)
+        assert RestartHints.from_line(hints.to_line()).desktop == 2
+
+    def test_desktop_absent_by_default(self):
+        hints = RestartHints.from_line("swmhints -cmd xterm")
+        assert hints.desktop is None
+
+
+class TestDesktopRoundtrip:
+    def test_windows_restore_to_their_desktops(self, server, db, tmp_path):
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        a = NaiveApp(server, ["naivedemo", "-geometry", "+100+100",
+                              "-title", "on-zero"])
+        wm.process_pending()
+        wm.switch_desktop(0, 2)
+        b = NaiveApp(server, ["naivedemo", "-geometry", "+200+200",
+                              "-title", "on-two"])
+        wm.process_pending()
+        script = wm.save_places()
+        assert "-desktop 2" in script
+
+        server.reset()
+        replay_places(script, Launcher(server))
+        wm2 = Swm(server, db, places_path=str(tmp_path / "p2"))
+        wm2.process_pending()
+        by_name = {m.name: m for m in wm2.managed.values()
+                   if not m.is_internal}
+        assert by_name["on-zero"].desktop == 0
+        assert by_name["on-two"].desktop == 2
+
+    def test_single_desktop_omits_option(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        db.put("swm*virtualDesktop", "3000x2400")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        NaiveApp(server, ["naivedemo", "-geometry", "+100+100"])
+        wm.process_pending()
+        script = wm.save_places()
+        assert "-desktop" not in script

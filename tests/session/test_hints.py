@@ -1,0 +1,113 @@
+"""swmhints parsing, serialization, and the restart property."""
+
+import pytest
+
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+from repro.session.hints import (
+    RESTART_PROPERTY,
+    RestartHints,
+    SwmHintsError,
+    clear_restart_property,
+    read_restart_property,
+    swmhints,
+)
+from repro.xserver import ClientConnection, XServer
+
+
+class TestRestartHints:
+    def test_paper_example_parses(self):
+        """The exact §7 example invocation."""
+        hints = RestartHints.from_line(
+            'swmhints -geometry 120x120+1010+359 -icongeometry +0+0 '
+            '-state NormalState -cmd "oclock -geom 100x100"'
+        )
+        assert hints.geometry.width == 120
+        assert (hints.geometry.x, hints.geometry.y) == (1010, 359)
+        assert hints.icon_position == (0, 0)
+        assert hints.state == NORMAL_STATE
+        assert hints.command == "oclock -geom 100x100"
+
+    def test_roundtrip(self):
+        hints = RestartHints(
+            command="xterm -title shell",
+            geometry=None,
+            state=ICONIC_STATE,
+            sticky=True,
+            machine="remote.example.com",
+        )
+        parsed = RestartHints.from_line(hints.to_line())
+        assert parsed == hints
+
+    def test_roundtrip_with_geometry(self):
+        from repro.xserver.geometry import parse_geometry
+
+        hints = RestartHints(
+            command="xclock",
+            geometry=parse_geometry("164x164+5-7"),
+            icon_geometry=parse_geometry("+3+4"),
+            state=NORMAL_STATE,
+        )
+        parsed = RestartHints.from_line(hints.to_line())
+        assert parsed == hints
+        assert parsed.geometry.y_negative
+
+    def test_cmd_required(self):
+        with pytest.raises(SwmHintsError):
+            RestartHints.from_line("swmhints -geometry 10x10+1+1")
+
+    def test_unknown_option(self):
+        with pytest.raises(SwmHintsError):
+            RestartHints.from_line("swmhints -wibble -cmd xclock")
+
+    def test_bad_state(self):
+        with pytest.raises(SwmHintsError):
+            RestartHints.from_line("swmhints -state Wedged -cmd xclock")
+
+    def test_icon_position_none_without_geometry(self):
+        assert RestartHints(command="x").icon_position is None
+
+
+class TestRestartProperty:
+    def test_swmhints_writes_property(self):
+        server = XServer()
+        swmhints(server, "swmhints -geometry 10x10+1+2 -cmd xclock")
+        conn = ClientConnection(server)
+        text = conn.get_string_property(conn.root_window(), RESTART_PROPERTY)
+        assert "xclock" in text
+
+    def test_records_append(self):
+        server = XServer()
+        swmhints(server, "swmhints -cmd xclock")
+        swmhints(server, "swmhints -cmd 'xterm -ls'")
+        conn = ClientConnection(server)
+        table = read_restart_property(conn, conn.root_window())
+        assert [entry["command"] for entry in table] == ["xclock", "xterm -ls"]
+
+    def test_read_empty(self):
+        server = XServer()
+        conn = ClientConnection(server)
+        assert read_restart_property(conn, conn.root_window()) == []
+
+    def test_bad_lines_skipped(self):
+        server = XServer()
+        conn = ClientConnection(server)
+        conn.set_string_property(
+            conn.root_window(), RESTART_PROPERTY,
+            "garbage line\nswmhints -cmd xclock\n",
+        )
+        table = read_restart_property(conn, conn.root_window())
+        assert len(table) == 1
+
+    def test_clear(self):
+        server = XServer()
+        swmhints(server, "swmhints -cmd xclock")
+        conn = ClientConnection(server)
+        clear_restart_property(conn, conn.root_window())
+        assert read_restart_property(conn, conn.root_window()) == []
+
+    def test_accepts_argv_list(self):
+        server = XServer()
+        hints = swmhints(
+            server, ["swmhints", "-state", "IconicState", "-cmd", "xbiff"]
+        )
+        assert hints.state == ICONIC_STATE

@@ -1,0 +1,118 @@
+"""The host/launcher model and remote-start semantics (§7.1)."""
+
+import pytest
+
+from repro.session.launcher import (
+    DEFAULT_REMOTE_START,
+    Host,
+    LaunchError,
+    Launcher,
+    render_remote_start,
+)
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def launcher(server):
+    return Launcher(server)
+
+
+class TestLocalLaunch:
+    def test_run_local(self, server, launcher):
+        app = launcher.run_local("xclock -geometry 100x100+1+2")
+        assert app.host == "localhost"
+        assert app.argv[0] == "xclock"
+
+    def test_empty_command(self, launcher):
+        with pytest.raises(LaunchError):
+            launcher.run_local("")
+
+    def test_run_line_strips_ampersand(self, launcher):
+        app = launcher.run_line("xclock &")
+        assert app.argv == ["xclock"]
+
+
+class TestRemoteLaunch:
+    def test_rsh_with_display(self, server, launcher):
+        launcher.add_host(Host("far.example.com"))
+        app = launcher.run_rsh(
+            'rsh far.example.com "env DISPLAY=localhost:0.0 xclock"'
+        )
+        assert app.host == "far.example.com"
+
+    def test_rsh_without_display_fails(self, server, launcher):
+        """The §7.1 failure: a bare rsh shell has no DISPLAY, so the
+        client cannot start."""
+        launcher.add_host(Host("bare.example.com"))
+        with pytest.raises(LaunchError, match="DISPLAY"):
+            launcher.run_rsh('rsh bare.example.com "xclock"')
+
+    def test_rsh_host_env_provides_display(self, server, launcher):
+        """A host whose non-login shell init sets DISPLAY works even
+        without the inline setting."""
+        launcher.add_host(
+            Host("nice.example.com", rsh_env={"DISPLAY": "localhost:0.0"})
+        )
+        app = launcher.run_rsh('rsh nice.example.com "xclock"')
+        assert app.host == "nice.example.com"
+
+    def test_unknown_host(self, launcher):
+        with pytest.raises(LaunchError, match="unknown host"):
+            launcher.run_rsh('rsh ghost.example.com "xclock"')
+
+    def test_command_not_installed(self, server, launcher):
+        launcher.add_host(
+            Host("slim.example.com",
+                 rsh_env={"DISPLAY": "localhost:0.0"},
+                 installed=["xterm"]),
+        )
+        with pytest.raises(LaunchError, match="not found"):
+            launcher.run_rsh('rsh slim.example.com "xclock"')
+        app = launcher.run_rsh('rsh slim.example.com "xterm"')
+        assert app.host == "slim.example.com"
+
+    def test_inline_variable_assignment(self, server, launcher):
+        launcher.add_host(Host("bare.example.com"))
+        app = launcher.run_rsh(
+            'rsh bare.example.com "DISPLAY=localhost:0.0 xclock"'
+        )
+        assert app.host == "bare.example.com"
+
+    def test_run_line_routes_rsh(self, server, launcher):
+        launcher.add_host(Host("far.example.com"))
+        app = launcher.run_line(
+            'rsh far.example.com "env DISPLAY=localhost:0.0 xclock" &'
+        )
+        assert app.host == "far.example.com"
+
+
+class TestRemoteStartTemplate:
+    def test_default_template_renders(self):
+        line = render_remote_start(
+            DEFAULT_REMOTE_START, "far.example.com", "localhost:0.0",
+            "xterm -ls",
+        )
+        assert line == (
+            'rsh far.example.com "env DISPLAY=localhost:0.0 xterm -ls"'
+        )
+
+    def test_default_template_is_launchable(self, server, launcher):
+        """The default template produces lines the bare-host launcher
+        accepts — the whole point of the customizable string."""
+        launcher.add_host(Host("bare.example.com"))
+        line = render_remote_start(
+            DEFAULT_REMOTE_START, "bare.example.com", "localhost:0.0", "xclock"
+        )
+        app = launcher.run_line(line + " &")
+        assert app.host == "bare.example.com"
+
+    def test_custom_template(self):
+        line = render_remote_start(
+            "on %h run %c for %d", "h1", "d1", "c1"
+        )
+        assert line == "on h1 run c1 for d1"

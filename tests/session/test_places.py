@@ -1,0 +1,307 @@
+"""f.places: script generation, parsing, and the full roundtrip (§7)."""
+
+import pytest
+
+from repro import icccm
+from repro.clients import CmdTool, OClock, XClock, XTerm
+from repro.core.bindings import FunctionCall
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+from repro.session import (
+    Host,
+    Launcher,
+    collect_entries,
+    format_places,
+    parse_places,
+    replay_places,
+)
+from repro.xserver import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1152, 900, 8)])
+
+
+@pytest.fixture
+def wm(server, tmp_path):
+    db = load_template("OpenLook+")
+    return Swm(server, db, places_path=str(tmp_path / "places"))
+
+
+class TestCollect:
+    def test_two_lines_per_client(self, server, wm):
+        XTerm(server, ["xterm", "-geometry", "80x24+10+10"])
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert len(entries) == 1
+        text = format_places(entries)
+        assert "swmhints" in text
+        assert "xterm -geometry 80x24+10+10 &" in text
+
+    def test_exact_wm_command_preserved(self, server, wm):
+        """'The client is invoked with the exact command string found
+        in the WM_COMMAND property' — toolkit-independent."""
+        CmdTool(server, ["cmdtool", "-Wp", "5", "6", "-Ws", "400", "300"])
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert entries[0].start_line == "cmdtool -Wp 5 6 -Ws 400 300 &"
+
+    def test_current_geometry_not_original(self, server, wm):
+        """§7's example: started at 100x100, resized to 120x120 and
+        moved; the hints carry the *current* geometry."""
+        app = OClock(server, ["oclock", "-geom", "100x100"])
+        wm.process_pending()
+        managed = wm.managed[app.wid]
+        wm.resize_managed(managed, 120, 120)
+        wm.move_client_to(managed, 1010, 359)
+        entries = collect_entries(wm)
+        geometry = entries[0].hints.geometry
+        assert (geometry.width, geometry.height) == (120, 120)
+        assert (geometry.x, geometry.y) == (1010, 359)
+        # But the start line still uses the original command string.
+        assert entries[0].start_line == "oclock -geom 100x100 &"
+
+    def test_iconified_state_recorded(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.iconify(wm.managed[app.wid])
+        entries = collect_entries(wm)
+        assert entries[0].hints.state == ICONIC_STATE
+        assert entries[0].hints.icon_geometry is not None
+
+    def test_sticky_recorded(self, server, wm):
+        app = XClock(server, ["xclock"])
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert entries[0].hints.sticky
+
+    def test_internal_windows_skipped(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        db.put("swm*virtualDesktop", "3000x2400")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        # Only the panner is managed; it must not be saved.
+        assert collect_entries(wm) == []
+
+    def test_client_without_wm_command_skipped(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        app.conn.delete_property(app.wid, "WM_COMMAND")
+        assert collect_entries(wm) == []
+
+    def test_remote_client_uses_remote_start(self, server, wm):
+        XTerm(server, ["xterm"], host="fast.example.com")
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert entries[0].start_line.startswith("rsh fast.example.com")
+        assert "DISPLAY" in entries[0].start_line
+
+    def test_custom_remote_start_resource(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        db.put("swm*remoteStart", "rsh %h 'setenv DISPLAY %d; %c'")
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        XTerm(server, ["xterm"], host="fast.example.com")
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert entries[0].start_line == (
+            "rsh fast.example.com 'setenv DISPLAY localhost:0.0; xterm' &"
+        )
+
+
+class TestScriptFormat:
+    def test_parse_roundtrip(self, server, wm):
+        XTerm(server, ["xterm", "-geometry", "+5+5"])
+        XClock(server, ["xclock"])
+        wm.process_pending()
+        text = format_places(collect_entries(wm))
+        parsed = parse_places(text)
+        assert len(parsed) == 2
+
+    def test_script_is_xinitrc_shaped(self, server, wm):
+        XTerm(server, ["xterm"])
+        wm.process_pending()
+        text = format_places(collect_entries(wm))
+        assert text.startswith("#!/bin/sh")
+        assert text.rstrip().endswith("swm")
+
+    def test_fplaces_writes_file(self, server, wm, tmp_path):
+        XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.execute(FunctionCall("places"))
+        with open(wm.places_path) as handle:
+            assert "xterm" in handle.read()
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# comment\n\nswmhints -cmd xclock\nxclock &\n"
+        assert len(parse_places(text)) == 1
+
+
+class TestFullRoundtrip:
+    """The headline §7 scenario: save the session, restart X, replay
+    the script, and get every window back where it was."""
+
+    def snapshot(self, wm, server):
+        state = {}
+        for managed in wm.managed.values():
+            if managed.is_internal:
+                continue
+            position = wm.client_desktop_position(managed)
+            _, _, width, height, _ = wm.conn.get_geometry(managed.client)
+            state[icccm.get_wm_command_string(wm.conn, managed.client)] = {
+                "position": tuple(position),
+                "size": (width, height),
+                "state": managed.state,
+                "sticky": managed.sticky,
+            }
+        return state
+
+    def test_roundtrip_restores_layout(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+
+        term = XTerm(server, ["xterm", "-geometry", "80x24+10+10"])
+        clock = OClock(server, ["oclock", "-geom", "100x100"])
+        tool = CmdTool(server, ["cmdtool", "-Wp", "5", "6", "-Ws", "400", "300"])
+        wm.process_pending()
+        # Rearrange the session: move, resize, iconify.
+        wm.move_client_to(wm.managed[term.wid], 321, 234)
+        wm.resize_managed(wm.managed[clock.wid], 120, 120)
+        wm.move_client_to(wm.managed[clock.wid], 640, 480)
+        wm.iconify(wm.managed[tool.wid])
+
+        before = self.snapshot(wm, server)
+        text = wm.save_places()
+
+        # X shuts down: every client and the WM die with it.
+        server.reset()
+
+        # New X session: replay the places file, then start swm (the
+        # script's last line).
+        launcher = Launcher(server)
+        replay_places(text, launcher)
+        wm2 = Swm(server, db, places_path=str(tmp_path / "places2"))
+        wm2.process_pending()
+
+        after = self.snapshot(wm2, server)
+        assert set(after) == set(before)
+        for command, expected in before.items():
+            assert after[command] == expected, command
+
+    def test_roundtrip_restores_icon_position(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        term = XTerm(server, ["xterm"])
+        wm.process_pending()
+        managed = wm.managed[term.wid]
+        wm.iconify(managed)
+        wm.conn.move_window(managed.icon.window, 444, 333)
+        text = wm.save_places()
+        server.reset()
+        launcher = Launcher(server)
+        replay_places(text, launcher)
+        wm2 = Swm(server, db)
+        wm2.process_pending()
+        managed2 = next(
+            m for m in wm2.managed.values() if m.instance == "xterm"
+        )
+        assert managed2.state == ICONIC_STATE
+        x, y, _, _, _ = wm2.conn.get_geometry(managed2.icon.window)
+        assert (x, y) == (444, 333)
+
+    def test_roundtrip_restores_sticky(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        db.put("swm*virtualDesktop", "3000x2400")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        term = XTerm(server, ["xterm", "-geometry", "+50+60"])
+        wm.process_pending()
+        wm.stick(wm.managed[term.wid])
+        text = wm.save_places()
+        server.reset()
+        launcher = Launcher(server)
+        replay_places(text, launcher)
+        wm2 = Swm(server, db)
+        wm2.process_pending()
+        managed2 = next(
+            m for m in wm2.managed.values() if m.instance == "xterm"
+        )
+        assert managed2.sticky
+
+    def test_identical_commands_both_restored(self, server, tmp_path):
+        """§7: identical WM_COMMANDs can't be told apart — both windows
+        still restart, just possibly with swapped geometry."""
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        a = XTerm(server, ["xterm"])
+        b = XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.move_client_to(wm.managed[a.wid], 100, 100)
+        wm.move_client_to(wm.managed[b.wid], 500, 500)
+        text = wm.save_places()
+        server.reset()
+        launcher = Launcher(server)
+        replay_places(text, launcher)
+        wm2 = Swm(server, db)
+        wm2.process_pending()
+        xterms = [m for m in wm2.managed.values() if m.instance == "xterm"]
+        assert len(xterms) == 2
+        positions = {tuple(wm2.client_desktop_position(m)) for m in xterms}
+        assert positions == {(100, 100), (500, 500)}
+
+    def test_restart_table_entry_consumed_once(self, server, tmp_path):
+        """A third xterm launched after replay gets default placement,
+        not a stale hints entry."""
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        XTerm(server, ["xterm"])
+        wm.process_pending()
+        wm.move_client_to(next(iter(wm.managed.values())), 700, 700)
+        text = wm.save_places()
+        server.reset()
+        launcher = Launcher(server)
+        replay_places(text, launcher)
+        wm2 = Swm(server, db)
+        wm2.process_pending()
+        assert wm2.restart_table == []
+        extra = XTerm(server, ["xterm"])
+        wm2.process_pending()
+        position = wm2.client_desktop_position(wm2.managed[extra.wid])
+        assert tuple(position) != (700, 700)
+
+
+class TestRemoteRoundtrip:
+    def test_remote_client_restarts_on_its_host(self, server, tmp_path):
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path=str(tmp_path / "places"))
+        XTerm(server, ["xterm"], host="compute.example.com")
+        wm.process_pending()
+        text = wm.save_places()
+        server.reset()
+        launcher = Launcher(server)
+        launcher.add_host(Host("compute.example.com"))
+        apps = replay_places(text, launcher)
+        assert apps[0].host == "compute.example.com"
+        wm2 = Swm(server, db)
+        wm2.process_pending()
+        managed = next(iter(
+            m for m in wm2.managed.values() if not m.is_internal
+        ))
+        assert icccm.get_wm_client_machine(wm2.conn, managed.client) == (
+            "compute.example.com"
+        )
+
+    def test_machine_mismatch_does_not_match_hints(self, server, tmp_path):
+        """A hints record for host A must not seed a client on host B."""
+        from repro.session.hints import swmhints as write_hints
+
+        db = load_template("OpenLook+")
+        write_hints(
+            server,
+            "swmhints -geometry 80x24+700+700 -machine hostA -cmd xterm",
+        )
+        wm = Swm(server, db, places_path=str(tmp_path / "p"))
+        app = XTerm(server, ["xterm"], host="hostB")
+        wm.process_pending()
+        position = wm.client_desktop_position(wm.managed[app.wid])
+        assert tuple(position) != (700, 700)
+        assert len(wm.restart_table) == 1  # entry not consumed

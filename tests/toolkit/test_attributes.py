@@ -1,0 +1,124 @@
+"""Attribute context resolution and type conversion."""
+
+import pytest
+
+from repro.toolkit import AttributeContext, convert_bool
+from repro.xrm import ResourceDatabase
+
+
+@pytest.fixture
+def db():
+    db = ResourceDatabase()
+    db.load_string(
+        """
+swm*button.foo.bindings: <Btn1>: f.raise
+swm*background: gray
+swm.color.screen1*background: blue
+swm*button*borderWidth: 2
+swm*panel.openLook.resizeCorners: True
+swm*font: 8x13
+swm*cursor: left_ptr
+swm*button.close.image: xlogo16
+swm*titleHeight: 0x14
+"""
+    )
+    return db
+
+
+def ctx(db, screen=0, mono=False):
+    kind = "monochrome" if mono else "color"
+    return AttributeContext(
+        db,
+        ["swm", kind, f"screen{screen}"],
+        ["Swm", kind.capitalize(), "Screen"],
+        monochrome=mono,
+    )
+
+
+class TestLookup:
+    def test_object_binding_lookup(self, db):
+        value = ctx(db).lookup(["button", "foo"], "bindings")
+        assert value == "<Btn1>: f.raise"
+
+    def test_per_screen_override(self, db):
+        assert ctx(db, screen=0).get_string([], "background") == "gray"
+        assert ctx(db, screen=1).get_string([], "background") == "blue"
+
+    def test_missing_returns_default(self, db):
+        assert ctx(db).get_string(["button", "zzz"], "nothing", "dflt") == "dflt"
+
+    def test_extended_context(self, db):
+        sticky = ctx(db).extended(["sticky"])
+        assert sticky.prefix_names[-1] == "sticky"
+        assert sticky.prefix_classes[-1] == "Sticky"
+        # Generic resources still reachable through the extension.
+        assert sticky.get_string([], "background") == "gray"
+
+
+class TestTypedConversions:
+    def test_bool(self, db):
+        assert ctx(db).get_bool(["panel", "openLook"], "resizeCorners") is True
+        assert ctx(db).get_bool(["panel", "other"], "resizeCorners", False) is False
+
+    def test_int(self, db):
+        assert ctx(db).get_int(["button", "x"], "borderWidth") == 2
+
+    def test_int_hex(self, db):
+        assert ctx(db).get_int([], "titleHeight") == 0x14
+
+    def test_int_bad_value_falls_back(self, db):
+        db.put("swm*weird", "not-a-number")
+        assert ctx(db).get_int([], "weird", 7) == 7
+
+    def test_color(self, db):
+        assert ctx(db).get_color([], "background") == (190, 190, 190)
+
+    def test_color_monochrome_screen(self, db):
+        db.put("swm.monochrome.screen0*background", "yellow")
+        assert ctx(db, mono=True).get_color([], "background") == (255, 255, 255)
+
+    def test_color_bad_value_falls_back(self, db):
+        db.put("swm*badcolor", "zorp")
+        assert ctx(db).get_color([], "badcolor", "black") == (0, 0, 0)
+
+    def test_font(self, db):
+        font = ctx(db).get_font([])
+        assert font.char_width == 8
+
+    def test_font_fallback(self, db):
+        db.put("swm*font", "no-such-font")
+        assert ctx(db).get_font([]).name == "fixed"
+
+    def test_bitmap(self, db):
+        bitmap = ctx(db).get_bitmap(["button", "close"], "image")
+        assert bitmap is not None and bitmap.width == 16
+
+    def test_bitmap_missing(self, db):
+        assert ctx(db).get_bitmap(["button", "x"], "image") is None
+
+    def test_cursor(self, db):
+        assert ctx(db).get_cursor([]) == "left_ptr"
+
+    def test_cursor_invalid_falls_back(self, db):
+        db.put("swm*cursor", "sparkles")
+        assert ctx(db).get_cursor([]) == "left_ptr"
+
+
+class TestConvertBool:
+    @pytest.mark.parametrize("word", ["True", "true", "ON", "yes", "1"])
+    def test_truthy(self, word):
+        assert convert_bool(word) is True
+
+    @pytest.mark.parametrize("word", ["False", "off", "NO", "0"])
+    def test_falsy(self, word):
+        assert convert_bool(word) is False
+
+    def test_garbage_uses_default(self):
+        assert convert_bool("maybe", default=True) is True
+        assert convert_bool("maybe", default=False) is False
+
+
+class TestContextValidation:
+    def test_mismatched_prefix_rejected(self, db):
+        with pytest.raises(ValueError):
+            AttributeContext(db, ["a"], ["A", "B"])

@@ -1,0 +1,149 @@
+"""The row/column panel layout engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.toolkit.layout import LayoutItem, layout_panel
+from repro.xserver.geometry import CENTER
+
+
+def item(name, w, h, col, row, col_neg=False, row_neg=False):
+    return LayoutItem(name, w, h, col, row, col_neg, row_neg)
+
+
+class TestRows:
+    def test_single_row_left_packing(self):
+        result = layout_panel(
+            [item("a", 20, 10, 0, 0), item("b", 30, 10, 1, 0)],
+            hgap=2, padding=0,
+        )
+        assert result.rect("a").x == 0
+        assert result.rect("b").x == 22
+        assert result.size.width == 52
+
+    def test_column_order_not_declaration_order(self):
+        result = layout_panel(
+            [item("b", 30, 10, 1, 0), item("a", 20, 10, 0, 0)],
+            hgap=0, padding=0,
+        )
+        assert result.rect("a").x < result.rect("b").x
+
+    def test_two_rows_stack(self):
+        result = layout_panel(
+            [item("top", 40, 10, 0, 0), item("bottom", 40, 20, 0, 1)],
+            vgap=2, padding=0,
+        )
+        assert result.rect("top").y == 0
+        assert result.rect("bottom").y == 12
+        assert result.size.height == 32
+
+    def test_row_height_is_tallest_item(self):
+        result = layout_panel(
+            [item("short", 10, 10, 0, 0), item("tall", 10, 30, 1, 0)],
+            padding=0,
+        )
+        # Short item vertically centered within its row.
+        assert result.rect("short").y == 10
+        assert result.size.height == 30
+
+    def test_bottom_anchored_row_is_last(self):
+        result = layout_panel(
+            [
+                item("first", 10, 10, 0, 0),
+                item("last", 10, 10, 0, 0, row_neg=True),
+                item("second", 10, 10, 0, 1),
+            ],
+            padding=0, vgap=0,
+        )
+        assert result.rect("first").y < result.rect("second").y < result.rect("last").y
+
+
+class TestAlignment:
+    def test_centered_item(self):
+        """The OpenLook+ 'name' button at +C+0 centers in the row."""
+        result = layout_panel(
+            [
+                item("pulldown", 20, 10, 0, 0),
+                item("name", 40, 10, CENTER, 0),
+                item("nail", 20, 10, 0, 0, col_neg=True),
+                item("client", 200, 100, 0, 1),
+            ],
+            hgap=0, vgap=0, padding=0,
+        )
+        name = result.rect("name")
+        width = result.size.width
+        assert name.x == (width - 40) // 2
+        assert result.rect("pulldown").x == 0
+        assert result.rect("nail").x == width - 20
+
+    def test_right_aligned_order(self):
+        result = layout_panel(
+            [
+                item("r0", 10, 10, 0, 0, col_neg=True),
+                item("r1", 10, 10, 1, 0, col_neg=True),
+                item("wide", 100, 10, 0, 1),
+            ],
+            hgap=2, padding=0,
+        )
+        # -0 is rightmost, -1 next in from the edge.
+        assert result.rect("r0").x > result.rect("r1").x
+        assert result.rect("r0").x2 == result.size.width
+
+    def test_vertically_centered_item(self):
+        result = layout_panel(
+            [item("body", 100, 60, 0, 0), item("mid", 20, 10, CENTER, CENTER)],
+            padding=0,
+        )
+        mid = result.rect("mid")
+        assert mid.y == (result.size.height - 10) // 2
+
+    def test_min_width_honoured(self):
+        result = layout_panel([item("a", 10, 10, 0, 0)], min_width=200)
+        assert result.size.width >= 200
+
+
+class TestEdgeCases:
+    def test_empty_panel(self):
+        result = layout_panel([])
+        assert result.size.width >= 1 and result.size.height >= 1
+        assert result.rects == {}
+
+    def test_padding_applied(self):
+        result = layout_panel([item("a", 10, 10, 0, 0)], padding=5)
+        assert result.rect("a").origin.x == 5
+        assert result.size.width == 20
+
+    @given(
+        sizes=st.lists(
+            st.tuples(st.integers(1, 100), st.integers(1, 40),
+                      st.integers(0, 3), st.integers(0, 3)),
+            min_size=1, max_size=12,
+        )
+    )
+    def test_items_never_overlap_in_distinct_rows(self, sizes):
+        items = [
+            item(f"i{n}", w, h, col + n * 10, row)
+            for n, (w, h, col, row) in enumerate(sizes)
+        ]
+        result = layout_panel(items, hgap=1, vgap=1, padding=0)
+        # Items in different rows have disjoint Y ranges.
+        by_row = {}
+        for layout_item in items:
+            by_row.setdefault(layout_item.row, []).append(
+                result.rect(layout_item.name)
+            )
+        rows = sorted(by_row)
+        for earlier, later in zip(rows, rows[1:]):
+            max_y2 = max(r.y2 for r in by_row[earlier])
+            min_y = min(r.y for r in by_row[later])
+            assert max_y2 <= min_y
+
+    @given(
+        widths=st.lists(st.integers(1, 60), min_size=2, max_size=8),
+    )
+    def test_left_packed_items_disjoint(self, widths):
+        items = [item(f"i{n}", w, 10, n, 0) for n, w in enumerate(widths)]
+        result = layout_panel(items, hgap=1, padding=0)
+        rects = [result.rect(f"i{n}") for n in range(len(widths))]
+        for a, b in zip(rects, rects[1:]):
+            assert a.x2 < b.x

@@ -1,0 +1,216 @@
+"""Xrm matching precedence rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xrm import ResourceDatabase
+
+QUERY_NAMES = "swm.color.screen0.xclock.xclock.decoration".split(".")
+QUERY_CLASSES = "Swm.Color.Screen0.XClock.XClock.Decoration".split(".")
+
+
+def db_with(*entries):
+    db = ResourceDatabase()
+    for spec, value in entries:
+        db.put(spec, value)
+    return db
+
+
+class TestBasicMatching:
+    def test_exact_tight_match(self):
+        db = db_with(("swm.color.screen0.xclock.xclock.decoration", "win"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "win"
+
+    def test_loose_match(self):
+        db = db_with(("swm*decoration", "win"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "win"
+
+    def test_class_component_match(self):
+        db = db_with(("Swm*XClock*Decoration", "win"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "win"
+
+    def test_no_match(self):
+        db = db_with(("swm*xterm*decoration", "lose"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) is None
+
+    def test_attribute_must_match(self):
+        db = db_with(("swm*xclock", "lose"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) is None
+
+    def test_entry_longer_than_query(self):
+        db = db_with(("swm.a.b.c.d.e.f.g", "lose"))
+        assert db.get(["swm", "x"], ["Swm", "X"]) is None
+
+    def test_question_mark_matches_one_level(self):
+        db = db_with(("swm.?.screen0*decoration", "win"))
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "win"
+
+    def test_question_mark_consumes_exactly_one(self):
+        db = db_with(("?.decoration", "maybe"))
+        assert db.get(["swm", "decoration"], ["Swm", "Decoration"]) == "maybe"
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) is None
+
+    def test_single_component_query(self):
+        db = db_with(("*x", "loose"), ("x", "tight"))
+        assert db.get(["x"], ["X"]) == "tight"
+
+
+class TestPrecedence:
+    """The documented XrmGetResource precedence rules, §3 of the paper
+    relies on them for per-screen and per-client configuration."""
+
+    def test_instance_beats_class(self):
+        db = db_with(
+            ("swm*xclock.xclock.decoration", "instance"),
+            ("swm*XClock.XClock.Decoration", "class"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "instance"
+
+    def test_class_beats_question(self):
+        db = db_with(
+            ("swm*XClock.xclock.decoration", "class"),
+            ("swm*?.xclock.decoration", "question"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "class"
+
+    def test_specified_beats_skipped(self):
+        db = db_with(
+            ("swm.color*decoration", "specified"),
+            ("swm*decoration", "skipped"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "specified"
+
+    def test_tight_beats_loose_on_same_level(self):
+        db = db_with(
+            ("swm.color*decoration", "tight"),
+            ("swm*color*decoration", "loose"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "tight"
+
+    def test_earlier_level_dominates(self):
+        # Entry A specifies level 1 ("color"); entry B skips it but is
+        # more specific later.  Precedence is evaluated left to right,
+        # so A wins at the first differing level.
+        db = db_with(
+            ("swm.color*decoration", "a"),
+            ("swm*xclock.xclock.decoration", "b"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "a"
+        db2 = db_with(
+            ("swm.color*decoration", "a"),
+            ("swm*screen0.xclock.xclock.decoration", "b"),
+        )
+        assert db2.get(QUERY_NAMES, QUERY_CLASSES) == "a"
+
+    def test_swm_instance_beats_Swm_class(self):
+        """The paper: 'either Swm or swm, the latter having precedence'."""
+        db = db_with(
+            ("Swm*decoration", "generic"),
+            ("swm*decoration", "specific"),
+        )
+        assert db.get(QUERY_NAMES, QUERY_CLASSES) == "specific"
+
+    def test_per_screen_override(self):
+        db = db_with(
+            ("swm*background", "gray"),
+            ("swm.color.screen1*background", "blue"),
+        )
+        screen0 = "swm.color.screen0.xclock.xclock.background".split(".")
+        screen1 = "swm.color.screen1.xclock.xclock.background".split(".")
+        classes = "Swm.Color.Screen1.XClock.XClock.Background".split(".")
+        assert db.get(screen0, classes) == "gray"
+        assert db.get(screen1, classes) == "blue"
+
+    def test_mono_vs_color(self):
+        db = db_with(
+            ("swm.monochrome*background", "white"),
+            ("swm.color*background", "bisque"),
+        )
+        mono = "swm.monochrome.screen0.background".split(".")
+        color = "swm.color.screen0.background".split(".")
+        classes = "Swm.Monochrome.Screen0.Background".split(".")
+        cclasses = "Swm.Color.Screen0.Background".split(".")
+        assert db.get(mono, classes) == "white"
+        assert db.get(color, cclasses) == "bisque"
+
+
+class TestDatabaseOps:
+    def test_put_overwrites(self):
+        db = db_with(("a.b", "1"), ("a.b", "2"))
+        assert db.get(["a", "b"], ["A", "B"]) == "2"
+
+    def test_remove(self):
+        db = db_with(("a.b", "1"))
+        assert db.remove("a.b")
+        assert not db.remove("a.b")
+        assert db.get(["a", "b"], ["A", "B"]) is None
+
+    def test_merge_overrides(self):
+        base = db_with(("a*x", "base"))
+        overlay = db_with(("a*x", "overlay"))
+        base.merge(overlay)
+        assert base.get(["a", "x"], ["A", "X"]) == "overlay"
+
+    def test_copy_is_independent(self):
+        db = db_with(("a.b", "1"))
+        clone = db.copy()
+        clone.put("a.b", "2")
+        assert db.get(["a", "b"], ["A", "B"]) == "1"
+
+    def test_load_string_and_to_string_roundtrip(self):
+        db = db_with(("swm*panel.p", "button a +0+0"), ("swm.x", "1"))
+        text = db.to_string()
+        db2 = ResourceDatabase()
+        db2.load_string(text)
+        assert sorted(db2.entries()) == sorted(db.entries())
+
+    def test_get_string_convenience(self):
+        db = db_with(("swm*background", "gray"))
+        assert db.get_string("swm.screen0.background", "Swm.Screen0.Background") == "gray"
+
+    def test_mismatched_lengths_rejected(self):
+        db = ResourceDatabase()
+        with pytest.raises(ValueError):
+            db.get(["a"], ["A", "B"])
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "resources"
+        path.write_text("swm.x: 42\n")
+        db = ResourceDatabase()
+        assert db.load_file(path) == 1
+        assert db.get(["swm", "x"], ["Swm", "X"]) == "42"
+
+    def test_cache_invalidation(self):
+        db = db_with(("a*x", "1"))
+        assert db.get(["a", "b", "x"], ["A", "B", "X"]) == "1"
+        db.put("a.b.x", "2")
+        assert db.get(["a", "b", "x"], ["A", "B", "X"]) == "2"
+
+
+_COMPONENT = st.sampled_from(["swm", "color", "screen0", "xclock", "panel",
+                              "button", "decoration", "background"])
+
+
+class TestMatchingProperties:
+    @given(names=st.lists(_COMPONENT, min_size=1, max_size=5))
+    def test_full_tight_specifier_always_wins(self, names):
+        classes = [n.capitalize() for n in names]
+        db = ResourceDatabase()
+        db.put("*" + names[-1], "loose")
+        db.put(".".join(names), "exact")
+        assert db.get(names, classes) == "exact"
+
+    @given(names=st.lists(_COMPONENT, min_size=2, max_size=5))
+    def test_star_attribute_matches_any_depth(self, names):
+        classes = [n.capitalize() for n in names]
+        db = ResourceDatabase()
+        db.put("*" + names[-1], "val")
+        assert db.get(names, classes) == "val"
+
+    @given(names=st.lists(_COMPONENT, min_size=1, max_size=5),
+           extra=_COMPONENT)
+    def test_no_false_positive_on_wrong_attribute(self, names, extra):
+        classes = [n.capitalize() for n in names]
+        db = ResourceDatabase()
+        db.put("*" + names[-1] + "-nomatch", "val")
+        assert db.get(names, classes) is None

@@ -1,0 +1,114 @@
+"""Property test: the Xrm DP matcher against a brute-force reference.
+
+The reference enumerates every alignment of entry components onto query
+levels and scores them with the same per-level precedence key; the
+production matcher must agree on both matchability and winner.
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xrm.database import ResourceDatabase, _match_score
+
+_COMPONENTS = ["app", "panel", "button", "ok", "font"]
+_QUERY_NAMES = ["app", "panel", "button", "ok", "font"]
+_QUERY_CLASSES = ["App", "Panel", "Button", "Ok", "Font"]
+
+
+def reference_score(entry, names, classes):
+    """Brute force: choose which query levels the entry's components
+    consume (in order), allowing skips only under loose bindings."""
+    levels = len(names)
+    parts = len(entry)
+    if parts > levels:
+        return None
+    best = None
+    for positions in combinations(range(levels), parts):
+        # Every level must be consumed or skipped by a loose binding:
+        # a level not in positions must be skippable, i.e. covered by
+        # the loose binding of the next consuming component (or the
+        # entry ends and there are no trailing unconsumed levels).
+        ok = True
+        score = []
+        pos_iter = list(positions)
+        # Check trailing: the last component must consume the last level.
+        if pos_iter[-1] != levels - 1:
+            continue
+        prev_end = -1
+        for index, level in enumerate(pos_iter):
+            binding, component = entry[index]
+            # Levels between prev_end+1 .. level-1 are skipped: only
+            # allowed when this component has a loose binding.
+            skipped = level - prev_end - 1
+            if skipped > 0 and binding != "*":
+                ok = False
+                break
+            for _ in range(skipped):
+                score.append((0, 0, 0))
+            tight = 1 if binding == "." else 0
+            if component == names[level]:
+                score.append((1, 3, tight))
+            elif component == classes[level]:
+                score.append((1, 2, tight))
+            elif component == "?":
+                score.append((1, 1, tight))
+            else:
+                ok = False
+                break
+            prev_end = level
+        if not ok:
+            continue
+        candidate = tuple(score)
+        if best is None or candidate > best:
+            best = candidate
+    return best
+
+
+_component_strategy = st.sampled_from(
+    _COMPONENTS + [c.capitalize() for c in _COMPONENTS] + ["?", "zzz"]
+)
+_entry_strategy = st.lists(
+    st.tuples(st.sampled_from([".", "*"]), _component_strategy),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestAgainstReference:
+    @given(entry=_entry_strategy)
+    @settings(max_examples=300)
+    def test_matcher_agrees_with_reference(self, entry):
+        entry = tuple(entry)
+        got = _match_score(entry, _QUERY_NAMES, _QUERY_CLASSES)
+        want = reference_score(entry, _QUERY_NAMES, _QUERY_CLASSES)
+        assert got == want
+
+    @given(entries=st.lists(_entry_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_database_winner_is_best_scoring(self, entries):
+        db = ResourceDatabase()
+        scored = {}
+        for index, entry in enumerate(entries):
+            entry = tuple(entry)
+            spec = ""
+            for position, (binding, component) in enumerate(entry):
+                if position == 0:
+                    spec += ("*" if binding == "*" else "") + component
+                else:
+                    spec += binding if binding == "*" else "."
+                    spec += component
+            db.put(spec, f"v{index}")
+            score = reference_score(entry, _QUERY_NAMES, _QUERY_CLASSES)
+            if score is not None:
+                # Later identical specifiers overwrite earlier ones.
+                scored[entry] = (score, f"v{index}")
+        got = db.get(_QUERY_NAMES, _QUERY_CLASSES)
+        if not scored:
+            assert got is None
+        else:
+            best_score = max(score for score, _ in scored.values())
+            winners = {value for score, value in scored.values()
+                       if score == best_score}
+            assert got in winners

@@ -1,0 +1,94 @@
+"""Resource file parsing."""
+
+import pytest
+
+from repro.xrm.parse import (
+    ResourceParseError,
+    parse_lines,
+    split_specifier,
+)
+
+
+class TestSplitSpecifier:
+    def test_tight_bindings(self):
+        assert split_specifier("swm.color.screen0") == [
+            (".", "swm"),
+            (".", "color"),
+            (".", "screen0"),
+        ]
+
+    def test_loose_binding(self):
+        assert split_specifier("swm*background") == [
+            (".", "swm"),
+            ("*", "background"),
+        ]
+
+    def test_leading_star(self):
+        assert split_specifier("*foreground") == [("*", "foreground")]
+
+    def test_consecutive_stars_collapse(self):
+        assert split_specifier("swm**x") == [(".", "swm"), ("*", "x")]
+
+    def test_question_component(self):
+        assert split_specifier("swm.?.screen0") == [
+            (".", "swm"),
+            (".", "?"),
+            (".", "screen0"),
+        ]
+
+    def test_star_dot_mix(self):
+        # '*.' -- the star wins for the following component.
+        assert split_specifier("a*.b") == [(".", "a"), ("*", "b")]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            split_specifier("")
+
+    def test_bad_component(self):
+        with pytest.raises(ValueError):
+            split_specifier("a.b c.d")
+
+
+class TestParseLines:
+    def test_basic_entry(self):
+        entries = list(parse_lines("swm*background: gray\n"))
+        assert entries == [([(".", "swm"), ("*", "background")], "gray")]
+
+    def test_comments_and_blanks_skipped(self):
+        text = "! a comment\n\nswm.x: 1\n"
+        assert len(list(parse_lines(text))) == 1
+
+    def test_preprocessor_skipped(self):
+        text = '#include "other"\nswm.x: 1\n'
+        assert len(list(parse_lines(text))) == 1
+
+    def test_continuation(self):
+        text = "swm*panel.p: \\\n  button a +0+0 \\\n  button b +1+0\n"
+        entries = list(parse_lines(text))
+        assert len(entries) == 1
+        assert "button a +0+0" in entries[0][1]
+        assert "button b +1+0" in entries[0][1]
+
+    def test_missing_colon(self):
+        with pytest.raises(ResourceParseError):
+            list(parse_lines("swm.value gray\n"))
+
+    def test_value_escapes(self):
+        entries = list(parse_lines(r"swm.x: line1\nline2"))
+        assert entries[0][1] == "line1\nline2"
+
+    def test_value_with_colon(self):
+        entries = list(parse_lines("swm.display: host:0.0\n"))
+        assert entries[0][1] == "host:0.0"
+
+    def test_single_leading_space_stripped(self):
+        entries = list(parse_lines("swm.x:  spaced\n"))
+        assert entries[0][1] == "spaced"
+
+    def test_error_carries_lineno(self):
+        try:
+            list(parse_lines("ok.x: 1\nbroken line\n"))
+        except ResourceParseError as exc:
+            assert exc.lineno == 2
+        else:
+            pytest.fail("expected ResourceParseError")

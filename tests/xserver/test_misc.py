@@ -1,0 +1,224 @@
+"""Colors, fonts, cursors, XIDs, rendering, stacking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xserver import ClientConnection, XServer
+from repro.xserver.colors import luminance, parse_color, to_monochrome
+from repro.xserver.cursorfont import cursor_glyph, is_cursor_name
+from repro.xserver.errors import BadColor, BadName, BadValue
+from repro.xserver.fonts import load_font
+from repro.xserver.render import Canvas, render_window
+from repro.xserver.window import Window
+from repro.xserver.geometry import Rect
+from repro.xserver.xid import XIDAllocator, XIDRange
+import repro.xserver.events as ev
+
+
+class TestColors:
+    def test_named(self):
+        assert parse_color("black") == (0, 0, 0)
+        assert parse_color("white") == (255, 255, 255)
+
+    def test_named_with_spaces_and_case(self):
+        assert parse_color("Slate Grey") == (112, 128, 144)
+        assert parse_color("slategrey") == (112, 128, 144)
+        assert parse_color("SlateGrey") == (112, 128, 144)
+
+    def test_hex_rrggbb(self):
+        assert parse_color("#ff8000") == (255, 128, 0)
+
+    def test_hex_rgb(self):
+        assert parse_color("#f80") == (255, 136, 0)
+
+    def test_hex_16bit(self):
+        assert parse_color("#ffff00000000") == (255, 0, 0)
+
+    def test_unknown(self):
+        with pytest.raises(BadColor):
+            parse_color("not a color")
+
+    def test_bad_hex(self):
+        with pytest.raises(BadColor):
+            parse_color("#ffff")
+
+    def test_monochrome_mapping(self):
+        assert to_monochrome((255, 255, 0)) == (255, 255, 255)
+        assert to_monochrome((0, 0, 128)) == (0, 0, 0)
+
+    def test_luminance_ordering(self):
+        assert luminance((255, 255, 255)) > luminance((100, 100, 100)) > luminance((0, 0, 0))
+
+
+class TestFonts:
+    def test_builtin(self):
+        font = load_font("fixed")
+        assert font.text_width("hello") == 5 * font.char_width
+
+    def test_nxn(self):
+        font = load_font("12x24")
+        assert font.char_width == 12 and font.height == 24
+
+    def test_xlfd_pixel_size(self):
+        font = load_font("-adobe-helvetica-bold-r-normal--14-100-100-100-p-82-iso8859-1")
+        assert font.height == 14
+
+    def test_xlfd_wildcard(self):
+        font = load_font("-*-helvetica-medium-r-*-*-*-120-*-*-*-*-*-*")
+        assert font.height > 6
+
+    def test_unknown_font(self):
+        with pytest.raises(BadName):
+            load_font("definitely-not-a-font")
+
+    def test_extents(self):
+        font = load_font("8x13")
+        width, height = font.text_extents("ab")
+        assert width == 16 and height == 13
+
+
+class TestCursors:
+    def test_known_glyphs(self):
+        assert cursor_glyph("left_ptr") == 68
+        assert cursor_glyph("question_arrow") == 92
+        assert is_cursor_name("fleur")
+
+    def test_unknown_glyph(self):
+        with pytest.raises(BadValue):
+            cursor_glyph("sparkly_unicorn")
+
+
+class TestXIDs:
+    def test_ranges_disjoint(self):
+        alloc = XIDAllocator()
+        a = alloc.new_range()
+        b = alloc.new_range()
+        ids_a = {a.allocate() for _ in range(100)}
+        ids_b = {b.allocate() for _ in range(100)}
+        assert not ids_a & ids_b
+
+    def test_owns(self):
+        alloc = XIDAllocator()
+        rng = alloc.new_range()
+        xid = rng.allocate()
+        assert rng.owns(xid)
+        assert not alloc.server_range.owns(xid)
+
+    def test_server_skips_reserved(self):
+        alloc = XIDAllocator()
+        assert alloc.allocate_server_id() >= 0x100
+
+
+class TestCanvas:
+    def test_text_and_frame(self):
+        canvas = Canvas(10, 3)
+        canvas.frame(0, 0, 10, 3)
+        canvas.text(1, 1, "hi")
+        out = canvas.to_string()
+        lines = out.split("\n")
+        assert lines[0].startswith("+")
+        assert "hi" in lines[1]
+
+    def test_put_out_of_bounds_ignored(self):
+        canvas = Canvas(2, 2)
+        canvas.put(5, 5, "x")  # no exception
+        assert "x" not in canvas.to_string()
+
+
+class TestRenderWindow:
+    def test_renders_nested_windows(self):
+        server = XServer(screens=[(320, 320, 8)])
+        conn = ClientConnection(server)
+        outer = conn.create_window(conn.root_window(), 0, 0, 320, 320,
+                                   border_width=1)
+        inner = conn.create_window(outer, 16, 32, 160, 160, border_width=1)
+        conn.map_window(outer)
+        conn.map_window(inner)
+        conn.set_string_property(inner, "SWM_LABEL", "clock")
+        out = render_window(server.window(outer), server.atoms)
+        assert "clock" in out
+        assert "+" in out
+
+    def test_unmapped_child_not_rendered(self):
+        server = XServer(screens=[(320, 320, 8)])
+        conn = ClientConnection(server)
+        outer = conn.create_window(conn.root_window(), 0, 0, 320, 320)
+        inner = conn.create_window(outer, 16, 32, 160, 160)
+        conn.map_window(outer)
+        conn.set_string_property(inner, "SWM_LABEL", "hidden")
+        out = render_window(server.window(outer), server.atoms)
+        assert "hidden" not in out
+
+    def test_shaped_window_renders_at_signs(self):
+        from repro.xserver.bitmap import Bitmap
+
+        server = XServer(screens=[(320, 320, 8)])
+        conn = ClientConnection(server)
+        wid = conn.create_window(conn.root_window(), 0, 0, 128, 128)
+        conn.map_window(wid)
+        server.window(wid).shape = None
+        conn.shape_window(wid, Bitmap.disc(128))
+        out = render_window(server.window(wid), server.atoms)
+        assert "@" in out
+
+
+class TestStacking:
+    @pytest.fixture
+    def tree(self):
+        server = XServer(screens=[(500, 500, 8)])
+        conn = ClientConnection(server)
+        root = conn.root_window()
+        wids = [conn.create_window(root, 10 * i, 10 * i, 50, 50)
+                for i in range(4)]
+        for wid in wids:
+            conn.map_window(wid)
+        return server, conn, wids
+
+    def test_circulate_raise_lowest(self, tree):
+        server, conn, wids = tree
+        conn.circulate_window(conn.root_window(), ev.RAISE_LOWEST)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[-1] == wids[0]
+
+    def test_circulate_lower_highest(self, tree):
+        server, conn, wids = tree
+        conn.circulate_window(conn.root_window(), ev.LOWER_HIGHEST)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[0] == wids[-1]
+
+    def test_top_if_raises_occluded(self, tree):
+        server, conn, wids = tree
+        # wids[0] overlaps wids[1]; TopIf should raise it.
+        conn.configure_window(wids[0], stack_mode=ev.TOP_IF)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[-1] == wids[0]
+
+    def test_top_if_noop_when_unobscured(self, tree):
+        server, conn, wids = tree
+        conn.move_window(wids[0], 400, 400)  # away from everyone
+        conn.configure_window(wids[0], stack_mode=ev.TOP_IF)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[0] == wids[0]
+
+    def test_opposite_flips(self, tree):
+        server, conn, wids = tree
+        conn.configure_window(wids[0], stack_mode=ev.OPPOSITE)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[-1] == wids[0]
+        conn.configure_window(wids[0], stack_mode=ev.OPPOSITE)
+        _, _, children = conn.query_tree(conn.root_window())
+        assert children[0] == wids[0]
+
+    @given(ops=st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=20))
+    def test_restack_preserves_set(self, ops):
+        server = XServer(screens=[(500, 500, 8)])
+        conn = ClientConnection(server)
+        root = conn.root_window()
+        wids = [conn.create_window(root, 0, 0, 50, 50) for _ in range(4)]
+        for index, raise_it in ops:
+            if raise_it:
+                conn.raise_window(wids[index])
+            else:
+                conn.lower_window(wids[index])
+        _, _, children = conn.query_tree(root)
+        assert sorted(children) == sorted(wids)

@@ -1,0 +1,165 @@
+"""Bitmaps, XBM round-trip, and the SHAPE extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.xserver.events as ev
+from repro.xserver import ClientConnection, EventMask, XServer
+from repro.xserver.bitmap import Bitmap, lookup_bitmap, stock_bitmap_names
+from repro.xserver.shape import (
+    SHAPE_INTERSECT,
+    SHAPE_SUBTRACT,
+    SHAPE_UNION,
+    ShapeRegion,
+)
+
+
+class TestBitmap:
+    def test_from_strings(self):
+        bitmap = Bitmap.from_strings(["#.#", ".#."])
+        assert bitmap.width == 3 and bitmap.height == 2
+        assert bitmap.get(0, 0) and not bitmap.get(1, 0)
+
+    def test_solid(self):
+        bitmap = Bitmap.solid(4, 3)
+        assert bitmap.count_set() == 12
+
+    def test_out_of_bounds_get_is_false(self):
+        bitmap = Bitmap.solid(2, 2)
+        assert not bitmap.get(-1, 0)
+        assert not bitmap.get(5, 5)
+
+    def test_disc_is_roundish(self):
+        disc = Bitmap.disc(16)
+        assert disc.get(8, 8)
+        assert not disc.get(0, 0)
+        assert not disc.get(15, 15)
+        # Area close to pi*r^2.
+        assert abs(disc.count_set() - 3.14159 * 64) < 20
+
+    def test_xbm_roundtrip(self):
+        bitmap = Bitmap.from_strings(["##..##..#", ".########", "#........"])
+        text = bitmap.to_xbm("test")
+        parsed = Bitmap.from_xbm(text)
+        assert parsed == bitmap
+
+    def test_xbm_parse_real_format(self):
+        text = """
+        #define star_width 8
+        #define star_height 2
+        static unsigned char star_bits[] = { 0x01, 0x80 };
+        """
+        bitmap = Bitmap.from_xbm(text)
+        assert bitmap.get(0, 0)
+        assert bitmap.get(7, 1)
+        assert bitmap.count_set() == 2
+
+    def test_xbm_missing_defines(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_xbm("static unsigned char b[] = {0x00};")
+
+    def test_xbm_short_data(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_xbm(
+                "#define a_width 16\n#define a_height 2\n"
+                "static unsigned char a_bits[] = {0x00};"
+            )
+
+    def test_stock_bitmaps(self):
+        assert "xlogo32" in stock_bitmap_names()
+        logo = lookup_bitmap("xlogo32")
+        assert logo.width == 32 and logo.height == 32
+        assert logo.count_set() > 0
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(3, 2, [[True, False]])
+
+    @given(st.lists(st.lists(st.booleans(), min_size=1, max_size=20),
+                    min_size=1, max_size=10).filter(
+                        lambda rows: len({len(r) for r in rows}) == 1))
+    def test_xbm_roundtrip_property(self, rows):
+        bitmap = Bitmap(len(rows[0]), len(rows), rows)
+        assert Bitmap.from_xbm(bitmap.to_xbm()) == bitmap
+
+
+class TestShapeRegion:
+    def test_contains_with_offset(self):
+        region = ShapeRegion(Bitmap.solid(4, 4), x_offset=10, y_offset=10)
+        assert region.contains(10, 10)
+        assert region.contains(13, 13)
+        assert not region.contains(9, 10)
+        assert not region.contains(14, 14)
+
+    def test_extents(self):
+        mask = Bitmap.from_strings(["....", ".##.", ".##.", "...."])
+        region = ShapeRegion(mask)
+        assert region.extents() == (1, 1, 2, 2)
+
+    def test_empty_extents(self):
+        assert ShapeRegion(Bitmap.solid(3, 3, False)).extents() is None
+
+    def test_union(self):
+        a = ShapeRegion(Bitmap.from_strings(["#."]))
+        b = ShapeRegion(Bitmap.from_strings([".#"]))
+        combined = a.combine(b, SHAPE_UNION)
+        assert combined.contains(0, 0) and combined.contains(1, 0)
+
+    def test_intersect(self):
+        a = ShapeRegion(Bitmap.from_strings(["##"]))
+        b = ShapeRegion(Bitmap.from_strings([".#"]))
+        combined = a.combine(b, SHAPE_INTERSECT)
+        assert not combined.contains(0, 0) and combined.contains(1, 0)
+
+    def test_subtract(self):
+        a = ShapeRegion(Bitmap.from_strings(["##"]))
+        b = ShapeRegion(Bitmap.from_strings([".#"]))
+        combined = a.combine(b, SHAPE_SUBTRACT)
+        assert combined.contains(0, 0) and not combined.contains(1, 0)
+
+    def test_from_rects(self):
+        region = ShapeRegion.from_rects(10, 10, [(0, 0, 2, 2), (5, 5, 3, 3)])
+        assert region.contains(1, 1)
+        assert region.contains(6, 6)
+        assert not region.contains(3, 3)
+        assert region.area() == 4 + 9
+
+
+class TestShapedWindows:
+    @pytest.fixture
+    def server(self):
+        return XServer(screens=[(500, 500, 8)])
+
+    @pytest.fixture
+    def conn(self, server):
+        return ClientConnection(server, "oclock")
+
+    def test_shape_window(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 64, 64)
+        conn.shape_window(wid, Bitmap.disc(64))
+        assert conn.window_is_shaped(wid)
+
+    def test_shape_notify_delivered(self, server, conn):
+        wm = ClientConnection(server, "wm")
+        wid = conn.create_window(conn.root_window(), 0, 0, 64, 64)
+        wm.select_input(wid, EventMask.StructureNotify)
+        conn.shape_window(wid, Bitmap.disc(64))
+        notifies = wm.flush_events(ev.ShapeNotify)
+        assert notifies and notifies[0].shaped
+
+    def test_unshape(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 0, 0, 64, 64)
+        conn.shape_window(wid, Bitmap.disc(64))
+        conn.shape_window(wid, None)
+        assert not conn.window_is_shaped(wid)
+
+    def test_hit_test_honours_shape(self, server, conn):
+        wid = conn.create_window(conn.root_window(), 100, 100, 64, 64)
+        conn.map_window(wid)
+        conn.shape_window(wid, Bitmap.disc(64))
+        # Center of the disc hits the window...
+        server.motion(132, 132)
+        assert server.pointer.window.id == wid
+        # ...the square's corner does not (falls through to root).
+        server.motion(101, 101)
+        assert server.pointer.window.id == conn.root_window()
