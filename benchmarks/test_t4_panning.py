@@ -13,7 +13,7 @@ import pytest
 
 import repro.xserver.events as ev
 from repro.clients import NaiveApp, XClock
-from repro.xserver import MAX_WINDOW_SIZE
+from repro.xserver import ClientConnection, EventMask, MAX_WINDOW_SIZE
 
 from .conftest import fresh_server, fresh_wm, report
 
@@ -75,6 +75,56 @@ def test_t4_scrollbar_style_edge_pans():
     for _ in range(100):
         wm.execute(FunctionCall("pan", "100 0"))
     assert vdesk.pan_x == 3000 - 1152  # clamped at the desktop edge
+
+
+def test_t4_pan_sweep_coalescing_guard():
+    """Benchmark guard for the event pipeline: with coalescing on (the
+    default), an undrained pan sweep plus pointer sweep must deliver at
+    most half the raw ConfigureNotify/MotionNotify volume the server
+    produced — measured via ``server.stats()``."""
+    server = fresh_server()
+    wm = fresh_wm(server, vdesk="8000x6000")
+    vdesk_win = wm.screens[0].vdesk.window
+    watcher = ClientConnection(server, "watcher")
+    # Watch the Virtual Desktop window itself: a pan is one
+    # ConfigureWindow on it, so each pan produces one ConfigureNotify.
+    watcher.select_input(vdesk_win, EventMask.StructureNotify)
+    # An override-redirect overlay (ignored by the WM) to soak up the
+    # pointer sweep as MotionNotify.
+    overlay = watcher.create_window(
+        watcher.root_window(), 0, 0, 1152, 900,
+        override_redirect=True, event_mask=EventMask.PointerMotion,
+    )
+    watcher.map_window(overlay)
+    watcher.events()
+    stats = server.stats()
+    stats.reset()
+
+    steps = 64
+    for step in range(steps):
+        wm.pan_to(0, (step * 4800) // steps, (step * 3000) // steps)
+    for step in range(steps):
+        server.motion(10 + (step * 17) % 1100, 10 + (step * 11) % 880)
+
+    cid = watcher.client_id
+    raw_cfg = stats.raw_count("ConfigureNotify", client_id=cid)
+    raw_motion = stats.raw_count("MotionNotify", client_id=cid)
+    assert raw_cfg >= steps // 2        # the sweep really generated a flood
+    assert raw_motion >= steps // 2
+    delivered_cfg = stats.delivered_count("ConfigureNotify", client_id=cid)
+    delivered_motion = stats.delivered_count("MotionNotify", client_id=cid)
+    assert delivered_cfg <= raw_cfg / 2
+    assert delivered_motion <= raw_motion / 2
+    # What the watcher drains is exactly what was counted as delivered.
+    drained = watcher.events()
+    assert sum(isinstance(e, ev.ConfigureNotify) for e in drained) == delivered_cfg
+    assert sum(isinstance(e, ev.MotionNotify) for e in drained) == delivered_motion
+    report(
+        "T4: pan sweep coalescing guard",
+        [f"{'event':>16s} {'raw':>6s} {'delivered':>10s}",
+         f"{'ConfigureNotify':>16s} {raw_cfg:>6d} {delivered_cfg:>10d}",
+         f"{'MotionNotify':>16s} {raw_motion:>6d} {delivered_motion:>10d}"],
+    )
 
 
 @pytest.mark.benchmark(group="t4")

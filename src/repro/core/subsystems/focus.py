@@ -1,0 +1,103 @@
+"""Focus and client-lifecycle controller (ICCCM protocols).
+
+Owns input-focus handoff (WM_TAKE_FOCUS, the "globally active" input
+model), polite client shutdown (WM_DELETE_WINDOW), and the
+<Enter>/<Leave> crossing bindings that implement focus-follows-mouse
+style policies from the resource database.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ... import icccm
+from ...xserver import events as ev
+from . import PRI_BINDINGS, Subsystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..managed import ManagedWindow
+
+WM_DELETE_WINDOW = "WM_DELETE_WINDOW"
+WM_PROTOCOLS = "WM_PROTOCOLS"
+WM_TAKE_FOCUS = "WM_TAKE_FOCUS"
+
+
+class FocusController(Subsystem):
+    """ICCCM focus + shutdown protocols and crossing bindings."""
+
+    name = "focus"
+
+    def event_handlers(self):
+        return (
+            (ev.EnterNotify, PRI_BINDINGS, self._on_enter),
+            (ev.LeaveNotify, PRI_BINDINGS, self._on_leave),
+        )
+
+    # ------------------------------------------------------------------
+    # Focus / lifecycle per client
+    # ------------------------------------------------------------------
+
+    def focus_managed(self, managed: "ManagedWindow") -> None:
+        """ICCCM focus: clients speaking WM_TAKE_FOCUS get the protocol
+        message (the "globally active" input model); everyone else gets
+        SetInputFocus directly."""
+        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        if WM_TAKE_FOCUS in protocols:
+            message = ev.ClientMessage(
+                window=managed.client,
+                message_type=self.conn.intern_atom(WM_PROTOCOLS),
+                data=(
+                    self.conn.intern_atom(WM_TAKE_FOCUS),
+                    self.server.timestamp,
+                ),
+            )
+            self.conn.send_event(managed.client, message)
+            return
+        self.conn.set_input_focus(managed.client)
+
+    def delete_client(self, managed: "ManagedWindow") -> None:
+        """Close politely via WM_DELETE_WINDOW when the client speaks
+        the protocol; destroy otherwise."""
+        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        if WM_DELETE_WINDOW in protocols:
+            message = ev.ClientMessage(
+                window=managed.client,
+                message_type=self.conn.intern_atom(WM_PROTOCOLS),
+                data=(self.conn.intern_atom(WM_DELETE_WINDOW),),
+            )
+            self.conn.send_event(managed.client, message)
+        else:
+            self.destroy_client(managed)
+
+    def destroy_client(self, managed: "ManagedWindow") -> None:
+        self.conn.destroy_window(managed.client)
+
+    # ------------------------------------------------------------------
+    # Crossing bindings
+    # ------------------------------------------------------------------
+
+    def _on_enter(self, event: ev.EnterNotify) -> bool:
+        return self._crossing_binding(event, "Enter")
+
+    def _on_leave(self, event: ev.LeaveNotify) -> bool:
+        return self._crossing_binding(event, "Leave")
+
+    def _crossing_binding(self, event, kind: str) -> bool:
+        """Objects can bind <Enter>/<Leave> (e.g. focus-follows-mouse:
+        swm*panel.<deco>.bindings: <Enter> : f.focus)."""
+        entry = self.wm.object_windows.get(event.window)
+        if entry is None:
+            return False
+        obj, managed, screen = entry
+        for binding in obj.bindings:
+            if binding.event == kind:
+                for call in binding.functions:
+                    self.wm.execute(
+                        call,
+                        screen=screen,
+                        context=managed,
+                        pointer=(event.x_root, event.y_root),
+                        event=event,
+                    )
+                return True
+        return False

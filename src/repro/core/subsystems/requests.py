@@ -1,0 +1,186 @@
+"""Redirect-protocol controller.
+
+Owns the SubstructureRedirect side of the window manager: MapRequest /
+ConfigureRequest / CirculateRequest interception, client lifecycle
+notifications (DestroyNotify, UnmapNotify with ICCCM withdrawal
+semantics), and PropertyNotify — including the swmcmd root-property
+command channel (§4.3).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING
+
+from ... import icccm
+from ...icccm.hints import ICONIC_STATE
+from ...xserver import events as ev
+from ...xserver.xid import NONE
+from ..functions import FunctionError
+from ..swmcmd import COMMAND_PROPERTY, SwmCmdError, parse_command_stream
+from . import PRI_SUBSYSTEM, Subsystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..wm import ScreenContext
+
+logger = logging.getLogger("repro.swm")
+
+
+class RedirectController(Subsystem):
+    """Client requests redirected to the WM, and client lifecycle."""
+
+    name = "requests"
+
+    def event_handlers(self):
+        return (
+            (ev.MapRequest, PRI_SUBSYSTEM, self._on_map_request),
+            (ev.ConfigureRequest, PRI_SUBSYSTEM, self._on_configure_request),
+            (ev.CirculateRequest, PRI_SUBSYSTEM, self._on_circulate_request),
+            (ev.DestroyNotify, PRI_SUBSYSTEM, self._on_destroy_notify),
+            (ev.UnmapNotify, PRI_SUBSYSTEM, self._on_unmap_notify),
+            (ev.PropertyNotify, PRI_SUBSYSTEM, self._on_property_notify),
+        )
+
+    def _on_map_request(self, event: ev.MapRequest) -> bool:
+        wm = self.wm
+        client = event.requestor
+        managed = wm.managed.get(client)
+        if managed is None:
+            wm.manage(client)
+        elif managed.state == ICONIC_STATE:
+            wm.deiconify(managed)
+        else:
+            self.conn.map_window(client)
+            self.conn.map_window(managed.frame)
+        return True
+
+    def _on_configure_request(self, event: ev.ConfigureRequest) -> bool:
+        wm = self.wm
+        client = event.window
+        managed = wm.managed.get(client)
+        if managed is None:
+            # Unmanaged window: pass the request through.
+            self.conn.configure_window(
+                client,
+                **self._configure_kwargs(event),
+            )
+            return True
+        if event.value_mask & (ev.CWWidth | ev.CWHeight):
+            _, _, width, height, _ = self.conn.get_geometry(client)
+            new_w = event.width if event.value_mask & ev.CWWidth else width
+            new_h = event.height if event.value_mask & ev.CWHeight else height
+            wm.resize_managed(managed, new_w, new_h)
+        if event.value_mask & (ev.CWX | ev.CWY):
+            position = wm.client_desktop_position(managed)
+            new_x = event.x if event.value_mask & ev.CWX else position.x
+            new_y = event.y if event.value_mask & ev.CWY else position.y
+            wm.move_client_to(managed, new_x, new_y)
+        if event.value_mask & ev.CWStackMode and event.sibling == NONE:
+            if event.stack_mode == ev.ABOVE:
+                wm.raise_managed(managed)
+            elif event.stack_mode == ev.BELOW:
+                wm.lower_managed(managed)
+        wm._send_synthetic_configure(managed)
+        return True
+
+    @staticmethod
+    def _configure_kwargs(event: ev.ConfigureRequest) -> dict:
+        kwargs = {}
+        if event.value_mask & ev.CWX:
+            kwargs["x"] = event.x
+        if event.value_mask & ev.CWY:
+            kwargs["y"] = event.y
+        if event.value_mask & ev.CWWidth:
+            kwargs["width"] = event.width
+        if event.value_mask & ev.CWHeight:
+            kwargs["height"] = event.height
+        if event.value_mask & ev.CWBorderWidth:
+            kwargs["border_width"] = event.border_width
+        if event.value_mask & ev.CWStackMode:
+            kwargs["stack_mode"] = event.stack_mode
+            if event.value_mask & ev.CWSibling:
+                kwargs["sibling"] = event.sibling
+        return kwargs
+
+    def _on_circulate_request(self, event: ev.CirculateRequest) -> bool:
+        wm = self.wm
+        managed = wm.managed.get(event.window)
+        if managed is not None:
+            if event.place == ev.PLACE_ON_TOP:
+                wm.raise_managed(managed)
+            else:
+                wm.lower_managed(managed)
+            return True
+        window = event.window
+        if self.conn.window_exists(window):
+            if event.place == ev.PLACE_ON_TOP:
+                self.conn.raise_window(window)
+            else:
+                self.conn.lower_window(window)
+        return True
+
+    def _on_destroy_notify(self, event: ev.DestroyNotify) -> bool:
+        managed = self.wm.managed.get(event.destroyed_window)
+        if managed is not None:
+            self.wm.unmanage(managed, destroyed=True)
+        return True
+
+    def _on_unmap_notify(self, event: ev.UnmapNotify) -> bool:
+        wm = self.wm
+        client = event.unmapped_window
+        managed = wm.managed.get(client)
+        if managed is None:
+            return True
+        pending = wm._ignore_unmaps.get(client, 0)
+        if pending > 0:
+            wm._ignore_unmaps[client] = pending - 1
+            return True
+        # ICCCM withdrawal: the client unmapped itself.
+        wm.unmanage(managed)
+        return True
+
+    def _on_property_notify(self, event: ev.PropertyNotify) -> bool:
+        wm = self.wm
+        atom_name = self.server.atoms.name(event.atom)
+        # swmcmd commands arrive as a root property (§4.3).
+        if atom_name == COMMAND_PROPERTY and event.state == ev.PROPERTY_NEW_VALUE:
+            for sc in wm.screens:
+                if sc.root == event.window:
+                    self._handle_swmcmd(sc)
+                    return True
+        managed = wm.managed.get(event.window)
+        if managed is None:
+            return True
+        if atom_name == "WM_NAME":
+            wm.decor.update_title(managed)
+        elif atom_name == "WM_ICON_NAME":
+            wm.iconifier.update_icon_name(managed)
+        elif atom_name == "WM_NORMAL_HINTS":
+            managed.size_hints = (
+                icccm.get_wm_normal_hints(self.conn, managed.client)
+                or managed.size_hints
+            )
+        elif atom_name == "WM_HINTS":
+            managed.wm_hints = (
+                icccm.get_wm_hints(self.conn, managed.client)
+                or managed.wm_hints
+            )
+        return True
+
+    def _handle_swmcmd(self, sc: "ScreenContext") -> None:
+        text = self.conn.get_string_property(sc.root, COMMAND_PROPERTY)
+        if not text:
+            return
+        self.conn.delete_property(sc.root, COMMAND_PROPERTY)
+        try:
+            calls = parse_command_stream(text)
+        except SwmCmdError as exc:
+            logger.warning("swmcmd: rejected command text: %s", exc)
+            self.wm.beep()
+            return
+        for call in calls:
+            try:
+                self.wm.execute(call, screen=sc.number)
+            except FunctionError as exc:
+                logger.warning("swmcmd: %s", exc)
+                self.wm.beep()

@@ -1,0 +1,121 @@
+"""Session / WM-lifecycle controller (§7).
+
+Owns the swmhints restart table (read from the SWM_RESTART_INFO root
+property before adopting clients), the matching of new clients against
+restart records, f.places script generation, and the f.quit/f.restart
+lifecycle transitions.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import List, Optional
+
+from ... import icccm
+from . import Subsystem
+
+#: Root property carrying swmhints session-restart records (§7).
+RESTART_PROPERTY = "SWM_RESTART_INFO"
+
+logger = logging.getLogger("repro.swm")
+
+
+class RestartController(Subsystem):
+    """Session save/restore and WM lifecycle."""
+
+    name = "restart"
+
+    def __init__(self, wm):
+        super().__init__(wm)
+        #: Parsed swmhints records not yet claimed by a client.
+        self.restart_table: List[dict] = []
+
+    def load_restart_table(self, root: int) -> None:
+        """Read swmhints restart records before adopting clients (§7)."""
+        from ...session.hints import read_restart_property
+
+        self.restart_table = read_restart_property(self.conn, root)
+
+    def match_restart_entry(self, client: int) -> Optional[dict]:
+        """Find (and consume) a session-restart record whose WM_COMMAND
+        — and, when present, WM_CLIENT_MACHINE — matches (§7)."""
+        command = icccm.get_wm_command_string(self.conn, client)
+        if command is None or not self.restart_table:
+            return None
+        machine = icccm.get_wm_client_machine(self.conn, client)
+        for entry in self.restart_table:
+            if entry["command"] != command:
+                continue
+            wanted = entry.get("machine")
+            if wanted and machine and wanted != machine:
+                continue
+            self.restart_table.remove(entry)
+            return entry
+        return None
+
+    def save_places(self) -> str:
+        """f.places: write the restart script (§7)."""
+        from ...session.places import write_places
+
+        return write_places(self.wm, self.wm.places_path)
+
+    # ------------------------------------------------------------------
+    # WM lifecycle
+    # ------------------------------------------------------------------
+
+    def quit(self) -> None:
+        """Shut down: release every client, then disconnect."""
+        wm = self.wm
+        logger.info(
+            "swm shutting down (%d managed clients)",
+            sum(1 for m in wm.managed.values() if not m.is_internal),
+        )
+        wm.running = False
+        for managed in list(wm.managed.values()):
+            if not managed.is_internal:
+                wm.unmanage(managed)
+        self.conn.close()
+
+    def restart(self) -> None:
+        """Re-read configuration and re-manage everything (f.restart)."""
+        from ..wm import ScreenContext
+
+        wm = self.wm
+        logger.info("swm restarting")
+        clients = [m.client for m in wm.managed.values() if not m.is_internal]
+        for managed in list(wm.managed.values()):
+            wm.unmanage(managed)
+        for sc in wm.screens:
+            for holder in sc.icon_holders:
+                if self.conn.window_exists(holder.window):
+                    self.conn.destroy_window(holder.window)
+            for icon in sc.root_icons.values():
+                if self.conn.window_exists(icon.window):
+                    self.conn.destroy_window(icon.window)
+            if sc.panner is not None and self.conn.window_exists(
+                sc.panner.window
+            ):
+                self.conn.destroy_window(sc.panner.window)
+            if sc.scrollbars is not None:
+                for bar in (sc.scrollbars.vertical, sc.scrollbars.horizontal):
+                    if self.conn.window_exists(bar):
+                        self.conn.destroy_window(bar)
+            for vdesk in sc.vdesks:
+                if self.conn.window_exists(vdesk.window):
+                    self.conn.destroy_window(vdesk.window)
+        wm.object_windows.clear()
+        wm.icon_windows.clear()
+        wm.corner_windows.clear()
+        wm.screens = []
+        for number in range(len(wm.server.screens)):
+            sc = ScreenContext(wm, number)
+            wm.screens.append(sc)
+            wm.desktop.setup_virtual_desktop(sc)
+            wm.iconifier.setup_icon_holders(sc)
+            wm._setup_root_panels(sc)
+            wm.iconifier.setup_root_icons(sc)
+            wm.desktop.setup_panner(sc)
+            wm.desktop.setup_scrollbars(sc)
+        for client in clients:
+            if self.conn.window_exists(client):
+                wm.manage(client)

@@ -8,13 +8,18 @@ swm is an ordinary X client: it selects SubstructureRedirect on each
 root, decorates clients by reparenting them into panel hierarchies
 described entirely in the resource database, and dispatches button/key
 events on object windows through each object's bindings attribute.
+
+The :class:`Swm` class is a facade: behaviour lives in subsystem
+controllers (see :mod:`repro.core.subsystems`), each of which
+contributes event handlers to a declarative dispatch table.  Shared
+state — the managed/frames/object-window tables and the per-screen
+contexts — lives here so controllers and the public API see one truth.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import icccm
 from ..icccm.hints import (
@@ -34,69 +39,41 @@ from ..xserver.geometry import Point, Rect, Size, parse_geometry
 from ..xserver.server import XServer
 from ..xserver.xid import NONE
 from ..xrm.database import ResourceDatabase
-from .bindings import (
-    Binding,
-    bindings_for_button,
-    bindings_for_key,
-    bindings_for_motion,
-    )
+from .bindings import Binding
 from .decorate import (
-    DecorationPlan,
     build_decoration,
     client_context,
     decoration_name,
     frame_shape_for,
-    icon_panel_name,
 )
-from .functions import FunctionError, Invocation, lookup as lookup_function
-from .icons import Icon, IconHolder, build_icon_panel
+from .icons import Icon, IconHolder
 from .managed import ManagedWindow
-from .objects import Button, Menu, Panel, SwmObject, TextObject, object_factory
+from .objects import Panel, SwmObject, object_factory
 from .panner import Panner
-from .swmcmd import COMMAND_PROPERTY, SwmCmdError, parse_command_stream
 from .templates import DEFAULT_TEMPLATE
 from .virtual import VirtualDesktop
+from .subsystems import (
+    PRI_SUBSYSTEM,
+    DecorController,
+    DesktopController,
+    FocusController,
+    IconifyController,
+    InputController,
+    RedirectController,
+    RestartController,
+)
 
-#: Property swm writes on every client: the window ID of its effective
-#: root (the Virtual Desktop window, or the real root for sticky
-#: windows).  vroot-aware toolkits position popups against it (§6.3).
-SWM_ROOT_PROPERTY = "SWM_ROOT"
-
-#: Root property carrying swmhints session-restart records (§7).
-RESTART_PROPERTY = "SWM_RESTART_INFO"
-
-WM_CHANGE_STATE = "WM_CHANGE_STATE"
-WM_DELETE_WINDOW = "WM_DELETE_WINDOW"
-WM_PROTOCOLS = "WM_PROTOCOLS"
+# Re-exported: these names historically lived here and are part of the
+# public surface (tests, session code, user scripts import them).
+from .subsystems.desktop import SWM_ROOT_PROPERTY  # noqa: F401
+from .subsystems.focus import WM_DELETE_WINDOW, WM_PROTOCOLS  # noqa: F401
+from .subsystems.iconify import WM_CHANGE_STATE  # noqa: F401
+from .subsystems.input import Drag, Selection  # noqa: F401
+from .subsystems.restart import RESTART_PROPERTY  # noqa: F401
 
 CASCADE_STEP = 28
 
 logger = logging.getLogger("repro.swm")
-
-
-@dataclass
-class Drag:
-    """An interactive move/resize in progress."""
-
-    kind: str  # "move" or "resize"
-    managed: ManagedWindow
-    start_pointer: Tuple[int, int]
-    start_rect: Rect  # frame rect in its parent's coordinates
-    current: Rect = None  # type: ignore[assignment]
-    in_panner: bool = False
-
-    def __post_init__(self):
-        if self.current is None:
-            self.current = self.start_rect
-
-
-@dataclass
-class Selection:
-    """A pending interactive window selection (question-mark pointer)."""
-
-    call: object  # FunctionCall
-    multiple: bool
-    screen: int
 
 
 class ScreenContext:
@@ -165,7 +142,11 @@ class ScreenContext:
 
 
 class Swm:
-    """The swm window manager client."""
+    """The swm window manager client: a facade over subsystem
+    controllers wired to a declarative event-handler table."""
+
+    CORNER_SIZE = DecorController.CORNER_SIZE
+    WM_TAKE_FOCUS = "WM_TAKE_FOCUS"
 
     def __init__(
         self,
@@ -195,21 +176,32 @@ class Swm:
             self.db.load_string(DEFAULT_TEMPLATE)
         self.managed: Dict[int, ManagedWindow] = {}
         self.frames: Dict[int, ManagedWindow] = {}
-        self.object_windows: Dict[int, Tuple[SwmObject, Optional[ManagedWindow], int]] = {}
+        self.object_windows: Dict[
+            int, Tuple[SwmObject, Optional[ManagedWindow], int]
+        ] = {}
         self.icon_windows: Dict[int, Icon] = {}
         self.corner_windows: Dict[int, ManagedWindow] = {}
         self.screens: List[ScreenContext] = []
-        self.drag: Optional[Drag] = None
-        self.selection: Optional[Selection] = None
-        self.active_menu: Optional[Tuple[Menu, int, Optional[ManagedWindow]]] = None
         self.beeps = 0
         self.running = True
         self.launched: List[object] = []  # apps started by f.exec
         self._ignore_unmaps: Dict[int, int] = {}
         self._processing = False
-        self.restart_table: List[dict] = []
 
-        from ..session.hints import read_restart_property
+        # Subsystem controllers: each owns one slice of behaviour and
+        # contributes handlers to the dispatch table below.
+        self.desktop = DesktopController(self)
+        self.decor = DecorController(self)
+        self.iconifier = IconifyController(self)
+        self.focuser = FocusController(self)
+        self.session = RestartController(self)
+        self.input = InputController(self)
+        self.requests = RedirectController(self)
+
+        self._handler_table: Dict[
+            type, List[Tuple[int, int, Callable[[ev.Event], object]]]
+        ] = {}
+        self._install_handlers()
 
         for number in range(len(server.screens)):
             screen_ctx = ScreenContext(self, number)
@@ -223,19 +215,54 @@ class Swm:
                 | EventMask.ButtonRelease
                 | EventMask.KeyPress,
             )
-            self._setup_virtual_desktop(screen_ctx)
-            self._setup_icon_holders(screen_ctx)
+            self.desktop.setup_virtual_desktop(screen_ctx)
+            self.iconifier.setup_icon_holders(screen_ctx)
         # Read swmhints restart records before adopting clients (§7).
-        self.restart_table = read_restart_property(self.conn, self.screens[0].root)
+        self.session.load_restart_table(self.screens[0].root)
         for screen_ctx in self.screens:
             self._setup_root_panels(screen_ctx)
-            self._setup_root_icons(screen_ctx)
-            self._setup_panner(screen_ctx)
-            self._setup_scrollbars(screen_ctx)
+            self.iconifier.setup_root_icons(screen_ctx)
+            self.desktop.setup_panner(screen_ctx)
+            self.desktop.setup_scrollbars(screen_ctx)
         if manage_existing:
             self._adopt_existing()
         self.conn.event_handlers.append(self._on_event)
         self.process_pending()
+
+    # ------------------------------------------------------------------
+    # Handler table
+    # ------------------------------------------------------------------
+
+    def register_handler(
+        self,
+        event_cls: type,
+        handler: Callable[[ev.Event], object],
+        priority: int = PRI_SUBSYSTEM,
+    ) -> None:
+        """Install *handler* for *event_cls*.  Handlers run in priority
+        order (ties break by registration order); a truthy return
+        consumes the event and stops the chain."""
+        entries = self._handler_table.setdefault(event_cls, [])
+        entries.append((priority, len(entries), handler))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+    def _install_handlers(self) -> None:
+        for controller in (
+            self.input,
+            self.desktop,
+            self.decor,
+            self.iconifier,
+            self.focuser,
+            self.session,
+            self.requests,
+        ):
+            for event_cls, priority, handler in controller.event_handlers():
+                self.register_handler(event_cls, handler, priority)
+
+    def _dispatch(self, event: ev.Event) -> None:
+        for _, _, handler in self._handler_table.get(type(event), ()):
+            if handler(event):
+                return
 
     # ------------------------------------------------------------------
     # Startup
@@ -248,58 +275,6 @@ class Swm:
             for pairs, _ in ((spec, val) for spec, val in db._entries.items())
         )
 
-    def _setup_virtual_desktop(self, sc: ScreenContext) -> None:
-        spec = sc.ctx.get_string([], "virtualDesktop")
-        if not spec:
-            return
-        geometry = parse_geometry(spec)
-        if geometry.width is None or geometry.height is None:
-            raise ValueError(f"bad virtualDesktop size {spec!r}")
-        count = max(1, sc.ctx.get_int([], "virtualDesktops", 1))
-        for _ in range(count):
-            sc.vdesks.append(
-                VirtualDesktop(
-                    self.conn,
-                    sc.screen,
-                    Size(geometry.width, geometry.height),
-                    background=sc.ctx.get_string([], "desktopBackground"),
-                )
-            )
-        sc.current_desktop = 0
-        # Only the current desktop's window is mapped.
-        for vdesk in sc.vdesks[1:]:
-            self.conn.unmap_window(vdesk.window)
-
-    def _setup_scrollbars(self, sc: ScreenContext) -> None:
-        if sc.vdesk is None or not sc.ctx.get_bool([], "scrollbars", False):
-            return
-        from .scrollbars import ScrollBars
-
-        sc.scrollbars = ScrollBars(self.conn, sc.ctx, sc.vdesk)
-
-    def _setup_panner(self, sc: ScreenContext) -> None:
-        if sc.vdesk is None:
-            return
-        if not sc.ctx.get_bool([], "panner", True):
-            return
-        sc.panner = Panner(
-            self.conn,
-            sc.ctx,
-            sc.vdesk,
-            get_windows=lambda sc=sc: self._panner_windows(sc),
-            move_window=lambda managed, x, y: self.move_managed_to(managed, x, y),
-        )
-        icccm.set_wm_class(self.conn, sc.panner.window, "panner", "Swm")
-        icccm.set_wm_name(self.conn, sc.panner.window, "Virtual Desktop")
-        self.manage(sc.panner.window, internal=True, sticky=True)
-
-    def _setup_icon_holders(self, sc: ScreenContext) -> None:
-        names = (sc.ctx.get_string([], "iconHolders") or "").split()
-        for name in names:
-            sc.icon_holders.append(
-                IconHolder(self.conn, sc.ctx, name, sc.root)
-            )
-
     def _setup_root_panels(self, sc: ScreenContext) -> None:
         names = (sc.ctx.get_string([], "rootPanels") or "").split()
         for name in names:
@@ -310,7 +285,8 @@ class Swm:
             geo = parse_geometry(geometry)
             position = geo.resolve(Size(sc.screen.width, sc.screen.height), size)
             window = panel.realize_tree(
-                self.conn, sc.root, Rect(position.x, position.y, size.width, size.height)
+                self.conn, sc.root,
+                Rect(position.x, position.y, size.width, size.height),
             )
             icccm.set_wm_class(self.conn, window, name, "SwmPanel")
             icccm.set_wm_name(self.conn, window, name)
@@ -321,26 +297,6 @@ class Swm:
                 for obj in panel.iter_tree():
                     if obj.window is not None:
                         self.object_windows[obj.window] = (obj, managed, sc.number)
-
-    def _setup_root_icons(self, sc: ScreenContext) -> None:
-        names = (sc.ctx.get_string([], "rootIcons") or "").split()
-        for name in names:
-            panel = build_icon_panel(sc.ctx, name)
-            size = panel.compute_layout().size
-            geometry = sc.ctx.get_string(["panel", name], "geometry", "+0+0")
-            geo = parse_geometry(geometry)
-            position = geo.resolve(Size(sc.screen.width, sc.screen.height), size)
-            window = panel.realize_tree(
-                self.conn,
-                sc.desktop_parent(sticky=False),
-                Rect(position.x, position.y, size.width, size.height),
-            )
-            icon = Icon(panel, window, managed=None)
-            sc.root_icons[name] = icon
-            self.icon_windows[window] = icon
-            for obj in panel.iter_tree():
-                if obj.window is not None:
-                    self.object_windows[obj.window] = (obj, None, sc.number)
 
     def _adopt_existing(self) -> None:
         """Manage pre-existing mapped top-level windows."""
@@ -389,10 +345,41 @@ class Swm:
             self._processing = False
         return handled
 
-    def _dispatch(self, event: ev.Event) -> None:
-        handler = getattr(self, f"_on_{type(event).__name__}", None)
-        if handler is not None:
-            handler(event)
+    # ------------------------------------------------------------------
+    # Overlay state (owned by the input controller)
+    # ------------------------------------------------------------------
+
+    @property
+    def drag(self) -> Optional[Drag]:
+        return self.input.drag
+
+    @drag.setter
+    def drag(self, value: Optional[Drag]) -> None:
+        self.input.drag = value
+
+    @property
+    def selection(self) -> Optional[Selection]:
+        return self.input.selection
+
+    @selection.setter
+    def selection(self, value: Optional[Selection]) -> None:
+        self.input.selection = value
+
+    @property
+    def active_menu(self):
+        return self.input.active_menu
+
+    @active_menu.setter
+    def active_menu(self, value) -> None:
+        self.input.active_menu = value
+
+    @property
+    def restart_table(self) -> List[dict]:
+        return self.session.restart_table
+
+    @restart_table.setter
+    def restart_table(self, value: List[dict]) -> None:
+        self.session.restart_table = value
 
     # ------------------------------------------------------------------
     # Managing windows
@@ -425,7 +412,7 @@ class Swm:
         shaped = self.server.window_is_shaped(client)
         transient = icccm.get_wm_transient_for(self.conn, client) is not None
 
-        restart_entry = self._match_restart_entry(client)
+        restart_entry = self.session.match_restart_entry(client)
 
         if sticky is None:
             probe_ctx = client_context(sc.ctx, instance, class_name)
@@ -449,7 +436,7 @@ class Swm:
         if panel_name:
             plan = build_decoration(sc.ctx, panel_name, client_size, title)
         else:
-            plan = self._bare_plan(sc.ctx, client_size)
+            plan = self.decor.bare_plan(sc.ctx, client_size)
 
         desired = self._initial_client_position(
             sc, size_hints, restart_entry, Point(x, y)
@@ -532,10 +519,10 @@ class Swm:
             self.conn.shape_window(frame, shape.mask, shape.x_offset, shape.y_offset)
 
         if plan.resize_corners:
-            self._add_resize_corners(managed)
+            self.decor.add_resize_corners(managed)
 
         icccm.set_wm_state(self.conn, client, WMState(NORMAL_STATE))
-        self._set_swm_root(managed)
+        self.desktop.set_swm_root(managed)
         self.conn.map_window(client)
         self.conn.map_window(frame)
         self.conn.raise_window(frame)
@@ -557,64 +544,47 @@ class Swm:
             and sc.vdesks
         ):
             self.send_to_desktop(managed, restart_entry["desktop"])
-        self._update_panner(sc)
+        self.desktop.update_panner(sc)
         return managed
 
-    #: Edge length of the resize-corner hot zones.
-    CORNER_SIZE = 10
-
-    def _add_resize_corners(self, managed: ManagedWindow) -> None:
-        """resizeCorners: True (§4.1.1 / Figure 1): four corner hot
-        zones on the frame that start an interactive resize."""
-        rect = self.frame_rect(managed)
-        size = self.CORNER_SIZE
-        cursors = {
-            (0, 0): "top_left_corner",
-            (1, 0): "top_right_corner",
-            (0, 1): "bottom_left_corner",
-            (1, 1): "bottom_right_corner",
-        }
-        for (cx, cy), cursor in cursors.items():
-            corner = self.conn.create_window(
-                managed.frame,
-                (rect.width - size) * cx,
-                (rect.height - size) * cy,
-                size,
-                size,
-                event_mask=EventMask.ButtonPress,
-                cursor=cursor,
-            )
-            self.conn.map_window(corner)
-            # Below the decoration objects: corners only catch clicks
-            # in the frame margin, never steal the titlebar buttons.
-            self.conn.lower_window(corner)
-            self.corner_windows[corner] = managed
-
-    def _reposition_corners(self, managed: ManagedWindow) -> None:
-        rect = self.frame_rect(managed)
-        size = self.CORNER_SIZE
-        corners = [wid for wid, owner in self.corner_windows.items()
-                   if owner is managed]
-        for index, corner in enumerate(corners):
-            cx, cy = index % 2, index // 2
-            self.conn.move_window(
-                corner,
-                (rect.width - size) * cx,
-                (rect.height - size) * cy,
-            )
-            self.conn.lower_window(corner)
-
-    def _bare_plan(self, ctx: AttributeContext, client_size: Size) -> DecorationPlan:
-        """No decoration resource: a frame that is nothing but the
-        client slot."""
-        panel = Panel(ctx, "bare")
-        return DecorationPlan(
-            panel=panel,
-            panel_name="",
-            frame_size=client_size,
-            client_rect=Rect(0, 0, client_size.width, client_size.height),
-            resize_corners=False,
+    def unmanage(self, managed: ManagedWindow, destroyed: bool = False) -> None:
+        """Release a client: reparent it back to the root, destroy the
+        decoration, drop all bookkeeping."""
+        logger.debug(
+            "unmanage client=%#x %r destroyed=%s",
+            managed.client, managed.instance, destroyed,
         )
+        sc = self.screens[managed.screen]
+        if managed.icon is not None:
+            self.iconifier.remove_icon(managed)
+        if not destroyed and self.conn.window_exists(managed.client):
+            origin = self.server.window(managed.client).position_in_root()
+            if self.server.window(managed.client).mapped:
+                self._ignore_unmaps[managed.client] = (
+                    self._ignore_unmaps.get(managed.client, 0) + 1
+                )
+            self.conn.reparent_window(managed.client, sc.root, origin.x, origin.y)
+            if managed.original_border_width:
+                self.conn.configure_window(
+                    managed.client, border_width=managed.original_border_width
+                )
+            icccm.set_wm_state(
+                self.conn, managed.client, WMState(WITHDRAWN_STATE)
+            )
+            if not managed.is_internal:
+                self.conn.remove_from_save_set(managed.client)
+        for obj in managed.decoration.iter_tree():
+            if obj.window is not None:
+                self.object_windows.pop(obj.window, None)
+        for corner in [wid for wid, owner in self.corner_windows.items()
+                       if owner is managed]:
+            self.corner_windows.pop(corner, None)
+        if self.conn.window_exists(managed.frame):
+            self.conn.destroy_window(managed.frame)
+        self.managed.pop(managed.client, None)
+        self.frames.pop(managed.frame, None)
+        self._ignore_unmaps.pop(managed.client, None)
+        self.desktop.update_panner(sc)
 
     def _initial_client_position(
         self,
@@ -644,62 +614,6 @@ class Swm:
             offset = sc.view_offset()
             return Point(offset.x + current.x, offset.y + current.y)
         return sc.next_cascade()
-
-    def _match_restart_entry(self, client: int) -> Optional[dict]:
-        """Find (and consume) a session-restart record whose WM_COMMAND
-        — and, when present, WM_CLIENT_MACHINE — matches (§7)."""
-        command = icccm.get_wm_command_string(self.conn, client)
-        if command is None or not self.restart_table:
-            return None
-        machine = icccm.get_wm_client_machine(self.conn, client)
-        for entry in self.restart_table:
-            if entry["command"] != command:
-                continue
-            wanted = entry.get("machine")
-            if wanted and machine and wanted != machine:
-                continue
-            self.restart_table.remove(entry)
-            return entry
-        return None
-
-    def unmanage(self, managed: ManagedWindow, destroyed: bool = False) -> None:
-        """Release a client: reparent it back to the root, destroy the
-        decoration, drop all bookkeeping."""
-        logger.debug(
-            "unmanage client=%#x %r destroyed=%s",
-            managed.client, managed.instance, destroyed,
-        )
-        sc = self.screens[managed.screen]
-        if managed.icon is not None:
-            self._remove_icon(managed)
-        if not destroyed and self.conn.window_exists(managed.client):
-            origin = self.server.window(managed.client).position_in_root()
-            if self.server.window(managed.client).mapped:
-                self._ignore_unmaps[managed.client] = (
-                    self._ignore_unmaps.get(managed.client, 0) + 1
-                )
-            self.conn.reparent_window(managed.client, sc.root, origin.x, origin.y)
-            if managed.original_border_width:
-                self.conn.configure_window(
-                    managed.client, border_width=managed.original_border_width
-                )
-            icccm.set_wm_state(
-                self.conn, managed.client, WMState(WITHDRAWN_STATE)
-            )
-            if not managed.is_internal:
-                self.conn.remove_from_save_set(managed.client)
-        for obj in managed.decoration.iter_tree():
-            if obj.window is not None:
-                self.object_windows.pop(obj.window, None)
-        for corner in [wid for wid, owner in self.corner_windows.items()
-                       if owner is managed]:
-            self.corner_windows.pop(corner, None)
-        if self.conn.window_exists(managed.frame):
-            self.conn.destroy_window(managed.frame)
-        self.managed.pop(managed.client, None)
-        self.frames.pop(managed.frame, None)
-        self._ignore_unmaps.pop(managed.client, None)
-        self._update_panner(sc)
 
     def _screen_of_window(self, window) -> Optional[ScreenContext]:
         root = window.root()
@@ -751,7 +665,7 @@ class Swm:
         the client where it now lives (synthetic ConfigureNotify)."""
         self.conn.move_window(managed.frame, x, y)
         self._send_synthetic_configure(managed)
-        self._update_panner(self.screens[managed.screen])
+        self.desktop.update_panner(self.screens[managed.screen])
 
     def move_client_to(self, managed: ManagedWindow, x: int, y: int) -> None:
         """Move so the *client* origin lands at desktop (x, y)."""
@@ -766,35 +680,12 @@ class Swm:
         decoration layout around the new size."""
         width, height = managed.size_hints.constrain_size(width, height)
         self.conn.resize_window(managed.client, width, height)
-        self._relayout(managed, Size(width, height))
+        self.decor.relayout(managed, Size(width, height))
         self._send_synthetic_configure(managed)
         sc = self.screens[managed.screen]
         if sc.panner is not None and managed.client == sc.panner.window:
             sc.panner.resized(width, height)
-        self._update_panner(sc)
-
-    def _relayout(self, managed: ManagedWindow, client_size: Size) -> None:
-        """Recompute the decoration layout for a new client size and
-        apply it to the realized object windows."""
-        panel = managed.decoration
-        if not panel.children:
-            self.conn.resize_window(managed.frame, client_size.width,
-                                    client_size.height)
-            return
-        layout = panel.compute_layout({"client": client_size})
-        self.conn.resize_window(
-            managed.frame, layout.size.width, layout.size.height
-        )
-        for child in panel.children:
-            rect = layout.rect(child.name)
-            if child.window is not None:
-                self.conn.move_resize_window(
-                    child.window, rect.x, rect.y, rect.width, rect.height
-                )
-            if child.name == "client":
-                managed.client_offset = Point(rect.x, rect.y)
-        if managed.resize_corners:
-            self._reposition_corners(managed)
+        self.desktop.update_panner(sc)
 
     def _send_synthetic_configure(self, managed: ManagedWindow) -> None:
         """ICCCM: after the WM moves a client, send it a synthetic
@@ -814,7 +705,11 @@ class Swm:
         )
         self.conn.send_event(managed.client, event, EventMask.StructureNotify)
 
-    # -- stacking -------------------------------------------------------------
+    def _client_size(self, managed: ManagedWindow) -> Size:
+        _, _, width, height, _ = self.conn.get_geometry(managed.client)
+        return Size(width, height)
+
+    # -- stacking -------------------------------------------------------
 
     def raise_managed(self, managed: ManagedWindow) -> None:
         self.conn.raise_window(managed.frame)
@@ -843,389 +738,139 @@ class Swm:
             parent, ev.RAISE_LOWEST if up else ev.LOWER_HIGHEST
         )
 
-    # -- zoom / save ---------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Facade: decoration geometry (decor controller)
+    # ------------------------------------------------------------------
 
     def save_geometry(self, managed: ManagedWindow) -> None:
-        managed.saved_rect = self.frame_rect(managed)
+        self.decor.save_geometry(managed)
 
     def restore_geometry(self, managed: ManagedWindow) -> None:
-        saved = managed.saved_rect
-        if saved is None:
-            return
-        _, _, cw, ch, _ = self.conn.get_geometry(managed.client)
-        self.conn.move_window(managed.frame, saved.x, saved.y)
-        delta_w = saved.width - self.frame_rect(managed).width
-        delta_h = saved.height - self.frame_rect(managed).height
-        self.resize_managed(managed, cw + delta_w, ch + delta_h)
-        self.conn.move_window(managed.frame, saved.x, saved.y)
-        managed.zoomed = False
-        self._send_synthetic_configure(managed)
+        self.decor.restore_geometry(managed)
 
     def zoom_managed(self, managed: ManagedWindow, axis: str = "both") -> None:
-        """Expand to the full screen (or one axis for f.hzoom /
-        f.vzoom); zooming again restores."""
-        if managed.zoomed:
-            self.restore_geometry(managed)
-            return
-        if managed.saved_rect is None:
-            self.save_geometry(managed)
-        sc = self.screens[managed.screen]
-        offset = sc.view_offset() if not managed.sticky else Point(0, 0)
-        frame = self.frame_rect(managed)
-        client = self._client_size(managed)
-        deco_w = frame.width - client.width
-        deco_h = frame.height - client.height
-        new_w = sc.screen.width - deco_w - 2 if axis in ("both", "h") else client.width
-        new_h = sc.screen.height - deco_h - 2 if axis in ("both", "v") else client.height
-        self.resize_managed(managed, new_w, new_h)
-        new_x = offset.x if axis in ("both", "h") else frame.x
-        new_y = offset.y if axis in ("both", "v") else frame.y
-        self.conn.move_window(managed.frame, new_x, new_y)
-        managed.zoomed = True
-        self._send_synthetic_configure(managed)
+        self.decor.zoom_managed(managed, axis)
 
-    def _client_size(self, managed: ManagedWindow) -> Size:
-        _, _, width, height, _ = self.conn.get_geometry(managed.client)
-        return Size(width, height)
+    def set_button_image(
+        self, name: str, bitmap_name: str,
+        context: Optional[ManagedWindow] = None,
+    ) -> None:
+        self.decor.set_button_image(name, bitmap_name, context)
+
+    def set_button_label(
+        self, name: str, text: str, context: Optional[ManagedWindow] = None
+    ) -> None:
+        self.decor.set_button_label(name, text, context)
+
+    def set_object_bindings(
+        self, name: str, bindings: str,
+        context: Optional[ManagedWindow] = None,
+    ) -> None:
+        self.decor.set_object_bindings(name, bindings, context)
 
     # ------------------------------------------------------------------
-    # Icons
+    # Facade: icons (iconify controller)
     # ------------------------------------------------------------------
 
     def iconify(self, managed: ManagedWindow) -> None:
-        if managed.state == ICONIC_STATE:
-            return
-        sc = self.screens[managed.screen]
-        if managed.icon is None:
-            managed.icon = self._build_icon(sc, managed)
-        self.conn.unmap_window(managed.frame)
-        self.conn.map_window(managed.icon.window)
-        managed.state = ICONIC_STATE
-        icccm.set_wm_state(
-            self.conn,
-            managed.client,
-            WMState(ICONIC_STATE, icon_window=managed.icon.window),
-        )
-        self._update_panner(sc)
+        self.iconifier.iconify(managed)
 
     def deiconify(self, managed: ManagedWindow) -> None:
-        if managed.state != ICONIC_STATE:
-            return
-        sc = self.screens[managed.screen]
-        if managed.icon is not None:
-            self._remove_icon(managed)
-        self.conn.map_window(managed.frame)
-        self.conn.raise_window(managed.frame)
-        managed.state = NORMAL_STATE
-        icccm.set_wm_state(self.conn, managed.client, WMState(NORMAL_STATE))
-        self._update_panner(sc)
-
-    def _build_icon(self, sc: ScreenContext, managed: ManagedWindow) -> Icon:
-        cctx = client_context(
-            sc.ctx, managed.instance, managed.class_name,
-            sticky=managed.sticky, shaped=managed.shaped,
-        )
-        panel_name = icon_panel_name(cctx) or "Xicon"
-        icon_name = (
-            icccm.get_wm_icon_name(self.conn, managed.client)
-            or managed.name
-            or managed.instance
-        )
-        has_image = bool(
-            managed.wm_hints.icon_pixmap or managed.wm_hints.icon_window
-        )
-        panel = build_icon_panel(sc.ctx, panel_name, icon_name, has_image)
-        size = panel.compute_layout().size
-
-        holder = next(
-            (
-                h
-                for h in sc.icon_holders
-                if h.accepts(managed.class_name, managed.instance)
-            ),
-            None,
-        )
-        if holder is not None:
-            parent = holder.window
-            position = holder.slot_position(len(holder.icons))
-        else:
-            parent = sc.desktop_parent(managed.sticky)
-            if managed.wm_hints.has_icon_position:
-                position = Point(managed.wm_hints.icon_x, managed.wm_hints.icon_y)
-            else:
-                offset = sc.view_offset() if not managed.sticky else Point(0, 0)
-                index = sum(
-                    1 for m in self.managed.values() if m.icon is not None
-                )
-                position = Point(
-                    offset.x + 8 + (index * (size.width + 8)) % max(
-                        size.width + 8, sc.screen.width - size.width
-                    ),
-                    offset.y + sc.screen.height - size.height - 8,
-                )
-        window = panel.realize_tree(
-            self.conn, parent, Rect(position.x, position.y, size.width, size.height)
-        )
-        icon = Icon(panel, window, holder=holder, managed=managed)
-        if holder is not None:
-            holder.add(icon)
-        self.icon_windows[window] = icon
-        for obj in panel.iter_tree():
-            if obj.window is not None:
-                self.object_windows[obj.window] = (obj, managed, sc.number)
-        return icon
-
-    def _remove_icon(self, managed: ManagedWindow) -> None:
-        icon = managed.icon
-        if icon is None:
-            return
-        if icon.holder is not None:
-            icon.holder.remove(icon)
-        for obj in icon.panel.iter_tree():
-            if obj.window is not None:
-                self.object_windows.pop(obj.window, None)
-        self.icon_windows.pop(icon.window, None)
-        if self.conn.window_exists(icon.window):
-            self.conn.destroy_window(icon.window)
-        managed.icon = None
+        self.iconifier.deiconify(managed)
 
     # ------------------------------------------------------------------
-    # Sticky windows (§6.2)
-    # ------------------------------------------------------------------
-
-    def stick(self, managed: ManagedWindow) -> None:
-        if managed.sticky:
-            return
-        sc = self.screens[managed.screen]
-        managed.sticky = True
-        if sc.vdesks:
-            vdesk = sc.vdesks[managed.desktop]
-            rect = self.frame_rect(managed)
-            view = vdesk.desktop_to_view(rect.x, rect.y)
-            self.conn.reparent_window(managed.frame, sc.root, view.x, view.y)
-        self._set_swm_root(managed)
-        self._update_panner(sc)
-
-    def unstick(self, managed: ManagedWindow) -> None:
-        if not managed.sticky:
-            return
-        sc = self.screens[managed.screen]
-        managed.sticky = False
-        if sc.vdesk is not None:
-            managed.desktop = sc.current_desktop
-            rect = self.frame_rect(managed)
-            desk = sc.vdesk.view_to_desktop(rect.x, rect.y)
-            self.conn.reparent_window(
-                managed.frame, sc.vdesk.window, desk.x, desk.y
-            )
-        self._set_swm_root(managed)
-        self._update_panner(sc)
-
-    def _set_swm_root(self, managed: ManagedWindow) -> None:
-        """Maintain the SWM_ROOT property on the client (§6.3): updated
-        whenever the client's effective root changes."""
-        sc = self.screens[managed.screen]
-        if sc.vdesks and not managed.sticky:
-            root = sc.vdesks[managed.desktop].window
-        else:
-            root = sc.root
-        self.conn.change_property(
-            managed.client, SWM_ROOT_PROPERTY, "WINDOW", 32, [root]
-        )
-
-    # ------------------------------------------------------------------
-    # Virtual desktop operations
+    # Facade: virtual desktop (desktop controller)
     # ------------------------------------------------------------------
 
     def pan_to(self, screen: int, x: int, y: int) -> None:
-        sc = self.screens[screen]
-        if sc.vdesk is None:
-            return
-        sc.vdesk.pan_to(x, y)
-        self._update_panner(sc)
+        self.desktop.pan_to(screen, x, y)
 
     def pan_by(self, screen: int, dx: int, dy: int) -> None:
-        sc = self.screens[screen]
-        if sc.vdesk is None:
-            return
-        sc.vdesk.pan_by(dx, dy)
-        self._update_panner(sc)
-
-    # -- multiple desktops (extension; suggested by §6.3) ---------------------
+        self.desktop.pan_by(screen, dx, dy)
 
     def switch_desktop(self, screen: int, index: int) -> None:
-        """Make desktop *index* current: unmap the old desktop window,
-        map the new one.  Sticky windows (children of the real root)
-        stay visible throughout."""
-        sc = self.screens[screen]
-        if not sc.vdesks:
-            return
-        index %= len(sc.vdesks)
-        if index == sc.current_desktop:
-            return
-        old = sc.vdesk
-        sc.current_desktop = index
-        new = sc.vdesk
-        self.conn.unmap_window(old.window)
-        self.conn.map_window(new.window)
-        self.conn.lower_window(new.window)
-        if sc.panner is not None:
-            sc.panner.vdesk = new
-        if sc.scrollbars is not None:
-            sc.scrollbars.vdesk = new
-        self._update_panner(sc)
+        self.desktop.switch_desktop(screen, index)
 
     def send_to_desktop(self, managed: ManagedWindow, index: int) -> None:
-        """Move a window to another desktop, preserving its desktop
-        coordinates."""
-        sc = self.screens[managed.screen]
-        if not sc.vdesks or managed.sticky:
-            return
-        index %= len(sc.vdesks)
-        if index == managed.desktop:
-            return
-        rect = self.frame_rect(managed)
-        self.conn.reparent_window(
-            managed.frame, sc.vdesks[index].window, rect.x, rect.y
-        )
-        managed.desktop = index
-        self.conn.change_property(
-            managed.client,
-            SWM_ROOT_PROPERTY,
-            "WINDOW",
-            32,
-            [sc.vdesks[index].window],
-        )
-        self._update_panner(sc)
+        self.desktop.send_to_desktop(managed, index)
+
+    def stick(self, managed: ManagedWindow) -> None:
+        self.desktop.stick(managed)
+
+    def unstick(self, managed: ManagedWindow) -> None:
+        self.desktop.unstick(managed)
+
+    def warp_to_managed(self, managed: ManagedWindow) -> None:
+        self.desktop.warp_to_managed(managed)
 
     def warp_pointer_by(self, dx: int, dy: int) -> None:
         self.conn.warp_pointer(NONE, dx, dy)
 
-    def warp_to_managed(self, managed: ManagedWindow) -> None:
-        """Warp the pointer to a window, panning the desktop so it is
-        visible first if necessary."""
-        sc = self.screens[managed.screen]
-        rect = self.frame_rect(managed)
-        if sc.vdesk is not None and not managed.sticky:
-            view = sc.vdesk.view_rect()
-            if not view.contains_rect(rect) and not view.intersects(rect):
-                sc.vdesk.center_view_on(
-                    rect.x + rect.width // 2, rect.y + rect.height // 2
-                )
-                self._update_panner(sc)
-        self.conn.warp_pointer(managed.frame, 4, 4)
-
-    def _panner_windows(self, sc: ScreenContext) -> List[Tuple[Rect, ManagedWindow]]:
-        """Desktop-resident windows for the panner miniature display."""
-        out = []
-        for managed in self.managed.values():
-            if managed.screen != sc.number or managed.sticky:
-                continue
-            if managed.state != NORMAL_STATE:
-                continue
-            if managed.desktop != sc.current_desktop:
-                continue
-            out.append((self.frame_rect(managed), managed))
-        return out
-
-    def _update_panner(self, sc: ScreenContext) -> None:
-        # Miniatures are computed lazily from live geometry; nothing to
-        # push, but hooks (tests, renderers) may override this.
-        pass
-
     # ------------------------------------------------------------------
-    # Focus / lifecycle per client
+    # Facade: focus / client lifecycle (focus controller)
     # ------------------------------------------------------------------
-
-    WM_TAKE_FOCUS = "WM_TAKE_FOCUS"
 
     def focus_managed(self, managed: ManagedWindow) -> None:
-        """ICCCM focus: clients speaking WM_TAKE_FOCUS get the protocol
-        message (the "globally active" input model); everyone else gets
-        SetInputFocus directly."""
-        protocols = icccm.get_wm_protocols(self.conn, managed.client)
-        if self.WM_TAKE_FOCUS in protocols:
-            message = ev.ClientMessage(
-                window=managed.client,
-                message_type=self.conn.intern_atom(WM_PROTOCOLS),
-                data=(self.conn.intern_atom(self.WM_TAKE_FOCUS),
-                      self.server.timestamp),
-            )
-            self.conn.send_event(managed.client, message)
-            return
-        self.conn.set_input_focus(managed.client)
+        self.focuser.focus_managed(managed)
 
     def delete_client(self, managed: ManagedWindow) -> None:
-        """Close politely via WM_DELETE_WINDOW when the client speaks
-        the protocol; destroy otherwise."""
-        protocols = icccm.get_wm_protocols(self.conn, managed.client)
-        if WM_DELETE_WINDOW in protocols:
-            message = ev.ClientMessage(
-                window=managed.client,
-                message_type=self.conn.intern_atom(WM_PROTOCOLS),
-                data=(self.conn.intern_atom(WM_DELETE_WINDOW),),
-            )
-            self.conn.send_event(managed.client, message)
-        else:
-            self.destroy_client(managed)
+        self.focuser.delete_client(managed)
 
     def destroy_client(self, managed: ManagedWindow) -> None:
-        self.conn.destroy_window(managed.client)
+        self.focuser.destroy_client(managed)
 
     # ------------------------------------------------------------------
-    # WM lifecycle
+    # Facade: WM lifecycle / session (restart controller)
     # ------------------------------------------------------------------
 
     def quit(self) -> None:
-        """Shut down: release every client, then disconnect."""
-        logger.info("swm shutting down (%d managed clients)",
-                    sum(1 for m in self.managed.values() if not m.is_internal))
-        self.running = False
-        for managed in list(self.managed.values()):
-            if not managed.is_internal:
-                self.unmanage(managed)
-        self.conn.close()
+        self.session.quit()
 
     def restart(self) -> None:
-        """Re-read configuration and re-manage everything (f.restart)."""
-        logger.info("swm restarting")
-        clients = [
-            m.client for m in self.managed.values() if not m.is_internal
-        ]
-        for managed in list(self.managed.values()):
-            self.unmanage(managed)
-        for sc in self.screens:
-            for holder in sc.icon_holders:
-                if self.conn.window_exists(holder.window):
-                    self.conn.destroy_window(holder.window)
-            for icon in sc.root_icons.values():
-                if self.conn.window_exists(icon.window):
-                    self.conn.destroy_window(icon.window)
-            if sc.panner is not None and self.conn.window_exists(sc.panner.window):
-                self.conn.destroy_window(sc.panner.window)
-            if sc.scrollbars is not None:
-                for bar in (sc.scrollbars.vertical, sc.scrollbars.horizontal):
-                    if self.conn.window_exists(bar):
-                        self.conn.destroy_window(bar)
-            for vdesk in sc.vdesks:
-                if self.conn.window_exists(vdesk.window):
-                    self.conn.destroy_window(vdesk.window)
-        self.object_windows.clear()
-        self.icon_windows.clear()
-        self.corner_windows.clear()
-        self.screens = []
-        for number in range(len(self.server.screens)):
-            sc = ScreenContext(self, number)
-            self.screens.append(sc)
-            self._setup_virtual_desktop(sc)
-            self._setup_icon_holders(sc)
-            self._setup_root_panels(sc)
-            self._setup_root_icons(sc)
-            self._setup_panner(sc)
-            self._setup_scrollbars(sc)
-        for client in clients:
-            if self.conn.window_exists(client):
-                self.manage(client)
+        self.session.restart()
+
+    def save_places(self) -> str:
+        return self.session.save_places()
+
+    # ------------------------------------------------------------------
+    # Facade: interaction (input controller)
+    # ------------------------------------------------------------------
+
+    def popup_menu(
+        self,
+        name: str,
+        screen: int,
+        pointer: Tuple[int, int],
+        context: Optional[ManagedWindow],
+    ) -> None:
+        self.input.popup_menu(name, screen, pointer, context)
+
+    def execute(
+        self,
+        call,
+        screen: int = 0,
+        context: Optional[ManagedWindow] = None,
+        pointer: Optional[Tuple[int, int]] = None,
+        event: Optional[ev.Event] = None,
+    ) -> None:
+        self.input.execute(call, screen, context, pointer, event)
+
+    def execute_string(self, text: str, screen: int = 0) -> None:
+        self.input.execute_string(text, screen)
+
+    def begin_move(
+        self, managed: ManagedWindow, pointer: Tuple[int, int]
+    ) -> None:
+        self.input.begin_move(managed, pointer)
+
+    def begin_resize(
+        self, managed: ManagedWindow, pointer: Tuple[int, int]
+    ) -> None:
+        self.input.begin_resize(managed, pointer)
+
+    # ------------------------------------------------------------------
+    # Misc WM services
+    # ------------------------------------------------------------------
 
     def refresh(self, screen: int) -> None:
         """Force a repaint by briefly mapping a screen-sized window."""
@@ -1250,710 +895,3 @@ class Swm:
         self.launched.append(app)
         self.process_pending()
 
-    def save_places(self) -> str:
-        """f.places: write the restart script (§7)."""
-        from ..session.places import write_places
-
-        return write_places(self, self.places_path)
-
-    # ------------------------------------------------------------------
-    # Menus
-    # ------------------------------------------------------------------
-
-    def popup_menu(
-        self,
-        name: str,
-        screen: int,
-        pointer: Tuple[int, int],
-        context: Optional[ManagedWindow],
-    ) -> None:
-        if self.active_menu is not None:
-            self._close_menu()
-        sc = self.screens[screen]
-        menu = Menu(sc.ctx, name)
-        menu.popup(self.conn, sc.root, pointer[0], pointer[1])
-        self.active_menu = (menu, screen, context)
-
-    def _close_menu(self) -> None:
-        if self.active_menu is None:
-            return
-        menu, _, _ = self.active_menu
-        menu.popdown(self.conn)
-        self.active_menu = None
-
-    # ------------------------------------------------------------------
-    # Function execution
-    # ------------------------------------------------------------------
-
-    def execute(
-        self,
-        call,
-        screen: int = 0,
-        context: Optional[ManagedWindow] = None,
-        pointer: Optional[Tuple[int, int]] = None,
-        event: Optional[ev.Event] = None,
-    ) -> None:
-        """Run one function call, resolving its invocation mode (§5)."""
-        spec = lookup_function(call.name)
-        if pointer is None:
-            pointer = (self.server.pointer.x, self.server.pointer.y)
-        if not spec.needs_window:
-            spec.handler(self, Invocation(call, screen, context, pointer, event))
-            return
-        argument = call.argument if spec.window_from_arg else None
-        if argument is None:
-            if context is not None:
-                spec.handler(
-                    self, Invocation(call, screen, context, pointer, event)
-                )
-            else:
-                self._begin_selection(call, multiple=False, screen=screen)
-            return
-        if argument == "multiple":
-            self._begin_selection(call, multiple=True, screen=screen)
-            return
-        if argument == "#$":
-            managed = self._managed_under_pointer()
-            if managed is None:
-                self.beep()
-                return
-            spec.handler(self, Invocation(call, screen, managed, pointer, event))
-            return
-        if argument.startswith("#"):
-            try:
-                wid = int(argument[1:], 0)
-            except ValueError:
-                raise FunctionError(f"bad window id {argument!r}") from None
-            managed = self.find_managed(wid)
-            if managed is None:
-                self.beep()
-                return
-            spec.handler(self, Invocation(call, screen, managed, pointer, event))
-            return
-        # Class / instance match: all windows whose class matches.
-        targets = [
-            m
-            for m in list(self.managed.values())
-            if argument in (m.class_name, m.instance)
-        ]
-        if not targets:
-            self.beep()
-            return
-        for managed in targets:
-            spec.handler(self, Invocation(call, screen, managed, pointer, event))
-
-    def execute_string(self, text: str, screen: int = 0) -> None:
-        """Run a command string ('f.raise') as swmcmd would."""
-        from .swmcmd import parse_command
-
-        self.execute(parse_command(text), screen=screen)
-
-    def _managed_under_pointer(self) -> Optional[ManagedWindow]:
-        pointer_window = self.server.pointer.window
-        if pointer_window is None:
-            return None
-        return self.find_managed(pointer_window.id)
-
-    def _begin_selection(self, call, multiple: bool, screen: int) -> None:
-        """Prompt the user to pick window(s): the question-mark pointer."""
-        self.selection = Selection(call=call, multiple=multiple, screen=screen)
-        sc = self.screens[screen]
-        self.conn.grab_pointer(
-            sc.root,
-            EventMask.ButtonPress | EventMask.ButtonRelease,
-            owner_events=False,
-            cursor="question_arrow",
-        )
-
-    def _end_selection(self) -> None:
-        self.selection = None
-        self.conn.ungrab_pointer()
-
-    def _selection_click(self, event: ev.ButtonPress) -> None:
-        selection = self.selection
-        assert selection is not None
-        managed = self._managed_under_pointer()
-        if managed is None:
-            # Clicking the root ends the prompt (also the single-shot
-            # miss case).
-            self._end_selection()
-            self.beep()
-            return
-        spec = lookup_function(selection.call.name)
-        from .bindings import FunctionCall
-
-        bare = FunctionCall(selection.call.name, None)
-        spec.handler(
-            self,
-            Invocation(
-                bare,
-                selection.screen,
-                managed,
-                (event.x_root, event.y_root),
-                event,
-            ),
-        )
-        if not selection.multiple:
-            self._end_selection()
-
-    # ------------------------------------------------------------------
-    # Interactive move / resize
-    # ------------------------------------------------------------------
-
-    def begin_move(
-        self, managed: ManagedWindow, pointer: Tuple[int, int]
-    ) -> None:
-        self.drag = Drag(
-            kind="move",
-            managed=managed,
-            start_pointer=pointer,
-            start_rect=self.frame_rect(managed),
-        )
-        sc = self.screens[managed.screen]
-        self.conn.grab_pointer(
-            sc.root,
-            EventMask.ButtonPress
-            | EventMask.ButtonRelease
-            | EventMask.PointerMotion,
-            cursor="fleur",
-        )
-
-    def begin_resize(
-        self, managed: ManagedWindow, pointer: Tuple[int, int]
-    ) -> None:
-        self.drag = Drag(
-            kind="resize",
-            managed=managed,
-            start_pointer=pointer,
-            start_rect=self.frame_rect(managed),
-        )
-        sc = self.screens[managed.screen]
-        self.conn.grab_pointer(
-            sc.root,
-            EventMask.ButtonPress
-            | EventMask.ButtonRelease
-            | EventMask.PointerMotion,
-            cursor="sizing",
-        )
-
-    def _drag_motion(self, event: ev.MotionNotify) -> None:
-        drag = self.drag
-        if drag is None:
-            return
-        dx = event.x_root - drag.start_pointer[0]
-        dy = event.y_root - drag.start_pointer[1]
-        if drag.kind == "move":
-            drag.current = drag.start_rect.moved_to(
-                drag.start_rect.x + dx, drag.start_rect.y + dy
-            )
-            # Opaque move (swm*opaqueMove: True): drag the window
-            # itself instead of an outline.
-            sc_opaque = self.screens[drag.managed.screen]
-            if sc_opaque.ctx.get_bool([], "opaqueMove", False):
-                self.conn.move_window(
-                    drag.managed.frame, drag.current.x, drag.current.y
-                )
-            # Dragging into the panner continues the move as a
-            # miniature drag (§6.1).
-            sc = self.screens[drag.managed.screen]
-            if sc.panner is not None:
-                panner_managed = self.managed.get(sc.panner.window)
-                if panner_managed is not None:
-                    panner_rect = self.frame_rect(panner_managed)
-                    drag.in_panner = panner_rect.contains(
-                        event.x_root, event.y_root
-                    )
-        else:
-            drag.current = drag.start_rect.resized(
-                max(8, drag.start_rect.width + dx),
-                max(8, drag.start_rect.height + dy),
-            )
-
-    def _drag_release(self, event: ev.ButtonRelease) -> None:
-        drag = self.drag
-        if drag is None:
-            return
-        self.drag = None
-        self.conn.ungrab_pointer()
-        managed = drag.managed
-        sc = self.screens[managed.screen]
-        dx = event.x_root - drag.start_pointer[0]
-        dy = event.y_root - drag.start_pointer[1]
-        if drag.kind == "move":
-            if drag.in_panner and sc.panner is not None:
-                # Dropped onto the panner: place at the miniature's
-                # desktop position.
-                panner_managed = self.managed.get(sc.panner.window)
-                panner_rect = self.frame_rect(panner_managed)
-                local = Point(
-                    event.x_root - panner_rect.x - managed.client_offset.x,
-                    event.y_root - panner_rect.y - managed.client_offset.y,
-                )
-                desk = sc.panner.panner_to_desktop(max(0, local.x), max(0, local.y))
-                self.move_managed_to(managed, desk.x, desk.y)
-            else:
-                target = Point(drag.start_rect.x + dx, drag.start_rect.y + dy)
-                self.move_managed_to(managed, target.x, target.y)
-        else:
-            new_width = drag.start_rect.width + dx
-            new_height = drag.start_rect.height + dy
-            client = self._client_size(managed)
-            deco_w = drag.start_rect.width - client.width
-            deco_h = drag.start_rect.height - client.height
-            self.resize_managed(
-                managed,
-                max(1, new_width - deco_w),
-                max(1, new_height - deco_h),
-            )
-
-    # ------------------------------------------------------------------
-    # Dynamic object changes (§4.2, §4.4)
-    # ------------------------------------------------------------------
-
-    def _find_object(
-        self, name: str, context: Optional[ManagedWindow]
-    ) -> Optional[SwmObject]:
-        if context is not None:
-            obj = context.decoration.find(name)
-            if obj is not None:
-                return obj
-            if context.icon is not None:
-                obj = context.icon.panel.find(name)
-                if obj is not None:
-                    return obj
-        for obj, _, _ in self.object_windows.values():
-            if obj.name == name:
-                return obj
-        return None
-
-    def set_button_image(
-        self, name: str, bitmap_name: str, context: Optional[ManagedWindow] = None
-    ) -> None:
-        obj = self._find_object(name, context)
-        if not isinstance(obj, Button):
-            raise FunctionError(f"no button named {name!r}")
-        obj.set_image(bitmap_name)
-        obj.update_label(self.conn)
-
-    def set_button_label(
-        self, name: str, text: str, context: Optional[ManagedWindow] = None
-    ) -> None:
-        obj = self._find_object(name, context)
-        if not isinstance(obj, (Button, TextObject)):
-            raise FunctionError(f"no button/text named {name!r}")
-        if isinstance(obj, Button):
-            obj.set_label(text)
-        else:
-            obj.set_text(text)
-        obj.update_label(self.conn)
-
-    def set_object_bindings(
-        self, name: str, bindings: str, context: Optional[ManagedWindow] = None
-    ) -> None:
-        obj = self._find_object(name, context)
-        if obj is None:
-            raise FunctionError(f"no object named {name!r}")
-        obj.set_bindings(bindings)
-
-    # ------------------------------------------------------------------
-    # Event handlers
-    # ------------------------------------------------------------------
-
-    def _on_MapRequest(self, event: ev.MapRequest) -> None:
-        client = event.requestor
-        managed = self.managed.get(client)
-        if managed is None:
-            self.manage(client)
-        elif managed.state == ICONIC_STATE:
-            self.deiconify(managed)
-        else:
-            self.conn.map_window(client)
-            self.conn.map_window(managed.frame)
-
-    def _on_ConfigureRequest(self, event: ev.ConfigureRequest) -> None:
-        client = event.window
-        managed = self.managed.get(client)
-        if managed is None:
-            # Unmanaged window: pass the request through.
-            self.conn.configure_window(
-                client,
-                **self._configure_kwargs(event),
-            )
-            return
-        if event.value_mask & (ev.CWWidth | ev.CWHeight):
-            _, _, width, height, _ = self.conn.get_geometry(client)
-            new_w = event.width if event.value_mask & ev.CWWidth else width
-            new_h = event.height if event.value_mask & ev.CWHeight else height
-            self.resize_managed(managed, new_w, new_h)
-        if event.value_mask & (ev.CWX | ev.CWY):
-            position = self.client_desktop_position(managed)
-            new_x = event.x if event.value_mask & ev.CWX else position.x
-            new_y = event.y if event.value_mask & ev.CWY else position.y
-            self.move_client_to(managed, new_x, new_y)
-        if event.value_mask & ev.CWStackMode and event.sibling == NONE:
-            if event.stack_mode == ev.ABOVE:
-                self.raise_managed(managed)
-            elif event.stack_mode == ev.BELOW:
-                self.lower_managed(managed)
-        self._send_synthetic_configure(managed)
-
-    @staticmethod
-    def _configure_kwargs(event: ev.ConfigureRequest) -> dict:
-        kwargs = {}
-        if event.value_mask & ev.CWX:
-            kwargs["x"] = event.x
-        if event.value_mask & ev.CWY:
-            kwargs["y"] = event.y
-        if event.value_mask & ev.CWWidth:
-            kwargs["width"] = event.width
-        if event.value_mask & ev.CWHeight:
-            kwargs["height"] = event.height
-        if event.value_mask & ev.CWBorderWidth:
-            kwargs["border_width"] = event.border_width
-        if event.value_mask & ev.CWStackMode:
-            kwargs["stack_mode"] = event.stack_mode
-            if event.value_mask & ev.CWSibling:
-                kwargs["sibling"] = event.sibling
-        return kwargs
-
-    def _on_CirculateRequest(self, event: ev.CirculateRequest) -> None:
-        managed = self.managed.get(event.window)
-        if managed is not None:
-            if event.place == ev.PLACE_ON_TOP:
-                self.raise_managed(managed)
-            else:
-                self.lower_managed(managed)
-            return
-        window = event.window
-        if self.conn.window_exists(window):
-            if event.place == ev.PLACE_ON_TOP:
-                self.conn.raise_window(window)
-            else:
-                self.conn.lower_window(window)
-
-    def _on_DestroyNotify(self, event: ev.DestroyNotify) -> None:
-        managed = self.managed.get(event.destroyed_window)
-        if managed is not None:
-            self.unmanage(managed, destroyed=True)
-
-    def _on_UnmapNotify(self, event: ev.UnmapNotify) -> None:
-        client = event.unmapped_window
-        managed = self.managed.get(client)
-        if managed is None:
-            return
-        pending = self._ignore_unmaps.get(client, 0)
-        if pending > 0:
-            self._ignore_unmaps[client] = pending - 1
-            return
-        # ICCCM withdrawal: the client unmapped itself.
-        self.unmanage(managed)
-
-    def _on_PropertyNotify(self, event: ev.PropertyNotify) -> None:
-        atom_name = self.server.atoms.name(event.atom)
-        # swmcmd commands arrive as a root property (§4.3).
-        if atom_name == COMMAND_PROPERTY and event.state == ev.PROPERTY_NEW_VALUE:
-            for sc in self.screens:
-                if sc.root == event.window:
-                    self._handle_swmcmd(sc)
-                    return
-        managed = self.managed.get(event.window)
-        if managed is None:
-            return
-        if atom_name == "WM_NAME":
-            managed.name = (
-                icccm.get_wm_name(self.conn, managed.client) or managed.name
-            )
-            name_obj = managed.decoration.find("name")
-            if isinstance(name_obj, Button):
-                name_obj.set_label(managed.name)
-                name_obj.update_label(self.conn)
-            elif isinstance(name_obj, TextObject):
-                name_obj.set_text(managed.name)
-                name_obj.update_label(self.conn)
-        elif atom_name == "WM_ICON_NAME" and managed.icon is not None:
-            icon_name = icccm.get_wm_icon_name(self.conn, managed.client) or ""
-            obj = managed.icon.panel.find("iconname")
-            if isinstance(obj, Button):
-                obj.set_label(icon_name)
-                obj.update_label(self.conn)
-            elif isinstance(obj, TextObject):
-                obj.set_text(icon_name)
-                obj.update_label(self.conn)
-        elif atom_name == "WM_NORMAL_HINTS":
-            managed.size_hints = (
-                icccm.get_wm_normal_hints(self.conn, managed.client)
-                or managed.size_hints
-            )
-        elif atom_name == "WM_HINTS":
-            managed.wm_hints = (
-                icccm.get_wm_hints(self.conn, managed.client)
-                or managed.wm_hints
-            )
-
-    def _handle_swmcmd(self, sc: ScreenContext) -> None:
-        text = self.conn.get_string_property(sc.root, COMMAND_PROPERTY)
-        if not text:
-            return
-        self.conn.delete_property(sc.root, COMMAND_PROPERTY)
-        try:
-            calls = parse_command_stream(text)
-        except SwmCmdError as exc:
-            logger.warning("swmcmd: rejected command text: %s", exc)
-            self.beep()
-            return
-        for call in calls:
-            try:
-                self.execute(call, screen=sc.number)
-            except FunctionError as exc:
-                logger.warning("swmcmd: %s", exc)
-                self.beep()
-
-    def _on_ClientMessage(self, event: ev.ClientMessage) -> None:
-        atom_name = self.server.atoms.name(event.message_type)
-        if atom_name == WM_CHANGE_STATE:
-            managed = self.managed.get(event.window)
-            if managed is None:
-                # The message arrives on the root per ICCCM; the window
-                # is in data or the event window names the client.
-                managed = self.find_managed(event.window)
-            if managed is not None and event.data and event.data[0] == ICONIC_STATE:
-                self.iconify(managed)
-
-    def _on_ShapeNotify(self, event: ev.ShapeNotify) -> None:
-        managed = self.managed.get(event.window)
-        if managed is None:
-            return
-        managed.shaped = event.shaped
-        if not managed.decoration.children:
-            return
-        plan = DecorationPlan(
-            panel=managed.decoration,
-            panel_name=managed.decoration_name,
-            frame_size=Size(*self.frame_rect(managed).size),
-            client_rect=Rect(
-                managed.client_offset.x,
-                managed.client_offset.y,
-                self._client_size(managed).width,
-                self._client_size(managed).height,
-            ),
-            resize_corners=managed.resize_corners,
-        )
-        shape = frame_shape_for(plan, self.server.shape_query(managed.client))
-        if shape is not None:
-            self.conn.shape_window(
-                managed.frame, shape.mask, shape.x_offset, shape.y_offset
-            )
-
-    def _on_ButtonPress(self, event: ev.ButtonPress) -> None:
-        if self.selection is not None:
-            self._selection_click(event)
-            return
-        if self.active_menu is not None:
-            menu, screen, context = self.active_menu
-            item = menu.item_at(event.window)
-            self._close_menu()
-            if item is not None:
-                for call in item.functions:
-                    self.execute(
-                        call,
-                        screen=screen,
-                        context=context,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-                return
-            # fall through: a press outside just closed the menu
-        # Scrollbar troughs pan on click (§6).
-        for sc in self.screens:
-            if sc.scrollbars is not None and sc.scrollbars.owns(event.window):
-                sc.scrollbars.click(event.window, event.x, event.y)
-                self._update_panner(sc)
-                return
-        # Resize corners start an interactive resize directly.
-        corner_owner = self.corner_windows.get(event.window)
-        if corner_owner is not None:
-            self.begin_resize(corner_owner, (event.x_root, event.y_root))
-            return
-        # The panner handles its own clicks.
-        panner_hit = self._panner_for_window(event.window)
-        if panner_hit is not None:
-            panner, sc = panner_hit
-            local = self._panner_local(panner, event)
-            panner.press(event.button, local.x, local.y)
-            return
-        entry = self.object_windows.get(event.window)
-        if entry is not None:
-            obj, managed, screen = entry
-            binding = self._binding_for_object(
-                obj, event.button, event.state, release=False
-            )
-            if binding is not None:
-                for call in binding.functions:
-                    self.execute(
-                        call,
-                        screen=screen,
-                        context=managed,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-                return
-        # Root / desktop background bindings.
-        sc = self._screen_for_root_event(event.window)
-        if sc is not None:
-            binding = bindings_for_button(
-                sc.root_bindings, event.button, event.state
-            )
-            if binding is not None:
-                for call in binding.functions:
-                    self.execute(
-                        call,
-                        screen=sc.number,
-                        context=None,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-
-    def _on_ButtonRelease(self, event: ev.ButtonRelease) -> None:
-        if self.drag is not None:
-            self._drag_release(event)
-            return
-        panner_hit = self._panner_for_window(event.window)
-        if panner_hit is None and self._any_panner_drag() is not None:
-            panner = self._any_panner_drag()
-            local = self._panner_local_root(panner, event.x_root, event.y_root)
-            panner.release(local.x, local.y)
-            return
-        if panner_hit is not None:
-            panner, sc = panner_hit
-            if panner.drag is not None:
-                local = self._panner_local(panner, event)
-                panner.release(local.x, local.y)
-
-    def _on_MotionNotify(self, event: ev.MotionNotify) -> None:
-        if self.drag is not None:
-            self._drag_motion(event)
-            return
-        panner = self._any_panner_drag()
-        if panner is not None:
-            local = self._panner_local_root(panner, event.x_root, event.y_root)
-            panner.motion(local.x, local.y)
-            return
-        # <BtnNMotion> / <Motion> bindings on objects (drag-to-move).
-        entry = self.object_windows.get(event.window)
-        if entry is not None:
-            obj, managed, screen = entry
-            binding = bindings_for_motion(obj.bindings, event.state)
-            if binding is not None:
-                for call in binding.functions:
-                    self.execute(
-                        call,
-                        screen=screen,
-                        context=managed,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-
-    def _on_EnterNotify(self, event: ev.EnterNotify) -> None:
-        self._crossing_binding(event, "Enter")
-
-    def _on_LeaveNotify(self, event: ev.LeaveNotify) -> None:
-        self._crossing_binding(event, "Leave")
-
-    def _crossing_binding(self, event, kind: str) -> None:
-        """Objects can bind <Enter>/<Leave> (e.g. focus-follows-mouse:
-        swm*panel.<deco>.bindings: <Enter> : f.focus)."""
-        entry = self.object_windows.get(event.window)
-        if entry is None:
-            return
-        obj, managed, screen = entry
-        for binding in obj.bindings:
-            if binding.event == kind:
-                for call in binding.functions:
-                    self.execute(
-                        call,
-                        screen=screen,
-                        context=managed,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-                return
-
-    def _on_KeyPress(self, event: ev.KeyPress) -> None:
-        entry = self.object_windows.get(event.window)
-        if entry is not None:
-            obj, managed, screen = entry
-            binding = bindings_for_key(obj.bindings, event.keysym, event.state)
-            if binding is None:
-                binding = self._parent_key_binding(obj, event)
-            if binding is not None:
-                for call in binding.functions:
-                    self.execute(
-                        call,
-                        screen=screen,
-                        context=managed,
-                        pointer=(event.x_root, event.y_root),
-                        event=event,
-                    )
-                return
-        sc = self._screen_for_root_event(event.window)
-        if sc is not None:
-            binding = bindings_for_key(sc.root_bindings, event.keysym, event.state)
-            if binding is not None:
-                for call in binding.functions:
-                    self.execute(call, screen=sc.number, event=event,
-                                 pointer=(event.x_root, event.y_root))
-
-    # -- event helper plumbing -------------------------------------------------
-
-    def _binding_for_object(
-        self, obj: SwmObject, button: int, state: int, release: bool
-    ) -> Optional[Binding]:
-        current: Optional[SwmObject] = obj
-        while current is not None:
-            binding = bindings_for_button(
-                current.bindings, button, state, release
-            )
-            if binding is not None:
-                return binding
-            current = current.parent
-        return None
-
-    def _parent_key_binding(self, obj: SwmObject, event: ev.KeyPress):
-        current = obj.parent
-        while current is not None:
-            binding = bindings_for_key(current.bindings, event.keysym, event.state)
-            if binding is not None:
-                return binding
-            current = current.parent
-        return None
-
-    def _screen_for_root_event(self, window: int) -> Optional[ScreenContext]:
-        for sc in self.screens:
-            if window == sc.root:
-                return sc
-            if sc.vdesk is not None and window == sc.vdesk.window:
-                return sc
-        return None
-
-    def _panner_for_window(
-        self, window: int
-    ) -> Optional[Tuple[Panner, ScreenContext]]:
-        for sc in self.screens:
-            if sc.panner is not None and window == sc.panner.window:
-                return sc.panner, sc
-        return None
-
-    def _any_panner_drag(self) -> Optional[Panner]:
-        for sc in self.screens:
-            if sc.panner is not None and sc.panner.drag is not None:
-                return sc.panner
-        return None
-
-    def _panner_local(self, panner: Panner, event) -> Point:
-        return Point(event.x, event.y)
-
-    def _panner_local_root(self, panner: Panner, x_root: int, y_root: int) -> Point:
-        x, y, _ = self.conn.translate_coordinates(
-            panner.vdesk.screen.root.id, panner.window, x_root, y_root
-        )
-        return Point(x, y)

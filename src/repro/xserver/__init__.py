@@ -21,9 +21,16 @@ from .errors import (
 )
 from .event_mask import EventMask
 from .geometry import Geometry, Point, Rect, Size, parse_geometry
+from .pipeline import (
+    CoalescingStage,
+    EventPipeline,
+    InstrumentationStage,
+    PipelineStage,
+)
 from .screen import Screen
 from .server import MAX_WINDOW_SIZE, XServer
 from .shape import ShapeRegion
+from .stats import ServerStats
 from .window import Window
 from .xid import NONE, POINTER_ROOT
 
@@ -36,8 +43,13 @@ __all__ = [
     "BadValue",
     "BadWindow",
     "ClientConnection",
+    "CoalescingStage",
     "EventMask",
+    "EventPipeline",
     "Geometry",
+    "InstrumentationStage",
+    "PipelineStage",
+    "ServerStats",
     "MAX_WINDOW_SIZE",
     "NONE",
     "POINTER_ROOT",

@@ -16,6 +16,7 @@ from . import events as ev
 from .bitmap import Bitmap
 from .errors import BadWindow
 from .event_mask import EventMask
+from .pipeline import DROP, EventPipeline
 from .properties import PROP_MODE_REPLACE, Property
 from .server import (
     EventSink,
@@ -31,7 +32,9 @@ from .xid import NONE
 class ClientConnection(EventSink):
     """One client's connection to the simulated server."""
 
-    def __init__(self, server: XServer, name: str = "client"):
+    def __init__(
+        self, server: XServer, name: str = "client", coalesce: bool = True
+    ):
         self.server = server
         self.name = name
         self.client_id, self._xids = server.register_client(self)
@@ -40,6 +43,12 @@ class ClientConnection(EventSink):
         #: Optional callbacks fired on queue_event, for clients that
         #: behave reactively (the canned clients use this).
         self.event_handlers: List[Callable[[ev.Event], None]] = []
+        #: Every delivered event flows through this pipeline (see
+        #: :mod:`repro.xserver.pipeline`): coalescing + instrumentation
+        #: by default; stages are pluggable per connection.
+        self.pipeline: EventPipeline = server.build_pipeline(self.client_id)
+        if not coalesce:
+            self.set_coalescing(False)
 
     # -- connection lifecycle -------------------------------------------------
 
@@ -55,9 +64,25 @@ class ClientConnection(EventSink):
     # -- event queue ---------------------------------------------------------
 
     def queue_event(self, event: ev.Event) -> None:
-        self._queue.append(event)
-        for handler in list(self.event_handlers):
+        """Deliver *event* through the pipeline into the queue.
+
+        Handlers are notified for every event the queue accepted
+        (appended or coalesced into the tail) — never for dropped
+        events.  Iteration works on a snapshot, so a handler may
+        safely add or remove handlers (including itself) without
+        skipping or double-running the others.
+        """
+        if self.pipeline.deliver(event, self._queue, self.client_id) == DROP:
+            return
+        for handler in tuple(self.event_handlers):
             handler(event)
+
+    def set_coalescing(self, enabled: bool) -> None:
+        """Enable/disable event coalescing for this connection (the
+        per-client opt-out; coalescing is on by default)."""
+        stage = self.pipeline.stage("coalesce")
+        if stage is not None:
+            stage.enabled = enabled
 
     def pending(self) -> int:
         return len(self._queue)
@@ -68,13 +93,17 @@ class ClientConnection(EventSink):
         return self._queue.popleft()
 
     def events(self) -> List[ev.Event]:
-        """Drain and return all pending events."""
+        """Drain and return all pending events, oldest first."""
         drained = list(self._queue)
         self._queue.clear()
         return drained
 
     def flush_events(self, of_type=None) -> List[ev.Event]:
-        """Drain pending events, optionally keeping only one type."""
+        """Drain *all* pending events; return only those matching
+        *of_type* (a class or tuple of classes), or everything when
+        None.  Non-matching events are discarded.  The retained events
+        keep their relative delivery order (oldest first) — callers
+        rely on this to assert on event sequences."""
         drained = self.events()
         if of_type is None:
             return drained

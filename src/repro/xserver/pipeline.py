@@ -1,0 +1,168 @@
+"""The per-client event delivery pipeline.
+
+Every event the server sends a client flows through an
+:class:`EventPipeline` before it reaches the client's queue.  The
+pipeline is a short list of pluggable stages; each stage inspects a
+:class:`Delivery` and may rewrite the event or change its *outcome*:
+
+- ``APPEND`` (default): the event is appended to the client's queue,
+- ``COALESCE``: the event replaces the queue tail — used for event
+  types where only the latest state matters (X11 motion-compression
+  semantics, §6 of the paper: panning floods clients with
+  MotionNotify/ConfigureNotify/Expose),
+- ``DROP``: the event is discarded and later stages are skipped.
+
+The two standard stages are :class:`CoalescingStage` (on by default;
+clients opt out with ``ClientConnection.set_coalescing(False)``) and
+:class:`InstrumentationStage`, which feeds the counters behind
+``server.stats()``.  New stages subclass :class:`PipelineStage` and are
+inserted with :meth:`EventPipeline.add_stage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from . import events as ev
+
+#: Delivery outcomes.
+APPEND = "append"
+COALESCE = "coalesce"
+DROP = "drop"
+
+
+@dataclass
+class Delivery:
+    """One event in flight to one client's queue."""
+
+    event: ev.Event
+    queue: Deque[ev.Event]
+    client_id: int
+    outcome: str = APPEND
+
+
+class PipelineStage:
+    """Base class for pipeline stages.
+
+    Stages must not mutate ``delivery.queue`` directly; they signal
+    intent through ``delivery.outcome`` and the pipeline applies it
+    once every stage has run (so later stages — instrumentation — see
+    the final outcome).
+    """
+
+    #: Stable name used to look the stage up in a pipeline.
+    name = "stage"
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+    def process(self, delivery: Delivery) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class CoalescingStage(PipelineStage):
+    """Compress runs of events where only the latest state matters.
+
+    A new event replaces the queue tail when both carry the same
+    *coalescing key*: the event type plus the window(s) it concerns.
+    Events for differing windows never coalesce, and nothing coalesces
+    across an intervening event of another type — only consecutive
+    runs are compressed, so relative ordering is preserved exactly.
+    """
+
+    name = "coalesce"
+
+    @staticmethod
+    def coalesce_key(event: ev.Event) -> Optional[Tuple]:
+        """The identity a run must share, or None if never coalesced."""
+        cls = type(event)
+        if cls is ev.MotionNotify:
+            return (cls, event.window)
+        if cls is ev.ConfigureNotify:
+            return (cls, event.window, event.configured_window)
+        if cls is ev.Expose:
+            return (cls, event.window)
+        return None
+
+    def process(self, delivery: Delivery) -> None:
+        key = self.coalesce_key(delivery.event)
+        if key is None or not delivery.queue:
+            return
+        if self.coalesce_key(delivery.queue[-1]) == key:
+            delivery.outcome = COALESCE
+
+
+class InstrumentationStage(PipelineStage):
+    """Count deliveries into a shared :class:`ServerStats`.
+
+    Runs last so it observes the final outcome of the stages before
+    it: appended events count as *delivered*, tail-replacements count
+    as *coalesced* (the queue length, and hence what the client will
+    actually read, is unchanged).
+    """
+
+    name = "stats"
+
+    def __init__(self, stats, client_id: int) -> None:
+        super().__init__()
+        self.stats = stats
+        self.client_id = client_id
+
+    def process(self, delivery: Delivery) -> None:
+        type_name = type(delivery.event).__name__
+        if delivery.outcome == COALESCE:
+            self.stats.count_coalesced(self.client_id, type_name)
+        elif delivery.outcome == APPEND:
+            self.stats.count_delivered(self.client_id, type_name)
+
+
+class EventPipeline:
+    """An ordered chain of stages between the server and one queue."""
+
+    def __init__(self, stages: Iterable[PipelineStage] = ()) -> None:
+        self.stages: List[PipelineStage] = list(stages)
+
+    def deliver(
+        self, event: ev.Event, queue: Deque[ev.Event], client_id: int = 0
+    ) -> str:
+        """Run *event* through the stages and apply the outcome to
+        *queue*.  Returns the outcome (APPEND / COALESCE / DROP)."""
+        delivery = Delivery(event, queue, client_id)
+        for stage in self.stages:
+            if not stage.enabled:
+                continue
+            stage.process(delivery)
+            if delivery.outcome == DROP:
+                return DROP
+        if delivery.outcome == COALESCE:
+            queue[-1] = delivery.event
+        else:
+            queue.append(delivery.event)
+        return delivery.outcome
+
+    # -- stage management -------------------------------------------------
+
+    def stage(self, name: str) -> Optional[PipelineStage]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def add_stage(
+        self, stage: PipelineStage, before: Optional[str] = None
+    ) -> None:
+        """Insert *stage*, optionally before the named existing stage
+        (instrumentation should generally stay last)."""
+        if before is not None:
+            for index, existing in enumerate(self.stages):
+                if existing.name == before:
+                    self.stages.insert(index, stage)
+                    return
+        self.stages.append(stage)
+
+    def remove_stage(self, name: str) -> Optional[PipelineStage]:
+        for index, stage in enumerate(self.stages):
+            if stage.name == name:
+                return self.stages.pop(index)
+        return None

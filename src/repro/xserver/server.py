@@ -15,6 +15,7 @@ the redirecting client itself are not intercepted") hold exactly.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import events as ev
@@ -37,8 +38,10 @@ from .input import (
     PassiveKeyGrab,
     PointerState,
     )
+from .pipeline import CoalescingStage, EventPipeline, InstrumentationStage
 from .properties import PROP_MODE_REPLACE
 from .screen import Screen
+from .stats import ServerStats
 from .shape import SHAPE_BOUNDING, SHAPE_SET, ShapeRegion
 from .window import (
     INPUT_ONLY,
@@ -91,6 +94,7 @@ class XServer:
         self.save_sets: Dict[int, set] = {}
         self.generation = 1  # bumped by reset() ("restarting X")
         self._trace = None  # Optional[deque]; see start_trace()
+        self._stats = ServerStats()
 
         for number, (width, height, depth) in enumerate(screens):
             root_id = self.xids.allocate_server_id()
@@ -179,15 +183,32 @@ class XServer:
 
     def _tick(self) -> int:
         self.timestamp += 1
+        # The public request name is the _tick caller; every request
+        # entry point calls _tick exactly once, so this doubles as the
+        # request counter behind stats().
+        name = sys._getframe(1).f_code.co_name
+        self._stats.count_request(name)
         if self._trace is not None:
-            # Record the public request name (the _tick caller).  Frame
-            # inspection is confined to this debug facility and runs
-            # only while tracing is enabled.
-            import sys
-
-            name = sys._getframe(1).f_code.co_name
             self._trace.append((self.timestamp, name))
         return self.timestamp
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """The server's live counters: protocol requests by name, and
+        per-event-type / per-client delivery and coalescing counts (see
+        :mod:`repro.xserver.stats`)."""
+        return self._stats
+
+    def build_pipeline(self, client_id: int) -> EventPipeline:
+        """The default delivery pipeline for a new client connection:
+        coalescing (on by default; the client may disable its stage)
+        followed by instrumentation feeding :meth:`stats`."""
+        return EventPipeline(
+            [CoalescingStage(), InstrumentationStage(self._stats, client_id)]
+        )
 
     # ------------------------------------------------------------------
     # Protocol tracing (observability/debug facility)

@@ -1,0 +1,123 @@
+"""Server instrumentation counters.
+
+The paper's Virtual Desktop (§6) turns one user gesture — a pan — into
+a flood of protocol traffic.  To make "as fast as the hardware allows"
+measurable rather than aspirational, the server keeps cheap counters:
+
+- **requests**: every protocol request by name (one count per public
+  :class:`~repro.xserver.server.XServer` entry point),
+- **delivered**: every event that actually lands on a client's queue,
+  per event type and per client,
+- **coalesced**: events absorbed by the pipeline's coalescing stage
+  (see :mod:`repro.xserver.pipeline`) instead of being delivered.
+
+``delivered + coalesced`` for a type is therefore the *raw* event count
+the server produced; ``delivered`` is what clients really had to read.
+Query via ``server.stats()``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+
+class ServerStats:
+    """Mutable counter bundle owned by one :class:`XServer`."""
+
+    def __init__(self) -> None:
+        self.requests: Counter = Counter()
+        self.delivered: Counter = Counter()
+        self.coalesced: Counter = Counter()
+        self.delivered_by_client: Dict[int, Counter] = {}
+        self.coalesced_by_client: Dict[int, Counter] = {}
+
+    # -- recording (hot path: keep these tiny) ----------------------------
+
+    def count_request(self, name: str) -> None:
+        self.requests[name] += 1
+
+    def count_delivered(self, client_id: int, type_name: str) -> None:
+        self.delivered[type_name] += 1
+        per_client = self.delivered_by_client.get(client_id)
+        if per_client is None:
+            per_client = self.delivered_by_client[client_id] = Counter()
+        per_client[type_name] += 1
+
+    def count_coalesced(self, client_id: int, type_name: str) -> None:
+        self.coalesced[type_name] += 1
+        per_client = self.coalesced_by_client.get(client_id)
+        if per_client is None:
+            per_client = self.coalesced_by_client[client_id] = Counter()
+        per_client[type_name] += 1
+
+    # -- querying ---------------------------------------------------------
+
+    def requests_of(self, name: str) -> int:
+        return self.requests[name]
+
+    def total_requests(self) -> int:
+        return sum(self.requests.values())
+
+    def delivered_count(
+        self, type_name: Optional[str] = None, client_id: Optional[int] = None
+    ) -> int:
+        """Events delivered, optionally narrowed by type and/or client."""
+        source = (
+            self.delivered
+            if client_id is None
+            else self.delivered_by_client.get(client_id, Counter())
+        )
+        if type_name is None:
+            return sum(source.values())
+        return source[type_name]
+
+    def coalesced_count(
+        self, type_name: Optional[str] = None, client_id: Optional[int] = None
+    ) -> int:
+        """Events absorbed by coalescing instead of delivered."""
+        source = (
+            self.coalesced
+            if client_id is None
+            else self.coalesced_by_client.get(client_id, Counter())
+        )
+        if type_name is None:
+            return sum(source.values())
+        return source[type_name]
+
+    def raw_count(
+        self, type_name: Optional[str] = None, client_id: Optional[int] = None
+    ) -> int:
+        """Events the server produced for clients before coalescing."""
+        return self.delivered_count(type_name, client_id) + self.coalesced_count(
+            type_name, client_id
+        )
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for reports and assertions."""
+        return {
+            "requests": dict(self.requests),
+            "delivered": dict(self.delivered),
+            "coalesced": dict(self.coalesced),
+            "delivered_by_client": {
+                cid: dict(c) for cid, c in self.delivered_by_client.items()
+            },
+            "coalesced_by_client": {
+                cid: dict(c) for cid, c in self.coalesced_by_client.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks bracket measured regions)."""
+        self.requests.clear()
+        self.delivered.clear()
+        self.coalesced.clear()
+        self.delivered_by_client.clear()
+        self.coalesced_by_client.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ServerStats requests={self.total_requests()} "
+            f"delivered={self.delivered_count()} "
+            f"coalesced={self.coalesced_count()}>"
+        )

@@ -71,7 +71,18 @@ class TestPointerDispatch:
         releases = conn.flush_events(ev.ButtonRelease)
         assert releases and releases[0].state & ev.BUTTON2_MASK
 
-    def test_motion_events(self, server, conn):
+    def test_motion_events_coalesce_by_default(self, server, conn):
+        """Motion compression: an undrained run of MotionNotify on one
+        window collapses to the latest event (X11 semantics)."""
+        wid = mapped_window(conn, event_mask=EventMask.PointerMotion)
+        server.motion(10, 10)
+        server.motion(20, 20)
+        motions = conn.flush_events(ev.MotionNotify)
+        assert len(motions) == 1
+        assert (motions[0].x_root, motions[0].y_root) == (20, 20)
+
+    def test_motion_events_uncoalesced_on_opt_out(self, server, conn):
+        conn.set_coalescing(False)
         wid = mapped_window(conn, event_mask=EventMask.PointerMotion)
         server.motion(10, 10)
         server.motion(20, 20)

@@ -1,0 +1,208 @@
+"""EventPipeline: coalescing semantics, stats instrumentation, and the
+client queue contracts (handler snapshot safety, flush order)."""
+
+from collections import deque
+
+import pytest
+
+import repro.xserver.events as ev
+from repro.xserver import (
+    ClientConnection,
+    CoalescingStage,
+    EventMask,
+    EventPipeline,
+    XServer,
+)
+from repro.xserver.pipeline import APPEND, COALESCE, DROP, PipelineStage
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1000, 800, 8)])
+
+
+@pytest.fixture
+def conn(server):
+    return ClientConnection(server, "app")
+
+
+def mapped_window(conn, parent=None, x=0, y=0, w=100, h=100, **kwargs):
+    parent = parent if parent is not None else conn.root_window()
+    wid = conn.create_window(parent, x, y, w, h, **kwargs)
+    conn.map_window(wid)
+    conn.events()
+    return wid
+
+
+class TestCoalescingStage:
+    """Unit-level pipeline behaviour, independent of the server."""
+
+    def pipeline(self):
+        return EventPipeline([CoalescingStage()])
+
+    def test_motion_burst_collapses_to_latest(self):
+        pipe, queue = self.pipeline(), deque()
+        for i in range(10):
+            pipe.deliver(ev.MotionNotify(window=7, x_root=i, y_root=i), queue)
+        assert len(queue) == 1
+        assert (queue[0].x_root, queue[0].y_root) == (9, 9)
+
+    def test_no_coalescing_across_windows(self):
+        pipe, queue = self.pipeline(), deque()
+        pipe.deliver(ev.MotionNotify(window=7, x_root=1), queue)
+        pipe.deliver(ev.MotionNotify(window=8, x_root=2), queue)
+        pipe.deliver(ev.MotionNotify(window=7, x_root=3), queue)
+        assert [e.window for e in queue] == [7, 8, 7]
+
+    def test_only_consecutive_runs_compress(self):
+        # An intervening non-coalescable event breaks the run; relative
+        # order of retained events is preserved.
+        pipe, queue = self.pipeline(), deque()
+        pipe.deliver(ev.MotionNotify(window=7, x_root=1), queue)
+        pipe.deliver(ev.MotionNotify(window=7, x_root=2), queue)
+        pipe.deliver(ev.ButtonPress(window=7), queue)
+        pipe.deliver(ev.MotionNotify(window=7, x_root=3), queue)
+        kinds = [type(e).__name__ for e in queue]
+        assert kinds == ["MotionNotify", "ButtonPress", "MotionNotify"]
+        assert queue[0].x_root == 2 and queue[2].x_root == 3
+
+    def test_configure_notify_requires_both_windows_equal(self):
+        pipe, queue = self.pipeline(), deque()
+        pipe.deliver(ev.ConfigureNotify(window=1, configured_window=5), queue)
+        pipe.deliver(ev.ConfigureNotify(window=1, configured_window=5, x=9), queue)
+        assert len(queue) == 1 and queue[0].x == 9
+        pipe.deliver(ev.ConfigureNotify(window=1, configured_window=6), queue)
+        assert len(queue) == 2
+
+    def test_expose_coalesces_per_window(self):
+        pipe, queue = self.pipeline(), deque()
+        pipe.deliver(ev.Expose(window=3, width=10), queue)
+        pipe.deliver(ev.Expose(window=3, width=20), queue)
+        pipe.deliver(ev.Expose(window=4, width=30), queue)
+        assert [(e.window, e.width) for e in queue] == [(3, 20), (4, 30)]
+
+    def test_button_press_never_coalesces(self):
+        pipe, queue = self.pipeline(), deque()
+        pipe.deliver(ev.ButtonPress(window=7), queue)
+        pipe.deliver(ev.ButtonPress(window=7), queue)
+        assert len(queue) == 2
+
+    def test_disabled_stage_appends_everything(self):
+        pipe, queue = self.pipeline(), deque()
+        pipe.stage("coalesce").enabled = False
+        pipe.deliver(ev.MotionNotify(window=7, x_root=1), queue)
+        pipe.deliver(ev.MotionNotify(window=7, x_root=2), queue)
+        assert len(queue) == 2
+
+    def test_deliver_reports_outcome(self):
+        pipe, queue = self.pipeline(), deque()
+        assert pipe.deliver(ev.MotionNotify(window=7), queue) == APPEND
+        assert pipe.deliver(ev.MotionNotify(window=7), queue) == COALESCE
+
+    def test_drop_stage_short_circuits(self):
+        class DropAll(PipelineStage):
+            name = "dropall"
+
+            def process(self, delivery):
+                delivery.outcome = DROP
+
+        pipe, queue = self.pipeline(), deque()
+        pipe.add_stage(DropAll(), before="coalesce")
+        assert pipe.deliver(ev.MotionNotify(window=7), queue) == DROP
+        assert not queue
+
+
+class TestServerStats:
+    def test_delivered_counts_match_drained_events(self, server, conn):
+        wid = mapped_window(conn, event_mask=EventMask.PointerMotion)
+        for i in range(5):
+            server.motion(10 + i, 10)
+        motions = conn.flush_events(ev.MotionNotify)
+        stats = server.stats()
+        # Coalescing on: the client drains exactly what was counted as
+        # delivered; the rest was counted as coalesced.
+        assert len(motions) == stats.delivered_count(
+            "MotionNotify", client_id=conn.client_id
+        )
+        assert stats.raw_count("MotionNotify", client_id=conn.client_id) == 5
+        assert (
+            stats.delivered_count("MotionNotify", client_id=conn.client_id)
+            + stats.coalesced_count("MotionNotify", client_id=conn.client_id)
+            == 5
+        )
+
+    def test_uncoalesced_client_delivers_raw_count(self, server):
+        conn = ClientConnection(server, "raw", coalesce=False)
+        mapped_window(conn, event_mask=EventMask.PointerMotion)
+        server.stats().reset()
+        for i in range(5):
+            server.motion(20 + i, 20)
+        motions = conn.flush_events(ev.MotionNotify)
+        assert len(motions) == 5
+        assert server.stats().delivered_count(
+            "MotionNotify", client_id=conn.client_id
+        ) == 5
+        assert server.stats().coalesced_count(client_id=conn.client_id) == 0
+
+    def test_request_counters(self, server, conn):
+        before = server.stats().requests_of("create_window")
+        conn.create_window(conn.root_window(), 0, 0, 10, 10)
+        conn.create_window(conn.root_window(), 0, 0, 10, 10)
+        assert server.stats().requests_of("create_window") == before + 2
+        assert server.stats().total_requests() >= before + 2
+
+    def test_snapshot_is_plain_data(self, server, conn):
+        mapped_window(conn, event_mask=EventMask.PointerMotion)
+        server.motion(5, 5)
+        snap = server.stats().snapshot()
+        assert isinstance(snap, dict)
+        assert "requests" in snap and "delivered" in snap
+
+
+class TestClientQueueContracts:
+    def test_flush_events_preserves_relative_order(self, server, conn):
+        """flush_events(of_type=...) keeps retained events oldest-first
+        in delivery order (regression guard for the drain contract)."""
+        wid = mapped_window(
+            conn,
+            event_mask=EventMask.ButtonPress
+            | EventMask.ButtonRelease
+            | EventMask.PointerMotion,
+        )
+        server.motion(10, 10)
+        server.button_press(1)
+        server.button_release(1)
+        server.button_press(2)
+        server.button_release(2)
+        presses = conn.flush_events(ev.ButtonPress)
+        assert [e.button for e in presses] == [1, 2]
+        assert [e.serial for e in presses] == sorted(e.serial for e in presses)
+
+    def test_handler_removing_itself_does_not_skip_others(self, server, conn):
+        """queue_event iterates a snapshot of event_handlers: a handler
+        that unsubscribes itself must not cause later handlers to be
+        skipped for the same event."""
+        seen = []
+
+        def one_shot(event):
+            seen.append(("one_shot", type(event).__name__))
+            conn.event_handlers.remove(one_shot)
+
+        def steady(event):
+            seen.append(("steady", type(event).__name__))
+
+        mapped_window(conn, event_mask=EventMask.ButtonPress)
+        conn.event_handlers.extend([one_shot, steady])
+        server.motion(10, 10)
+        server.button_press(1)
+        server.button_release(1)
+        assert ("one_shot", "ButtonPress") in seen
+        assert ("steady", "ButtonPress") in seen
+        # The one-shot really unsubscribed: a second press only reaches
+        # the steady handler.
+        count_before = len(seen)
+        server.button_press(1)
+        server.button_release(1)
+        new = seen[count_before:]
+        assert ("steady", "ButtonPress") in new
+        assert all(name != "one_shot" for name, _ in new)
