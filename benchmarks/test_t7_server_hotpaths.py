@@ -1,0 +1,157 @@
+"""T7 — simulated-server hot paths under the geometry/interest caches.
+
+Not a paper claim: an implementation benchmark for this repo's simulated
+X server.  The per-event hot paths (pointer hit-testing, coordinate
+translation, configure fan-out) are memoised against tree-wide clocks
+(see ``repro.xserver.window``); these cases pin the two properties the
+caches buy us:
+
+- **flatness** — on a steady-state motion sweep the *cache* work stays
+  flat as the root fills with 0..32 top-level windows: cached root
+  origins and viewability revalidate zero times per sweep (the
+  counter-level guard below), so the hit test costs O(depth of the
+  window under the pointer) plus a single scan of the parent's
+  bounding-box index — cheap tuple compares — rather than re-deriving
+  origins, masks, and map state per window per event as the uncached
+  code did;
+- **amortised O(1) geometry** — repeated ``translate_coordinates`` and
+  ``query_pointer`` calls re-use cached root origins (hit rate >= 90%
+  with motion coalescing disabled, so every event is fully delivered).
+
+Timing cases use pytest-benchmark (group ``t7``); the guards are plain
+asserts on ``server.stats()`` cache counters, so they hold under
+``--benchmark-disable`` too.
+"""
+
+import pytest
+
+from repro.xserver import ClientConnection, EventMask, XServer
+
+from .conftest import fresh_server, report
+
+SWEEP = 400  # motion events per sweep
+
+
+def populate(server, top_level, nested_per_window=2, select=False):
+    """`top_level` mapped windows on the root, each with nested children
+    — the shape of a busy desktop.  With ``select`` the windows also ask
+    for motion events, so sweeps exercise delivery (and the interest
+    cache), not just hit-testing; delivery volume then grows with the
+    fraction of the screen covered, so timing cases that want to see
+    hit-test *flatness* leave it off."""
+    conn = ClientConnection(server, "apps", coalesce=False)
+    for i in range(top_level):
+        wid = conn.create_window(
+            conn.root_window(),
+            (i * 37) % 900, (i * 53) % 700, 180, 140,
+            border_width=2,
+        )
+        conn.map_window(wid)
+        if select:
+            conn.select_input(
+                wid, EventMask.PointerMotion | EventMask.StructureNotify
+            )
+        inner = wid
+        for _ in range(nested_per_window):
+            inner = conn.create_window(inner, 8, 8, 120, 90)
+            conn.map_window(inner)
+            if select:
+                conn.select_input(inner, EventMask.PointerMotion)
+    return conn
+
+
+def sweep(server, steps=SWEEP):
+    for step in range(steps):
+        server.motion(5 + (step * 13) % 1100, 5 + (step * 7) % 850)
+
+
+def deep_tree(conn, depth=24):
+    """One chain of nested windows `depth` deep."""
+    wid = conn.create_window(conn.root_window(), 2, 2, 1000, 800)
+    conn.map_window(wid)
+    chain = [wid]
+    for _ in range(depth - 1):
+        wid = conn.create_window(wid, 1, 1, 1000, 800)
+        conn.map_window(wid)
+        chain.append(wid)
+    return chain
+
+
+# -- timing cases (pytest-benchmark, group t7) --------------------------------
+
+
+@pytest.mark.benchmark(group="t7")
+@pytest.mark.parametrize("population", [0, 8, 32])
+def test_t7_motion_sweep(benchmark, population):
+    """Steady-state pointer sweep cost as the desktop fills up."""
+    server = fresh_server()
+    populate(server, population)
+    sweep(server)  # warm the caches
+    benchmark(sweep, server)
+
+
+@pytest.mark.benchmark(group="t7")
+def test_t7_translate_storm(benchmark):
+    """translate_coordinates between the two ends of a deep chain."""
+    server = fresh_server()
+    conn = ClientConnection(server, "app", coalesce=False)
+    chain = deep_tree(conn)
+    leaf, root = chain[-1], conn.root_window()
+
+    def storm():
+        for _ in range(200):
+            conn.translate_coordinates(leaf, root, 3, 4)
+            conn.translate_coordinates(root, leaf, 500, 400)
+
+    benchmark(storm)
+
+
+@pytest.mark.benchmark(group="t7")
+def test_t7_deep_configure(benchmark):
+    """Pan-style ConfigureWindow at the top of a deep chain, followed by
+    a query at the bottom — one O(1) invalidation plus one revalidating
+    walk per configure."""
+    server = fresh_server()
+    conn = ClientConnection(server, "app", coalesce=False)
+    chain = deep_tree(conn)
+    top, leaf = chain[0], chain[-1]
+
+    def configure_and_query(step=[0]):
+        step[0] += 1
+        for i in range(50):
+            conn.move_window(top, (step[0] + i) % 40, (step[0] + i) % 30)
+            conn.translate_coordinates(leaf, conn.root_window(), 0, 0)
+
+    benchmark(configure_and_query)
+
+
+# -- guards (plain asserts; run even with --benchmark-disable) ----------------
+
+
+def test_t7_hit_rate_guard():
+    """>= 90% cache hit rate on a steady-state sweep, coalescing off."""
+    server = fresh_server()
+    populate(server, 16, select=True)
+    sweep(server)  # warm
+    server.stats().reset()
+    sweep(server)
+    rate = server.stats().cache_hit_rate()
+    report("T7: steady-state cache hit rate", [f"hit rate: {rate:.4f}"])
+    assert rate >= 0.9
+
+
+def test_t7_flatness_guard():
+    """Steady-state geometry *misses* per sweep stay near zero no matter
+    the population — the counter-level form of the flatness claim (no
+    timing noise)."""
+    lines = []
+    for population in (0, 8, 32):
+        server = fresh_server()
+        populate(server, population)
+        sweep(server)  # warm
+        server.stats().reset()
+        sweep(server)
+        misses = server.stats().cache_misses("geometry")
+        lines.append(f"population={population:3d}  geometry misses: {misses}")
+        assert misses == 0
+    report("T7: steady-state geometry misses per sweep", lines)

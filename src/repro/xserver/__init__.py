@@ -31,7 +31,7 @@ from .screen import Screen
 from .server import MAX_WINDOW_SIZE, XServer
 from .shape import ShapeRegion
 from .stats import ServerStats
-from .window import Window
+from .window import TreeCaches, Window
 from .xid import NONE, POINTER_ROOT
 
 __all__ = [
@@ -58,6 +58,7 @@ __all__ = [
     "Screen",
     "ShapeRegion",
     "Size",
+    "TreeCaches",
     "Window",
     "XError",
     "XServer",

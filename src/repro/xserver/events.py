@@ -95,6 +95,16 @@ class Event:
     def type_name(self) -> str:
         return type(self).__name__
 
+    def reported_to(self, window: int) -> "Event":
+        """A shallow clone re-reported relative to *window* — the parent
+        copy of the structure-event double delivery.  Bypasses dataclass
+        construction (and serial re-allocation) since delivery is a hot
+        path."""
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.window = window
+        return clone
+
 
 # -- structure events ---------------------------------------------------------
 

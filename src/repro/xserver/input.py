@@ -143,6 +143,15 @@ class GrabTable:
         self._button_grabs: Dict[int, list] = {}
         self._key_grabs: Dict[int, list] = {}
 
+    def has_button_grabs(self) -> bool:
+        """O(1) emptiness check so pointer dispatch can skip building
+        the root-to-pointer chain when no passive grab exists (the
+        steady-state for a bare server)."""
+        return bool(self._button_grabs)
+
+    def has_key_grabs(self) -> bool:
+        return bool(self._key_grabs)
+
     def add_button(self, grab: PassiveGrab) -> None:
         grabs = self._button_grabs.setdefault(grab.window.id, [])
         # Re-grabbing the same button/modifiers replaces the old grab.
@@ -156,7 +165,9 @@ class GrabTable:
     def remove_button(
         self, window_id: int, button: int, modifiers: int
     ) -> None:
-        grabs = self._button_grabs.get(window_id, [])
+        grabs = self._button_grabs.get(window_id)
+        if grabs is None:
+            return
         grabs[:] = [
             g
             for g in grabs
@@ -165,6 +176,8 @@ class GrabTable:
                 and (modifiers == ANY_MODIFIER or g.modifiers == modifiers)
             )
         ]
+        if not grabs:
+            del self._button_grabs[window_id]
 
     def add_key(self, grab: PassiveKeyGrab) -> None:
         grabs = self._key_grabs.setdefault(grab.window.id, [])
@@ -200,7 +213,9 @@ class GrabTable:
         self._key_grabs.pop(window_id, None)
 
     def drop_client(self, client_id: int) -> None:
-        for grabs in self._button_grabs.values():
-            grabs[:] = [g for g in grabs if g.client != client_id]
-        for grabs in self._key_grabs.values():
-            grabs[:] = [g for g in grabs if g.client != client_id]
+        for table in (self._button_grabs, self._key_grabs):
+            for window_id in list(table):
+                grabs = table[window_id]
+                grabs[:] = [g for g in grabs if g.client != client_id]
+                if not grabs:
+                    del table[window_id]

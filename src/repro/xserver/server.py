@@ -108,6 +108,7 @@ class XServer:
             root.mapped = True
             self.windows[root_id] = root
             self.screens.append(Screen(number, Size(width, height), root, depth))
+            self._stats.track_cache(root.caches)
 
         # Pointer starts centered on screen 0.
         first = self.screens[0]
@@ -155,7 +156,7 @@ class XServer:
         if self.active_grab and self.active_grab.client == client_id:
             self.active_grab = None
         for window in self.windows.values():
-            window.event_masks.pop(client_id, None)
+            window.drop_client(client_id)
         self.save_sets.pop(client_id, None)
 
     def reset(self) -> None:
@@ -267,9 +268,12 @@ class XServer:
     ) -> int:
         """Send *event* to every client that selected *mask* on *window*.
         Returns the number of clients it reached."""
+        recipients = window.clients_selecting(mask)
+        if not recipients:
+            return 0
         event.time = self.timestamp
         count = 0
-        for client_id in window.clients_selecting(mask):
+        for client_id in recipients:
             if client_id == exclude_client:
                 continue
             sink = self.clients.get(client_id)
@@ -289,12 +293,11 @@ class XServer:
         on its parent (the standard double delivery for structure events).
         The parent copy is re-reported relative to the parent window."""
         self._deliver(window, event, EventMask.StructureNotify)
-        if window.parent is not None:
-            import copy
-
-            parent_copy = copy.copy(event)
-            parent_copy.window = window.parent.id
-            self._deliver(window.parent, parent_copy, EventMask.SubstructureNotify)
+        parent = window.parent
+        if parent is not None:
+            self._deliver(
+                parent, event.reported_to(parent.id), EventMask.SubstructureNotify
+            )
 
     # ------------------------------------------------------------------
     # Window creation / destruction
@@ -387,6 +390,7 @@ class XServer:
         )
         if window.parent is not None:
             window.parent.children.remove(window)
+            window.parent._invalidate_stacking()
         self.grabs.drop_window(window.id)
         for save_set in self.save_sets.values():
             save_set.discard(window.id)
@@ -516,12 +520,11 @@ class XServer:
             override_redirect=window.override_redirect,
         )
         self._deliver(window, event, EventMask.StructureNotify)
-        import copy
-
-        for interested in (window.parent,):
-            parent_copy = copy.copy(event)
-            parent_copy.window = interested.id
-            self._deliver(interested, parent_copy, EventMask.SubstructureNotify)
+        self._deliver(
+            new_parent,
+            event.reported_to(new_parent.id),
+            EventMask.SubstructureNotify,
+        )
 
     # ------------------------------------------------------------------
     # Configure
@@ -652,6 +655,8 @@ class XServer:
             ),
             EventMask.SubstructureNotify,
         )
+        # Restacking can change which window is under the pointer.
+        self._refresh_pointer_window()
 
     # ------------------------------------------------------------------
     # Attributes & input selection
@@ -799,12 +804,10 @@ class XServer:
         dst_origin = dst.position_in_root()
         dst_x = x + src_origin.x - dst_origin.x
         dst_y = y + src_origin.y - dst_origin.y
-        child = NONE
-        for candidate in reversed(dst.children):
-            if candidate.mapped and candidate.outer_rect().contains(dst_x, dst_y):
-                child = candidate.id
-                break
-        return dst_x, dst_y, child
+        # Child lookup shares query_pointer's hit-test rules (borders and
+        # SHAPE honoured) via the destination's stacking index.
+        hit = dst.child_at_in_root(x + src_origin.x, y + src_origin.y)
+        return dst_x, dst_y, hit.id if hit is not None else NONE
 
     def query_pointer(self, wid: int) -> dict:
         window = self.window(wid)
@@ -813,12 +816,9 @@ class XServer:
         origin = window.position_in_root()
         child = NONE
         if same:
-            for candidate in reversed(window.children):
-                if candidate.mapped and candidate.contains_point_in_root(
-                    self.pointer.x, self.pointer.y
-                ):
-                    child = candidate.id
-                    break
+            hit = window.child_at_in_root(self.pointer.x, self.pointer.y)
+            if hit is not None:
+                child = hit.id
         return {
             "root": screen.root.id,
             "child": child,
@@ -893,14 +893,13 @@ class XServer:
 
     def _window_at(self, screen: Screen, x: int, y: int) -> Window:
         """The deepest viewable InputOutput/InputOnly window containing
-        (x, y) in root coordinates, honouring SHAPE regions."""
+        (x, y) in root coordinates, honouring borders and SHAPE regions.
+        Descends each window's cached stacking index (top-to-bottom
+        bounding boxes in root coordinates), so a steady-state pointer
+        sweep never re-derives child origins."""
         window = screen.root
         while True:
-            hit = None
-            for child in reversed(window.children):
-                if child.mapped and child.contains_point_in_root(x, y):
-                    hit = child
-                    break
+            hit = window.child_at_in_root(x, y)
             if hit is None:
                 return window
             window = hit
@@ -936,7 +935,13 @@ class XServer:
                 detail=detail,
             )
 
-        if old is not None and not old.destroyed:
+        # The interest cache makes "does anyone care" O(1); skip the
+        # event construction entirely when nothing selects crossings.
+        if (
+            old is not None
+            and not old.destroyed
+            and old.clients_selecting(EventMask.LeaveWindow)
+        ):
             detail = ev.NOTIFY_NONLINEAR
             if new is not None:
                 if old.is_ancestor_of(new):
@@ -946,7 +951,7 @@ class XServer:
             self._deliver(
                 old, make(ev.LeaveNotify, old, detail), EventMask.LeaveWindow
             )
-        if new is not None:
+        if new is not None and new.clients_selecting(EventMask.EnterWindow):
             detail = ev.NOTIFY_NONLINEAR
             if old is not None and not old.destroyed:
                 if new.is_ancestor_of(old):
@@ -1004,7 +1009,7 @@ class XServer:
         state_before = self.pointer.state_mask(
             self.keyboard.modifier_mask() | modifiers
         )
-        if self.active_grab is None:
+        if self.active_grab is None and self.grabs.has_button_grabs():
             chain = self._pointer_chain()
             grab = self.grabs.find_button_grab(chain, button, state_before)
             if grab is not None:
@@ -1137,7 +1142,11 @@ class XServer:
     def _dispatch_key_event(self, cls, mask: EventMask, keysym: str) -> None:
         state = self.pointer.state_mask(self.keyboard.modifier_mask())
         # Passive key grabs activate from the root down.
-        if cls is ev.KeyPress and self.active_grab is None:
+        if (
+            cls is ev.KeyPress
+            and self.active_grab is None
+            and self.grabs.has_key_grabs()
+        ):
             grab = self.grabs.find_key_grab(self._pointer_chain(), keysym, state)
             if grab is not None:
                 origin = grab.window.position_in_root()

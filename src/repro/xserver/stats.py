@@ -9,7 +9,11 @@ measurable rather than aspirational, the server keeps cheap counters:
 - **delivered**: every event that actually lands on a client's queue,
   per event type and per client,
 - **coalesced**: events absorbed by the pipeline's coalescing stage
-  (see :mod:`repro.xserver.pipeline`) instead of being delivered.
+  (see :mod:`repro.xserver.pipeline`) instead of being delivered,
+- **caches**: hit/miss/invalidation counts for the window tree's
+  geometry, visibility, stacking-index, and interest caches (see
+  :class:`repro.xserver.window.TreeCaches`), one cache bundle per
+  screen, aggregated here.
 
 ``delivered + coalesced`` for a type is therefore the *raw* event count
 the server produced; ``delivered`` is what clients really had to read.
@@ -19,7 +23,10 @@ Query via ``server.stats()``.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+#: Cache families reported by :meth:`ServerStats.cache_counters`.
+CACHE_KINDS = ("geometry", "visibility", "stacking_index", "interest")
 
 
 class ServerStats:
@@ -31,6 +38,13 @@ class ServerStats:
         self.coalesced: Counter = Counter()
         self.delivered_by_client: Dict[int, Counter] = {}
         self.coalesced_by_client: Dict[int, Counter] = {}
+        #: TreeCaches bundles registered by the server (one per screen).
+        self._cache_trees: List = []
+
+    def track_cache(self, caches) -> None:
+        """Register a :class:`~repro.xserver.window.TreeCaches` so its
+        counters are aggregated into this stats object."""
+        self._cache_trees.append(caches)
 
     # -- recording (hot path: keep these tiny) ----------------------------
 
@@ -93,6 +107,47 @@ class ServerStats:
             type_name, client_id
         )
 
+    # -- cache counters -----------------------------------------------------
+
+    def cache_counters(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/invalidation counts per cache family, summed over
+        every registered tree (one per screen)."""
+        totals = {
+            kind: {"hits": 0, "misses": 0, "invalidations": 0}
+            for kind in CACHE_KINDS
+        }
+        for caches in self._cache_trees:
+            for kind, counts in caches.counters().items():
+                bucket = totals[kind]
+                for key, value in counts.items():
+                    bucket[key] += value
+        return totals
+
+    def cache_hits(self, kind: Optional[str] = None) -> int:
+        return self._cache_total("hits", kind)
+
+    def cache_misses(self, kind: Optional[str] = None) -> int:
+        return self._cache_total("misses", kind)
+
+    def cache_invalidations(self, kind: Optional[str] = None) -> int:
+        return self._cache_total("invalidations", kind)
+
+    def cache_hit_rate(self, kind: Optional[str] = None) -> float:
+        """hits / (hits + misses), optionally for one cache family;
+        1.0 when there were no accesses at all."""
+        hits = self.cache_hits(kind)
+        misses = self.cache_misses(kind)
+        accesses = hits + misses
+        return hits / accesses if accesses else 1.0
+
+    def _cache_total(self, key: str, kind: Optional[str]) -> int:
+        counters = self.cache_counters()
+        if kind is not None:
+            if kind not in counters:
+                raise KeyError(f"unknown cache kind {kind!r}")
+            return counters[kind][key]
+        return sum(bucket[key] for bucket in counters.values())
+
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for reports and assertions."""
         return {
@@ -105,15 +160,20 @@ class ServerStats:
             "coalesced_by_client": {
                 cid: dict(c) for cid, c in self.coalesced_by_client.items()
             },
+            "caches": self.cache_counters(),
         }
 
     def reset(self) -> None:
-        """Zero every counter (benchmarks bracket measured regions)."""
+        """Zero every counter (benchmarks bracket measured regions).
+        Cache *counters* reset too; the invalidation clocks do not, so
+        cached state stays valid across a reset."""
         self.requests.clear()
         self.delivered.clear()
         self.coalesced.clear()
         self.delivered_by_client.clear()
         self.coalesced_by_client.clear()
+        for caches in self._cache_trees:
+            caches.reset_counters()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -4,11 +4,42 @@ Windows form a tree rooted at each screen's root window.  Children are
 kept bottom-to-top, as in the X protocol's stacking order.  Each client
 selects its own event mask on each window; masks live here, delivery
 logic lives in the server.
+
+Hot-path caching
+----------------
+
+Every pointer event the server synthesises walks this tree: root-origin
+accumulation (`position_in_root`), viewability checks, event-interest
+lookups, and top-down hit testing.  Those used to be O(depth) or
+O(children x depth) per call; they are now amortized O(1) via lazy,
+clock-validated caches shared per tree (:class:`TreeCaches`):
+
+- **geometry clock** — bumped whenever any window's position, size,
+  border width, or parent changes.  Each window memoises its root
+  origin stamped with the clock value it was validated at; a stamped
+  match is a hit, otherwise the origin revalidates through the (also
+  memoised) parent chain, so one change costs one root-to-leaf walk for
+  the first query and O(1) afterwards.
+- **visibility clock** — bumped on map/unmap/reparent; validates the
+  cached ``viewable`` bit the same way.
+- **stacking clock** — bumped on restack, child insertion/removal, and
+  reparent; together with the other two clocks it validates each
+  parent's :meth:`~Window.stacking_index` (top-to-bottom bounding boxes
+  in root coordinates) used by the server's hit-test descent.
+- **interest caches** — the combined event mask and per-mask listener
+  lists are memoised per window and invalidated only by
+  :meth:`~Window.select_input` / :meth:`~Window.drop_client`.
+
+Mutation goes through property setters (``rect``, ``border_width``,
+``mapped``, ``parent``), so any assignment — the server's or a test's —
+invalidates correctly; there is no way to move a window without
+bumping the clocks.  Cache hit/miss/invalidation counters accumulate on
+the :class:`TreeCaches` and surface through ``server.stats()``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from .errors import BadMatch, BadValue
 from .event_mask import EventMask
@@ -33,6 +64,84 @@ NORTHWEST_GRAVITY = 1
 STATIC_GRAVITY = 10
 
 
+class TreeCaches:
+    """Shared invalidation clocks + cache counters for one window tree.
+
+    Created by each root window and inherited by every descendant; a
+    clock bump is O(1) and lazily invalidates the whole tree, so a
+    Virtual Desktop pan (one ConfigureWindow on a window with hundreds
+    of descendants) costs one increment, and only windows actually
+    queried afterwards pay for revalidation.
+    """
+
+    __slots__ = (
+        "geometry_clock",
+        "visibility_clock",
+        "stacking_clock",
+        "geometry_hits",
+        "geometry_misses",
+        "geometry_invalidations",
+        "visibility_hits",
+        "visibility_misses",
+        "visibility_invalidations",
+        "index_hits",
+        "index_misses",
+        "stacking_invalidations",
+        "interest_hits",
+        "interest_misses",
+        "interest_invalidations",
+    )
+
+    def __init__(self) -> None:
+        self.geometry_clock = 0
+        self.visibility_clock = 0
+        self.stacking_clock = 0
+        self.reset_counters()
+
+    # -- counters ---------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/invalidation counters (clocks keep ticking;
+        resetting them would revalidate stale stamps as fresh)."""
+        self.geometry_hits = 0
+        self.geometry_misses = 0
+        self.geometry_invalidations = 0
+        self.visibility_hits = 0
+        self.visibility_misses = 0
+        self.visibility_invalidations = 0
+        self.index_hits = 0
+        self.index_misses = 0
+        self.stacking_invalidations = 0
+        self.interest_hits = 0
+        self.interest_misses = 0
+        self.interest_invalidations = 0
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/invalidation counts per cache family."""
+        return {
+            "geometry": {
+                "hits": self.geometry_hits,
+                "misses": self.geometry_misses,
+                "invalidations": self.geometry_invalidations,
+            },
+            "visibility": {
+                "hits": self.visibility_hits,
+                "misses": self.visibility_misses,
+                "invalidations": self.visibility_invalidations,
+            },
+            "stacking_index": {
+                "hits": self.index_hits,
+                "misses": self.index_misses,
+                "invalidations": self.stacking_invalidations,
+            },
+            "interest": {
+                "hits": self.interest_hits,
+                "misses": self.interest_misses,
+                "invalidations": self.interest_invalidations,
+            },
+        }
+
+
 class Window:
     """One window in the simulated server.
 
@@ -52,14 +161,15 @@ class Window:
         owner: Optional[int] = None,
     ):
         self.id = wid
-        self.parent = parent
-        self.rect = rect
-        self.border_width = border_width
+        self.caches = parent.caches if parent is not None else TreeCaches()
+        self._parent = parent
+        self._rect = rect
+        self._border_width = border_width
         self.win_class = win_class
         self.override_redirect = override_redirect
         self.win_gravity = NORTHWEST_GRAVITY
         self.owner = owner  # client id that created the window
-        self.mapped = False
+        self._mapped = False
         self.destroyed = False
         self.children: List[Window] = []  # bottom-to-top
         from .properties import PropertyMap  # local import to avoid cycle
@@ -70,30 +180,68 @@ class Window:
         self.background: Optional[str] = None
         self.cursor: Optional[str] = None
         self.shape: Optional["ShapeRegion"] = None
+        #: Generation counter: bumped on every geometry-affecting change
+        #: (configure/reparent/border); cached root origins are stamped
+        #: against the tree's geometry clock instead, but the counter
+        #: makes per-window churn observable in tests.
+        self.geometry_generation = 0
+        self._origin: Optional[Point] = None
+        self._origin_stamp = -1
+        self._viewable = False
+        self._viewable_stamp = -1
+        self._index: List[Tuple["Window", Rect]] = []
+        self._index_stamp: Tuple[int, int, int] = (-1, -1, -1)
+        self._all_masks: Optional[EventMask] = None
+        self._selecting: Dict[EventMask, List[int]] = {}
         if parent is not None:
             parent.children.append(self)
+            parent._invalidate_stacking()
 
     # -- identity & tree -------------------------------------------------
 
     def __repr__(self) -> str:
-        return f"<Window {self.id:#x} {self.rect} mapped={self.mapped}>"
+        return f"<Window {self.id:#x} {self._rect} mapped={self._mapped}>"
 
     @property
     def is_root(self) -> bool:
-        return self.parent is None
+        return self._parent is None
+
+    @property
+    def parent(self) -> Optional["Window"]:
+        return self._parent
+
+    @parent.setter
+    def parent(self, new_parent: Optional["Window"]) -> None:
+        self._parent = new_parent
+        if new_parent is not None and new_parent.caches is not self.caches:
+            # Adopted into a different tree (never across screens via the
+            # server, but keep standalone Window use correct): the whole
+            # subtree must share the new tree's clocks.
+            self._adopt_caches(new_parent.caches)
+        self._invalidate_geometry()
+        self._invalidate_visibility()
+        self._invalidate_stacking()
+
+    def _adopt_caches(self, caches: TreeCaches) -> None:
+        self.caches = caches
+        self._origin_stamp = -1
+        self._viewable_stamp = -1
+        self._index_stamp = (-1, -1, -1)
+        for child in self.children:
+            child._adopt_caches(caches)
 
     def root(self) -> "Window":
         win = self
-        while win.parent is not None:
-            win = win.parent
+        while win._parent is not None:
+            win = win._parent
         return win
 
     def ancestors(self) -> Iterator["Window"]:
         """The chain of ancestors, nearest first (excluding self)."""
-        win = self.parent
+        win = self._parent
         while win is not None:
             yield win
-            win = win.parent
+            win = win._parent
 
     def is_ancestor_of(self, other: "Window") -> bool:
         return any(anc is self for anc in other.ancestors())
@@ -104,51 +252,126 @@ class Window:
             yield child
             yield from child.descendants()
 
+    # -- cache invalidation ------------------------------------------------
+
+    def _invalidate_geometry(self) -> None:
+        self.geometry_generation += 1
+        caches = self.caches
+        caches.geometry_clock += 1
+        caches.geometry_invalidations += 1
+
+    def _invalidate_visibility(self) -> None:
+        caches = self.caches
+        caches.visibility_clock += 1
+        caches.visibility_invalidations += 1
+
+    def _invalidate_stacking(self) -> None:
+        caches = self.caches
+        caches.stacking_clock += 1
+        caches.stacking_invalidations += 1
+
     # -- geometry ---------------------------------------------------------
 
     @property
+    def rect(self) -> Rect:
+        return self._rect
+
+    @rect.setter
+    def rect(self, value: Rect) -> None:
+        if value != self._rect:
+            self._rect = value
+            self._invalidate_geometry()
+
+    @property
+    def border_width(self) -> int:
+        return self._border_width
+
+    @border_width.setter
+    def border_width(self, value: int) -> None:
+        if value != self._border_width:
+            self._border_width = value
+            self._invalidate_geometry()
+
+    @property
     def x(self) -> int:
-        return self.rect.x
+        return self._rect.x
 
     @property
     def y(self) -> int:
-        return self.rect.y
+        return self._rect.y
 
     @property
     def width(self) -> int:
-        return self.rect.width
+        return self._rect.width
 
     @property
     def height(self) -> int:
-        return self.rect.height
+        return self._rect.height
 
     def position_in_root(self) -> Point:
-        """The window's origin in root coordinates (inside the border)."""
-        x, y = self.rect.x, self.rect.y
-        for anc in self.ancestors():
-            x += anc.rect.x + anc.border_width
-            y += anc.rect.y + anc.border_width
-        return Point(x, y)
+        """The window's origin in root coordinates (inside the border).
+
+        Cached: a repeat call with no intervening geometry change
+        anywhere in the tree is O(1); after a change, the first call
+        revalidates through the parent chain (validating ancestors as a
+        side effect, so sibling queries are O(1) again)."""
+        caches = self.caches
+        clock = caches.geometry_clock
+        if self._origin_stamp == clock:
+            caches.geometry_hits += 1
+            return self._origin
+        caches.geometry_misses += 1
+        parent = self._parent
+        rect = self._rect
+        if parent is None:
+            origin = Point(rect.x, rect.y)
+        else:
+            parent_origin = parent.position_in_root()
+            bw = parent._border_width
+            origin = Point(
+                parent_origin.x + bw + rect.x, parent_origin.y + bw + rect.y
+            )
+        self._origin = origin
+        self._origin_stamp = clock
+        return origin
 
     def rect_in_root(self) -> Rect:
         origin = self.position_in_root()
-        return Rect(origin.x, origin.y, self.rect.width, self.rect.height)
+        return Rect(origin.x, origin.y, self._rect.width, self._rect.height)
 
     def outer_rect(self) -> Rect:
         """The window rect including its border, in parent coordinates."""
-        bw = self.border_width
+        bw = self._border_width
         return Rect(
-            self.rect.x,
-            self.rect.y,
-            self.rect.width + 2 * bw,
-            self.rect.height + 2 * bw,
+            self._rect.x,
+            self._rect.y,
+            self._rect.width + 2 * bw,
+            self._rect.height + 2 * bw,
+        )
+
+    def outer_rect_in_root(self) -> Rect:
+        """The window rect including its border, in root coordinates."""
+        origin = self.position_in_root()
+        bw = self._border_width
+        return Rect(
+            origin.x - bw,
+            origin.y - bw,
+            self._rect.width + 2 * bw,
+            self._rect.height + 2 * bw,
         )
 
     def contains_point_in_root(self, x: int, y: int) -> bool:
-        """Hit test in root coordinates, honouring the SHAPE region."""
+        """Hit test in root coordinates, honouring the border and the
+        SHAPE region (a shaped window's border is clipped to the shape,
+        as the bounding shape clips the border in real X)."""
         origin = self.position_in_root()
         local_x, local_y = x - origin.x, y - origin.y
-        if not (0 <= local_x < self.width and 0 <= local_y < self.height):
+        bw = self._border_width
+        rect = self._rect
+        if not (
+            -bw <= local_x < rect.width + bw
+            and -bw <= local_y < rect.height + bw
+        ):
             return False
         if self.shape is not None:
             return self.shape.contains(local_x, local_y)
@@ -157,15 +380,35 @@ class Window:
     # -- map state ---------------------------------------------------------
 
     @property
+    def mapped(self) -> bool:
+        return self._mapped
+
+    @mapped.setter
+    def mapped(self, value: bool) -> None:
+        if value != self._mapped:
+            self._mapped = value
+            self._invalidate_visibility()
+
+    @property
     def viewable(self) -> bool:
-        """Mapped, with every ancestor mapped too."""
-        if not self.mapped:
-            return False
-        return all(anc.mapped for anc in self.ancestors())
+        """Mapped, with every ancestor mapped too (cached, validated
+        against the tree's visibility clock)."""
+        caches = self.caches
+        clock = caches.visibility_clock
+        if self._viewable_stamp == clock:
+            caches.visibility_hits += 1
+            return self._viewable
+        caches.visibility_misses += 1
+        result = self._mapped and (
+            self._parent is None or self._parent.viewable
+        )
+        self._viewable = result
+        self._viewable_stamp = clock
+        return result
 
     @property
     def map_state(self) -> int:
-        if not self.mapped:
+        if not self._mapped:
             return IS_UNMAPPED
         return IS_VIEWABLE if self.viewable else IS_UNVIEWABLE
 
@@ -173,22 +416,51 @@ class Window:
 
     def select_input(self, client_id: int, mask: EventMask) -> None:
         if mask == EventMask.NoEvent:
-            self.event_masks.pop(client_id, None)
+            if self.event_masks.pop(client_id, None) is None:
+                return
         else:
+            if self.event_masks.get(client_id) == mask:
+                return
             self.event_masks[client_id] = mask
+        self._invalidate_interest()
+
+    def drop_client(self, client_id: int) -> None:
+        """Forget a disconnected client's selection on this window."""
+        if self.event_masks.pop(client_id, None) is not None:
+            self._invalidate_interest()
+
+    def _invalidate_interest(self) -> None:
+        self._all_masks = None
+        self._selecting.clear()
+        self.caches.interest_invalidations += 1
 
     def mask_for(self, client_id: int) -> EventMask:
         return self.event_masks.get(client_id, EventMask.NoEvent)
 
     def all_masks(self) -> EventMask:
-        """Union of every client's selection on this window."""
+        """Union of every client's selection on this window (cached)."""
+        combined = self._all_masks
+        if combined is not None:
+            self.caches.interest_hits += 1
+            return combined
+        self.caches.interest_misses += 1
         combined = EventMask.NoEvent
         for mask in self.event_masks.values():
             combined |= mask
+        self._all_masks = combined
         return combined
 
     def clients_selecting(self, mask: EventMask) -> List[int]:
-        return [cid for cid, sel in self.event_masks.items() if sel & mask]
+        """Client ids that selected *mask* here (cached per mask; the
+        returned list is shared — callers must not mutate it)."""
+        cached = self._selecting.get(mask)
+        if cached is not None:
+            self.caches.interest_hits += 1
+            return cached
+        self.caches.interest_misses += 1
+        result = [cid for cid, sel in self.event_masks.items() if sel & mask]
+        self._selecting[mask] = result
+        return result
 
     def redirect_client(self) -> Optional[int]:
         """The client holding SubstructureRedirect on this window."""
@@ -197,10 +469,49 @@ class Window:
 
     # -- stacking -------------------------------------------------------------
 
+    def stacking_index(self) -> List[Tuple["Window", Rect]]:
+        """Top-to-bottom ``(child, bounding box)`` pairs for the mapped
+        children, bounding boxes (border included) in root coordinates.
+
+        This is the hit-test index the server descends in `_window_at` /
+        pointer queries; it revalidates only when geometry, visibility,
+        or stacking changed since it was built."""
+        caches = self.caches
+        stamp = (
+            caches.geometry_clock,
+            caches.visibility_clock,
+            caches.stacking_clock,
+        )
+        if self._index_stamp == stamp:
+            caches.index_hits += 1
+            return self._index
+        caches.index_misses += 1
+        index = [
+            (child, child.outer_rect_in_root())
+            for child in reversed(self.children)
+            if child._mapped
+        ]
+        self._index = index
+        self._index_stamp = stamp
+        return index
+
+    def child_at_in_root(self, x: int, y: int) -> Optional["Window"]:
+        """The topmost mapped child containing root point (x, y),
+        honouring borders and SHAPE, via the stacking index."""
+        for child, bbox in self.stacking_index():
+            if bbox.contains(x, y):
+                shape = child.shape
+                if shape is not None:
+                    origin = child.position_in_root()
+                    if not shape.contains(x - origin.x, y - origin.y):
+                        continue
+                return child
+        return None
+
     def sibling_index(self) -> int:
-        if self.parent is None:
+        if self._parent is None:
             raise BadMatch(self.id, "root window has no siblings")
-        return self.parent.children.index(self)
+        return self._parent.children.index(self)
 
     def restack(self, mode: int, sibling: Optional["Window"] = None) -> None:
         """Apply an X StackMode relative to an optional sibling.
@@ -211,7 +522,7 @@ class Window:
         """
         from .events import ABOVE, BELOW, BOTTOM_IF, OPPOSITE, TOP_IF
 
-        parent = self.parent
+        parent = self._parent
         if parent is None:
             raise BadMatch(self.id, "cannot restack a root window")
         if sibling is not None and sibling.parent is not parent:
@@ -221,30 +532,28 @@ class Window:
         def occluded_by_sibling() -> bool:
             my_index = siblings.index(self)
             mine = self.outer_rect()
-            candidates = (
-                [sibling]
-                if sibling is not None
-                else siblings[my_index + 1:]
-            )
+            if sibling is not None:
+                candidates = (
+                    [sibling] if siblings.index(sibling) > my_index else []
+                )
+            else:
+                candidates = siblings[my_index + 1:]
             return any(
-                other is not self
-                and other.mapped
-                and other.outer_rect().intersects(mine)
-                and siblings.index(other) > my_index
+                other.mapped and other.outer_rect().intersects(mine)
                 for other in candidates
             )
 
         def occludes_sibling() -> bool:
             my_index = siblings.index(self)
             mine = self.outer_rect()
-            candidates = (
-                [sibling] if sibling is not None else siblings[:my_index]
-            )
+            if sibling is not None:
+                candidates = (
+                    [sibling] if siblings.index(sibling) < my_index else []
+                )
+            else:
+                candidates = siblings[:my_index]
             return any(
-                other is not self
-                and other.mapped
-                and other.outer_rect().intersects(mine)
-                and siblings.index(other) < my_index
+                other.mapped and other.outer_rect().intersects(mine)
                 for other in candidates
             )
 
@@ -254,12 +563,14 @@ class Window:
                 siblings.append(self)
             else:
                 siblings.insert(siblings.index(sibling) + 1, self)
+            parent._invalidate_stacking()
         elif mode == BELOW:
             siblings.remove(self)
             if sibling is None:
                 siblings.insert(0, self)
             else:
                 siblings.insert(siblings.index(sibling), self)
+            parent._invalidate_stacking()
         elif mode == TOP_IF:
             if occluded_by_sibling():
                 self.restack(ABOVE, None)
@@ -277,9 +588,9 @@ class Window:
     def sibling_above(self) -> Optional["Window"]:
         """The sibling immediately above, or None if topmost."""
         index = self.sibling_index()
-        siblings = self.parent.children
+        siblings = self._parent.children
         return siblings[index + 1] if index + 1 < len(siblings) else None
 
     def sibling_below(self) -> Optional["Window"]:
         index = self.sibling_index()
-        return self.parent.children[index - 1] if index > 0 else None
+        return self._parent.children[index - 1] if index > 0 else None

@@ -87,6 +87,24 @@ class TestPanningSemantics:
         notifies = [e for e in app.conn.events() if isinstance(e, ev.ConfigureNotify)]
         assert notifies == []
 
+    def test_pan_refreshes_pointer_hit_test(self, server, vwm):
+        """A pan is a single ConfigureWindow on the desktop window; the
+        server's geometry caches must serve fresh hit tests and pointer
+        coordinates immediately afterwards (no stale origins)."""
+        app = NaiveApp(server, ["naivedemo", "-geometry", "200x200+600+500"])
+        vwm.process_pending()
+        window = server.window(app.wid)
+        before = window.position_in_root()
+        server.motion(before.x + 10, before.y + 10)
+        assert server.pointer.window.id == app.wid
+        vwm.pan_to(0, 300, 250)
+        after = window.position_in_root()
+        assert (after.x, after.y) == (before.x - 300, before.y - 250)
+        server.motion(after.x + 10, after.y + 10)
+        assert server.pointer.window.id == app.wid
+        info = app.conn.query_pointer(app.wid)
+        assert (info["win_x"], info["win_y"]) == (10, 10)
+
     def test_fpan_function(self, server, vwm):
         vwm.execute(FunctionCall("pan", "100 50"))
         vdesk = vwm.screens[0].vdesk

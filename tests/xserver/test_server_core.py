@@ -366,6 +366,70 @@ class TestQueries:
         assert attrs["map_state"] == 0
 
 
+class TestUnifiedHitTest:
+    """translate_coordinates and query_pointer share one child hit-test:
+    borders count as part of the window and SHAPE regions are honoured
+    by both (they used to disagree — translate ignored SHAPE, pointer
+    queries ignored borders)."""
+
+    @pytest.fixture
+    def shaped_child(self, server, app):
+        from repro.xserver import ShapeRegion
+
+        parent = make_window(app, x=0, y=0, w=500, h=500)
+        child = make_window(app, parent=parent, x=50, y=50, w=100, h=100,
+                            border_width=4)
+        app.map_window(parent)
+        app.map_window(child)
+        # Only the left half of the child is part of its shape.
+        region = ShapeRegion.from_rects(100, 100, [(0, 0, 50, 100)])
+        server.window(child).shape = region
+        server._refresh_pointer_window()
+        return parent, child
+
+    def both_hits(self, server, app, parent, x, y):
+        """(translate child, query_pointer child) for parent-local x, y."""
+        _, _, t_child = app.translate_coordinates(app.root_window(), parent, x, y)
+        server.motion(x, y)  # parent at origin: parent-local == root
+        q_child = app.query_pointer(parent)["child"]
+        return t_child, q_child
+
+    def test_agree_inside_shape(self, server, app, shaped_child):
+        parent, child = shaped_child
+        assert self.both_hits(server, app, parent, 60, 60) == (child, child)
+
+    def test_agree_outside_shape(self, server, app, shaped_child):
+        """In the rectangle but outside the SHAPE region: neither path
+        reports the child."""
+        parent, child = shaped_child
+        assert self.both_hits(server, app, parent, 130, 60) == (NONE, NONE)
+
+    def test_agree_on_border_of_unshaped(self, server, app):
+        parent = make_window(app, x=0, y=0, w=500, h=500)
+        child = make_window(app, parent=parent, x=50, y=50, w=100, h=100,
+                            border_width=4)
+        app.map_window(parent)
+        app.map_window(child)
+        # (48, 48) lies on the 4px border ring around the content
+        # (content [50, 150), ring [46, 50)); (44, 44) is outside it.
+        assert self.both_hits(server, app, parent, 48, 48) == (child, child)
+        assert self.both_hits(server, app, parent, 44, 44) == (NONE, NONE)
+
+    def test_shaped_border_clipped(self, server, app, shaped_child):
+        """A shaped window's border is clipped to the shape: border
+        pixels outside the region do not hit."""
+        parent, child = shaped_child
+        assert self.both_hits(server, app, parent, 48, 48) == (NONE, NONE)
+
+    def test_window_at_honours_border(self, server, app):
+        child = make_window(app, x=100, y=100, w=50, h=50, border_width=5)
+        app.map_window(child)
+        server.motion(97, 97)  # on the border
+        assert server.pointer.window.id == child
+        server.motion(90, 90)  # outside the border
+        assert server.pointer.window.id == app.root_window()
+
+
 class TestSendEvent:
     def test_send_event_with_mask(self, server, wm, app):
         wid = make_window(app)
