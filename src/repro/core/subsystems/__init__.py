@@ -63,6 +63,12 @@ class Subsystem:
     def server(self):
         return self.wm.server
 
+    def guarded(self, fn, *args, **kwargs):
+        """Run an X call that may race a dying client; see
+        :meth:`Swm.guarded` — the error is counted in
+        ``server.stats()`` and ``default`` is returned instead."""
+        return self.wm.guarded(fn, *args, **kwargs)
+
     def event_handlers(self) -> Iterable[Tuple[type, int, object]]:
         """``(event class, priority, handler)`` triples to install."""
         return ()

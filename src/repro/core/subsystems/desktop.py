@@ -142,12 +142,16 @@ class DesktopController(Subsystem):
         index %= len(sc.vdesks)
         if index == managed.desktop:
             return
-        rect = self.wm.frame_rect(managed)
-        self.conn.reparent_window(
-            managed.frame, sc.vdesks[index].window, rect.x, rect.y
+        rect = self.guarded(self.wm.frame_rect, managed)
+        if rect is None:  # frame raced away; the reaper will catch up
+            return
+        self.guarded(
+            self.conn.reparent_window,
+            managed.frame, sc.vdesks[index].window, rect.x, rect.y,
         )
         managed.desktop = index
-        self.conn.change_property(
+        self.guarded(
+            self.conn.change_property,
             managed.client,
             SWM_ROOT_PROPERTY,
             "WINDOW",
@@ -181,9 +185,14 @@ class DesktopController(Subsystem):
         managed.sticky = True
         if sc.vdesks:
             vdesk = sc.vdesks[managed.desktop]
-            rect = self.wm.frame_rect(managed)
+            rect = self.guarded(self.wm.frame_rect, managed)
+            if rect is None:
+                return
             view = vdesk.desktop_to_view(rect.x, rect.y)
-            self.conn.reparent_window(managed.frame, sc.root, view.x, view.y)
+            self.guarded(
+                self.conn.reparent_window,
+                managed.frame, sc.root, view.x, view.y,
+            )
         self.set_swm_root(managed)
         self.update_panner(sc)
 
@@ -194,10 +203,13 @@ class DesktopController(Subsystem):
         managed.sticky = False
         if sc.vdesk is not None:
             managed.desktop = sc.current_desktop
-            rect = self.wm.frame_rect(managed)
+            rect = self.guarded(self.wm.frame_rect, managed)
+            if rect is None:
+                return
             desk = sc.vdesk.view_to_desktop(rect.x, rect.y)
-            self.conn.reparent_window(
-                managed.frame, sc.vdesk.window, desk.x, desk.y
+            self.guarded(
+                self.conn.reparent_window,
+                managed.frame, sc.vdesk.window, desk.x, desk.y,
             )
         self.set_swm_root(managed)
         self.update_panner(sc)
@@ -210,8 +222,9 @@ class DesktopController(Subsystem):
             root = sc.vdesks[managed.desktop].window
         else:
             root = sc.root
-        self.conn.change_property(
-            managed.client, SWM_ROOT_PROPERTY, "WINDOW", 32, [root]
+        self.guarded(
+            self.conn.change_property,
+            managed.client, SWM_ROOT_PROPERTY, "WINDOW", 32, [root],
         )
 
     # ------------------------------------------------------------------
@@ -232,7 +245,10 @@ class DesktopController(Subsystem):
                 continue
             if managed.desktop != sc.current_desktop:
                 continue
-            out.append((self.wm.frame_rect(managed), managed))
+            rect = self.guarded(self.wm.frame_rect, managed)
+            if rect is None:  # frame raced away mid-enumeration
+                continue
+            out.append((rect, managed))
         return out
 
     def update_panner(self, sc: "ScreenContext") -> None:

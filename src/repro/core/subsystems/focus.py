@@ -8,7 +8,7 @@ style policies from the resource database.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from ... import icccm
 from ...xserver import events as ev
@@ -27,6 +27,18 @@ class FocusController(Subsystem):
 
     name = "focus"
 
+    #: Server-timestamp ticks a WM_DELETE_WINDOW client gets to comply
+    #: before the WM falls back to destroying it.  An ICCCM wait must
+    #: never be open-ended: a client that wedged (or died without its
+    #: DestroyNotify reaching us) would otherwise pin its frame forever.
+    DELETE_TIMEOUT = 256
+
+    def __init__(self, wm):
+        super().__init__(wm)
+        #: client window id -> server-timestamp deadline for clients we
+        #: asked to delete themselves (see delete_client()).
+        self.pending_deletes: Dict[int, int] = {}
+
     def event_handlers(self):
         return (
             (ev.EnterNotify, PRI_BINDINGS, self._on_enter),
@@ -41,7 +53,9 @@ class FocusController(Subsystem):
         """ICCCM focus: clients speaking WM_TAKE_FOCUS get the protocol
         message (the "globally active" input model); everyone else gets
         SetInputFocus directly."""
-        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        protocols = self.guarded(
+            icccm.get_wm_protocols, self.conn, managed.client, default=()
+        )
         if WM_TAKE_FOCUS in protocols:
             message = ev.ClientMessage(
                 window=managed.client,
@@ -51,26 +65,55 @@ class FocusController(Subsystem):
                     self.server.timestamp,
                 ),
             )
-            self.conn.send_event(managed.client, message)
+            self.guarded(self.conn.send_event, managed.client, message)
             return
-        self.conn.set_input_focus(managed.client)
+        self.guarded(self.conn.set_input_focus, managed.client)
 
     def delete_client(self, managed: "ManagedWindow") -> None:
         """Close politely via WM_DELETE_WINDOW when the client speaks
-        the protocol; destroy otherwise."""
-        protocols = icccm.get_wm_protocols(self.conn, managed.client)
+        the protocol; destroy otherwise.  A polite request arms a
+        deadline — enforce_delete_timeouts() falls back to destroying a
+        client that neither complied nor died."""
+        protocols = self.guarded(
+            icccm.get_wm_protocols, self.conn, managed.client, default=()
+        )
         if WM_DELETE_WINDOW in protocols:
             message = ev.ClientMessage(
                 window=managed.client,
                 message_type=self.conn.intern_atom(WM_PROTOCOLS),
                 data=(self.conn.intern_atom(WM_DELETE_WINDOW),),
             )
-            self.conn.send_event(managed.client, message)
+            self.guarded(self.conn.send_event, managed.client, message)
+            self.pending_deletes[managed.client] = (
+                self.server.timestamp + self.DELETE_TIMEOUT
+            )
         else:
             self.destroy_client(managed)
 
     def destroy_client(self, managed: "ManagedWindow") -> None:
-        self.conn.destroy_window(managed.client)
+        self.pending_deletes.pop(managed.client, None)
+        self.guarded(self.conn.destroy_window, managed.client)
+
+    def enforce_delete_timeouts(self) -> int:
+        """Destroy clients whose WM_DELETE_WINDOW deadline passed.
+        Called from the event pump; returns how many were acted on."""
+        acted = 0
+        now = self.server.timestamp
+        for client, deadline in list(self.pending_deletes.items()):
+            if not self.conn.window_exists(client):
+                self.pending_deletes.pop(client, None)
+                continue
+            if now >= deadline:
+                self.pending_deletes.pop(client, None)
+                self.guarded(self.conn.destroy_window, client)
+                acted += 1
+        return acted
+
+    def prune_pending_deletes(self) -> None:
+        """Forget deadlines for clients that no longer exist."""
+        for client in list(self.pending_deletes):
+            if not self.conn.window_exists(client):
+                self.pending_deletes.pop(client, None)
 
     # ------------------------------------------------------------------
     # Crossing bindings

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 from ... import icccm
 from ...icccm.hints import ICONIC_STATE, NORMAL_STATE, WMState
 from ...xserver import events as ev
+from ...xserver.errors import XError
 from ...xserver.geometry import Point, Rect, Size, parse_geometry
 from ..decorate import client_context, icon_panel_name
 from ..icons import Icon, IconHolder, build_icon_panel
@@ -75,11 +76,26 @@ class IconifyController(Subsystem):
             return
         sc = self.wm.screens[managed.screen]
         if managed.icon is None:
-            managed.icon = self.build_icon(sc, managed)
-        self.conn.unmap_window(managed.frame)
-        self.conn.map_window(managed.icon.window)
+            try:
+                managed.icon = self.build_icon(sc, managed)
+            except XError as err:
+                # Could not build an icon (client racing away): leave
+                # the window in its normal state rather than iconic
+                # with nothing to click on.
+                self.wm._note_guarded(err, "build_icon")
+                managed.icon = None
+                return
+            if self.wm.managed.get(managed.client) is not managed:
+                # The build's own X traffic re-enters the event pump,
+                # and the client withdrew (or died) while we were
+                # decorating its icon: discard the orphan.
+                self.remove_icon(managed)
+                return
+        self.guarded(self.conn.unmap_window, managed.frame)
+        self.guarded(self.conn.map_window, managed.icon.window)
         managed.state = ICONIC_STATE
-        icccm.set_wm_state(
+        self.guarded(
+            icccm.set_wm_state,
             self.conn,
             managed.client,
             WMState(ICONIC_STATE, icon_window=managed.icon.window),
@@ -91,11 +107,13 @@ class IconifyController(Subsystem):
             return
         sc = self.wm.screens[managed.screen]
         if managed.icon is not None:
-            self.remove_icon(managed)
-        self.conn.map_window(managed.frame)
-        self.conn.raise_window(managed.frame)
+            self.guarded(self.remove_icon, managed)
+        self.guarded(self.conn.map_window, managed.frame)
+        self.guarded(self.conn.raise_window, managed.frame)
         managed.state = NORMAL_STATE
-        icccm.set_wm_state(self.conn, managed.client, WMState(NORMAL_STATE))
+        self.guarded(
+            icccm.set_wm_state, self.conn, managed.client, WMState(NORMAL_STATE)
+        )
         self.wm.desktop.update_panner(sc)
 
     # ------------------------------------------------------------------
@@ -174,8 +192,42 @@ class IconifyController(Subsystem):
                 self.wm.object_windows.pop(obj.window, None)
         self.wm.icon_windows.pop(icon.window, None)
         if self.conn.window_exists(icon.window):
-            self.conn.destroy_window(icon.window)
+            self.guarded(self.conn.destroy_window, icon.window)
         managed.icon = None
+
+    def repair_icon(self, managed: "ManagedWindow") -> None:
+        """The icon window vanished behind the WM's back (stale-XID
+        race): drop the dead icon's bookkeeping and, when the client is
+        still iconic, build a fresh icon so the window stays reachable.
+        If no icon can be built, fall back to deiconifying — a visible
+        frame beats an unreachable client."""
+        icon = managed.icon
+        if icon is None:
+            return
+        if icon.holder is not None:
+            icon.holder.remove(icon)
+        for obj in icon.panel.iter_tree():
+            if obj.window is not None:
+                self.wm.object_windows.pop(obj.window, None)
+        self.wm.icon_windows.pop(icon.window, None)
+        managed.icon = None
+        if managed.state != ICONIC_STATE:
+            return
+        if not self.conn.window_exists(managed.client):
+            return
+        sc = self.wm.screens[managed.screen]
+        try:
+            managed.icon = self.build_icon(sc, managed)
+        except XError as err:
+            self.wm._note_guarded(err, "repair_icon")
+            managed.state = NORMAL_STATE
+            self.guarded(self.conn.map_window, managed.frame)
+            self.guarded(
+                icccm.set_wm_state,
+                self.conn, managed.client, WMState(NORMAL_STATE),
+            )
+            return
+        self.guarded(self.conn.map_window, managed.icon.window)
 
     # ------------------------------------------------------------------
     # Icon-name propagation (WM_ICON_NAME → icon "iconname" object)
@@ -184,7 +236,10 @@ class IconifyController(Subsystem):
     def update_icon_name(self, managed: "ManagedWindow") -> None:
         if managed.icon is None:
             return
-        icon_name = icccm.get_wm_icon_name(self.conn, managed.client) or ""
+        icon_name = (
+            self.guarded(icccm.get_wm_icon_name, self.conn, managed.client)
+            or ""
+        )
         obj = managed.icon.panel.find("iconname")
         if isinstance(obj, Button):
             obj.set_label(icon_name)

@@ -103,8 +103,10 @@ class InputController(Subsystem):
         if self.active_menu is None:
             return
         menu, _, _ = self.active_menu
-        menu.popdown(self.conn)
+        # Clear the overlay first: even if the popdown fails (menu
+        # window raced away) the WM must not stay in menu mode.
         self.active_menu = None
+        self.guarded(menu.popdown, self.conn)
 
     # ------------------------------------------------------------------
     # Function execution
@@ -307,26 +309,32 @@ class InputController(Subsystem):
         self.conn.ungrab_pointer()
         wm = self.wm
         managed = drag.managed
+        if wm.managed.get(managed.client) is not managed:
+            return  # the dragged client died mid-drag; nothing to place
         sc = wm.screens[managed.screen]
         dx = event.x_root - drag.start_pointer[0]
         dy = event.y_root - drag.start_pointer[1]
         if drag.kind == "move":
+            target = Point(drag.start_rect.x + dx, drag.start_rect.y + dy)
             if drag.in_panner and sc.panner is not None:
                 # Dropped onto the panner: place at the miniature's
-                # desktop position.
+                # desktop position (unless the panner itself raced
+                # away, in which case fall back to a plain move).
                 panner_managed = wm.managed.get(sc.panner.window)
-                panner_rect = wm.frame_rect(panner_managed)
-                local = Point(
-                    event.x_root - panner_rect.x - managed.client_offset.x,
-                    event.y_root - panner_rect.y - managed.client_offset.y,
+                panner_rect = (
+                    self.guarded(wm.frame_rect, panner_managed)
+                    if panner_managed is not None
+                    else None
                 )
-                desk = sc.panner.panner_to_desktop(
-                    max(0, local.x), max(0, local.y)
-                )
-                wm.move_managed_to(managed, desk.x, desk.y)
-            else:
-                target = Point(drag.start_rect.x + dx, drag.start_rect.y + dy)
-                wm.move_managed_to(managed, target.x, target.y)
+                if panner_rect is not None:
+                    local = Point(
+                        event.x_root - panner_rect.x - managed.client_offset.x,
+                        event.y_root - panner_rect.y - managed.client_offset.y,
+                    )
+                    target = sc.panner.panner_to_desktop(
+                        max(0, local.x), max(0, local.y)
+                    )
+            wm.move_managed_to(managed, target.x, target.y)
         else:
             new_width = drag.start_rect.width + dx
             new_height = drag.start_rect.height + dy

@@ -50,8 +50,8 @@ class RedirectController(Subsystem):
         elif managed.state == ICONIC_STATE:
             wm.deiconify(managed)
         else:
-            self.conn.map_window(client)
-            self.conn.map_window(managed.frame)
+            self.guarded(self.conn.map_window, client)
+            self.guarded(self.conn.map_window, managed.frame)
         return True
 
     def _on_configure_request(self, event: ev.ConfigureRequest) -> bool:
@@ -59,8 +59,10 @@ class RedirectController(Subsystem):
         client = event.window
         managed = wm.managed.get(client)
         if managed is None:
-            # Unmanaged window: pass the request through.
-            self.conn.configure_window(
+            # Unmanaged window: pass the request through.  The window
+            # may be gone by now (its client died after asking).
+            self.guarded(
+                self.conn.configure_window,
                 client,
                 **self._configure_kwargs(event),
             )
@@ -152,17 +154,17 @@ class RedirectController(Subsystem):
         if managed is None:
             return True
         if atom_name == "WM_NAME":
-            wm.decor.update_title(managed)
+            self.guarded(wm.decor.update_title, managed)
         elif atom_name == "WM_ICON_NAME":
-            wm.iconifier.update_icon_name(managed)
+            self.guarded(wm.iconifier.update_icon_name, managed)
         elif atom_name == "WM_NORMAL_HINTS":
             managed.size_hints = (
-                icccm.get_wm_normal_hints(self.conn, managed.client)
+                self.guarded(icccm.get_wm_normal_hints, self.conn, managed.client)
                 or managed.size_hints
             )
         elif atom_name == "WM_HINTS":
             managed.wm_hints = (
-                icccm.get_wm_hints(self.conn, managed.client)
+                self.guarded(icccm.get_wm_hints, self.conn, managed.client)
                 or managed.wm_hints
             )
         return True

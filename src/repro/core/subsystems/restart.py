@@ -39,10 +39,12 @@ class RestartController(Subsystem):
     def match_restart_entry(self, client: int) -> Optional[dict]:
         """Find (and consume) a session-restart record whose WM_COMMAND
         — and, when present, WM_CLIENT_MACHINE — matches (§7)."""
-        command = icccm.get_wm_command_string(self.conn, client)
+        command = self.guarded(
+            icccm.get_wm_command_string, self.conn, client
+        )
         if command is None or not self.restart_table:
             return None
-        machine = icccm.get_wm_client_machine(self.conn, client)
+        machine = self.guarded(icccm.get_wm_client_machine, self.conn, client)
         for entry in self.restart_table:
             if entry["command"] != command:
                 continue
@@ -88,21 +90,21 @@ class RestartController(Subsystem):
         for sc in wm.screens:
             for holder in sc.icon_holders:
                 if self.conn.window_exists(holder.window):
-                    self.conn.destroy_window(holder.window)
+                    self.guarded(self.conn.destroy_window, holder.window)
             for icon in sc.root_icons.values():
                 if self.conn.window_exists(icon.window):
-                    self.conn.destroy_window(icon.window)
+                    self.guarded(self.conn.destroy_window, icon.window)
             if sc.panner is not None and self.conn.window_exists(
                 sc.panner.window
             ):
-                self.conn.destroy_window(sc.panner.window)
+                self.guarded(self.conn.destroy_window, sc.panner.window)
             if sc.scrollbars is not None:
                 for bar in (sc.scrollbars.vertical, sc.scrollbars.horizontal):
                     if self.conn.window_exists(bar):
-                        self.conn.destroy_window(bar)
+                        self.guarded(self.conn.destroy_window, bar)
             for vdesk in sc.vdesks:
                 if self.conn.window_exists(vdesk.window):
-                    self.conn.destroy_window(vdesk.window)
+                    self.guarded(self.conn.destroy_window, vdesk.window)
         wm.object_windows.clear()
         wm.icon_windows.clear()
         wm.corner_windows.clear()
@@ -116,6 +118,9 @@ class RestartController(Subsystem):
             wm.iconifier.setup_root_icons(sc)
             wm.desktop.setup_panner(sc)
             wm.desktop.setup_scrollbars(sc)
+        # Re-manage survivors.  manage() is idempotent and aborts
+        # cleanly on a client that died between snapshot and relaunch,
+        # so one casualty never derails the rest of the restore.
         for client in clients:
             if self.conn.window_exists(client):
                 wm.manage(client)

@@ -187,6 +187,9 @@ class Swm:
         self.launched: List[object] = []  # apps started by f.exec
         self._ignore_unmaps: Dict[int, int] = {}
         self._processing = False
+        #: Total X errors absorbed by guarded()/the event pump; the
+        #: per-error-name breakdown lives in server.stats().
+        self._guarded_errors = 0
 
         # Subsystem controllers: each owns one slice of behaviour and
         # contributes handlers to the dispatch table below.
@@ -326,24 +329,138 @@ class Swm:
         self.process_pending()
 
     def process_pending(self) -> int:
-        """Handle all queued events; returns how many were handled."""
+        """Handle all queued events; returns how many were handled.
+
+        The pump must keep running through anything a dying client can
+        throw at it: an X error escaping a handler is counted
+        (``guarded_errors`` in ``server.stats()``) and that event is
+        abandoned, after which the WM repairs itself — WM_DELETE_WINDOW
+        deadlines are enforced and, whenever an error was absorbed,
+        zombie state is reaped (see :meth:`reap_zombies`)."""
         if self._processing:
             return 0
         self._processing = True
         handled = 0
+        errors_before = self._guarded_errors
         try:
-            while self.conn.pending():
-                event = self.conn.next_event()
-                try:
-                    self._dispatch(event)
-                except XError:
-                    # Windows race away (clients exiting mid-request);
-                    # a WM must survive stale-window errors.
-                    pass
-                handled += 1
+            while True:
+                progressed = False
+                while self.conn.pending():
+                    event = self.conn.next_event()
+                    try:
+                        self._dispatch(event)
+                    except XError as err:
+                        # Windows race away (clients exiting
+                        # mid-request); a WM must survive stale-window
+                        # errors.
+                        self._note_guarded(err, type(event).__name__)
+                    handled += 1
+                    progressed = True
+                # Housekeeping can queue more events; loop until the
+                # connection is quiet and nothing needed repair.
+                if self.focuser.enforce_delete_timeouts():
+                    progressed = True
+                if self._guarded_errors > errors_before:
+                    errors_before = self._guarded_errors
+                    if self.reap_zombies():
+                        progressed = True
+                if not progressed and not self.conn.pending():
+                    break
         finally:
             self._processing = False
         return handled
+
+    # ------------------------------------------------------------------
+    # Degradation: guarded X calls and zombie reaping
+    # ------------------------------------------------------------------
+
+    def guarded(self, fn, *args, default=None, what="", **kwargs):
+        """Run an X call that may race a dying client.  An X error is
+        counted in ``server.stats()`` and swallowed, returning
+        *default* — for calls whose failure the WM survives by simply
+        skipping the work (the window they concern is gone anyway)."""
+        try:
+            return fn(*args, **kwargs)
+        except XError as err:
+            self._note_guarded(err, what or getattr(fn, "__name__", repr(fn)))
+            return default
+
+    def _note_guarded(self, err: XError, where: str) -> None:
+        self._guarded_errors += 1
+        self.server.stats().count_guarded(err.name)
+        logger.debug("guarded %s in %s: %s", err.name, where, err)
+
+    def reap_zombies(self) -> int:
+        """Repair bookkeeping that points at windows which vanished
+        behind the WM's back (abrupt client death racing the normal
+        DestroyNotify path): unmanage entries whose client or frame is
+        gone, rebuild icons whose window died, and prune dead object /
+        corner / icon window records.  Returns the number of repairs;
+        safe to call at any time (idempotent when there is nothing to
+        do)."""
+        reaped = 0
+        for managed in list(self.managed.values()):
+            client_alive = self.conn.window_exists(managed.client)
+            frame_alive = self.conn.window_exists(managed.frame)
+            if client_alive and frame_alive:
+                if managed.icon is not None and not self.conn.window_exists(
+                    managed.icon.window
+                ):
+                    self.iconifier.repair_icon(managed)
+                    reaped += 1
+                reaped += self._reconcile_state(managed)
+                continue
+            self.guarded(
+                self.unmanage, managed,
+                destroyed=not client_alive, what="reap_zombies",
+            )
+            reaped += 1
+        for wid in [
+            w for w in self.object_windows if not self.conn.window_exists(w)
+        ]:
+            self.object_windows.pop(wid, None)
+            reaped += 1
+        for wid in [
+            w for w in self.corner_windows if not self.conn.window_exists(w)
+        ]:
+            self.corner_windows.pop(wid, None)
+            reaped += 1
+        for wid in [
+            w for w in self.icon_windows if not self.conn.window_exists(w)
+        ]:
+            self.icon_windows.pop(wid, None)
+            reaped += 1
+        if reaped:
+            self.focuser.prune_pending_deletes()
+        return reaped
+
+    def _reconcile_state(self, managed: ManagedWindow) -> int:
+        """Re-align WM_STATE bookkeeping with the frame's actual map
+        state after a fault interrupted a transition half-way.  Only
+        counts repairs that actually took effect, so a persistently
+        failing X call cannot spin the housekeeping loop."""
+        frame_win = self.server.windows.get(managed.frame)
+        if frame_win is None or frame_win.destroyed:
+            return 0
+        if managed.state == ICONIC_STATE:
+            if managed.icon is None:
+                # Iconic with nothing to click on: surface the frame.
+                managed.state = NORMAL_STATE
+                self.guarded(
+                    self.conn.map_window, managed.frame, what="reconcile"
+                )
+                return 1
+            if frame_win.mapped:
+                self.guarded(
+                    self.conn.unmap_window, managed.frame, what="reconcile"
+                )
+                return 0 if frame_win.mapped else 1
+        elif managed.state == NORMAL_STATE and not frame_win.mapped:
+            self.guarded(
+                self.conn.map_window, managed.frame, what="reconcile"
+            )
+            return 1 if frame_win.mapped else 0
+        return 0
 
     # ------------------------------------------------------------------
     # Overlay state (owned by the input controller)
@@ -391,7 +508,12 @@ class Swm:
         internal: bool = False,
         sticky: Optional[bool] = None,
     ) -> Optional[ManagedWindow]:
-        """Bring *client* under management: decorate, reparent, map."""
+        """Bring *client* under management: decorate, reparent, map.
+
+        Idempotent (managing a managed client returns its record) and
+        crash-safe: when the client dies — or any X call fails — part
+        way through, the half-built decoration is torn down and None is
+        returned, so no zombie frame survives an aborted manage."""
         if client in self.managed:
             return self.managed[client]
         try:
@@ -403,7 +525,24 @@ class Swm:
         sc = self._screen_of_window(window)
         if sc is None:
             return None
+        partial: List[int] = []  # the frame id, once realized
+        try:
+            return self._manage(sc, client, internal, sticky, partial)
+        except XError as err:
+            self._note_guarded(err, "manage")
+            self._reap_partial_manage(
+                client, partial[0] if partial else None
+            )
+            return None
 
+    def _manage(
+        self,
+        sc: ScreenContext,
+        client: int,
+        internal: bool,
+        sticky: Optional[bool],
+        partial: List[int],
+    ) -> ManagedWindow:
         wm_class = icccm.get_wm_class(self.conn, client) or ("", "")
         instance, class_name = wm_class
         title = icccm.get_wm_name(self.conn, client) or instance or "untitled"
@@ -452,6 +591,7 @@ class Swm:
             Rect(frame_origin.x, frame_origin.y,
                  plan.frame_size.width, plan.frame_size.height),
         )
+        partial.append(frame)
 
         # Reparent the client into the interior client slot.  The
         # reparent of a *mapped* window generates an UnmapNotify we must
@@ -549,30 +689,46 @@ class Swm:
 
     def unmanage(self, managed: ManagedWindow, destroyed: bool = False) -> None:
         """Release a client: reparent it back to the root, destroy the
-        decoration, drop all bookkeeping."""
+        decoration, drop all bookkeeping.
+
+        Every X call is guarded — the client may die at any point in
+        this sequence, and a failed step must not leave the tables
+        half-cleared (that is how zombie frames are born)."""
         logger.debug(
             "unmanage client=%#x %r destroyed=%s",
             managed.client, managed.instance, destroyed,
         )
         sc = self.screens[managed.screen]
         if managed.icon is not None:
-            self.iconifier.remove_icon(managed)
+            self.guarded(self.iconifier.remove_icon, managed, what="unmanage")
         if not destroyed and self.conn.window_exists(managed.client):
-            origin = self.server.window(managed.client).position_in_root()
-            if self.server.window(managed.client).mapped:
+            window = self.server.window(managed.client)
+            origin = window.position_in_root()
+            if window.mapped:
                 self._ignore_unmaps[managed.client] = (
                     self._ignore_unmaps.get(managed.client, 0) + 1
                 )
-            self.conn.reparent_window(managed.client, sc.root, origin.x, origin.y)
+            self.guarded(
+                self.conn.reparent_window,
+                managed.client, sc.root, origin.x, origin.y,
+                what="unmanage",
+            )
             if managed.original_border_width:
-                self.conn.configure_window(
-                    managed.client, border_width=managed.original_border_width
+                self.guarded(
+                    self.conn.configure_window, managed.client,
+                    border_width=managed.original_border_width,
+                    what="unmanage",
                 )
-            icccm.set_wm_state(
-                self.conn, managed.client, WMState(WITHDRAWN_STATE)
+            self.guarded(
+                icccm.set_wm_state,
+                self.conn, managed.client, WMState(WITHDRAWN_STATE),
+                what="unmanage",
             )
             if not managed.is_internal:
-                self.conn.remove_from_save_set(managed.client)
+                self.guarded(
+                    self.conn.remove_from_save_set, managed.client,
+                    what="unmanage",
+                )
         for obj in managed.decoration.iter_tree():
             if obj.window is not None:
                 self.object_windows.pop(obj.window, None)
@@ -580,11 +736,52 @@ class Swm:
                        if owner is managed]:
             self.corner_windows.pop(corner, None)
         if self.conn.window_exists(managed.frame):
-            self.conn.destroy_window(managed.frame)
+            self.guarded(self.conn.destroy_window, managed.frame, what="unmanage")
         self.managed.pop(managed.client, None)
         self.frames.pop(managed.frame, None)
         self._ignore_unmaps.pop(managed.client, None)
+        self.focuser.pending_deletes.pop(managed.client, None)
         self.desktop.update_panner(sc)
+
+    def _reap_partial_manage(self, client: int, frame: Optional[int]) -> None:
+        """A manage() aborted part-way (injected error, client died
+        mid-reparent): tear down whatever was built so no zombie frame
+        survives.  The client window, if it still exists and was
+        already pulled inside the frame, is pushed back to its root
+        first so destroying the frame does not take it along."""
+        managed = self.managed.pop(client, None)
+        if managed is not None:
+            if frame is None:
+                frame = managed.frame
+            self.frames.pop(managed.frame, None)
+            for wid in [
+                w for w, entry in self.object_windows.items()
+                if entry[1] is managed
+            ]:
+                self.object_windows.pop(wid, None)
+            for wid in [
+                w for w, owner in self.corner_windows.items()
+                if owner is managed
+            ]:
+                self.corner_windows.pop(wid, None)
+        self._ignore_unmaps.pop(client, None)
+        if frame is None or not self.conn.window_exists(frame):
+            return
+        client_win = self.server.windows.get(client)
+        frame_win = self.server.windows.get(frame)
+        if (
+            client_win is not None
+            and not client_win.destroyed
+            and frame_win is not None
+            and frame_win.is_ancestor_of(client_win)
+        ):
+            origin = client_win.position_in_root()
+            self.guarded(
+                self.conn.reparent_window,
+                client, client_win.root().id, origin.x, origin.y,
+                what="abort-manage",
+            )
+        self.guarded(self.conn.destroy_window, frame, what="abort-manage")
 
     def _initial_client_position(
         self,

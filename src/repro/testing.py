@@ -14,7 +14,7 @@ test needs, packaged once.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .xserver.geometry import Point
 
@@ -147,3 +147,128 @@ class Robot:
             raise RobotError("no panner on screen 0")
         origin = self.server.window(panner.window).position_in_root()
         self.click(origin.x + x, origin.y + y, button)
+
+
+# ----------------------------------------------------------------------
+# WM ↔ server consistency checking (chaos-test oracle)
+# ----------------------------------------------------------------------
+
+def _alive(server: "XServer", wid: int) -> bool:
+    win = server.windows.get(wid)
+    return win is not None and not win.destroyed
+
+
+def wm_consistency_problems(wm: "Swm") -> List[str]:
+    """Cross-check the WM's bookkeeping against the server's window
+    tree and return a list of human-readable violations.
+
+    Reads server structures directly — no protocol requests are made,
+    so checking never perturbs fault-injection state.  An empty list
+    means the managed table, the frame table, the auxiliary window
+    tables, and the actual window tree all agree.
+    """
+    from .icccm.hints import ICONIC_STATE, NORMAL_STATE
+
+    server = wm.server
+    problems: List[str] = []
+
+    allowed_parents = set()
+    for sc in wm.screens:
+        allowed_parents.add(sc.root)
+        for vdesk in sc.vdesks:
+            allowed_parents.add(vdesk.window)
+
+    # managed ↔ frames bijection, and both windows actually alive.
+    for client, managed in wm.managed.items():
+        if client != managed.client:
+            problems.append(
+                f"managed[{client:#x}] records client {managed.client:#x}"
+            )
+        if wm.frames.get(managed.frame) is not managed:
+            problems.append(
+                f"frame {managed.frame:#x} of client {client:#x}"
+                " missing from frames table"
+            )
+        if not _alive(server, client):
+            problems.append(f"managed client {client:#x} is destroyed")
+            continue
+        if not _alive(server, managed.frame):
+            problems.append(
+                f"frame {managed.frame:#x} of client {client:#x} is destroyed"
+            )
+            continue
+        frame_win = server.windows[managed.frame]
+        client_win = server.windows[client]
+        if not frame_win.is_ancestor_of(client_win):
+            problems.append(
+                f"client {client:#x} is not inside its frame"
+                f" {managed.frame:#x}"
+            )
+        parent = frame_win.parent
+        if parent is not None and parent.id not in allowed_parents:
+            problems.append(
+                f"frame {managed.frame:#x} parented to stray window"
+                f" {parent.id:#x}"
+            )
+        if managed.state == ICONIC_STATE:
+            if managed.icon is None:
+                problems.append(f"iconic client {client:#x} has no icon")
+            elif not _alive(server, managed.icon.window):
+                problems.append(
+                    f"iconic client {client:#x} has a destroyed icon window"
+                    f" {managed.icon.window:#x}"
+                )
+            if frame_win.mapped:
+                problems.append(
+                    f"iconic client {client:#x} still has a mapped frame"
+                )
+        elif managed.state == NORMAL_STATE and not frame_win.mapped:
+            problems.append(
+                f"normal-state client {client:#x} has an unmapped frame"
+            )
+
+    for frame, managed in wm.frames.items():
+        if wm.managed.get(managed.client) is not managed:
+            problems.append(
+                f"frames[{frame:#x}] points at unmanaged client"
+                f" {managed.client:#x}"
+            )
+        if frame != managed.frame:
+            problems.append(
+                f"frames[{frame:#x}] records frame {managed.frame:#x}"
+            )
+
+    # Auxiliary tables must only reference live windows (the reaper's
+    # contract after any fault sequence).
+    for wid in wm.object_windows:
+        if not _alive(server, wid):
+            problems.append(f"object_windows holds dead window {wid:#x}")
+    for wid, owner in wm.corner_windows.items():
+        if not _alive(server, wid):
+            problems.append(f"corner_windows holds dead window {wid:#x}")
+        if wm.managed.get(owner.client) is not owner:
+            problems.append(
+                f"corner window {wid:#x} owned by unmanaged client"
+                f" {owner.client:#x}"
+            )
+    for wid, icon in wm.icon_windows.items():
+        if not _alive(server, wid):
+            problems.append(f"icon_windows holds dead window {wid:#x}")
+        if icon.managed is not None and (
+            wm.managed.get(icon.managed.client) is not icon.managed
+        ):
+            problems.append(
+                f"icon window {wid:#x} tied to unmanaged client"
+                f" {icon.managed.client:#x}"
+            )
+
+    return problems
+
+
+def assert_wm_consistent(wm: "Swm") -> None:
+    """Raise AssertionError listing every consistency violation."""
+    problems = wm_consistency_problems(wm)
+    if problems:
+        raise AssertionError(
+            "WM state inconsistent:\n  " + "\n  ".join(problems)
+        )

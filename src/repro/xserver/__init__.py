@@ -20,6 +20,12 @@ from .errors import (
     XError,
 )
 from .event_mask import EventMask
+from .faults import (
+    ConnectionClosed,
+    FaultPlan,
+    FaultRule,
+    FaultStage,
+)
 from .geometry import Geometry, Point, Rect, Size, parse_geometry
 from .pipeline import (
     CoalescingStage,
@@ -44,8 +50,12 @@ __all__ = [
     "BadWindow",
     "ClientConnection",
     "CoalescingStage",
+    "ConnectionClosed",
     "EventMask",
     "EventPipeline",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStage",
     "Geometry",
     "InstrumentationStage",
     "PipelineStage",

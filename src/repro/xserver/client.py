@@ -58,6 +58,17 @@ class ClientConnection(EventSink):
             self.server.close_client(self.client_id)
             self.closed = True
 
+    def is_alive(self) -> bool:
+        """True while the server still holds this connection.  The
+        server can tear a connection down behind the client's back
+        (fault injection, server reset); ``closed`` only tracks
+        *voluntary* close() calls, so check this before reusing a
+        connection that may have died mid-protocol."""
+        return (
+            not self.closed
+            and self.server.clients.get(self.client_id) is self
+        )
+
     def __repr__(self) -> str:
         return f"<ClientConnection {self.name!r} id={self.client_id}>"
 

@@ -1,0 +1,383 @@
+"""Deterministic fault injection at the client<->server boundary.
+
+The paper's headline claims — session restart via ``f.places``, save-set
+survival of decorated clients, ``swmcmd`` driving the WM from outside —
+are exactly the paths that break when a client dies mid-protocol.  This
+module makes failure a first-class, *deterministic* input to the system,
+in the spirit of "Simple Testing Can Prevent Most Critical Failures"
+(Yuan et al., OSDI 2014): a seeded :class:`FaultPlan` holds declarative
+:class:`FaultRule` entries and is installed on a server with
+``server.install_faults(plan)``.
+
+Fault kinds
+-----------
+
+``error``
+    A matching request raises an X error (BadWindow / BadMatch /
+    BadAccess / any name in :data:`ERROR_BY_NAME`) instead of running.
+    The server's state is untouched — the request never happened.
+
+``kill``
+    The requesting client's connection dies abruptly mid-protocol.
+    ``when="before"`` closes the connection and raises
+    :class:`ConnectionClosed` before the request runs; ``when="after"``
+    lets the request succeed, then the connection is torn down at the
+    next request tick (the classic "reply arrived, then the pipe
+    broke").  Closing runs the full disconnect path — save-set
+    reparents, window destruction, UnmapNotify/DestroyNotify races.
+
+``stale``
+    A stale-XID race: the window a request is about to touch is
+    destroyed *between lookup and use*, so the request then fails with
+    a genuine BadWindow from the server's own validation — exactly the
+    TOCTOU race a real WM sees when a client exits asynchronously.
+
+``drop``
+    A matching event is silently discarded before it reaches the
+    client's queue (a lost wakeup).
+
+``delay``
+    A matching event is held back instead of delivered; the test calls
+    :meth:`FaultPlan.release_delayed` to flush held events later, out
+    of their original arrival window (reordered delivery).
+
+Request-side faults (error/kill/stale) hook the server's per-request
+tick; delivery-side faults (drop/delay) run as a :class:`FaultStage` at
+the head of each client's event pipeline.  Every decision consumes the
+plan's private seeded RNG in rule order, so the same seed and the same
+workload replay the same fault sequence exactly.  Applied faults are
+counted in ``server.stats()`` (``injected_faults``) and appended to
+:attr:`FaultPlan.log` for post-mortems.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from . import pipeline as pl
+from .errors import ERROR_BY_CODE, XError
+
+#: Fault kinds.
+ERROR = "error"
+KILL = "kill"
+STALE = "stale"
+DROP = "drop"
+DELAY = "delay"
+
+#: Kinds decided at request time (server tick) vs. delivery time (pipeline).
+REQUEST_KINDS = (ERROR, KILL, STALE)
+DELIVERY_KINDS = (DROP, DELAY)
+
+#: Error name -> exception class (the rule syntax uses names).
+ERROR_BY_NAME = {cls.name: cls for cls in ERROR_BY_CODE.values()}
+
+
+class ConnectionClosed(Exception):
+    """The X connection died mid-protocol (injected client kill)."""
+
+    def __init__(self, client_id: int):
+        self.client_id = client_id
+        super().__init__(f"connection to client {client_id} closed")
+
+
+def error_class(name: str) -> type:
+    try:
+        return ERROR_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown X error name {name!r}") from None
+
+
+ClientFilter = Union[None, Sequence[int], Callable[[int], bool]]
+
+
+@dataclass
+class FaultRule:
+    """One declarative fault: *what* to inject, *where*, *how often*.
+
+    ``requests`` / ``events`` are name prefixes ("configure" matches
+    ``configure_window``); ``None`` matches everything of the rule's
+    kind.  ``clients`` restricts the victim set: a collection of client
+    ids or a predicate (chaos tests use this to spare the WM's own
+    connection from kills).  ``probability`` is checked against the
+    plan's seeded RNG once per matching opportunity; ``arm_after``
+    skips the first N matches (let a scenario get going before
+    faulting) and ``max_fires`` caps total injections from this rule.
+    """
+
+    kind: str
+    probability: float = 1.0
+    requests: Optional[Sequence[str]] = None
+    events: Optional[Sequence[str]] = None
+    clients: ClientFilter = None
+    error: str = "BadWindow"
+    when: str = "before"  # kill only: before | after the request runs
+    arm_after: int = 0
+    max_fires: Optional[int] = None
+    name: str = ""
+    # Runtime bookkeeping (mutated as the plan runs).
+    seen: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS + DELIVERY_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == ERROR:
+            error_class(self.error)  # validate eagerly
+        if self.when not in ("before", "after"):
+            raise ValueError(f"kill 'when' must be before/after, not {self.when!r}")
+
+    def matches_client(self, client_id: Optional[int]) -> bool:
+        if self.clients is None:
+            return True
+        if client_id is None:
+            return False
+        if callable(self.clients):
+            return bool(self.clients(client_id))
+        return client_id in self.clients
+
+    def matches_request(self, request: str, client_id: Optional[int]) -> bool:
+        if self.kind not in REQUEST_KINDS:
+            return False
+        if not self.matches_client(client_id):
+            return False
+        if self.requests is None:
+            return True
+        return any(request.startswith(prefix) for prefix in self.requests)
+
+    def matches_event(self, type_name: str, client_id: int) -> bool:
+        if self.kind not in DELIVERY_KINDS:
+            return False
+        if not self.matches_client(client_id):
+            return False
+        if self.events is None:
+            return True
+        return any(type_name.startswith(prefix) for prefix in self.events)
+
+    def exhausted(self) -> bool:
+        return self.max_fires is not None and self.fires >= self.max_fires
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or self.kind
+        return f"<FaultRule {label} kind={self.kind} fires={self.fires}>"
+
+
+@dataclass
+class InjectedFault:
+    """One applied fault, recorded for replay/post-mortem."""
+
+    serial: int
+    kind: str
+    target: str  # request or event type name
+    client_id: Optional[int]
+    detail: str = ""
+    rule: Optional[FaultRule] = None
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus its injection history.
+
+    The plan owns a private :class:`random.Random`; rules are consulted
+    in insertion order and each probability check consumes exactly one
+    draw, so a (seed, workload) pair replays bit-identically.  Tests
+    bracket their invariant checks with :meth:`suspended` so the
+    checking traffic itself is never perturbed.
+    """
+
+    def __init__(self, seed: int, rules: Iterable[FaultRule] = ()):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rules: List[FaultRule] = list(rules)
+        self.enabled = True
+        self.counts: Counter = Counter()
+        self.log: List[InjectedFault] = []
+        #: Events held back by delay rules: (client_id, event).
+        self._held: List[Tuple[int, object]] = []
+        #: Clients condemned by kill(when="after"), closed at next tick.
+        self._pending_kills: List[int] = []
+        #: True while release_delayed is re-delivering (no re-faulting).
+        self._releasing = False
+        self._serial = 0
+
+    # -- rule construction -------------------------------------------------
+
+    def rule(self, kind: str, **kwargs) -> FaultRule:
+        """Append and return a new :class:`FaultRule`."""
+        rule = FaultRule(kind, **kwargs)
+        self.rules.append(rule)
+        return rule
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        target: str,
+        client_id: Optional[int],
+        detail: str = "",
+        rule: Optional[FaultRule] = None,
+    ) -> InjectedFault:
+        self._serial += 1
+        self.counts[kind] += 1
+        fault = InjectedFault(self._serial, kind, target, client_id, detail, rule)
+        self.log.append(fault)
+        return fault
+
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def injected(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return self.total_injected()
+        return self.counts[kind]
+
+    # -- enable/disable ----------------------------------------------------
+
+    @contextmanager
+    def suspended(self):
+        """Temporarily stop injecting (checkpoint traffic runs clean)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # -- request-side decisions (called from the server tick) --------------
+
+    def pick_request_fault(
+        self, request: str, client_id: Optional[int]
+    ) -> Optional[FaultRule]:
+        """The first rule that fires for this request, if any.
+
+        At most one request fault fires per request — composing a kill
+        with an error on the same tick has no analogue in the protocol.
+        """
+        if not self.enabled or self._releasing:
+            return None
+        for rule in self.rules:
+            if not rule.matches_request(request, client_id):
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.arm_after or rule.exhausted():
+                continue
+            if self.rng.random() >= rule.probability:
+                continue
+            rule.fires += 1
+            return rule
+        return None
+
+    def defer_kill(self, client_id: int) -> None:
+        self._pending_kills.append(client_id)
+
+    def take_pending_kills(self) -> List[int]:
+        pending, self._pending_kills = self._pending_kills, []
+        return pending
+
+    # -- delivery-side decisions (called from FaultStage) ------------------
+
+    def pick_delivery_fault(
+        self, client_id: int, type_name: str
+    ) -> Optional[FaultRule]:
+        if not self.enabled or self._releasing:
+            return None
+        for rule in self.rules:
+            if not rule.matches_event(type_name, client_id):
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.arm_after or rule.exhausted():
+                continue
+            if self.rng.random() >= rule.probability:
+                continue
+            rule.fires += 1
+            return rule
+        return None
+
+    def hold(self, client_id: int, event) -> None:
+        self._held.append((client_id, event))
+
+    def held_count(self) -> int:
+        return len(self._held)
+
+    def release_delayed(self, server, shuffle: bool = False) -> int:
+        """Re-deliver every held event to its client, optionally in a
+        seeded-shuffled order (reordered delivery).  Held events for
+        clients that died in the meantime are dropped on the floor, as
+        a real server would."""
+        held, self._held = self._held, []
+        if shuffle:
+            self.rng.shuffle(held)
+        released = 0
+        self._releasing = True
+        try:
+            for client_id, event in held:
+                client = server.clients.get(client_id)
+                if client is None:
+                    continue
+                client.queue_event(event)
+                released += 1
+        finally:
+            self._releasing = False
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultPlan seed={self.seed} rules={len(self.rules)} "
+            f"injected={self.total_injected()}>"
+        )
+
+
+class FaultStage(pl.PipelineStage):
+    """Pipeline stage applying drop/delay rules to event delivery.
+
+    Installed first in each client's pipeline (see
+    ``XServer.build_pipeline``) so an injected loss happens *before*
+    coalescing or instrumentation — a dropped event was never produced
+    as far as the client can tell, but the stats stage still counts it
+    (it observes drops)."""
+
+    name = "faults"
+
+    def __init__(self, server, client_id: int) -> None:
+        super().__init__()
+        self.server = server
+        self.client_id = client_id
+
+    def process(self, delivery: pl.Delivery) -> None:
+        plan = self.server.faults
+        if plan is None:
+            return
+        type_name = type(delivery.event).__name__
+        rule = plan.pick_delivery_fault(self.client_id, type_name)
+        if rule is None:
+            return
+        if rule.kind == DELAY:
+            plan.hold(self.client_id, delivery.event)
+            detail = "held for release"
+        else:
+            detail = "discarded"
+        plan.record(rule.kind, type_name, self.client_id, detail, rule)
+        self.server.stats().count_injected(rule.kind)
+        delivery.outcome = pl.DROP
+
+
+__all__ = [
+    "ConnectionClosed",
+    "DELAY",
+    "DELIVERY_KINDS",
+    "DROP",
+    "ERROR",
+    "ERROR_BY_NAME",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStage",
+    "InjectedFault",
+    "KILL",
+    "REQUEST_KINDS",
+    "STALE",
+    "XError",
+    "error_class",
+]

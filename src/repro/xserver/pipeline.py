@@ -10,7 +10,8 @@ pipeline is a short list of pluggable stages; each stage inspects a
   types where only the latest state matters (X11 motion-compression
   semantics, §6 of the paper: panning floods clients with
   MotionNotify/ConfigureNotify/Expose),
-- ``DROP``: the event is discarded and later stages are skipped.
+- ``DROP``: the event is discarded; later stages are skipped unless
+  they set ``observes_drops`` (instrumentation does, to count losses).
 
 The two standard stages are :class:`CoalescingStage` (on by default;
 clients opt out with ``ClientConnection.set_coalescing(False)``) and
@@ -53,6 +54,11 @@ class PipelineStage:
 
     #: Stable name used to look the stage up in a pipeline.
     name = "stage"
+
+    #: When True the stage still runs after an earlier stage chose
+    #: DROP (instrumentation wants to count losses; most stages have
+    #: nothing to do with a discarded event).
+    observes_drops = False
 
     def __init__(self) -> None:
         self.enabled = True
@@ -103,6 +109,7 @@ class InstrumentationStage(PipelineStage):
     """
 
     name = "stats"
+    observes_drops = True
 
     def __init__(self, stats, client_id: int) -> None:
         super().__init__()
@@ -111,7 +118,9 @@ class InstrumentationStage(PipelineStage):
 
     def process(self, delivery: Delivery) -> None:
         type_name = type(delivery.event).__name__
-        if delivery.outcome == COALESCE:
+        if delivery.outcome == DROP:
+            self.stats.count_dropped(self.client_id, type_name)
+        elif delivery.outcome == COALESCE:
             self.stats.count_coalesced(self.client_id, type_name)
         elif delivery.outcome == APPEND:
             self.stats.count_delivered(self.client_id, type_name)
@@ -132,9 +141,11 @@ class EventPipeline:
         for stage in self.stages:
             if not stage.enabled:
                 continue
+            if delivery.outcome == DROP and not stage.observes_drops:
+                continue
             stage.process(delivery)
-            if delivery.outcome == DROP:
-                return DROP
+        if delivery.outcome == DROP:
+            return DROP
         if delivery.outcome == COALESCE:
             queue[-1] = delivery.event
         else:

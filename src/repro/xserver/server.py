@@ -29,6 +29,15 @@ from .errors import (
     BadWindow,
 )
 from .event_mask import EventMask
+from .faults import (
+    ConnectionClosed,
+    ERROR as FAULT_ERROR,
+    KILL as FAULT_KILL,
+    STALE as FAULT_STALE,
+    FaultPlan,
+    FaultStage,
+    error_class,
+)
 from .geometry import Point, Rect, Size
 from .input import (
     ActiveGrab,
@@ -95,6 +104,8 @@ class XServer:
         self.generation = 1  # bumped by reset() ("restarting X")
         self._trace = None  # Optional[deque]; see start_trace()
         self._stats = ServerStats()
+        #: Active fault-injection plan, or None (see install_faults()).
+        self.faults: Optional[FaultPlan] = None
 
         for number, (width, height, depth) in enumerate(screens):
             root_id = self.xids.allocate_server_id()
@@ -144,10 +155,17 @@ class XServer:
                 continue
             root = window.root()
             if window.parent is not root:
+                was_viewable = window.viewable
                 origin = window.position_in_root()
                 self._do_reparent(window, root, origin.x, origin.y)
                 if not window.mapped:
                     self._do_map(window)
+                elif window.viewable and not was_viewable:
+                    # Mapped all along but hidden by an unmapped
+                    # ancestor (e.g. an iconified frame): reparenting
+                    # to the root made it viewable, which must repaint
+                    # it just as a fresh map would (ICCCM §4.1.3.1).
+                    self._expose_tree(window)
         # Destroy remaining windows created by the client, top-levels first.
         for wid, window in list(self.windows.items()):
             if window.owner == client_id and not window.destroyed:
@@ -158,6 +176,9 @@ class XServer:
         for window in self.windows.values():
             window.drop_client(client_id)
         self.save_sets.pop(client_id, None)
+        # Teardown reshapes the tree under the pointer; recompute so
+        # the next device event starts from a live window.
+        self._refresh_pointer_window()
 
     def reset(self) -> None:
         """Simulate an X server restart: every client resource is gone,
@@ -186,12 +207,103 @@ class XServer:
         self.timestamp += 1
         # The public request name is the _tick caller; every request
         # entry point calls _tick exactly once, so this doubles as the
-        # request counter behind stats().
-        name = sys._getframe(1).f_code.co_name
+        # request counter behind stats() and as the fault-injection
+        # decision point (the request's own state changes have not
+        # happened yet when _tick runs).
+        caller = sys._getframe(1)
+        name = caller.f_code.co_name
         self._stats.count_request(name)
         if self._trace is not None:
             self._trace.append((self.timestamp, name))
+        if self.faults is not None:
+            self._apply_faults(name, caller.f_locals)
         return self.timestamp
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.xserver.faults)
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Install *plan* as the active fault plan.  Request faults
+        (error/kill/stale) apply from the next request tick; delivery
+        faults (drop/delay) apply through the fault stage every client
+        pipeline carries."""
+        self.faults = plan
+        return plan
+
+    def clear_faults(self) -> Optional[FaultPlan]:
+        """Remove and return the active fault plan, if any."""
+        plan, self.faults = self.faults, None
+        return plan
+
+    #: Request parameters that name the window a stale-XID race targets,
+    #: in the order _stale_target probes them.
+    _STALE_PARAMS = (
+        "wid",
+        "window_id",
+        "destination",
+        "new_parent_id",
+        "parent_id",
+        "focus",
+    )
+
+    def _stale_target(self, caller_locals: dict) -> Optional[Window]:
+        for param in self._STALE_PARAMS:
+            wid = caller_locals.get(param)
+            if not isinstance(wid, int):
+                continue
+            window = self.windows.get(wid)
+            if window is None or window.destroyed or window.parent is None:
+                continue  # unknown, already gone, or a root
+            return window
+        return None
+
+    def _apply_faults(self, request: str, caller_locals: dict) -> None:
+        """Apply the installed fault plan to one request tick, raising
+        the injected XError / ConnectionClosed on the requester's
+        behalf.  Runs before the request mutates any state."""
+        plan = self.faults
+        client_id = caller_locals.get("client_id")
+        # Kills deferred by kill(when="after") land at the next tick:
+        # the previous request's reply arrived, then the pipe broke.
+        for victim in plan.take_pending_kills():
+            if victim in self.clients:
+                self.close_client(victim)
+        if client_id is not None and client_id not in self.clients:
+            raise ConnectionClosed(client_id)
+        rule = plan.pick_request_fault(request, client_id)
+        if rule is None:
+            return
+        if rule.kind == FAULT_ERROR:
+            plan.record(FAULT_ERROR, request, client_id, rule.error, rule)
+            self._stats.count_injected(FAULT_ERROR)
+            raise error_class(rule.error)(
+                None, f"{rule.error} injected into {request}"
+            )
+        if rule.kind == FAULT_KILL:
+            if client_id is None or client_id not in self.clients:
+                rule.fires -= 1  # no connection to kill
+                return
+            plan.record(FAULT_KILL, request, client_id, f"kill {rule.when}", rule)
+            self._stats.count_injected(FAULT_KILL)
+            if rule.when == "after":
+                plan.defer_kill(client_id)
+                return
+            self.close_client(client_id)
+            raise ConnectionClosed(client_id)
+        if rule.kind == FAULT_STALE:
+            target = self._stale_target(caller_locals)
+            if target is None:
+                rule.fires -= 1  # request names no live window to race
+                return
+            plan.record(
+                FAULT_STALE, request, client_id, f"destroyed {target.id:#x}", rule
+            )
+            self._stats.count_injected(FAULT_STALE)
+            # The window dies between the caller's lookup and its use;
+            # the request then fails with the server's own BadWindow.
+            self._destroy_tree(target)
+            self._refresh_pointer_window()
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -205,10 +317,15 @@ class XServer:
 
     def build_pipeline(self, client_id: int) -> EventPipeline:
         """The default delivery pipeline for a new client connection:
-        coalescing (on by default; the client may disable its stage)
-        followed by instrumentation feeding :meth:`stats`."""
+        fault injection (inert until install_faults()), coalescing (on
+        by default; the client may disable its stage), then
+        instrumentation feeding :meth:`stats`."""
         return EventPipeline(
-            [CoalescingStage(), InstrumentationStage(self._stats, client_id)]
+            [
+                FaultStage(self, client_id),
+                CoalescingStage(),
+                InstrumentationStage(self._stats, client_id),
+            ]
         )
 
     # ------------------------------------------------------------------
@@ -379,8 +496,15 @@ class XServer:
         self._refresh_pointer_window()
 
     def _destroy_tree(self, window: Window) -> None:
+        # Re-entrancy: a DestroyNotify handler (the WM runs
+        # synchronously in-process) may react by destroying related
+        # windows — including ones this very walk is about to visit.
+        if window.destroyed:
+            return
         for child in list(window.children):
             self._destroy_tree(child)
+        if window.destroyed:
+            return  # a notify handler destroyed us during the walk
         if window.mapped:
             self._do_unmap(window)
         window.destroyed = True
@@ -388,9 +512,10 @@ class XServer:
             window,
             ev.DestroyNotify(window=window.id, destroyed_window=window.id),
         )
-        if window.parent is not None:
-            window.parent.children.remove(window)
-            window.parent._invalidate_stacking()
+        parent = window.parent
+        if parent is not None and window in parent.children:
+            parent.children.remove(window)
+            parent._invalidate_stacking()
         self.grabs.drop_window(window.id)
         for save_set in self.save_sets.values():
             save_set.discard(window.id)
@@ -398,7 +523,7 @@ class XServer:
             self.focus = self.focus_revert_to
         if self.active_grab and self.active_grab.window is window:
             self.active_grab = None
-        del self.windows[window.id]
+        self.windows.pop(window.id, None)
 
     # ------------------------------------------------------------------
     # Mapping

@@ -10,6 +10,12 @@ measurable rather than aspirational, the server keeps cheap counters:
   per event type and per client,
 - **coalesced**: events absorbed by the pipeline's coalescing stage
   (see :mod:`repro.xserver.pipeline`) instead of being delivered,
+- **dropped**: events discarded by a pipeline stage (today only the
+  fault-injection stage drops; see :mod:`repro.xserver.faults`),
+- **injected_faults**: faults the installed
+  :class:`~repro.xserver.faults.FaultPlan` actually applied, by kind,
+- **guarded_errors**: X errors the window manager absorbed through its
+  ``guarded()`` degradation wrapper, by error name,
 - **caches**: hit/miss/invalidation counts for the window tree's
   geometry, visibility, stacking-index, and interest caches (see
   :class:`repro.xserver.window.TreeCaches`), one cache bundle per
@@ -38,6 +44,13 @@ class ServerStats:
         self.coalesced: Counter = Counter()
         self.delivered_by_client: Dict[int, Counter] = {}
         self.coalesced_by_client: Dict[int, Counter] = {}
+        #: Events discarded in the pipeline (fault injection), by type.
+        self.dropped: Counter = Counter()
+        self.dropped_by_client: Dict[int, Counter] = {}
+        #: Faults applied by an installed FaultPlan, by fault kind.
+        self.injected: Counter = Counter()
+        #: X errors absorbed by the WM's guarded() wrapper, by error name.
+        self.guarded: Counter = Counter()
         #: TreeCaches bundles registered by the server (one per screen).
         self._cache_trees: List = []
 
@@ -64,6 +77,19 @@ class ServerStats:
         if per_client is None:
             per_client = self.coalesced_by_client[client_id] = Counter()
         per_client[type_name] += 1
+
+    def count_dropped(self, client_id: int, type_name: str) -> None:
+        self.dropped[type_name] += 1
+        per_client = self.dropped_by_client.get(client_id)
+        if per_client is None:
+            per_client = self.dropped_by_client[client_id] = Counter()
+        per_client[type_name] += 1
+
+    def count_injected(self, kind: str) -> None:
+        self.injected[kind] += 1
+
+    def count_guarded(self, error_name: str) -> None:
+        self.guarded[error_name] += 1
 
     # -- querying ---------------------------------------------------------
 
@@ -106,6 +132,31 @@ class ServerStats:
         return self.delivered_count(type_name, client_id) + self.coalesced_count(
             type_name, client_id
         )
+
+    def dropped_count(
+        self, type_name: Optional[str] = None, client_id: Optional[int] = None
+    ) -> int:
+        """Events discarded in the pipeline (fault injection)."""
+        source = (
+            self.dropped
+            if client_id is None
+            else self.dropped_by_client.get(client_id, Counter())
+        )
+        if type_name is None:
+            return sum(source.values())
+        return source[type_name]
+
+    def injected_count(self, kind: Optional[str] = None) -> int:
+        """Faults an installed FaultPlan applied, optionally by kind."""
+        if kind is None:
+            return sum(self.injected.values())
+        return self.injected[kind]
+
+    def guarded_count(self, error_name: Optional[str] = None) -> int:
+        """X errors absorbed by the WM's guarded() degradation paths."""
+        if error_name is None:
+            return sum(self.guarded.values())
+        return self.guarded[error_name]
 
     # -- cache counters -----------------------------------------------------
 
@@ -160,6 +211,9 @@ class ServerStats:
             "coalesced_by_client": {
                 cid: dict(c) for cid, c in self.coalesced_by_client.items()
             },
+            "dropped": dict(self.dropped),
+            "injected_faults": dict(self.injected),
+            "guarded_errors": dict(self.guarded),
             "caches": self.cache_counters(),
         }
 
@@ -172,6 +226,10 @@ class ServerStats:
         self.coalesced.clear()
         self.delivered_by_client.clear()
         self.coalesced_by_client.clear()
+        self.dropped.clear()
+        self.dropped_by_client.clear()
+        self.injected.clear()
+        self.guarded.clear()
         for caches in self._cache_trees:
             caches.reset_counters()
 

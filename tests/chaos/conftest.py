@@ -1,0 +1,46 @@
+"""Seeding for the chaos suite.
+
+All chaos tests draw their determinism from one *base seed*, read from
+the ``CHAOS_SEED`` environment variable (default 1337).  Each test
+derives a private per-test seed from the base seed and its own node id,
+so two tests never share a fault sequence and adding a test does not
+shift its neighbours' sequences.
+
+To replay a failing CI run locally, copy the base seed from the
+terminal summary line::
+
+    CHAOS_SEED=<seed> PYTHONPATH=src python -m pytest tests/chaos -q
+"""
+
+import os
+import zlib
+
+import pytest
+
+DEFAULT_SEED = 1337
+
+#: Knuth's multiplicative-hash constant: spreads consecutive base seeds
+#: far apart before the per-test node-id hash is mixed in.
+_SPREAD = 2654435761
+
+
+def base_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", DEFAULT_SEED))
+
+
+def derive_seed(base: int, token: str) -> int:
+    return (base * _SPREAD + zlib.crc32(token.encode())) % 2**31
+
+
+@pytest.fixture
+def chaos_seed(request) -> int:
+    """This test's private seed, derived from CHAOS_SEED + node id."""
+    return derive_seed(base_seed(), request.node.nodeid)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    seed = base_seed()
+    terminalreporter.write_line(
+        f"chaos base seed: {seed} "
+        f"(replay: CHAOS_SEED={seed} pytest tests/chaos -q)"
+    )

@@ -1,0 +1,99 @@
+"""Save-set semantics on client shutdown (ICCCM §4.1.3.1).
+
+When a window manager dies, every client window it stashed in its
+save-set must come back: reparented to the root, mapped if the WM had
+it unmapped, and repainted if an unmapped frame had been hiding it.
+These pin the close_client() rescue paths.
+"""
+
+from repro.xserver import XServer
+from repro.xserver.client import ClientConnection
+from repro.xserver.event_mask import EventMask
+
+
+def wm_with_framed_client(server, map_frame=True):
+    """An app window reparented into a 'WM' frame + save-set entry."""
+    app = ClientConnection(server, "app")
+    wm = ClientConnection(server, "wm")
+    root = app.root_window(0)
+    win = app.create_window(root, 100, 100, 300, 200)
+    app.map_window(win)
+    frame = wm.create_window(root, 90, 90, 320, 230)
+    wm.reparent_window(win, frame, 10, 25)
+    wm.add_to_save_set(win)
+    if map_frame:
+        wm.map_window(frame)
+    return app, wm, win, frame
+
+
+class TestSaveSetRescue:
+    def test_window_unmapped_by_wm_is_remapped(self):
+        """The WM unmapped the client (mid-iconify, say) and then died:
+        the rescue must remap it, not strand an invisible window."""
+        server = XServer(screens=[(800, 600, 8)])
+        app, wm, win, frame = wm_with_framed_client(server)
+        wm.unmap_window(win)
+        assert not server.window(win).mapped
+
+        wm.close()
+
+        window = server.window(win)
+        assert window.parent is server.screens[0].root
+        assert window.mapped
+        assert window.viewable
+        assert frame not in server.windows or server.windows[frame].destroyed
+
+    def test_window_hidden_by_unmapped_frame_gets_exposed(self):
+        """Mapped all along but hidden inside an unmapped frame: the
+        rescue makes it viewable, which must repaint it just like a
+        fresh map — the client sees Expose."""
+        server = XServer(screens=[(800, 600, 8)])
+        app, wm, win, frame = wm_with_framed_client(server, map_frame=False)
+        app.select_input(win, EventMask.Exposure | EventMask.StructureNotify)
+        window = server.window(win)
+        assert window.mapped and not window.viewable
+
+        app._queue.clear()  # drain setup noise; only the rescue remains
+        wm.close()
+
+        window = server.window(win)
+        assert window.parent is server.screens[0].root
+        assert window.viewable
+        names = [type(e).__name__ for e in list(app._queue)]
+        assert "Expose" in names
+
+    def test_rescued_window_keeps_root_position(self):
+        server = XServer(screens=[(800, 600, 8)])
+        app, wm, win, frame = wm_with_framed_client(server)
+        before = server.window(win).position_in_root()
+
+        wm.close()
+
+        window = server.window(win)
+        after = window.position_in_root()
+        assert (after.x, after.y) == (before.x, before.y)
+
+    def test_non_save_set_windows_are_destroyed(self):
+        server = XServer(screens=[(800, 600, 8)])
+        app, wm, win, frame = wm_with_framed_client(server)
+        extra = wm.create_window(wm.root_window(0), 0, 0, 50, 50)
+        wm.map_window(extra)
+
+        wm.close()
+
+        assert extra not in server.windows or server.windows[extra].destroyed
+        assert not server.window(win).destroyed
+
+    def test_pointer_window_refreshed_after_teardown(self):
+        """The pointer was over a WM window; after the WM dies the
+        pointer must resolve to a live window, not a corpse."""
+        server = XServer(screens=[(800, 600, 8)])
+        app, wm, win, frame = wm_with_framed_client(server)
+        server.motion(95, 95)  # over the frame border area
+        assert server.pointer.window is not None
+
+        wm.close()
+
+        current = server.pointer.window
+        assert current is not None
+        assert not current.destroyed
