@@ -159,6 +159,8 @@ class DesktopController(Subsystem):
             [sc.vdesks[index].window],
         )
         self.update_panner(sc)
+        if not managed.is_internal:
+            self.wm.note_session_change()
 
     def warp_to_managed(self, managed: "ManagedWindow") -> None:
         """Warp the pointer to a window, panning the desktop so it is
@@ -195,6 +197,8 @@ class DesktopController(Subsystem):
             )
         self.set_swm_root(managed)
         self.update_panner(sc)
+        if not managed.is_internal:
+            self.wm.note_session_change()
 
     def unstick(self, managed: "ManagedWindow") -> None:
         if not managed.sticky:
@@ -213,6 +217,8 @@ class DesktopController(Subsystem):
             )
         self.set_swm_root(managed)
         self.update_panner(sc)
+        if not managed.is_internal:
+            self.wm.note_session_change()
 
     def set_swm_root(self, managed: "ManagedWindow") -> None:
         """Maintain the SWM_ROOT property on the client (§6.3): updated

@@ -101,6 +101,8 @@ class IconifyController(Subsystem):
             WMState(ICONIC_STATE, icon_window=managed.icon.window),
         )
         self.wm.desktop.update_panner(sc)
+        if not managed.is_internal:
+            self.wm.note_session_change()
 
     def deiconify(self, managed: "ManagedWindow") -> None:
         if managed.state != ICONIC_STATE:
@@ -115,6 +117,8 @@ class IconifyController(Subsystem):
             icccm.set_wm_state, self.conn, managed.client, WMState(NORMAL_STATE)
         )
         self.wm.desktop.update_panner(sc)
+        if not managed.is_internal:
+            self.wm.note_session_change()
 
     # ------------------------------------------------------------------
     # Icon construction / teardown

@@ -16,8 +16,12 @@ from ... import icccm
 from ...icccm.hints import ICONIC_STATE
 from ...xserver import events as ev
 from ...xserver.xid import NONE
-from ..functions import FunctionError
-from ..swmcmd import COMMAND_PROPERTY, SwmCmdError, parse_command_stream
+from ..functions import FunctionError, function_names
+from ..swmcmd import (
+    COMMAND_PROPERTY,
+    CommandRejection,
+    validate_command_stream,
+)
 from . import PRI_SUBSYSTEM, Subsystem
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,6 +34,12 @@ class RedirectController(Subsystem):
     """Client requests redirected to the WM, and client lifecycle."""
 
     name = "requests"
+
+    def __init__(self, wm):
+        super().__init__(wm)
+        #: Structured rejections of malformed SWM_COMMAND payloads —
+        #: the audit trail behind the beeps.
+        self.swmcmd_rejections: list[CommandRejection] = []
 
     def event_handlers(self):
         return (
@@ -170,16 +180,28 @@ class RedirectController(Subsystem):
         return True
 
     def _handle_swmcmd(self, sc: "ScreenContext") -> None:
+        """SWM_COMMAND is writable by any client, so treat it as wire
+        input: validate every line (length, encoding, known function
+        name), log a structured rejection for each violation, and run
+        the survivors — malformed input must never raise into the
+        event loop, and one bad line must not veto its neighbours."""
         text = self.conn.get_string_property(sc.root, COMMAND_PROPERTY)
+        # Delete unconditionally: an unreadable payload (wrong type or
+        # format) left in place would be re-noticed forever.
+        self.guarded(self.conn.delete_property, sc.root, COMMAND_PROPERTY)
         if not text:
             return
-        self.conn.delete_property(sc.root, COMMAND_PROPERTY)
-        try:
-            calls = parse_command_stream(text)
-        except SwmCmdError as exc:
-            logger.warning("swmcmd: rejected command text: %s", exc)
+        calls, rejections = validate_command_stream(
+            text, known=function_names()
+        )
+        for rejection in rejections:
+            self.swmcmd_rejections.append(rejection)
+            logger.warning(
+                "swmcmd: rejected line %d (%s): %r",
+                rejection.line_no, rejection.reason, rejection.text,
+            )
+        if rejections:
             self.wm.beep()
-            return
         for call in calls:
             try:
                 self.wm.execute(call, screen=sc.number)

@@ -2,17 +2,24 @@
 
 Owns the swmhints restart table (read from the SWM_RESTART_INFO root
 property before adopting clients), the matching of new clients against
-restart records, f.places script generation, and the f.quit/f.restart
-lifecycle transitions.
+restart records, f.places script generation, the debounced checkpoint
+autosave, cold-start adoption of a dead predecessor's leftovers, and
+the f.quit/f.restart lifecycle transitions.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
 
 from ... import icccm
+from ...icccm.hints import ICONIC_STATE, WITHDRAWN_STATE
 from . import Subsystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...xserver.window import Window
+    from ..wm import ScreenContext
 
 #: Root property carrying swmhints session-restart records (§7).
 RESTART_PROPERTY = "SWM_RESTART_INFO"
@@ -20,15 +27,53 @@ RESTART_PROPERTY = "SWM_RESTART_INFO"
 logger = logging.getLogger("repro.swm")
 
 
+@dataclass
+class AdoptionStats:
+    """What the cold-start adoption pass found and did.
+
+    ``adopted``
+        Clients extracted from a dead predecessor's zombie frames.
+    ``rescued``
+        WM_STATE-bearing top-levels found back on the root (the
+        save-set rescue of ICCCM §4.1.3.1 put them there).
+    ``inherited``
+        Plain pre-existing mapped windows managed the ordinary way.
+    ``reclaimed``
+        Dead-owner subtrees (frames, icons, virtual desktops)
+        demolished after extraction.
+    """
+
+    adopted: int = 0
+    rescued: int = 0
+    inherited: int = 0
+    reclaimed: int = 0
+
+    def total_recovered(self) -> int:
+        return self.adopted + self.rescued + self.inherited
+
+
 class RestartController(Subsystem):
     """Session save/restore and WM lifecycle."""
 
     name = "restart"
 
+    #: Housekeeping ticks between the first unsaved change and the
+    #: checkpoint that captures it.  The deadline is set when the store
+    #: *becomes* dirty and does not move under further churn, so a
+    #: checkpoint exists within this many pumps of any change.
+    AUTOSAVE_DEBOUNCE = 4
+
     def __init__(self, wm):
         super().__init__(wm)
         #: Parsed swmhints records not yet claimed by a client.
         self.restart_table: List[dict] = []
+        #: Results of the last cold-start adoption pass, if any.
+        self.adoption: Optional[AdoptionStats] = None
+        self.autosaves = 0
+        self.autosave_failures = 0
+        self._dirty = False
+        self._tick = 0
+        self._save_due = 0
 
     def load_restart_table(self, root: int) -> None:
         """Read swmhints restart records before adopting clients (§7)."""
@@ -56,10 +101,191 @@ class RestartController(Subsystem):
         return None
 
     def save_places(self) -> str:
-        """f.places: write the restart script (§7)."""
+        """f.places: write the restart script (§7).  When a session
+        store is attached the same snapshot also becomes a durable
+        checkpoint generation."""
         from ...session.places import write_places
 
-        return write_places(self.wm, self.wm.places_path)
+        text = write_places(self.wm, self.wm.places_path)
+        store = self.wm.session_store
+        if store is not None:
+            try:
+                store.save(text)
+                self._dirty = False
+            except OSError as err:
+                self.autosave_failures += 1
+                logger.warning("session checkpoint failed: %s", err)
+        return text
+
+    # ------------------------------------------------------------------
+    # Debounced checkpoint autosave
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """A geometry/state change happened; schedule a checkpoint.
+
+        The deadline is pinned at the *first* change after a save —
+        continuous churn cannot push it out, so the bounded-staleness
+        guarantee holds even under a busy pointer."""
+        if self.wm.session_store is None:
+            return
+        if not self._dirty:
+            self._dirty = True
+            self._save_due = self._tick + self.AUTOSAVE_DEBOUNCE
+
+    def housekeeping_tick(self) -> None:
+        """One event-pump housekeeping tick: autosave when due."""
+        self._tick += 1
+        if self._dirty and self._tick >= self._save_due:
+            self.autosave()
+
+    def autosave(self) -> bool:
+        """Checkpoint the session now.  Uses only X *reads* plus disk
+        I/O, so autosave traffic never consumes fault-plan draws or
+        hits a crash point; a disk failure is counted, not fatal."""
+        store = self.wm.session_store
+        if store is None:
+            return False
+        from ...session.places import collect_entries, format_places
+
+        self._dirty = False
+        try:
+            store.save(format_places(collect_entries(self.wm)))
+        except OSError as err:
+            self.autosave_failures += 1
+            logger.warning("session autosave failed: %s", err)
+            return False
+        self.autosaves += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Cold-start adoption (ICCCM §4.1.3.1)
+    # ------------------------------------------------------------------
+
+    def adopt_existing(self) -> AdoptionStats:
+        """Scan each root for windows a dead predecessor left behind
+        and bring every survivor under management.
+
+        Three cases per root child: a subtree whose owner connection is
+        dead (a zombie frame, icon box or virtual desktop) has its live
+        client windows *extracted and adopted* before the husk is
+        destroyed; a live top-level bearing WM_STATE was save-set
+        rescued onto the root and is *re-adopted* with its iconic state
+        restored; any other mapped, non-override-redirect window is
+        *inherited* the ordinary way.  Geometry, stickiness and desktop
+        come back through the restart table the checkpoint replayed."""
+        stats = AdoptionStats()
+        self.adoption = stats
+        for sc in self.wm.screens:
+            tree = self.guarded(self.conn.query_tree, sc.root)
+            if tree is None:
+                continue
+            for child in tree[2]:
+                self._adopt_root_child(sc, child, stats)
+        if stats.adopted or stats.rescued or stats.reclaimed:
+            logger.info(
+                "adoption: %d adopted, %d rescued, %d inherited,"
+                " %d husks reclaimed",
+                stats.adopted, stats.rescued, stats.inherited,
+                stats.reclaimed,
+            )
+        return stats
+
+    def _adopt_root_child(
+        self, sc: "ScreenContext", child: int, stats: AdoptionStats
+    ) -> None:
+        wm = self.wm
+        if child in wm.frames or child in wm.managed:
+            return
+        window = wm.server.windows.get(child)
+        if window is None or window.destroyed:
+            return
+        if window.owner == self.conn.client_id:
+            return
+        if self._owner_is_dead(window):
+            self._reclaim_orphan(sc, window, stats)
+            return
+        attrs = self.guarded(self.conn.get_window_attributes, child)
+        if attrs is None or attrs["override_redirect"]:
+            return
+        state = self.guarded(icccm.get_wm_state, self.conn, child)
+        if state is not None and state.state != WITHDRAWN_STATE:
+            # WM_STATE marks a client some window manager was managing;
+            # the save-set rescue landed it back on the root.
+            self._readopt(child, state, stats, "rescued")
+            return
+        if attrs["map_state"] == 0:
+            return
+        if wm.manage(child) is not None:
+            stats.inherited += 1
+
+    def _owner_is_dead(self, window: "Window") -> bool:
+        return (
+            window.owner is not None
+            and window.owner not in self.wm.server.clients
+        )
+
+    def _reclaim_orphan(
+        self, sc: "ScreenContext", window: "Window", stats: AdoptionStats
+    ) -> None:
+        """A dead owner's root-level subtree: pull every live client
+        window out (preserving its root position), then demolish the
+        husk so no zombie frame outlives its WM."""
+        strays: List["Window"] = []
+        self._collect_strays(window, strays)
+        for stray in strays:
+            state = self.guarded(icccm.get_wm_state, self.conn, stray.id)
+            origin = stray.position_in_root()
+            self.guarded(
+                self.conn.reparent_window,
+                stray.id, sc.root, origin.x, origin.y,
+                what="adopt",
+            )
+            if stray.override_redirect:
+                continue  # popups: freed from the husk, never managed
+            self._readopt(stray.id, state, stats, "adopted")
+        if self.conn.window_exists(window.id):
+            self.guarded(self.conn.destroy_window, window.id, what="adopt")
+        stats.reclaimed += 1
+
+    def _collect_strays(
+        self, window: "Window", strays: List["Window"]
+    ) -> None:
+        """Live-owned windows inside a dead-owner subtree.  The walk
+        stops at each live owner's boundary — a client's own subtree
+        moves with it."""
+        for child in list(window.children):
+            if child.destroyed:
+                continue
+            owner = child.owner
+            if (
+                owner is not None
+                and owner in self.wm.server.clients
+                and owner != self.conn.client_id
+            ):
+                strays.append(child)
+                continue
+            self._collect_strays(child, strays)
+
+    def _readopt(
+        self,
+        client: int,
+        state,
+        stats: AdoptionStats,
+        how: str,
+    ) -> None:
+        managed = self.wm.manage(client)
+        if managed is None:
+            return
+        setattr(stats, how, getattr(stats, how) + 1)
+        if (
+            state is not None
+            and state.state == ICONIC_STATE
+            and managed.state != ICONIC_STATE
+        ):
+            # The checkpoint may predate the iconify; WM_STATE on the
+            # window itself is the fresher witness.
+            self.wm.iconify(managed)
 
     # ------------------------------------------------------------------
     # WM lifecycle

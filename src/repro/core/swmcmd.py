@@ -14,7 +14,8 @@ xterm, per the paper.
 from __future__ import annotations
 
 import re
-from typing import List, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..xserver.client import ClientConnection
 from ..xserver.properties import PROP_MODE_APPEND
@@ -22,6 +23,12 @@ from ..xserver.server import XServer
 from .bindings import FunctionCall
 
 COMMAND_PROPERTY = "SWM_COMMAND"
+
+#: Any client can write SWM_COMMAND, so its contents are untrusted
+#: input: bound what one payload (and one line) may carry before the
+#: parser even looks at it.
+MAX_PAYLOAD = 4096
+MAX_COMMAND_LENGTH = 256
 
 _COMMAND_RE = re.compile(
     r"^f\.(?P<name>[A-Za-z_]\w*)\s*(?:\(\s*(?P<arg>[^()]*?)\s*\))?$"
@@ -32,9 +39,27 @@ class SwmCmdError(ValueError):
     """A malformed swmcmd command string."""
 
 
+@dataclass
+class CommandRejection:
+    """One SWM_COMMAND line the WM refused, with why.
+
+    These are the structured errors the WM logs instead of letting a
+    malformed payload raise into the event loop."""
+
+    line_no: int
+    text: str
+    reason: str
+
+
 def parse_command(text: str) -> FunctionCall:
     """Parse one command line ("f.raise", "f.iconify(#0x12)")."""
     text = text.strip()
+    if len(text) > MAX_COMMAND_LENGTH:
+        raise SwmCmdError(
+            f"command of {len(text)} chars exceeds {MAX_COMMAND_LENGTH}"
+        )
+    if text and not text.isprintable():
+        raise SwmCmdError("command contains unprintable characters")
     if not text.startswith("f."):
         # Allow the leading f. to be omitted, as a convenience.
         text = "f." + text
@@ -48,13 +73,58 @@ def parse_command(text: str) -> FunctionCall:
 
 
 def parse_command_stream(text: str) -> List[FunctionCall]:
-    """Parse the accumulated SWM_COMMAND property contents."""
+    """Parse the accumulated SWM_COMMAND property contents, raising on
+    the first malformed line (use :func:`validate_command_stream` for
+    the tolerant, collect-everything form the WM itself runs)."""
     calls = []
     for line in text.split("\n"):
         line = line.strip().rstrip("\0")
         if line:
             calls.append(parse_command(line))
     return calls
+
+
+def validate_command_stream(
+    text: str,
+    known: Optional[Iterable[str]] = None,
+) -> Tuple[List[FunctionCall], List[CommandRejection]]:
+    """Tolerantly parse an SWM_COMMAND payload from the wire.
+
+    Returns ``(calls, rejections)``: every well-formed line becomes a
+    :class:`FunctionCall`; every violation — an oversized payload,
+    an overlong or unprintable line, a syntax error, or (when *known*
+    names are given) an unknown function — becomes a structured
+    :class:`CommandRejection`.  One hostile line never aborts its
+    neighbours and nothing here raises."""
+    calls: List[FunctionCall] = []
+    rejections: List[CommandRejection] = []
+    if len(text) > MAX_PAYLOAD:
+        rejections.append(
+            CommandRejection(
+                0, text[:64],
+                f"payload of {len(text)} bytes exceeds {MAX_PAYLOAD}",
+            )
+        )
+        return calls, rejections
+    known_names = set(known) if known is not None else None
+    for line_no, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip().rstrip("\0").strip()
+        if not line:
+            continue
+        try:
+            call = parse_command(line)
+        except SwmCmdError as err:
+            rejections.append(CommandRejection(line_no, line[:64], str(err)))
+            continue
+        if known_names is not None and call.name not in known_names:
+            rejections.append(
+                CommandRejection(
+                    line_no, line[:64], f"unknown function f.{call.name}"
+                )
+            )
+            continue
+        calls.append(call)
+    return calls, rejections
 
 
 def swmcmd(

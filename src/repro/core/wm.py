@@ -39,6 +39,7 @@ from ..xserver.geometry import Point, Rect, Size, parse_geometry
 from ..xserver.server import XServer
 from ..xserver.xid import NONE
 from ..xrm.database import ResourceDatabase
+from ..session.store import SessionStore  # noqa: F401  (re-exported)
 from .bindings import Binding
 from .decorate import (
     build_decoration,
@@ -154,9 +155,14 @@ class Swm:
         db: Optional[ResourceDatabase] = None,
         places_path: str = "swm.places",
         manage_existing: bool = True,
+        session_store: Optional["SessionStore"] = None,
     ):
         self.server = server
         self.places_path = places_path
+        #: Optional durable checkpoint store (session/store.py); when
+        #: set, geometry/state changes are autosaved on a debounce and
+        #: f.places writes a checkpoint generation alongside the file.
+        self.session_store = session_store
         self.conn = ClientConnection(server, "swm")
         self.db = db.copy() if db is not None else ResourceDatabase()
         if db is None:
@@ -302,22 +308,9 @@ class Swm:
                         self.object_windows[obj.window] = (obj, managed, sc.number)
 
     def _adopt_existing(self) -> None:
-        """Manage pre-existing mapped top-level windows."""
-        for sc in self.screens:
-            _, _, children = self.conn.query_tree(sc.root)
-            for child in children:
-                if child in self.frames or child in self.managed:
-                    continue
-                try:
-                    window = self.server.window(child)
-                except BadWindow:
-                    continue
-                if window.owner == self.conn.client_id:
-                    continue
-                attrs = self.conn.get_window_attributes(child)
-                if attrs["override_redirect"] or attrs["map_state"] == 0:
-                    continue
-                self.manage(child)
+        """Adopt pre-existing windows — including a dead predecessor's
+        leftovers (see RestartController.adopt_existing)."""
+        self.session.adopt_existing()
 
     # ------------------------------------------------------------------
     # Event pump
@@ -366,6 +359,9 @@ class Swm:
                         progressed = True
                 if not progressed and not self.conn.pending():
                     break
+            # One housekeeping tick per pump drives the debounced
+            # checkpoint autosave (restart controller).
+            self.session.housekeeping_tick()
         finally:
             self._processing = False
         return handled
@@ -389,6 +385,11 @@ class Swm:
         self._guarded_errors += 1
         self.server.stats().count_guarded(err.name)
         logger.debug("guarded %s in %s: %s", err.name, where, err)
+
+    def note_session_change(self) -> None:
+        """A geometry/state change worth checkpointing happened; the
+        restart controller schedules a debounced autosave."""
+        self.session.mark_dirty()
 
     def reap_zombies(self) -> int:
         """Repair bookkeeping that points at windows which vanished
@@ -685,6 +686,8 @@ class Swm:
         ):
             self.send_to_desktop(managed, restart_entry["desktop"])
         self.desktop.update_panner(sc)
+        if not internal:
+            self.note_session_change()
         return managed
 
     def unmanage(self, managed: ManagedWindow, destroyed: bool = False) -> None:
@@ -742,6 +745,8 @@ class Swm:
         self._ignore_unmaps.pop(managed.client, None)
         self.focuser.pending_deletes.pop(managed.client, None)
         self.desktop.update_panner(sc)
+        if not managed.is_internal:
+            self.note_session_change()
 
     def _reap_partial_manage(self, client: int, frame: Optional[int]) -> None:
         """A manage() aborted part-way (injected error, client died
@@ -863,6 +868,8 @@ class Swm:
         self.conn.move_window(managed.frame, x, y)
         self._send_synthetic_configure(managed)
         self.desktop.update_panner(self.screens[managed.screen])
+        if not managed.is_internal:
+            self.note_session_change()
 
     def move_client_to(self, managed: ManagedWindow, x: int, y: int) -> None:
         """Move so the *client* origin lands at desktop (x, y)."""
@@ -883,6 +890,8 @@ class Swm:
         if sc.panner is not None and managed.client == sc.panner.window:
             sc.panner.resized(width, height)
         self.desktop.update_panner(sc)
+        if not managed.is_internal:
+            self.note_session_change()
 
     def _send_synthetic_configure(self, managed: ManagedWindow) -> None:
         """ICCCM: after the WM moves a client, send it a synthetic

@@ -17,21 +17,37 @@ from .launcher import (
 )
 from .places import (
     PlacesEntry,
+    ReplayFailure,
     collect_entries,
     format_places,
     parse_places,
     replay_places,
     write_places,
 )
+from .store import (
+    Checkpoint,
+    CorruptCheckpoint,
+    QuarantineRecord,
+    SessionStore,
+)
+from .supervisor import CrashRecord, CrashStorm, Supervisor
 
 __all__ = [
+    "Checkpoint",
+    "CorruptCheckpoint",
+    "CrashRecord",
+    "CrashStorm",
     "DEFAULT_REMOTE_START",
     "Host",
     "LaunchError",
     "Launcher",
     "PlacesEntry",
+    "QuarantineRecord",
     "RESTART_PROPERTY",
+    "ReplayFailure",
     "RestartHints",
+    "SessionStore",
+    "Supervisor",
     "SwmHintsError",
     "clear_restart_property",
     "collect_entries",

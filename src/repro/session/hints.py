@@ -75,34 +75,42 @@ class RestartHints:
             args = args[1:]
         hints = cls(command="")
         index = 0
-        while index < len(args):
-            flag = args[index]
-            if flag == "-geometry":
+        try:
+            while index < len(args):
+                flag = args[index]
+                if flag == "-geometry":
+                    index += 1
+                    hints.geometry = parse_geometry(args[index])
+                elif flag == "-icongeometry":
+                    index += 1
+                    hints.icon_geometry = parse_geometry(args[index])
+                elif flag == "-state":
+                    index += 1
+                    name = args[index]
+                    if name not in STATE_BY_NAME:
+                        raise SwmHintsError(f"unknown state {name!r}")
+                    hints.state = STATE_BY_NAME[name]
+                elif flag == "-sticky":
+                    hints.sticky = True
+                elif flag == "-machine":
+                    index += 1
+                    hints.machine = args[index]
+                elif flag == "-desktop":
+                    index += 1
+                    hints.desktop = int(args[index])
+                elif flag == "-cmd":
+                    index += 1
+                    hints.command = args[index]
+                else:
+                    raise SwmHintsError(f"unknown swmhints option {flag!r}")
                 index += 1
-                hints.geometry = parse_geometry(args[index])
-            elif flag == "-icongeometry":
-                index += 1
-                hints.icon_geometry = parse_geometry(args[index])
-            elif flag == "-state":
-                index += 1
-                name = args[index]
-                if name not in STATE_BY_NAME:
-                    raise SwmHintsError(f"unknown state {name!r}")
-                hints.state = STATE_BY_NAME[name]
-            elif flag == "-sticky":
-                hints.sticky = True
-            elif flag == "-machine":
-                index += 1
-                hints.machine = args[index]
-            elif flag == "-desktop":
-                index += 1
-                hints.desktop = int(args[index])
-            elif flag == "-cmd":
-                index += 1
-                hints.command = args[index]
-            else:
-                raise SwmHintsError(f"unknown swmhints option {flag!r}")
-            index += 1
+        except SwmHintsError:
+            raise
+        except (IndexError, ValueError) as err:
+            # A flag missing its value, or an unparseable value: a
+            # malformed record must never leak an IndexError into the
+            # restart-table reader.
+            raise SwmHintsError(f"bad swmhints invocation: {err}") from None
         if not hints.command:
             raise SwmHintsError("swmhints requires -cmd")
         return hints

@@ -14,6 +14,7 @@ shell environment or set inline by the remote-start template.
 
 from __future__ import annotations
 
+import logging
 import re
 import shlex
 from dataclasses import dataclass, field
@@ -21,6 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..clients import SimApp, launch_command
 from ..xserver.server import XServer
+
+logger = logging.getLogger("repro.swm")
 
 #: The default remote-start template; %h = host, %d = display,
 #: %c = command.  It sets DISPLAY inline so remote restarts work even
@@ -30,6 +33,19 @@ DEFAULT_REMOTE_START = 'rsh %h "env DISPLAY=%d %c"'
 
 class LaunchError(RuntimeError):
     """A client could not be started."""
+
+
+@dataclass
+class ReplayFailure:
+    """One places entry that could not be replayed.
+
+    Collected on :attr:`Launcher.warnings` instead of aborting the
+    whole restore: a session script with one bad WM_COMMAND or one
+    decommissioned host still brings every other client back."""
+
+    index: int
+    line: str
+    reason: str
 
 
 @dataclass
@@ -68,6 +84,9 @@ class Launcher:
         for host in hosts or ():
             self.hosts[host.name] = host
         self.started: List[SimApp] = []
+        #: Per-entry replay failures collected by non-strict
+        #: replay_places (and anyone else via record_failure).
+        self.warnings: List[ReplayFailure] = []
 
     def add_host(self, host: Host) -> None:
         self.hosts[host.name] = host
@@ -137,6 +156,17 @@ class Launcher:
         if line.startswith("rsh "):
             return self.run_rsh(line)
         return self.run_local(line)
+
+    def record_failure(
+        self, index: int, line: str, reason: str
+    ) -> ReplayFailure:
+        """Note one entry that failed to replay and keep going."""
+        failure = ReplayFailure(index=index, line=line, reason=reason)
+        self.warnings.append(failure)
+        logger.warning(
+            "places replay: entry %d (%r) skipped: %s", index, line, reason
+        )
+        return failure
 
 
 def render_remote_start(

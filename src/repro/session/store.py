@@ -1,0 +1,202 @@
+"""Durable session checkpoints: journaled, checksummed f.places snapshots.
+
+The naive ``f.places`` write (open, write, close) loses the whole
+session if the WM dies mid-write — the file on disk is truncated
+garbage and there is nothing to fall back to.  :class:`SessionStore`
+makes the snapshot crash-safe:
+
+* every checkpoint is a new **generation** (``places.000007.ck``),
+  written to a temp file and atomically renamed into place, so a crash
+  mid-write never clobbers the last good snapshot;
+* each file carries a header with a format version, its generation
+  number, the payload length and a CRC32, so truncation and bit-rot are
+  *detected* rather than replayed;
+* :meth:`SessionStore.load` walks generations newest-first, moves any
+  file that fails validation aside (``*.quarantined`` plus a line in
+  ``quarantine.log``) and answers with the newest generation that
+  validates — corruption rolls the session back one step, it never
+  crashes the restore;
+* old generations beyond ``keep`` are pruned after each save, so the
+  directory stays bounded.
+
+The store holds plain ``f.places`` script text; parsing stays in
+:mod:`repro.session.places`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+MAGIC = "swm-checkpoint"
+VERSION = 1
+
+_CHECKPOINT_RE = re.compile(r"^(?P<base>.+)\.(?P<gen>\d{6})\.ck$")
+
+
+class CorruptCheckpoint(ValueError):
+    """A checkpoint file failed validation (truncated, bad CRC...)."""
+
+
+@dataclass
+class Checkpoint:
+    """One validated snapshot."""
+
+    generation: int
+    path: str
+    text: str
+
+
+@dataclass
+class QuarantineRecord:
+    """One checkpoint moved aside because it failed validation."""
+
+    generation: int
+    path: str
+    reason: str
+
+
+@dataclass
+class SessionStore:
+    """A directory of rotated, validated ``f.places`` checkpoints."""
+
+    directory: str
+    basename: str = "places"
+    keep: int = 3
+    #: Validation failures seen by load() this process, newest last.
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    #: Successful save() calls this process.
+    saves: int = 0
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, generation: int) -> str:
+        return os.path.join(
+            self.directory, f"{self.basename}.{generation:06d}.ck"
+        )
+
+    def generations(self) -> List[int]:
+        """Generation numbers present on disk, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _CHECKPOINT_RE.match(name)
+            if match and match.group("base") == self.basename:
+                found.append(int(match.group("gen")))
+        return sorted(found)
+
+    def latest_generation(self) -> int:
+        generations = self.generations()
+        return generations[-1] if generations else 0
+
+    # -- writing -----------------------------------------------------------
+
+    def save(self, text: str) -> Checkpoint:
+        """Write *text* as a new generation, atomically, then prune.
+
+        The temp-file + rename dance means a crash at any instruction
+        leaves either the previous generation set intact or the new
+        file complete — never a half-written checkpoint under the
+        final name."""
+        generation = self.latest_generation() + 1
+        payload = text.encode("utf-8")
+        header = (
+            f"# {MAGIC} v{VERSION}\n"
+            f"# generation: {generation}\n"
+            f"# length: {len(payload)}\n"
+            f"# crc32: {zlib.crc32(payload):08x}\n"
+        )
+        path = self._path(generation)
+        temp = path + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(header.encode("utf-8"))
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        self.saves += 1
+        self._prune()
+        return Checkpoint(generation=generation, path=path, text=text)
+
+    def _prune(self) -> None:
+        for generation in self.generations()[: -self.keep]:
+            try:
+                os.remove(self._path(generation))
+            except OSError:
+                pass  # pruning is best-effort; load() skips strays
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Optional[Checkpoint]:
+        """The newest checkpoint that validates, or None.
+
+        Generations that fail validation are quarantined (renamed to
+        ``*.quarantined`` and recorded in ``quarantine.log``) and the
+        scan falls back to the next older one — a corrupt or truncated
+        newest checkpoint costs one generation of history, never the
+        restore."""
+        for generation in reversed(self.generations()):
+            path = self._path(generation)
+            try:
+                text = self._validate(path)
+            except (CorruptCheckpoint, OSError) as err:
+                self._quarantine(generation, path, str(err))
+                continue
+            return Checkpoint(generation=generation, path=path, text=text)
+        return None
+
+    def _validate(self, path: str) -> str:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        parts = blob.split(b"\n", 4)
+        if len(parts) < 5:
+            raise CorruptCheckpoint("truncated header")
+        magic, gen_line, length_line, crc_line, payload = parts
+        if magic != f"# {MAGIC} v{VERSION}".encode("utf-8"):
+            raise CorruptCheckpoint(f"bad magic/version {magic!r}")
+        try:
+            length = int(length_line.split(b":", 1)[1])
+            crc = int(crc_line.split(b":", 1)[1], 16)
+            int(gen_line.split(b":", 1)[1])
+        except (IndexError, ValueError):
+            raise CorruptCheckpoint("malformed header fields") from None
+        if len(payload) != length:
+            raise CorruptCheckpoint(
+                f"payload length {len(payload)} != declared {length}"
+                " (truncated write)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CorruptCheckpoint("CRC mismatch (corrupted payload)")
+        return payload.decode("utf-8")
+
+    def _quarantine(self, generation: int, path: str, reason: str) -> None:
+        record = QuarantineRecord(generation, path, reason)
+        self.quarantined.append(record)
+        try:
+            os.replace(path, path + ".quarantined")
+        except OSError:
+            pass  # unreadable *and* unmovable: leave it; load() moved on
+        try:
+            with open(
+                os.path.join(self.directory, "quarantine.log"),
+                "a",
+                encoding="utf-8",
+            ) as handle:
+                handle.write(
+                    f"{os.path.basename(path)}\t{reason}\n"
+                )
+        except OSError:
+            pass
+
+
+__all__ = [
+    "Checkpoint",
+    "CorruptCheckpoint",
+    "QuarantineRecord",
+    "SessionStore",
+]

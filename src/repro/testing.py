@@ -272,3 +272,58 @@ def assert_wm_consistent(wm: "Swm") -> None:
         raise AssertionError(
             "WM state inconsistent:\n  " + "\n  ".join(problems)
         )
+
+
+# ----------------------------------------------------------------------
+# Cold-start adoption oracle (crash-restart chaos tests)
+# ----------------------------------------------------------------------
+
+def adoption_problems(wm: "Swm", expected: Sequence[int]) -> List[str]:
+    """Check that a restarted WM fully absorbed its predecessor's
+    estate.  *expected* is the set of client windows that were managed
+    before the crash.  Violations:
+
+    - an expected client that is still alive on the server but is not
+      in the new WM's managed table (a lost client);
+    - any live window still owned by a dead connection (an unreclaimed
+      husk — the old WM's frames and icons must all be destroyed or
+      re-owned by adoption).
+
+    Like :func:`wm_consistency_problems`, this reads server structures
+    directly and never issues protocol requests, so it cannot perturb
+    fault-injection state.
+    """
+    server = wm.server
+    problems: List[str] = []
+
+    for client in expected:
+        if not _alive(server, client):
+            continue  # genuinely destroyed; nothing to adopt
+        if client not in wm.managed:
+            problems.append(
+                f"pre-crash client {client:#x} is alive but unmanaged"
+            )
+
+    for wid, win in server.windows.items():
+        if win.destroyed:
+            continue
+        if win.owner is not None and win.owner not in server.clients:
+            problems.append(
+                f"window {wid:#x} still owned by dead client"
+                f" {win.owner}"
+            )
+
+    stats = wm.session.adoption
+    if stats is not None and stats.total_recovered() < 0:
+        problems.append("adoption stats went negative")
+
+    return problems
+
+
+def assert_adoption_complete(wm: "Swm", expected: Sequence[int]) -> None:
+    """Raise AssertionError listing every adoption violation."""
+    problems = adoption_problems(wm, expected)
+    if problems:
+        raise AssertionError(
+            "adoption incomplete:\n  " + "\n  ".join(problems)
+        )

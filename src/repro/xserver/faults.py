@@ -32,6 +32,17 @@ Fault kinds
     a genuine BadWindow from the server's own validation — exactly the
     TOCTOU race a real WM sees when a client exits asynchronously.
 
+``crash``
+    The *window manager* dies at this request: :class:`WMCrash` is
+    raised out of the requesting call before the request runs.  Unlike
+    an injected X error, a crash is deliberately **not** an
+    :class:`XError`, so the WM's guarded()/event-pump degradation paths
+    cannot absorb it — it rips straight through to the session
+    supervisor (see :mod:`repro.session.supervisor`), which must clean
+    up the corpse and restart the WM.  Each (request prefix,
+    ``arm_after``) pair names one distinct crash point; the restart
+    chaos suite enumerates dozens of them.
+
 ``drop``
     A matching event is silently discarded before it reaches the
     client's queue (a lost wakeup).
@@ -65,11 +76,12 @@ from .errors import ERROR_BY_CODE, XError
 ERROR = "error"
 KILL = "kill"
 STALE = "stale"
+CRASH = "crash"
 DROP = "drop"
 DELAY = "delay"
 
 #: Kinds decided at request time (server tick) vs. delivery time (pipeline).
-REQUEST_KINDS = (ERROR, KILL, STALE)
+REQUEST_KINDS = (ERROR, KILL, STALE, CRASH)
 DELIVERY_KINDS = (DROP, DELAY)
 
 #: Error name -> exception class (the rule syntax uses names).
@@ -82,6 +94,19 @@ class ConnectionClosed(Exception):
     def __init__(self, client_id: int):
         self.client_id = client_id
         super().__init__(f"connection to client {client_id} closed")
+
+
+class WMCrash(Exception):
+    """The window manager process died at an injected crash point.
+
+    Not an :class:`XError` on purpose: X errors are survivable protocol
+    weather the WM absorbs with ``guarded()``, while a crash is the WM
+    process itself going down — only the supervisor may catch it."""
+
+    def __init__(self, crash_point: str, client_id: Optional[int] = None):
+        self.crash_point = crash_point
+        self.client_id = client_id
+        super().__init__(f"wm crashed at {crash_point}")
 
 
 def error_class(name: str) -> type:
@@ -365,6 +390,7 @@ class FaultStage(pl.PipelineStage):
 
 
 __all__ = [
+    "CRASH",
     "ConnectionClosed",
     "DELAY",
     "DELIVERY_KINDS",
@@ -378,6 +404,7 @@ __all__ = [
     "KILL",
     "REQUEST_KINDS",
     "STALE",
+    "WMCrash",
     "XError",
     "error_class",
 ]

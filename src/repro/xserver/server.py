@@ -31,11 +31,13 @@ from .errors import (
 from .event_mask import EventMask
 from .faults import (
     ConnectionClosed,
+    CRASH as FAULT_CRASH,
     ERROR as FAULT_ERROR,
     KILL as FAULT_KILL,
     STALE as FAULT_STALE,
     FaultPlan,
     FaultStage,
+    WMCrash,
     error_class,
 )
 from .geometry import Point, Rect, Size
@@ -180,6 +182,28 @@ class XServer:
         # the next device event starts from a live window.
         self._refresh_pointer_window()
 
+    def abandon_client(self, client_id: int) -> None:
+        """The client's process died but its resources were *not* torn
+        down (RetainPermanent close-down, or the server simply has not
+        noticed yet): the connection stops receiving events and its
+        event selections, grabs and save-set claims are dropped, but
+        every window it created survives untouched.  This is how a
+        crashed WM leaves zombie frames behind for a successor to find
+        and adopt — the worst-case cold-start the adoption pass exists
+        for."""
+        if client_id not in self.clients:
+            return
+        del self.clients[client_id]
+        self.grabs.drop_client(client_id)
+        if self.active_grab and self.active_grab.client == client_id:
+            self.active_grab = None
+        # Dropping selections matters beyond hygiene: a successor WM
+        # cannot select SubstructureRedirect on the root while the dead
+        # owner's selection is still registered (BadAccess).
+        for window in self.windows.values():
+            window.drop_client(client_id)
+        self.save_sets.pop(client_id, None)
+
     def reset(self) -> None:
         """Simulate an X server restart: every client resource is gone,
         root windows and *root window properties* survive a resurrection
@@ -291,6 +315,15 @@ class XServer:
                 return
             self.close_client(client_id)
             raise ConnectionClosed(client_id)
+        if rule.kind == FAULT_CRASH:
+            plan.record(
+                FAULT_CRASH, request, client_id, "wm process died", rule
+            )
+            self._stats.count_injected(FAULT_CRASH)
+            # The requester's process dies before the request runs; its
+            # connection and windows linger until the supervisor cleans
+            # up the corpse (close_client or abandon_client).
+            raise WMCrash(request, client_id)
         if rule.kind == FAULT_STALE:
             target = self._stale_target(caller_locals)
             if target is None:

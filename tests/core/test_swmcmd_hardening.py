@@ -1,0 +1,156 @@
+"""SWM_COMMAND as hostile input: validation, rejection, resilience.
+
+Any client can write the root command property, so the WM-side handler
+must treat it as wire input — bound it, validate each line, reject with
+a structured record instead of raising into the event loop, and never
+let one bad line veto its neighbours.
+"""
+
+import pytest
+
+from repro.clients import XTerm
+from repro.core.swmcmd import (
+    COMMAND_PROPERTY,
+    MAX_COMMAND_LENGTH,
+    MAX_PAYLOAD,
+    SwmCmdError,
+    parse_command,
+    swmcmd,
+    validate_command_stream,
+)
+from repro.icccm.hints import ICONIC_STATE
+from repro.xserver import ClientConnection
+from repro.xserver.properties import PROP_MODE_APPEND
+
+
+def write_raw_command(server, payload, fmt=8, type_atom="STRING"):
+    """A hostile client writing the property directly, bypassing the
+    swmcmd client's pre-validation."""
+    conn = ClientConnection(server, "hostile")
+    try:
+        conn.change_property(
+            conn.root_window(0), COMMAND_PROPERTY, type_atom, fmt,
+            payload, PROP_MODE_APPEND,
+        )
+    finally:
+        conn.close()
+
+
+class TestValidateStream:
+    def test_well_formed_lines_pass(self):
+        calls, rejected = validate_command_stream("f.raise\nf.beep\n")
+        assert [c.name for c in calls] == ["raise", "beep"]
+        assert rejected == []
+
+    def test_bad_line_rejected_neighbours_survive(self):
+        calls, rejected = validate_command_stream(
+            "f.beep\nf.((broken\nf.refresh\n"
+        )
+        assert [c.name for c in calls] == ["beep", "refresh"]
+        assert len(rejected) == 1
+        assert rejected[0].line_no == 2
+
+    def test_unknown_function_rejected_with_registry(self):
+        calls, rejected = validate_command_stream(
+            "f.beep\nf.noSuchFunction\n", known={"beep"}
+        )
+        assert [c.name for c in calls] == ["beep"]
+        assert len(rejected) == 1
+        assert "unknown function f.nosuchfunction" in rejected[0].reason
+
+    def test_no_registry_means_no_name_check(self):
+        calls, rejected = validate_command_stream("f.noSuchFunction\n")
+        assert len(calls) == 1
+        assert rejected == []
+
+    def test_oversized_payload_rejected_whole(self):
+        payload = "f.beep\n" * (MAX_PAYLOAD // 6)
+        calls, rejected = validate_command_stream(payload)
+        assert calls == []
+        assert len(rejected) == 1
+        assert "payload" in rejected[0].reason
+
+    def test_overlong_line_rejected(self):
+        line = "f.label(" + "x" * MAX_COMMAND_LENGTH + ")"
+        calls, rejected = validate_command_stream(line)
+        assert calls == []
+        assert "exceeds" in rejected[0].reason
+
+    def test_unprintable_line_rejected(self):
+        calls, rejected = validate_command_stream("f.beep\x07\x1b\n")
+        assert calls == []
+        assert "unprintable" in rejected[0].reason
+
+    def test_never_raises(self):
+        for text in ("\0\0\0", "((((", "f.", "\n" * 50, "\x00f.beep"):
+            validate_command_stream(text)  # must not raise
+
+
+class TestParseCommandBounds:
+    def test_overlong_command_raises(self):
+        with pytest.raises(SwmCmdError):
+            parse_command("f.label(" + "y" * MAX_COMMAND_LENGTH + ")")
+
+    def test_unprintable_command_raises(self):
+        with pytest.raises(SwmCmdError):
+            parse_command("f.beep\x07")
+
+    def test_normal_command_still_parses(self):
+        call = parse_command("f.iconify(#0x12)")
+        assert call.name == "iconify"
+
+
+class TestWMHandler:
+    def test_malformed_payload_logged_not_raised(self, server, wm):
+        """Garbage in the property: the WM beeps, records rejections,
+        and the event loop survives."""
+        beeps = wm.beeps
+        write_raw_command(server, "f.((broken\nnot a command at all((\n")
+        wm.process_pending()
+        assert wm.beeps == beeps + 1
+        assert len(wm.requests.swmcmd_rejections) == 2
+        # The property is consumed, not re-noticed forever.
+        assert not wm.conn.get_string_property(
+            wm.conn.root_window(), COMMAND_PROPERTY
+        )
+
+    def test_unknown_function_rejected_wm_side(self, server, wm):
+        beeps = wm.beeps
+        write_raw_command(server, "f.noSuchFunction\n")
+        wm.process_pending()
+        assert wm.beeps == beeps + 1
+        assert any(
+            "unknown function" in r.reason
+            for r in wm.requests.swmcmd_rejections
+        )
+
+    def test_valid_lines_execute_around_bad_one(self, server, wm):
+        app = XTerm(server, ["xterm"])
+        wm.process_pending()
+        write_raw_command(
+            server, f"f.((broken\nf.iconify(#{app.wid:#x})\n"
+        )
+        wm.process_pending()
+        assert wm.managed[app.wid].state == ICONIC_STATE
+        assert len(wm.requests.swmcmd_rejections) == 1
+
+    def test_wrong_format_property_consumed(self, server, wm):
+        """A format-32 write is unreadable as text; it must still be
+        deleted so it cannot wedge the handler."""
+        write_raw_command(
+            server, [1, 2, 3], fmt=32, type_atom="CARDINAL"
+        )
+        wm.process_pending()
+        assert wm.conn.get_property(
+            wm.conn.root_window(), COMMAND_PROPERTY
+        ) is None
+
+    def test_oversized_payload_rejected(self, server, wm):
+        beeps = wm.beeps
+        write_raw_command(server, "f.beep\n" * 2000)
+        wm.process_pending()
+        assert wm.beeps == beeps + 1  # one rejection beep, zero executions
+
+    def test_client_side_swmcmd_still_prevalidates(self, server):
+        with pytest.raises(SwmCmdError):
+            swmcmd(server, "not ( a ) command (")

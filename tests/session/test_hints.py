@@ -111,3 +111,124 @@ class TestRestartProperty:
             server, ["swmhints", "-state", "IconicState", "-cmd", "xbiff"]
         )
         assert hints.state == ICONIC_STATE
+
+
+class TestMalformedInvocations:
+    """A malformed record must raise SwmHintsError — never leak an
+    IndexError or ValueError into the restart-table reader."""
+
+    @pytest.mark.parametrize("line", [
+        "swmhints -geometry",            # flag missing its value
+        "swmhints -machine",
+        "swmhints -state",
+        "swmhints -cmd",
+        "swmhints -desktop",
+        "swmhints -desktop two -cmd xterm",   # unparseable int
+        "swmhints -geometry bogus -cmd xterm",  # unparseable geometry
+    ])
+    def test_truncated_or_bad_value_raises_hints_error(self, line):
+        with pytest.raises(SwmHintsError):
+            RestartHints.from_line(line)
+
+    def test_malformed_record_skipped_by_reader(self):
+        """read_restart_property drops the bad record, keeps the rest."""
+        server = XServer()
+        conn = ClientConnection(server)
+        root = conn.root_window()
+        swmhints(server, "swmhints -cmd xclock")
+        conn.change_property(
+            root, RESTART_PROPERTY, "STRING", 8,
+            "swmhints -desktop\n", mode=2,  # append a truncated record
+        )
+        swmhints(server, "swmhints -cmd xterm")
+        table = read_restart_property(conn, root)
+        assert [entry["command"] for entry in table] == ["xclock", "xterm"]
+
+
+class TestDegenerateClientProperties:
+    """Round-trips with missing or non-UTF8 WM_COMMAND /
+    WM_CLIENT_MACHINE.  X string properties are latin-1, so bytes that
+    are not valid UTF-8 must still snapshot and replay losslessly."""
+
+    def _wm(self, server, tmp_path):
+        from repro.core.templates import load_template
+        from repro.core.wm import Swm
+
+        return Swm(
+            server,
+            load_template("OpenLook+"),
+            places_path=str(tmp_path / "places"),
+        )
+
+    def _bare_client(self, server, command_bytes=None, machine=None):
+        """A mapped top-level with raw property bytes (no SimApp
+        conveniences interfering)."""
+        conn = ClientConnection(server, "raw")
+        root = conn.root_window(0)
+        wid = conn.create_window(root, 10, 10, 120, 90)
+        if command_bytes is not None:
+            conn.change_property(wid, "WM_COMMAND", "STRING", 8,
+                                 command_bytes)
+        if machine is not None:
+            conn.change_property(wid, "WM_CLIENT_MACHINE", "STRING", 8,
+                                 machine)
+        conn.map_window(wid)
+        return wid
+
+    def test_non_utf8_wm_command_roundtrips(self, tmp_path):
+        from repro.session.places import collect_entries, format_places
+        from repro.session.places import parse_places
+
+        server = XServer(screens=[(1152, 900, 8)])
+        wm = self._wm(server, tmp_path)
+        self._bare_client(server, command_bytes=b"xcaf\xe9\x000\x00")
+        wm.process_pending()
+
+        entries = collect_entries(wm)
+        assert len(entries) == 1
+        # shlex quotes the non-ASCII argv element; the bytes survive.
+        assert entries[0].hints.command == "'xcaf\xe9' 0"
+        # The latin-1 text survives format → parse → argv intact.
+        parsed = parse_places(format_places(entries))
+        assert parsed[0].hints.command == entries[0].hints.command
+
+    def test_non_utf8_client_machine_roundtrips(self):
+        hints = RestartHints(command="xterm", machine="h\xf4te.example")
+        parsed = RestartHints.from_line(hints.to_line())
+        assert parsed.machine == "h\xf4te.example"
+
+    def test_missing_wm_command_skips_entry(self, tmp_path):
+        from repro.session.places import collect_entries
+
+        server = XServer(screens=[(1152, 900, 8)])
+        wm = self._wm(server, tmp_path)
+        self._bare_client(server)  # no WM_COMMAND at all
+        wm.process_pending()
+        assert collect_entries(wm) == []
+
+    def test_missing_client_machine_omits_flag(self, tmp_path):
+        from repro.session.places import collect_entries
+
+        server = XServer(screens=[(1152, 900, 8)])
+        wm = self._wm(server, tmp_path)
+        self._bare_client(server, command_bytes=b"xload\x00")
+        wm.process_pending()
+        entries = collect_entries(wm)
+        assert len(entries) == 1
+        assert entries[0].hints.machine is None
+        assert "-machine" not in entries[0].hints.to_line()
+
+    def test_non_format8_wm_command_ignored(self, tmp_path):
+        """A WM_COMMAND written with format 32 (hostile or buggy) reads
+        as missing, not as garbage."""
+        from repro.session.places import collect_entries
+
+        server = XServer(screens=[(1152, 900, 8)])
+        wm = self._wm(server, tmp_path)
+        conn = ClientConnection(server, "raw")
+        root = conn.root_window(0)
+        wid = conn.create_window(root, 10, 10, 100, 80)
+        conn.change_property(wid, "WM_COMMAND", "CARDINAL", 32, [1, 2, 3])
+        conn.map_window(wid)
+        wm.process_pending()
+        assert collect_entries(wm) == []

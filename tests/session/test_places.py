@@ -305,3 +305,60 @@ class TestRemoteRoundtrip:
         position = wm.client_desktop_position(wm.managed[app.wid])
         assert tuple(position) != (700, 700)
         assert len(wm.restart_table) == 1  # entry not consumed
+
+
+BAD_HOST_SCRIPT = """#!/bin/sh
+# swm places file -- generated by f.places
+swmhints -geometry 80x24+10+10 -cmd xterm
+xterm &
+swmhints -machine decommissioned.example -cmd xclock
+rsh decommissioned.example "env DISPLAY=localhost:0.0 xclock" &
+swmhints -cmd xload
+xload &
+swm
+"""
+
+
+class TestReplayTolerance:
+    """Per-entry replay failures are collected as warnings; one bad
+    WM_COMMAND or decommissioned host never aborts the whole restore."""
+
+    def test_unknown_host_skipped_others_restored(self, server):
+        launcher = Launcher(server)
+        apps = replay_places(BAD_HOST_SCRIPT, launcher)
+
+        assert [app.argv[0] for app in apps] == ["xterm", "xload"]
+        assert len(launcher.warnings) == 1
+        failure = launcher.warnings[0]
+        assert failure.index == 1
+        assert "decommissioned.example" in failure.reason
+        assert "rsh" in failure.line
+
+    def test_strict_mode_still_raises(self, server):
+        from repro.session.launcher import LaunchError
+
+        with pytest.raises(LaunchError):
+            replay_places(BAD_HOST_SCRIPT, Launcher(server), strict=True)
+
+    def test_unparseable_command_skipped(self, server):
+        script = (
+            "swmhints -cmd xterm\n"
+            "xterm 'unterminated &\n"
+            "swmhints -cmd xclock\n"
+            "xclock &\n"
+        )
+        launcher = Launcher(server)
+        apps = replay_places(script, launcher)
+        assert [app.argv[0] for app in apps] == ["xclock"]
+        assert len(launcher.warnings) == 1
+        assert launcher.warnings[0].index == 0
+
+    def test_all_entries_bad_returns_empty_with_warnings(self, server):
+        script = (
+            "swmhints -cmd a\nrsh nowhere1 \"env DISPLAY=d a\" &\n"
+            "swmhints -cmd b\nrsh nowhere2 \"env DISPLAY=d b\" &\n"
+        )
+        launcher = Launcher(server)
+        assert replay_places(script, launcher) == []
+        assert len(launcher.warnings) == 2
+        assert [f.index for f in launcher.warnings] == [0, 1]
