@@ -196,6 +196,9 @@ class Swm:
         #: Total X errors absorbed by guarded()/the event pump; the
         #: per-error-name breakdown lives in server.stats().
         self._guarded_errors = 0
+        #: Managed windows the reaper left alone because their owner's
+        #: connection was throttled by the server's containment layer.
+        self.throttled_skips = 0
 
         # Subsystem controllers: each owns one slice of behaviour and
         # contributes handlers to the dispatch table below.
@@ -360,8 +363,10 @@ class Swm:
                 if not progressed and not self.conn.pending():
                     break
             # One housekeeping tick per pump drives the debounced
-            # checkpoint autosave (restart controller).
+            # checkpoint autosave (restart controller) and the server's
+            # containment clock (request-rate windows, grab watchdog).
             self.session.housekeeping_tick()
+            self.server.housekeeping_tick()
         finally:
             self._processing = False
         return handled
@@ -400,10 +405,19 @@ class Swm:
         safe to call at any time (idempotent when there is nothing to
         do)."""
         reaped = 0
+        throttled = self.server.quotas.throttled_clients()
         for managed in list(self.managed.values()):
             client_alive = self.conn.window_exists(managed.client)
             frame_alive = self.conn.window_exists(managed.frame)
             if client_alive and frame_alive:
+                client_win = self.server.windows.get(managed.client)
+                owner = client_win.owner if client_win is not None else None
+                if owner is not None and owner in throttled:
+                    # The owner is jammed, not dead: repairs now would
+                    # only feed a queue the server is shedding.  Leave
+                    # its windows alone until it drains.
+                    self.throttled_skips += 1
+                    continue
                 if managed.icon is not None and not self.conn.window_exists(
                     managed.icon.window
                 ):

@@ -327,3 +327,127 @@ def assert_adoption_complete(wm: "Swm", expected: Sequence[int]) -> None:
         raise AssertionError(
             "adoption incomplete:\n  " + "\n  ".join(problems)
         )
+
+
+# ----------------------------------------------------------------------
+# Containment oracle (quota/backpressure chaos + fuzz tests)
+# ----------------------------------------------------------------------
+
+def quota_problems(server: "XServer") -> List[str]:
+    """Cross-check the quota manager's ledgers against live server
+    state and the configured limits.  Violations:
+
+    - recorded per-client window counts that disagree with a recount
+      of live windows, or exceed ``max_windows``;
+    - property-byte charges that disagree with the per-client totals,
+      reference dead windows or deleted properties, or exceed
+      ``max_property_bytes``;
+    - registered passive grabs beyond ``max_pending_grabs``;
+    - any client queue past the hard cap (backpressure failed);
+    - throttle records for clients that no longer exist.
+
+    Like the other oracles this reads server structures directly and
+    never issues protocol requests, so checking perturbs nothing.
+    """
+    from collections import Counter
+
+    quotas = server.quotas
+    limits = quotas.limits
+    problems: List[str] = []
+
+    def enforced(limit) -> bool:
+        return quotas.enabled and limit is not None
+
+    # Window counts: ledger == recount, and within quota for live clients.
+    actual: Counter = Counter()
+    for win in server.windows.values():
+        if not win.destroyed and win.owner is not None:
+            actual[win.owner] += 1
+    for cid in set(actual) | set(quotas.windows):
+        recorded = quotas.windows.get(cid, 0)
+        counted = actual.get(cid, 0)
+        if recorded < 0:
+            problems.append(f"negative window count for client {cid}")
+        if cid in server.clients and recorded != counted:
+            problems.append(
+                f"client {cid} window ledger {recorded} != live {counted}"
+            )
+        if (
+            enforced(limits.max_windows)
+            and cid in server.clients
+            and counted > limits.max_windows
+        ):
+            problems.append(
+                f"client {cid} holds {counted} windows"
+                f" > quota {limits.max_windows}"
+            )
+
+    # Property bytes: per-(window, atom) charges must sum to the
+    # per-client totals and reference live properties.
+    per_client: Counter = Counter()
+    for wid, charges in quotas.property_ledger().items():
+        win = server.windows.get(wid)
+        for atom, (cid, nbytes) in charges.items():
+            per_client[cid] += nbytes
+            if nbytes < 0:
+                problems.append(
+                    f"negative property charge on {wid:#x} atom {atom}"
+                )
+            if win is None or win.destroyed:
+                problems.append(
+                    f"property charge on dead window {wid:#x}"
+                )
+            elif win.properties.get(atom) is None:
+                problems.append(
+                    f"charge for deleted property {atom} on {wid:#x}"
+                )
+    for cid in set(per_client) | set(quotas.prop_bytes):
+        if cid not in server.clients:
+            continue  # refunds for the dead are lazy; skip
+        ledger = quotas.prop_bytes.get(cid, 0)
+        summed = per_client.get(cid, 0)
+        if ledger != summed:
+            problems.append(
+                f"client {cid} property-byte ledger {ledger}"
+                f" != charge sum {summed}"
+            )
+        if enforced(limits.max_property_bytes) and ledger > limits.max_property_bytes:
+            problems.append(
+                f"client {cid} holds {ledger} property bytes"
+                f" > quota {limits.max_property_bytes}"
+            )
+
+    # Grabs: recount from the live table.
+    if enforced(limits.max_pending_grabs):
+        for cid in server.clients:
+            count = server.grabs.count_for_client(cid)
+            if count > limits.max_pending_grabs:
+                problems.append(
+                    f"client {cid} holds {count} grabs"
+                    f" > quota {limits.max_pending_grabs}"
+                )
+
+    # Queues bounded by the backpressure hard cap.
+    if quotas.enabled:
+        for cid, sink in server.clients.items():
+            queue = getattr(sink, "_queue", None)
+            if queue is not None and len(queue) > limits.hard_cap:
+                problems.append(
+                    f"client {cid} queue {len(queue)}"
+                    f" > hard cap {limits.hard_cap}"
+                )
+
+    for cid in quotas.throttled_clients():
+        if cid not in server.clients:
+            problems.append(f"throttle record for dead client {cid}")
+
+    return problems
+
+
+def assert_quotas_enforced(server: "XServer") -> None:
+    """Raise AssertionError listing every containment violation."""
+    problems = quota_problems(server)
+    if problems:
+        raise AssertionError(
+            "quota state inconsistent:\n  " + "\n  ".join(problems)
+        )

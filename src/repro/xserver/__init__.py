@@ -10,9 +10,10 @@ Public surface::
 
 from .atoms import AtomTable
 from .bitmap import Bitmap, lookup_bitmap, register_bitmap
-from .client import ClientConnection
+from .client import ClientConnection, QueueEmpty
 from .errors import (
     BadAccess,
+    BadAlloc,
     BadAtom,
     BadMatch,
     BadValue,
@@ -26,13 +27,16 @@ from .faults import (
     FaultRule,
     FaultStage,
 )
+from .fuzz import ProtocolFuzzer
 from .geometry import Geometry, Point, Rect, Size, parse_geometry
 from .pipeline import (
+    BackpressureStage,
     CoalescingStage,
     EventPipeline,
     InstrumentationStage,
     PipelineStage,
 )
+from .quotas import QuotaExceeded, QuotaLimits, QuotaManager
 from .screen import Screen
 from .server import MAX_WINDOW_SIZE, XServer
 from .shape import ShapeRegion
@@ -42,8 +46,10 @@ from .xid import NONE, POINTER_ROOT
 
 __all__ = [
     "AtomTable",
+    "BackpressureStage",
     "Bitmap",
     "BadAccess",
+    "BadAlloc",
     "BadAtom",
     "BadMatch",
     "BadValue",
@@ -59,6 +65,11 @@ __all__ = [
     "Geometry",
     "InstrumentationStage",
     "PipelineStage",
+    "ProtocolFuzzer",
+    "QueueEmpty",
+    "QuotaExceeded",
+    "QuotaLimits",
+    "QuotaManager",
     "ServerStats",
     "MAX_WINDOW_SIZE",
     "NONE",

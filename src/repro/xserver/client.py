@@ -16,6 +16,7 @@ from . import events as ev
 from .bitmap import Bitmap
 from .errors import BadWindow
 from .event_mask import EventMask
+from .faults import ConnectionClosed
 from .pipeline import DROP, EventPipeline
 from .properties import PROP_MODE_REPLACE, Property
 from .server import (
@@ -27,6 +28,13 @@ from .server import (
 )
 from .window import INPUT_OUTPUT
 from .xid import NONE
+
+
+class QueueEmpty(IndexError):
+    """``next_event`` on an empty queue.  Subclasses :class:`IndexError`
+    so pre-existing ``except IndexError`` callers keep working, while
+    new code can distinguish "no events pending" from a genuine
+    indexing bug."""
 
 
 class ClientConnection(EventSink):
@@ -69,6 +77,16 @@ class ClientConnection(EventSink):
             and self.server.clients.get(self.client_id) is self
         )
 
+    def _check_alive(self) -> None:
+        """Fail fast before issuing a request on a dead connection.
+        Without this a zombie connection would keep mutating the tree
+        under its stale client id (the server double-checks at its own
+        request tick, but failing here keeps the error at the caller's
+        line).  Local queue drains and reads stay usable after death —
+        teardown code inspects what a corpse last saw."""
+        if not self.is_alive():
+            raise ConnectionClosed(self.client_id)
+
     def __repr__(self) -> str:
         return f"<ClientConnection {self.name!r} id={self.client_id}>"
 
@@ -100,25 +118,40 @@ class ClientConnection(EventSink):
 
     def next_event(self) -> ev.Event:
         if not self._queue:
-            raise IndexError("no pending events")
-        return self._queue.popleft()
+            raise QueueEmpty("no pending events")
+        event = self._queue.popleft()
+        self.server.quotas.note_drained(self.client_id, len(self._queue))
+        return event
 
     def events(self) -> List[ev.Event]:
         """Drain and return all pending events, oldest first."""
         drained = list(self._queue)
         self._queue.clear()
+        self.server.quotas.note_drained(self.client_id, 0)
         return drained
 
     def flush_events(self, of_type=None) -> List[ev.Event]:
         """Drain *all* pending events; return only those matching
         *of_type* (a class or tuple of classes), or everything when
-        None.  Non-matching events are discarded.  The retained events
-        keep their relative delivery order (oldest first) — callers
-        rely on this to assert on event sequences."""
+        None.  Non-matching events are discarded — the discards are
+        counted through the instrumentation stage's dropped counter
+        (``stats().dropped_count(...)``), so events a client threw away
+        itself are visible in the same place as pipeline losses.  The
+        retained events keep their relative delivery order (oldest
+        first) — callers rely on this to assert on event sequences."""
         drained = self.events()
         if of_type is None:
             return drained
-        return [event for event in drained if isinstance(event, of_type)]
+        kept = []
+        stage = self.pipeline.stage("stats")
+        for event in drained:
+            if isinstance(event, of_type):
+                kept.append(event)
+            elif stage is not None and stage.enabled:
+                stage.stats.count_dropped(
+                    self.client_id, type(event).__name__
+                )
+        return kept
 
     # -- atoms -----------------------------------------------------------------
 
@@ -156,6 +189,7 @@ class ClientConnection(EventSink):
         background: Optional[str] = None,
         cursor: Optional[str] = None,
     ) -> int:
+        self._check_alive()
         wid = self._xids.allocate()
         self.server.create_window(
             self.client_id,
@@ -175,27 +209,34 @@ class ClientConnection(EventSink):
         return wid
 
     def destroy_window(self, wid: int) -> None:
+        self._check_alive()
         self.server.destroy_window(self.client_id, wid)
 
     def destroy_subwindows(self, wid: int) -> None:
+        self._check_alive()
         self.server.destroy_subwindows(self.client_id, wid)
 
     def map_window(self, wid: int) -> bool:
+        self._check_alive()
         return self.server.map_window(self.client_id, wid)
 
     def map_subwindows(self, wid: int) -> None:
+        self._check_alive()
         self.server.map_subwindows(self.client_id, wid)
 
     def unmap_window(self, wid: int) -> None:
+        self._check_alive()
         self.server.unmap_window(self.client_id, wid)
 
     def reparent_window(self, wid: int, parent: int, x: int, y: int) -> None:
+        self._check_alive()
         self.server.reparent_window(self.client_id, wid, parent, x, y)
 
     def configure_window(self, wid: int, **kwargs) -> bool:
         """ConfigureWindow with keyword arguments (x, y, width, height,
         border_width, sibling, stack_mode); the value mask is derived
         from which keywords are present."""
+        self._check_alive()
         mask = 0
         values = dict(x=0, y=0, width=0, height=0, border_width=0,
                       sibling=NONE, stack_mode=ev.ABOVE)
@@ -235,14 +276,17 @@ class ClientConnection(EventSink):
         return self.configure_window(wid, stack_mode=ev.BELOW)
 
     def circulate_window(self, wid: int, direction: int) -> None:
+        self._check_alive()
         self.server.circulate_window(self.client_id, wid, direction)
 
     def select_input(self, wid: int, mask: EventMask) -> None:
+        self._check_alive()
         self.server.change_window_attributes(
             self.client_id, wid, event_mask=mask
         )
 
     def change_window_attributes(self, wid: int, **kwargs) -> None:
+        self._check_alive()
         self.server.change_window_attributes(self.client_id, wid, **kwargs)
 
     # -- properties ------------------------------------------------------------------
@@ -256,6 +300,7 @@ class ClientConnection(EventSink):
         data,
         mode: int = PROP_MODE_REPLACE,
     ) -> None:
+        self._check_alive()
         atom = self._resolve_atom(atom)
         type_atom = self._resolve_atom(type_atom)
         self.server.change_property(
@@ -268,6 +313,7 @@ class ClientConnection(EventSink):
         )
 
     def delete_property(self, wid: int, atom) -> None:
+        self._check_alive()
         self.server.delete_property(self.client_id, wid, self._resolve_atom(atom))
 
     def list_properties(self, wid: int) -> List[int]:
@@ -296,6 +342,7 @@ class ClientConnection(EventSink):
         event_mask: EventMask = EventMask.NoEvent,
         propagate: bool = False,
     ) -> None:
+        self._check_alive()
         self.server.send_event(
             self.client_id, destination, event, event_mask, propagate
         )
@@ -329,15 +376,18 @@ class ClientConnection(EventSink):
     # -- focus / save set --------------------------------------------------------------------
 
     def set_input_focus(self, focus: int, revert_to: int = FOCUS_POINTER_ROOT) -> None:
+        self._check_alive()
         self.server.set_input_focus(self.client_id, focus, revert_to)
 
     def get_input_focus(self) -> Tuple[int, int]:
         return self.server.get_input_focus()
 
     def add_to_save_set(self, wid: int) -> None:
+        self._check_alive()
         self.server.change_save_set(self.client_id, wid, SAVE_SET_INSERT)
 
     def remove_from_save_set(self, wid: int) -> None:
+        self._check_alive()
         self.server.change_save_set(self.client_id, wid, SAVE_SET_DELETE)
 
     # -- grabs -----------------------------------------------------------------------------------
@@ -349,11 +399,13 @@ class ClientConnection(EventSink):
         owner_events: bool = False,
         cursor: Optional[str] = None,
     ) -> int:
+        self._check_alive()
         return self.server.grab_pointer(
             self.client_id, wid, event_mask, owner_events, cursor
         )
 
     def ungrab_pointer(self) -> None:
+        self._check_alive()
         self.server.ungrab_pointer(self.client_id)
 
     def grab_button(
@@ -365,21 +417,25 @@ class ClientConnection(EventSink):
         owner_events: bool = False,
         cursor: Optional[str] = None,
     ) -> None:
+        self._check_alive()
         self.server.grab_button(
             self.client_id, wid, button, modifiers, event_mask, owner_events, cursor
         )
 
     def ungrab_button(self, wid: int, button: int, modifiers: int) -> None:
+        self._check_alive()
         self.server.ungrab_button(self.client_id, wid, button, modifiers)
 
     def grab_key(
         self, wid: int, keysym: str, modifiers: int, owner_events: bool = False
     ) -> None:
+        self._check_alive()
         self.server.grab_key(
             self.client_id, wid, keysym, modifiers, owner_events
         )
 
     def warp_pointer(self, dst: int, x: int, y: int) -> None:
+        self._check_alive()
         self.server.warp_pointer(self.client_id, dst, x, y)
 
     # -- SHAPE ------------------------------------------------------------------------------------
@@ -387,6 +443,7 @@ class ClientConnection(EventSink):
     def shape_window(
         self, wid: int, mask: Optional[Bitmap], x_offset: int = 0, y_offset: int = 0
     ) -> None:
+        self._check_alive()
         self.server.shape_set_mask(
             self.client_id, wid, mask, x_offset=x_offset, y_offset=y_offset
         )

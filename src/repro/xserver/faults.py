@@ -43,6 +43,15 @@ Fault kinds
     ``arm_after``) pair names one distinct crash point; the restart
     chaos suite enumerates dozens of them.
 
+``flood``
+    The requesting client turns hostile mid-run: the server issues a
+    synchronous burst (``FaultRule.burst`` requests) of property
+    rewrites and SendEvent spam on its behalf, then lets the original
+    request proceed.  The storm runs with the plan suspended — zero RNG
+    draws, no nested faults — so it is bit-deterministic, and quota
+    denials it provokes land on the flooder alone (see
+    :mod:`repro.xserver.quotas`).
+
 ``drop``
     A matching event is silently discarded before it reaches the
     client's queue (a lost wakeup).
@@ -77,11 +86,12 @@ ERROR = "error"
 KILL = "kill"
 STALE = "stale"
 CRASH = "crash"
+FLOOD = "flood"
 DROP = "drop"
 DELAY = "delay"
 
 #: Kinds decided at request time (server tick) vs. delivery time (pipeline).
-REQUEST_KINDS = (ERROR, KILL, STALE, CRASH)
+REQUEST_KINDS = (ERROR, KILL, STALE, CRASH, FLOOD)
 DELIVERY_KINDS = (DROP, DELAY)
 
 #: Error name -> exception class (the rule syntax uses names).
@@ -140,6 +150,7 @@ class FaultRule:
     clients: ClientFilter = None
     error: str = "BadWindow"
     when: str = "before"  # kill only: before | after the request runs
+    burst: int = 40  # flood only: requests per storm
     arm_after: int = 0
     max_fires: Optional[int] = None
     name: str = ""
@@ -397,6 +408,7 @@ __all__ = [
     "DROP",
     "ERROR",
     "ERROR_BY_NAME",
+    "FLOOD",
     "FaultPlan",
     "FaultRule",
     "FaultStage",

@@ -134,6 +134,10 @@ class ActiveGrab:
     #: Button whose release ends an activated passive grab (None for
     #: explicit GrabPointer grabs, which end only on UngrabPointer).
     trigger_button: Optional[int] = None
+    #: Consecutive housekeeping ticks the holder went without draining
+    #: its event queue (the grab watchdog's staleness clock; reset to
+    #: zero whenever the holder reads an event).
+    held_ticks: int = 0
 
 
 class GrabTable:
@@ -207,6 +211,18 @@ class GrabTable:
                 if grab.matches(keysym, modifiers):
                     return grab
         return None
+
+    def count_for_client(self, client_id: int) -> int:
+        """Passive grabs (button + key) registered by one client —
+        the quota layer's lazy count, so grab accounting can never
+        drift from the live table."""
+        total = 0
+        for table in (self._button_grabs, self._key_grabs):
+            for grabs in table.values():
+                for grab in grabs:
+                    if grab.client == client_id:
+                        total += 1
+        return total
 
     def drop_window(self, window_id: int) -> None:
         self._button_grabs.pop(window_id, None)

@@ -13,11 +13,14 @@ pipeline is a short list of pluggable stages; each stage inspects a
 - ``DROP``: the event is discarded; later stages are skipped unless
   they set ``observes_drops`` (instrumentation does, to count losses).
 
-The two standard stages are :class:`CoalescingStage` (on by default;
-clients opt out with ``ClientConnection.set_coalescing(False)``) and
+The standard stages are :class:`CoalescingStage` (on by default;
+clients opt out with ``ClientConnection.set_coalescing(False)``),
+:class:`BackpressureStage` (bounds the queue: force-coalesce, then
+shed, then throttle — see :mod:`repro.xserver.quotas`) and
 :class:`InstrumentationStage`, which feeds the counters behind
 ``server.stats()``.  New stages subclass :class:`PipelineStage` and are
-inserted with :meth:`EventPipeline.add_stage`.
+inserted with :meth:`EventPipeline.add_stage`; stage names must be
+unique within a pipeline (lookup and removal are by name).
 """
 
 from __future__ import annotations
@@ -41,6 +44,10 @@ class Delivery:
     queue: Deque[ev.Event]
     client_id: int
     outcome: str = APPEND
+    #: For COALESCE: the queue index the event replaces.  None keeps
+    #: the classic tail replacement; the backpressure stage sets an
+    #: explicit index when it coalesces into an older queue entry.
+    coalesce_index: Optional[int] = None
 
 
 class PipelineStage:
@@ -99,6 +106,82 @@ class CoalescingStage(PipelineStage):
             delivery.outcome = COALESCE
 
 
+#: Event types backpressure may shed outright: per X semantics these
+#: carry only "latest state" / repaint hints, never protocol state a
+#: client cannot recover (structural events are preserved up to the
+#: hard cap).
+SHEDDABLE_TYPES = (ev.MotionNotify, ev.Expose)
+
+
+class BackpressureStage(PipelineStage):
+    """Bound a client's queue so a non-draining client cannot grow
+    memory without limit or absorb server time (see
+    :mod:`repro.xserver.quotas` for the policy knobs).
+
+    Escalation past the *high-water* mark, in order:
+
+    1. **force-coalesce** — scan the queue tail (up to
+       ``coalesce_scan`` entries) for an event with the same coalescing
+       key and replace it in place, even across intervening events of
+       other types (normal coalescing only compresses consecutive runs);
+    2. **shed** — drop :data:`SHEDDABLE_TYPES` (Motion/Expose first, as
+       a real server sheds under pressure); structural events still
+       append;
+    3. **throttle** — at the *hard cap* the client is marked throttled:
+       everything is shed until it drains below the *low-water* mark
+       (``ClientConnection`` reports drains back to the quota manager).
+
+    Runs after coalescing (an event the tail absorbed needs no
+    pressure response) and before instrumentation (so sheds are counted
+    as drops by the stats stage, plus in the dedicated shed counters).
+    """
+
+    name = "backpressure"
+
+    def __init__(self, server, client_id: int) -> None:
+        super().__init__()
+        self.server = server
+        self.client_id = client_id
+
+    def process(self, delivery: Delivery) -> None:
+        if delivery.outcome != APPEND:
+            return
+        quotas = self.server.quotas
+        if not quotas.enabled:
+            return
+        limits = quotas.limits
+        queue = delivery.queue
+        event = delivery.event
+        if quotas.is_throttled(self.client_id):
+            delivery.outcome = DROP
+            quotas.note_shed(
+                self.client_id, type(event).__name__, "throttled"
+            )
+            return
+        queue_length = len(queue)
+        if queue_length < limits.high_water:
+            return
+        key = CoalescingStage.coalesce_key(event)
+        if key is not None:
+            scan = min(queue_length, limits.coalesce_scan)
+            for back in range(1, scan + 1):
+                if CoalescingStage.coalesce_key(queue[-back]) == key:
+                    delivery.outcome = COALESCE
+                    delivery.coalesce_index = queue_length - back
+                    quotas.note_force_coalesced(
+                        self.client_id, type(event).__name__
+                    )
+                    return
+        if queue_length >= limits.hard_cap:
+            quotas.mark_throttled(self.client_id)
+            delivery.outcome = DROP
+            quotas.note_shed(self.client_id, type(event).__name__, "capped")
+            return
+        if isinstance(event, SHEDDABLE_TYPES):
+            delivery.outcome = DROP
+            quotas.note_shed(self.client_id, type(event).__name__, "overflow")
+
+
 class InstrumentationStage(PipelineStage):
     """Count deliveries into a shared :class:`ServerStats`.
 
@@ -147,7 +230,10 @@ class EventPipeline:
         if delivery.outcome == DROP:
             return DROP
         if delivery.outcome == COALESCE:
-            queue[-1] = delivery.event
+            if delivery.coalesce_index is None:
+                queue[-1] = delivery.event
+            else:
+                queue[delivery.coalesce_index] = delivery.event
         else:
             queue.append(delivery.event)
         return delivery.outcome
@@ -164,7 +250,15 @@ class EventPipeline:
         self, stage: PipelineStage, before: Optional[str] = None
     ) -> None:
         """Insert *stage*, optionally before the named existing stage
-        (instrumentation should generally stay last)."""
+        (instrumentation should generally stay last).  When *before*
+        names no existing stage the new stage is appended.  Duplicate
+        stage names are rejected: :meth:`stage` and
+        :meth:`remove_stage` address stages by name, so a second
+        "coalesce" would be unreachable by either."""
+        if self.stage(stage.name) is not None:
+            raise ValueError(
+                f"pipeline already has a stage named {stage.name!r}"
+            )
         if before is not None:
             for index, existing in enumerate(self.stages):
                 if existing.name == before:

@@ -27,12 +27,14 @@ from .errors import (
     BadMatch,
     BadValue,
     BadWindow,
+    XError,
 )
 from .event_mask import EventMask
 from .faults import (
     ConnectionClosed,
     CRASH as FAULT_CRASH,
     ERROR as FAULT_ERROR,
+    FLOOD as FAULT_FLOOD,
     KILL as FAULT_KILL,
     STALE as FAULT_STALE,
     FaultPlan,
@@ -49,8 +51,14 @@ from .input import (
     PassiveKeyGrab,
     PointerState,
     )
-from .pipeline import CoalescingStage, EventPipeline, InstrumentationStage
-from .properties import PROP_MODE_REPLACE
+from .pipeline import (
+    BackpressureStage,
+    CoalescingStage,
+    EventPipeline,
+    InstrumentationStage,
+)
+from .properties import PROP_MODE_APPEND, PROP_MODE_REPLACE
+from .quotas import QuotaLimits, QuotaManager
 from .screen import Screen
 from .stats import ServerStats
 from .shape import SHAPE_BOUNDING, SHAPE_SET, ShapeRegion
@@ -82,12 +90,18 @@ MAX_COORD = 32767
 class XServer:
     """An in-process X server."""
 
-    def __init__(self, screens: Sequence[Tuple[int, int, int]] = ((1152, 900, 8),)):
+    def __init__(
+        self,
+        screens: Sequence[Tuple[int, int, int]] = ((1152, 900, 8),),
+        quota_limits: Optional[QuotaLimits] = None,
+    ):
         """Create a server.
 
         *screens* is a sequence of ``(width, height, depth)`` tuples;
         depth 1 makes a monochrome screen (§3's ``swm.monochrome...``
-        resources).
+        resources).  *quota_limits* tunes the per-client containment
+        budgets (see :mod:`repro.xserver.quotas`); the defaults are
+        generous enough that well-behaved workloads never notice them.
         """
         self.atoms = AtomTable()
         self.xids = XIDAllocator()
@@ -106,6 +120,8 @@ class XServer:
         self.generation = 1  # bumped by reset() ("restarting X")
         self._trace = None  # Optional[deque]; see start_trace()
         self._stats = ServerStats()
+        #: Per-client containment budgets (see repro.xserver.quotas).
+        self.quotas = QuotaManager(self._stats, quota_limits)
         #: Active fault-injection plan, or None (see install_faults()).
         self.faults: Optional[FaultPlan] = None
 
@@ -178,6 +194,7 @@ class XServer:
         for window in self.windows.values():
             window.drop_client(client_id)
         self.save_sets.pop(client_id, None)
+        self.quotas.drop_client(client_id)
         # Teardown reshapes the tree under the pointer; recompute so
         # the next device event starts from a live window.
         self._refresh_pointer_window()
@@ -203,6 +220,7 @@ class XServer:
         for window in self.windows.values():
             window.drop_client(client_id)
         self.save_sets.pop(client_id, None)
+        self.quotas.drop_client(client_id)
 
     def reset(self) -> None:
         """Simulate an X server restart: every client resource is gone,
@@ -219,6 +237,7 @@ class XServer:
             for atom in list(root.properties.list_atoms()):
                 root.properties.delete(atom)
         self.generation += 1
+        self.quotas.reset()
         self.active_grab = None
         self.focus = FOCUS_POINTER_ROOT
         first = self.screens[0]
@@ -239,8 +258,14 @@ class XServer:
         self._stats.count_request(name)
         if self._trace is not None:
             self._trace.append((self.timestamp, name))
+        client_id = caller.f_locals.get("client_id")
         if self.faults is not None:
             self._apply_faults(name, caller.f_locals)
+        elif client_id is not None and client_id not in self.clients:
+            # A closed/killed connection's id must not keep mutating
+            # the tree; the request fails like the broken pipe it is.
+            raise ConnectionClosed(client_id)
+        self.quotas.charge_request(name, client_id)
         return self.timestamp
 
     # ------------------------------------------------------------------
@@ -337,6 +362,55 @@ class XServer:
             # the request then fails with the server's own BadWindow.
             self._destroy_tree(target)
             self._refresh_pointer_window()
+            return
+        if rule.kind == FAULT_FLOOD:
+            if client_id is None or client_id not in self.clients:
+                rule.fires -= 1  # nobody to turn hostile
+                return
+            plan.record(
+                FAULT_FLOOD, request, client_id,
+                f"storm burst={rule.burst}", rule,
+            )
+            self._stats.count_injected(FAULT_FLOOD)
+            # The storm runs with the plan suspended: zero RNG draws,
+            # no nested faults — the flood itself is bit-deterministic
+            # and the triggering request then proceeds normally.
+            with plan.suspended():
+                self._run_flood(client_id, rule.burst)
+
+    def _run_flood(self, client_id: int, burst: int) -> None:
+        """Simulate *client_id* turning hostile mid-run: a synchronous
+        burst of property rewrites and SendEvent spam issued on its
+        behalf.  Quota enforcement applies as usual, and every denial
+        lands on the flooder alone — an XError escaping here would leak
+        into whatever innocent request triggered the fault, so all are
+        contained on the spot."""
+        target = None
+        for window in self.windows.values():
+            if window.owner == client_id and not window.destroyed:
+                target = window
+                break
+        root = self.screens[0].root
+        atom = self.atoms.intern("SWM_FLOOD")
+        string = self.atoms.intern("STRING")
+        for i in range(burst):
+            try:
+                if target is not None and not target.destroyed and i % 2 == 0:
+                    self.change_property(
+                        client_id, target.id, atom, string, 8,
+                        "!" * 64, PROP_MODE_APPEND,
+                    )
+                else:
+                    self.send_event(
+                        client_id,
+                        root.id,
+                        ev.ClientMessage(
+                            window=root.id, message_type=atom, data=(i,)
+                        ),
+                        EventMask.SubstructureNotify,
+                    )
+            except (XError, ConnectionClosed):
+                continue
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -351,15 +425,70 @@ class XServer:
     def build_pipeline(self, client_id: int) -> EventPipeline:
         """The default delivery pipeline for a new client connection:
         fault injection (inert until install_faults()), coalescing (on
-        by default; the client may disable its stage), then
+        by default; the client may disable its stage), backpressure
+        (bounds the queue; see :mod:`repro.xserver.quotas`), then
         instrumentation feeding :meth:`stats`."""
         return EventPipeline(
             [
                 FaultStage(self, client_id),
                 CoalescingStage(),
+                BackpressureStage(self, client_id),
                 InstrumentationStage(self._stats, client_id),
             ]
         )
+
+    # ------------------------------------------------------------------
+    # Containment housekeeping (rate windows + grab watchdog)
+    # ------------------------------------------------------------------
+
+    def housekeeping_tick(self) -> None:
+        """One containment housekeeping tick, driven by the WM's event
+        pump (or directly by tests): resets the per-tick request-rate
+        windows, ages throttled clients — pruning the passive grabs of
+        clients jammed longer than the grab budget, so they stop
+        stealing input they will never consume — and runs the grab
+        watchdog, breaking an active grab whose holder is dead or has
+        stopped draining its queue.  Housekeeping never ticks the
+        request clock, so an installed fault plan's RNG is unperturbed.
+        """
+        quotas = self.quotas
+        drained = quotas.begin_tick()
+        for client_id in quotas.age_throttled(self.clients):
+            if self.grabs.count_for_client(client_id):
+                self.grabs.drop_client(client_id)
+                self._stats.count_grab_broken("passive-throttled")
+        grab = self.active_grab
+        if grab is None:
+            return
+        holder = grab.client
+        if holder not in self.clients:
+            self._break_active_grab("dead-holder")
+            return
+        if holder in drained and not quotas.is_throttled(holder):
+            grab.held_ticks = 0
+            return
+        grab.held_ticks += 1
+        if grab.held_ticks > quotas.limits.grab_tick_budget:
+            self._break_active_grab(
+                "throttled-holder"
+                if quotas.is_throttled(holder)
+                else "not-draining"
+            )
+
+    def _break_active_grab(self, reason: str) -> None:
+        """Watchdog path: forcibly end the active pointer grab.  The
+        pointer window is re-derived and ungrab-side crossing events
+        are emitted, exactly the re-sync clients see after a voluntary
+        UngrabPointer — the WM already handles these."""
+        previous = self.pointer.window
+        self.active_grab = None
+        self._stats.count_grab_broken(reason)
+        self._refresh_pointer_window()
+        if self.pointer.window is previous and previous is not None:
+            # The pointer window did not change, but clients under the
+            # pointer were starved while the grab stole their events;
+            # replay an EnterNotify so they re-sync their state.
+            self._send_crossing_events(None, previous)
 
     # ------------------------------------------------------------------
     # Protocol tracing (observability/debug facility)
@@ -479,6 +608,7 @@ class XServer:
         parent = self.window(parent_id)
         if parent.win_class == INPUT_ONLY and win_class == INPUT_OUTPUT:
             raise BadMatch(parent_id, "InputOutput child of InputOnly window")
+        self.quotas.charge_window(client_id)
         window = Window(
             wid,
             parent,
@@ -556,6 +686,7 @@ class XServer:
             self.focus = self.focus_revert_to
         if self.active_grab and self.active_grab.window is window:
             self.active_grab = None
+        self.quotas.note_window_destroyed(window.owner, window.id)
         self.windows.pop(window.id, None)
 
     # ------------------------------------------------------------------
@@ -875,7 +1006,14 @@ class XServer:
         window = self.window(wid)
         if not self.atoms.exists(atom):
             raise BadAtom(atom)
+        # Two-phase quota charge: check before the property map is
+        # touched (a denial mutates nothing), commit only after the
+        # change succeeded (a BadMatch/BadValue never overcharges).
+        token = self.quotas.prepare_property(
+            client_id, wid, atom, fmt, data, mode
+        )
         window.properties.change(atom, type_atom, fmt, data, mode)
+        self.quotas.commit_property(client_id, wid, atom, token)
         self._deliver(
             window,
             ev.PropertyNotify(
@@ -894,6 +1032,7 @@ class XServer:
         self._tick()
         window = self.window(wid)
         if window.properties.delete(atom):
+            self.quotas.refund_property(wid, atom)
             self._deliver(
                 window,
                 ev.PropertyNotify(window=wid, atom=atom, state=ev.PROPERTY_DELETE),
@@ -1402,6 +1541,7 @@ class XServer:
     ) -> None:
         self._tick()
         window = self.window(wid)
+        self.quotas.charge_grab(client_id, self.grabs)
         self.grabs.add_button(
             PassiveGrab(
                 client=client_id,
@@ -1430,6 +1570,7 @@ class XServer:
     ) -> None:
         self._tick()
         window = self.window(wid)
+        self.quotas.charge_grab(client_id, self.grabs)
         self.grabs.add_key(
             PassiveKeyGrab(
                 client=client_id,

@@ -10,8 +10,19 @@ measurable rather than aspirational, the server keeps cheap counters:
   per event type and per client,
 - **coalesced**: events absorbed by the pipeline's coalescing stage
   (see :mod:`repro.xserver.pipeline`) instead of being delivered,
-- **dropped**: events discarded by a pipeline stage (today only the
-  fault-injection stage drops; see :mod:`repro.xserver.faults`),
+- **dropped**: events discarded by a pipeline stage — fault injection
+  (:mod:`repro.xserver.faults`), backpressure shedding
+  (:mod:`repro.xserver.quotas`), and events a client itself threw away
+  via ``ClientConnection.flush_events`` all land here,
+- **shed / force_coalesced / throttles**: the containment layer's
+  backpressure decisions (see :mod:`repro.xserver.quotas`): events shed
+  past the high-water mark (also counted in *dropped*), events
+  force-coalesced into an earlier queue entry, and clients throttled at
+  the hard cap / unthrottled after draining,
+- **quota_denials / quota_warnings**: per-client hard-limit breaches
+  (each one raised a ``QuotaExceeded`` to the offender) and soft-band
+  crossings, by resource kind,
+- **grabs_broken**: grabs the watchdog broke, by reason,
 - **injected_faults**: faults the installed
   :class:`~repro.xserver.faults.FaultPlan` actually applied, by kind,
 - **guarded_errors**: X errors the window manager absorbed through its
@@ -51,6 +62,20 @@ class ServerStats:
         self.injected: Counter = Counter()
         #: X errors absorbed by the WM's guarded() wrapper, by error name.
         self.guarded: Counter = Counter()
+        #: Events shed by the backpressure stage, by type / client / reason.
+        self.shed: Counter = Counter()
+        self.shed_by_client: Dict[int, Counter] = {}
+        self.shed_reasons: Counter = Counter()
+        #: Events force-coalesced into an earlier queue entry, by type.
+        self.force_coalesced: Counter = Counter()
+        #: Throttle transitions, per client.
+        self.throttles: Counter = Counter()
+        self.unthrottles: Counter = Counter()
+        #: Hard-quota denials and soft-band warnings: client -> kind count.
+        self.quota_denials: Dict[int, Counter] = {}
+        self.quota_warnings: Dict[int, Counter] = {}
+        #: Grabs broken by the watchdog, by reason.
+        self.grabs_broken: Counter = Counter()
         #: TreeCaches bundles registered by the server (one per screen).
         self._cache_trees: List = []
 
@@ -90,6 +115,38 @@ class ServerStats:
 
     def count_guarded(self, error_name: str) -> None:
         self.guarded[error_name] += 1
+
+    def count_shed(self, client_id: int, type_name: str, reason: str) -> None:
+        self.shed[type_name] += 1
+        per_client = self.shed_by_client.get(client_id)
+        if per_client is None:
+            per_client = self.shed_by_client[client_id] = Counter()
+        per_client[type_name] += 1
+        self.shed_reasons[reason] += 1
+
+    def count_force_coalesced(self, client_id: int, type_name: str) -> None:
+        self.force_coalesced[type_name] += 1
+
+    def count_throttled(self, client_id: int) -> None:
+        self.throttles[client_id] += 1
+
+    def count_unthrottled(self, client_id: int) -> None:
+        self.unthrottles[client_id] += 1
+
+    def count_quota_denied(self, client_id: int, kind: str) -> None:
+        per_client = self.quota_denials.get(client_id)
+        if per_client is None:
+            per_client = self.quota_denials[client_id] = Counter()
+        per_client[kind] += 1
+
+    def count_quota_warning(self, client_id: int, kind: str) -> None:
+        per_client = self.quota_warnings.get(client_id)
+        if per_client is None:
+            per_client = self.quota_warnings[client_id] = Counter()
+        per_client[kind] += 1
+
+    def count_grab_broken(self, reason: str) -> None:
+        self.grabs_broken[reason] += 1
 
     # -- querying ---------------------------------------------------------
 
@@ -158,6 +215,57 @@ class ServerStats:
             return sum(self.guarded.values())
         return self.guarded[error_name]
 
+    def shed_count(
+        self, type_name: Optional[str] = None, client_id: Optional[int] = None
+    ) -> int:
+        """Events shed by backpressure (a subset of dropped_count)."""
+        source = (
+            self.shed
+            if client_id is None
+            else self.shed_by_client.get(client_id, Counter())
+        )
+        if type_name is None:
+            return sum(source.values())
+        return source[type_name]
+
+    def throttle_count(self, client_id: Optional[int] = None) -> int:
+        """Throttled transitions (hard-cap breaches), optionally per client."""
+        if client_id is None:
+            return sum(self.throttles.values())
+        return self.throttles[client_id]
+
+    def quota_denied_count(
+        self, client_id: Optional[int] = None, kind: Optional[str] = None
+    ) -> int:
+        """Hard-quota denials, optionally narrowed by client and/or kind."""
+        sources = (
+            self.quota_denials.values()
+            if client_id is None
+            else [self.quota_denials.get(client_id, Counter())]
+        )
+        return sum(
+            sum(c.values()) if kind is None else c[kind] for c in sources
+        )
+
+    def quota_warning_count(
+        self, client_id: Optional[int] = None, kind: Optional[str] = None
+    ) -> int:
+        """Soft-band warnings, optionally narrowed by client and/or kind."""
+        sources = (
+            self.quota_warnings.values()
+            if client_id is None
+            else [self.quota_warnings.get(client_id, Counter())]
+        )
+        return sum(
+            sum(c.values()) if kind is None else c[kind] for c in sources
+        )
+
+    def grabs_broken_count(self, reason: Optional[str] = None) -> int:
+        """Grabs the watchdog broke, optionally by reason."""
+        if reason is None:
+            return sum(self.grabs_broken.values())
+        return self.grabs_broken[reason]
+
     # -- cache counters -----------------------------------------------------
 
     def cache_counters(self) -> Dict[str, Dict[str, int]]:
@@ -214,6 +322,23 @@ class ServerStats:
             "dropped": dict(self.dropped),
             "injected_faults": dict(self.injected),
             "guarded_errors": dict(self.guarded),
+            "quotas": {
+                "denials": {
+                    cid: dict(c) for cid, c in self.quota_denials.items()
+                },
+                "warnings": {
+                    cid: dict(c) for cid, c in self.quota_warnings.items()
+                },
+                "shed": dict(self.shed),
+                "shed_by_client": {
+                    cid: dict(c) for cid, c in self.shed_by_client.items()
+                },
+                "shed_reasons": dict(self.shed_reasons),
+                "force_coalesced": dict(self.force_coalesced),
+                "throttles": dict(self.throttles),
+                "unthrottles": dict(self.unthrottles),
+                "grabs_broken": dict(self.grabs_broken),
+            },
             "caches": self.cache_counters(),
         }
 
@@ -230,6 +355,15 @@ class ServerStats:
         self.dropped_by_client.clear()
         self.injected.clear()
         self.guarded.clear()
+        self.shed.clear()
+        self.shed_by_client.clear()
+        self.shed_reasons.clear()
+        self.force_coalesced.clear()
+        self.throttles.clear()
+        self.unthrottles.clear()
+        self.quota_denials.clear()
+        self.quota_warnings.clear()
+        self.grabs_broken.clear()
         for caches in self._cache_trees:
             caches.reset_counters()
 

@@ -20,13 +20,14 @@ from repro.clients import launch_command
 from repro.core.templates import ROOT_PANEL_TEMPLATE, load_template
 from repro.core.wm import Swm
 from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
-from repro.testing import assert_wm_consistent
-from repro.xserver import XServer
+from repro.testing import assert_quotas_enforced, assert_wm_consistent
+from repro.xserver import QuotaLimits, XServer
 from repro.xserver.errors import XError
 from repro.xserver.faults import (
     DELAY,
     DROP,
     ERROR,
+    FLOOD,
     KILL,
     STALE,
     ConnectionClosed,
@@ -306,6 +307,94 @@ def test_kill_during_manage_leaves_no_debris(tmp_path):
     probe = launch_command(server, ["xterm"])
     wm.process_pending()
     assert probe.wid in wm.managed
+
+
+def test_flooding_client_is_contained(chaos_seed, tmp_path):
+    """One client turns hostile mid-run (the FLOOD fault: property
+    rewrite + SendEvent storms fired from inside its own requests); the
+    WM and the other clients must not notice — no sheds or denials land
+    on them, their windows stay managed, and the oracles hold."""
+    server = XServer(
+        screens=[(1152, 900, 8)],
+        quota_limits=QuotaLimits(
+            max_property_bytes=4096, high_water=64,
+            low_water=16, hard_cap=128,
+        ),
+    )
+    wm = full_wm(server, str(tmp_path / "places"))
+    wm.process_pending()
+
+    flooder = launch_command(server, ["xterm"])
+    bystander = launch_command(server, ["xclock"])
+    wm.process_pending()
+
+    plan = FaultPlan(chaos_seed)
+    plan.rule(FLOOD, probability=0.3, burst=60,
+              clients=[flooder.conn.client_id], name="turncoat")
+    server.install_faults(plan)
+
+    rng = random.Random(chaos_seed)
+    for step in range(120):
+        # Both apps keep issuing ordinary requests; only the flooder's
+        # ever detonate the storm.
+        for app in (flooder, bystander):
+            try:
+                if rng.random() < 0.5:
+                    app.set_title(f"t{step}")
+                else:
+                    app.conn.raise_window(app.wid)
+            except (XError, ConnectionClosed):
+                pass
+            app.conn.events()  # well-behaved clients drain
+        wm.process_pending()
+
+    assert plan.injected(FLOOD) > 0, plan.counts
+    server.clear_faults()
+    wm.process_pending()
+    wm.reap_zombies()
+    wm.process_pending()
+
+    stats = server.stats()
+    # All containment fallout (if any) landed on the flooder alone.
+    for cid in (wm.conn.client_id, bystander.conn.client_id):
+        assert stats.quota_denied_count(cid) == 0
+        assert stats.shed_count(client_id=cid) == 0
+    assert bystander.conn.pending() < server.quotas.limits.high_water
+    assert bystander.wid in wm.managed
+    assert flooder.wid in wm.managed  # flooding != dying
+    assert_wm_consistent(wm)
+    assert_quotas_enforced(server)
+
+
+def test_flood_injection_is_replayable(chaos_seed, tmp_path):
+    """Same seed → the same storms fire at the same requests and the
+    same quota counters result."""
+
+    def run(tag):
+        server = XServer(
+            screens=[(1152, 900, 8)],
+            quota_limits=QuotaLimits(max_property_bytes=2048),
+        )
+        wm = full_wm(server, str(tmp_path / f"places-{tag}"))
+        wm.process_pending()
+        app = launch_command(server, ["xterm"])
+        wm.process_pending()
+        plan = FaultPlan(chaos_seed)
+        plan.rule(FLOOD, probability=0.25, burst=30,
+                  clients=[app.conn.client_id], name="turncoat")
+        server.install_faults(plan)
+        for step in range(60):
+            try:
+                app.set_title(f"t{step}")
+            except (XError, ConnectionClosed):
+                pass
+            wm.process_pending()
+        return (
+            [(f.serial, f.kind, f.target, f.detail) for f in plan.log],
+            server.stats().snapshot()["quotas"],
+        )
+
+    assert run("a") == run("b")
 
 
 def test_icon_window_stale_race_is_repaired(tmp_path):

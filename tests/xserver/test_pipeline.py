@@ -112,6 +112,55 @@ class TestCoalescingStage:
         assert not queue
 
 
+class TestStageManagement:
+    """add_stage placement and naming contracts."""
+
+    def make_stage(self, stage_name):
+        class Named(PipelineStage):
+            name = stage_name
+
+            def process(self, delivery):
+                pass
+
+        return Named()
+
+    def test_add_before_unknown_name_appends(self):
+        # Pinned behaviour: an unknown `before` is not an error — the
+        # stage lands at the end, where a misplaced instrumentation-ish
+        # stage is harmless.
+        pipe = EventPipeline([CoalescingStage()])
+        pipe.add_stage(self.make_stage("extra"), before="no-such-stage")
+        assert [s.name for s in pipe.stages] == ["coalesce", "extra"]
+
+    def test_add_before_existing_name_inserts(self):
+        pipe = EventPipeline([CoalescingStage()])
+        pipe.add_stage(self.make_stage("first"), before="coalesce")
+        assert [s.name for s in pipe.stages] == ["first", "coalesce"]
+
+    def test_duplicate_stage_name_rejected(self):
+        pipe = EventPipeline([CoalescingStage()])
+        with pytest.raises(ValueError, match="coalesce"):
+            pipe.add_stage(self.make_stage("coalesce"))
+        # The pipeline is unchanged after the rejection.
+        assert [s.name for s in pipe.stages] == ["coalesce"]
+
+    def test_remove_then_re_add_is_allowed(self):
+        pipe = EventPipeline([CoalescingStage()])
+        removed = pipe.remove_stage("coalesce")
+        assert removed is not None
+        pipe.add_stage(removed)
+        assert pipe.stage("coalesce") is removed
+
+    def test_default_client_pipeline_stage_order(self):
+        server = XServer(screens=[(1000, 800, 8)])
+        conn = ClientConnection(server, "app")
+        names = [s.name for s in conn.pipeline.stages]
+        # Backpressure must sit after coalescing (a tail-absorbed event
+        # needs no pressure response) and before instrumentation (so
+        # sheds are counted as drops).
+        assert names == ["faults", "coalesce", "backpressure", "stats"]
+
+
 class TestServerStats:
     def test_delivered_counts_match_drained_events(self, server, conn):
         wid = mapped_window(conn, event_mask=EventMask.PointerMotion)
