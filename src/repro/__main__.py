@@ -1,13 +1,21 @@
 """``python -m repro``: a guided tour of the reproduction.
 
-Runs a condensed version of the examples: boots the simulated server,
-starts swm with the Virtual Desktop, launches classic clients, shows
-the three figures, and performs a session save/restore roundtrip.
+With no arguments this runs a condensed version of the examples: boots
+the simulated server, starts swm with the Virtual Desktop, launches
+classic clients, shows the three figures, and performs a session
+save/restore roundtrip.
+
+Subcommands expose the wire layer::
+
+    python -m repro serve  --port 6600    # TCP X server, swm managing it
+    python -m repro connect --port 6600   # remote smoke-test client
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import time
 
 from . import Swm, XServer
 from .clients import NaiveApp, OClock, XClock, XTerm
@@ -16,7 +24,7 @@ from .figures import figure1_decoration, figure2_root_panel, figure3_panner
 from .session import Launcher, replay_places
 
 
-def main(argv=None) -> int:
+def demo() -> int:
     print(__doc__)
     server = XServer(screens=[(1152, 900, 8)])
     db = load_template("OpenLook+")
@@ -61,6 +69,95 @@ def main(argv=None) -> int:
     print(f"oclock restored at ({position.x}, {position.y}) — the paper's"
           " worked example (expected 1010, 359)")
     return 0
+
+
+def serve(host: str, port: int, with_wm: bool) -> int:
+    """Boot the simulated X server behind the TCP wire front and block
+    until interrupted.  Remote clients connect with ``TcpTransport`` (or
+    ``python -m repro connect``)."""
+    from .xserver.wire import WireServer
+
+    server = XServer(screens=[(1152, 900, 8)])
+    wm = None
+    if with_wm:
+        db = load_template("OpenLook+")
+        wm = Swm(server, db, places_path="/tmp/swm-serve.places")
+    with WireServer(server, host=host, port=port) as ws:
+        managed = "swm managing the root" if wm else "no window manager"
+        print(f"serving X on {ws.host}:{ws.port} ({managed})")
+        print("stop with Ctrl-C")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            if ws.errors:
+                print(f"loop errors: {ws.errors}", file=sys.stderr)
+                return 1
+    return 0
+
+
+def connect(host: str, port: int, name: str) -> int:
+    """Connect to a running ``serve`` instance, exercise the protocol
+    end to end, and print what came back over the wire."""
+    from .xserver import ClientConnection, EventMask
+    from .xserver.wire import TcpTransport
+
+    conn = ClientConnection(
+        name=name, transport=TcpTransport(host=host, port=port)
+    )
+    print(f"connected as client {conn.client_id} to {host}:{port}")
+    info = conn.screen_info()
+    print(f"screen 0: {info['width']}x{info['height']} root={info['root']}")
+    wid = conn.create_window(info["root"], 20, 20, 300, 200)
+    conn.select_input(wid, EventMask.StructureNotify | EventMask.Exposure)
+    conn.map_window(wid)
+    conn.set_string_property(wid, "WM_NAME", name)
+    print(f"created + mapped window {wid} "
+          f"(WM_NAME={conn.get_string_property(wid, 'WM_NAME')!r})")
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline and not conn.pending():
+        time.sleep(0.05)
+    for event in conn.flush_events():
+        print(f"  event: {event}")
+    geometry = conn.get_geometry(wid)
+    print(f"final geometry: {geometry}")
+    conn.close()
+    print("closed cleanly")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the simulated X server on a TCP port"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=6600)
+    serve_p.add_argument(
+        "--no-wm", action="store_true",
+        help="serve a bare X server without swm managing it",
+    )
+
+    connect_p = sub.add_parser(
+        "connect", help="smoke-test client against a running serve"
+    )
+    connect_p.add_argument("--host", default="127.0.0.1")
+    connect_p.add_argument("--port", type=int, default=6600)
+    connect_p.add_argument("--name", default="repro-connect")
+
+    opts = parser.parse_args(argv)
+    if opts.command == "serve":
+        return serve(opts.host, opts.port, with_wm=not opts.no_wm)
+    if opts.command == "connect":
+        return connect(opts.host, opts.port, opts.name)
+    return demo()
 
 
 if __name__ == "__main__":

@@ -2,31 +2,39 @@
 
 A :class:`ClientConnection` is what an application (or the window
 manager — swm is just a client, §1) holds.  It mints XIDs from its
-server-assigned range, issues requests under its own client id so
-redirect semantics apply, and drains its private event queue with
-``next_event`` / ``pending``.
+client-side range, issues requests under its own client id so redirect
+semantics apply, and drains its private event queue with ``next_event``
+/ ``pending``.
+
+Since the wire refactor the connection is a *transport-agnostic proxy*:
+every request and every drained event goes through a
+:class:`~repro.xserver.wire.transport.Transport`.  The default is the
+deterministic in-process :class:`LoopbackTransport` (constructed from a
+``server`` argument, so ``ClientConnection(server)`` works exactly as
+it always did); passing ``transport=TcpTransport(...)`` runs the same
+client code over a real socket.  The server-side half — client id, XID
+range, pipeline, quotas — lives in
+:class:`~repro.xserver.wire.transport.ServerConnection`, which is what
+``server.clients`` now holds.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from . import events as ev
 from .bitmap import Bitmap
-from .errors import BadWindow
 from .event_mask import EventMask
 from .faults import ConnectionClosed
-from .pipeline import DROP, EventPipeline
 from .properties import PROP_MODE_REPLACE, Property
 from .server import (
-    EventSink,
     FOCUS_POINTER_ROOT,
     SAVE_SET_DELETE,
     SAVE_SET_INSERT,
     XServer,
 )
 from .window import INPUT_OUTPUT
+from .wire.transport import LoopbackTransport, Transport
 from .xid import NONE
 
 
@@ -37,34 +45,52 @@ class QueueEmpty(IndexError):
     indexing bug."""
 
 
-class ClientConnection(EventSink):
-    """One client's connection to the simulated server."""
+class ClientConnection:
+    """One client's connection to the server, over some transport."""
 
     def __init__(
-        self, server: XServer, name: str = "client", coalesce: bool = True
+        self,
+        server: Optional[XServer] = None,
+        name: str = "client",
+        coalesce: bool = True,
+        transport: Optional[Transport] = None,
     ):
-        self.server = server
+        if transport is None:
+            if server is None:
+                raise TypeError(
+                    "ClientConnection needs a server (loopback) or a transport"
+                )
+            transport = LoopbackTransport(server)
+        self._transport = transport
         self.name = name
-        self.client_id, self._xids = server.register_client(self)
-        self._queue: Deque[ev.Event] = deque()
-        self.closed = False
-        #: Optional callbacks fired on queue_event, for clients that
-        #: behave reactively (the canned clients use this).
+        #: Optional callbacks fired for every event the queue accepted,
+        #: for clients that behave reactively (the canned clients use
+        #: this).  Never fired for dropped events.
         self.event_handlers: List[Callable[[ev.Event], None]] = []
-        #: Every delivered event flows through this pipeline (see
-        #: :mod:`repro.xserver.pipeline`): coalescing + instrumentation
-        #: by default; stages are pluggable per connection.
-        self.pipeline: EventPipeline = server.build_pipeline(self.client_id)
-        if not coalesce:
-            self.set_coalescing(False)
+        transport.connect(self, name, coalesce)
+        self.client_id = transport.client_id
+        self._xids = transport.xids
+        self._queue = transport.queue
+        #: The live server on loopback; None across a real wire.
+        self.server = transport.server
+        #: The shared delivery pipeline on loopback (stages are
+        #: pluggable per connection); None across a real wire, where
+        #: the pipeline runs server-side.
+        self.pipeline = transport.pipeline
+        self.closed = False
 
     # -- connection lifecycle -------------------------------------------------
 
     def close(self) -> None:
-        """Close the connection (client exit / kill)."""
-        if not self.closed:
-            self.server.close_client(self.client_id)
-            self.closed = True
+        """Close the connection (client exit / kill).  After a
+        *server-side* teardown (fault KILL, ``abandon_client``) this is
+        a pure no-op: the server already ran teardown once, and a
+        voluntary close must not re-enter ``close_client`` for a dead
+        id."""
+        if self.closed:
+            return
+        self.closed = True
+        self._transport.close()
 
     def is_alive(self) -> bool:
         """True while the server still holds this connection.  The
@@ -72,10 +98,7 @@ class ClientConnection(EventSink):
         (fault injection, server reset); ``closed`` only tracks
         *voluntary* close() calls, so check this before reusing a
         connection that may have died mid-protocol."""
-        return (
-            not self.closed
-            and self.server.clients.get(self.client_id) is self
-        )
+        return not self.closed and self._transport.is_alive()
 
     def _check_alive(self) -> None:
         """Fail fast before issuing a request on a dead connection.
@@ -90,44 +113,54 @@ class ClientConnection(EventSink):
     def __repr__(self) -> str:
         return f"<ClientConnection {self.name!r} id={self.client_id}>"
 
+    def _request(self, name: str, *args, **kwargs):
+        return self._transport.request(name, args, kwargs)
+
     # -- event queue ---------------------------------------------------------
 
     def queue_event(self, event: ev.Event) -> None:
-        """Deliver *event* through the pipeline into the queue.
+        """Deliver *event* as if the server sent it.  On loopback this
+        runs the full server-side pipeline (tests inject events this
+        way); across a wire it lands directly on the local mirror
+        queue."""
+        deliver = getattr(self._transport, "deliver_local", None)
+        if deliver is not None:
+            deliver(event)
+        else:
+            self._queue.append(event)
+            self._dispatch_event(event)
 
-        Handlers are notified for every event the queue accepted
-        (appended or coalesced into the tail) — never for dropped
-        events.  Iteration works on a snapshot, so a handler may
-        safely add or remove handlers (including itself) without
-        skipping or double-running the others.
-        """
-        if self.pipeline.deliver(event, self._queue, self.client_id) == DROP:
-            return
+    def _dispatch_event(self, event: ev.Event) -> None:
+        """Fire handlers for one accepted event.  Iteration works on a
+        snapshot, so a handler may safely add or remove handlers
+        (including itself) without skipping or double-running the
+        others."""
         for handler in tuple(self.event_handlers):
             handler(event)
 
     def set_coalescing(self, enabled: bool) -> None:
         """Enable/disable event coalescing for this connection (the
         per-client opt-out; coalescing is on by default)."""
-        stage = self.pipeline.stage("coalesce")
-        if stage is not None:
-            stage.enabled = enabled
+        self._transport.set_coalescing(enabled)
 
     def pending(self) -> int:
+        self._transport.pump()
         return len(self._queue)
 
     def next_event(self) -> ev.Event:
+        self._transport.pump()
         if not self._queue:
             raise QueueEmpty("no pending events")
         event = self._queue.popleft()
-        self.server.quotas.note_drained(self.client_id, len(self._queue))
+        self._transport.note_drained(len(self._queue))
         return event
 
     def events(self) -> List[ev.Event]:
         """Drain and return all pending events, oldest first."""
+        self._transport.pump()
         drained = list(self._queue)
         self._queue.clear()
-        self.server.quotas.note_drained(self.client_id, 0)
+        self._transport.note_drained(0)
         return drained
 
     def flush_events(self, of_type=None) -> List[ev.Event]:
@@ -136,41 +169,53 @@ class ClientConnection(EventSink):
         None.  Non-matching events are discarded — the discards are
         counted through the instrumentation stage's dropped counter
         (``stats().dropped_count(...)``), so events a client threw away
-        itself are visible in the same place as pipeline losses.  The
-        retained events keep their relative delivery order (oldest
-        first) — callers rely on this to assert on event sequences."""
+        itself are visible in the same place as pipeline losses,
+        identically over loopback and TCP.  The retained events keep
+        their relative delivery order (oldest first) — callers rely on
+        this to assert on event sequences."""
         drained = self.events()
         if of_type is None:
             return drained
-        kept = []
-        stage = self.pipeline.stage("stats")
+        kept: List[ev.Event] = []
+        discarded: List[str] = []
         for event in drained:
             if isinstance(event, of_type):
                 kept.append(event)
-            elif stage is not None and stage.enabled:
-                stage.stats.count_dropped(
-                    self.client_id, type(event).__name__
-                )
+            else:
+                discarded.append(type(event).__name__)
+        if discarded:
+            self._transport.count_discards(discarded)
         return kept
 
     # -- atoms -----------------------------------------------------------------
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> Optional[int]:
-        return self.server.atoms.intern(name, only_if_exists)
+        return self._request("intern_atom", name, only_if_exists)
 
     def get_atom_name(self, atom: int) -> str:
-        return self.server.atoms.name(atom)
+        return self._request("get_atom_name", atom)
 
     # -- screens ------------------------------------------------------------------
 
     @property
     def screen_count(self) -> int:
-        return len(self.server.screens)
+        return self._request("screen_count")
 
     def root_window(self, screen: int = 0) -> int:
-        return self.server.root_of_screen(screen).id
+        return self._request("root_window", screen)
+
+    def screen_info(self, number: int = 0) -> dict:
+        """Screen geometry as plain data (works over any transport)."""
+        return self._request("screen_info", number)
 
     def screen(self, number: int = 0):
+        """The live :class:`Screen` object — loopback only; remote
+        clients use :meth:`screen_info`."""
+        if self.server is None:
+            raise RuntimeError(
+                "live Screen objects are not available over a wire "
+                "transport; use screen_info()"
+            )
         return self.server.screens[number]
 
     # -- window requests -------------------------------------------------------------
@@ -191,8 +236,8 @@ class ClientConnection(EventSink):
     ) -> int:
         self._check_alive()
         wid = self._xids.allocate()
-        self.server.create_window(
-            self.client_id,
+        self._request(
+            "create_window",
             wid,
             parent,
             x,
@@ -210,27 +255,27 @@ class ClientConnection(EventSink):
 
     def destroy_window(self, wid: int) -> None:
         self._check_alive()
-        self.server.destroy_window(self.client_id, wid)
+        self._request("destroy_window", wid)
 
     def destroy_subwindows(self, wid: int) -> None:
         self._check_alive()
-        self.server.destroy_subwindows(self.client_id, wid)
+        self._request("destroy_subwindows", wid)
 
     def map_window(self, wid: int) -> bool:
         self._check_alive()
-        return self.server.map_window(self.client_id, wid)
+        return self._request("map_window", wid)
 
     def map_subwindows(self, wid: int) -> None:
         self._check_alive()
-        self.server.map_subwindows(self.client_id, wid)
+        self._request("map_subwindows", wid)
 
     def unmap_window(self, wid: int) -> None:
         self._check_alive()
-        self.server.unmap_window(self.client_id, wid)
+        self._request("unmap_window", wid)
 
     def reparent_window(self, wid: int, parent: int, x: int, y: int) -> None:
         self._check_alive()
-        self.server.reparent_window(self.client_id, wid, parent, x, y)
+        self._request("reparent_window", wid, parent, x, y)
 
     def configure_window(self, wid: int, **kwargs) -> bool:
         """ConfigureWindow with keyword arguments (x, y, width, height,
@@ -254,9 +299,7 @@ class ClientConnection(EventSink):
                 raise TypeError(f"unknown configure argument {key!r}")
             mask |= bits[key]
             values[key] = value
-        return self.server.configure_window(
-            self.client_id, wid, mask, **values
-        )
+        return self._request("configure_window", wid, mask, **values)
 
     def move_window(self, wid: int, x: int, y: int) -> bool:
         return self.configure_window(wid, x=x, y=y)
@@ -277,17 +320,15 @@ class ClientConnection(EventSink):
 
     def circulate_window(self, wid: int, direction: int) -> None:
         self._check_alive()
-        self.server.circulate_window(self.client_id, wid, direction)
+        self._request("circulate_window", wid, direction)
 
     def select_input(self, wid: int, mask: EventMask) -> None:
         self._check_alive()
-        self.server.change_window_attributes(
-            self.client_id, wid, event_mask=mask
-        )
+        self._request("change_window_attributes", wid, event_mask=mask)
 
     def change_window_attributes(self, wid: int, **kwargs) -> None:
         self._check_alive()
-        self.server.change_window_attributes(self.client_id, wid, **kwargs)
+        self._request("change_window_attributes", wid, **kwargs)
 
     # -- properties ------------------------------------------------------------------
 
@@ -303,21 +344,17 @@ class ClientConnection(EventSink):
         self._check_alive()
         atom = self._resolve_atom(atom)
         type_atom = self._resolve_atom(type_atom)
-        self.server.change_property(
-            self.client_id, wid, atom, type_atom, fmt, data, mode
-        )
+        self._request("change_property", wid, atom, type_atom, fmt, data, mode)
 
     def get_property(self, wid: int, atom) -> Optional[Property]:
-        return self.server.get_property(
-            self.client_id, wid, self._resolve_atom(atom)
-        )
+        return self._request("get_property", wid, self._resolve_atom(atom))
 
     def delete_property(self, wid: int, atom) -> None:
         self._check_alive()
-        self.server.delete_property(self.client_id, wid, self._resolve_atom(atom))
+        self._request("delete_property", wid, self._resolve_atom(atom))
 
     def list_properties(self, wid: int) -> List[int]:
-        return self.server.list_properties(self.client_id, wid)
+        return self._request("list_properties", wid)
 
     def set_string_property(self, wid: int, atom, value: str, type_atom="STRING") -> None:
         self.change_property(wid, atom, type_atom, 8, value)
@@ -330,7 +367,7 @@ class ClientConnection(EventSink):
 
     def _resolve_atom(self, atom) -> int:
         if isinstance(atom, str):
-            return self.server.atoms.intern(atom)
+            return self._request("intern_atom", atom, False)
         return atom
 
     # -- send event --------------------------------------------------------------------
@@ -343,52 +380,46 @@ class ClientConnection(EventSink):
         propagate: bool = False,
     ) -> None:
         self._check_alive()
-        self.server.send_event(
-            self.client_id, destination, event, event_mask, propagate
-        )
+        self._request("send_event", destination, event, event_mask, propagate)
 
     # -- queries --------------------------------------------------------------------------
 
     def query_tree(self, wid: int) -> Tuple[int, int, List[int]]:
-        return self.server.query_tree(wid)
+        return self._request("query_tree", wid)
 
     def get_geometry(self, wid: int) -> Tuple[int, int, int, int, int]:
-        return self.server.get_geometry(wid)
+        return self._request("get_geometry", wid)
 
     def get_window_attributes(self, wid: int) -> dict:
-        return self.server.get_window_attributes(wid)
+        return self._request("get_window_attributes", wid)
 
     def translate_coordinates(
         self, src: int, dst: int, x: int, y: int
     ) -> Tuple[int, int, int]:
-        return self.server.translate_coordinates(src, dst, x, y)
+        return self._request("translate_coordinates", src, dst, x, y)
 
     def query_pointer(self, wid: int) -> dict:
-        return self.server.query_pointer(wid)
+        return self._request("query_pointer", wid)
 
     def window_exists(self, wid: int) -> bool:
-        try:
-            self.server.window(wid)
-            return True
-        except BadWindow:
-            return False
+        return self._request("window_exists", wid)
 
     # -- focus / save set --------------------------------------------------------------------
 
     def set_input_focus(self, focus: int, revert_to: int = FOCUS_POINTER_ROOT) -> None:
         self._check_alive()
-        self.server.set_input_focus(self.client_id, focus, revert_to)
+        self._request("set_input_focus", focus, revert_to)
 
     def get_input_focus(self) -> Tuple[int, int]:
-        return self.server.get_input_focus()
+        return self._request("get_input_focus")
 
     def add_to_save_set(self, wid: int) -> None:
         self._check_alive()
-        self.server.change_save_set(self.client_id, wid, SAVE_SET_INSERT)
+        self._request("change_save_set", wid, SAVE_SET_INSERT)
 
     def remove_from_save_set(self, wid: int) -> None:
         self._check_alive()
-        self.server.change_save_set(self.client_id, wid, SAVE_SET_DELETE)
+        self._request("change_save_set", wid, SAVE_SET_DELETE)
 
     # -- grabs -----------------------------------------------------------------------------------
 
@@ -400,13 +431,13 @@ class ClientConnection(EventSink):
         cursor: Optional[str] = None,
     ) -> int:
         self._check_alive()
-        return self.server.grab_pointer(
-            self.client_id, wid, event_mask, owner_events, cursor
+        return self._request(
+            "grab_pointer", wid, event_mask, owner_events, cursor
         )
 
     def ungrab_pointer(self) -> None:
         self._check_alive()
-        self.server.ungrab_pointer(self.client_id)
+        self._request("ungrab_pointer")
 
     def grab_button(
         self,
@@ -418,25 +449,24 @@ class ClientConnection(EventSink):
         cursor: Optional[str] = None,
     ) -> None:
         self._check_alive()
-        self.server.grab_button(
-            self.client_id, wid, button, modifiers, event_mask, owner_events, cursor
+        self._request(
+            "grab_button", wid, button, modifiers, event_mask,
+            owner_events, cursor,
         )
 
     def ungrab_button(self, wid: int, button: int, modifiers: int) -> None:
         self._check_alive()
-        self.server.ungrab_button(self.client_id, wid, button, modifiers)
+        self._request("ungrab_button", wid, button, modifiers)
 
     def grab_key(
         self, wid: int, keysym: str, modifiers: int, owner_events: bool = False
     ) -> None:
         self._check_alive()
-        self.server.grab_key(
-            self.client_id, wid, keysym, modifiers, owner_events
-        )
+        self._request("grab_key", wid, keysym, modifiers, owner_events)
 
     def warp_pointer(self, dst: int, x: int, y: int) -> None:
         self._check_alive()
-        self.server.warp_pointer(self.client_id, dst, x, y)
+        self._request("warp_pointer", dst, x, y)
 
     # -- SHAPE ------------------------------------------------------------------------------------
 
@@ -444,9 +474,9 @@ class ClientConnection(EventSink):
         self, wid: int, mask: Optional[Bitmap], x_offset: int = 0, y_offset: int = 0
     ) -> None:
         self._check_alive()
-        self.server.shape_set_mask(
-            self.client_id, wid, mask, x_offset=x_offset, y_offset=y_offset
+        self._request(
+            "shape_set_mask", wid, mask, x_offset=x_offset, y_offset=y_offset
         )
 
     def window_is_shaped(self, wid: int) -> bool:
-        return self.server.window_is_shaped(wid)
+        return self._request("window_is_shaped", wid)

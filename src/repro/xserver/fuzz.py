@@ -273,4 +273,95 @@ class ProtocolFuzzer:
             conn.change_property(root, "FUZZ_BAD", "STRING", 12, "x")  # bad fmt
 
 
-__all__ = ["ATTACKS", "HostileClient", "ProtocolFuzzer"]
+
+# ----------------------------------------------------------------------
+# Wire-level corpus: malformed frames
+# ----------------------------------------------------------------------
+
+#: Corpus families produced by :func:`malformed_frames`.
+FRAME_ATTACKS = (
+    "truncated_header",
+    "truncated_payload",
+    "oversized_length",
+    "short_length",
+    "bad_version",
+    "bad_kind",
+    "garbage_opcode",
+    "garbage_payload",
+    "random_noise",
+)
+
+
+def malformed_frames(rng: Optional[random.Random] = None):
+    """A corpus of byte strings no correct peer would ever send, one or
+    more per :data:`FRAME_ATTACKS` family: truncated prefixes, length
+    fields past the cap or shorter than a header, unknown wire
+    versions and frame kinds, garbage opcodes inside well-formed
+    frames, undecodable payloads, and plain noise.
+
+    Returns ``(label, data)`` pairs.  The fixed entries are
+    deterministic; passing a seeded ``rng`` appends reproducible random
+    noise on top.  Feeding any entry to a
+    :class:`~repro.xserver.wire.frames.FrameDecoder` or a live wire
+    server must produce a protocol error (and at most a dropped
+    connection) — never a crash.  The wire tests and the TCP
+    integration test both chew through this corpus.
+    """
+    import struct
+
+    from .wire.codec import encode_request, encode_value
+    from .wire.frames import (
+        HELLO,
+        MAX_FRAME_SIZE,
+        REQUEST,
+        WIRE_VERSION,
+        encode_frame,
+    )
+
+    def raw(length: int, version: int, kind: int, opcode: int,
+            payload: bytes = b"") -> bytes:
+        return struct.pack(">IBBH", length, version, kind, opcode) + payload
+
+    hello = encode_frame(HELLO, 0, encode_value({"name": "fuzz"}))
+    opcode, payload = encode_request("map_window", (1,), {})
+    request = encode_frame(REQUEST, opcode, payload)
+
+    corpus = [
+        ("truncated_header", hello[:3]),
+        ("truncated_header", request[:7]),
+        ("truncated_payload", request[:-2]),
+        ("oversized_length", struct.pack(">I", MAX_FRAME_SIZE + 1)),
+        ("oversized_length", struct.pack(">I", 0xFFFFFFFF) + b"\x01" * 16),
+        ("short_length", raw(0, WIRE_VERSION, REQUEST, opcode)),
+        ("short_length", raw(3, WIRE_VERSION, REQUEST, opcode)),
+        ("bad_version", raw(4 + len(payload), 0, REQUEST, opcode, payload)),
+        ("bad_version", raw(4 + len(payload), 99, REQUEST, opcode, payload)),
+        ("bad_kind", raw(4 + len(payload), WIRE_VERSION, 0, opcode, payload)),
+        ("bad_kind", raw(4 + len(payload), WIRE_VERSION, 77, opcode, payload)),
+        ("garbage_opcode",
+         raw(4 + len(payload), WIRE_VERSION, REQUEST, 0xBEEF, payload)),
+        ("garbage_opcode",
+         raw(4 + len(payload), WIRE_VERSION, REQUEST, 0, payload)),
+        ("garbage_payload",
+         raw(4 + 7, WIRE_VERSION, REQUEST, opcode, b"\xff" * 7)),
+        ("garbage_payload",
+         raw(4 + 1, WIRE_VERSION, HELLO, 0, b"\xfe")),
+        ("random_noise", b"GET / HTTP/1.1\r\n\r\n"),
+        ("random_noise", b"\x00" * 64),
+    ]
+    if rng is not None:
+        for _ in range(8):
+            corpus.append((
+                "random_noise",
+                bytes(rng.randrange(256) for _ in range(rng.randrange(1, 48))),
+            ))
+    return corpus
+
+
+__all__ = [
+    "ATTACKS",
+    "FRAME_ATTACKS",
+    "HostileClient",
+    "ProtocolFuzzer",
+    "malformed_frames",
+]

@@ -165,7 +165,8 @@ class XServer:
             return
         # Deregister first: a closing client must not receive (and
         # react to) the events its own teardown generates.
-        del self.clients[client_id]
+        sink = self.clients.pop(client_id)
+        sink.connection_closed()
         save_set = self.save_sets.get(client_id, set())
         for wid in list(save_set):
             window = self.windows.get(wid)
@@ -210,7 +211,8 @@ class XServer:
         for."""
         if client_id not in self.clients:
             return
-        del self.clients[client_id]
+        sink = self.clients.pop(client_id)
+        sink.connection_closed()
         self.grabs.drop_client(client_id)
         if self.active_grab and self.active_grab.client == client_id:
             self.active_grab = None
@@ -1635,3 +1637,9 @@ class EventSink:
 
     def queue_event(self, event: ev.Event) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def connection_closed(self) -> None:
+        """Server-side teardown notification (``close_client`` /
+        ``abandon_client``): the sink is no longer registered and will
+        receive no further events.  Wire transports close their socket
+        here; the default is a no-op."""

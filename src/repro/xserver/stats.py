@@ -76,6 +76,11 @@ class ServerStats:
         self.quota_warnings: Dict[int, Counter] = {}
         #: Grabs broken by the watchdog, by reason.
         self.grabs_broken: Counter = Counter()
+        #: Per-transport wire counters ("loopback", "tcp", ...):
+        #: frames_in/out, bytes_in/out, write pauses/resumes (the TCP
+        #: shadow of BackpressureStage throttling) and protocol_errors
+        #: (malformed frames a peer sent).
+        self.wire: Dict[str, Counter] = {}
         #: TreeCaches bundles registered by the server (one per screen).
         self._cache_trees: List = []
 
@@ -147,6 +152,12 @@ class ServerStats:
 
     def count_grab_broken(self, reason: str) -> None:
         self.grabs_broken[reason] += 1
+
+    def count_wire(self, transport: str, key: str, amount: int = 1) -> None:
+        counter = self.wire.get(transport)
+        if counter is None:
+            counter = self.wire[transport] = Counter()
+        counter[key] += amount
 
     # -- querying ---------------------------------------------------------
 
@@ -266,6 +277,22 @@ class ServerStats:
             return sum(self.grabs_broken.values())
         return self.grabs_broken[reason]
 
+    def wire_count(
+        self, transport: Optional[str] = None, key: Optional[str] = None
+    ) -> int:
+        """Wire-layer counters, optionally narrowed by transport name
+        ("loopback", "tcp") and/or counter key (``frames_in``,
+        ``frames_out``, ``bytes_in``, ``bytes_out``, ``pauses``,
+        ``resumes``, ``protocol_errors``)."""
+        sources = (
+            self.wire.values()
+            if transport is None
+            else [self.wire.get(transport, Counter())]
+        )
+        return sum(
+            sum(c.values()) if key is None else c[key] for c in sources
+        )
+
     # -- cache counters -----------------------------------------------------
 
     def cache_counters(self) -> Dict[str, Dict[str, int]]:
@@ -339,6 +366,7 @@ class ServerStats:
                 "unthrottles": dict(self.unthrottles),
                 "grabs_broken": dict(self.grabs_broken),
             },
+            "wire": {name: dict(c) for name, c in self.wire.items()},
             "caches": self.cache_counters(),
         }
 
@@ -364,6 +392,7 @@ class ServerStats:
         self.quota_denials.clear()
         self.quota_warnings.clear()
         self.grabs_broken.clear()
+        self.wire.clear()
         for caches in self._cache_trees:
             caches.reset_counters()
 

@@ -1,0 +1,95 @@
+"""The wire layer: serialize the protocol onto real transports.
+
+Until this package existed the "protocol" between a client and the
+simulated server was a synchronous in-process call graph.  The wire
+layer splits that into three sub-layers, mirroring how swm itself is
+"just a client" (§1 of the paper) talking X protocol over a socket:
+
+- :mod:`repro.xserver.wire.frames` — a versioned, length-prefixed
+  binary framing (frame = length, version, kind, opcode, payload) with
+  an incremental :class:`FrameDecoder`;
+- :mod:`repro.xserver.wire.codec` — serializes every request in the
+  :class:`~repro.xserver.client.ClientConnection` surface and every
+  :class:`~repro.xserver.events.Event` subclass to/from frames.
+  Round-trips are exact (tuple/list, EventMask, Bitmap and Property
+  types all survive); unknown opcodes raise
+  :class:`WireProtocolError`, never crash;
+- :mod:`repro.xserver.wire.transport` /
+  :mod:`repro.xserver.wire.tcp` — the :class:`Transport` interface
+  with the deterministic zero-latency :class:`LoopbackTransport`
+  (default; chaos/fuzz seed replay stays bit-identical) and the real
+  asyncio :class:`~repro.xserver.wire.tcp.WireServer` +
+  :class:`~repro.xserver.wire.tcp.TcpTransport` pair, where
+  BackpressureStage water marks become actual TCP flow control.
+"""
+
+from .codec import (
+    EVENT_OPCODES,
+    REQUEST_OPCODES,
+    decode_error,
+    decode_event,
+    decode_request,
+    decode_value,
+    encode_error,
+    encode_event,
+    encode_request,
+    encode_value,
+)
+from .frames import (
+    ERROR,
+    EVENT,
+    FRAME_KINDS,
+    HEADER_SIZE,
+    HELLO,
+    MAX_FRAME_SIZE,
+    REPLY,
+    REQUEST,
+    WELCOME,
+    WIRE_VERSION,
+    Frame,
+    FrameDecoder,
+    WireError,
+    WireProtocolError,
+    encode_frame,
+)
+from .transport import (
+    LoopbackTransport,
+    ServerConnection,
+    Transport,
+    dispatch_request,
+)
+from .tcp import TcpTransport, WireServer
+
+__all__ = [
+    "ERROR",
+    "EVENT",
+    "EVENT_OPCODES",
+    "FRAME_KINDS",
+    "Frame",
+    "FrameDecoder",
+    "HEADER_SIZE",
+    "HELLO",
+    "LoopbackTransport",
+    "MAX_FRAME_SIZE",
+    "REPLY",
+    "REQUEST",
+    "REQUEST_OPCODES",
+    "ServerConnection",
+    "TcpTransport",
+    "Transport",
+    "WELCOME",
+    "WIRE_VERSION",
+    "WireError",
+    "WireProtocolError",
+    "WireServer",
+    "decode_error",
+    "decode_event",
+    "decode_request",
+    "decode_value",
+    "dispatch_request",
+    "encode_error",
+    "encode_event",
+    "encode_frame",
+    "encode_request",
+    "encode_value",
+]

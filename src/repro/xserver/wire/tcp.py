@@ -1,0 +1,526 @@
+"""Real sockets: an asyncio wire server and a blocking TCP transport.
+
+:class:`WireServer` fronts one :class:`~repro.xserver.server.XServer`
+with an asyncio TCP acceptor.  Every accepted socket speaks the frame
+protocol from :mod:`repro.xserver.wire.frames`: a HELLO handshake mints
+a server-side :class:`~repro.xserver.wire.transport.ServerConnection`,
+REQUEST frames decode into :func:`dispatch_request` calls on the
+single-threaded event loop (so the server's synchronous internals —
+``_tick`` fault injection, quotas, caches — run exactly as they do
+in-process), and accepted events are encoded back as EVENT frames.
+
+Backpressure becomes real flow control: the connection's event flusher
+stops writing while asyncio reports the socket write buffer over its
+high-water mark (``pause_writing``), the server-side queue then grows,
+and the pipeline's ``BackpressureStage`` sheds and throttles exactly as
+it would for a slow in-process reader.  Pauses/resumes are visible in
+``server.stats()`` under the ``tcp`` wire counters.
+
+:class:`TcpTransport` is the client half: a plain blocking socket
+(Xlib-style — requests are synchronous round-trips; EVENT frames that
+arrive interleaved are stashed on the local queue), pluggable into
+:class:`~repro.xserver.client.ClientConnection` via ``transport=``.
+
+Malformed frames — truncated, oversized, bad version, garbage opcodes
+(the corpus in :mod:`repro.xserver.fuzz`) — produce an ERROR frame
+and/or a dropped connection, never an unhandled exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, List, Optional, Tuple
+
+from .. import events as ev
+from ..errors import XError
+from ..faults import ConnectionClosed, WMCrash
+from ..quotas import QuotaExceeded
+from ..server import XServer
+from ..xid import XIDRange
+from .codec import (
+    decode_error,
+    decode_event,
+    decode_request,
+    decode_value,
+    encode_error,
+    encode_event,
+    encode_request,
+    encode_value,
+)
+from .frames import (
+    ERROR,
+    EVENT,
+    HELLO,
+    REPLY,
+    REQUEST,
+    WELCOME,
+    Frame,
+    FrameDecoder,
+    WireError,
+    WireProtocolError,
+    encode_frame,
+)
+from .transport import ServerConnection, Transport, dispatch_request
+
+#: Errors a request may legitimately raise; anything else is a server
+#: bug and lands in ``WireServer.errors``.
+_REQUEST_ERRORS = (XError, ConnectionClosed, WMCrash, QuotaExceeded)
+
+
+class _WireProtocol(asyncio.Protocol):
+    """One accepted client socket."""
+
+    def __init__(self, wire: "WireServer"):
+        self.wire = wire
+        self.server = wire.server
+        self._stats = wire.server.stats()
+        self.record: Optional[ServerConnection] = None
+        self.transport: Optional[asyncio.Transport] = None
+        self._decoder = FrameDecoder()
+        self._paused = False
+        self._closing = False
+
+    # -- asyncio callbacks ------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None and self.wire.sndbuf:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, self.wire.sndbuf
+            )
+        transport.set_write_buffer_limits(high=self.wire.write_high_water)
+        self.wire._protocols.add(self)
+
+    def connection_lost(self, exc) -> None:
+        self.wire._protocols.discard(self)
+        self._closing = True
+        record = self.record
+        self.record = None
+        if record is not None and record.registered():
+            record.on_event = None
+            record.on_closed = None
+            try:
+                self.server.close_client(record.client_id)
+            except Exception as err:  # server bug — surface, don't hide
+                self.wire.errors.append(err)
+
+    def pause_writing(self) -> None:
+        self._paused = True
+        self._stats.count_wire("tcp", "pauses")
+
+    def resume_writing(self) -> None:
+        self._paused = False
+        self._stats.count_wire("tcp", "resumes")
+        self._flush_events()
+
+    def data_received(self, data: bytes) -> None:
+        self._stats.count_wire("tcp", "bytes_in", len(data))
+        try:
+            frames = self._decoder.feed(data)
+        except WireProtocolError as err:
+            self._protocol_error(err)
+            return
+        for frame in frames:
+            if self._closing:
+                return
+            self._stats.count_wire("tcp", "frames_in")
+            try:
+                self._handle_frame(frame)
+            except WireProtocolError as err:
+                self._protocol_error(err)
+                return
+            except Exception as err:  # pragma: no cover - server bug
+                self.wire.errors.append(err)
+                self._protocol_error(
+                    WireProtocolError(f"internal error: {type(err).__name__}")
+                )
+                return
+
+    # -- frame handling ---------------------------------------------------
+
+    def _handle_frame(self, frame: Frame) -> None:
+        if self.record is None:
+            if frame.kind != HELLO:
+                raise WireProtocolError(
+                    f"expected HELLO, got frame kind {frame.kind}"
+                )
+            hello = decode_value(frame.payload)
+            if not isinstance(hello, dict):
+                raise WireProtocolError("malformed HELLO payload")
+            record = ServerConnection(
+                self.server,
+                name=str(hello.get("name", "tcp-client")),
+                coalesce=bool(hello.get("coalesce", True)),
+            )
+            record.on_event = self._on_event
+            record.on_closed = self._on_server_closed
+            self.record = record
+            self._send(WELCOME, 0, encode_value({
+                "client_id": record.client_id,
+                "xid_base": record.xids.base,
+            }))
+            return
+        if frame.kind != REQUEST:
+            raise WireProtocolError(
+                f"unexpected frame kind {frame.kind} from client"
+            )
+        name, args, kwargs = decode_request(frame.opcode, frame.payload)
+        try:
+            result = dispatch_request(
+                self.server, self.record, name, args, kwargs
+            )
+        except _REQUEST_ERRORS as err:
+            self._send(ERROR, frame.opcode, encode_error(err))
+        else:
+            self._send(REPLY, frame.opcode, encode_value(result))
+        self._flush_events()
+
+    def _on_event(self, event: ev.Event) -> None:
+        self._flush_events()
+
+    def _flush_events(self) -> None:
+        """Drain the record's queue to the socket while it is writable.
+        While paused (write buffer over the high-water mark) events stay
+        queued server-side, where BackpressureStage bounds the queue —
+        the water marks become actual TCP flow control."""
+        record = self.record
+        if record is None or self._closing:
+            return
+        queue = record._queue
+        wrote = False
+        while queue and not self._paused:
+            event = queue.popleft()
+            opcode, payload = encode_event(event)
+            self._send(EVENT, opcode, payload)
+            wrote = True
+        if wrote and record.registered():
+            # The socket is this client's reader: writing events out is
+            # the drain the quota watchdog wants to see (the client-side
+            # proxy does NOT report drains — that would double-count).
+            record.note_drained(len(queue))
+
+    def _on_server_closed(self) -> None:
+        """The server tore this client down (voluntary close request,
+        fault KILL, abandon): flush and drop the socket."""
+        self._flush_events()
+        self._closing = True
+        self.record = None
+        if self.transport is not None:
+            self.transport.close()
+
+    def _protocol_error(self, err: WireProtocolError) -> None:
+        self._stats.count_wire("tcp", "protocol_errors")
+        if not self._closing and self.transport is not None:
+            try:
+                self._send(ERROR, 0, encode_error(err))
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._closing = True
+        if self.transport is not None:
+            self.transport.close()
+
+    def _send(self, kind: int, opcode: int, payload: bytes) -> None:
+        if self._closing or self.transport is None:
+            return
+        data = encode_frame(kind, opcode, payload)
+        self.transport.write(data)
+        self._stats.count_wire("tcp", "frames_out")
+        self._stats.count_wire("tcp", "bytes_out", len(data))
+
+
+class WireServer:
+    """Asyncio TCP front for an :class:`XServer`.
+
+    Runs its event loop on a dedicated thread (``start()`` /
+    ``stop()``, or use it as a context manager), so tests and the
+    ``python -m repro serve`` CLI can drive it alongside blocking
+    clients.  All XServer access happens on the loop thread; use
+    :meth:`call` to run server inspections there from other threads.
+    """
+
+    def __init__(
+        self,
+        server: XServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        write_high_water: int = 64 * 1024,
+        sndbuf: Optional[int] = None,
+    ):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.write_high_water = write_high_water
+        self.sndbuf = sndbuf
+        #: Unhandled exceptions (server bugs): must stay empty.
+        self.errors: List[BaseException] = []
+        self._protocols: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="wire-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise WireError("wire server failed to start in time")
+        return self.host, self.port
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        def shutdown() -> None:
+            for proto in list(self._protocols):
+                if proto.transport is not None:
+                    proto.transport.close()
+            if self._server is not None:
+                self._server.close()
+            loop.stop()
+        loop.call_soon_threadsafe(shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop = None
+
+    def __enter__(self) -> "WireServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def call(self, fn, *args, **kwargs) -> Any:
+        """Run ``fn(*args, **kwargs)`` on the loop thread and return its
+        result — the safe way to poke the XServer while the wire is
+        live."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return fn(*args, **kwargs)
+        future: Future = Future()
+        def runner() -> None:
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as err:
+                future.set_exception(err)
+        loop.call_soon_threadsafe(runner)
+        return future.result(timeout=10)
+
+    # -- loop thread ------------------------------------------------------
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.set_exception_handler(self._on_loop_exception)
+        try:
+            coro = loop.create_server(
+                lambda: _WireProtocol(self), self.host, self.port
+            )
+            self._server = loop.run_until_complete(coro)
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException as err:
+            self._startup_error = err
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                if self._server is not None:
+                    self._server.close()
+                    loop.run_until_complete(self._server.wait_closed())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    def _on_loop_exception(self, loop, context) -> None:
+        err = context.get("exception")
+        self.errors.append(err if err is not None else
+                           WireError(context.get("message", "loop error")))
+
+
+class TcpTransport(Transport):
+    """Blocking-socket client transport.
+
+    Requests are synchronous round-trips (send REQUEST, read frames
+    until the REPLY or ERROR arrives); EVENT frames that arrive in
+    between — the server pushes them at delivery time — are stashed on
+    the local queue and dispatched to the proxy's handlers, so client
+    code written against loopback behaves identically over TCP.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 6600,
+                 timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.server = None
+        self.pipeline = None
+        self.queue: Deque[ev.Event] = deque()
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._pending: Deque[Frame] = deque()
+        self._dead = False
+        self._proxy = None
+        self.client_id = -1
+
+    # -- Transport --------------------------------------------------------
+
+    def connect(self, proxy, name: str, coalesce: bool) -> None:
+        self._proxy = proxy
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.settimeout(self.timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_bytes(encode_frame(HELLO, 0, encode_value({
+            "name": name, "coalesce": coalesce,
+        })))
+        welcome = self._read_until((WELCOME,))
+        info = decode_value(welcome.payload)
+        if not isinstance(info, dict) or "client_id" not in info:
+            raise WireProtocolError("malformed WELCOME payload")
+        self.client_id = info["client_id"]
+        self.xids = XIDRange(info["xid_base"])
+
+    def request(self, name: str, args: tuple = (),
+                kwargs: Optional[dict] = None) -> Any:
+        if self._dead:
+            raise ConnectionClosed(self.client_id)
+        opcode, payload = encode_request(name, args, kwargs or {})
+        self._send_bytes(encode_frame(REQUEST, opcode, payload))
+        frame = self._read_until((REPLY, ERROR))
+        if frame.kind == ERROR:
+            err = decode_error(frame.payload)
+            if isinstance(err, ConnectionClosed):
+                self._dead = True
+            raise err
+        return decode_value(frame.payload)
+
+    def pump(self) -> None:
+        """Drain whatever the server already pushed, without blocking."""
+        if self._dead or self._sock is None:
+            return
+        self._sock.settimeout(0)
+        try:
+            while True:
+                try:
+                    data = self._sock.recv(65536)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    self._dead = True
+                    break
+                if not data:
+                    self._dead = True
+                    break
+                self._absorb(data)
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout)
+
+    def is_alive(self) -> bool:
+        if not self._dead:
+            self.pump()  # notice a server-side kill promptly
+        return not self._dead
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        if not self._dead:
+            try:
+                self.request("close")
+            except (WireError, ConnectionClosed, OSError):
+                pass
+        self._dead = True
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+    def note_drained(self, remaining: int) -> None:
+        """No-op: the server-side flusher already noted the drain when
+        it wrote the events to the socket; reporting again here would
+        double-count."""
+
+    def count_discards(self, type_names: List[str]) -> None:
+        if not self._dead:
+            self.request("count_discards", (list(type_names),))
+
+    def set_coalescing(self, enabled: bool) -> None:
+        self.request("set_coalescing", (bool(enabled),))
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send_bytes(self, data: bytes) -> None:
+        if self._sock is None:
+            raise ConnectionClosed(self.client_id)
+        try:
+            self._sock.sendall(data)
+        except OSError:
+            self._dead = True
+            raise ConnectionClosed(self.client_id) from None
+
+    def _read_until(self, kinds: Tuple[int, ...]) -> Frame:
+        """Read frames until one of *kinds* arrives; events encountered
+        on the way are delivered locally."""
+        while True:
+            frame = self._next_pending(kinds)
+            if frame is not None:
+                return frame
+            if self._sock is None or self._dead:
+                raise ConnectionClosed(self.client_id)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                raise WireError(
+                    f"timed out waiting for frame kinds {kinds}"
+                ) from None
+            except OSError:
+                self._dead = True
+                raise ConnectionClosed(self.client_id) from None
+            if not data:
+                self._dead = True
+                raise ConnectionClosed(self.client_id)
+            self._absorb(data)
+
+    def _next_pending(self, kinds: Tuple[int, ...]) -> Optional[Frame]:
+        while self._pending:
+            frame = self._pending.popleft()
+            if frame.kind in kinds:
+                return frame
+            if frame.kind == ERROR:
+                err = decode_error(frame.payload)
+                if isinstance(err, ConnectionClosed):
+                    self._dead = True
+                    raise err
+                raise err
+            raise WireProtocolError(
+                f"unexpected frame kind {frame.kind} from server"
+            )
+        return None
+
+    def _absorb(self, data: bytes) -> None:
+        for frame in self._decoder.feed(data):
+            if frame.kind == EVENT:
+                event = decode_event(frame.payload)
+                self.queue.append(event)
+                if self._proxy is not None:
+                    self._proxy._dispatch_event(event)
+            else:
+                self._pending.append(frame)

@@ -1,0 +1,466 @@
+"""Codec round-trips: every request, every event, every error shape.
+
+The contract under test is *exactness*: ``decode(encode(x)) == x``
+including types that Python would happily conflate — tuples stay
+tuples, ``EventMask`` stays an ``EventMask``, bools stay bools — plus
+the defensive half: malformed bytes and unknown opcodes always raise
+``WireProtocolError``, never anything else.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.xserver import events as ev
+from repro.xserver.bitmap import Bitmap
+from repro.xserver.errors import (
+    BadAccess,
+    BadAlloc,
+    BadAtom,
+    BadMatch,
+    BadValue,
+    BadWindow,
+    XError,
+)
+from repro.xserver.event_mask import EventMask
+from repro.xserver.faults import ConnectionClosed, WMCrash
+from repro.xserver.fuzz import FRAME_ATTACKS, malformed_frames
+from repro.xserver.properties import Property
+from repro.xserver.quotas import QuotaExceeded
+from repro.xserver.wire import (
+    EVENT,
+    REQUEST,
+    FrameDecoder,
+    WireProtocolError,
+    decode_error,
+    decode_event,
+    decode_request,
+    decode_value,
+    encode_error,
+    encode_event,
+    encode_frame,
+    encode_request,
+    encode_value,
+)
+from repro.xserver.wire.codec import EVENT_CLASSES, EVENT_OPCODES, REQUESTS
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 255, 2**40, -(2**40),
+        0.0, 1.5, -273.15, "", "hello", "üñíçødé ☃",
+        b"", b"\x00\xff" * 8, [], [1, 2, 3], (), (1, "two", None),
+        {}, {"a": 1, 2: "b"}, [[1, [2, [3]]]],
+        EventMask.NoEvent, EventMask.Exposure | EventMask.KeyPress,
+    ])
+    def test_exact_round_trip(self, value, wire_seed):
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_tuple_list_distinction_survives(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip([1, 2]) == [1, 2]
+        assert type(roundtrip((1, 2))) is tuple
+        assert type(roundtrip([1, 2])) is list
+        # Nested mixes too (ClientMessage.data is a tuple inside a dict).
+        decoded = roundtrip({"data": (1, 2), "kids": [3, 4]})
+        assert type(decoded["data"]) is tuple
+        assert type(decoded["kids"]) is list
+
+    def test_event_mask_keeps_its_type(self):
+        mask = EventMask.SubstructureRedirect | EventMask.SubstructureNotify
+        decoded = roundtrip(mask)
+        assert decoded == mask
+        assert isinstance(decoded, EventMask)
+
+    def test_bools_are_not_ints(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_property_round_trips(self):
+        for prop in [
+            Property(31, 8, b"hello\0"),
+            Property(31, 8, b""),              # empty
+            Property(6, 32, [1, 2, 3]),
+            Property(6, 16, []),
+        ]:
+            decoded = roundtrip(prop)
+            assert decoded == prop
+            assert isinstance(decoded, Property)
+
+    def test_bitmap_round_trips(self, wire_seed):
+        rng = random.Random(wire_seed)
+        for width, height in [(1, 1), (3, 5), (16, 16), (33, 7)]:
+            rows = [[rng.random() < 0.5 for _ in range(width)]
+                    for _ in range(height)]
+            bitmap = Bitmap(width, height, rows)
+            decoded = roundtrip(bitmap)
+            assert decoded == bitmap
+
+    def test_random_nested_values(self, wire_seed):
+        rng = random.Random(wire_seed)
+
+        def make(depth):
+            kinds = ["int", "str", "bool", "none", "float", "bytes", "mask"]
+            if depth < 3:
+                kinds += ["list", "tuple", "dict"]
+            kind = rng.choice(kinds)
+            if kind == "int":
+                return rng.randrange(-2**48, 2**48)
+            if kind == "str":
+                return "".join(chr(rng.randrange(32, 1000))
+                               for _ in range(rng.randrange(8)))
+            if kind == "bool":
+                return rng.random() < 0.5
+            if kind == "none":
+                return None
+            if kind == "float":
+                return rng.uniform(-1e9, 1e9)
+            if kind == "bytes":
+                return bytes(rng.randrange(256)
+                             for _ in range(rng.randrange(16)))
+            if kind == "mask":
+                return EventMask(rng.choice(list(EventMask)))
+            if kind == "list":
+                return [make(depth + 1) for _ in range(rng.randrange(4))]
+            if kind == "tuple":
+                return tuple(make(depth + 1) for _ in range(rng.randrange(4)))
+            return {
+                str(i): make(depth + 1) for i in range(rng.randrange(4))
+            }
+
+        for _ in range(200):
+            value = make(0)
+            assert roundtrip(value) == value
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(WireProtocolError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireProtocolError):
+            decode_value(b"\xf0")
+
+    def test_truncated_values_rejected(self):
+        for value in [12345, "hello", b"bytes", [1, 2, 3], 2.5]:
+            data = encode_value(value)
+            for cut in range(1, len(data)):
+                with pytest.raises(WireProtocolError):
+                    decode_value(data[:cut])
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+
+
+def sample_event(cls, rng):
+    """Build one instance of *cls* with randomised field values."""
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name == "data":          # ClientMessage payload
+            kwargs[field.name] = tuple(
+                rng.randrange(2**20) for _ in range(rng.randrange(6))
+            )
+        elif field.name == "keysym":
+            kwargs[field.name] = rng.choice(["", "a", "F1", "Return"])
+        elif field.type in ("bool",) or field.name in (
+            "send_event", "override_redirect", "from_configure",
+            "is_hint", "shaped",
+        ):
+            kwargs[field.name] = rng.random() < 0.5
+        else:
+            kwargs[field.name] = rng.randrange(-100, 2**24)
+    return cls(**kwargs)
+
+
+class TestEventCodec:
+    def test_registry_covers_every_event_subclass(self):
+        def walk(cls):
+            yield cls
+            for sub in cls.__subclasses__():
+                yield from walk(sub)
+
+        for cls in walk(ev.Event):
+            assert cls in EVENT_OPCODES, f"{cls.__name__} has no wire opcode"
+
+    def test_every_event_class_round_trips(self, wire_seed):
+        rng = random.Random(wire_seed)
+        for cls in EVENT_CLASSES:
+            for _ in range(10):
+                event = sample_event(cls, rng)
+                opcode, payload = encode_event(event)
+                decoded = decode_event(payload)
+                assert type(decoded) is cls
+                assert decoded == event
+                # The wire must preserve the serial, not re-mint one.
+                assert decoded.serial == event.serial
+
+    def test_degenerate_client_message(self):
+        empty = ev.ClientMessage(window=5, message_type=1, data=())
+        decoded = decode_event(encode_event(empty)[1])
+        assert decoded == empty
+        assert decoded.data == ()
+
+    def test_event_inside_value_codec(self):
+        # SendEvent carries an event *inside* a request payload.
+        event = ev.Expose(window=7, x=1, y=2, width=3, height=4, count=0)
+        decoded = roundtrip(event)
+        assert decoded == event
+
+    def test_unknown_event_opcode_rejected(self):
+        with pytest.raises(WireProtocolError):
+            decode_event(b"\xf7\x01\x00")
+
+    def test_field_count_mismatch_rejected(self):
+        opcode, payload = encode_event(ev.Expose(window=1))
+        # Claim the right class but lie about the field count.
+        with pytest.raises(WireProtocolError):
+            decode_event(payload[:1] + b"\x02" + payload[2:])
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+def sample_request(name, rng):
+    """(args, kwargs) exercising *name*'s real wire shape."""
+    w = rng.randrange(1, 2**24)
+    samples = {
+        "create_window": (
+            (w, 256, 0, 0, 100, 80),
+            {"border_width": 1, "win_class": 1, "override_redirect": False,
+             "event_mask": EventMask.Exposure, "background": "gray",
+             "cursor": None},
+        ),
+        "destroy_window": ((w,), {}),
+        "destroy_subwindows": ((w,), {}),
+        "map_window": ((w,), {}),
+        "map_subwindows": ((w,), {}),
+        "unmap_window": ((w,), {}),
+        "reparent_window": ((w, w + 1, 10, -5), {}),
+        "configure_window": (
+            (w, 0x3),
+            {"x": 5, "y": -7, "width": 0, "height": 0, "border_width": 0,
+             "sibling": 0, "stack_mode": 0},
+        ),
+        "circulate_window": ((w, 0), {}),
+        "change_window_attributes": (
+            (w,), {"event_mask": EventMask.KeyPress | EventMask.KeyRelease}
+        ),
+        "change_property": (
+            (w, 39, 31, 8, "x" * rng.choice([0, 1, 4096]), 0), {}
+        ),
+        "get_property": ((w, 39), {}),
+        "delete_property": ((w, 39), {}),
+        "list_properties": ((w,), {}),
+        "send_event": (
+            (w, ev.ClientMessage(window=w, message_type=9, data=(1, 2, 3)),
+             EventMask.NoEvent, False),
+            {},
+        ),
+        "query_tree": ((w,), {}),
+        "get_geometry": ((w,), {}),
+        "get_window_attributes": ((w,), {}),
+        "translate_coordinates": ((w, w + 1, 3, 4), {}),
+        "query_pointer": ((w,), {}),
+        "window_exists": ((w,), {}),
+        "set_input_focus": ((w, 1), {}),
+        "get_input_focus": ((), {}),
+        "change_save_set": ((w, 0), {}),
+        "grab_pointer": ((w, EventMask.ButtonPress, False, None), {}),
+        "ungrab_pointer": ((), {}),
+        "grab_button": ((w, 1, 0, EventMask.ButtonPress, True, "fleur"), {}),
+        "ungrab_button": ((w, 1, 0), {}),
+        "grab_key": ((w, "F1", 4, False), {}),
+        "warp_pointer": ((w, 10, 20), {}),
+        "shape_set_mask": (
+            (w, Bitmap(2, 2, [[True, False], [False, True]])),
+            {"x_offset": 1, "y_offset": 2},
+        ),
+        "window_is_shaped": ((w,), {}),
+        "intern_atom": (("WM_NAME", False), {}),
+        "get_atom_name": ((39,), {}),
+        "root_window": ((0,), {}),
+        "screen_count": ((), {}),
+        "screen_info": ((0,), {}),
+        "set_coalescing": ((False,), {}),
+        "note_drained": ((0,), {}),
+        "count_discards": ((["Expose", "MotionNotify"],), {}),
+        "close": ((), {}),
+    }
+    return samples[name]
+
+
+class TestRequestCodec:
+    def test_every_request_round_trips(self, wire_seed):
+        rng = random.Random(wire_seed)
+        for name in REQUESTS:
+            args, kwargs = sample_request(name, rng)
+            opcode, payload = encode_request(name, args, kwargs)
+            back_name, back_args, back_kwargs = decode_request(opcode, payload)
+            assert back_name == name
+            assert back_args == args
+            assert back_kwargs == kwargs
+
+    def test_sample_table_covers_every_request(self, wire_seed):
+        # The parametrised shapes above must not silently fall behind
+        # the registry when a request is added.
+        rng = random.Random(wire_seed)
+        for name in REQUESTS:
+            sample_request(name, rng)
+
+    def test_max_length_swmcmd_string(self):
+        # swmcmd-style property payloads: a maximal 8-bit string.
+        text = "f.menu \"root\" " + "x" * 4096
+        opcode, payload = encode_request(
+            "change_property", (5, 39, 31, 8, text, 0), {}
+        )
+        _, args, _ = decode_request(opcode, payload)
+        assert args[4] == text
+
+    def test_unknown_request_opcode_rejected(self):
+        opcode, payload = encode_request("map_window", (1,), {})
+        with pytest.raises(WireProtocolError):
+            decode_request(0x7777, payload)
+        with pytest.raises(WireProtocolError):
+            decode_request(0, payload)
+
+    def test_malformed_request_payloads_rejected(self):
+        opcode, _ = encode_request("map_window", (1,), {})
+        for payload in [b"", b"\xff" * 4, encode_value([1, 2]),
+                        encode_value((1,)) + b"junk"]:
+            with pytest.raises(WireProtocolError):
+                decode_request(opcode, payload)
+
+    def test_non_string_keyword_rejected(self):
+        opcode, _ = encode_request("map_window", (1,), {})
+        payload = encode_value((1,)) + encode_value({1: 2})
+        with pytest.raises(WireProtocolError):
+            decode_request(opcode, payload)
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize("error", [
+        BadWindow(1234),
+        BadWindow(1234, "gone"),
+        BadValue(-1, "no such screen"),
+        BadMatch(7, "not viewable"),
+        BadAtom(99),
+        BadAccess(256, "already redirected"),
+        BadAlloc(None, "out of ids"),
+        QuotaExceeded(5, "windows"),
+    ])
+    def test_x_errors_keep_class_resource_and_text(self, error):
+        decoded = decode_error(encode_error(error))
+        assert type(decoded) is type(error)
+        assert decoded.resource == error.resource
+        assert str(decoded) == str(error)
+        assert isinstance(decoded, XError)
+
+    def test_quota_exceeded_stays_distinct_from_bad_alloc(self):
+        decoded = decode_error(encode_error(QuotaExceeded(3, "grabs")))
+        assert isinstance(decoded, QuotaExceeded)
+        assert type(decoded) is not BadAlloc
+
+    def test_connection_closed_keeps_client_id(self):
+        decoded = decode_error(encode_error(ConnectionClosed(42)))
+        assert isinstance(decoded, ConnectionClosed)
+        assert decoded.client_id == 42
+
+    def test_wm_crash_keeps_crash_point(self):
+        decoded = decode_error(encode_error(WMCrash("manage", 7)))
+        assert isinstance(decoded, WMCrash)
+        assert decoded.crash_point == "manage"
+        assert decoded.client_id == 7
+
+    def test_arbitrary_exception_degrades_to_protocol_error(self):
+        decoded = decode_error(encode_error(RuntimeError("internal")))
+        assert isinstance(decoded, WireProtocolError)
+        assert "RuntimeError" in str(decoded)
+
+    def test_malformed_error_payload_rejected(self):
+        with pytest.raises(WireProtocolError):
+            decode_error(encode_value("not a dict"))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_chunked_feed_reassembles_frames(self, wire_seed):
+        rng = random.Random(wire_seed)
+        frames = []
+        blob = b""
+        for i in range(20):
+            opcode, payload = encode_request(
+                "map_window", (rng.randrange(2**20),), {}
+            )
+            frames.append((REQUEST, opcode, payload))
+            blob += encode_frame(REQUEST, opcode, payload)
+        opcode, payload = encode_event(ev.Expose(window=1))
+        frames.append((EVENT, opcode, payload))
+        blob += encode_frame(EVENT, opcode, payload)
+
+        decoder = FrameDecoder()
+        got = []
+        pos = 0
+        while pos < len(blob):
+            step = rng.randrange(1, 7)
+            got.extend(decoder.feed(blob[pos:pos + step]))
+            pos += step
+        assert [(f.kind, f.opcode, f.payload) for f in got] == frames
+        assert decoder.buffered == 0
+
+    @pytest.mark.parametrize("family", FRAME_ATTACKS)
+    def test_malformed_corpus_never_crashes(self, family, wire_seed):
+        """Every corpus entry either poisons the decoder or decodes into
+        frames whose payloads fail cleanly — WireProtocolError, nothing
+        else, no exception escapes uncontrolled."""
+        rng = random.Random(wire_seed)
+        entries = [e for e in malformed_frames(rng) if e[0] == family]
+        assert entries, f"corpus family {family} is empty"
+        for _, data in entries:
+            decoder = FrameDecoder()
+            try:
+                frames = decoder.feed(data)
+            except WireProtocolError:
+                # Poisoned: every further feed must also raise.
+                with pytest.raises(WireProtocolError):
+                    decoder.feed(b"\x00")
+                continue
+            # Structurally valid frames: the payload layer must reject
+            # garbage with the same error type (or decode fully — e.g.
+            # a truncated prefix that simply buffers).
+            for frame in frames:
+                try:
+                    if frame.kind == REQUEST:
+                        decode_request(frame.opcode, frame.payload)
+                    else:
+                        decode_value(frame.payload)
+                except WireProtocolError:
+                    pass
+
+    def test_oversized_outgoing_frame_is_our_error(self):
+        from repro.xserver.wire import MAX_FRAME_SIZE, WireError
+        with pytest.raises(WireError):
+            encode_frame(REQUEST, 1, b"\x00" * (MAX_FRAME_SIZE + 1))
