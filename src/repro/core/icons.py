@@ -161,9 +161,11 @@ class IconHolder:
             self._refresh()
 
     def _repack(self) -> None:
-        for index, icon in enumerate(self.icons):
-            position = self.slot_position(index)
-            self.conn.move_window(icon.window, position.x, position.y)
+        # Auto-arrange: one move per icon coalesces into one flush.
+        with self.conn.batch():
+            for index, icon in enumerate(self.icons):
+                position = self.slot_position(index)
+                self.conn.move_window(icon.window, position.x, position.y)
 
     def _refresh(self) -> None:
         """Apply hide-when-empty and size-to-fit policies."""

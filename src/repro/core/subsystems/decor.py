@@ -65,19 +65,22 @@ class DecorController(Subsystem):
             )
             return
         layout = panel.compute_layout({"client": client_size})
-        self.conn.resize_window(
-            managed.frame, layout.size.width, layout.size.height
-        )
-        for child in panel.children:
-            rect = layout.rect(child.name)
-            if child.window is not None:
-                self.conn.move_resize_window(
-                    child.window, rect.x, rect.y, rect.width, rect.height
-                )
-            if child.name == "client":
-                managed.client_offset = Point(rect.x, rect.y)
-        if managed.resize_corners:
-            self.reposition_corners(managed)
+        # One decoration relayout is many configures (frame + every
+        # object window + corners); batch them into one flush window.
+        with self.conn.batch():
+            self.conn.resize_window(
+                managed.frame, layout.size.width, layout.size.height
+            )
+            for child in panel.children:
+                rect = layout.rect(child.name)
+                if child.window is not None:
+                    self.conn.move_resize_window(
+                        child.window, rect.x, rect.y, rect.width, rect.height
+                    )
+                if child.name == "client":
+                    managed.client_offset = Point(rect.x, rect.y)
+            if managed.resize_corners:
+                self.reposition_corners(managed)
 
     # ------------------------------------------------------------------
     # Resize corners
@@ -118,14 +121,16 @@ class DecorController(Subsystem):
             for wid, owner in self.wm.corner_windows.items()
             if owner is managed
         ]
-        for index, corner in enumerate(corners):
-            cx, cy = index % 2, index // 2
-            self.conn.move_window(
-                corner,
-                (rect.width - size) * cx,
-                (rect.height - size) * cy,
-            )
-            self.conn.lower_window(corner)
+        # Four moves + four restacks fuse into one notify per corner.
+        with self.conn.batch():
+            for index, corner in enumerate(corners):
+                cx, cy = index % 2, index // 2
+                self.conn.move_window(
+                    corner,
+                    (rect.width - size) * cx,
+                    (rect.height - size) * cy,
+                )
+                self.conn.lower_window(corner)
 
     # ------------------------------------------------------------------
     # Zoom / save geometry

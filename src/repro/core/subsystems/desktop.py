@@ -99,15 +99,19 @@ class DesktopController(Subsystem):
         sc = self.wm.screens[screen]
         if sc.vdesk is None:
             return
-        sc.vdesk.pan_to(x, y)
-        self.update_panner(sc)
+        # A pan is the paper's configure storm: batch the desktop move
+        # and any panner updates into one server flush window.
+        with self.conn.batch():
+            sc.vdesk.pan_to(x, y)
+            self.update_panner(sc)
 
     def pan_by(self, screen: int, dx: int, dy: int) -> None:
         sc = self.wm.screens[screen]
         if sc.vdesk is None:
             return
-        sc.vdesk.pan_by(dx, dy)
-        self.update_panner(sc)
+        with self.conn.batch():
+            sc.vdesk.pan_by(dx, dy)
+            self.update_panner(sc)
 
     # -- multiple desktops (extension; suggested by §6.3) ---------------
 

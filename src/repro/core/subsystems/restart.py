@@ -349,4 +349,8 @@ class RestartController(Subsystem):
         # so one casualty never derails the rest of the restore.
         for client in clients:
             if self.conn.window_exists(client):
-                wm.manage(client)
+                # Replaying one survivor re-issues its whole configure
+                # history (frame geometry, decoration layout, border
+                # strip); batch each replay's mutations per window.
+                with self.conn.batch():
+                    wm.manage(client)

@@ -20,9 +20,11 @@ range, pipeline, quotas — lives in
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from . import events as ev
+from .batch import BATCHABLE_REQUESTS
 from .bitmap import Bitmap
 from .event_mask import EventMask
 from .faults import ConnectionClosed
@@ -78,6 +80,10 @@ class ClientConnection:
         #: the pipeline runs server-side.
         self.pipeline = transport.pipeline
         self.closed = False
+        #: Buffered (name, args, kwargs) ops while a batch() is open.
+        self._batch_ops: Optional[List[Tuple[str, tuple, dict]]] = None
+        #: Result dicts accumulated across the open batch's flushes.
+        self._batch_results: Optional[List[dict]] = None
 
     # -- connection lifecycle -------------------------------------------------
 
@@ -114,7 +120,60 @@ class ClientConnection:
         return f"<ClientConnection {self.name!r} id={self.client_id}>"
 
     def _request(self, name: str, *args, **kwargs):
+        ops = self._batch_ops
+        if ops is not None:
+            if name in BATCHABLE_REQUESTS:
+                ops.append((name, args, kwargs))
+                return None
+            # A non-batchable request (query, map, destroy...) must see
+            # the buffered mutations applied, in order: flush first.
+            self._flush_batch()
         return self._transport.request(name, args, kwargs)
+
+    def _flush_batch(self) -> None:
+        """Send the buffered batch ops as one execute_batch request
+        (buffering stays on for subsequent requests)."""
+        ops = self._batch_ops
+        if not ops:
+            return
+        pending = list(ops)
+        del ops[:]
+        results = self._transport.request("execute_batch", (pending,), {})
+        if self._batch_results is not None and results:
+            self._batch_results.extend(results)
+
+    @contextmanager
+    def batch(self) -> Iterator[List[dict]]:
+        """Coalesce configure/property mutations issued inside the
+        ``with`` block into server-side batch flush windows (see
+        :meth:`XServer.execute_batch`): one ConfigureNotify per window
+        (last write wins), property overwrites squashed, one pointer
+        refresh per flush.  Requests that cannot batch flush the buffer
+        first, so request order is always preserved.  Per-op X errors
+        become result dicts on the yielded list instead of raising;
+        nested ``batch()`` blocks join the outermost one.
+
+        Events produced by a flush are delivered (and handlers run)
+        when the flush happens — at the latest when the block exits.
+        """
+        outer_results = self._batch_results
+        if outer_results is not None:
+            yield outer_results  # nested: join the outer batch
+            return
+        self._check_alive()
+        ops: List[Tuple[str, tuple, dict]] = []
+        results: List[dict] = []
+        self._batch_ops = ops
+        self._batch_results = results
+        try:
+            yield results
+        finally:
+            self._batch_ops = None
+            self._batch_results = None
+            if ops:
+                sent = self._transport.request("execute_batch", (ops,), {})
+                if sent:
+                    results.extend(sent)
 
     # -- event queue ---------------------------------------------------------
 

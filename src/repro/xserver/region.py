@@ -1,0 +1,296 @@
+"""Band-based rectangle region algebra (the classic X server structure).
+
+A :class:`Region` is a set of integer pixels stored as a y-x sorted
+*band list*: a tuple of ``(y1, y2, walls)`` slabs where ``walls`` is an
+even-length tuple of x coordinates ``(x1a, x2a, x1b, x2b, ...)``
+describing disjoint, sorted, non-adjacent horizontal intervals.  The
+canonical form maintained by every operation is what makes regions
+cheap to compare and combine:
+
+- bands are sorted by ``y1`` and never overlap vertically;
+- within a band, intervals are sorted, disjoint and non-adjacent
+  (``x2a < x1b``);
+- vertically adjacent bands with identical walls are merged, so two
+  regions covering the same pixels always have identical band tuples
+  (``==`` is structural *and* set equality);
+- no empty bands, no empty intervals.
+
+Union, intersection and subtraction all run through one sweep
+(:func:`_combine`) that slices both operands into common y slabs and
+merges walls per slab with a 1-D parity walk, then re-merges adjacent
+slabs.  Cost is linear in the number of bands + intervals, which is
+what lets the server treat per-window visible ("clip") regions as a
+cached value instead of re-walking the tree (see
+``Window.clip_region``).
+
+Regions are immutable; ``EMPTY`` is a shared singleton.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union as _Union
+
+from .geometry import Rect
+
+Band = Tuple[int, int, Tuple[int, ...]]
+
+# Sentinel larger than any coordinate the server hands out.
+_INF = float("inf")
+
+_UNION = 0
+_INTERSECT = 1
+_SUBTRACT = 2
+
+
+def _merge_walls(a: Tuple[int, ...], b: Tuple[int, ...], op: int
+                 ) -> Tuple[int, ...]:
+    """Combine two 1-D wall lists with a parity sweep.
+
+    ``a`` and ``b`` are even-length sorted x lists; the result is the
+    wall list of ``a <op> b`` in the same canonical form (adjacent
+    intervals merged — a wall closed and reopened at the same x never
+    materialises because each distinct x is evaluated once, after both
+    sides' toggles)."""
+    out: List[int] = []
+    ia = ib = 0
+    na, nb = len(a), len(b)
+    inside = False
+    while ia < na or ib < nb:
+        xa = a[ia] if ia < na else _INF
+        xb = b[ib] if ib < nb else _INF
+        edge = xa if xa <= xb else xb
+        if xa == edge:
+            ia += 1
+        if xb == edge:
+            ib += 1
+        in_a = ia & 1
+        in_b = ib & 1
+        if op == _UNION:
+            now = bool(in_a or in_b)
+        elif op == _INTERSECT:
+            now = bool(in_a and in_b)
+        else:
+            now = bool(in_a and not in_b)
+        if now != inside:
+            out.append(int(edge))
+            inside = now
+    return tuple(out)
+
+
+def _append_band(bands: List[Band], y1: int, y2: int,
+                 walls: Tuple[int, ...]) -> None:
+    """Append a slab, coalescing with the previous band when it is
+    vertically adjacent and has identical walls (canonical form)."""
+    if not walls or y1 >= y2:
+        return
+    if bands:
+        py1, py2, pwalls = bands[-1]
+        if py2 == y1 and pwalls == walls:
+            bands[-1] = (py1, y2, pwalls)
+            return
+    bands.append((y1, y2, walls))
+
+
+def _combine(a: Tuple[Band, ...], b: Tuple[Band, ...], op: int
+             ) -> Tuple[Band, ...]:
+    """Band sweep: slice both operands into common y slabs, merge walls
+    per slab, re-canonicalise."""
+    ys = sorted({y for band in a for y in (band[0], band[1])}
+                | {y for band in b for y in (band[0], band[1])})
+    out: List[Band] = []
+    ia = ib = 0
+    na, nb = len(a), len(b)
+    empty: Tuple[int, ...] = ()
+    for i in range(len(ys) - 1):
+        y1 = ys[i]
+        y2 = ys[i + 1]
+        while ia < na and a[ia][1] <= y1:
+            ia += 1
+        while ib < nb and b[ib][1] <= y1:
+            ib += 1
+        walls_a = a[ia][2] if ia < na and a[ia][0] <= y1 else empty
+        walls_b = b[ib][2] if ib < nb and b[ib][0] <= y1 else empty
+        if not walls_a and not walls_b:
+            continue
+        _append_band(out, y1, y2, _merge_walls(walls_a, walls_b, op))
+    return tuple(out)
+
+
+class Region:
+    """Immutable set of pixels in canonical band form.
+
+    Build with :meth:`from_rect` / :meth:`union_all`, combine with
+    ``|``/``&``/``-`` (or the named methods, which also accept a
+    :class:`Rect` directly).  Structural equality is set equality."""
+
+    __slots__ = ("bands",)
+
+    #: Shared empty region (assigned after the class body).
+    EMPTY: "Region"
+
+    def __init__(self, bands: Tuple[Band, ...] = ()):
+        self.bands = bands
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Region":
+        """Region of one rectangle; degenerate rects give ``EMPTY``."""
+        if rect.width <= 0 or rect.height <= 0:
+            return cls.EMPTY
+        return cls(((rect.y, rect.y + rect.height,
+                     (rect.x, rect.x + rect.width)),))
+
+    @classmethod
+    def union_all(cls, rects: Iterable[Rect]) -> "Region":
+        """Union of an iterable of rectangles."""
+        region = cls.EMPTY
+        for rect in rects:
+            region = region.union(rect)
+        return region
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not self.bands
+
+    def __bool__(self) -> bool:
+        return bool(self.bands)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.bands == other.bands
+
+    def __hash__(self) -> int:
+        return hash(self.bands)
+
+    def __repr__(self) -> str:
+        if not self.bands:
+            return "<Region empty>"
+        return f"<Region {len(self.bands)} bands area={self.area()}>"
+
+    def area(self) -> int:
+        """Number of pixels covered."""
+        total = 0
+        for y1, y2, walls in self.bands:
+            h = y2 - y1
+            for i in range(0, len(walls), 2):
+                total += (walls[i + 1] - walls[i]) * h
+        return total
+
+    def extents(self) -> Optional[Rect]:
+        """Bounding box, or ``None`` when empty."""
+        if not self.bands:
+            return None
+        y1 = self.bands[0][0]
+        y2 = self.bands[-1][1]
+        x1 = min(band[2][0] for band in self.bands)
+        x2 = max(band[2][-1] for band in self.bands)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def contains(self, x: int, y: int) -> bool:
+        """Point membership (pixel at *x*, *y*)."""
+        for y1, y2, walls in self.bands:
+            if y < y1:
+                return False
+            if y >= y2:
+                continue
+            for i in range(0, len(walls), 2):
+                if walls[i] <= x < walls[i + 1]:
+                    return True
+                if x < walls[i]:
+                    return False
+            return False
+        return False
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True when any pixel of *rect* is in the region (no
+        intermediate region is built)."""
+        if rect.width <= 0 or rect.height <= 0 or not self.bands:
+            return False
+        rx1, rx2 = rect.x, rect.x + rect.width
+        ry1, ry2 = rect.y, rect.y + rect.height
+        for y1, y2, walls in self.bands:
+            if y2 <= ry1:
+                continue
+            if y1 >= ry2:
+                return False
+            for i in range(0, len(walls), 2):
+                if walls[i] < rx2 and rx1 < walls[i + 1]:
+                    return True
+        return False
+
+    # -- algebra -----------------------------------------------------------
+
+    def _coerce(self, other: _Union["Region", Rect]) -> "Region":
+        if isinstance(other, Rect):
+            return Region.from_rect(other)
+        return other
+
+    def union(self, other: _Union["Region", Rect]) -> "Region":
+        other = self._coerce(other)
+        if not self.bands:
+            return other
+        if not other.bands or self.bands == other.bands:
+            return self
+        return Region(_combine(self.bands, other.bands, _UNION))
+
+    def intersect(self, other: _Union["Region", Rect]) -> "Region":
+        other = self._coerce(other)
+        if not self.bands or not other.bands:
+            return Region.EMPTY
+        if self.bands == other.bands:
+            return self
+        if not self._extents_overlap(other):
+            return Region.EMPTY
+        return Region(_combine(self.bands, other.bands, _INTERSECT))
+
+    def subtract(self, other: _Union["Region", Rect]) -> "Region":
+        other = self._coerce(other)
+        if not self.bands:
+            return Region.EMPTY
+        if not other.bands or not self._extents_overlap(other):
+            return self
+        if self.bands == other.bands:
+            return Region.EMPTY
+        return Region(_combine(self.bands, other.bands, _SUBTRACT))
+
+    __or__ = union
+    __and__ = intersect
+    __sub__ = subtract
+
+    def _extents_overlap(self, other: "Region") -> bool:
+        a = self.bands
+        b = other.bands
+        if a[-1][1] <= b[0][0] or b[-1][1] <= a[0][0]:
+            return False
+        ax1 = min(band[2][0] for band in a)
+        ax2 = max(band[2][-1] for band in a)
+        bx1 = min(band[2][0] for band in b)
+        bx2 = max(band[2][-1] for band in b)
+        return ax1 < bx2 and bx1 < ax2
+
+    def translated(self, dx: int, dy: int) -> "Region":
+        """The region shifted by (*dx*, *dy*)."""
+        if (not dx and not dy) or not self.bands:
+            return self
+        return Region(tuple(
+            (y1 + dy, y2 + dy, tuple(x + dx for x in walls))
+            for y1, y2, walls in self.bands
+        ))
+
+    def rects(self) -> List[Rect]:
+        """The region as disjoint rectangles in y-x band order."""
+        out: List[Rect] = []
+        for y1, y2, walls in self.bands:
+            h = y2 - y1
+            for i in range(0, len(walls), 2):
+                out.append(Rect(walls[i], y1, walls[i + 1] - walls[i], h))
+        return out
+
+
+Region.EMPTY = Region()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .geometry import Rect
+from .region import Region
 from .window import Window
 
 #: Pixels per character cell.  1 cell ~ one 8x16 glyph of a terminal.
@@ -35,17 +36,32 @@ class Canvas:
         if 0 <= col < self.cols and 0 <= row < self.rows:
             self.grid[row][col] = char
 
+    def _span(self, col: int, length: int) -> Optional[range]:
+        """Clip a horizontal span once; None when fully outside."""
+        start = max(col, 0)
+        stop = min(col + length, self.cols)
+        return range(start, stop) if start < stop else None
+
     def text(self, col: int, row: int, text: str) -> None:
-        for offset, char in enumerate(text):
-            self.put(col + offset, row, char)
+        if not 0 <= row < self.rows:
+            return
+        span = self._span(col, len(text))
+        if span is not None:
+            chars = text[span.start - col:span.stop - col]
+            self.grid[row][span.start:span.stop] = list(chars)
 
     def hline(self, col: int, row: int, length: int, char: str = "-") -> None:
-        for offset in range(length):
-            self.put(col + offset, row, char)
+        if not 0 <= row < self.rows:
+            return
+        span = self._span(col, length)
+        if span is not None:
+            self.grid[row][span.start:span.stop] = [char] * len(span)
 
     def vline(self, col: int, row: int, length: int, char: str = "|") -> None:
-        for offset in range(length):
-            self.put(col, row + offset, char)
+        if not 0 <= col < self.cols:
+            return
+        for r in range(max(row, 0), min(row + length, self.rows)):
+            self.grid[r][col] = char
 
     def frame(self, col: int, row: int, width: int, height: int) -> None:
         """Draw a box outline using +-| characters."""
@@ -66,9 +82,12 @@ class Canvas:
     def fill_rect(
         self, col: int, row: int, width: int, height: int, char: str = " "
     ) -> None:
-        for r in range(row, row + height):
-            for c in range(col, col + width):
-                self.put(c, r, char)
+        span = self._span(col, width)
+        if span is None:
+            return
+        filler = [char] * len(span)
+        for r in range(max(row, 0), min(row + height, self.rows)):
+            self.grid[r][span.start:span.stop] = filler
 
     def to_string(self) -> str:
         return "\n".join("".join(row).rstrip() for row in self.grid)
@@ -89,6 +108,46 @@ def _window_label(window: Window, atoms) -> Optional[str]:
         if prop is not None and prop.format == 8:
             return prop.as_string().rstrip("\0")
     return None
+
+
+def _subtree_extent(win: Window) -> Rect:
+    """Bounding box of *win* and its mapped descendants in root
+    coordinates (children may stick out past their parent)."""
+    extent: Optional[Rect] = None
+    stack = [win]
+    while stack:
+        node = stack.pop()
+        rect = node.rect_in_root()
+        extent = rect if extent is None else extent.union(rect)
+        for child in node.children:
+            if child.mapped:
+                stack.append(child)
+    return extent  # type: ignore[return-value]  # stack starts non-empty
+
+
+def _occluded_children(win: Window, clip: Rect) -> List[Window]:
+    """Children whose whole subtree is overpainted by opaque siblings
+    stacked above them (within *clip*), so rasterizing them is wasted
+    work.  Cell rounding is monotone — a pixel-covered subtree is also
+    cell-covered by the same occluders, which paint later — so skipping
+    cannot change the output."""
+    mapped = [child for child in win.children if child.mapped]
+    if len(mapped) < 2:
+        return []
+    skips: List[Window] = []
+    cover = Region.EMPTY
+    for child in reversed(mapped):  # top-to-bottom
+        visible = _subtree_extent(child).intersection(clip)
+        if visible is None:
+            continue
+        if cover and Region.from_rect(visible).subtract(cover).empty:
+            skips.append(child)
+            continue
+        if child.shape is None:  # shaped windows paint partial cells
+            own = child.rect_in_root().intersection(clip)
+            if own is not None:
+                cover = cover.union(own)
+    return skips
 
 
 def render_window(
@@ -152,8 +211,10 @@ def render_window(
                 canvas.text(col0 + 1, text_row, label[: width - 2])
             else:
                 canvas.text(col0, text_row, label[:width])
+        skips = _occluded_children(win, clip)
         for child in win.children:
-            paint(child, False)
+            if child not in skips:
+                paint(child, False)
 
     paint(window, True)
     return canvas.to_string()

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import events as ev
 from .atoms import AtomTable
+from .batch import BATCHABLE_REQUESTS, ActiveBatch
 from .bitmap import Bitmap
 from .errors import (
     BadAccess,
@@ -124,6 +125,8 @@ class XServer:
         self.quotas = QuotaManager(self._stats, quota_limits)
         #: Active fault-injection plan, or None (see install_faults()).
         self.faults: Optional[FaultPlan] = None
+        #: Open batch flush window, or None (see execute_batch()).
+        self._batch: Optional[ActiveBatch] = None
 
         for number, (width, height, depth) in enumerate(screens):
             root_id = self.xids.allocate_server_id()
@@ -287,6 +290,13 @@ class XServer:
         plan, self.faults = self.faults, None
         return plan
 
+    def _flush_batch_events(self) -> None:
+        """Synthesise the notifications deferred by the open batch flush
+        window, if any (no-op otherwise).  Called at every batch split
+        point: fault boundaries, quota denials, and batch end."""
+        if self._batch is not None:
+            self._batch.flush(self)
+
     #: Request parameters that name the window a stale-XID race targets,
     #: in the order _stale_target probes them.
     _STALE_PARAMS = (
@@ -317,14 +327,23 @@ class XServer:
         client_id = caller_locals.get("client_id")
         # Kills deferred by kill(when="after") land at the next tick:
         # the previous request's reply arrived, then the pipe broke.
-        for victim in plan.take_pending_kills():
-            if victim in self.clients:
-                self.close_client(victim)
+        pending_kills = plan.take_pending_kills()
+        if pending_kills:
+            # A kill tears the tree down; any batched notifications
+            # must land first or they would trail the DestroyNotifys.
+            self._flush_batch_events()
+            for victim in pending_kills:
+                if victim in self.clients:
+                    self.close_client(victim)
         if client_id is not None and client_id not in self.clients:
             raise ConnectionClosed(client_id)
         rule = plan.pick_request_fault(request, client_id)
         if rule is None:
             return
+        # A fault fired: the batch splits here, so everything coalesced
+        # so far is synthesised before the fault's side effects (error
+        # raise, connection close, stale destroy, flood) take place.
+        self._flush_batch_events()
         if rule.kind == FAULT_ERROR:
             plan.record(FAULT_ERROR, request, client_id, rule.error, rule)
             self._stats.count_injected(FAULT_ERROR)
@@ -740,18 +759,62 @@ class XServer:
         self._refresh_pointer_window()
 
     def _expose_tree(self, window: Window) -> None:
-        self._deliver(
-            window,
-            ev.Expose(
-                window=window.id,
-                width=window.width,
-                height=window.height,
-            ),
-            EventMask.Exposure,
-        )
-        for child in window.children:
-            if child.mapped:
-                self._expose_tree(child)
+        """Expose *window* and its mapped descendants, damage-driven.
+
+        Iterative (fuzzer-built trees can exceed the recursion limit)
+        and region-clipped: a fully occluded window gets no Expose at
+        all, a partially visible one gets its damaged rects."""
+        stack = [window]
+        while stack:
+            win = stack.pop()
+            self._send_exposures(win)
+            for child in reversed(win.children):
+                if child.mapped:
+                    stack.append(child)
+
+    def _send_exposures(self, window: Window) -> None:
+        """Deliver Expose for the window's visible region.
+
+        The classic single full-window Expose is kept for the common
+        fully-visible case; otherwise one Expose per damage rect, in
+        y-x band order, with ``count`` descending to zero (so clients
+        can accumulate until the last one, as in real X)."""
+        if not window.clients_selecting(EventMask.Exposure):
+            return  # nobody listening: skip the region work entirely
+        clip = window.clip_region()
+        if clip.empty:
+            return  # fully occluded or unviewable: no damage
+        origin = window.position_in_root()
+        rect = window.rect
+        rects = clip.rects()
+        if len(rects) == 1 and rects[0] == Rect(
+            origin.x, origin.y, rect.width, rect.height
+        ):
+            self._stats.count_damage_rects(1)
+            self._deliver(
+                window,
+                ev.Expose(
+                    window=window.id, width=rect.width, height=rect.height
+                ),
+                EventMask.Exposure,
+            )
+            return
+        self._stats.count_damage_rects(len(rects))
+        remaining = len(rects)
+        for damage in rects:
+            remaining -= 1
+            self._deliver(
+                window,
+                ev.Expose(
+                    window=window.id,
+                    x=damage.x - origin.x,
+                    y=damage.y - origin.y,
+                    width=damage.width,
+                    height=damage.height,
+                    count=remaining,
+                ),
+                EventMask.Exposure,
+            )
 
     def unmap_window(self, client_id: int, wid: int) -> None:
         self._tick()
@@ -887,6 +950,13 @@ class XServer:
             raise BadValue((new_w, new_h), "size larger than 32767")
         if not (MIN_COORD <= new_x <= MAX_COORD and MIN_COORD <= new_y <= MAX_COORD):
             raise BadValue((new_x, new_y), "coordinate out of 16-bit range")
+        batch = self._batch
+        if batch is not None:
+            # Inside a batch flush window: apply the state change now
+            # (later requests in the batch must see it) but defer the
+            # ConfigureNotify / Expose / pointer refresh to the flush,
+            # where per-window runs coalesce last-write-wins.
+            batch.note_configure(window)
         if value_mask & ev.CWBorderWidth:
             window.border_width = border_width
         grew = new_w > rect.width or new_h > rect.height
@@ -894,6 +964,16 @@ class XServer:
         if value_mask & ev.CWStackMode:
             sibling_window = self.window(sibling) if sibling != NONE else None
             window.restack(stack_mode, sibling_window)
+        if batch is not None:
+            return
+        self._emit_configure_notify(window)
+        if grew and window.viewable:
+            self._send_exposures(window)
+        self._refresh_pointer_window()
+
+    def _emit_configure_notify(self, window: Window) -> None:
+        """ConfigureNotify reflecting the window's current state (used
+        directly per-request, and once per window at batch flush)."""
         above = window.sibling_below() if window.parent else None
         self._structure_notify(
             window,
@@ -909,13 +989,6 @@ class XServer:
                 override_redirect=window.override_redirect,
             ),
         )
-        if grew and window.viewable:
-            self._deliver(
-                window,
-                ev.Expose(window=window.id, width=new_w, height=new_h),
-                EventMask.Exposure,
-            )
-        self._refresh_pointer_window()
 
     def circulate_window(self, client_id: int, wid: int, direction: int) -> None:
         """CirculateWindow: raise the lowest / lower the highest child
@@ -1016,6 +1089,12 @@ class XServer:
         )
         window.properties.change(atom, type_atom, fmt, data, mode)
         self.quotas.commit_property(client_id, wid, atom, token)
+        batch = self._batch
+        if batch is not None:
+            # Quota was charged per-request above; only the notify is
+            # squashed (last state wins per window+atom at flush).
+            batch.note_property(window, atom, ev.PROPERTY_NEW_VALUE)
+            return
         self._deliver(
             window,
             ev.PropertyNotify(
@@ -1035,6 +1114,10 @@ class XServer:
         window = self.window(wid)
         if window.properties.delete(atom):
             self.quotas.refund_property(wid, atom)
+            batch = self._batch
+            if batch is not None:
+                batch.note_property(window, atom, ev.PROPERTY_DELETE)
+                return
             self._deliver(
                 window,
                 ev.PropertyNotify(window=wid, atom=atom, state=ev.PROPERTY_DELETE),
@@ -1043,6 +1126,73 @@ class XServer:
 
     def list_properties(self, client_id: int, wid: int) -> List[int]:
         return self.window(wid).properties.list_atoms()
+
+    # ------------------------------------------------------------------
+    # Batched execution (see repro.xserver.batch)
+    # ------------------------------------------------------------------
+
+    def execute_batch(self, client_id: int, ops: Sequence) -> List[dict]:
+        """Execute a sequence of batchable requests in one flush window.
+
+        Each op is ``(name, args, kwargs)`` with *name* in
+        :data:`~repro.xserver.batch.BATCHABLE_REQUESTS`.  Every op runs
+        through its real entry point — so request ticks, fault draws,
+        quota charges, stats and traces are per logical request,
+        bit-identical to unbatched execution — but event synthesis and
+        the pointer refresh are deferred and coalesced (last write wins
+        per window / per window+atom) until the batch flushes.
+
+        An X error (including a quota denial) splits the batch: what
+        was coalesced so far is synthesised, the error is recorded as
+        that op's result, and execution continues.  Connection loss and
+        injected crashes propagate after draining.  Returns one
+        ``{"ok": ...}`` result dict per op.
+        """
+        # Reentrancy: a flush delivers events, loopback handlers run
+        # synchronously and may issue requests — a nested execute_batch
+        # joins the open flush window instead of failing.
+        outer = self._batch
+        batch = outer if outer is not None else ActiveBatch()
+        self._stats.count_batched(len(ops))
+        self._batch = batch
+        results: List[dict] = []
+        try:
+            for op in ops:
+                try:
+                    name, args, kwargs = op
+                    args = tuple(args)
+                    kwargs = dict(kwargs)
+                except (TypeError, ValueError):
+                    results.append(
+                        {"ok": False, "error": "BadValue",
+                         "detail": "malformed batch op"}
+                    )
+                    continue
+                if name not in BATCHABLE_REQUESTS:
+                    results.append(
+                        {"ok": False, "error": "BadValue",
+                         "detail": f"{name!r} is not batchable"}
+                    )
+                    continue
+                method = getattr(self, name)
+                try:
+                    result = method(client_id, *args, **kwargs)
+                except XError as err:
+                    # Fault/quota boundary: split the batch (anything
+                    # a fired fault rule deferred was already flushed
+                    # in _apply_faults; quota denials split here).
+                    batch.flush(self)
+                    results.append(
+                        {"ok": False, "error": type(err).__name__,
+                         "detail": str(err)}
+                    )
+                    continue
+                results.append({"ok": True, "result": result})
+        finally:
+            self._batch = outer
+            if outer is None:
+                batch.flush(self)
+        return results
 
     # ------------------------------------------------------------------
     # SendEvent

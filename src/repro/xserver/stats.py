@@ -28,9 +28,14 @@ measurable rather than aspirational, the server keeps cheap counters:
 - **guarded_errors**: X errors the window manager absorbed through its
   ``guarded()`` degradation wrapper, by error name,
 - **caches**: hit/miss/invalidation counts for the window tree's
-  geometry, visibility, stacking-index, and interest caches (see
-  :class:`repro.xserver.window.TreeCaches`), one cache bundle per
-  screen, aggregated here.
+  geometry, visibility, stacking-index, interest, and visible-region
+  caches (see :class:`repro.xserver.window.TreeCaches`), one cache
+  bundle per screen, aggregated here,
+- **batched / batch_coalesced / damage_rects**: batched-execution and
+  damage accounting — logical requests executed inside
+  ``execute_batch`` flush windows, notifications squashed by batch
+  coalescing (see :mod:`repro.xserver.batch`), and Expose damage
+  rectangles delivered by the region layer.
 
 ``delivered + coalesced`` for a type is therefore the *raw* event count
 the server produced; ``delivered`` is what clients really had to read.
@@ -43,7 +48,9 @@ from collections import Counter
 from typing import Dict, List, Optional
 
 #: Cache families reported by :meth:`ServerStats.cache_counters`.
-CACHE_KINDS = ("geometry", "visibility", "stacking_index", "interest")
+CACHE_KINDS = (
+    "geometry", "visibility", "stacking_index", "interest", "region"
+)
 
 
 class ServerStats:
@@ -81,6 +88,12 @@ class ServerStats:
         #: shadow of BackpressureStage throttling) and protocol_errors
         #: (malformed frames a peer sent).
         self.wire: Dict[str, Counter] = {}
+        #: Logical requests executed inside execute_batch flush windows.
+        self.batched = 0
+        #: Notifications squashed by batch coalescing (per-key count - 1).
+        self.batch_coalesced = 0
+        #: Expose damage rectangles delivered by the region layer.
+        self.damage_rects = 0
         #: TreeCaches bundles registered by the server (one per screen).
         self._cache_trees: List = []
 
@@ -158,6 +171,15 @@ class ServerStats:
         if counter is None:
             counter = self.wire[transport] = Counter()
         counter[key] += amount
+
+    def count_batched(self, amount: int) -> None:
+        self.batched += amount
+
+    def count_batch_coalesced(self, amount: int) -> None:
+        self.batch_coalesced += amount
+
+    def count_damage_rects(self, amount: int) -> None:
+        self.damage_rects += amount
 
     # -- querying ---------------------------------------------------------
 
@@ -277,6 +299,18 @@ class ServerStats:
             return sum(self.grabs_broken.values())
         return self.grabs_broken[reason]
 
+    def batched_count(self) -> int:
+        """Logical requests executed inside batch flush windows."""
+        return self.batched
+
+    def batch_coalesced_count(self) -> int:
+        """Notifications batch coalescing squashed away."""
+        return self.batch_coalesced
+
+    def damage_rect_count(self) -> int:
+        """Expose damage rectangles delivered by the region layer."""
+        return self.damage_rects
+
     def wire_count(
         self, transport: Optional[str] = None, key: Optional[str] = None
     ) -> int:
@@ -367,6 +401,11 @@ class ServerStats:
                 "grabs_broken": dict(self.grabs_broken),
             },
             "wire": {name: dict(c) for name, c in self.wire.items()},
+            "batch": {
+                "batched": self.batched,
+                "coalesced": self.batch_coalesced,
+                "damage_rects": self.damage_rects,
+            },
             "caches": self.cache_counters(),
         }
 
@@ -393,6 +432,9 @@ class ServerStats:
         self.quota_warnings.clear()
         self.grabs_broken.clear()
         self.wire.clear()
+        self.batched = 0
+        self.batch_coalesced = 0
+        self.damage_rects = 0
         for caches in self._cache_trees:
             caches.reset_counters()
 

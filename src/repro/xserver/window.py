@@ -29,6 +29,13 @@ clock-validated caches shared per tree (:class:`TreeCaches`):
 - **interest caches** — the combined event mask and per-mask listener
   lists are memoised per window and invalidated only by
   :meth:`~Window.select_input` / :meth:`~Window.drop_client`.
+- **region cache** — each window memoises its visible ("clip") region
+  in root coordinates (:meth:`~Window.clip_region`): its rectangle,
+  intersected with the parent's clip, minus opaque siblings stacked
+  above.  Stamped against all three clocks, like the stacking index,
+  so it invalidates exactly when geometry/visibility/stacking change.
+  This is what turns exposure generation into damage-rect delivery
+  instead of whole-tree walks.
 
 Mutation goes through property setters (``rect``, ``border_width``,
 ``mapped``, ``parent``), so any assignment — the server's or a test's —
@@ -44,6 +51,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 from .errors import BadMatch, BadValue
 from .event_mask import EventMask
 from .geometry import Point, Rect
+from .region import Region
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .shape import ShapeRegion
@@ -90,6 +98,9 @@ class TreeCaches:
         "interest_hits",
         "interest_misses",
         "interest_invalidations",
+        "region_hits",
+        "region_misses",
+        "region_invalidations",
     )
 
     def __init__(self) -> None:
@@ -115,6 +126,9 @@ class TreeCaches:
         self.interest_hits = 0
         self.interest_misses = 0
         self.interest_invalidations = 0
+        self.region_hits = 0
+        self.region_misses = 0
+        self.region_invalidations = 0
 
     def counters(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/invalidation counts per cache family."""
@@ -138,6 +152,11 @@ class TreeCaches:
                 "hits": self.interest_hits,
                 "misses": self.interest_misses,
                 "invalidations": self.interest_invalidations,
+            },
+            "region": {
+                "hits": self.region_hits,
+                "misses": self.region_misses,
+                "invalidations": self.region_invalidations,
             },
         }
 
@@ -191,6 +210,8 @@ class Window:
         self._viewable_stamp = -1
         self._index: List[Tuple["Window", Rect]] = []
         self._index_stamp: Tuple[int, int, int] = (-1, -1, -1)
+        self._clip: Region = Region.EMPTY
+        self._clip_stamp: Tuple[int, int, int] = (-1, -1, -1)
         self._all_masks: Optional[EventMask] = None
         self._selecting: Dict[EventMask, List[int]] = {}
         if parent is not None:
@@ -227,6 +248,7 @@ class Window:
         self._origin_stamp = -1
         self._viewable_stamp = -1
         self._index_stamp = (-1, -1, -1)
+        self._clip_stamp = (-1, -1, -1)
         for child in self.children:
             child._adopt_caches(caches)
 
@@ -259,16 +281,19 @@ class Window:
         caches = self.caches
         caches.geometry_clock += 1
         caches.geometry_invalidations += 1
+        caches.region_invalidations += 1
 
     def _invalidate_visibility(self) -> None:
         caches = self.caches
         caches.visibility_clock += 1
         caches.visibility_invalidations += 1
+        caches.region_invalidations += 1
 
     def _invalidate_stacking(self) -> None:
         caches = self.caches
         caches.stacking_clock += 1
         caches.stacking_invalidations += 1
+        caches.region_invalidations += 1
 
     # -- geometry ---------------------------------------------------------
 
@@ -508,6 +533,79 @@ class Window:
                 return child
         return None
 
+    # -- visible (clip) region ------------------------------------------------
+
+    def clip_region(self) -> Region:
+        """The window's visible region in root coordinates.
+
+        Defined as the window's rectangle (inside its border) clipped
+        to the parent's visible region, minus the outer rectangles of
+        opaque siblings stacked above — where "opaque" means mapped,
+        unshaped, INPUT_OUTPUT.  Shaped and INPUT_ONLY siblings are
+        treated as transparent (an under-approximation of occlusion:
+        the cost is at most a spurious Expose, never a missing one).
+        An unmapped window, or one under an unviewable ancestor, has an
+        empty region.  A window's own children are *not* subtracted.
+
+        Cached per window, stamped against all three tree clocks;
+        revalidation walks only the stale part of the ancestor chain
+        (iteratively — fuzzer-built trees can be deeper than the
+        Python recursion limit)."""
+        caches = self.caches
+        stamp = (
+            caches.geometry_clock,
+            caches.visibility_clock,
+            caches.stacking_clock,
+        )
+        if self._clip_stamp == stamp:
+            caches.region_hits += 1
+            return self._clip
+        # Walk up to the nearest ancestor with a fresh clip (or the
+        # root), then recompute top-down, validating the whole chain.
+        chain: List[Window] = []
+        node: Optional[Window] = self
+        while node is not None and node._clip_stamp != stamp:
+            chain.append(node)
+            node = node._parent
+        caches.region_misses += len(chain)
+        if node is None:
+            top = chain.pop()
+            region = Region.from_rect(top.rect_in_root())
+            top._clip = region
+            top._clip_stamp = stamp
+        else:
+            # Reusing a validated ancestor's clip is the cache's win:
+            # sibling-by-sibling expose walks stop here every time.
+            caches.region_hits += 1
+            region = node._clip
+        for win in reversed(chain):
+            region = win._compute_clip(region)
+            win._clip = region
+            win._clip_stamp = stamp
+        return region
+
+    def _compute_clip(self, parent_clip: Region) -> Region:
+        """One level of the top-down clip computation (non-root)."""
+        if not self._mapped or parent_clip.empty:
+            return Region.EMPTY
+        region = Region.from_rect(self.rect_in_root()).intersect(parent_clip)
+        if region.empty:
+            return region
+        siblings = self._parent.children
+        for i in range(siblings.index(self) + 1, len(siblings)):
+            above = siblings[i]
+            if (
+                above._mapped
+                and above.shape is None
+                and above.win_class != INPUT_ONLY
+            ):
+                rect = above.outer_rect_in_root()
+                if region.intersects_rect(rect):
+                    region = region.subtract(rect)
+                    if region.empty:
+                        break
+        return region
+
     def sibling_index(self) -> int:
         if self._parent is None:
             raise BadMatch(self.id, "root window has no siblings")
@@ -529,33 +627,37 @@ class Window:
             raise BadMatch(sibling.id, "sibling has a different parent")
         siblings = parent.children
 
+        def overlaps_any(candidates: List["Window"]) -> bool:
+            # Occlusion via region algebra: the union of the mapped
+            # candidates' outer rects, intersected with ours.  Same
+            # truth value as pairwise overlap, but bands collapse
+            # shared edges so heavily tiled siblings don't degrade to
+            # O(candidates) rect tests on every conditional restack.
+            mine = Region.from_rect(self.outer_rect())
+            covered = Region.union_all(
+                other.outer_rect() for other in candidates if other.mapped
+            )
+            return not covered.intersect(mine).empty
+
         def occluded_by_sibling() -> bool:
             my_index = siblings.index(self)
-            mine = self.outer_rect()
             if sibling is not None:
                 candidates = (
                     [sibling] if siblings.index(sibling) > my_index else []
                 )
             else:
                 candidates = siblings[my_index + 1:]
-            return any(
-                other.mapped and other.outer_rect().intersects(mine)
-                for other in candidates
-            )
+            return overlaps_any(candidates)
 
         def occludes_sibling() -> bool:
             my_index = siblings.index(self)
-            mine = self.outer_rect()
             if sibling is not None:
                 candidates = (
                     [sibling] if siblings.index(sibling) < my_index else []
                 )
             else:
                 candidates = siblings[:my_index]
-            return any(
-                other.mapped and other.outer_rect().intersects(mine)
-                for other in candidates
-            )
+            return overlaps_any(candidates)
 
         if mode == ABOVE:
             siblings.remove(self)

@@ -433,6 +433,7 @@ _REQUEST_TABLE: Tuple[Tuple[str, bool], ...] = (
     ("note_drained", False),
     ("count_discards", False),
     ("close", False),
+    ("execute_batch", True),
 )
 
 REQUESTS: Dict[str, RequestSpec] = {

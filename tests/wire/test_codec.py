@@ -300,6 +300,16 @@ def sample_request(name, rng):
         "note_drained": ((0,), {}),
         "count_discards": ((["Expose", "MotionNotify"],), {}),
         "close": ((), {}),
+        "execute_batch": (
+            (
+                [
+                    ("configure_window", (w, 3), {"x": 5, "y": 7}),
+                    ("change_property", (w, 39, 31, 8, "swm", 0), {}),
+                    ("delete_property", (w, 39), {}),
+                ],
+            ),
+            {},
+        ),
     }
     return samples[name]
 

@@ -242,7 +242,7 @@ class TestCacheCounters:
     def test_counters_in_snapshot(self, server, conn):
         snapshot = server.stats().snapshot()
         assert set(snapshot["caches"]) == {
-            "geometry", "visibility", "stacking_index", "interest"
+            "geometry", "visibility", "stacking_index", "interest", "region"
         }
 
     def test_hits_accumulate_and_invalidations_count(self, server, conn):

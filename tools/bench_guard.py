@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the t7/t10 perf suites.
+
+Raw benchmark means are useless across CI runners of different speeds,
+so every guarded mean is *normalized* by the same run's reference case
+— the empty-desktop t7 motion sweep (``test_t7_motion_sweep[0]``),
+a pure interpreter+dispatch measurement that scales with machine speed
+but not with any of the code paths the guards watch.  The guard then
+compares those machine-free ratios against a committed baseline and
+fails when one regresses by more than the tolerance (default 25%).
+
+Two modes::
+
+    # Distill a pytest-benchmark JSON into the nightly artifact.
+    python tools/bench_guard.py extract benchmark-results.json \
+        -o BENCH_t7_t10.json
+
+    # Compare a fresh run against the committed baseline.
+    python tools/bench_guard.py guard benchmark-results.json \
+        --baseline benchmarks/BASELINE_t7_t10.json
+
+Refresh the baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=benchmark-results.json
+    python tools/bench_guard.py extract benchmark-results.json \
+        -o benchmarks/BASELINE_t7_t10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+GROUPS = ("t7", "t10")
+REFERENCE = "test_t7_motion_sweep[0]"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_means(results_path: str) -> Dict[str, float]:
+    """name -> mean seconds for every t7/t10 benchmark in a
+    pytest-benchmark JSON."""
+    with open(results_path) as fh:
+        data = json.load(fh)
+    means = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("group") in GROUPS:
+            means[bench["name"]] = bench["stats"]["mean"]
+    if not means:
+        sys.exit(f"error: no t7/t10 benchmarks found in {results_path}")
+    if REFERENCE not in means:
+        sys.exit(f"error: reference benchmark {REFERENCE!r} missing "
+                 f"from {results_path}")
+    return means
+
+
+def distill(means: Dict[str, float]) -> dict:
+    reference = means[REFERENCE]
+    return {
+        "reference": REFERENCE,
+        "reference_mean": reference,
+        "means": dict(sorted(means.items())),
+        "ratios": {
+            name: mean / reference
+            for name, mean in sorted(means.items())
+            if name != REFERENCE
+        },
+    }
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    summary = distill(load_means(args.results))
+    with open(args.output, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(summary['means'])} benchmark means to {args.output}")
+    return 0
+
+
+def cmd_guard(args: argparse.Namespace) -> int:
+    current = distill(load_means(args.results))
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    if baseline.get("reference") != REFERENCE:
+        sys.exit(f"error: baseline {args.baseline} was built against "
+                 f"{baseline.get('reference')!r}, expected {REFERENCE!r}")
+
+    failures = []
+    print(f"{'benchmark':52s} {'base':>8s} {'now':>8s} {'delta':>8s}")
+    for name, base_ratio in sorted(baseline["ratios"].items()):
+        now_ratio = current["ratios"].get(name)
+        if now_ratio is None:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:52s} {base_ratio:8.3f} {'--':>8s}  MISSING")
+            continue
+        delta = now_ratio / base_ratio - 1.0
+        verdict = ""
+        if delta > args.tolerance:
+            verdict = "  REGRESSED"
+            failures.append(
+                f"{name}: {delta:+.1%} vs baseline "
+                f"(ratio {base_ratio:.3f} -> {now_ratio:.3f})"
+            )
+        print(f"{name:52s} {base_ratio:8.3f} {now_ratio:8.3f} "
+              f"{delta:+7.1%}{verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(baseline['ratios'])} guarded benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    extract = sub.add_parser(
+        "extract", help="distill a pytest-benchmark JSON into a summary"
+    )
+    extract.add_argument("results", help="pytest-benchmark JSON file")
+    extract.add_argument("-o", "--output", required=True)
+    extract.set_defaults(func=cmd_extract)
+
+    guard = sub.add_parser(
+        "guard", help="fail when normalized means regress past tolerance"
+    )
+    guard.add_argument("results", help="pytest-benchmark JSON file")
+    guard.add_argument("--baseline", required=True)
+    guard.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown (default 0.25)",
+    )
+    guard.set_defaults(func=cmd_guard)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
