@@ -9,6 +9,10 @@ Subcommands expose the wire layer::
 
     python -m repro serve  --port 6600    # TCP X server, swm managing it
     python -m repro connect --port 6600   # remote smoke-test client
+
+and the observability layer::
+
+    python -m repro soak --seed 1337 --profile ci --out BENCH_soak.json
 """
 
 from __future__ import annotations
@@ -128,6 +132,42 @@ def connect(host: str, port: int, name: str) -> int:
     return 0
 
 
+def soak(opts) -> int:
+    """Run a deterministic soak (see repro.session.soak) and export the
+    ``BENCH_soak.json`` trajectory.  Exit codes: 0 clean, 1 oracle
+    drift, 2 crash storm."""
+    from .session.soak import run_soak
+
+    if opts.dump_dir:
+        import os
+
+        os.makedirs(opts.dump_dir, exist_ok=True)
+    print(f"soak: profile={opts.profile} seed={opts.seed}")
+    print(f"replay: PYTHONPATH=src python -m repro soak"
+          f" --seed {opts.seed} --profile {opts.profile}")
+    code, result = run_soak(
+        opts.seed,
+        profile=opts.profile,
+        out=opts.out,
+        dump_dir=opts.dump_dir or None,
+        store_dir=opts.store_dir or None,
+    )
+    if result is not None:
+        totals = result["totals"]
+        print(
+            f"soak {'OK' if code == 0 else 'FAILED'}:"
+            f" {totals['requests']} requests,"
+            f" {totals['crashes']} crashes,"
+            f" {totals['restarts']} restarts,"
+            f" {totals['oracle_checks']} oracle checks,"
+            f" signature={totals['signature']}"
+            f" in {totals['wall_s']}s"
+        )
+        if opts.out:
+            print(f"wrote {opts.out}")
+    return code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -152,7 +192,30 @@ def main(argv=None) -> int:
     connect_p.add_argument("--port", type=int, default=6600)
     connect_p.add_argument("--name", default="repro-connect")
 
+    soak_p = sub.add_parser(
+        "soak", help="deterministic soak run with tracing + oracles"
+    )
+    soak_p.add_argument("--seed", type=int, default=1337)
+    soak_p.add_argument(
+        "--profile", default="ci",
+        help="soak profile: quick, ci or long (default: ci)",
+    )
+    soak_p.add_argument(
+        "--out", default="BENCH_soak.json",
+        help="result payload path (default: BENCH_soak.json)",
+    )
+    soak_p.add_argument(
+        "--dump-dir", default="",
+        help="directory for flight-recorder dumps (default: none)",
+    )
+    soak_p.add_argument(
+        "--store-dir", default="",
+        help="session-store directory (default: a temp dir)",
+    )
+
     opts = parser.parse_args(argv)
+    if opts.command == "soak":
+        return soak(opts)
     if opts.command == "serve":
         return serve(opts.host, opts.port, with_wm=not opts.no_wm)
     if opts.command == "connect":

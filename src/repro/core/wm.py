@@ -37,6 +37,7 @@ from ..xserver.errors import BadWindow, XError
 from ..xserver.event_mask import EventMask
 from ..xserver.geometry import Point, Rect, Size, parse_geometry
 from ..xserver.server import XServer
+from ..xserver.trace import monotonic_ns
 from ..xserver.xid import NONE
 from ..xrm.database import ResourceDatabase
 from ..session.store import SessionStore  # noqa: F401  (re-exported)
@@ -211,7 +212,7 @@ class Swm:
         self.requests = RedirectController(self)
 
         self._handler_table: Dict[
-            type, List[Tuple[int, int, Callable[[ev.Event], object]]]
+            type, List[Tuple[int, int, Callable[[ev.Event], object], str]]
         ] = {}
         self._install_handlers()
 
@@ -250,12 +251,15 @@ class Swm:
         event_cls: type,
         handler: Callable[[ev.Event], object],
         priority: int = PRI_SUBSYSTEM,
+        subsystem: str = "wm",
     ) -> None:
         """Install *handler* for *event_cls*.  Handlers run in priority
         order (ties break by registration order); a truthy return
-        consumes the event and stops the chain."""
+        consumes the event and stops the chain.  *subsystem* tags the
+        handler for the structured tracer's per-subsystem latency
+        histograms (see :mod:`repro.xserver.trace`)."""
         entries = self._handler_table.setdefault(event_cls, [])
-        entries.append((priority, len(entries), handler))
+        entries.append((priority, len(entries), handler, subsystem))
         entries.sort(key=lambda entry: (entry[0], entry[1]))
 
     def _install_handlers(self) -> None:
@@ -269,11 +273,32 @@ class Swm:
             self.requests,
         ):
             for event_cls, priority, handler in controller.event_handlers():
-                self.register_handler(event_cls, handler, priority)
+                self.register_handler(
+                    event_cls, handler, priority, controller.name
+                )
 
     def _dispatch(self, event: ev.Event) -> None:
-        for _, _, handler in self._handler_table.get(type(event), ()):
-            if handler(event):
+        entries = self._handler_table.get(type(event), ())
+        tracer = self.server.tracer
+        if not tracer.enabled:
+            for _, _, handler, _ in entries:
+                if handler(event):
+                    return
+            return
+        # Traced dispatch: every handler invocation feeds its
+        # subsystem's latency histogram; the consuming one also earns
+        # a flight-recorder span.
+        type_name = type(event).__name__
+        tick = getattr(event, "time", 0) or 0
+        client = self.conn.client_id
+        for _, _, handler, subsystem in entries:
+            started = monotonic_ns()
+            consumed = bool(handler(event))
+            tracer.record_dispatch(
+                subsystem, type_name, tick, client,
+                monotonic_ns() - started, consumed,
+            )
+            if consumed:
                 return
 
     # ------------------------------------------------------------------

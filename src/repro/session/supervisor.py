@@ -29,9 +29,11 @@ of zombie frames to adopt.
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, TYPE_CHECKING
 
+from ..xserver import trace as trace_mod
 from ..xserver.client import ClientConnection
 from ..xserver.faults import WMCrash
 from .hints import clear_restart_property, swmhints
@@ -74,6 +76,8 @@ class Supervisor:
         storm_threshold: int = 6,
         storm_window: int = 2000,
         cleanup: str = "close",
+        flight_dir: Optional[str] = None,
+        flight_seed: Optional[int] = None,
     ):
         if cleanup not in ("close", "abandon"):
             raise ValueError(f"unknown cleanup mode {cleanup!r}")
@@ -92,6 +96,15 @@ class Supervisor:
         self.restarts = 0
         self.tripped = False
         self._consecutive = 0
+        #: Where flight-recorder dumps land (defaults to SWM_FLIGHT_DIR);
+        #: dumps happen only while the server's tracer is enabled.
+        self.flight_dir = (
+            flight_dir if flight_dir is not None else trace_mod.flight_dir()
+        )
+        #: Replay seed stamped into every dump (soak runs set this).
+        self.flight_seed = flight_seed
+        #: Paths of the flight dumps written so far.
+        self.flight_dumps: List[str] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -188,6 +201,7 @@ class Supervisor:
                 CrashRecord(now, crash.crash_point, 0, self.cleanup,
                             during_boot)
             )
+            self._dump_flight(crash, during_boot, storm=True)
             logger.error(
                 "crash storm: %d crashes within %d ticks; not restarting",
                 len(recent) + 1, self.storm_window,
@@ -204,6 +218,10 @@ class Supervisor:
             CrashRecord(now, crash.crash_point, backoff, self.cleanup,
                         during_boot)
         )
+        # Dump the flight recorder *before* corpse cleanup: the ring
+        # must end at the crashing request's span, not at the teardown
+        # traffic that follows it.
+        self._dump_flight(crash, during_boot, storm=False)
         logger.warning(
             "wm crashed at %s (%s); restarting in %d ticks",
             crash.crash_point, "boot" if during_boot else "run", backoff,
@@ -216,6 +234,33 @@ class Supervisor:
         # Simulated wall-clock wait: the backoff burns timestamp ticks,
         # which is also what the storm window is measured in.
         self.server.timestamp += backoff
+
+    def _dump_flight(
+        self, crash: WMCrash, during_boot: bool, storm: bool
+    ) -> Optional[str]:
+        """Write the server tracer's flight recorder to a JSON artifact
+        (one per crash).  No-op unless a dump directory is configured
+        and the tracer is enabled."""
+        tracer = getattr(self.server, "tracer", None)
+        if self.flight_dir is None or tracer is None or not tracer.enabled:
+            return None
+        reason = "CrashStorm" if storm else "WMCrash"
+        path = os.path.join(
+            self.flight_dir, f"flight-crash-{len(self.crashes):03d}.json"
+        )
+        tracer.dump(
+            path,
+            reason=f"{reason}:{crash.crash_point}",
+            seed=self.flight_seed,
+            extra={
+                "during_boot": during_boot,
+                "restarts": self.restarts,
+                "crashes": len(self.crashes),
+                "timestamp": self.server.timestamp,
+            },
+        )
+        self.flight_dumps.append(path)
+        return path
 
     def _cleanup_client(self, client_id: int) -> None:
         if self.cleanup == "abandon":

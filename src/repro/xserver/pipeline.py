@@ -194,10 +194,14 @@ class InstrumentationStage(PipelineStage):
     name = "stats"
     observes_drops = True
 
-    def __init__(self, stats, client_id: int) -> None:
+    def __init__(self, stats, client_id: int, tracer=None) -> None:
         super().__init__()
         self.stats = stats
         self.client_id = client_id
+        #: Optional structured tracer (see repro.xserver.trace): when
+        #: enabled, every delivery earns an event span tagged with its
+        #: final outcome.  None / disabled costs one attribute test.
+        self.tracer = tracer
 
     def process(self, delivery: Delivery) -> None:
         type_name = type(delivery.event).__name__
@@ -207,6 +211,14 @@ class InstrumentationStage(PipelineStage):
             self.stats.count_coalesced(self.client_id, type_name)
         elif delivery.outcome == APPEND:
             self.stats.count_delivered(self.client_id, type_name)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record_event(
+                type_name,
+                getattr(delivery.event, "time", 0) or 0,
+                self.client_id,
+                delivery.outcome,
+            )
 
 
 class EventPipeline:

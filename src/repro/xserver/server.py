@@ -62,6 +62,7 @@ from .properties import PROP_MODE_APPEND, PROP_MODE_REPLACE
 from .quotas import QuotaLimits, QuotaManager
 from .screen import Screen
 from .stats import ServerStats
+from .trace import Tracer, auto_enable, monotonic_ns
 from .shape import SHAPE_BOUNDING, SHAPE_SET, ShapeRegion
 from .window import (
     INPUT_ONLY,
@@ -121,6 +122,13 @@ class XServer:
         self.generation = 1  # bumped by reset() ("restarting X")
         self._trace = None  # Optional[deque]; see start_trace()
         self._stats = ServerStats()
+        #: Structured tracing + flight recorder (see repro.xserver.trace).
+        #: Disabled by default; provably inert until enabled.  Setting
+        #: the SWM_FLIGHT_DIR environment variable enables it from birth
+        #: so CI failure hooks can dump the flight recorder.
+        self.tracer = Tracer()
+        self._stats.attach_tracer(self.tracer)
+        auto_enable(self.tracer)
         #: Per-client containment budgets (see repro.xserver.quotas).
         self.quotas = QuotaManager(self._stats, quota_limits)
         #: Active fault-injection plan, or None (see install_faults()).
@@ -344,9 +352,15 @@ class XServer:
         # so far is synthesised before the fault's side effects (error
         # raise, connection close, stale destroy, flood) take place.
         self._flush_batch_events()
+        tracer = self.tracer
         if rule.kind == FAULT_ERROR:
             plan.record(FAULT_ERROR, request, client_id, rule.error, rule)
             self._stats.count_injected(FAULT_ERROR)
+            if tracer.enabled:
+                tracer.note_fault(
+                    FAULT_ERROR, request, self.timestamp, client_id,
+                    rule.error,
+                )
             raise error_class(rule.error)(
                 None, f"{rule.error} injected into {request}"
             )
@@ -356,6 +370,11 @@ class XServer:
                 return
             plan.record(FAULT_KILL, request, client_id, f"kill {rule.when}", rule)
             self._stats.count_injected(FAULT_KILL)
+            if tracer.enabled:
+                tracer.note_fault(
+                    FAULT_KILL, request, self.timestamp, client_id,
+                    f"kill {rule.when}",
+                )
             if rule.when == "after":
                 plan.defer_kill(client_id)
                 return
@@ -366,6 +385,11 @@ class XServer:
                 FAULT_CRASH, request, client_id, "wm process died", rule
             )
             self._stats.count_injected(FAULT_CRASH)
+            if tracer.enabled:
+                tracer.note_fault(
+                    FAULT_CRASH, request, self.timestamp, client_id,
+                    "wm process died",
+                )
             # The requester's process dies before the request runs; its
             # connection and windows linger until the supervisor cleans
             # up the corpse (close_client or abandon_client).
@@ -379,6 +403,11 @@ class XServer:
                 FAULT_STALE, request, client_id, f"destroyed {target.id:#x}", rule
             )
             self._stats.count_injected(FAULT_STALE)
+            if tracer.enabled:
+                tracer.note_fault(
+                    FAULT_STALE, request, self.timestamp, client_id,
+                    f"destroyed {target.id:#x}",
+                )
             # The window dies between the caller's lookup and its use;
             # the request then fails with the server's own BadWindow.
             self._destroy_tree(target)
@@ -393,6 +422,11 @@ class XServer:
                 f"storm burst={rule.burst}", rule,
             )
             self._stats.count_injected(FAULT_FLOOD)
+            if tracer.enabled:
+                tracer.note_fault(
+                    FAULT_FLOOD, request, self.timestamp, client_id,
+                    f"storm burst={rule.burst}",
+                )
             # The storm runs with the plan suspended: zero RNG draws,
             # no nested faults — the flood itself is bit-deterministic
             # and the triggering request then proceeds normally.
@@ -454,7 +488,7 @@ class XServer:
                 FaultStage(self, client_id),
                 CoalescingStage(),
                 BackpressureStage(self, client_id),
-                InstrumentationStage(self._stats, client_id),
+                InstrumentationStage(self._stats, client_id, self.tracer),
             ]
         )
 
@@ -517,7 +551,10 @@ class XServer:
 
     def start_trace(self, maxlen: int = 10_000) -> None:
         """Begin recording (timestamp, request-name) pairs for every
-        protocol request, into a bounded ring buffer."""
+        protocol request, into a bounded ring buffer.  This is the
+        lightweight request log; the structured span tracer with
+        latency histograms and the flight recorder is ``self.tracer``
+        (see :mod:`repro.xserver.trace`)."""
         from collections import deque
 
         self._trace = deque(maxlen=maxlen)
@@ -1175,18 +1212,31 @@ class XServer:
                     )
                     continue
                 method = getattr(self, name)
+                tracer = self.tracer
+                started = monotonic_ns() if tracer.enabled else 0
                 try:
                     result = method(client_id, *args, **kwargs)
                 except XError as err:
                     # Fault/quota boundary: split the batch (anything
                     # a fired fault rule deferred was already flushed
                     # in _apply_faults; quota denials split here).
+                    if tracer.enabled:
+                        tracer.record_request(
+                            name, self.timestamp, client_id,
+                            monotonic_ns() - started,
+                            ("batch", "error=" + type(err).__name__),
+                        )
                     batch.flush(self)
                     results.append(
                         {"ok": False, "error": type(err).__name__,
                          "detail": str(err)}
                     )
                     continue
+                if tracer.enabled:
+                    tracer.record_request(
+                        name, self.timestamp, client_id,
+                        monotonic_ns() - started, ("batch",),
+                    )
                 results.append({"ok": True, "result": result})
         finally:
             self._batch = outer

@@ -40,6 +40,11 @@ measurable rather than aspirational, the server keeps cheap counters:
 ``delivered + coalesced`` for a type is therefore the *raw* event count
 the server produced; ``delivered`` is what clients really had to read.
 Query via ``server.stats()``.
+
+When the server's structured tracer is enabled (see
+:mod:`repro.xserver.trace`), ``snapshot()["trace"]`` additionally
+carries per-opcode and per-subsystem latency histograms (p50/p95/p99),
+event/fault span counts and the deterministic span-sequence signature.
 """
 
 from __future__ import annotations
@@ -96,11 +101,20 @@ class ServerStats:
         self.damage_rects = 0
         #: TreeCaches bundles registered by the server (one per screen).
         self._cache_trees: List = []
+        #: Attached structured tracer (see repro.xserver.trace), whose
+        #: latency histograms surface under snapshot()["trace"].
+        self.tracer = None
 
     def track_cache(self, caches) -> None:
         """Register a :class:`~repro.xserver.window.TreeCaches` so its
         counters are aggregated into this stats object."""
         self._cache_trees.append(caches)
+
+    def attach_tracer(self, tracer) -> None:
+        """Register the server's :class:`~repro.xserver.trace.Tracer`
+        so its per-opcode / per-subsystem latency histograms appear in
+        :meth:`snapshot` under the ``"trace"`` key."""
+        self.tracer = tracer
 
     # -- recording (hot path: keep these tiny) ----------------------------
 
@@ -407,6 +421,12 @@ class ServerStats:
                 "damage_rects": self.damage_rects,
             },
             "caches": self.cache_counters(),
+            "trace": (
+                self.tracer.snapshot()
+                if self.tracer is not None
+                else {"enabled": False, "spans": 0, "opcodes": {},
+                      "subsystems": {}, "events": {}, "faults": {}}
+            ),
         }
 
     def reset(self) -> None:

@@ -1,0 +1,473 @@
+"""Structured tracing, latency histograms and the flight recorder.
+
+The paper's swm is a long-lived shell process mediating every client's
+interaction with the display; a reproduction that cannot say *where
+time goes* or *what happened just before a crash* is not reproducing
+the operational reality (months-long control-room sessions, diagnosed
+after the fact).  This module is the observability layer:
+
+- :class:`Tracer` — one per :class:`~repro.xserver.server.XServer`,
+  **disabled by default and provably inert while disabled** (every hot
+  path guards on a single ``tracer.enabled`` attribute test; the T7/T10
+  benchmark guards and the inertness tests hold this to account).  When
+  enabled, every protocol request (at the
+  :func:`~repro.xserver.wire.transport.dispatch_request` chokepoint,
+  both transports), every delivered event (instrumentation stage) and
+  every consuming subsystem handler dispatch (``Swm._dispatch``) gets a
+  :class:`TraceSpan` tagged with client id, opcode / event type,
+  subsystem and fault/quota/batch annotations.
+- :class:`LatencyHistogram` — fixed log2 buckets (bucket *b* holds
+  durations whose nanosecond value has bit length *b*, i.e.
+  ``[2**(b-1), 2**b)``; bucket 0 holds zero), so recording is two array
+  ops with no allocation and p50/p95/p99 are bucket-ceiling estimates.
+  Per-opcode and per-subsystem histograms surface through
+  ``server.stats().snapshot()["trace"]``.
+- :class:`FlightRecorder` — a bounded ring (``deque(maxlen=N)``) of the
+  last N spans, *including* injected-fault marker spans, dumped to a
+  JSON artifact on :class:`~repro.xserver.faults.WMCrash`, oracle
+  failure or :class:`~repro.session.supervisor.CrashStorm` so a red
+  chaos cell is inspectable without replaying it.
+
+Determinism contract: span *keys* (:meth:`TraceSpan.key`) exclude the
+wall-clock ``duration_ns`` — everything else (serial, server tick,
+kind, name, client, subsystem, annotations) is a pure function of the
+seeded workload, so two runs of the same seed produce bit-identical
+key sequences.  The tracer folds every key into a running CRC32
+:attr:`Tracer.signature`, letting the soak harness assert sequence
+identity without holding every span.
+
+Setting the :data:`FLIGHT_DIR_ENV` environment variable to a directory
+auto-enables the tracer of every subsequently constructed server and
+registers it in a process-wide weak registry; the chaos/fuzz test
+hooks call :func:`dump_all` from a failure report so CI uploads the
+last seconds of protocol history for any red cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import weakref
+import zlib
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+#: Span kinds.
+KIND_REQUEST = "request"
+KIND_EVENT = "event"
+KIND_DISPATCH = "dispatch"
+KIND_FAULT = "fault"
+
+#: Environment variable naming a directory for flight-recorder dumps.
+#: When set, new servers trace into their flight recorders from birth.
+FLIGHT_DIR_ENV = "SWM_FLIGHT_DIR"
+
+#: log2 histogram buckets: enough for durations up to ~2**63 ns.
+BUCKETS = 64
+
+#: Default flight-recorder capacity (spans retained).
+DEFAULT_CAPACITY = 2048
+
+#: Live enabled tracers, for env-driven dump-on-failure hooks.
+_REGISTRY: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+
+
+def monotonic_ns() -> int:
+    """The wall duration source (monotonic, ns).  Excluded from every
+    determinism guarantee; used only for latency measurement."""
+    return time.perf_counter_ns()
+
+
+class LatencyHistogram:
+    """Fixed-bucket log2 latency histogram (zero-alloc recording).
+
+    Bucket index for a duration of ``ns`` nanoseconds is
+    ``ns.bit_length()`` clamped to :data:`BUCKETS` - 1: bucket 0 holds
+    exact zeros, bucket *b* (b >= 1) holds ``[2**(b-1), 2**b)``.
+    Percentiles report the ceiling of the bucket holding the requested
+    rank (``2**b - 1``), a <=2x overestimate by construction.
+    """
+
+    __slots__ = ("counts", "count", "total_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKETS
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+
+    def record(self, ns: int) -> None:
+        if ns < 0:
+            ns = 0
+        index = ns.bit_length()
+        if index >= BUCKETS:
+            index = BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    @staticmethod
+    def bucket_ceiling(index: int) -> int:
+        """Largest duration the bucket can hold (0 for bucket 0)."""
+        return (1 << index) - 1 if index else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Bucket-ceiling estimate of the given percentile (0..1);
+        0 when the histogram is empty."""
+        if not self.count:
+            return 0
+        rank = fraction * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= rank and bucket:
+                return self.bucket_ceiling(index)
+        return self.bucket_ceiling(BUCKETS - 1)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "max_ns": self.max_ns,
+            "p50_ns": self.percentile(0.50),
+            "p95_ns": self.percentile(0.95),
+            "p99_ns": self.percentile(0.99),
+            "buckets": {
+                str(index): value
+                for index, value in enumerate(self.counts)
+                if value
+            },
+        }
+
+
+class TraceSpan:
+    """One traced unit of work (request, event delivery, handler
+    dispatch, or an injected-fault marker)."""
+
+    __slots__ = (
+        "serial", "tick", "kind", "name", "client",
+        "subsystem", "duration_ns", "notes",
+    )
+
+    def __init__(
+        self,
+        serial: int,
+        tick: int,
+        kind: str,
+        name: str,
+        client: Optional[int],
+        subsystem: Optional[str],
+        duration_ns: int,
+        notes: Tuple[str, ...],
+    ) -> None:
+        self.serial = serial
+        self.tick = tick
+        self.kind = kind
+        self.name = name
+        self.client = client
+        self.subsystem = subsystem
+        self.duration_ns = duration_ns
+        self.notes = notes
+
+    def key(self) -> Tuple:
+        """The deterministic identity of the span: everything except
+        the wall-clock duration."""
+        return (
+            self.serial, self.tick, self.kind, self.name,
+            self.client, self.subsystem, self.notes,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "serial": self.serial,
+            "tick": self.tick,
+            "kind": self.kind,
+            "name": self.name,
+            "client": self.client,
+            "subsystem": self.subsystem,
+            "duration_ns": self.duration_ns,
+            "notes": list(self.notes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceSpan #{self.serial} {self.kind}:{self.name}"
+            f" client={self.client} {self.duration_ns}ns>"
+        )
+
+
+class FlightRecorder:
+    """Bounded ring of the most recent spans (zero-alloc steady state:
+    a full ``deque(maxlen=N)`` drops the oldest entry on append)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self.spans: "deque[TraceSpan]" = deque(maxlen=capacity)
+
+    def record(self, span: TraceSpan) -> None:
+        self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def dump(
+        self,
+        reason: str,
+        seed: Optional[int] = None,
+        extra: Optional[dict] = None,
+    ) -> dict:
+        """The ring's contents as a JSON-serializable artifact."""
+        return {
+            "schema": "swm-flight/1",
+            "reason": reason,
+            "seed": seed,
+            "capacity": self.capacity,
+            "span_count": len(self.spans),
+            "spans": [span.to_dict() for span in self.spans],
+            "extra": extra or {},
+        }
+
+
+class Tracer:
+    """Per-server structured tracing (see module docstring).
+
+    Hot paths must guard with ``if tracer.enabled:`` *before* taking a
+    timestamp or building a span — a disabled tracer costs one
+    attribute test and nothing else.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.enabled = False
+        self.recorder = FlightRecorder(capacity)
+        #: Spans recorded since construction (also the next serial).
+        self.spans = 0
+        #: Running CRC32 over every span key, in record order.
+        self.signature = 0
+        self.opcodes: Dict[str, LatencyHistogram] = {}
+        self.subsystems: Dict[str, LatencyHistogram] = {}
+        #: Aggregate over every request span (soak phase summaries).
+        self.requests = LatencyHistogram()
+        self.events: Dict[str, int] = {}
+        self.faults: Dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, capacity: Optional[int] = None) -> None:
+        """Turn tracing on (idempotent).  *capacity* resizes the flight
+        recorder; resizing drops previously recorded spans."""
+        if capacity is not None and capacity != self.recorder.capacity:
+            self.recorder = FlightRecorder(capacity)
+        self.enabled = True
+        _REGISTRY.add(self)
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset_metrics(self) -> None:
+        """Clear the histograms and counters (phase bracketing) while
+        keeping the flight-recorder ring, the serial counter and the
+        running signature — the deterministic span sequence is a
+        whole-run property and must survive phase boundaries."""
+        self.opcodes.clear()
+        self.subsystems.clear()
+        self.requests = LatencyHistogram()
+        self.events.clear()
+        self.faults.clear()
+
+    # -- recording (enabled-only paths) ------------------------------------
+
+    def _span(
+        self,
+        tick: int,
+        kind: str,
+        name: str,
+        client: Optional[int],
+        subsystem: Optional[str],
+        duration_ns: int,
+        notes: Tuple[str, ...],
+    ) -> TraceSpan:
+        self.spans += 1
+        span = TraceSpan(
+            self.spans, tick, kind, name, client, subsystem,
+            duration_ns, notes,
+        )
+        self.signature = zlib.crc32(
+            repr(span.key()).encode("utf-8"), self.signature
+        )
+        self.recorder.record(span)
+        return span
+
+    def record_request(
+        self,
+        name: str,
+        tick: int,
+        client: Optional[int],
+        duration_ns: int,
+        notes: Tuple[str, ...] = (),
+    ) -> None:
+        """One protocol request completed (or raised; the error is in
+        *notes*).  Called from the transport dispatch chokepoint and,
+        with a ``"batch"`` note, for each op inside execute_batch."""
+        histogram = self.opcodes.get(name)
+        if histogram is None:
+            histogram = self.opcodes[name] = LatencyHistogram()
+        histogram.record(duration_ns)
+        self.requests.record(duration_ns)
+        self._span(
+            tick, KIND_REQUEST, name, client, None, duration_ns, notes
+        )
+
+    def record_event(
+        self, type_name: str, tick: int, client: int, outcome: str
+    ) -> None:
+        """One event ran the delivery pipeline; *outcome* is the final
+        pipeline outcome (append / coalesce / drop)."""
+        self.events[type_name] = self.events.get(type_name, 0) + 1
+        self._span(
+            tick, KIND_EVENT, type_name, client, None, 0, (outcome,)
+        )
+
+    def record_dispatch(
+        self,
+        subsystem: str,
+        type_name: str,
+        tick: int,
+        client: Optional[int],
+        duration_ns: int,
+        consumed: bool,
+    ) -> None:
+        """One WM subsystem handler ran for an event.  Every invocation
+        feeds the subsystem histogram; only the consuming handler earns
+        a ring span (the flight recorder stays readable)."""
+        histogram = self.subsystems.get(subsystem)
+        if histogram is None:
+            histogram = self.subsystems[subsystem] = LatencyHistogram()
+        histogram.record(duration_ns)
+        if consumed:
+            self._span(
+                tick, KIND_DISPATCH, type_name, client, subsystem,
+                duration_ns, (),
+            )
+
+    def note_fault(
+        self,
+        kind: str,
+        target: str,
+        tick: int,
+        client: Optional[int],
+        detail: str,
+    ) -> None:
+        """An installed FaultPlan fired: drop a marker span in the ring
+        so the dump shows the injected fault inline with the traffic."""
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+        self._span(
+            tick, KIND_FAULT, target, client, None, 0, (kind, detail)
+        )
+
+    # -- querying ----------------------------------------------------------
+
+    def span_keys(self) -> List[Tuple]:
+        """Deterministic keys of the spans still in the ring."""
+        return [span.key() for span in self.recorder.spans]
+
+    def snapshot(self) -> dict:
+        """The ``"trace"`` section of ``ServerStats.snapshot()``."""
+        return {
+            "enabled": self.enabled,
+            "spans": self.spans,
+            "signature": f"{self.signature:08x}",
+            "requests": self.requests.snapshot(),
+            "opcodes": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.opcodes.items())
+            },
+            "subsystems": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.subsystems.items())
+            },
+            "events": dict(sorted(self.events.items())),
+            "faults": dict(sorted(self.faults.items())),
+        }
+
+    def dump(
+        self,
+        path: str,
+        reason: str,
+        seed: Optional[int] = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """Write the flight recorder to *path* as JSON; returns *path*."""
+        artifact = self.recorder.dump(reason, seed=seed, extra=extra)
+        artifact["signature"] = f"{self.signature:08x}"
+        artifact["total_spans"] = self.spans
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Environment-driven auto-enable (CI dump-on-failure hooks)
+# ----------------------------------------------------------------------
+
+def flight_dir() -> Optional[str]:
+    """The configured flight-dump directory, or None."""
+    return os.environ.get(FLIGHT_DIR_ENV) or None
+
+
+def auto_enable(tracer: Tracer) -> bool:
+    """Enable *tracer* when :data:`FLIGHT_DIR_ENV` is set (called by
+    every new server), so chaos/fuzz CI jobs capture flight history
+    without any per-test opt-in.  Returns True when enabled."""
+    if flight_dir() is None:
+        return False
+    tracer.enable()
+    return True
+
+
+def dump_all(
+    directory: str, label: str, seed: Optional[int] = None
+) -> List[str]:
+    """Dump every live enabled tracer's flight recorder into
+    *directory* (one file per tracer, *label* in the name).  Used by
+    the chaos/fuzz failure hooks; returns the written paths."""
+    paths: List[str] = []
+    safe_label = "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in label
+    )[:120]
+    for index, tracer in enumerate(sorted(
+        _REGISTRY, key=lambda t: id(t)
+    )):
+        if not tracer.enabled or not len(tracer.recorder):
+            continue
+        path = os.path.join(
+            directory, f"flight-{safe_label}-{index}.json"
+        )
+        paths.append(tracer.dump(path, reason=f"failure:{label}",
+                                 seed=seed))
+    return paths
+
+
+__all__ = [
+    "BUCKETS",
+    "DEFAULT_CAPACITY",
+    "FLIGHT_DIR_ENV",
+    "FlightRecorder",
+    "KIND_DISPATCH",
+    "KIND_EVENT",
+    "KIND_FAULT",
+    "KIND_REQUEST",
+    "LatencyHistogram",
+    "TraceSpan",
+    "Tracer",
+    "auto_enable",
+    "dump_all",
+    "flight_dir",
+    "monotonic_ns",
+]

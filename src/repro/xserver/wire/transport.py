@@ -33,9 +33,12 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Sequence
 
 from .. import events as ev
-from ..errors import BadValue, BadWindow
+from ..errors import BadValue, BadWindow, XError
+from ..faults import ConnectionClosed, WMCrash
 from ..pipeline import DROP, EventPipeline
+from ..quotas import QuotaExceeded
 from ..server import EventSink, XServer
+from ..trace import monotonic_ns
 from ..xid import XIDRange
 from .codec import REQUESTS
 from .frames import WireProtocolError
@@ -112,6 +115,19 @@ class ServerConnection(EventSink):
         self.server.quotas.note_drained(self.client_id, remaining)
 
 
+def _error_note(err: BaseException) -> str:
+    """Classify a request failure for its trace-span annotation."""
+    if isinstance(err, WMCrash):
+        return f"crash={err.crash_point}"
+    if isinstance(err, QuotaExceeded):
+        return "quota=QuotaExceeded"
+    if isinstance(err, XError):
+        return f"error={type(err).__name__}"
+    if isinstance(err, ConnectionClosed):
+        return "closed"
+    return f"exception={type(err).__name__}"
+
+
 def dispatch_request(
     server: XServer,
     record: ServerConnection,
@@ -122,12 +138,43 @@ def dispatch_request(
     """Execute one decoded request against *server* on behalf of
     *record*'s client.  Both transports funnel through here — loopback
     calls it synchronously, TCP calls it from the event loop — so the
-    request surface behaves identically regardless of the wire.
+    request surface behaves identically regardless of the wire, and
+    this is where the structured tracer times each request end-to-end
+    (on loopback that honestly includes every synchronous WM reaction
+    the request triggered).
 
     Unknown request names raise :class:`WireProtocolError` (a hostile
     peer can name anything); X errors propagate to the caller, which
-    reports them as error replies.
+    reports them as error replies.  A failed request still earns its
+    span, annotated with the error — the flight recorder must show the
+    request a WMCrash rode in on.
     """
+    tracer = server.tracer
+    if not tracer.enabled:
+        return _execute_request(server, record, name, args, kwargs)
+    started = monotonic_ns()
+    try:
+        result = _execute_request(server, record, name, args, kwargs)
+    except BaseException as err:
+        tracer.record_request(
+            name, server.timestamp, record.client_id,
+            monotonic_ns() - started, (_error_note(err),),
+        )
+        raise
+    tracer.record_request(
+        name, server.timestamp, record.client_id,
+        monotonic_ns() - started,
+    )
+    return result
+
+
+def _execute_request(
+    server: XServer,
+    record: ServerConnection,
+    name: str,
+    args: tuple,
+    kwargs: dict,
+) -> Any:
     spec = REQUESTS.get(name)
     if spec is None:
         raise WireProtocolError(f"unknown request {name!r}")

@@ -38,6 +38,28 @@ def chaos_seed(request) -> int:
     return derive_seed(base_seed(), request.node.nodeid)
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a red chaos cell, dump every live tracer's flight recorder
+    (repro.xserver.trace) so CI can upload the last seconds of protocol
+    history.  No-op unless SWM_FLIGHT_DIR is set — setting it is also
+    what auto-enables tracing on every server the test built."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro.xserver import trace
+
+    directory = trace.flight_dir()
+    if directory is None:
+        return
+    paths = trace.dump_all(directory, item.nodeid, seed=base_seed())
+    if paths:
+        report.sections.append(
+            ("flight recorder", "\n".join(paths))
+        )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     seed = base_seed()
     terminalreporter.write_line(

@@ -1,0 +1,331 @@
+"""The structured tracing layer: histogram bucket math, flight-recorder
+ring semantics, span capture at the three hot paths (requests, event
+deliveries, subsystem dispatch), fault annotations, determinism under
+seeded fault plans, and — the load-bearing guarantee — that a disabled
+tracer changes nothing."""
+
+import json
+
+import pytest
+
+from repro.core.templates import load_template
+from repro.core.wm import Swm
+from repro.xserver import ClientConnection, XServer
+from repro.xserver.errors import BadWindow
+from repro.xserver.faults import ERROR, FaultPlan
+from repro.xserver.trace import (
+    BUCKETS,
+    FlightRecorder,
+    LatencyHistogram,
+    Tracer,
+    TraceSpan,
+)
+
+
+@pytest.fixture
+def server():
+    return XServer(screens=[(1000, 800, 8)])
+
+
+@pytest.fixture
+def traced(server):
+    server.tracer.enable()
+    return server
+
+
+def span(serial, **kwargs):
+    defaults = dict(
+        tick=0, kind="request", name="op", client=1,
+        subsystem=None, duration_ns=10, notes=(),
+    )
+    defaults.update(kwargs)
+    return TraceSpan(serial=serial, **defaults)
+
+
+class TestLatencyHistogram:
+    def test_bucket_edges(self):
+        # Bucket index is bit_length: 0→0, 1→1, 2..3→2, 4..7→3, ...
+        hist = LatencyHistogram()
+        for ns in (0, 1, 2, 3, 4, 7, 8, 1023, 1024):
+            hist.record(ns)
+        assert hist.counts[0] == 1          # the exact zero
+        assert hist.counts[1] == 1          # [1, 2)
+        assert hist.counts[2] == 2          # [2, 4)
+        assert hist.counts[3] == 2          # [4, 8): 4 and 7
+        assert hist.counts[4] == 1          # [8, 16)
+        assert hist.counts[10] == 1         # [512, 1024)
+        assert hist.counts[11] == 1         # [1024, 2048)
+        assert hist.count == 9
+        assert hist.max_ns == 1024
+
+    def test_huge_duration_clamps_to_last_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(2 ** 200)
+        assert hist.counts[BUCKETS - 1] == 1
+        assert hist.percentile(0.5) == (1 << (BUCKETS - 1)) - 1
+
+    def test_negative_duration_counts_as_zero(self):
+        # A clock hiccup must not corrupt the bucket array.
+        hist = LatencyHistogram()
+        hist.record(-5)
+        assert hist.counts[0] == 1
+        assert hist.total_ns == 0
+
+    def test_empty_percentiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.5) == 0
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p99_ns"] == 0
+        assert snap["buckets"] == {}
+
+    def test_percentile_reports_bucket_ceiling(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(100)                # bucket 7: [64, 128)
+        hist.record(100_000)                # bucket 17: [65536, 131072)
+        assert hist.percentile(0.50) == 127
+        assert hist.percentile(0.95) == 127
+        assert hist.percentile(0.999) == (1 << 17) - 1
+
+    def test_snapshot_only_lists_occupied_buckets(self):
+        hist = LatencyHistogram()
+        hist.record(5)
+        assert hist.snapshot()["buckets"] == {"3": 1}
+
+
+class TestFlightRecorder:
+    def test_ring_wraps_keeping_newest(self):
+        ring = FlightRecorder(capacity=4)
+        for serial in range(1, 11):
+            ring.record(span(serial))
+        assert len(ring) == 4
+        assert [s.serial for s in ring.spans] == [7, 8, 9, 10]
+
+    def test_dump_schema(self):
+        ring = FlightRecorder(capacity=4)
+        ring.record(span(1, notes=("crash=boom",)))
+        artifact = ring.dump("WMCrash:boom", seed=42, extra={"k": "v"})
+        assert artifact["schema"] == "swm-flight/1"
+        assert artifact["reason"] == "WMCrash:boom"
+        assert artifact["seed"] == 42
+        assert artifact["span_count"] == 1
+        assert artifact["spans"][0]["notes"] == ["crash=boom"]
+        assert artifact["extra"] == {"k": "v"}
+        json.dumps(artifact)  # must be JSON-serializable as-is
+
+    def test_serials_stay_monotonic_across_wraparound(self):
+        tracer = Tracer(capacity=8)
+        tracer.enable()
+        for _ in range(50):
+            tracer.record_request("op", 0, 1, 10)
+        serials = [k[0] for k in tracer.span_keys()]
+        assert serials == list(range(43, 51))
+        assert tracer.spans == 50
+
+
+class TestSpanCapture:
+    def test_request_spans_at_dispatch_chokepoint(self, traced):
+        conn = ClientConnection(traced, "app")
+        root = conn.root_window()
+        wid = conn.create_window(root, 0, 0, 50, 50)
+        conn.map_window(wid)
+        snap = traced.stats().snapshot()["trace"]
+        assert snap["enabled"] is True
+        assert snap["opcodes"]["create_window"]["count"] == 1
+        assert snap["opcodes"]["map_window"]["count"] == 1
+        assert snap["requests"]["count"] >= 3
+        for hist in snap["opcodes"].values():
+            assert set(hist) >= {"p50_ns", "p95_ns", "p99_ns"}
+
+    def test_failed_request_annotated_with_error(self, traced):
+        conn = ClientConnection(traced, "app")
+        with pytest.raises(BadWindow):
+            conn.map_window(0xDEAD)
+        keys = traced.tracer.span_keys()
+        failed = [k for k in keys if k[3] == "map_window"]
+        assert failed and failed[-1][6] == ("error=BadWindow",)
+
+    def test_event_spans_carry_pipeline_outcome(self, traced):
+        from repro.xserver import EventMask
+
+        conn = ClientConnection(traced, "app")
+        wid = conn.create_window(conn.root_window(), 0, 0, 50, 50)
+        conn.select_input(wid, EventMask.PointerMotion)
+        conn.map_window(wid)
+        for x in range(5):
+            traced.warp_pointer(conn.client_id, wid, 10 + x, 10)
+        snap = traced.tracer.snapshot()
+        assert snap["events"].get("MotionNotify", 0) >= 5
+        outcomes = {
+            k[6][0] for k in traced.tracer.span_keys() if k[2] == "event"
+        }
+        assert "append" in outcomes
+        assert "coalesce" in outcomes  # the motion burst collapsed
+
+    def test_subsystem_dispatch_histograms(self, traced, tmp_path):
+        wm = Swm(traced, load_template("OpenLook+"),
+                 places_path=str(tmp_path / "p.places"))
+        conn = ClientConnection(traced, "app")
+        wid = conn.create_window(conn.root_window(), 10, 10, 120, 90)
+        conn.map_window(wid)
+        wm.process_pending()
+        assert wid in wm.managed
+        snap = traced.stats().snapshot()["trace"]
+        assert "requests" in snap["subsystems"]  # MapRequest consumer
+        assert snap["subsystems"]["requests"]["count"] >= 1
+        consuming = [
+            k for k in traced.tracer.span_keys() if k[2] == "dispatch"
+        ]
+        assert any(k[5] == "requests" for k in consuming)
+
+    def test_batch_ops_annotated(self, traced):
+        conn = ClientConnection(traced, "app")
+        wid = conn.create_window(conn.root_window(), 0, 0, 50, 50)
+        conn.map_window(wid)
+        with conn.batch():
+            conn.move_window(wid, 5, 5)
+            conn.move_window(wid, 9, 9)
+        batched = [
+            k for k in traced.tracer.span_keys()
+            if k[2] == "request" and "batch" in k[6]
+        ]
+        assert len(batched) >= 2
+
+    def test_fault_marker_spans(self, server):
+        server.tracer.enable()
+        plan = FaultPlan(seed=7)
+        plan.rule(ERROR, probability=1.0, requests=("map_window",),
+                  max_fires=1)
+        server.install_faults(plan)
+        conn = ClientConnection(server, "victim")
+        wid = conn.create_window(conn.root_window(), 0, 0, 40, 40)
+        with pytest.raises(Exception):
+            conn.map_window(wid)
+        server.clear_faults()
+        snap = server.tracer.snapshot()
+        assert snap["faults"].get("error") == 1
+        fault_keys = [
+            k for k in server.tracer.span_keys() if k[2] == "fault"
+        ]
+        assert fault_keys and fault_keys[0][3] == "map_window"
+
+
+def _seeded_workload(seed, enable=True):
+    """A small fault-seasoned workload; returns the server."""
+    server = XServer(screens=[(800, 600, 8)])
+    if enable:
+        server.tracer.enable(capacity=256)
+    plan = FaultPlan(seed=seed)
+    plan.rule(ERROR, probability=0.3, requests=("configure_window",))
+    server.install_faults(plan)
+    conn = ClientConnection(server, "app")
+    root = conn.root_window()
+    wids = [conn.create_window(root, i * 10, 0, 60, 40) for i in range(4)]
+    for wid in wids:
+        conn.map_window(wid)
+    for step in range(40):
+        try:
+            conn.configure_window(wids[step % 4], x=step, y=step)
+        except Exception:
+            pass
+    server.clear_faults()
+    return server
+
+
+class TestDeterminism:
+    def test_same_seed_same_span_sequence(self):
+        a = _seeded_workload(1234)
+        b = _seeded_workload(1234)
+        assert a.tracer.span_keys() == b.tracer.span_keys()
+        assert a.tracer.signature == b.tracer.signature
+        assert a.tracer.spans == b.tracer.spans
+
+    def test_different_seed_diverges(self):
+        a = _seeded_workload(1234)
+        b = _seeded_workload(4321)
+        assert a.tracer.signature != b.tracer.signature
+
+    def test_reset_metrics_keeps_sequence_state(self):
+        server = _seeded_workload(1234)
+        tracer = server.tracer
+        spans, signature = tracer.spans, tracer.signature
+        ring = list(tracer.span_keys())
+        tracer.reset_metrics()
+        assert tracer.spans == spans
+        assert tracer.signature == signature
+        assert tracer.span_keys() == ring
+        assert tracer.snapshot()["requests"]["count"] == 0
+        assert tracer.snapshot()["opcodes"] == {}
+
+
+class TestInertness:
+    """Tracing disabled must be invisible: same counters, same
+    behaviour, no spans — the single `tracer.enabled` test aside."""
+
+    def _comparable(self, server):
+        snap = server.stats().snapshot()
+        snap.pop("trace", None)
+        return snap
+
+    def test_disabled_tracer_records_nothing(self):
+        server = _seeded_workload(1234, enable=False)
+        tracer = server.tracer
+        assert not tracer.enabled
+        assert tracer.spans == 0
+        assert tracer.signature == 0
+        assert tracer.span_keys() == []
+        snap = server.stats().snapshot()["trace"]
+        assert snap["enabled"] is False
+
+    def test_stats_identical_with_and_without_tracing(self):
+        on = self._comparable(_seeded_workload(1234, enable=True))
+        off = self._comparable(_seeded_workload(1234, enable=False))
+        assert on == off
+
+    def test_wm_behaviour_identical_with_and_without_tracing(self, tmp_path):
+        def build(enable, tag):
+            server = XServer(screens=[(1000, 800, 8)])
+            if enable:
+                server.tracer.enable()
+            wm = Swm(server, load_template("OpenLook+"),
+                     places_path=str(tmp_path / f"{tag}.places"))
+            conn = ClientConnection(server, "app")
+            wid = conn.create_window(conn.root_window(), 10, 10, 100, 80)
+            conn.map_window(wid)
+            wm.process_pending()
+            managed = wm.managed[wid]
+            return (
+                sorted(wm.managed),
+                managed.frame,
+                wm.client_desktop_position(managed).x,
+            )
+
+        assert build(True, "on") == build(False, "off")
+
+    def test_enable_is_idempotent_and_disable_stops_recording(self, server):
+        tracer = server.tracer
+        tracer.enable()
+        tracer.enable()
+        conn = ClientConnection(server, "app")
+        conn.root_window()
+        before = tracer.spans
+        assert before > 0
+        tracer.disable()
+        conn.root_window()
+        assert tracer.spans == before
+
+
+class TestDump:
+    def test_dump_writes_json_with_signature(self, traced, tmp_path):
+        ClientConnection(traced, "app").root_window()
+        path = traced.tracer.dump(
+            str(tmp_path / "sub" / "flight.json"),
+            reason="test", seed=99, extra={"note": "hi"},
+        )
+        artifact = json.loads(open(path).read())
+        assert artifact["schema"] == "swm-flight/1"
+        assert artifact["signature"] == f"{traced.tracer.signature:08x}"
+        assert artifact["total_spans"] == traced.tracer.spans
+        assert artifact["extra"] == {"note": "hi"}
+        assert artifact["spans"]

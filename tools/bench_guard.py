@@ -9,7 +9,7 @@ but not with any of the code paths the guards watch.  The guard then
 compares those machine-free ratios against a committed baseline and
 fails when one regresses by more than the tolerance (default 25%).
 
-Two modes::
+Three modes::
 
     # Distill a pytest-benchmark JSON into the nightly artifact.
     python tools/bench_guard.py extract benchmark-results.json \
@@ -18,6 +18,16 @@ Two modes::
     # Compare a fresh run against the committed baseline.
     python tools/bench_guard.py guard benchmark-results.json \
         --baseline benchmarks/BASELINE_t7_t10.json
+
+    # Append today's distilled run to the rolling trajectory the
+    # nightly job accumulates across runs (date-keyed; reruns on the
+    # same day overwrite that day's entry).
+    python tools/bench_guard.py trajectory benchmark-results.json \
+        --trajectory BENCH_trajectory.json --date 2026-08-08
+
+Exit codes: 0 OK, 1 regression past tolerance, 2 malformed input,
+3 missing baseline file (distinct, so CI can tell "perf regressed"
+from "nobody committed a baseline yet").
 
 Refresh the baseline after an intentional perf change::
 
@@ -38,21 +48,51 @@ GROUPS = ("t7", "t10")
 REFERENCE = "test_t7_motion_sweep[0]"
 DEFAULT_TOLERANCE = 0.25
 
+#: Exit codes (see module docstring).
+EXIT_REGRESSION = 1
+EXIT_BAD_INPUT = 2
+EXIT_NO_BASELINE = 3
+
+
+class GuardError(Exception):
+    """A guard failure with a specific process exit code."""
+
+    def __init__(self, message: str, code: int) -> None:
+        super().__init__(message)
+        self.code = code
+
 
 def load_means(results_path: str) -> Dict[str, float]:
     """name -> mean seconds for every t7/t10 benchmark in a
     pytest-benchmark JSON."""
-    with open(results_path) as fh:
-        data = json.load(fh)
+    try:
+        with open(results_path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise GuardError(
+            f"error: results file {results_path} does not exist",
+            EXIT_BAD_INPUT,
+        ) from None
+    except json.JSONDecodeError as err:
+        raise GuardError(
+            f"error: {results_path} is not valid JSON: {err}",
+            EXIT_BAD_INPUT,
+        ) from None
     means = {}
     for bench in data.get("benchmarks", []):
         if bench.get("group") in GROUPS:
             means[bench["name"]] = bench["stats"]["mean"]
     if not means:
-        sys.exit(f"error: no t7/t10 benchmarks found in {results_path}")
+        raise GuardError(
+            f"error: no t7/t10 benchmarks found in {results_path}",
+            EXIT_BAD_INPUT,
+        )
     if REFERENCE not in means:
-        sys.exit(f"error: reference benchmark {REFERENCE!r} missing "
-                 f"from {results_path}")
+        raise GuardError(
+            f"error: reference benchmark {REFERENCE!r} missing "
+            f"from {results_path}",
+            EXIT_BAD_INPUT,
+        )
     return means
 
 
@@ -81,11 +121,30 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 def cmd_guard(args: argparse.Namespace) -> int:
     current = distill(load_means(args.results))
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        # Distinct exit code: "no baseline committed" is a setup
+        # problem, not a perf regression, and CI treats them
+        # differently (the refresh recipe is in the module docstring).
+        raise GuardError(
+            f"error: baseline {args.baseline} does not exist — "
+            f"commit one with: python tools/bench_guard.py extract "
+            f"<results.json> -o {args.baseline}",
+            EXIT_NO_BASELINE,
+        ) from None
+    except json.JSONDecodeError as err:
+        raise GuardError(
+            f"error: baseline {args.baseline} is not valid JSON: {err}",
+            EXIT_BAD_INPUT,
+        ) from None
     if baseline.get("reference") != REFERENCE:
-        sys.exit(f"error: baseline {args.baseline} was built against "
-                 f"{baseline.get('reference')!r}, expected {REFERENCE!r}")
+        raise GuardError(
+            f"error: baseline {args.baseline} was built against "
+            f"{baseline.get('reference')!r}, expected {REFERENCE!r}",
+            EXIT_BAD_INPUT,
+        )
 
     failures = []
     print(f"{'benchmark':52s} {'base':>8s} {'now':>8s} {'delta':>8s}")
@@ -111,9 +170,41 @@ def cmd_guard(args: argparse.Namespace) -> int:
               f"{args.tolerance:.0%}:", file=sys.stderr)
         for line in failures:
             print(f"  - {line}", file=sys.stderr)
-        return 1
+        return EXIT_REGRESSION
     print(f"\nOK: all {len(baseline['ratios'])} guarded benchmarks within "
           f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+def cmd_trajectory(args: argparse.Namespace) -> int:
+    """Fold today's distilled run into the rolling date-keyed
+    trajectory file the nightly job accumulates (and uploads)."""
+    summary = distill(load_means(args.results))
+    try:
+        with open(args.trajectory) as fh:
+            trajectory = json.load(fh)
+    except FileNotFoundError:
+        trajectory = {"schema": "swm-bench-trajectory/1", "runs": {}}
+    except json.JSONDecodeError as err:
+        raise GuardError(
+            f"error: trajectory {args.trajectory} is not valid JSON: "
+            f"{err} (delete it to start a fresh trajectory)",
+            EXIT_BAD_INPUT,
+        ) from None
+    runs = trajectory.setdefault("runs", {})
+    runs[args.date] = {
+        "reference_mean": summary["reference_mean"],
+        "ratios": summary["ratios"],
+        "run_id": args.run_id or None,
+    }
+    # Rolling window: keep the newest N dates (ISO dates sort).
+    for date in sorted(runs)[:-args.keep or None]:
+        del runs[date]
+    with open(args.trajectory, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"trajectory {args.trajectory}: {len(runs)} run(s), "
+          f"newest {max(runs)}")
     return 0
 
 
@@ -139,8 +230,40 @@ def main() -> int:
     )
     guard.set_defaults(func=cmd_guard)
 
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="append a distilled run to the rolling nightly trajectory",
+    )
+    trajectory.add_argument("results", help="pytest-benchmark JSON file")
+    trajectory.add_argument(
+        "--trajectory", default="BENCH_trajectory.json",
+        help="rolling trajectory file (created if missing)",
+    )
+    trajectory.add_argument(
+        "--date", default=None,
+        help="ISO date key for this run (default: today, UTC)",
+    )
+    trajectory.add_argument(
+        "--run-id", default="", help="CI run id recorded with the entry"
+    )
+    trajectory.add_argument(
+        "--keep", type=int, default=90,
+        help="newest dates retained in the rolling window (default 90)",
+    )
+    trajectory.set_defaults(func=cmd_trajectory)
+
     args = parser.parse_args()
-    return args.func(args)
+    if getattr(args, "date", None) is None and args.func is cmd_trajectory:
+        import datetime
+
+        args.date = datetime.datetime.now(
+            datetime.timezone.utc
+        ).date().isoformat()
+    try:
+        return args.func(args)
+    except GuardError as err:
+        print(err, file=sys.stderr)
+        return err.code
 
 
 if __name__ == "__main__":
