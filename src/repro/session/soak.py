@@ -5,7 +5,10 @@ scenario this harness compresses: operator desktops run for months and
 failures must be diagnosable after the fact.  A :class:`SoakRunner`
 drives a supervised WM session through phases of mixed traffic —
 benign clients, batch storms, hostile fuzzer clients, injected
-:class:`~repro.xserver.faults.WMCrash` restarts — in **accelerated
+:class:`~repro.xserver.faults.WMCrash` restarts, and a link-chaos
+phase that runs a client over the deterministic framed wire while a
+seeded plan partitions/lags/corrupts the byte stream (the resilience
+layer must heal every flap by RESUME) — in **accelerated
 ticks**: every phase is request-count-driven, never wall-clock-driven,
 so a (seed, profile) pair replays bit-identically and two runs of the
 same seed produce the same trace-span sequence (the tracer's running
@@ -46,10 +49,24 @@ from ..testing import (
 )
 from ..xserver.client import ClientConnection
 from ..xserver.errors import XError
-from ..xserver.faults import CRASH, ConnectionClosed, FaultPlan
+from ..xserver.faults import (
+    CORRUPT,
+    CRASH,
+    DUPLICATE,
+    LAG,
+    PARTITION,
+    REORDER,
+    ConnectionClosed,
+    FaultPlan,
+)
 from ..xserver.fuzz import ProtocolFuzzer
 from ..xserver.properties import PROP_MODE_REPLACE
 from ..xserver.server import XServer
+from ..xserver.wire.resilience import (
+    FramedHost,
+    FramedTransport,
+    ResilienceConfig,
+)
 from .store import SessionStore
 from .supervisor import CrashStorm, Supervisor
 
@@ -71,8 +88,9 @@ class SoakFailure(AssertionError):
 @dataclass
 class PhaseSpec:
     """One phase of the soak: *kind* is ``benign`` / ``batch_storm`` /
-    ``hostile`` / ``crash`` / ``mixed``; *steps* is the request-count
-    budget (never a wall-clock duration — determinism)."""
+    ``hostile`` / ``crash`` / ``mixed`` / ``link_chaos``; *steps* is
+    the request-count budget (never a wall-clock duration —
+    determinism)."""
 
     name: str
     kind: str
@@ -103,6 +121,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("warmup", "benign", 120),
             PhaseSpec("batch-storm", "batch_storm", 40),
             PhaseSpec("hostile", "hostile", 150),
+            PhaseSpec("link-chaos", "link_chaos", 60),
             PhaseSpec("crash-restart", "crash", 80),
             PhaseSpec("mixed", "mixed", 150),
         ],
@@ -115,6 +134,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("warmup", "benign", 6000),
             PhaseSpec("batch-storm", "batch_storm", 1800),
             PhaseSpec("hostile", "hostile", 8000),
+            PhaseSpec("link-chaos", "link_chaos", 2000),
             PhaseSpec("crash-restart", "crash", 1200),
             PhaseSpec("mixed", "mixed", 8000),
             PhaseSpec("crash-late", "crash", 1200),
@@ -131,6 +151,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("warmup", "benign", 20_000),
             PhaseSpec("batch-storm", "batch_storm", 6000),
             PhaseSpec("hostile", "hostile", 30_000),
+            PhaseSpec("link-chaos", "link_chaos", 6000),
             PhaseSpec("crash-restart", "crash", 4000),
             PhaseSpec("mixed", "mixed", 30_000),
             PhaseSpec("crash-late", "crash", 4000),
@@ -240,6 +261,10 @@ class SoakRunner:
 
         self.denials = 0
         self.oracle_checks = 0
+        #: Live top-levels owned by the link-chaos framed client; the
+        #: adoption oracle holds the WM to these too while the phase
+        #: runs (windows must survive link flaps, not just WM crashes).
+        self._link_windows: List[int] = []
         self.result: Optional[dict] = None
 
     # -- workload steps ----------------------------------------------------
@@ -382,6 +407,137 @@ class SoakRunner:
                 server.clear_faults()
         self.supervisor.pump()
 
+    def _link_step(
+        self,
+        conn: ClientConnection,
+        rng: random.Random,
+        windows: List[int],
+        atom_soak: int,
+        atom_string: int,
+    ) -> None:
+        """One benign window action over the framed wire.  Unlike
+        :meth:`_benign_step` this does not go through ``_sup_run`` —
+        link failures must be healed by the transport's own resume
+        machinery, not absorbed by the supervisor."""
+        windows[:] = [w for w in windows if conn.window_exists(w)]
+        action = rng.choice(
+            ("create", "move", "resize", "restack", "property", "query")
+        )
+        if action == "create" or not windows:
+            if len(windows) < MAX_BENIGN_WINDOWS:
+                wid = conn.create_window(
+                    self._root(),
+                    rng.randint(0, 800), rng.randint(0, 600),
+                    rng.randint(80, 400), rng.randint(60, 300),
+                )
+                conn.map_window(wid)
+                windows.append(wid)
+            else:
+                conn.destroy_window(windows.pop(0))
+            return
+        wid = rng.choice(windows)
+        if action == "move":
+            conn.move_window(
+                wid, rng.randint(-50, 900), rng.randint(-50, 700)
+            )
+        elif action == "resize":
+            conn.resize_window(
+                wid, rng.randint(60, 500), rng.randint(50, 400)
+            )
+        elif action == "restack":
+            (conn.raise_window if rng.random() < 0.5
+             else conn.lower_window)(wid)
+        elif action == "property":
+            conn.change_property(
+                wid, atom_soak, atom_string, 8,
+                "link" * rng.randint(1, 16), PROP_MODE_REPLACE,
+            )
+        else:
+            conn.query_tree(self._root())
+
+    def _link_chaos_phase(self, spec: PhaseSpec) -> dict:
+        """Benign window traffic over the deterministic framed wire
+        while a seeded link plan partitions, lags, reorders, corrupts
+        and duplicates the byte stream.  Every flap must heal through
+        the resilience layer (park + RESUME + event replay — windows,
+        XIDs and quotas stay live while parked), the standing oracles
+        must hold at every checkpoint, and at phase end — faults
+        suspended — every window created over the link must still
+        exist.  All rules arm after a short warmup so the handshake and
+        atom interning run clean."""
+        link_seed = derive_seed(self.seed, f"link@{spec.name}")
+        host = FramedHost(
+            self.server,
+            ResilienceConfig(seed=link_seed, park_grace=60.0),
+        )
+        plan = FaultPlan(link_seed)
+        plan.rule(PARTITION, probability=0.004, arm_after=16,
+                  name=f"{spec.name}-partition")
+        plan.rule(LAG, probability=0.01, lag=2, direction="s2c",
+                  arm_after=16, name=f"{spec.name}-lag")
+        plan.rule(REORDER, probability=0.008, arm_after=16,
+                  name=f"{spec.name}-reorder")
+        plan.rule(CORRUPT, probability=0.002, arm_after=16,
+                  name=f"{spec.name}-corrupt")
+        plan.rule(DUPLICATE, probability=0.008, arm_after=16,
+                  name=f"{spec.name}-dup")
+        transport = FramedTransport(host, plan, sleep=host.advance)
+        conn = ClientConnection(
+            name=f"soak-link-{spec.name}", transport=transport
+        )
+        rng = random.Random(derive_seed(self.seed, f"linkwork@{spec.name}"))
+        atom_soak = conn.intern_atom("SWM_SOAK_LINK")
+        atom_string = conn.intern_atom("STRING")
+        stats = self.server.stats()
+        keys = ("parked", "resumed", "replayed_events", "sessions_lost")
+        before = {key: stats.wire_count("framed", key) for key in keys}
+        windows = self._link_windows
+        for step in range(spec.steps):
+            try:
+                self._link_step(conn, rng, windows, atom_soak, atom_string)
+            except (XError, ConnectionClosed):
+                self.denials += 1
+                if not transport.is_alive():
+                    # Degradation floor: the session is truly gone
+                    # (grace expiry / ring overflow ended in a clean
+                    # close + save-set rescue) — the phase carries on
+                    # without the link client.
+                    windows.clear()
+            if (step + 1) % self.profile.pump_every == 0:
+                host.heartbeat_tick()
+                self.supervisor.pump()
+            if (step + 1) % self.profile.checkpoint_every == 0:
+                self.checkpoint(f"{spec.name}@{step + 1}")
+        lost = (
+            stats.wire_count("framed", "sessions_lost")
+            - before["sessions_lost"]
+        )
+        with plan.suspended():
+            if transport.is_alive():
+                missing = [
+                    w for w in windows if not conn.window_exists(w)
+                ]
+                if missing:
+                    self._fail(
+                        f"{spec.name}@wire",
+                        [f"window {wid} lost across link flaps"
+                         for wid in missing],
+                    )
+                conn.close()
+        windows.clear()
+        self.supervisor.pump()
+        return {
+            "seed": link_seed,
+            "reconnects": transport.reconnects,
+            "backoff_delays": len(transport.delays),
+            "sessions_lost": lost,
+            **{
+                key: stats.wire_count("framed", key) - before[key]
+                for key in keys if key != "sessions_lost"
+            },
+            "injected": dict(sorted(plan.counts.items())),
+        }
+
     # -- oracles -----------------------------------------------------------
 
     def _expected_clients(self) -> List[int]:
@@ -393,6 +549,10 @@ class SoakRunner:
                 window = self.server.windows.get(wid)
                 if window is not None and not window.destroyed and window.mapped:
                     expected.append(wid)
+        for wid in self._link_windows:
+            window = self.server.windows.get(wid)
+            if window is not None and not window.destroyed and window.mapped:
+                expected.append(wid)
         return expected
 
     def checkpoint(self, where: str) -> None:
@@ -459,8 +619,11 @@ class SoakRunner:
         crashes_before = len(self.supervisor.crashes)
         wall_start = time.perf_counter()
 
+        link_info: Optional[dict] = None
         if spec.kind == "crash":
             self._crash_phase(spec)
+        elif spec.kind == "link_chaos":
+            link_info = self._link_chaos_phase(spec)
         else:
             stepper = getattr(self, self._STEPPERS[spec.kind])
             for step in range(spec.steps):
@@ -504,6 +667,9 @@ class SoakRunner:
             # Deterministic per seed: span count + running signature.
             record["spans"] = trace_snap["spans"]
             record["signature"] = trace_snap["signature"]
+        if link_info is not None:
+            # Fully deterministic per (seed, profile), like the counts.
+            record["link"] = link_info
         return record
 
     def run(self) -> dict:

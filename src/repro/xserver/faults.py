@@ -56,6 +56,17 @@ Fault kinds
     A matching event is silently discarded before it reaches the
     client's queue (a lost wakeup).
 
+``partition`` / ``lag`` / ``reorder`` / ``truncate`` / ``corrupt`` / ``duplicate``
+    Link faults, applied frame-by-frame to the byte stream of a wire
+    transport by :class:`~repro.xserver.wire.resilience.LinkFaultInjector`:
+    a partition drops the frame and cuts the link; lag holds the frame
+    for ``FaultRule.lag`` later frames (reorder is lag of one — an
+    adjacent swap); truncate emits half the frame then cuts (a peer
+    dying mid-write); corrupt flips the frame's version byte (the
+    decoder poisons deterministically); duplicate sends the frame
+    twice.  ``FaultRule.direction`` narrows a rule to the client->server
+    (``"c2s"``) or server->client (``"s2c"``) half of the link.
+
 ``delay``
     A matching event is held back instead of delivered; the test calls
     :meth:`FaultPlan.release_delayed` to flush held events later, out
@@ -89,10 +100,18 @@ CRASH = "crash"
 FLOOD = "flood"
 DROP = "drop"
 DELAY = "delay"
+PARTITION = "partition"
+LAG = "lag"
+REORDER = "reorder"
+TRUNCATE = "truncate"
+CORRUPT = "corrupt"
+DUPLICATE = "duplicate"
 
-#: Kinds decided at request time (server tick) vs. delivery time (pipeline).
+#: Kinds decided at request time (server tick) vs. delivery time
+#: (pipeline) vs. frame-transit time (wire link injector).
 REQUEST_KINDS = (ERROR, KILL, STALE, CRASH, FLOOD)
 DELIVERY_KINDS = (DROP, DELAY)
+LINK_KINDS = (PARTITION, LAG, REORDER, TRUNCATE, CORRUPT, DUPLICATE)
 
 #: Error name -> exception class (the rule syntax uses names).
 ERROR_BY_NAME = {cls.name: cls for cls in ERROR_BY_CODE.values()}
@@ -151,6 +170,8 @@ class FaultRule:
     error: str = "BadWindow"
     when: str = "before"  # kill only: before | after the request runs
     burst: int = 40  # flood only: requests per storm
+    direction: Optional[str] = None  # link only: None (both) | c2s | s2c
+    lag: int = 1  # lag only: frames to hold a lagged frame for
     arm_after: int = 0
     max_fires: Optional[int] = None
     name: str = ""
@@ -159,12 +180,16 @@ class FaultRule:
     fires: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in REQUEST_KINDS + DELIVERY_KINDS:
+        if self.kind not in REQUEST_KINDS + DELIVERY_KINDS + LINK_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.kind == ERROR:
             error_class(self.error)  # validate eagerly
         if self.when not in ("before", "after"):
             raise ValueError(f"kill 'when' must be before/after, not {self.when!r}")
+        if self.direction not in (None, "c2s", "s2c"):
+            raise ValueError(
+                f"link 'direction' must be c2s/s2c/None, not {self.direction!r}"
+            )
 
     def matches_client(self, client_id: Optional[int]) -> bool:
         if self.clients is None:
@@ -192,6 +217,27 @@ class FaultRule:
         if self.events is None:
             return True
         return any(type_name.startswith(prefix) for prefix in self.events)
+
+    def matches_link(
+        self,
+        direction: str,
+        client_id: Optional[int],
+        dedupable: bool = True,
+    ) -> bool:
+        if self.kind not in LINK_KINDS:
+            return False
+        if self.direction is not None and self.direction != direction:
+            return False
+        # Duplication only matches frames the protocol dedups (events
+        # by sequence number, heartbeats and acks by idempotence): a
+        # stream transport cannot duplicate within a connection, so a
+        # duplicated REQUEST/REPLY would model nothing real while
+        # silently desyncing the reply ledger beyond any resume.
+        if self.kind == DUPLICATE and not dedupable:
+            return False
+        # During the handshake the link has no client id yet; a rule
+        # with a client filter never matches those anonymous frames.
+        return self.matches_client(client_id)
 
     def exhausted(self) -> bool:
         return self.max_fires is not None and self.fires >= self.max_fires
@@ -332,6 +378,33 @@ class FaultPlan:
             return rule
         return None
 
+    # -- link-side decisions (called from LinkFaultInjector) ---------------
+
+    def pick_link_fault(
+        self,
+        direction: str,
+        client_id: Optional[int],
+        dedupable: bool = True,
+    ) -> Optional[FaultRule]:
+        """The first link rule that fires for this frame transit, if
+        any — same RNG discipline as the other pickers: rules in order,
+        one draw per matching armed rule, at most one fault per frame.
+        *dedupable* says whether the frame in transit is one the
+        protocol deduplicates (see :meth:`FaultRule.matches_link`)."""
+        if not self.enabled or self._releasing:
+            return None
+        for rule in self.rules:
+            if not rule.matches_link(direction, client_id, dedupable):
+                continue
+            rule.seen += 1
+            if rule.seen <= rule.arm_after or rule.exhausted():
+                continue
+            if self.rng.random() >= rule.probability:
+                continue
+            rule.fires += 1
+            return rule
+        return None
+
     def hold(self, client_id: int, event) -> None:
         self._held.append((client_id, event))
 
@@ -401,11 +474,13 @@ class FaultStage(pl.PipelineStage):
 
 
 __all__ = [
+    "CORRUPT",
     "CRASH",
     "ConnectionClosed",
     "DELAY",
     "DELIVERY_KINDS",
     "DROP",
+    "DUPLICATE",
     "ERROR",
     "ERROR_BY_NAME",
     "FLOOD",
@@ -414,8 +489,13 @@ __all__ = [
     "FaultStage",
     "InjectedFault",
     "KILL",
+    "LAG",
+    "LINK_KINDS",
+    "PARTITION",
+    "REORDER",
     "REQUEST_KINDS",
     "STALE",
+    "TRUNCATE",
     "WMCrash",
     "XError",
     "error_class",

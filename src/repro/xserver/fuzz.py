@@ -311,9 +311,11 @@ def malformed_frames(rng: Optional[random.Random] = None):
 
     from .wire.codec import encode_request, encode_value
     from .wire.frames import (
+        ACK,
         HELLO,
         MAX_FRAME_SIZE,
         REQUEST,
+        RESUME,
         WIRE_VERSION,
         encode_frame,
     )
@@ -348,6 +350,16 @@ def malformed_frames(rng: Optional[random.Random] = None):
          raw(4 + 1, WIRE_VERSION, HELLO, 0, b"\xfe")),
         ("random_noise", b"GET / HTTP/1.1\r\n\r\n"),
         ("random_noise", b"\x00" * 64),
+        # Resilience frames (wire v2): undecodable RESUME payloads, a
+        # RESUME missing its token, and ACKs that are not 8 bytes.
+        ("garbage_payload",
+         raw(4 + 3, WIRE_VERSION, RESUME, 0, b"\xff\xff\xff")),
+        ("garbage_payload",
+         encode_frame(RESUME, 0, encode_value({"no": "token"}))),
+        ("garbage_payload",
+         encode_frame(ACK, 0, b"\x01\x02\x03")),
+        ("garbage_payload",
+         encode_frame(ACK, 0, b"\x00" * 16)),
     ]
     if rng is not None:
         for _ in range(8):

@@ -88,10 +88,15 @@ class ServerStats:
         self.quota_warnings: Dict[int, Counter] = {}
         #: Grabs broken by the watchdog, by reason.
         self.grabs_broken: Counter = Counter()
-        #: Per-transport wire counters ("loopback", "tcp", ...):
+        #: Per-transport wire counters ("loopback", "tcp", "framed"):
         #: frames_in/out, bytes_in/out, write pauses/resumes (the TCP
         #: shadow of BackpressureStage throttling) and protocol_errors
-        #: (malformed frames a peer sent).
+        #: (malformed frames a peer sent).  With resilience enabled the
+        #: lifecycle counters land here too: pings_out/pongs_in,
+        #: heartbeat_misses, peers_reaped, parked, resumed,
+        #: resume_rejected, replayed_events, replayed_replies,
+        #: park_expired, sessions_lost, and fault_<kind> for injected
+        #: link faults (see repro.xserver.wire.resilience).
         self.wire: Dict[str, Counter] = {}
         #: Logical requests executed inside execute_batch flush windows.
         self.batched = 0
@@ -329,9 +334,13 @@ class ServerStats:
         self, transport: Optional[str] = None, key: Optional[str] = None
     ) -> int:
         """Wire-layer counters, optionally narrowed by transport name
-        ("loopback", "tcp") and/or counter key (``frames_in``,
-        ``frames_out``, ``bytes_in``, ``bytes_out``, ``pauses``,
-        ``resumes``, ``protocol_errors``)."""
+        ("loopback", "tcp", "framed") and/or counter key: the byte/frame
+        counters (``frames_in``, ``frames_out``, ``bytes_in``,
+        ``bytes_out``, ``pauses``, ``resumes``, ``protocol_errors``)
+        plus the resilience lifecycle (``pings_out``, ``pongs_in``,
+        ``heartbeat_misses``, ``peers_reaped``, ``parked``,
+        ``resumed``, ``resume_rejected``, ``replayed_events``,
+        ``replayed_replies``, ``park_expired``, ``sessions_lost``)."""
         sources = (
             self.wire.values()
             if transport is None

@@ -20,7 +20,15 @@ layer splits that into three sub-layers, mirroring how swm itself is
   (default; chaos/fuzz seed replay stays bit-identical) and the real
   asyncio :class:`~repro.xserver.wire.tcp.WireServer` +
   :class:`~repro.xserver.wire.tcp.TcpTransport` pair, where
-  BackpressureStage water marks become actual TCP flow control.
+  BackpressureStage water marks become actual TCP flow control;
+- :mod:`repro.xserver.wire.resilience` — connection-lifecycle
+  survival: PING/PONG heartbeats, sequence-numbered events with a
+  bounded replay ring, session parking + RESUME-by-token after a link
+  drop, reconnect under seeded-jitter backoff, the deterministic
+  :class:`FramedHost`/:class:`FramedTransport` harness and the
+  :class:`LinkFaultInjector` that perturbs the byte stream under
+  FaultPlan RNG discipline (partition/lag/reorder/truncate/corrupt/
+  duplicate).
 """
 
 from .codec import (
@@ -36,14 +44,19 @@ from .codec import (
     encode_value,
 )
 from .frames import (
+    ACK,
     ERROR,
     EVENT,
     FRAME_KINDS,
     HEADER_SIZE,
     HELLO,
     MAX_FRAME_SIZE,
+    PING,
+    PONG,
     REPLY,
     REQUEST,
+    RESUME,
+    RESUMED,
     WELCOME,
     WIRE_VERSION,
     Frame,
@@ -58,11 +71,50 @@ from .transport import (
     Transport,
     dispatch_request,
 )
+from .resilience import (
+    SEQ,
+    SEQ_SIZE,
+    Backoff,
+    ClientSession,
+    FramedHost,
+    FramedTransport,
+    LinkDesync,
+    LinkFaultInjector,
+    ManualClock,
+    ParkedSession,
+    ReplayRing,
+    ResilienceConfig,
+    SessionLost,
+    SessionTable,
+    WireSession,
+    WireTimeouts,
+)
 from .tcp import TcpTransport, WireServer
 
 __all__ = [
+    "ACK",
+    "Backoff",
+    "ClientSession",
     "ERROR",
     "EVENT",
+    "FramedHost",
+    "FramedTransport",
+    "LinkDesync",
+    "LinkFaultInjector",
+    "ManualClock",
+    "PING",
+    "PONG",
+    "ParkedSession",
+    "RESUME",
+    "RESUMED",
+    "ReplayRing",
+    "ResilienceConfig",
+    "SEQ",
+    "SEQ_SIZE",
+    "SessionLost",
+    "SessionTable",
+    "WireSession",
+    "WireTimeouts",
     "EVENT_OPCODES",
     "FRAME_KINDS",
     "Frame",

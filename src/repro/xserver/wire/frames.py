@@ -27,7 +27,9 @@ from dataclasses import dataclass
 from typing import List
 
 #: Wire format version; bumped on any incompatible framing/codec change.
-WIRE_VERSION = 1
+#: v2: EVENT frames carry a fixed 8-byte sequence prefix and the
+#: resilience frame kinds (PING/PONG/RESUME/RESUMED/ACK) exist.
+WIRE_VERSION = 2
 
 #: Frames larger than this are rejected outright — a length prefix is
 #: attacker-controlled, and a 4 GiB "frame" must not allocate 4 GiB.
@@ -43,9 +45,17 @@ WELCOME = 2  #: server -> client handshake reply (client id, XID base)
 REQUEST = 3  #: client -> server protocol request
 REPLY = 4    #: server -> client request reply
 ERROR = 5    #: server -> client error reply (X error / protocol error)
-EVENT = 6    #: server -> client asynchronous event
+EVENT = 6    #: server -> client asynchronous event (seq-prefixed payload)
+PING = 7     #: either direction: liveness probe (8-byte nonce payload)
+PONG = 8     #: either direction: probe reply, echoing the nonce
+RESUME = 9   #: client -> server: resume a parked session by token
+RESUMED = 10  #: server -> client: resume verdict ({"ok": bool, ...})
+ACK = 11     #: client -> server: highest event seq seen (trims the ring)
 
-FRAME_KINDS = (HELLO, WELCOME, REQUEST, REPLY, ERROR, EVENT)
+FRAME_KINDS = (
+    HELLO, WELCOME, REQUEST, REPLY, ERROR, EVENT,
+    PING, PONG, RESUME, RESUMED, ACK,
+)
 
 _LENGTH = struct.Struct(">I")
 _HEAD = struct.Struct(">BBH")  # version, kind, opcode

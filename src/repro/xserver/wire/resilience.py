@@ -1,0 +1,1375 @@
+"""Connection-lifecycle resilience: heartbeats, parking and resume.
+
+The wire layer made clients real network peers; this module makes the
+*link* between them survivable.  A TCP client that loses its socket
+today loses its windows — exactly the failure a long-lived control-room
+session (the VEPP-5 multimonitor deployment in PAPERS.md) cannot
+afford.  The paper's WM survives client death via save-sets; here the
+server learns to distinguish **link death** from **client death**:
+
+- **Heartbeats** — PING/PONG frames probe liveness in both directions.
+  The server reaps a peer that misses :attr:`ResilienceConfig.miss_budget`
+  consecutive intervals (parking its session, see below); a client that
+  hears nothing for the same budget treats the server as hung and
+  reconnects instead of blocking forever.
+- **Parking** — when a link drops (or a peer is reaped), the
+  :class:`~repro.xserver.wire.transport.ServerConnection` is *parked*
+  in a :class:`SessionTable` for :attr:`ResilienceConfig.park_grace`
+  seconds instead of closed: windows, quotas and queued events stay
+  intact.  Only when the grace expires does the ordinary close path run
+  (save-set rescue and all).
+- **Resume** — every EVENT frame carries a monotonically increasing
+  8-byte sequence number and is retained in a bounded
+  :class:`ReplayRing` until the client ACKs it.  A reconnecting client
+  presents its resume token plus its (requests_sent, replies_seen,
+  events_seen) ledger; the server replays unacked events and — when the
+  link died between execute and reply — resends the cached reply, so
+  every request executes exactly once.  Requests are sequenced
+  *implicitly* by these counters: the REQUEST payload format is
+  unchanged and raw-socket peers keep working.
+- **Degradation ladder** — resume > replay > session-lost > close.
+  Ring overflow, a diverged ledger or an expired grace window never
+  hang: the server answers RESUMED ``{ok: False}``, runs the full close
+  (save-set rescue), and the client surfaces :class:`SessionLost`.
+
+Determinism: the :class:`FramedHost` / :class:`FramedTransport` pair
+runs the *entire* frame protocol — decoder, heartbeats, resume,
+replay — synchronously in-process with a manual clock and a no-op
+sleeper, and :class:`LinkFaultInjector` perturbs the byte stream under
+:class:`~repro.xserver.faults.FaultPlan` RNG discipline (one draw per
+matching rule per frame).  A seeded link-chaos run replays
+bit-identically; the asyncio :class:`~repro.xserver.wire.tcp.WireServer`
+shares the exact same :class:`WireSession` state machine, so what the
+deterministic tests prove holds for real sockets.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from .. import events as ev
+from ..errors import XError
+from ..faults import (
+    CORRUPT,
+    DUPLICATE,
+    LAG,
+    PARTITION,
+    REORDER,
+    TRUNCATE,
+    ConnectionClosed,
+    FaultPlan,
+    WMCrash,
+)
+from ..quotas import QuotaExceeded
+from ..server import XServer
+from ..xid import XIDRange
+from .codec import (
+    decode_error,
+    decode_event,
+    decode_request,
+    decode_value,
+    encode_error,
+    encode_event,
+    encode_request,
+    encode_value,
+)
+from .frames import (
+    ACK,
+    ERROR,
+    EVENT,
+    HELLO,
+    PING,
+    PONG,
+    REPLY,
+    REQUEST,
+    RESUME,
+    RESUMED,
+    WELCOME,
+    Frame,
+    FrameDecoder,
+    WireError,
+    WireProtocolError,
+    encode_frame,
+)
+from .transport import ServerConnection, Transport, dispatch_request
+
+#: Errors a request may legitimately raise; anything else is a server
+#: bug and lands in the host's ``errors`` list.
+_REQUEST_ERRORS = (XError, ConnectionClosed, WMCrash, QuotaExceeded)
+
+#: Fixed-width big-endian sequence number: prefixes every EVENT payload
+#: (wire v2), and is the whole payload of ACK and PING frames.
+SEQ = struct.Struct(">Q")
+SEQ_SIZE = SEQ.size
+
+#: Frame kinds the protocol deduplicates (events by sequence number,
+#: heartbeats and acks by idempotence) — the only kinds a DUPLICATE
+#: link fault may hit; see FaultRule.matches_link.
+_DEDUPABLE_KINDS = frozenset((EVENT, PING, PONG, ACK))
+
+
+class SessionLost(ConnectionClosed):
+    """The link died and the session could not be resumed — the ring
+    overflowed, the grace window expired, the ledger diverged, or the
+    retry budget ran out.  Subclasses :class:`ConnectionClosed` so every
+    existing disconnect handler already copes; server-side the ordinary
+    close path (save-set rescue) has run by the time a client sees
+    this.  Graceful degradation, never a hang."""
+
+    def __init__(self, client_id: int, reason: str = "session lost"):
+        super().__init__(client_id)
+        self.reason = reason
+        self.args = (f"session for client {client_id} lost: {reason}",)
+
+
+class LinkDesync(WireError):
+    """The client observed an event-sequence gap: bytes were lost on a
+    link that is still nominally up.  The stream cannot be trusted;
+    transports treat this exactly like a dropped link and resume."""
+
+
+@dataclass(frozen=True)
+class WireTimeouts:
+    """Every wall-clock bound the TCP wire layer uses, in one place
+    (previously hardcoded ``10``-second literals scattered through
+    ``wire/tcp.py``)."""
+
+    connect: float = 10.0    # socket connect / server thread startup
+    handshake: float = 10.0  # HELLO -> WELCOME round-trip
+    rpc: float = 10.0        # REQUEST -> REPLY round-trip (and call())
+    shutdown: float = 10.0   # server loop-thread join
+
+    @classmethod
+    def uniform(cls, timeout: float) -> "WireTimeouts":
+        """All four bounds set to *timeout* (the legacy single-knob
+        constructor arguments map here)."""
+        return cls(connect=timeout, handshake=timeout,
+                   rpc=timeout, shutdown=timeout)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning for heartbeats, parking, replay and reconnect backoff.
+
+    Passing an instance to ``WireServer``/``TcpTransport``/``FramedHost``
+    turns resilience on; ``None`` (the default everywhere) keeps the
+    seed wire behaviour bit-for-bit."""
+
+    #: Seconds between liveness probes (both directions).
+    heartbeat_interval: float = 1.0
+    #: Consecutive silent intervals tolerated before a peer is declared
+    #: dead (server parks the session; client reconnects).
+    miss_budget: int = 3
+    #: Seconds a disconnected session stays parked before the ordinary
+    #: close path (save-set rescue) runs.
+    park_grace: float = 30.0
+    #: Unacked events retained for replay; overflow = session lost.
+    ring_capacity: int = 1024
+    #: Client ACKs every N events (trims the server ring).
+    ack_every: int = 64
+    #: Reconnect backoff: min(cap, base * 2**attempt) * (1 + jitter*U).
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_attempts: int = 6
+    jitter: float = 0.25
+    #: Seeds the client-side backoff jitter (deterministic replays).
+    seed: int = 1337
+
+
+class Backoff:
+    """Bounded exponential backoff with seeded jitter.  The jitter RNG
+    is private to the transport, so reconnect timing never perturbs a
+    fault plan's draw sequence."""
+
+    def __init__(self, config: ResilienceConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+
+    def delays(self) -> Iterator[float]:
+        cfg = self.config
+        for attempt in range(cfg.max_attempts):
+            base = min(cfg.backoff_cap, cfg.backoff_base * (2 ** attempt))
+            yield base * (1.0 + cfg.jitter * self.rng.random())
+
+
+class ReplayRing:
+    """Bounded buffer of sent-but-unacked EVENT frames.
+
+    Entries are ``(seq, opcode, payload)``; ACKs trim from the front,
+    capacity evicts from the front while remembering the highest seq it
+    threw away — a resume asking for anything at or below that mark is
+    unrecoverable (the overflow rung of the degradation ladder)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = max(1, capacity)
+        self._entries: Deque[Tuple[int, int, bytes]] = deque()
+        #: Highest sequence number evicted without an ACK; 0 = none.
+        self.dropped_through = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, seq: int, opcode: int, payload: bytes) -> None:
+        self._entries.append((seq, opcode, payload))
+        while len(self._entries) > self.capacity:
+            self.dropped_through = self._entries.popleft()[0]
+
+    def ack(self, seq: int) -> None:
+        entries = self._entries
+        while entries and entries[0][0] <= seq:
+            entries.popleft()
+
+    def replay_from(self, events_seen: int) -> Optional[List[Tuple[int, int, bytes]]]:
+        """Entries a client that saw *events_seen* still needs, oldest
+        first — or ``None`` if the ring already evicted part of that
+        range (resume impossible)."""
+        if events_seen < self.dropped_through:
+            return None
+        return [entry for entry in self._entries if entry[0] > events_seen]
+
+
+class ManualClock:
+    """A monotonic clock tests advance by hand (the framed harness's
+    default) — park-grace expiry becomes a deterministic input instead
+    of wall-clock weather."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+@dataclass
+class ParkedSession:
+    """A disconnected session held in the grace window: the live
+    :class:`ServerConnection` (windows, quotas, queue), its replay ring
+    and the request ledger a resume must reconcile against."""
+
+    token: str
+    record: ServerConnection
+    ring: ReplayRing
+    last_seq: int
+    executed: int
+    last_reply: Optional[Tuple[int, int, bytes]]
+    deadline: float
+
+    def attach(self, table: "SessionTable") -> None:
+        """Start absorbing: events delivered while parked flow straight
+        into the ring (already sequence-stamped), and a server-side
+        teardown (fault KILL, abandon) silently unparks."""
+        record = self.record
+        record.parked = True
+        record.on_event = self._on_event
+        record.on_closed = lambda: table.discard(self.token)
+        self._absorb_queue()
+
+    def release(self) -> None:
+        self.record.parked = False
+
+    def _on_event(self, event: ev.Event) -> None:
+        self._absorb_queue()
+
+    def _absorb_queue(self) -> None:
+        queue = self.record._queue
+        while queue:
+            opcode, payload = encode_event(queue.popleft())
+            self.last_seq += 1
+            self.ring.append(self.last_seq, opcode, payload)
+
+
+class SessionTable:
+    """Mints resume tokens and holds parked sessions until they are
+    claimed or expire.  Tokens are deterministic counters — peers on
+    this wire are trusted-but-buggy (the threat model is flaky links
+    and hostile *frames*, not session hijacking)."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._minted = 0
+        self._parked: Dict[str, ParkedSession] = {}
+
+    def mint(self) -> str:
+        self._minted += 1
+        return f"swm-sess-{self._minted:06d}"
+
+    def park(self, parked: ParkedSession) -> None:
+        self._parked[parked.token] = parked
+
+    def claim(self, token: str) -> Optional[ParkedSession]:
+        return self._parked.pop(token, None)
+
+    def discard(self, token: str) -> None:
+        self._parked.pop(token, None)
+
+    def parked_count(self) -> int:
+        return len(self._parked)
+
+    def expire(self, now: Optional[float] = None) -> List[ParkedSession]:
+        """Pop and return every session whose grace window has ended;
+        the caller owns running the close path on them."""
+        if now is None:
+            now = self.clock()
+        expired = [p for p in self._parked.values() if p.deadline <= now]
+        for parked in expired:
+            self._parked.pop(parked.token, None)
+        return expired
+
+
+class WireSession:
+    """The server side of one link, transport-agnostic.
+
+    Owns the frame decoder, the HELLO/RESUME handshake, request
+    execution (via :func:`dispatch_request`), event sequencing, the
+    replay ring and heartbeat accounting.  Adapters —
+    ``_WireProtocol`` for asyncio sockets, :class:`_FramedLink` for the
+    deterministic harness — only move bytes and report link loss, so
+    the resilience semantics cannot drift between real and simulated
+    networks.
+
+    Adapter contract: deliver inbound bytes to :meth:`feed`; invoke
+    ``close_link`` when asked (then, or on any peer disconnect, call
+    :meth:`on_link_lost` exactly once); gate writes via *writable* for
+    flow control and call :meth:`flush_events` when writability
+    returns.
+    """
+
+    def __init__(
+        self,
+        server: XServer,
+        sessions: Optional["SessionTable"],
+        send: Callable[[bytes], None],
+        close_link: Callable[[], None],
+        *,
+        resilience: Optional[ResilienceConfig] = None,
+        transport: str = "wire",
+        writable: Optional[Callable[[], bool]] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ):
+        self.server = server
+        self.sessions = sessions
+        self.resilience = resilience
+        self.transport_name = transport
+        self._send_raw = send
+        self._close_link = close_link
+        self._writable = writable or (lambda: True)
+        self._on_error = on_error or (lambda err: None)
+        self._stats = server.stats()
+        self._decoder = FrameDecoder()
+        self.record: Optional[ServerConnection] = None
+        self.token: Optional[str] = None
+        self.ring: Optional[ReplayRing] = None
+        #: Last event sequence number assigned (0 = none yet).
+        self.last_seq = 0
+        #: Requests executed on this session (the server's ledger half).
+        self.executed = 0
+        #: The last reply frame, cached for resend across a resume.
+        self.last_reply: Optional[Tuple[int, int, bytes]] = None
+        #: True once the link is gone (parked, closed or errored):
+        #: every later feed/send is a no-op.
+        self.finished = False
+        self._misses = 0
+        self._saw_traffic = False
+        self._pings = 0
+
+    @property
+    def client_id(self) -> Optional[int]:
+        return self.record.client_id if self.record is not None else None
+
+    # -- inbound ----------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        """Absorb raw link bytes; all protocol handling hangs off here.
+        The only escape is :class:`WireProtocolError` → an ERROR frame
+        and a dropped link, mirroring ``_WireProtocol.data_received``."""
+        if self.finished:
+            return
+        try:
+            frames = self._decoder.feed(data)
+        except WireProtocolError as err:
+            self._protocol_error(err)
+            return
+        for frame in frames:
+            if self.finished:
+                return
+            self._stats.count_wire(self.transport_name, "frames_in")
+            try:
+                self._handle_frame(frame)
+            except WireProtocolError as err:
+                self._protocol_error(err)
+                return
+            except Exception as err:  # pragma: no cover - server bug
+                self._on_error(err)
+                self._protocol_error(
+                    WireProtocolError(f"internal error: {type(err).__name__}")
+                )
+                return
+
+    def _handle_frame(self, frame: Frame) -> None:
+        self._saw_traffic = True
+        if frame.kind == PING:
+            self._send(PONG, 0, frame.payload)
+            return
+        if frame.kind == PONG:
+            self._stats.count_wire(self.transport_name, "pongs_in")
+            return
+        if self.record is None:
+            if frame.kind == HELLO:
+                self._handle_hello(frame)
+                return
+            if frame.kind == RESUME:
+                self._handle_resume(frame)
+                return
+            raise WireProtocolError(
+                f"expected HELLO or RESUME, got frame kind {frame.kind}"
+            )
+        if frame.kind == ACK:
+            if len(frame.payload) != SEQ_SIZE:
+                raise WireProtocolError("malformed ACK payload")
+            (seq,) = SEQ.unpack(frame.payload)
+            if self.ring is not None:
+                self.ring.ack(seq)
+            return
+        if frame.kind != REQUEST:
+            raise WireProtocolError(
+                f"unexpected frame kind {frame.kind} from client"
+            )
+        self._handle_request(frame)
+
+    def _handle_hello(self, frame: Frame) -> None:
+        hello = decode_value(frame.payload)
+        if not isinstance(hello, dict):
+            raise WireProtocolError("malformed HELLO payload")
+        record = ServerConnection(
+            self.server,
+            name=str(hello.get("name", "wire-client")),
+            coalesce=bool(hello.get("coalesce", True)),
+        )
+        record.on_event = self._on_event
+        record.on_closed = self._on_server_closed
+        self.record = record
+        welcome: Dict[str, Any] = {
+            "client_id": record.client_id,
+            "xid_base": record.xids.base,
+        }
+        cfg = self.resilience
+        if cfg is not None and self.sessions is not None:
+            self.token = self.sessions.mint()
+            self.ring = ReplayRing(cfg.ring_capacity)
+            welcome.update({
+                "resume_token": self.token,
+                "heartbeat_interval": cfg.heartbeat_interval,
+                "miss_budget": cfg.miss_budget,
+                "ack_every": cfg.ack_every,
+            })
+        self._send(WELCOME, 0, encode_value(welcome))
+
+    def _handle_request(self, frame: Frame) -> None:
+        assert self.record is not None
+        name, args, kwargs = decode_request(frame.opcode, frame.payload)
+        try:
+            result = dispatch_request(
+                self.server, self.record, name, args, kwargs
+            )
+        except _REQUEST_ERRORS as err:
+            reply = (ERROR, frame.opcode, encode_error(err))
+        else:
+            reply = (REPLY, frame.opcode, encode_value(result))
+        self.executed += 1
+        self.last_reply = reply
+        self._send(*reply)
+        self.flush_events()
+
+    # -- resume -----------------------------------------------------------
+
+    def _handle_resume(self, frame: Frame) -> None:
+        claim = decode_value(frame.payload)
+        if not isinstance(claim, dict) or "token" not in claim:
+            raise WireProtocolError("malformed RESUME payload")
+        try:
+            events_seen = int(claim.get("events_seen", 0))
+            requests_sent = int(claim.get("requests_sent", 0))
+            replies_seen = int(claim.get("replies_seen", 0))
+        except (TypeError, ValueError):
+            raise WireProtocolError("malformed RESUME counters") from None
+        if self.sessions is None or self.resilience is None:
+            self._reject_resume("resilience-disabled", None)
+            return
+        parked = self.sessions.claim(str(claim["token"]))
+        if parked is None:
+            self._reject_resume("unknown-token", None)
+            return
+        replay = parked.ring.replay_from(events_seen)
+        if replay is None:
+            self._reject_resume("event-ring-overflow", parked)
+            return
+        if parked.executed not in (replies_seen, requests_sent):
+            self._reject_resume("request-ledger-diverged", parked)
+            return
+        record = parked.record
+        parked.release()
+        record.on_event = self._on_event
+        record.on_closed = self._on_server_closed
+        self.record = record
+        self.token = parked.token
+        self.ring = parked.ring
+        self.last_seq = parked.last_seq
+        self.executed = parked.executed
+        self.last_reply = parked.last_reply
+        self._misses = 0
+        self._send(RESUMED, 0, encode_value({
+            "ok": True,
+            "client_id": record.client_id,
+            "xid_base": record.xids.base,
+            "executed": parked.executed,
+            "replayed": len(replay),
+        }))
+        for seq, opcode, payload in replay:
+            self._send(EVENT, opcode, SEQ.pack(seq) + payload)
+        if replay:
+            self._stats.count_wire(
+                self.transport_name, "replayed_events", len(replay)
+            )
+        if (parked.executed == requests_sent
+                and requests_sent == replies_seen + 1
+                and parked.last_reply is not None):
+            # The link died between execute and reply: resend the cached
+            # reply so the request is exactly-once, never re-executed.
+            self._send(*parked.last_reply)
+            self._stats.count_wire(self.transport_name, "replayed_replies")
+        self._stats.count_wire(self.transport_name, "resumed")
+        self.flush_events()
+
+    def _reject_resume(
+        self, reason: str, parked: Optional[ParkedSession]
+    ) -> None:
+        self._stats.count_wire(self.transport_name, "resume_rejected")
+        try:
+            self._send(RESUMED, 0, encode_value({"ok": False, "reason": reason}))
+        except Exception:  # pragma: no cover - best effort
+            pass
+        if parked is not None:
+            # Bottom rung of the degradation ladder: resume impossible,
+            # so the ordinary close path runs — save-set rescue included.
+            self._stats.count_wire(self.transport_name, "sessions_lost")
+            record = parked.record
+            record.on_event = None
+            record.on_closed = None
+            record.parked = False
+            if record.registered():
+                try:
+                    self.server.close_client(record.client_id)
+                except Exception as err:
+                    self._on_error(err)
+        self.finished = True
+        self._close_link()
+
+    # -- outbound ---------------------------------------------------------
+
+    def _on_event(self, event: ev.Event) -> None:
+        self.flush_events()
+
+    def flush_events(self) -> None:
+        """Drain the record's queue to the link while it is writable,
+        stamping each event with the next sequence number and retaining
+        it in the replay ring until acked.  While unwritable (TCP write
+        buffer over its high-water mark) events stay queued server-side
+        where BackpressureStage bounds them."""
+        record = self.record
+        if record is None or self.finished:
+            return
+        queue = record._queue
+        wrote = False
+        while queue and self._writable():
+            opcode, payload = encode_event(queue.popleft())
+            self.last_seq += 1
+            if self.ring is not None:
+                self.ring.append(self.last_seq, opcode, payload)
+            self._send(EVENT, opcode, SEQ.pack(self.last_seq) + payload)
+            wrote = True
+        if wrote and record.registered():
+            record.note_drained(len(queue))
+
+    def _send(self, kind: int, opcode: int, payload: bytes) -> None:
+        if self.finished:
+            return
+        self._stats.count_wire(self.transport_name, "frames_out")
+        self._send_raw(encode_frame(kind, opcode, payload))
+
+    # -- liveness ---------------------------------------------------------
+
+    def heartbeat_tick(self) -> None:
+        """One heartbeat interval elapsed: reset or bump the miss
+        counter, reap a silent peer past its budget (the session parks
+        via :meth:`on_link_lost`, never an abrupt close), else probe."""
+        cfg = self.resilience
+        if cfg is None or self.finished:
+            return
+        if self._saw_traffic:
+            self._saw_traffic = False
+            self._misses = 0
+        else:
+            self._misses += 1
+            self._stats.count_wire(self.transport_name, "heartbeat_misses")
+            if self._misses > cfg.miss_budget:
+                self._stats.count_wire(self.transport_name, "peers_reaped")
+                self._close_link()
+                return
+        self._pings += 1
+        self._stats.count_wire(self.transport_name, "pings_out")
+        self._send(PING, 0, SEQ.pack(self._pings))
+
+    # -- teardown ---------------------------------------------------------
+
+    def on_link_lost(self) -> None:
+        """The adapter's link died (peer disconnect, reap, protocol
+        error).  With resilience on, park the session for the grace
+        window; otherwise — or before the handshake — this is the old
+        behaviour: close the client outright."""
+        if self.finished:
+            return
+        self.finished = True
+        record, self.record = self.record, None
+        if record is None:
+            return
+        record.on_event = None
+        record.on_closed = None
+        if not record.registered():
+            return
+        cfg = self.resilience
+        if cfg is None or self.sessions is None or self.token is None:
+            try:
+                self.server.close_client(record.client_id)
+            except Exception as err:
+                self._on_error(err)
+            return
+        parked = ParkedSession(
+            token=self.token,
+            record=record,
+            ring=self.ring if self.ring is not None else ReplayRing(1),
+            last_seq=self.last_seq,
+            executed=self.executed,
+            last_reply=self.last_reply,
+            deadline=self.sessions.clock() + cfg.park_grace,
+        )
+        parked.attach(self.sessions)
+        self.sessions.park(parked)
+        self._stats.count_wire(self.transport_name, "parked")
+
+    def _on_server_closed(self) -> None:
+        """The server tore this client down (voluntary close, fault
+        KILL, abandon): flush, then drop the link for good — there is
+        nothing left to park."""
+        self.flush_events()
+        self.finished = True
+        self.record = None
+        self._close_link()
+
+    def _protocol_error(self, err: WireProtocolError) -> None:
+        self._stats.count_wire(self.transport_name, "protocol_errors")
+        if not self.finished:
+            try:
+                self._send(ERROR, 0, encode_error(err))
+            except Exception:  # pragma: no cover - best effort
+                pass
+        # Dropping the link (not the session): garbage on the wire may
+        # be the link's fault, not the peer's — with resilience on, the
+        # adapter's link-loss callback parks and the peer may resume on
+        # a clean link; the grace window bounds a truly hostile peer.
+        self._close_link()
+
+
+def rescue_expired(
+    server: XServer,
+    parked: ParkedSession,
+    errors: List[BaseException],
+    transport: str,
+) -> None:
+    """A parked session outlived its grace window: run the ordinary
+    close path (save-set rescue) and count the loss."""
+    stats = server.stats()
+    stats.count_wire(transport, "park_expired")
+    stats.count_wire(transport, "sessions_lost")
+    record = parked.record
+    record.on_event = None
+    record.on_closed = None
+    record.parked = False
+    if record.registered():
+        try:
+            server.close_client(record.client_id)
+        except Exception as err:  # pragma: no cover - server bug
+            errors.append(err)
+
+
+class ClientSession:
+    """The client side of the resume ledger, shared by
+    :class:`~repro.xserver.wire.tcp.TcpTransport` and
+    :class:`FramedTransport`: counts requests and replies (implicit
+    request sequencing — the REQUEST wire format is unchanged),
+    validates EVENT sequence numbers, and reconciles with the server's
+    ``executed`` count after a resume."""
+
+    def __init__(self, name: str, coalesce: bool, ack_every: int = 64):
+        self.name = name
+        self.coalesce = coalesce
+        self.ack_every = ack_every
+        self.client_id = -1
+        self.xid_base = 0
+        self.token: Optional[str] = None
+        self.heartbeat_interval: Optional[float] = None
+        self.miss_budget = 3
+        self.requests_sent = 0
+        self.replies_seen = 0
+        #: The encoded frame of the request in flight (retransmitted
+        #: across a resume when the server never executed it).
+        self.last_request: Optional[bytes] = None
+        self.events_seen = 0
+        self.acked = 0
+        self.dup_events = 0
+
+    # -- handshake --------------------------------------------------------
+
+    def hello_payload(self) -> bytes:
+        return encode_value({"name": self.name, "coalesce": self.coalesce})
+
+    def handle_welcome(self, payload: bytes) -> None:
+        info = decode_value(payload)
+        if not isinstance(info, dict) or "client_id" not in info:
+            raise WireProtocolError("malformed WELCOME payload")
+        self.client_id = int(info["client_id"])
+        self.xid_base = int(info.get("xid_base", 0))
+        token = info.get("resume_token")
+        self.token = str(token) if token is not None else None
+        if "ack_every" in info:
+            self.ack_every = int(info["ack_every"])
+        if "heartbeat_interval" in info:
+            self.heartbeat_interval = float(info["heartbeat_interval"])
+        if "miss_budget" in info:
+            self.miss_budget = int(info["miss_budget"])
+
+    def resume_payload(self) -> bytes:
+        return encode_value({
+            "token": self.token,
+            "events_seen": self.events_seen,
+            "requests_sent": self.requests_sent,
+            "replies_seen": self.replies_seen,
+        })
+
+    def reconcile(self, executed: int) -> bool:
+        """Compare the server's ``executed`` count against our ledger
+        after a successful resume.  Returns True when the in-flight
+        request must be retransmitted (the server never saw it); False
+        when no retransmit is needed (nothing in flight, or the server
+        executed it and its cached reply is already on the way).  Any
+        other shape means the ledgers diverged — session lost."""
+        in_flight = self.requests_sent - self.replies_seen
+        if executed == self.replies_seen:
+            return in_flight > 0
+        if executed == self.requests_sent and in_flight == 1:
+            return False
+        raise SessionLost(
+            self.client_id,
+            f"request ledger diverged (executed={executed}, "
+            f"sent={self.requests_sent}, seen={self.replies_seen})",
+        )
+
+    # -- per-frame bookkeeping --------------------------------------------
+
+    def note_request(self, frame: bytes) -> None:
+        self.requests_sent += 1
+        self.last_request = frame
+
+    def note_reply(self) -> None:
+        self.replies_seen += 1
+        self.last_request = None
+
+    def accept_event(self, payload: bytes) -> Optional[bytes]:
+        """Validate an EVENT payload's sequence prefix.  Returns the
+        event body, or ``None`` for a duplicate (replay overlap after a
+        resume — silently dropped).  A gap raises :class:`LinkDesync`:
+        bytes vanished on a live link, so the stream is poison."""
+        if len(payload) < SEQ_SIZE:
+            raise WireProtocolError("EVENT payload missing sequence prefix")
+        (seq,) = SEQ.unpack_from(payload)
+        if seq <= self.events_seen:
+            self.dup_events += 1
+            return None
+        if seq != self.events_seen + 1:
+            raise LinkDesync(
+                f"event sequence gap: expected {self.events_seen + 1}, "
+                f"got {seq}"
+            )
+        self.events_seen = seq
+        return payload[SEQ_SIZE:]
+
+    def ack_due(self) -> Optional[int]:
+        """The sequence number to ACK now, or None if not yet due."""
+        if self.events_seen - self.acked >= self.ack_every:
+            self.acked = self.events_seen
+            return self.events_seen
+        return None
+
+
+class LinkFaultInjector:
+    """Deterministic frame-granular network faults for one direction of
+    one link, under :class:`~repro.xserver.faults.FaultPlan` RNG
+    discipline (rules consulted in order, exactly one draw per matching
+    rule per frame, every injection recorded in ``plan.log``).
+
+    Kinds (see :mod:`repro.xserver.faults`): ``partition`` drops the
+    frame and cuts the link (held frames are lost with it);
+    ``truncate`` emits half the frame then cuts (a peer dying
+    mid-write); ``corrupt`` flips the frame's version byte — the
+    decoder poisons deterministically, never a maybe-valid frame;
+    ``duplicate`` emits the frame twice (sequence numbers make the
+    copy detectable); ``lag`` holds the frame until ``rule.lag``
+    later frames have transited (latency); ``reorder`` is lag of one
+    (adjacent swap).  Held frames are released by subsequent traffic —
+    heartbeat probes keep a quiet link flowing, exactly like real
+    keepalives flushing a stalled middlebox."""
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan],
+        direction: str,
+        client_id: Optional[Callable[[], Optional[int]]] = None,
+        stats=None,
+        transport: str = "framed",
+    ):
+        self.plan = plan
+        self.direction = direction
+        self._client_id = client_id or (lambda: None)
+        self._stats = stats
+        self._transport = transport
+        #: Frames held by lag/reorder: [frames_remaining, frame].
+        self._held: List[List[Any]] = []
+
+    def transit(self, frame: bytes) -> Tuple[List[bytes], bool]:
+        """Pass one frame through the lossy link.  Returns the bytes
+        that actually arrive (0, 1 or more frames — possibly including
+        previously held ones) and whether the link cut underneath."""
+        out: List[bytes] = []
+        cut = False
+        rule = None
+        # Only frames held by EARLIER transits age on this one — a
+        # frame held below must wait for subsequent traffic, or a
+        # reorder (hold=1) would release within its own transit and
+        # never actually swap.
+        aging = list(self._held)
+        if self.plan is not None:
+            # Duplicate faults only apply to frames the protocol dedups
+            # (events carry sequence numbers; heartbeats and acks are
+            # idempotent) — the kind byte sits at offset 5 of the header.
+            dedupable = frame[5] in _DEDUPABLE_KINDS
+            rule = self.plan.pick_link_fault(
+                self.direction, self._client_id(), dedupable
+            )
+        if rule is None:
+            out.append(frame)
+        else:
+            kind = rule.kind
+            detail = ""
+            if kind == PARTITION:
+                cut = True
+                detail = "link cut, frame and held traffic lost"
+                self._held.clear()
+            elif kind == TRUNCATE:
+                keep = max(1, len(frame) // 2)
+                out.append(frame[:keep])
+                cut = True
+                detail = f"cut after {keep}/{len(frame)} bytes"
+            elif kind == CORRUPT:
+                garbled = bytearray(frame)
+                garbled[4 if len(garbled) > 4 else 0] ^= 0xFF
+                out.append(bytes(garbled))
+                detail = "version byte flipped"
+            elif kind == DUPLICATE:
+                out.extend((frame, frame))
+                detail = "frame sent twice"
+            else:  # LAG / REORDER
+                hold = max(1, rule.lag) if kind == LAG else 1
+                self._held.append([hold, frame])
+                detail = f"held for {hold} frame(s)"
+            self.plan.record(
+                kind, f"link:{self.direction}", self._client_id(), detail, rule
+            )
+            if self._stats is not None:
+                self._stats.count_injected(kind)
+                self._stats.count_wire(self._transport, f"fault_{kind}")
+        if not cut:
+            for entry in aging:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    self._held.remove(entry)
+                    out.append(entry[1])
+        return out, cut
+
+
+# ---------------------------------------------------------------------------
+# Deterministic framed harness: the full wire protocol, no sockets.
+# ---------------------------------------------------------------------------
+
+
+class _LinkDown(Exception):
+    """Internal: the framed link is gone (client side)."""
+
+
+class FramedHost:
+    """In-process host speaking the real frame protocol synchronously.
+
+    Where :class:`LoopbackTransport` bypasses the wire entirely and
+    :class:`WireServer` needs threads and sockets, a FramedHost runs
+    the byte-level protocol — decoder, handshake, sequence numbers,
+    heartbeats, parking, resume — deterministically: a manual clock, no
+    sleeps, and every server reaction happening synchronously inside
+    the client's own call.  This is what link-chaos tests and the soak
+    runner drive, so seeded network-fault runs replay bit-identically.
+    """
+
+    def __init__(
+        self,
+        server: XServer,
+        resilience: Optional[ResilienceConfig] = None,
+        clock: Optional[ManualClock] = None,
+    ):
+        self.server = server
+        self.resilience = resilience
+        self.clock = clock if clock is not None else ManualClock()
+        self.sessions = SessionTable(clock=self.clock)
+        self.links: List["_FramedLink"] = []
+        #: Unhandled exceptions (server bugs): must stay empty.
+        self.errors: List[BaseException] = []
+
+    def open_link(self, plan: Optional[FaultPlan] = None) -> "_FramedLink":
+        link = _FramedLink(self, plan)
+        self.links.append(link)
+        return link
+
+    def heartbeat_tick(self) -> None:
+        """One heartbeat interval for every live link, plus grace-window
+        expiry — tests call this instead of waiting on wall clock."""
+        for link in list(self.links):
+            link.session.heartbeat_tick()
+        self.reap_expired()
+
+    def advance(self, seconds: float) -> None:
+        self.clock.advance(seconds)
+        self.reap_expired()
+
+    def reap_expired(self) -> None:
+        for parked in self.sessions.expire():
+            rescue_expired(self.server, parked, self.errors, "framed")
+
+
+class _FramedLink:
+    """One synchronous byte pipe between a client and a FramedHost,
+    with an optional :class:`LinkFaultInjector` on each direction."""
+
+    def __init__(self, host: FramedHost, plan: Optional[FaultPlan] = None):
+        self.host = host
+        self.up = True
+        self._buffer = bytearray()
+        self._stats = host.server.stats()
+        self.session = WireSession(
+            host.server,
+            host.sessions,
+            send=self._to_client,
+            close_link=self.cut,
+            resilience=host.resilience,
+            transport="framed",
+            on_error=host.errors.append,
+        )
+        self._c2s = (
+            LinkFaultInjector(plan, "c2s", self._peer_id, self._stats)
+            if plan is not None else None
+        )
+        self._s2c = (
+            LinkFaultInjector(plan, "s2c", self._peer_id, self._stats)
+            if plan is not None else None
+        )
+
+    def _peer_id(self) -> Optional[int]:
+        return self.session.client_id
+
+    def send(self, data: bytes) -> None:
+        """Client -> server bytes (the server reacts synchronously)."""
+        if not self.up:
+            raise _LinkDown()
+        if self._c2s is None:
+            chunks, cut = [data], False
+        else:
+            chunks, cut = self._c2s.transit(data)
+        for chunk in chunks:
+            if not self.up:
+                break
+            self._stats.count_wire("framed", "bytes_in", len(chunk))
+            self.session.feed(chunk)
+        if cut:
+            self.cut()
+
+    def _to_client(self, data: bytes) -> None:
+        if not self.up:
+            return
+        if self._s2c is None:
+            chunks, cut = [data], False
+        else:
+            chunks, cut = self._s2c.transit(data)
+        for chunk in chunks:
+            self._stats.count_wire("framed", "bytes_out", len(chunk))
+            self._buffer.extend(chunk)
+        if cut:
+            self.cut()
+
+    def take(self) -> bytes:
+        """Drain server->client bytes; raises :class:`_LinkDown` once
+        the link is down *and* fully drained (bytes that made it across
+        before the cut are still delivered, like a real socket)."""
+        data = bytes(self._buffer)
+        del self._buffer[:]
+        if not data and not self.up:
+            raise _LinkDown()
+        return data
+
+    def cut(self) -> None:
+        """Tear the link (either side); idempotent.  The server session
+        parks or closes via its link-loss path."""
+        if not self.up:
+            return
+        self.up = False
+        if self in self.host.links:
+            self.host.links.remove(self)
+        self.session.on_link_lost()
+
+
+class FramedTransport(Transport):
+    """Client transport over a :class:`FramedHost` link: the same
+    synchronous round-trip contract as
+    :class:`~repro.xserver.wire.tcp.TcpTransport`, including heartbeat
+    probing, reconnect-with-backoff (seeded jitter, injectable sleeper)
+    and resume — but fully deterministic.
+
+    When the link goes quiet mid-request the transport probes with
+    PING: the round-trip also ages frames a lag fault is holding, so a
+    delayed REPLY shakes loose; a budget of unanswered probes means the
+    link is dead and recovery (reconnect + RESUME) takes over."""
+
+    def __init__(
+        self,
+        host: FramedHost,
+        plan: Optional[FaultPlan] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        self.host = host
+        self.plan = plan
+        self.server = None
+        self.pipeline = None
+        self.queue: Deque[ev.Event] = deque()
+        self.client_id = -1
+        #: Successful resumes (observable by tests and the soak runner).
+        self.reconnects = 0
+        #: Backoff delays generated, in order (deterministic per seed).
+        self.delays: List[float] = []
+        self._sleep = sleep if sleep is not None else (lambda _s: None)
+        self._link: Optional[_FramedLink] = None
+        self._decoder = FrameDecoder()
+        self._pending: Deque[Frame] = deque()
+        self._dead = False
+        self._proxy = None
+        self._cs: Optional[ClientSession] = None
+        self._rng = random.Random(0)
+        self._probes = 0
+
+    # -- Transport --------------------------------------------------------
+
+    def connect(self, proxy, name: str, coalesce: bool) -> None:
+        self._proxy = proxy
+        cfg = self.host.resilience
+        self._cs = ClientSession(
+            name, coalesce, ack_every=cfg.ack_every if cfg else 64
+        )
+        seed = (cfg.seed if cfg else 0) ^ zlib.crc32(name.encode("utf-8"))
+        self._rng = random.Random(seed)
+        self._open()
+        self._send(encode_frame(HELLO, 0, self._cs.hello_payload()))
+        frame = self._await((WELCOME,))
+        self._cs.handle_welcome(frame.payload)
+        self.client_id = self._cs.client_id
+        self.xids = XIDRange(self._cs.xid_base)
+
+    def request(self, name: str, args: tuple = (),
+                kwargs: Optional[dict] = None) -> Any:
+        if self._dead or self._cs is None:
+            raise ConnectionClosed(self.client_id)
+        opcode, payload = encode_request(name, args, kwargs or {})
+        frame = encode_frame(REQUEST, opcode, payload)
+        self._cs.note_request(frame)
+        cfg = self.host.resilience
+        limit = cfg.max_attempts if cfg is not None else 1
+        recoveries = 0
+        needs_send = True
+        while True:
+            try:
+                if needs_send:
+                    if any(
+                        f.kind in (REPLY, ERROR) for f in self._pending
+                    ):
+                        # A reply nobody awaits means the ledger is
+                        # desynced — recover loudly (resume reconciles
+                        # or reports divergence) rather than silently
+                        # consuming a stale reply as this request's.
+                        raise LinkDesync("unsolicited reply buffered")
+                    self._send(frame)
+                    needs_send = False
+                return self._finish()
+            except (_LinkDown, LinkDesync):
+                recoveries += 1
+                if recoveries > limit:
+                    self._dead = True
+                    raise SessionLost(
+                        self.client_id, "recovery limit exceeded"
+                    ) from None
+                # _recover() retransmits the in-flight request itself
+                # when the server never executed it; either way the
+                # reply is on its way afterwards — never resend here,
+                # or the server would execute the request twice.
+                self._recover()
+                needs_send = False
+
+    def pump(self) -> None:
+        """Drain whatever the server already pushed; on a dead link,
+        recover eagerly (then keep draining, so events replayed by the
+        resume land in the queue before this call returns)."""
+        while not self._dead and self._link is not None:
+            try:
+                while True:
+                    data = self._link.take()
+                    if not data:
+                        return
+                    self._absorb(data)
+            except (_LinkDown, LinkDesync):
+                try:
+                    self._recover()
+                except ConnectionClosed:
+                    return  # _dead is set; surfaced on the next request
+
+    def is_alive(self) -> bool:
+        if not self._dead:
+            self.pump()  # notice a server-side teardown promptly
+        return not self._dead
+
+    def close(self) -> None:
+        """Voluntary close: fire the close request (the server tears
+        down synchronously and drops the link) and go dead locally —
+        no recovery dance on a link we asked to die."""
+        if not self._dead and self._link is not None and self._link.up \
+                and self._cs is not None and self.client_id >= 0:
+            opcode, payload = encode_request("close", (), {})
+            try:
+                self._link.send(encode_frame(REQUEST, opcode, payload))
+            except _LinkDown:  # pragma: no cover - already gone
+                pass
+        self._dead = True
+
+    def note_drained(self, remaining: int) -> None:
+        """No-op: the server-side flusher already noted the drain when
+        it wrote the events out (same contract as TcpTransport)."""
+
+    def count_discards(self, type_names: List[str]) -> None:
+        if not self._dead:
+            self.request("count_discards", (list(type_names),))
+
+    def set_coalescing(self, enabled: bool) -> None:
+        self.request("set_coalescing", (bool(enabled),))
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _open(self) -> None:
+        # A client-side desync (event-sequence gap, poisoned decoder)
+        # abandons a link that may still be up: cut it so the server
+        # parks the session — otherwise RESUME on the new link finds
+        # the token still bound to a live session and rejects it.
+        if self._link is not None and self._link.up:
+            self._link.cut()
+        self._link = self.host.open_link(self.plan)
+        self._decoder = FrameDecoder()
+        self._pending.clear()
+
+    def _send(self, data: bytes) -> None:
+        if self._link is None or not self._link.up:
+            raise _LinkDown()
+        self._link.send(data)
+
+    def _finish(self) -> Any:
+        assert self._cs is not None
+        frame = self._await((REPLY, ERROR))
+        if frame.kind == ERROR:
+            err = decode_error(frame.payload)
+            if isinstance(err, WireProtocolError):
+                # The server poisoned the link (injected garbage), not
+                # this request: recover and retransmit.
+                raise _LinkDown()
+            self._cs.note_reply()
+            if isinstance(err, ConnectionClosed):
+                self._dead = True
+            raise err
+        self._cs.note_reply()
+        return decode_value(frame.payload)
+
+    def _await(self, kinds: Tuple[int, ...]) -> Frame:
+        assert self._cs is not None
+        cfg = self.host.resilience
+        budget = cfg.miss_budget if cfg is not None else 1
+        probes = 0
+        while True:
+            frame = self._next_pending(kinds)
+            if frame is not None:
+                return frame
+            if self._link is None:
+                raise _LinkDown()
+            data = self._link.take()  # raises _LinkDown when dead+drained
+            if data:
+                self._absorb(data)
+                continue
+            # Link up but silent: probe.  The PING/PONG round-trip also
+            # ages any frames a lag fault holds, flushing a delayed
+            # REPLY; past the budget the server is hung -> recover.
+            if probes >= budget:
+                raise _LinkDown()
+            probes += 1
+            self._probes += 1
+            self._send(encode_frame(PING, 0, SEQ.pack(self._probes)))
+
+    def _next_pending(self, kinds: Tuple[int, ...]) -> Optional[Frame]:
+        while self._pending:
+            frame = self._pending.popleft()
+            if frame.kind in kinds:
+                return frame
+            if frame.kind == ERROR:
+                err = decode_error(frame.payload)
+                if isinstance(err, WireProtocolError):
+                    raise _LinkDown()
+                if isinstance(err, ConnectionClosed):
+                    self._dead = True
+                raise err
+            raise WireProtocolError(
+                f"unexpected frame kind {frame.kind} from server"
+            )
+        return None
+
+    def _absorb(self, data: bytes) -> None:
+        assert self._cs is not None
+        try:
+            frames = self._decoder.feed(data)
+        except WireProtocolError as err:
+            # Corrupted bytes poisoned our decoder: the stream cannot
+            # be re-synchronized in place — resume on a fresh link.
+            raise LinkDesync(f"undecodable bytes from server: {err}") \
+                from None
+        for frame in frames:
+            if frame.kind == EVENT:
+                body = self._cs.accept_event(frame.payload)
+                if body is None:
+                    continue  # duplicate (replay overlap / dup fault)
+                event = decode_event(body)
+                self.queue.append(event)
+                if self._proxy is not None:
+                    self._proxy._dispatch_event(event)
+                ack = self._cs.ack_due()
+                if ack is not None and self._link is not None and self._link.up:
+                    try:
+                        self._link.send(encode_frame(ACK, 0, SEQ.pack(ack)))
+                    except _LinkDown:  # noticed on the next take()
+                        pass
+            elif frame.kind == PING:
+                if self._link is not None and self._link.up:
+                    try:
+                        self._link.send(encode_frame(PONG, 0, frame.payload))
+                    except _LinkDown:
+                        pass
+            elif frame.kind == PONG:
+                pass
+            else:
+                self._pending.append(frame)
+
+    def _recover(self) -> None:
+        """Reconnect under bounded, seeded-jitter exponential backoff
+        and resume by token.  Raises :class:`SessionLost` (after the
+        server ran save-set rescue) or plain :class:`ConnectionClosed`
+        when resilience is off — never hangs, never loops forever."""
+        cfg = self.host.resilience
+        cs = self._cs
+        if cfg is None or cs is None or cs.token is None:
+            self._dead = True
+            raise ConnectionClosed(self.client_id)
+        for delay in Backoff(cfg, self._rng).delays():
+            self.delays.append(delay)
+            self._sleep(delay)
+            try:
+                self._open()
+                self._send(encode_frame(RESUME, 0, cs.resume_payload()))
+                frame = self._await((RESUMED,))
+            except (_LinkDown, LinkDesync, WireProtocolError):
+                continue  # this attempt's link died too; back off more
+            verdict = decode_value(frame.payload)
+            if not isinstance(verdict, dict):
+                continue
+            if not verdict.get("ok"):
+                self._dead = True
+                raise SessionLost(
+                    self.client_id,
+                    str(verdict.get("reason", "resume rejected")),
+                )
+            try:
+                retransmit = cs.reconcile(int(verdict.get("executed", 0)))
+            except SessionLost:
+                self._dead = True
+                raise
+            self.reconnects += 1
+            if retransmit and cs.last_request is not None:
+                try:
+                    self._send(cs.last_request)
+                except _LinkDown:
+                    continue  # lost again already; next attempt resumes
+            return
+        self._dead = True
+        raise SessionLost(self.client_id, "reconnect attempts exhausted")
+
+
+__all__ = [
+    "Backoff",
+    "ClientSession",
+    "FramedHost",
+    "FramedTransport",
+    "LinkDesync",
+    "LinkFaultInjector",
+    "ManualClock",
+    "ParkedSession",
+    "ReplayRing",
+    "ResilienceConfig",
+    "SEQ",
+    "SEQ_SIZE",
+    "SessionLost",
+    "SessionTable",
+    "WireSession",
+    "WireTimeouts",
+    "rescue_expired",
+]

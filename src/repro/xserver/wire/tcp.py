@@ -1,25 +1,36 @@
 """Real sockets: an asyncio wire server and a blocking TCP transport.
 
 :class:`WireServer` fronts one :class:`~repro.xserver.server.XServer`
-with an asyncio TCP acceptor.  Every accepted socket speaks the frame
-protocol from :mod:`repro.xserver.wire.frames`: a HELLO handshake mints
-a server-side :class:`~repro.xserver.wire.transport.ServerConnection`,
-REQUEST frames decode into :func:`dispatch_request` calls on the
-single-threaded event loop (so the server's synchronous internals —
-``_tick`` fault injection, quotas, caches — run exactly as they do
-in-process), and accepted events are encoded back as EVENT frames.
+with an asyncio TCP acceptor.  Every accepted socket is a thin byte
+adapter over the shared
+:class:`~repro.xserver.wire.resilience.WireSession` state machine: a
+HELLO handshake mints a server-side
+:class:`~repro.xserver.wire.transport.ServerConnection`, REQUEST frames
+decode into :func:`dispatch_request` calls on the single-threaded event
+loop (so the server's synchronous internals — ``_tick`` fault
+injection, quotas, caches — run exactly as they do in-process), and
+accepted events are encoded back as sequence-stamped EVENT frames.
 
-Backpressure becomes real flow control: the connection's event flusher
-stops writing while asyncio reports the socket write buffer over its
+Backpressure becomes real flow control: the session stops flushing
+events while asyncio reports the socket write buffer over its
 high-water mark (``pause_writing``), the server-side queue then grows,
 and the pipeline's ``BackpressureStage`` sheds and throttles exactly as
 it would for a slow in-process reader.  Pauses/resumes are visible in
 ``server.stats()`` under the ``tcp`` wire counters.
 
+With a :class:`~repro.xserver.wire.resilience.ResilienceConfig` the
+server heartbeats every connection from the loop (reaping silent peers
+into the parking lot) and expires parked sessions whose grace window
+ended; without one the wire behaves exactly as it did before
+resilience existed.
+
 :class:`TcpTransport` is the client half: a plain blocking socket
 (Xlib-style — requests are synchronous round-trips; EVENT frames that
 arrive interleaved are stashed on the local queue), pluggable into
 :class:`~repro.xserver.client.ClientConnection` via ``transport=``.
+With resilience it probes a silent server with PING instead of
+blocking forever, and survives a dropped socket by reconnecting under
+seeded-jitter exponential backoff and resuming its session by token.
 
 Malformed frames — truncated, oversized, bad version, garbage opcodes
 (the corpus in :mod:`repro.xserver.fuzz`) — produce an ERROR frame
@@ -29,34 +40,37 @@ and/or a dropped connection, never an unhandled exception.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import threading
+import time
+import zlib
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Deque, List, Optional, Tuple
 
 from .. import events as ev
-from ..errors import XError
-from ..faults import ConnectionClosed, WMCrash
-from ..quotas import QuotaExceeded
+from ..faults import ConnectionClosed
 from ..server import XServer
 from ..xid import XIDRange
 from .codec import (
     decode_error,
     decode_event,
-    decode_request,
     decode_value,
-    encode_error,
-    encode_event,
     encode_request,
-    encode_value,
 )
 from .frames import (
+    ACK,
     ERROR,
     EVENT,
     HELLO,
+    PING,
+    PONG,
     REPLY,
     REQUEST,
+    RESUME,
+    RESUMED,
     WELCOME,
     Frame,
     FrameDecoder,
@@ -64,25 +78,46 @@ from .frames import (
     WireProtocolError,
     encode_frame,
 )
-from .transport import ServerConnection, Transport, dispatch_request
+from .resilience import (
+    SEQ,
+    SEQ_SIZE,
+    Backoff,
+    ClientSession,
+    LinkDesync,
+    ResilienceConfig,
+    SessionLost,
+    SessionTable,
+    WireSession,
+    WireTimeouts,
+    rescue_expired,
+)
+from .transport import Transport
 
-#: Errors a request may legitimately raise; anything else is a server
-#: bug and lands in ``WireServer.errors``.
-_REQUEST_ERRORS = (XError, ConnectionClosed, WMCrash, QuotaExceeded)
+
+class _SocketDown(Exception):
+    """Internal: the client socket died but the session may resume."""
 
 
 class _WireProtocol(asyncio.Protocol):
-    """One accepted client socket."""
+    """One accepted client socket: bytes in/out plus flow control; all
+    protocol state lives in the shared :class:`WireSession`."""
 
     def __init__(self, wire: "WireServer"):
         self.wire = wire
-        self.server = wire.server
         self._stats = wire.server.stats()
-        self.record: Optional[ServerConnection] = None
         self.transport: Optional[asyncio.Transport] = None
-        self._decoder = FrameDecoder()
         self._paused = False
         self._closing = False
+        self.session = WireSession(
+            wire.server,
+            wire.sessions,
+            send=self._write,
+            close_link=self._close_transport,
+            resilience=wire.resilience,
+            transport="tcp",
+            writable=self._writable,
+            on_error=wire.errors.append,
+        )
 
     # -- asyncio callbacks ------------------------------------------------
 
@@ -99,15 +134,8 @@ class _WireProtocol(asyncio.Protocol):
     def connection_lost(self, exc) -> None:
         self.wire._protocols.discard(self)
         self._closing = True
-        record = self.record
-        self.record = None
-        if record is not None and record.registered():
-            record.on_event = None
-            record.on_closed = None
-            try:
-                self.server.close_client(record.client_id)
-            except Exception as err:  # server bug — surface, don't hide
-                self.wire.errors.append(err)
+        # Parks the session (resilience) or closes the client (not).
+        self.session.on_link_lost()
 
     def pause_writing(self) -> None:
         self._paused = True
@@ -116,121 +144,27 @@ class _WireProtocol(asyncio.Protocol):
     def resume_writing(self) -> None:
         self._paused = False
         self._stats.count_wire("tcp", "resumes")
-        self._flush_events()
+        self.session.flush_events()
 
     def data_received(self, data: bytes) -> None:
         self._stats.count_wire("tcp", "bytes_in", len(data))
-        try:
-            frames = self._decoder.feed(data)
-        except WireProtocolError as err:
-            self._protocol_error(err)
-            return
-        for frame in frames:
-            if self._closing:
-                return
-            self._stats.count_wire("tcp", "frames_in")
-            try:
-                self._handle_frame(frame)
-            except WireProtocolError as err:
-                self._protocol_error(err)
-                return
-            except Exception as err:  # pragma: no cover - server bug
-                self.wire.errors.append(err)
-                self._protocol_error(
-                    WireProtocolError(f"internal error: {type(err).__name__}")
-                )
-                return
+        self.session.feed(data)
 
-    # -- frame handling ---------------------------------------------------
+    # -- WireSession adapter ----------------------------------------------
 
-    def _handle_frame(self, frame: Frame) -> None:
-        if self.record is None:
-            if frame.kind != HELLO:
-                raise WireProtocolError(
-                    f"expected HELLO, got frame kind {frame.kind}"
-                )
-            hello = decode_value(frame.payload)
-            if not isinstance(hello, dict):
-                raise WireProtocolError("malformed HELLO payload")
-            record = ServerConnection(
-                self.server,
-                name=str(hello.get("name", "tcp-client")),
-                coalesce=bool(hello.get("coalesce", True)),
-            )
-            record.on_event = self._on_event
-            record.on_closed = self._on_server_closed
-            self.record = record
-            self._send(WELCOME, 0, encode_value({
-                "client_id": record.client_id,
-                "xid_base": record.xids.base,
-            }))
-            return
-        if frame.kind != REQUEST:
-            raise WireProtocolError(
-                f"unexpected frame kind {frame.kind} from client"
-            )
-        name, args, kwargs = decode_request(frame.opcode, frame.payload)
-        try:
-            result = dispatch_request(
-                self.server, self.record, name, args, kwargs
-            )
-        except _REQUEST_ERRORS as err:
-            self._send(ERROR, frame.opcode, encode_error(err))
-        else:
-            self._send(REPLY, frame.opcode, encode_value(result))
-        self._flush_events()
+    def _writable(self) -> bool:
+        return not self._paused and not self._closing
 
-    def _on_event(self, event: ev.Event) -> None:
-        self._flush_events()
-
-    def _flush_events(self) -> None:
-        """Drain the record's queue to the socket while it is writable.
-        While paused (write buffer over the high-water mark) events stay
-        queued server-side, where BackpressureStage bounds the queue —
-        the water marks become actual TCP flow control."""
-        record = self.record
-        if record is None or self._closing:
-            return
-        queue = record._queue
-        wrote = False
-        while queue and not self._paused:
-            event = queue.popleft()
-            opcode, payload = encode_event(event)
-            self._send(EVENT, opcode, payload)
-            wrote = True
-        if wrote and record.registered():
-            # The socket is this client's reader: writing events out is
-            # the drain the quota watchdog wants to see (the client-side
-            # proxy does NOT report drains — that would double-count).
-            record.note_drained(len(queue))
-
-    def _on_server_closed(self) -> None:
-        """The server tore this client down (voluntary close request,
-        fault KILL, abandon): flush and drop the socket."""
-        self._flush_events()
-        self._closing = True
-        self.record = None
-        if self.transport is not None:
-            self.transport.close()
-
-    def _protocol_error(self, err: WireProtocolError) -> None:
-        self._stats.count_wire("tcp", "protocol_errors")
-        if not self._closing and self.transport is not None:
-            try:
-                self._send(ERROR, 0, encode_error(err))
-            except Exception:  # pragma: no cover - best effort
-                pass
-        self._closing = True
-        if self.transport is not None:
-            self.transport.close()
-
-    def _send(self, kind: int, opcode: int, payload: bytes) -> None:
+    def _write(self, data: bytes) -> None:
         if self._closing or self.transport is None:
             return
-        data = encode_frame(kind, opcode, payload)
         self.transport.write(data)
-        self._stats.count_wire("tcp", "frames_out")
         self._stats.count_wire("tcp", "bytes_out", len(data))
+
+    def _close_transport(self) -> None:
+        self._closing = True
+        if self.transport is not None:
+            self.transport.close()
 
 
 class WireServer:
@@ -241,6 +175,10 @@ class WireServer:
     ``python -m repro serve`` CLI can drive it alongside blocking
     clients.  All XServer access happens on the loop thread; use
     :meth:`call` to run server inspections there from other threads.
+    Wall-clock bounds come from *timeouts* (a
+    :class:`~repro.xserver.wire.resilience.WireTimeouts`); passing a
+    :class:`~repro.xserver.wire.resilience.ResilienceConfig` as
+    *resilience* turns on heartbeats, session parking and resume.
     """
 
     def __init__(
@@ -250,12 +188,21 @@ class WireServer:
         port: int = 0,
         write_high_water: int = 64 * 1024,
         sndbuf: Optional[int] = None,
+        timeouts: Optional[WireTimeouts] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.server = server
         self.host = host
         self.port = port
         self.write_high_water = write_high_water
         self.sndbuf = sndbuf
+        self.timeouts = timeouts if timeouts is not None else WireTimeouts()
+        self.resilience = resilience
+        #: Parked sessions awaiting resume (None when resilience is off).
+        self.sessions: Optional[SessionTable] = (
+            SessionTable(clock=time.monotonic) if resilience is not None
+            else None
+        )
         #: Unhandled exceptions (server bugs): must stay empty.
         self.errors: List[BaseException] = []
         self._protocols: set = set()
@@ -264,6 +211,7 @@ class WireServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._hb_handle: Optional[asyncio.TimerHandle] = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -272,11 +220,13 @@ class WireServer:
             target=self._run, name="wire-server", daemon=True
         )
         self._thread.start()
-        self._ready.wait(timeout=10)
+        started = self._ready.wait(timeout=self.timeouts.connect)
         if self._startup_error is not None:
             raise self._startup_error
-        if not self._ready.is_set():
-            raise WireError("wire server failed to start in time")
+        if not started:
+            raise WireError(
+                f"wire server failed to start within {self.timeouts.connect}s"
+            )
         return self.host, self.port
 
     def stop(self) -> None:
@@ -284,6 +234,9 @@ class WireServer:
         if loop is None:
             return
         def shutdown() -> None:
+            if self._hb_handle is not None:
+                self._hb_handle.cancel()
+                self._hb_handle = None
             for proto in list(self._protocols):
                 if proto.transport is not None:
                     proto.transport.close()
@@ -291,8 +244,14 @@ class WireServer:
                 self._server.close()
             loop.stop()
         loop.call_soon_threadsafe(shutdown)
-        if self._thread is not None:
-            self._thread.join(timeout=10)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.timeouts.shutdown)
+            if thread.is_alive():
+                raise WireError(
+                    "wire server loop thread failed to stop within "
+                    f"{self.timeouts.shutdown}s"
+                )
         self._loop = None
 
     def __enter__(self) -> "WireServer":
@@ -316,7 +275,12 @@ class WireServer:
             except BaseException as err:
                 future.set_exception(err)
         loop.call_soon_threadsafe(runner)
-        return future.result(timeout=10)
+        try:
+            return future.result(timeout=self.timeouts.rpc)
+        except FutureTimeoutError:
+            raise WireError(
+                f"server call timed out after {self.timeouts.rpc}s"
+            ) from None
 
     # -- loop thread ------------------------------------------------------
 
@@ -336,6 +300,10 @@ class WireServer:
             self._ready.set()
             loop.close()
             return
+        if self.resilience is not None:
+            self._hb_handle = loop.call_later(
+                self.resilience.heartbeat_interval, self._heartbeat
+            )
         self._ready.set()
         try:
             loop.run_forever()
@@ -347,6 +315,21 @@ class WireServer:
                 loop.run_until_complete(loop.shutdown_asyncgens())
             finally:
                 loop.close()
+
+    def _heartbeat(self) -> None:
+        """Loop-thread heartbeat: probe every live session, reap silent
+        peers (they park), expire parked sessions past their grace."""
+        self._hb_handle = None
+        for proto in list(self._protocols):
+            proto.session.heartbeat_tick()
+        if self.sessions is not None:
+            for parked in self.sessions.expire():
+                rescue_expired(self.server, parked, self.errors, "tcp")
+        loop = self._loop
+        if loop is not None and loop.is_running() and self.resilience is not None:
+            self._hb_handle = loop.call_later(
+                self.resilience.heartbeat_interval, self._heartbeat
+            )
 
     def _on_loop_exception(self, loop, context) -> None:
         err = context.get("exception")
@@ -362,13 +345,30 @@ class TcpTransport(Transport):
     between — the server pushes them at delivery time — are stashed on
     the local queue and dispatched to the proxy's handlers, so client
     code written against loopback behaves identically over TCP.
+
+    Wall-clock bounds come from *timeouts* (the legacy single *timeout*
+    knob maps to :meth:`WireTimeouts.uniform`).  With a *resilience*
+    config the transport heartbeat-probes a silent server instead of
+    raising a bare timeout, and a dead socket triggers reconnect under
+    bounded seeded-jitter backoff plus a RESUME handshake — the in-
+    flight request is retransmitted or its cached reply collected, and
+    replayed events are deduplicated by sequence number, so the
+    application never observes the link flap (until the session is
+    truly lost, which raises :class:`SessionLost`).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 6600,
-                 timeout: float = 10.0):
+                 timeout: float = 10.0,
+                 timeouts: Optional[WireTimeouts] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 sleep=time.sleep):
         self.host = host
         self.port = port
-        self.timeout = timeout
+        self.timeouts = (
+            timeouts if timeouts is not None else WireTimeouts.uniform(timeout)
+        )
+        self.timeout = self.timeouts.rpc  # legacy attribute
+        self.resilience = resilience
         self.server = None
         self.pipeline = None
         self.queue: Deque[ev.Event] = deque()
@@ -378,42 +378,82 @@ class TcpTransport(Transport):
         self._dead = False
         self._proxy = None
         self.client_id = -1
+        self._cs: Optional[ClientSession] = None
+        self._rng = random.Random(0)
+        self._sleep = sleep
+        self._probes = 0
+        self._ping_serial = 0
+        #: Successful resumes / backoff delays (observable by tests).
+        self.reconnects = 0
+        self.delays: List[float] = []
 
     # -- Transport --------------------------------------------------------
 
     def connect(self, proxy, name: str, coalesce: bool) -> None:
         self._proxy = proxy
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
+        cfg = self.resilience
+        self._cs = ClientSession(
+            name, coalesce, ack_every=cfg.ack_every if cfg else 64
         )
-        self._sock.settimeout(self.timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._send_bytes(encode_frame(HELLO, 0, encode_value({
-            "name": name, "coalesce": coalesce,
-        })))
-        welcome = self._read_until((WELCOME,))
-        info = decode_value(welcome.payload)
-        if not isinstance(info, dict) or "client_id" not in info:
-            raise WireProtocolError("malformed WELCOME payload")
-        self.client_id = info["client_id"]
-        self.xids = XIDRange(info["xid_base"])
+        self._rng = random.Random(
+            (cfg.seed if cfg else 0) ^ zlib.crc32(name.encode("utf-8"))
+        )
+        self._open_socket()
+        assert self._sock is not None
+        self._sock.settimeout(self.timeouts.handshake)
+        try:
+            self._send_bytes(encode_frame(HELLO, 0, self._cs.hello_payload()))
+            welcome = self._read_until((WELCOME,))
+            self._cs.handle_welcome(welcome.payload)
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self._read_timeout())
+        self.client_id = self._cs.client_id
+        self.xids = XIDRange(self._cs.xid_base)
 
     def request(self, name: str, args: tuple = (),
                 kwargs: Optional[dict] = None) -> Any:
         if self._dead:
             raise ConnectionClosed(self.client_id)
         opcode, payload = encode_request(name, args, kwargs or {})
-        self._send_bytes(encode_frame(REQUEST, opcode, payload))
-        frame = self._read_until((REPLY, ERROR))
-        if frame.kind == ERROR:
-            err = decode_error(frame.payload)
-            if isinstance(err, ConnectionClosed):
-                self._dead = True
-            raise err
-        return decode_value(frame.payload)
+        frame = encode_frame(REQUEST, opcode, payload)
+        if self._cs is not None:
+            self._cs.note_request(frame)
+        cfg = self.resilience
+        limit = cfg.max_attempts if cfg is not None else 0
+        recoveries = 0
+        needs_send = True
+        while True:
+            try:
+                if needs_send:
+                    if any(
+                        f.kind in (REPLY, ERROR) for f in self._pending
+                    ):
+                        # A reply nobody awaits means the ledger is
+                        # desynced — recover loudly (resume reconciles
+                        # or reports divergence) rather than silently
+                        # consuming a stale reply as this request's.
+                        raise LinkDesync("unsolicited reply buffered")
+                    self._send_bytes(frame)
+                    needs_send = False
+                return self._finish()
+            except (_SocketDown, LinkDesync):
+                recoveries += 1
+                if recoveries > limit:
+                    self._dead = True
+                    raise SessionLost(
+                        self.client_id, "recovery limit exceeded"
+                    ) from None
+                # _recover() retransmits the in-flight request itself
+                # when the server never executed it; either way the
+                # reply is on its way afterwards — never resend here,
+                # or the server would execute the request twice.
+                self._recover()
+                needs_send = False
 
     def pump(self) -> None:
-        """Drain whatever the server already pushed, without blocking."""
+        """Drain whatever the server already pushed, without blocking;
+        a dead socket recovers eagerly so parked events replay."""
         if self._dead or self._sock is None:
             return
         self._sock.settimeout(0)
@@ -424,15 +464,20 @@ class TcpTransport(Transport):
                 except (BlockingIOError, InterruptedError):
                     break
                 except OSError:
-                    self._dead = True
-                    break
+                    raise self._lost() from None
                 if not data:
-                    self._dead = True
-                    break
+                    raise self._lost()
                 self._absorb(data)
+        except (_SocketDown, LinkDesync):
+            try:
+                self._recover()
+            except ConnectionClosed:
+                pass  # _dead is set; surfaced on the next request
+        except ConnectionClosed:
+            pass  # non-recoverable: _lost() already marked us dead
         finally:
             if self._sock is not None:
-                self._sock.settimeout(self.timeout)
+                self._sock.settimeout(self._read_timeout())
 
     def is_alive(self) -> bool:
         if not self._dead:
@@ -440,18 +485,22 @@ class TcpTransport(Transport):
         return not self._dead
 
     def close(self) -> None:
-        if self._sock is None:
-            return
-        if not self._dead:
+        """Voluntary close: fire the close request and wait for the
+        server's EOF (it tears the client down *before* dropping the
+        socket, so state checks right after close() are race-free) —
+        but never enter the reconnect dance on a link we asked to die."""
+        sock = self._sock
+        if sock is not None and not self._dead:
+            opcode, payload = encode_request("close", (), {})
             try:
-                self.request("close")
-            except (WireError, ConnectionClosed, OSError):
+                sock.sendall(encode_frame(REQUEST, opcode, payload))
+                sock.settimeout(self.timeouts.shutdown)
+                while sock.recv(65536):
+                    pass
+            except (OSError, ValueError):
                 pass
         self._dead = True
-        try:
-            self._sock.close()
-        finally:
-            self._sock = None
+        self._close_socket()
 
     def note_drained(self, remaining: int) -> None:
         """No-op: the server-side flusher already noted the drain when
@@ -467,37 +516,110 @@ class TcpTransport(Transport):
 
     # -- plumbing ---------------------------------------------------------
 
+    def _read_timeout(self) -> float:
+        """Socket read timeout: the heartbeat interval with resilience
+        (so silence triggers a probe, not a failure), else the rpc
+        bound."""
+        if self.resilience is not None:
+            return self.resilience.heartbeat_interval
+        return self.timeouts.rpc
+
+    def _recoverable(self) -> bool:
+        return (self.resilience is not None and self._cs is not None
+                and self._cs.token is not None)
+
+    def _open_socket(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeouts.connect
+        )
+        self._sock.settimeout(self._read_timeout())
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder()
+        self._pending.clear()
+        self._probes = 0
+
+    def _close_socket(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _lost(self) -> Exception:
+        """The socket died: recoverable link-down when a resume token
+        is held, plain dead connection otherwise."""
+        self._close_socket()
+        if self._recoverable():
+            return _SocketDown()
+        self._dead = True
+        return ConnectionClosed(self.client_id)
+
     def _send_bytes(self, data: bytes) -> None:
         if self._sock is None:
+            if self._recoverable():
+                raise _SocketDown()
             raise ConnectionClosed(self.client_id)
         try:
             self._sock.sendall(data)
         except OSError:
-            self._dead = True
-            raise ConnectionClosed(self.client_id) from None
+            raise self._lost() from None
+
+    def _finish(self) -> Any:
+        frame = self._read_until((REPLY, ERROR))
+        if frame.kind == ERROR:
+            err = decode_error(frame.payload)
+            if isinstance(err, WireProtocolError):
+                if self._recoverable():
+                    # The server poisoned the link (garbage injected on
+                    # the wire, not our request): recover + retransmit.
+                    raise _SocketDown()
+                raise err
+            if self._cs is not None:
+                self._cs.note_reply()
+            if isinstance(err, ConnectionClosed):
+                self._dead = True
+            raise err
+        if self._cs is not None:
+            self._cs.note_reply()
+        return decode_value(frame.payload)
 
     def _read_until(self, kinds: Tuple[int, ...]) -> Frame:
         """Read frames until one of *kinds* arrives; events encountered
-        on the way are delivered locally."""
+        on the way are delivered locally.  With resilience a read
+        timeout sends a PING probe (hung-server detection) and only a
+        full miss budget of silent probes gives up on the socket."""
         while True:
             frame = self._next_pending(kinds)
             if frame is not None:
+                self._probes = 0
                 return frame
             if self._sock is None or self._dead:
+                if self._recoverable() and not self._dead:
+                    raise _SocketDown()
                 raise ConnectionClosed(self.client_id)
             try:
                 data = self._sock.recv(65536)
             except socket.timeout:
-                raise WireError(
-                    f"timed out waiting for frame kinds {kinds}"
-                ) from None
+                cfg = self.resilience
+                if cfg is None:
+                    raise WireError(
+                        f"timed out waiting for frame kinds {kinds}"
+                    ) from None
+                if self._probes >= cfg.miss_budget:
+                    self._probes = 0
+                    raise self._lost() from None
+                self._probes += 1
+                self._ping_serial += 1
+                self._send_bytes(
+                    encode_frame(PING, 0, SEQ.pack(self._ping_serial))
+                )
             except OSError:
-                self._dead = True
-                raise ConnectionClosed(self.client_id) from None
-            if not data:
-                self._dead = True
-                raise ConnectionClosed(self.client_id)
-            self._absorb(data)
+                raise self._lost() from None
+            else:
+                if not data:
+                    raise self._lost()
+                self._absorb(data)
 
     def _next_pending(self, kinds: Tuple[int, ...]) -> Optional[Frame]:
         while self._pending:
@@ -506,9 +628,10 @@ class TcpTransport(Transport):
                 return frame
             if frame.kind == ERROR:
                 err = decode_error(frame.payload)
+                if isinstance(err, WireProtocolError) and self._recoverable():
+                    raise _SocketDown()
                 if isinstance(err, ConnectionClosed):
                     self._dead = True
-                    raise err
                 raise err
             raise WireProtocolError(
                 f"unexpected frame kind {frame.kind} from server"
@@ -518,9 +641,78 @@ class TcpTransport(Transport):
     def _absorb(self, data: bytes) -> None:
         for frame in self._decoder.feed(data):
             if frame.kind == EVENT:
-                event = decode_event(frame.payload)
+                if self._cs is not None:
+                    body = self._cs.accept_event(frame.payload)
+                    if body is None:
+                        continue  # duplicate from a replay overlap
+                else:  # pragma: no cover - defensive pre-connect path
+                    body = frame.payload[SEQ_SIZE:]
+                event = decode_event(body)
                 self.queue.append(event)
                 if self._proxy is not None:
                     self._proxy._dispatch_event(event)
+                if self._cs is not None:
+                    ack = self._cs.ack_due()
+                    if ack is not None:
+                        try:
+                            self._send_bytes(
+                                encode_frame(ACK, 0, SEQ.pack(ack))
+                            )
+                        except (_SocketDown, ConnectionClosed):
+                            pass  # noticed by the read path shortly
+            elif frame.kind == PING:
+                try:
+                    self._send_bytes(encode_frame(PONG, 0, frame.payload))
+                except (_SocketDown, ConnectionClosed):
+                    pass
+            elif frame.kind == PONG:
+                pass
             else:
                 self._pending.append(frame)
+
+    def _recover(self) -> None:
+        """Reconnect under bounded, seeded-jitter exponential backoff
+        and resume by token; raises :class:`SessionLost` (server-side
+        save-set rescue already ran) or plain :class:`ConnectionClosed`
+        when resilience is off — never hangs."""
+        cfg = self.resilience
+        cs = self._cs
+        if cfg is None or cs is None or cs.token is None:
+            self._dead = True
+            self._close_socket()
+            raise ConnectionClosed(self.client_id)
+        for delay in Backoff(cfg, self._rng).delays():
+            self.delays.append(delay)
+            self._sleep(delay)
+            try:
+                self._open_socket()
+                self._send_bytes(encode_frame(RESUME, 0, cs.resume_payload()))
+                frame = self._read_until((RESUMED,))
+            except (OSError, _SocketDown, LinkDesync, WireError):
+                continue  # this attempt failed too; back off more
+            verdict = decode_value(frame.payload)
+            if not isinstance(verdict, dict):
+                continue
+            if not verdict.get("ok"):
+                self._dead = True
+                self._close_socket()
+                raise SessionLost(
+                    self.client_id,
+                    str(verdict.get("reason", "resume rejected")),
+                )
+            try:
+                retransmit = cs.reconcile(int(verdict.get("executed", 0)))
+            except SessionLost:
+                self._dead = True
+                self._close_socket()
+                raise
+            self.reconnects += 1
+            if retransmit and cs.last_request is not None:
+                try:
+                    self._send_bytes(cs.last_request)
+                except _SocketDown:
+                    continue  # lost again already; next attempt resumes
+            return
+        self._dead = True
+        self._close_socket()
+        raise SessionLost(self.client_id, "reconnect attempts exhausted")

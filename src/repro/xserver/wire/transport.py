@@ -70,6 +70,10 @@ class ServerConnection(EventSink):
         #: (close_client / abandon_client) — lets a transport close its
         #: socket instead of lingering as a zombie.
         self.on_closed: Optional[Callable[[], None]] = None
+        #: True while the record sits in a resilience grace window (its
+        #: link died but the session may still resume) — windows, XIDs
+        #: and quotas stay live; see repro.xserver.wire.resilience.
+        self.parked: bool = False
         if not coalesce:
             self.set_coalescing(False)
 

@@ -31,6 +31,8 @@ from repro.xserver.wire import (
     REQUEST,
     WELCOME,
     FrameDecoder,
+    ResilienceConfig,
+    SessionLost,
     TcpTransport,
     WireServer,
     decode_value,
@@ -374,6 +376,221 @@ class TestEightClientIntegration:
                         "tcp", "protocol_errors")
                 ) > 0
             )
+
+
+class TestStartupFailure:
+    def test_port_conflict_surfaces_on_start(self, server):
+        """Satellite check: start() must raise the loop thread's bind
+        error instead of returning as if listening."""
+        first = WireServer(server)
+        first.start()
+        try:
+            second = WireServer(XServer(), port=first.port)
+            with pytest.raises(OSError):
+                second.start()
+        finally:
+            first.stop()
+
+
+class TestAbruptDisconnect:
+    """A peer that vanishes at the worst possible byte costs exactly
+    its own connection: the record is cleaned up (save-set rescue runs)
+    and no exception escapes to the loop."""
+
+    def handshake(self, sock, name="abrupt"):
+        sock.sendall(encode_frame(HELLO, 0, encode_value(
+            {"name": name, "coalesce": True}
+        )))
+        decoder = FrameDecoder()
+        frames = []
+        while not frames:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed during handshake")
+            frames.extend(decoder.feed(chunk))
+        assert frames[0].kind == WELCOME
+        return decode_value(frames[0].payload), decoder
+
+    def request_frame(self):
+        return encode_frame(
+            REQUEST, *encode_request("intern_atom", ("ABRUPT",), {})
+        )
+
+    def assert_cleaned_up(self, wire, server, cid):
+        assert wait_until(
+            lambda: wire.call(lambda: cid not in server.clients)
+        )
+        assert wire.errors == []
+
+    def test_close_mid_frame_header(self, server, wire):
+        with socket.create_connection(
+            ("127.0.0.1", wire.port), timeout=5
+        ) as sock:
+            welcome, _ = self.handshake(sock)
+            sock.sendall(self.request_frame()[:5])  # half a header
+        self.assert_cleaned_up(wire, server, welcome["client_id"])
+
+    def test_close_mid_frame_payload(self, server, wire):
+        with socket.create_connection(
+            ("127.0.0.1", wire.port), timeout=5
+        ) as sock:
+            welcome, _ = self.handshake(sock)
+            frame = self.request_frame()
+            sock.sendall(frame[:-3])  # header complete, payload short
+        self.assert_cleaned_up(wire, server, welcome["client_id"])
+
+    def test_half_close_during_reply(self, server, wire):
+        """The peer shuts its write side while a reply is in flight:
+        the reply is still delivered, then the stream ends cleanly."""
+        with socket.create_connection(
+            ("127.0.0.1", wire.port), timeout=5
+        ) as sock:
+            welcome, decoder = self.handshake(sock)
+            sock.sendall(self.request_frame())
+            sock.shutdown(socket.SHUT_WR)
+            got = []
+            sock.settimeout(10)
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    got.extend(decoder.feed(chunk))
+            except OSError:
+                pass
+            assert any(f.kind == REPLY for f in got)
+        self.assert_cleaned_up(wire, server, welcome["client_id"])
+
+    def test_windows_are_rescued_on_abrupt_close(self, server, wire):
+        transport = TcpTransport(port=wire.port)
+        conn = ClientConnection(name="doomed", transport=transport)
+        wid = conn.create_window(conn.root_window(), 0, 0, 10, 10)
+        conn.map_window(wid)
+        cid = conn.client_id
+        # Yank the socket out from under the transport: no goodbye.
+        transport._sock.close()
+        self.assert_cleaned_up(wire, server, cid)
+        assert wire.call(lambda: wid not in server.windows)
+
+
+@pytest.fixture
+def rserver():
+    return XServer()
+
+
+@pytest.fixture
+def rwire(rserver):
+    # Long heartbeat so reaping never interferes with reconnect tests;
+    # the reap test builds its own server with a twitchy heartbeat.
+    ws = WireServer(rserver, resilience=ResilienceConfig(
+        seed=7, heartbeat_interval=5.0, park_grace=30.0,
+    ))
+    ws.start()
+    yield ws
+    ws.stop()
+
+
+def resilient_transport(port, seed):
+    return TcpTransport(port=port, resilience=ResilienceConfig(
+        seed=seed, backoff_base=0.01, backoff_cap=0.1, max_attempts=8,
+    ))
+
+
+class TestTcpResilience:
+    def test_reconnect_resumes_with_windows_intact(self, rserver, rwire,
+                                                   wire_seed):
+        transport = resilient_transport(rwire.port, wire_seed)
+        conn = ClientConnection(name="phoenix", transport=transport)
+        wid = conn.create_window(conn.root_window(), 0, 0, 20, 20)
+        conn.map_window(wid)
+        cid = conn.client_id
+
+        # Yank the socket; the server notices the EOF and parks.
+        transport._sock.shutdown(socket.SHUT_RDWR)
+        assert wait_until(
+            lambda: rwire.call(lambda: rserver.clients[cid].parked)
+        )
+        assert rwire.call(lambda: rwire.sessions.parked_count()) == 1
+
+        # The next request transparently reconnects and resumes: same
+        # client id, same windows, no exception surfaced.
+        assert conn.window_exists(wid) is True
+        assert transport.reconnects == 1
+        assert len(transport.delays) >= 1
+        assert conn.client_id == cid
+        assert rwire.call(lambda: rserver.clients[cid].parked) is False
+        assert rwire.call(
+            lambda: rserver.stats().wire_count("tcp", "resumed")
+        ) == 1
+        conn.close()
+        assert rwire.errors == []
+
+    def test_repeated_flaps_keep_healing(self, rserver, rwire, wire_seed):
+        transport = resilient_transport(rwire.port, wire_seed)
+        conn = ClientConnection(name="flappy", transport=transport)
+        wid = conn.create_window(conn.root_window(), 0, 0, 20, 20)
+        cid = conn.client_id
+        for flap in range(3):
+            transport._sock.shutdown(socket.SHUT_RDWR)
+            assert wait_until(
+                lambda: rwire.call(lambda: rserver.clients[cid].parked)
+            )
+            conn.move_window(wid, flap, 0)
+            assert conn.get_geometry(wid)[0] == flap
+        assert transport.reconnects == 3
+        conn.close()
+        assert rwire.errors == []
+
+    def test_silent_peer_is_reaped_parked_then_rescued(self, rserver):
+        ws = WireServer(rserver, resilience=ResilienceConfig(
+            seed=7, heartbeat_interval=0.05, miss_budget=2,
+            park_grace=0.5,
+        ))
+        ws.start()
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", ws.port), timeout=5
+            )
+            sock.sendall(encode_frame(HELLO, 0, encode_value(
+                {"name": "silent", "coalesce": True}
+            )))
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                frames.extend(decoder.feed(sock.recv(4096)))
+            cid = decode_value(frames[0].payload)["client_id"]
+            # Go silent: never answer the server's PING probes.  The
+            # server burns the miss budget, reaps us into a parked
+            # session, then expires the park and rescues the estate.
+            assert wait_until(
+                lambda: ws.call(lambda: rserver.stats().wire_count(
+                    "tcp", "peers_reaped")) == 1
+            )
+            assert wait_until(
+                lambda: ws.call(lambda: rserver.stats().wire_count(
+                    "tcp", "park_expired")) == 1
+            )
+            assert ws.call(lambda: cid not in rserver.clients)
+            assert ws.call(lambda: ws.sessions.parked_count()) == 0
+            sock.close()
+            assert ws.errors == []
+        finally:
+            ws.stop()
+
+    def test_dead_server_is_a_clean_session_loss(self, wire_seed):
+        server = XServer()
+        ws = WireServer(server, resilience=ResilienceConfig(seed=7))
+        ws.start()
+        transport = resilient_transport(ws.port, wire_seed)
+        conn = ClientConnection(name="orphan", transport=transport)
+        assert conn.intern_atom("ALIVE") > 0
+        ws.stop()
+        # Every reconnect attempt fails; the bottom rung is a clean,
+        # bounded SessionLost — never a hang.
+        with pytest.raises(SessionLost):
+            conn.intern_atom("DEAD")
+        assert not transport.is_alive()
+        assert len(transport.delays) == 8  # all attempts, all backed off
 
 
 class TestBackpressureFlowControl:
