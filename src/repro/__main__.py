@@ -75,18 +75,40 @@ def demo() -> int:
     return 0
 
 
-def serve(host: str, port: int, with_wm: bool) -> int:
+def _wire_options(opts):
+    """Map the shared ``--timeout`` / ``--heartbeat-interval`` flags to
+    the wire layer's knobs.  A zero heartbeat interval turns the
+    resilience layer off entirely (bare timeouts, no parking)."""
+    from .xserver.wire import ResilienceConfig, WireTimeouts
+
+    timeouts = WireTimeouts.uniform(opts.timeout)
+    resilience = (
+        ResilienceConfig(heartbeat_interval=opts.heartbeat_interval)
+        if opts.heartbeat_interval > 0 else None
+    )
+    return timeouts, resilience
+
+
+def serve(opts) -> int:
     """Boot the simulated X server behind the TCP wire front and block
     until interrupted.  Remote clients connect with ``TcpTransport`` (or
-    ``python -m repro connect``)."""
+    ``python -m repro connect``).  With ``--shards N`` a
+    :class:`~repro.session.router.DisplayRouter` fronts N supervised
+    shards, one wire port per shard on consecutive ports."""
     from .xserver.wire import WireServer
 
+    timeouts, resilience = _wire_options(opts)
+    if opts.shards > 1:
+        return _serve_router(opts, timeouts, resilience)
     server = XServer(screens=[(1152, 900, 8)])
     wm = None
-    if with_wm:
+    if not opts.no_wm:
         db = load_template("OpenLook+")
         wm = Swm(server, db, places_path="/tmp/swm-serve.places")
-    with WireServer(server, host=host, port=port) as ws:
+    with WireServer(
+        server, host=opts.host, port=opts.port,
+        timeouts=timeouts, resilience=resilience,
+    ) as ws:
         managed = "swm managing the root" if wm else "no window manager"
         print(f"serving X on {ws.host}:{ws.port} ({managed})")
         print("stop with Ctrl-C")
@@ -102,14 +124,67 @@ def serve(host: str, port: int, with_wm: bool) -> int:
     return 0
 
 
-def connect(host: str, port: int, name: str) -> int:
+def _serve_router(opts, timeouts, resilience) -> int:
+    """Multi-screen mode: a DisplayRouter over ``--shards`` supervised
+    shards, each behind its own wire port (``--port``, ``--port + 1``,
+    ...).  The serve loop pumps the router, so shard heartbeats,
+    failover and deferred-admission draining stay live."""
+    from .session.router import DisplayRouter
+    from .xserver.wire import WireServer
+
+    if opts.no_wm:
+        print("--no-wm is incompatible with --shards: every shard is a"
+              " supervised swm stack", file=sys.stderr)
+        return 2
+    router = DisplayRouter(shards=opts.shards)
+    fronts = []
+    errors = 0
+    try:
+        for shard in router.shards.values():
+            ws = WireServer(
+                shard.server, host=opts.host, port=opts.port + shard.id,
+                timeouts=timeouts, resilience=resilience,
+            )
+            ws.start()
+            fronts.append(ws)
+            print(f"shard {shard.id}: serving X on {ws.host}:{ws.port}")
+        print(f"display router up: {opts.shards} shards, stop with Ctrl-C")
+        try:
+            while True:
+                time.sleep(1.0)
+                router.pump()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+            stats = router.stats()
+            print(
+                f"router: {stats['placements']} placements,"
+                f" {stats['failovers']} failovers,"
+                f" {stats['heartbeats']} heartbeats"
+            )
+    finally:
+        for ws in fronts:
+            ws.stop()
+            if ws.errors:
+                print(f"shard loop errors: {ws.errors}", file=sys.stderr)
+                errors += len(ws.errors)
+        router.close()
+    return 1 if errors else 0
+
+
+def connect(opts) -> int:
     """Connect to a running ``serve`` instance, exercise the protocol
     end to end, and print what came back over the wire."""
     from .xserver import ClientConnection, EventMask
     from .xserver.wire import TcpTransport
 
+    host, port, name = opts.host, opts.port, opts.name
+    timeouts, resilience = _wire_options(opts)
     conn = ClientConnection(
-        name=name, transport=TcpTransport(host=host, port=port)
+        name=name,
+        transport=TcpTransport(
+            host=host, port=port,
+            timeouts=timeouts, resilience=resilience,
+        ),
     )
     print(f"connected as client {conn.client_id} to {host}:{port}")
     info = conn.screen_info()
@@ -175,6 +250,19 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
 
+    def wire_flags(sub_parser):
+        sub_parser.add_argument(
+            "--timeout", type=float, default=10.0, metavar="SECONDS",
+            help="wall-clock bound for connect/handshake/rpc/shutdown"
+            " (WireTimeouts.uniform; default: 10.0)",
+        )
+        sub_parser.add_argument(
+            "--heartbeat-interval", type=float, default=1.0,
+            metavar="SECONDS",
+            help="liveness probe period for the resilience layer;"
+            " 0 disables heartbeats, parking and resume (default: 1.0)",
+        )
+
     serve_p = sub.add_parser(
         "serve", help="run the simulated X server on a TCP port"
     )
@@ -184,6 +272,12 @@ def main(argv=None) -> int:
         "--no-wm", action="store_true",
         help="serve a bare X server without swm managing it",
     )
+    serve_p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="front N supervised display shards with a DisplayRouter,"
+        " one wire port per shard from --port upward (default: 1)",
+    )
+    wire_flags(serve_p)
 
     connect_p = sub.add_parser(
         "connect", help="smoke-test client against a running serve"
@@ -191,9 +285,21 @@ def main(argv=None) -> int:
     connect_p.add_argument("--host", default="127.0.0.1")
     connect_p.add_argument("--port", type=int, default=6600)
     connect_p.add_argument("--name", default="repro-connect")
+    wire_flags(connect_p)
 
     soak_p = sub.add_parser(
-        "soak", help="deterministic soak run with tracing + oracles"
+        "soak", help="deterministic soak run with tracing + oracles",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean — every phase completed with zero oracle drift\n"
+            "  1  oracle drift — a consistency/adoption/quota oracle\n"
+            "     failed; the flight dump and partial payload are still\n"
+            "     written\n"
+            "  2  crash storm — the supervisor's restart budget tripped\n"
+            "     mid-soak (the WM kept dying faster than it could\n"
+            "     recover)\n"
+        ),
     )
     soak_p.add_argument("--seed", type=int, default=1337)
     soak_p.add_argument(
@@ -217,9 +323,9 @@ def main(argv=None) -> int:
     if opts.command == "soak":
         return soak(opts)
     if opts.command == "serve":
-        return serve(opts.host, opts.port, with_wm=not opts.no_wm)
+        return serve(opts)
     if opts.command == "connect":
-        return connect(opts.host, opts.port, opts.name)
+        return connect(opts)
     return demo()
 
 

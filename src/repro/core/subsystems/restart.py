@@ -81,6 +81,44 @@ class RestartController(Subsystem):
 
         self.restart_table = read_restart_property(self.conn, root)
 
+    def absorb_restart_records(self, records, durable: bool = True) -> int:
+        """Cross-shard adoption support: merge restart records handed
+        over by a display router — captured from another shard's
+        checkpoint or live snapshot — into the *running* WM's table.
+
+        Boot-time :meth:`load_restart_table` replaces the table from
+        the root property; this is the mid-flight counterpart a live
+        migration/failover needs, so the very next ``manage()`` of the
+        relaunched client replays its geometry/sticky/desktop state.
+        With *durable* the records are also appended to the root
+        property, so a WM crash between the handover and the client's
+        arrival still leaves the successor able to reconcile it.
+
+        *records* is an iterable of
+        :class:`~repro.session.hints.RestartHints`.  Returns the number
+        of records absorbed."""
+        from ...session.hints import swmhints
+
+        absorbed = 0
+        for hints in records:
+            self.restart_table.append(
+                {
+                    "command": hints.command,
+                    "machine": hints.machine,
+                    "geometry": hints.geometry,
+                    "icon_position": hints.icon_position,
+                    "state": hints.state,
+                    "sticky": hints.sticky,
+                    "desktop": hints.desktop,
+                }
+            )
+            if durable:
+                self.guarded(swmhints, self.conn, hints.to_argv())
+            absorbed += 1
+        if absorbed:
+            self.mark_dirty()
+        return absorbed
+
     def match_restart_entry(self, client: int) -> Optional[dict]:
         """Find (and consume) a session-restart record whose WM_COMMAND
         — and, when present, WM_CLIENT_MACHINE — matches (§7)."""

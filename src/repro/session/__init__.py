@@ -24,6 +24,7 @@ from .places import (
     replay_places,
     write_places,
 )
+from .router import DisplayRouter, FailoverRecord, RoutedClient
 from .store import (
     Checkpoint,
     CorruptCheckpoint,
@@ -38,6 +39,8 @@ __all__ = [
     "CrashRecord",
     "CrashStorm",
     "DEFAULT_REMOTE_START",
+    "DisplayRouter",
+    "FailoverRecord",
     "Host",
     "LaunchError",
     "Launcher",
@@ -46,6 +49,7 @@ __all__ = [
     "RESTART_PROPERTY",
     "ReplayFailure",
     "RestartHints",
+    "RoutedClient",
     "SessionStore",
     "Supervisor",
     "SwmHintsError",

@@ -5,11 +5,13 @@ scenario this harness compresses: operator desktops run for months and
 failures must be diagnosable after the fact.  A :class:`SoakRunner`
 drives a supervised WM session through phases of mixed traffic —
 benign clients, batch storms, hostile fuzzer clients, injected
-:class:`~repro.xserver.faults.WMCrash` restarts, and a link-chaos
+:class:`~repro.xserver.faults.WMCrash` restarts, a link-chaos
 phase that runs a client over the deterministic framed wire while a
 seeded plan partitions/lags/corrupts the byte stream (the resilience
-layer must heal every flap by RESUME) — in **accelerated
-ticks**: every phase is request-count-driven, never wall-clock-driven,
+layer must heal every flap by RESUME), and a shard-chaos phase that
+kills a whole display shard under a two-shard
+:class:`~.router.DisplayRouter` (the router must evacuate every
+routed client with zero window loss) — in **accelerated ticks**: every phase is request-count-driven, never wall-clock-driven,
 so a (seed, profile) pair replays bit-identically and two runs of the
 same seed produce the same trace-span sequence (the tracer's running
 signature proves it; wall durations are excluded by construction).
@@ -56,17 +58,20 @@ from ..xserver.faults import (
     LAG,
     PARTITION,
     REORDER,
+    SHARD_CRASH,
     ConnectionClosed,
     FaultPlan,
 )
 from ..xserver.fuzz import ProtocolFuzzer
 from ..xserver.properties import PROP_MODE_REPLACE
 from ..xserver.server import XServer
+from ..xserver.shard import HEALTHY as SHARD_HEALTHY
 from ..xserver.wire.resilience import (
     FramedHost,
     FramedTransport,
     ResilienceConfig,
 )
+from .router import DisplayRouter
 from .store import SessionStore
 from .supervisor import CrashStorm, Supervisor
 
@@ -88,9 +93,9 @@ class SoakFailure(AssertionError):
 @dataclass
 class PhaseSpec:
     """One phase of the soak: *kind* is ``benign`` / ``batch_storm`` /
-    ``hostile`` / ``crash`` / ``mixed`` / ``link_chaos``; *steps* is
-    the request-count budget (never a wall-clock duration —
-    determinism)."""
+    ``hostile`` / ``crash`` / ``mixed`` / ``link_chaos`` /
+    ``shard_chaos``; *steps* is the request-count budget (never a
+    wall-clock duration — determinism)."""
 
     name: str
     kind: str
@@ -123,6 +128,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("hostile", "hostile", 150),
             PhaseSpec("link-chaos", "link_chaos", 60),
             PhaseSpec("crash-restart", "crash", 80),
+            PhaseSpec("shard-chaos", "shard_chaos", 80),
             PhaseSpec("mixed", "mixed", 150),
         ],
         checkpoint_every=60,
@@ -136,6 +142,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("hostile", "hostile", 8000),
             PhaseSpec("link-chaos", "link_chaos", 2000),
             PhaseSpec("crash-restart", "crash", 1200),
+            PhaseSpec("shard-chaos", "shard_chaos", 600),
             PhaseSpec("mixed", "mixed", 8000),
             PhaseSpec("crash-late", "crash", 1200),
             PhaseSpec("steady-state", "mixed", 8000),
@@ -153,6 +160,7 @@ PROFILES: Dict[str, SoakProfile] = {
             PhaseSpec("hostile", "hostile", 30_000),
             PhaseSpec("link-chaos", "link_chaos", 6000),
             PhaseSpec("crash-restart", "crash", 4000),
+            PhaseSpec("shard-chaos", "shard_chaos", 2000),
             PhaseSpec("mixed", "mixed", 30_000),
             PhaseSpec("crash-late", "crash", 4000),
             PhaseSpec("steady-state", "mixed", 30_000),
@@ -538,6 +546,95 @@ class SoakRunner:
             "injected": dict(sorted(plan.counts.items())),
         }
 
+    def _shard_chaos_phase(self, spec: PhaseSpec) -> dict:
+        """A self-contained two-shard :class:`~.router.DisplayRouter`
+        survives a seeded whole-shard crash mid-traffic: the victim is
+        fenced, every routed client is evacuated to the survivor with
+        zero window loss (``router.problems()`` is the oracle), the
+        victim reboots on the recovery backoff and deferred admissions
+        drain.  Runs beside the main soak session — the router's
+        shards are their own servers, so the phase perturbs neither
+        the main fault RNG nor the trace signature."""
+        shard_seed = derive_seed(self.seed, f"shard@{spec.name}")
+        router = DisplayRouter(
+            shards=2,
+            seed=shard_seed,
+            store_dir=os.path.join(self.store_dir, f"shards-{spec.name}"),
+            flight_dir=self.dump_dir,
+            storm_threshold=10_000,
+        )
+        rng = random.Random(derive_seed(self.seed, f"shardwork@{spec.name}"))
+        plan = FaultPlan(shard_seed)
+        rule = plan.rule(
+            SHARD_CRASH,
+            probability=1.0,
+            arm_after=min(CRASH_ARM_AFTER, max(1, spec.steps // 4)),
+            max_fires=1,
+            name=f"soak-{spec.name}",
+        )
+        router.shards[0].server.install_faults(plan)
+        programs = ("xterm", "xclock", "xload", "oclock")
+        problems: List[str] = []
+        try:
+            for step in range(spec.steps):
+                live = [
+                    rec for rec in router.clients.values()
+                    if rec.shard_id is not None
+                ]
+                roll = rng.random()
+                if roll < 0.4 and len(live) < 6:
+                    router.place([rng.choice(programs)])
+                elif roll < 0.85 and live:
+                    rec = rng.choice(live)
+                    shard = router.shards[rec.shard_id]
+                    if (shard.health == SHARD_HEALTHY
+                            and shard.wm is not None):
+                        managed = shard.wm.managed.get(rec.wid)
+                        if managed is not None:
+                            router.call(
+                                shard.id, shard.wm.move_managed_to,
+                                managed,
+                                rng.randint(0, 900), rng.randint(0, 700),
+                            )
+                elif len(live) > 3:
+                    rec = live[0]
+                    if rec.app is not None:
+                        router.call(rec.shard_id, rec.app.quit)
+                    router.forget(rec.cid)
+                router.pump()
+                if (step + 1) % self.profile.pump_every == 0:
+                    # The main desktop keeps running while the remote
+                    # shard fleet fails over.
+                    self._benign_step()
+                    self.supervisor.pump()
+            # Let the fenced shard reboot and deferred placements drain.
+            for _ in range(64):
+                if (all(s.health == SHARD_HEALTHY
+                        for s in router.shards.values())
+                        and not router.deferred):
+                    break
+                router.pump()
+            if not rule.fires:
+                problems.append(
+                    f"shard crash never fired (seen={rule.seen})"
+                )
+            problems.extend(router.problems())
+            if problems:
+                self._fail(f"{spec.name}@shards", problems)
+            stats = router.stats()
+            return {
+                "seed": shard_seed,
+                "placements": stats["placements"],
+                "evacuations": stats["evacuations"],
+                "deferred_admissions": stats["deferred_admissions"],
+                "failovers": stats["failovers"],
+                "recoveries": stats["recoveries"],
+                "heartbeats": stats["heartbeats"],
+                "injected": dict(sorted(plan.counts.items())),
+            }
+        finally:
+            router.close()
+
     # -- oracles -----------------------------------------------------------
 
     def _expected_clients(self) -> List[int]:
@@ -620,10 +717,13 @@ class SoakRunner:
         wall_start = time.perf_counter()
 
         link_info: Optional[dict] = None
+        shard_info: Optional[dict] = None
         if spec.kind == "crash":
             self._crash_phase(spec)
         elif spec.kind == "link_chaos":
             link_info = self._link_chaos_phase(spec)
+        elif spec.kind == "shard_chaos":
+            shard_info = self._shard_chaos_phase(spec)
         else:
             stepper = getattr(self, self._STEPPERS[spec.kind])
             for step in range(spec.steps):
@@ -670,6 +770,8 @@ class SoakRunner:
         if link_info is not None:
             # Fully deterministic per (seed, profile), like the counts.
             record["link"] = link_info
+        if shard_info is not None:
+            record["shards"] = shard_info
         return record
 
     def run(self) -> dict:

@@ -78,6 +78,7 @@ class Supervisor:
         cleanup: str = "close",
         flight_dir: Optional[str] = None,
         flight_seed: Optional[int] = None,
+        flight_tag: str = "",
     ):
         if cleanup not in ("close", "abandon"):
             raise ValueError(f"unknown cleanup mode {cleanup!r}")
@@ -103,6 +104,10 @@ class Supervisor:
         )
         #: Replay seed stamped into every dump (soak runs set this).
         self.flight_seed = flight_seed
+        #: Label woven into dump filenames and payloads; a display
+        #: router sets it per shard so a multi-shard incident's
+        #: artifacts sort by which screen they came from.
+        self.flight_tag = flight_tag
         #: Paths of the flight dumps written so far.
         self.flight_dumps: List[str] = []
 
@@ -245,19 +250,23 @@ class Supervisor:
         if self.flight_dir is None or tracer is None or not tracer.enabled:
             return None
         reason = "CrashStorm" if storm else "WMCrash"
+        tag = f"{self.flight_tag}-" if self.flight_tag else ""
         path = os.path.join(
-            self.flight_dir, f"flight-crash-{len(self.crashes):03d}.json"
+            self.flight_dir, f"flight-{tag}crash-{len(self.crashes):03d}.json"
         )
+        extra = {
+            "during_boot": during_boot,
+            "restarts": self.restarts,
+            "crashes": len(self.crashes),
+            "timestamp": self.server.timestamp,
+        }
+        if self.flight_tag:
+            extra["shard"] = self.flight_tag
         tracer.dump(
             path,
             reason=f"{reason}:{crash.crash_point}",
             seed=self.flight_seed,
-            extra={
-                "during_boot": during_boot,
-                "restarts": self.restarts,
-                "crashes": len(self.crashes),
-                "timestamp": self.server.timestamp,
-            },
+            extra=extra,
         )
         self.flight_dumps.append(path)
         return path

@@ -98,6 +98,8 @@ KILL = "kill"
 STALE = "stale"
 CRASH = "crash"
 FLOOD = "flood"
+SHARD_CRASH = "shard_crash"
+SHARD_HANG = "shard_hang"
 DROP = "drop"
 DELAY = "delay"
 PARTITION = "partition"
@@ -108,8 +110,12 @@ CORRUPT = "corrupt"
 DUPLICATE = "duplicate"
 
 #: Kinds decided at request time (server tick) vs. delivery time
-#: (pipeline) vs. frame-transit time (wire link injector).
-REQUEST_KINDS = (ERROR, KILL, STALE, CRASH, FLOOD)
+#: (pipeline) vs. frame-transit time (wire link injector).  Shard
+#: kinds are request-time too — the whole display shard dies at a
+#: request boundary — but raise past the WM supervisor so only a
+#: display router may absorb them.
+REQUEST_KINDS = (ERROR, KILL, STALE, CRASH, FLOOD, SHARD_CRASH, SHARD_HANG)
+SHARD_KINDS = (SHARD_CRASH, SHARD_HANG)
 DELIVERY_KINDS = (DROP, DELAY)
 LINK_KINDS = (PARTITION, LAG, REORDER, TRUNCATE, CORRUPT, DUPLICATE)
 
@@ -136,6 +142,34 @@ class WMCrash(Exception):
         self.crash_point = crash_point
         self.client_id = client_id
         super().__init__(f"wm crashed at {crash_point}")
+
+
+class ShardFault(Exception):
+    """Base of the shard-level fault family.
+
+    Deliberately *not* a :class:`WMCrash` subclass: a WM supervisor
+    must never absorb a whole-shard failure as if it were its own WM
+    dying — the display router is the only layer allowed to catch
+    these (the same reasoning that keeps WMCrash out of XError)."""
+
+    verb = "failed"
+
+    def __init__(self, crash_point: str, client_id: Optional[int] = None):
+        self.crash_point = crash_point
+        self.client_id = client_id
+        super().__init__(f"shard {self.verb} at {crash_point}")
+
+
+class ShardCrash(ShardFault):
+    """The entire display shard (server + WM) died at a request."""
+
+    verb = "crashed"
+
+
+class ShardHang(ShardFault):
+    """The display shard stopped answering (wedged, not dead)."""
+
+    verb = "hung"
 
 
 def error_class(name: str) -> type:
@@ -494,7 +528,13 @@ __all__ = [
     "PARTITION",
     "REORDER",
     "REQUEST_KINDS",
+    "SHARD_CRASH",
+    "SHARD_HANG",
+    "SHARD_KINDS",
     "STALE",
+    "ShardCrash",
+    "ShardFault",
+    "ShardHang",
     "TRUNCATE",
     "WMCrash",
     "XError",

@@ -37,9 +37,13 @@ from .faults import (
     ERROR as FAULT_ERROR,
     FLOOD as FAULT_FLOOD,
     KILL as FAULT_KILL,
+    SHARD_CRASH as FAULT_SHARD_CRASH,
+    SHARD_HANG as FAULT_SHARD_HANG,
     STALE as FAULT_STALE,
     FaultPlan,
     FaultStage,
+    ShardCrash,
+    ShardHang,
     WMCrash,
     error_class,
 )
@@ -394,6 +398,25 @@ class XServer:
             # connection and windows linger until the supervisor cleans
             # up the corpse (close_client or abandon_client).
             raise WMCrash(request, client_id)
+        if rule.kind in (FAULT_SHARD_CRASH, FAULT_SHARD_HANG):
+            # The whole display shard fails at this request boundary.
+            # Nothing server-side is torn down here — the shard is one
+            # process whose state either vanished wholesale (crash) or
+            # froze (hang); the display router fences the shard and
+            # evacuates its clients from the last checkpoint.
+            detail = (
+                "shard process died" if rule.kind == FAULT_SHARD_CRASH
+                else "shard stopped answering"
+            )
+            plan.record(rule.kind, request, client_id, detail, rule)
+            self._stats.count_injected(rule.kind)
+            if tracer.enabled:
+                tracer.note_fault(
+                    rule.kind, request, self.timestamp, client_id, detail
+                )
+            if rule.kind == FAULT_SHARD_CRASH:
+                raise ShardCrash(request, client_id)
+            raise ShardHang(request, client_id)
         if rule.kind == FAULT_STALE:
             target = self._stale_target(caller_locals)
             if target is None:

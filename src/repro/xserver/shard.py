@@ -1,0 +1,158 @@
+"""One display shard: a full X server + supervised WM behind a router.
+
+The multi-screen story (ROADMAP: "multi-screen sharding") shards the
+logical desktop across N independent :class:`~repro.xserver.server.
+XServer` instances — each its own window tree, quota ledger and event
+pipeline — every shard running a full :class:`~repro.core.wm.Swm`
+under its own :class:`~repro.session.supervisor.Supervisor` with its
+own :class:`~repro.session.store.SessionStore`.  A :class:`Shard`
+bundles that stack plus the health bookkeeping the router's heartbeat
+discipline needs.
+
+A shard-level fault (:class:`~repro.xserver.faults.ShardCrash` /
+:class:`~repro.xserver.faults.ShardHang`, injected via the
+``shard_crash`` / ``shard_hang`` fault kinds) models the *whole stack*
+failing: the supervisor deliberately does not catch it (it is not a
+WMCrash), so it rips through :meth:`pump` to the display router, which
+fences the shard and evacuates its clients from the last checkpoint.
+:meth:`reboot` is the shard machine coming back: a fresh server, a
+fresh checkpoint generation, a fresh supervised WM — the dead
+generation's store stays on disk for post-mortems.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..session.store import SessionStore
+from ..session.supervisor import Supervisor
+from .server import XServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.wm import Swm
+
+#: Shard health states (router's view).
+HEALTHY = "healthy"
+HUNG = "hung"
+DEAD = "dead"
+
+
+def _default_wm_factory(places_path: str) -> Callable:
+    def factory(server: XServer, store: Optional[SessionStore]) -> "Swm":
+        from ..core.wm import Swm
+
+        return Swm(server, places_path=places_path, session_store=store)
+
+    return factory
+
+
+class Shard:
+    """One supervised ``XServer`` + ``Swm`` stack plus health state."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        store_dir: str,
+        *,
+        screens=((1152, 900, 8),),
+        wm_factory: Optional[Callable] = None,
+        flight_dir: Optional[str] = None,
+        flight_seed: Optional[int] = None,
+        backoff_base: int = 2,
+        backoff_cap: int = 16,
+        storm_threshold: int = 20,
+        storm_window: int = 5000,
+        cleanup: str = "abandon",
+    ) -> None:
+        self.id = shard_id
+        self.store_dir = store_dir
+        self.screens = tuple(screens)
+        self._wm_factory = wm_factory
+        self._sup_opts = dict(
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            storm_threshold=storm_threshold,
+            storm_window=storm_window,
+            cleanup=cleanup,
+            flight_dir=flight_dir,
+            flight_seed=flight_seed,
+            flight_tag=f"shard{shard_id}",
+        )
+        #: Checkpoint generation: bumped by :meth:`reboot`, so a dead
+        #: generation's store survives for post-mortem inspection.
+        self.generation = 0
+        #: Router's view of this shard (HEALTHY / HUNG / DEAD).
+        self.health = HEALTHY
+        #: Consecutive heartbeats lost to a router<->shard partition.
+        self.misses = 0
+        #: Times this shard has been fenced by the router.
+        self.failures = 0
+        #: Router tick at which a fenced shard may reboot (router-set).
+        self.recover_due = 0
+        self.server: XServer = None  # type: ignore[assignment]
+        self.store: SessionStore = None  # type: ignore[assignment]
+        self.sup: Supervisor = None  # type: ignore[assignment]
+        self._build()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _build(self) -> None:
+        gen_dir = os.path.join(self.store_dir, f"gen{self.generation}")
+        self.server = XServer(screens=list(self.screens))
+        self.store = SessionStore(os.path.join(gen_dir, "checkpoints"))
+        factory = self._wm_factory or _default_wm_factory(
+            os.path.join(gen_dir, "swm.places")
+        )
+        self.sup = Supervisor(self.server, self.store, factory,
+                              **self._sup_opts)
+
+    def start(self) -> "Swm":
+        wm = self.sup.start()
+        self.sup.pump()
+        return wm
+
+    def reboot(self) -> "Swm":
+        """The shard machine comes back: fresh server, fresh checkpoint
+        generation, fresh supervised WM.  The previous generation's
+        store directory is left intact on disk."""
+        self.generation += 1
+        self._build()
+        self.health = HEALTHY
+        self.misses = 0
+        return self.start()
+
+    # -- supervised access -------------------------------------------------
+
+    @property
+    def wm(self) -> Optional["Swm"]:
+        return self.sup.wm
+
+    def pump(self):
+        """One supervised event pump.  A WMCrash is absorbed by the
+        shard's own supervisor; a ShardCrash/ShardHang deliberately
+        escapes to the router."""
+        return self.sup.pump()
+
+    def run(self, fn: Callable, *args, default=None, **kwargs):
+        return self.sup.run(fn, *args, default=default, **kwargs)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Health + recovery bookkeeping for ``router.stats()``."""
+        return {
+            "health": self.health,
+            "generation": self.generation,
+            "failures": self.failures,
+            "misses": self.misses,
+            "crashes": len(self.sup.crashes),
+            "restarts": self.sup.restarts,
+            "flight_dumps": list(self.sup.flight_dumps),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Shard {self.id} {self.health} gen={self.generation}>"
+
+
+__all__ = ["DEAD", "HEALTHY", "HUNG", "Shard"]

@@ -1,0 +1,333 @@
+"""Kill-any-shard chaos: the display router survives shard death at
+every request-family site.
+
+A two-shard :class:`~repro.session.router.DisplayRouter` runs a mixed
+workload (placements, moves, resizes, iconify cycles, focus, pointer
+warps, swmcmd writes, client configures, quits) routed across both
+shards.  For every (request family, victim shard) pair a fault plan
+with a single ``shard_crash`` rule is installed on the victim's server
+— the whole shard stack dies the instant that family's request ticks —
+and the router must fence the victim, evacuate every routed client to
+the survivor with **zero window loss** (wm-consistency + adoption
+oracles on each healthy shard, registry fully re-homed), and reboot
+the victim on the recovery backoff so the next site starts at full
+capacity.
+
+The tour alternates the victim shard per family so both shards die at
+every site; a replay test pins bit-identical same-seed failovers
+(ShardCrash faults ride the one-draw-per-rule RNG contract exactly
+like WM crashes)."""
+
+import random
+
+from repro.core.swmcmd import swmcmd
+from repro.icccm.hints import ICONIC_STATE, NORMAL_STATE
+from repro.session.router import DisplayRouter
+from repro.testing import (
+    assert_adoption_complete,
+    assert_wm_consistent,
+)
+from repro.xserver.faults import SHARD_CRASH, FaultPlan
+from repro.xserver.shard import HEALTHY
+
+from .conftest import derive_seed
+
+#: Every request family the workload drives through a shard — the same
+#: matrix the WM crash tour uses, because the shard dies at a request
+#: boundary no matter which layer issued the request.
+SHARD_REQUESTS = [
+    "create_window",
+    "destroy_window",
+    "map_window",
+    "unmap_window",
+    "reparent_window",
+    "configure_window",
+    "change_window_attributes",
+    "change_property",
+    "delete_property",
+    "change_save_set",
+    "set_input_focus",
+    "warp_pointer",
+    "send_event",
+]
+
+N_SHARDS = 2
+
+#: The acceptance bar: every family on every shard.
+MIN_SITES = len(SHARD_REQUESTS) * N_SHARDS
+
+PROGRAMS = ["xterm", "xclock", "xload", "xlogo", "oclock"]
+
+
+def crash_sites():
+    return [
+        (request, victim)
+        for request in SHARD_REQUESTS
+        for victim in range(N_SHARDS)
+    ]
+
+
+def placed(router):
+    return [rec for rec in router.clients.values() if rec.shard_id is not None]
+
+
+def make_workload(router, rng):
+    """One cycle of routed actions covering every family in
+    SHARD_REQUESTS.  Every action fetches live state at call time —
+    a mid-cycle failover must never leave a later action holding a
+    fenced shard's objects."""
+
+    def pick_managed(state=None):
+        for rec in placed(router):
+            shard = router.shards[rec.shard_id]
+            if shard.health != HEALTHY or shard.wm is None:
+                continue
+            managed = shard.wm.managed.get(rec.wid)
+            if managed is None:
+                continue
+            if state is None or managed.state == state:
+                return rec, shard, managed
+        return None
+
+    def spawn():
+        if len(placed(router)) < 7:
+            router.place(
+                [rng.choice(PROGRAMS), "-geometry",
+                 f"+{rng.randint(10, 900)}+{rng.randint(10, 700)}"]
+            )
+
+    def move():
+        hit = pick_managed(NORMAL_STATE)
+        if hit is not None:
+            rec, shard, managed = hit
+            router.call(shard.id, shard.wm.move_managed_to, managed,
+                        rng.randint(0, 2000), rng.randint(0, 1500))
+
+    def resize():
+        hit = pick_managed(NORMAL_STATE)
+        if hit is not None:
+            rec, shard, managed = hit
+            router.call(shard.id, shard.wm.resize_managed, managed,
+                        rng.randint(60, 600), rng.randint(60, 400))
+
+    def iconify():
+        hit = pick_managed(NORMAL_STATE)
+        if hit is not None:
+            rec, shard, managed = hit
+            router.call(shard.id, shard.wm.iconify, managed)
+
+    def deiconify():
+        hit = pick_managed(ICONIC_STATE)
+        if hit is not None:
+            rec, shard, managed = hit
+            router.call(shard.id, shard.wm.deiconify, managed)
+
+    def focus():
+        hit = pick_managed(NORMAL_STATE)
+        if hit is not None:
+            rec, shard, managed = hit
+            router.call(shard.id, shard.wm.focus_managed, managed)
+
+    def healthy_shard():
+        healthy = [
+            s for s in router.shards.values()
+            if s.health == HEALTHY and s.wm is not None
+        ]
+        return rng.choice(healthy) if healthy else None
+
+    def warp():
+        shard = healthy_shard()
+        if shard is not None:
+            router.call(shard.id, shard.wm.warp_pointer_by,
+                        rng.randint(-40, 40), rng.randint(-40, 40))
+
+    def command():
+        # A root-property write: the WM answers with delete_property.
+        shard = healthy_shard()
+        if shard is not None:
+            router.call(shard.id, swmcmd, shard.server, "f.beep")
+
+    def client_configure():
+        # A client-side ConfigureRequest: the WM answers with a
+        # synthetic ConfigureNotify (send_event).
+        hit = pick_managed()
+        if hit is not None:
+            rec, shard, managed = hit
+            if rec.app is not None and rec.app.conn.is_alive():
+                router.call(
+                    shard.id, rec.app.conn.configure_window, rec.wid,
+                    width=rng.randint(80, 500), height=rng.randint(80, 400),
+                )
+
+    def quit_one():
+        # Quit the *oldest* client: the freed slot rotates across
+        # shards (placement tie-breaks low), so manage/unmanage traffic
+        # (reparent, save-set, create/destroy) keeps reaching both.
+        live = placed(router)
+        if len(live) > 4:
+            victim = live[0]
+            shard = router.shards[victim.shard_id]
+            if victim.app is not None:
+                router.call(shard.id, victim.app.quit)
+            router.forget(victim.cid)
+
+    return [
+        spawn, move, resize, iconify, deiconify, focus,
+        warp, command, client_configure, quit_one,
+    ]
+
+
+def wait_all_healthy(router, limit=40):
+    for _ in range(limit):
+        if all(s.health == HEALTHY for s in router.shards.values()):
+            # A failover piled everything onto the survivor; spread the
+            # load back out (live migration) so the next site's traffic
+            # reaches both shards.
+            router.rebalance()
+            return
+        router.pump()
+    raise AssertionError(
+        f"shards never all recovered: "
+        f"{[(s.id, s.health) for s in router.shards.values()]}"
+    )
+
+
+def assert_zero_window_loss(router, site):
+    """Every registry client alive and managed on a healthy shard, and
+    every healthy shard's WM passes the standing oracles."""
+    problems = router.problems()
+    assert not problems, f"site {site}: {problems}"
+    for rec in router.clients.values():
+        assert rec.shard_id is not None, (
+            f"site {site}: client {rec.cid} stuck deferred with a"
+            " healthy shard available"
+        )
+    for shard in router.shards.values():
+        if shard.health != HEALTHY or shard.wm is None:
+            continue
+        assert_wm_consistent(shard.wm)
+        expected = [
+            rec.wid for rec in router.clients.values()
+            if rec.shard_id == shard.id and rec.wid is not None
+        ]
+        assert_adoption_complete(shard.wm, expected)
+
+
+def test_router_survives_shard_death_at_every_site(chaos_seed, tmp_path):
+    router = DisplayRouter(
+        shards=N_SHARDS,
+        seed=chaos_seed,
+        store_dir=str(tmp_path / "router"),
+        storm_threshold=10_000,
+    )
+    rng = random.Random(chaos_seed)
+    for _ in range(4):
+        router.place([rng.choice(PROGRAMS)])
+    router.pump()
+
+    sites = crash_sites()
+    assert len(sites) >= MIN_SITES
+    survived = []
+
+    for request, victim_id in sites:
+        wait_all_healthy(router)
+        victim = router.shards[victim_id]
+        generation_before = victim.generation
+        plan = FaultPlan(derive_seed(chaos_seed, f"{request}@{victim_id}"))
+        rule = plan.rule(
+            SHARD_CRASH,
+            probability=1.0,
+            requests=(request,),
+            max_fires=1,
+            name=f"shard-crash@{request}+{victim_id}",
+        )
+        victim.server.install_faults(plan)
+
+        actions = make_workload(router, rng)
+        for step in range(400):
+            actions[step % len(actions)]()
+            router.pump()
+            if rule.fires:
+                break
+
+        assert rule.fires == 1, (
+            f"site {request}@shard{victim_id}: workload never reached"
+            f" the crash point (seen={rule.seen})"
+        )
+        assert victim.health != HEALTHY or victim.generation > generation_before
+        router.pump()
+        assert_zero_window_loss(router, f"{request}@shard{victim_id}")
+        survived.append((request, victim_id))
+
+    assert len(survived) == len(sites)
+    assert len(router.failovers) >= MIN_SITES
+
+    # The tour left a serviceable router: recover fully, place afresh.
+    wait_all_healthy(router)
+    probe = router.place(["xterm"])
+    router.pump()
+    assert probe.shard_id is not None
+    shard = router.shards[probe.shard_id]
+    assert probe.wid in shard.wm.managed
+    assert_zero_window_loss(router, "post-tour")
+    stats = router.stats()
+    print(
+        f"router chaos: seed={chaos_seed} sites={len(survived)}"
+        f" failovers={stats['failovers']} evacuations={stats['evacuations']}"
+        f" recoveries={stats['recoveries']}"
+    )
+    router.close()
+
+
+def test_failover_tour_is_replayable(chaos_seed, tmp_path):
+    """Same seed -> the same shards die at the same sites with the
+    same evacuation plans and the same router counters."""
+
+    def run(tag):
+        router = DisplayRouter(
+            shards=N_SHARDS,
+            seed=chaos_seed,
+            store_dir=str(tmp_path / f"router-{tag}"),
+            storm_threshold=10_000,
+        )
+        rng = random.Random(chaos_seed)
+        for _ in range(4):
+            router.place([rng.choice(PROGRAMS)])
+        router.pump()
+        log = []
+        for request, victim_id in (
+            ("configure_window", 0),
+            ("map_window", 1),
+            ("change_property", 0),
+        ):
+            wait_all_healthy(router)
+            victim = router.shards[victim_id]
+            plan = FaultPlan(
+                derive_seed(chaos_seed, f"replay:{request}@{victim_id}")
+            )
+            rule = plan.rule(
+                SHARD_CRASH, probability=1.0, requests=(request,),
+                max_fires=1,
+            )
+            victim.server.install_faults(plan)
+            actions = make_workload(router, rng)
+            for step in range(400):
+                actions[step % len(actions)]()
+                router.pump()
+                if rule.fires:
+                    break
+            router.pump()
+            record = router.failovers[-1]
+            log.append(
+                (record.tick, record.shard_id, record.reason,
+                 tuple(record.evacuated), tuple(record.deferred))
+            )
+        stats = router.stats()
+        log.append(
+            (stats["placements"], stats["evacuations"], stats["failovers"],
+             stats["deferred_admissions"], stats["heartbeats"])
+        )
+        router.close()
+        return log
+
+    assert run("a") == run("b")

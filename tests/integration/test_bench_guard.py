@@ -1,0 +1,104 @@
+"""tools/bench_guard.py trajectory mode: the rolling ``--keep`` window
+retains exactly the newest N dates, never silently erases history, and
+rejects a window that would retain nothing (the old negated-keep slice
+turned ``--keep 0`` into "delete every run")."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+from argparse import Namespace
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
+
+
+def load_bench_guard():
+    spec = importlib.util.spec_from_file_location(
+        "bench_guard", TOOLS / "bench_guard.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_guard", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_guard = load_bench_guard()
+
+
+def results_file(tmp_path, mean=0.002):
+    """A minimal pytest-benchmark JSON with the reference + one guard."""
+    payload = {
+        "benchmarks": [
+            {
+                "group": "t7",
+                "name": bench_guard.REFERENCE,
+                "stats": {"mean": 0.001},
+            },
+            {
+                "group": "t7",
+                "name": "test_t7_property_churn",
+                "stats": {"mean": mean},
+            },
+        ]
+    }
+    path = tmp_path / "benchmark-results.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def trajectory_args(tmp_path, date, keep=90):
+    return Namespace(
+        results=results_file(tmp_path),
+        trajectory=str(tmp_path / "BENCH_trajectory.json"),
+        date=date,
+        run_id="",
+        keep=keep,
+    )
+
+
+def run_dates(tmp_path):
+    with open(tmp_path / "BENCH_trajectory.json") as fh:
+        return sorted(json.load(fh)["runs"])
+
+
+class TestTrajectoryKeep:
+    def test_window_keeps_the_newest_n_dates(self, tmp_path):
+        for day in range(1, 6):
+            args = trajectory_args(tmp_path, f"2026-08-{day:02d}", keep=3)
+            assert bench_guard.cmd_trajectory(args) == 0
+        assert run_dates(tmp_path) == [
+            "2026-08-03", "2026-08-04", "2026-08-05"
+        ]
+
+    def test_under_capacity_prunes_nothing(self, tmp_path):
+        for day in range(1, 4):
+            args = trajectory_args(tmp_path, f"2026-08-{day:02d}", keep=90)
+            bench_guard.cmd_trajectory(args)
+        assert run_dates(tmp_path) == [
+            "2026-08-01", "2026-08-02", "2026-08-03"
+        ]
+
+    def test_keep_one_is_a_single_run_window(self, tmp_path):
+        for day in range(1, 4):
+            args = trajectory_args(tmp_path, f"2026-08-{day:02d}", keep=1)
+            bench_guard.cmd_trajectory(args)
+        assert run_dates(tmp_path) == ["2026-08-03"]
+
+    def test_same_day_rerun_overwrites_not_accumulates(self, tmp_path):
+        for _ in range(2):
+            args = trajectory_args(tmp_path, "2026-08-08", keep=3)
+            bench_guard.cmd_trajectory(args)
+        assert run_dates(tmp_path) == ["2026-08-08"]
+
+    @pytest.mark.parametrize("keep", [0, -1, -90])
+    def test_retain_nothing_is_rejected_not_erased(self, tmp_path, keep):
+        good = trajectory_args(tmp_path, "2026-08-01", keep=90)
+        bench_guard.cmd_trajectory(good)
+        bad = trajectory_args(tmp_path, "2026-08-02", keep=keep)
+        with pytest.raises(bench_guard.GuardError) as excinfo:
+            bench_guard.cmd_trajectory(bad)
+        assert excinfo.value.code == bench_guard.EXIT_BAD_INPUT
+        # The refusal must leave the existing trajectory untouched.
+        assert run_dates(tmp_path) == ["2026-08-01"]

@@ -686,3 +686,80 @@ class TestSeededChaos:
         first = chaos_run(wire_seed)
         second = chaos_run(wire_seed)
         assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Quota accounting across park / resume / session loss
+# ---------------------------------------------------------------------------
+
+
+class TestQuotaAccounting:
+    """The quota ledger and the resilience layer must agree: a parked
+    (link-lost) client's charges survive park -> resume intact, and a
+    true SessionLost refunds everything through the ordinary close
+    path's save-set rescue."""
+
+    def charged_setup(self, server, **overrides):
+        host = make_host(server, **overrides)
+        conn, transport = connect(server, host)
+        wids = [
+            conn.create_window(conn.root_window(), 10 * i, 0, 60, 40)
+            for i in range(3)
+        ]
+        for wid in wids:
+            conn.map_window(wid)
+        conn.set_string_property(wids[0], "WM_NAME", "quota-probe" * 8)
+        return host, conn, transport, wids
+
+    def test_charges_survive_park_and_resume(self, server):
+        from repro.testing import quota_problems
+
+        host, conn, transport, wids = self.charged_setup(server)
+        cid = conn.client_id
+        windows_before = server.quotas.windows[cid]
+        bytes_before = server.quotas.prop_bytes[cid]
+        assert windows_before == len(wids)
+        assert bytes_before > 0
+
+        transport._link.cut()
+        # Parked, not closed: the estate stays registered and charged —
+        # a flapping link must not be a quota-reset primitive.
+        assert server.clients[cid].parked is True
+        assert server.quotas.windows[cid] == windows_before
+        assert server.quotas.prop_bytes[cid] == bytes_before
+        assert quota_problems(server) == []
+
+        # Resume; the charges carry over (no refund, no double-charge).
+        assert conn.window_exists(wids[0]) is True
+        assert transport.reconnects == 1
+        assert server.quotas.windows[cid] == windows_before
+        assert server.quotas.prop_bytes[cid] == bytes_before
+
+        # New work charges on top of the preserved base.
+        extra = conn.create_window(conn.root_window(), 0, 50, 30, 30)
+        assert server.quotas.windows[cid] == windows_before + 1
+        conn.destroy_window(extra)
+        assert server.quotas.windows[cid] == windows_before
+        assert quota_problems(server) == []
+
+    def test_session_lost_refunds_every_charge(self, server):
+        from repro.testing import quota_problems
+
+        host, conn, transport, wids = self.charged_setup(
+            server, park_grace=30.0
+        )
+        cid = conn.client_id
+        assert server.quotas.windows[cid] == len(wids)
+        assert server.quotas.prop_bytes[cid] > 0
+
+        transport._link.cut()
+        host.advance(31.0)  # grace expires: save-set rescue runs
+        assert server.stats().wire_count("framed", "park_expired") == 1
+        assert cid not in server.clients
+        # Full refund: no window or byte charge outlives the client.
+        assert server.quotas.windows[cid] == 0
+        assert server.quotas.prop_bytes[cid] == 0
+        assert quota_problems(server) == []
+        with pytest.raises(SessionLost):
+            conn.intern_atom("GONE")
+        assert host.errors == []

@@ -179,6 +179,13 @@ def cmd_guard(args: argparse.Namespace) -> int:
 def cmd_trajectory(args: argparse.Namespace) -> int:
     """Fold today's distilled run into the rolling date-keyed
     trajectory file the nightly job accumulates (and uploads)."""
+    if args.keep < 1:
+        raise GuardError(
+            f"error: --keep must be at least 1 (got {args.keep}): a"
+            " rolling window that retains nothing would erase the"
+            " whole trajectory",
+            EXIT_BAD_INPUT,
+        )
     summary = distill(load_means(args.results))
     try:
         with open(args.trajectory) as fh:
@@ -197,8 +204,11 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
         "ratios": summary["ratios"],
         "run_id": args.run_id or None,
     }
-    # Rolling window: keep the newest N dates (ISO dates sort).
-    for date in sorted(runs)[:-args.keep or None]:
+    # Rolling window: keep the newest N dates (ISO dates sort).  The
+    # excess is computed explicitly — a negated-keep slice silently
+    # turns `--keep 0` into "delete everything".
+    excess = len(runs) - args.keep
+    for date in sorted(runs)[:max(0, excess)]:
         del runs[date]
     with open(args.trajectory, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=True)
